@@ -1,0 +1,255 @@
+//! Role-based, classification-gated, always-audited access control.
+//!
+//! The paper's conclusion: records must be "accessed only by those who have
+//! a right to do so". The model here is deliberately small — roles with a
+//! clearance ceiling, per-role capability flags, and an audit entry for
+//! every decision (grants *and* denials; denials are how you notice probing).
+
+use crate::errors::{ArchivalError, Result};
+use crate::record::{Classification, Record};
+use serde::{Deserialize, Serialize};
+use trustdb::audit::{AuditAction, AuditLog};
+
+/// Caller roles, ordered by privilege.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Anonymous public user.
+    Public,
+    /// Registered researcher.
+    Researcher,
+    /// Professional archivist.
+    Archivist,
+    /// Repository administrator.
+    Admin,
+}
+
+impl Role {
+    /// The highest classification this role may read.
+    pub fn clearance(&self) -> Classification {
+        match self {
+            Role::Public => Classification::Public,
+            Role::Researcher => Classification::Restricted,
+            Role::Archivist | Role::Admin => Classification::Confidential,
+        }
+    }
+
+    /// May this role trigger disposition actions?
+    pub fn may_dispose(&self) -> bool {
+        matches!(self, Role::Archivist | Role::Admin)
+    }
+
+    /// May this role change access policy?
+    pub fn may_administer(&self) -> bool {
+        matches!(self, Role::Admin)
+    }
+}
+
+/// An authenticated caller.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Principal {
+    /// Stable identity (username / system id).
+    pub id: String,
+    /// Assigned role.
+    pub role: Role,
+}
+
+impl Principal {
+    /// Construct a principal.
+    pub fn new(id: impl Into<String>, role: Role) -> Self {
+        Principal { id: id.into(), role }
+    }
+}
+
+/// Access decision plus the reason, for the audit trail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Access granted.
+    Allow,
+    /// Access denied with reason.
+    Deny(String),
+}
+
+/// The access gate. Stateless apart from the audit sink.
+pub struct AccessController<'a> {
+    audit: &'a AuditLog,
+}
+
+impl<'a> AccessController<'a> {
+    /// Gate writing decisions into `audit`.
+    pub fn new(audit: &'a AuditLog) -> Self {
+        AccessController { audit }
+    }
+
+    /// Decide (and audit) whether `who` may read `record`.
+    pub fn check_read(
+        &self,
+        who: &Principal,
+        record: &Record,
+        timestamp_ms: u64,
+    ) -> Result<Decision> {
+        let decision = if record.classification <= who.role.clearance() {
+            Decision::Allow
+        } else {
+            Decision::Deny(format!(
+                "clearance {:?} insufficient for {:?}",
+                who.role.clearance(),
+                record.classification
+            ))
+        };
+        let detail = match &decision {
+            Decision::Allow => format!("read GRANTED (role {:?})", who.role),
+            Decision::Deny(reason) => format!("read DENIED: {reason}"),
+        };
+        self.audit.append(
+            timestamp_ms,
+            who.id.clone(),
+            AuditAction::Access,
+            record.id.as_str(),
+            detail,
+        )?;
+        Ok(decision)
+    }
+
+    /// Enforce a read: error on deny, unit on allow.
+    pub fn require_read(
+        &self,
+        who: &Principal,
+        record: &Record,
+        timestamp_ms: u64,
+    ) -> Result<()> {
+        match self.check_read(who, record, timestamp_ms)? {
+            Decision::Allow => Ok(()),
+            Decision::Deny(reason) => Err(ArchivalError::AccessDenied {
+                actor: who.id.clone(),
+                resource: record.id.as_str().to_string(),
+                reason,
+            }),
+        }
+    }
+
+    /// Decide (and audit) a disposition attempt.
+    pub fn require_dispose(&self, who: &Principal, timestamp_ms: u64) -> Result<()> {
+        if who.role.may_dispose() {
+            self.audit.append(
+                timestamp_ms,
+                who.id.clone(),
+                AuditAction::Admin,
+                "disposition",
+                format!("disposition authority confirmed for role {:?}", who.role),
+            )?;
+            Ok(())
+        } else {
+            self.audit.append(
+                timestamp_ms,
+                who.id.clone(),
+                AuditAction::Admin,
+                "disposition",
+                "disposition DENIED: insufficient role",
+            )?;
+            Err(ArchivalError::AccessDenied {
+                actor: who.id.clone(),
+                resource: "disposition".into(),
+                reason: format!("role {:?} may not dispose", who.role),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::DocumentaryForm;
+
+    fn record(class: Classification) -> Record {
+        Record::over_content(
+            "rec-1",
+            "t",
+            "c",
+            1,
+            "a",
+            DocumentaryForm::textual("text/plain"),
+            class,
+            b"body",
+        )
+    }
+
+    #[test]
+    fn clearance_ladder() {
+        assert_eq!(Role::Public.clearance(), Classification::Public);
+        assert_eq!(Role::Researcher.clearance(), Classification::Restricted);
+        assert_eq!(Role::Archivist.clearance(), Classification::Confidential);
+        assert!(Role::Admin > Role::Public);
+    }
+
+    #[test]
+    fn public_reads_public_only() {
+        let audit = AuditLog::new();
+        let gate = AccessController::new(&audit);
+        let anon = Principal::new("anon", Role::Public);
+        assert_eq!(
+            gate.check_read(&anon, &record(Classification::Public), 1).unwrap(),
+            Decision::Allow
+        );
+        assert!(matches!(
+            gate.check_read(&anon, &record(Classification::Restricted), 2).unwrap(),
+            Decision::Deny(_)
+        ));
+        assert!(matches!(
+            gate.check_read(&anon, &record(Classification::Confidential), 3).unwrap(),
+            Decision::Deny(_)
+        ));
+    }
+
+    #[test]
+    fn researcher_reads_restricted_not_confidential() {
+        let audit = AuditLog::new();
+        let gate = AccessController::new(&audit);
+        let res = Principal::new("res", Role::Researcher);
+        assert_eq!(
+            gate.check_read(&res, &record(Classification::Restricted), 1).unwrap(),
+            Decision::Allow
+        );
+        assert!(gate.require_read(&res, &record(Classification::Confidential), 2).is_err());
+    }
+
+    #[test]
+    fn archivist_reads_everything() {
+        let audit = AuditLog::new();
+        let gate = AccessController::new(&audit);
+        let arch = Principal::new("arch", Role::Archivist);
+        for class in [
+            Classification::Public,
+            Classification::Restricted,
+            Classification::Confidential,
+        ] {
+            gate.require_read(&arch, &record(class), 1).unwrap();
+        }
+    }
+
+    #[test]
+    fn every_decision_is_audited_including_denials() {
+        let audit = AuditLog::new();
+        let gate = AccessController::new(&audit);
+        let anon = Principal::new("anon", Role::Public);
+        let _ = gate.check_read(&anon, &record(Classification::Public), 1).unwrap();
+        let _ = gate.check_read(&anon, &record(Classification::Confidential), 2).unwrap();
+        let entries = audit.query(|e| e.action == AuditAction::Access);
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].detail.contains("GRANTED"));
+        assert!(entries[1].detail.contains("DENIED"));
+        audit.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn disposition_requires_archivist() {
+        let audit = AuditLog::new();
+        let gate = AccessController::new(&audit);
+        assert!(gate
+            .require_dispose(&Principal::new("res", Role::Researcher), 1)
+            .is_err());
+        gate.require_dispose(&Principal::new("arch", Role::Archivist), 2).unwrap();
+        gate.require_dispose(&Principal::new("admin", Role::Admin), 3).unwrap();
+        assert!(!Role::Researcher.may_administer());
+        assert!(Role::Admin.may_administer());
+    }
+}

@@ -1,0 +1,282 @@
+//! BagIt serialization of dissemination packages.
+//!
+//! BagIt (RFC 8493) is the de-facto transfer format between archival
+//! institutions — a directory with a `data/` payload, a
+//! `manifest-sha256.txt` of payload checksums, and tag files. Writing a
+//! [`crate::oais::Dip`] as a bag makes a dissemination self-verifying on
+//! the consumer's side with any off-the-shelf BagIt tool; reading one back
+//! validates every checksum.
+
+use crate::errors::{ArchivalError, Result};
+use crate::oais::Dip;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use trustdb::hash::sha256;
+
+/// The BagIt declaration written to `bagit.txt`.
+pub const BAGIT_DECLARATION: &str = "BagIt-Version: 1.0\nTag-File-Character-Encoding: UTF-8\n";
+
+/// Sanitize a record id into a safe payload filename.
+fn payload_name(record_id: &str) -> String {
+    let mut name: String = record_id
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+        .collect();
+    if name.is_empty() {
+        name.push('x');
+    }
+    name
+}
+
+/// Write `dip` as a BagIt bag rooted at `dir` (created; must not already
+/// contain a bag). Returns the bag root.
+pub fn write_bag(dip: &Dip, dir: impl AsRef<Path>) -> Result<PathBuf> {
+    let root = dir.as_ref().to_path_buf();
+    let data_dir = root.join("data");
+    if root.join("bagit.txt").exists() {
+        return Err(ArchivalError::InvariantViolation(format!(
+            "{} already contains a bag",
+            root.display()
+        )));
+    }
+    std::fs::create_dir_all(&data_dir).map_err(io_err)?;
+    // Payload + manifest.
+    let mut manifest_lines = Vec::with_capacity(dip.items.len());
+    let mut used_names: BTreeMap<String, usize> = BTreeMap::new();
+    for (record, content) in &dip.items {
+        let base = payload_name(record.id.as_str());
+        let n = used_names.entry(base.clone()).or_insert(0);
+        let name = if *n == 0 { base.clone() } else { format!("{base}.{n}") };
+        *n += 1;
+        let path = data_dir.join(&name);
+        std::fs::write(&path, content).map_err(io_err)?;
+        manifest_lines.push(format!("{}  data/{}", sha256(content).to_hex(), name));
+    }
+    std::fs::write(root.join("bagit.txt"), BAGIT_DECLARATION).map_err(io_err)?;
+    std::fs::write(
+        root.join("manifest-sha256.txt"),
+        manifest_lines.join("\n") + "\n",
+    )
+    .map_err(io_err)?;
+    // bag-info.txt: provenance of the dissemination itself.
+    let mut info = String::new();
+    info.push_str(&format!("Source-Organization: itrust repository\n"));
+    info.push_str(&format!("External-Identifier: {}\n", dip.dip_id));
+    info.push_str(&format!("Bagging-Software: itrust archival-core\n"));
+    info.push_str(&format!("Internal-Sender-Identifier: {}\n", dip.source_aip));
+    info.push_str(&format!("Contact-Name: {}\n", dip.consumer));
+    info.push_str(&format!("Payload-Oxum: {}.{}\n",
+        dip.items.iter().map(|(_, c)| c.len() as u64).sum::<u64>(),
+        dip.items.len()));
+    std::fs::write(root.join("bag-info.txt"), info).map_err(io_err)?;
+    Ok(root)
+}
+
+fn io_err(e: std::io::Error) -> ArchivalError {
+    ArchivalError::Storage(trustdb::Error::Io(e))
+}
+
+/// Result of validating a bag on disk.
+#[derive(Debug, Clone)]
+pub struct BagValidation {
+    /// Payload files whose checksum matched.
+    pub valid: usize,
+    /// Problems found (missing files, checksum mismatches, stray payload).
+    pub problems: Vec<String>,
+}
+
+impl BagValidation {
+    /// True when the bag is complete and every checksum matches.
+    pub fn is_valid(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+/// Validate a bag: declaration present, every manifest entry exists with
+/// the right digest, and no unmanifested payload files.
+pub fn validate_bag(root: impl AsRef<Path>) -> Result<BagValidation> {
+    let root = root.as_ref();
+    let mut problems = Vec::new();
+    if !root.join("bagit.txt").exists() {
+        problems.push("missing bagit.txt declaration".into());
+    }
+    let manifest_path = root.join("manifest-sha256.txt");
+    let manifest = std::fs::read_to_string(&manifest_path)
+        .map_err(|_| ArchivalError::NotFound(format!("{}", manifest_path.display())))?;
+    let mut valid = 0usize;
+    let mut listed: Vec<PathBuf> = Vec::new();
+    for line in manifest.lines().filter(|l| !l.trim().is_empty()) {
+        let Some((digest_hex, rel)) = line.split_once("  ") else {
+            problems.push(format!("malformed manifest line: {line}"));
+            continue;
+        };
+        let path = root.join(rel);
+        listed.push(path.clone());
+        match std::fs::read(&path) {
+            Err(_) => problems.push(format!("missing payload file {rel}")),
+            Ok(bytes) => {
+                if sha256(&bytes).to_hex() == digest_hex {
+                    valid += 1;
+                } else {
+                    problems.push(format!("checksum mismatch for {rel}"));
+                }
+            }
+        }
+    }
+    // Completeness: no unmanifested files under data/.
+    let data_dir = root.join("data");
+    if data_dir.exists() {
+        for entry in std::fs::read_dir(&data_dir).map_err(io_err)? {
+            let entry = entry.map_err(io_err)?;
+            if !listed.contains(&entry.path()) {
+                problems.push(format!(
+                    "unmanifested payload file {}",
+                    entry.path().display()
+                ));
+            }
+        }
+    }
+    Ok(BagValidation { valid, problems })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::Repository;
+    use crate::oais::{Sip, SubmissionItem};
+    use crate::provenance::{EventType, ProvenanceChain};
+    use crate::record::{Classification, DocumentaryForm, Record, RecordId};
+    use trustdb::store::{MemoryBackend, ObjectStore};
+
+    fn sample_dip() -> Dip {
+        let repo = Repository::new(ObjectStore::new(MemoryBackend::new()));
+        let mut sip = Sip::new("P", 1);
+        for i in 0..3 {
+            let id = format!("fonds/series/rec-{i}");
+            let body = format!("content of record {i}");
+            let record = Record::over_content(
+                id.clone(),
+                format!("Record {i}"),
+                "P",
+                1,
+                "a",
+                DocumentaryForm::textual("text/plain"),
+                Classification::Public,
+                body.as_bytes(),
+            );
+            let mut provenance = ProvenanceChain::new(id);
+            provenance.append(0, "P", EventType::Creation, "success", "").unwrap();
+            sip = sip.with_item(SubmissionItem {
+                record,
+                content: body.into_bytes(),
+                provenance,
+            });
+        }
+        let receipt = repo.ingest(sip, 100, "a").unwrap();
+        let ids: Vec<RecordId> =
+            (0..3).map(|i| RecordId::new(format!("fonds/series/rec-{i}"))).collect();
+        repo.disseminate(&receipt.aip_id, &ids, "consumer", 200, None).unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("itrust-bag-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn write_and_validate_round_trip() {
+        let dip = sample_dip();
+        let dir = tmp("roundtrip");
+        let root = write_bag(&dip, &dir).unwrap();
+        assert!(root.join("bagit.txt").exists());
+        assert!(root.join("bag-info.txt").exists());
+        let report = validate_bag(&root).unwrap();
+        assert!(report.is_valid(), "{:?}", report.problems);
+        assert_eq!(report.valid, 3);
+        // bag-info carries the dissemination identity.
+        let info = std::fs::read_to_string(root.join("bag-info.txt")).unwrap();
+        assert!(info.contains(&dip.dip_id));
+        assert!(info.contains("Payload-Oxum"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupting_payload_fails_validation() {
+        let dip = sample_dip();
+        let dir = tmp("corrupt");
+        write_bag(&dip, &dir).unwrap();
+        // Flip a byte in one payload file.
+        let data = std::fs::read_dir(dir.join("data")).unwrap().next().unwrap().unwrap();
+        let mut bytes = std::fs::read(data.path()).unwrap();
+        bytes[0] ^= 1;
+        std::fs::write(data.path(), bytes).unwrap();
+        let report = validate_bag(&dir).unwrap();
+        assert!(!report.is_valid());
+        assert!(report.problems.iter().any(|p| p.contains("checksum mismatch")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deleting_payload_fails_validation() {
+        let dip = sample_dip();
+        let dir = tmp("missing");
+        write_bag(&dip, &dir).unwrap();
+        let victim = std::fs::read_dir(dir.join("data")).unwrap().next().unwrap().unwrap();
+        std::fs::remove_file(victim.path()).unwrap();
+        let report = validate_bag(&dir).unwrap();
+        assert!(report.problems.iter().any(|p| p.contains("missing payload")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stray_payload_fails_completeness() {
+        let dip = sample_dip();
+        let dir = tmp("stray");
+        write_bag(&dip, &dir).unwrap();
+        std::fs::write(dir.join("data").join("intruder.txt"), b"not in manifest").unwrap();
+        let report = validate_bag(&dir).unwrap();
+        assert!(report.problems.iter().any(|p| p.contains("unmanifested")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn double_bagging_refused() {
+        let dip = sample_dip();
+        let dir = tmp("double");
+        write_bag(&dip, &dir).unwrap();
+        assert!(write_bag(&dip, &dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn record_ids_sanitize_into_distinct_names() {
+        assert_eq!(payload_name("a/b/c"), "a_b_c");
+        assert_eq!(payload_name(""), "x");
+        // Colliding sanitized names get numeric suffixes.
+        let dip = {
+            let mut d = sample_dip();
+            // Force a collision by duplicating an item with a different id
+            // that sanitizes identically.
+            let (mut rec, content) = d.items[0].clone();
+            rec.id = RecordId::new("fonds_series_rec-0");
+            let proof = d.proofs[0].clone();
+            d.items.push((rec, content));
+            d.proofs.push(proof);
+            d
+        };
+        let dir = tmp("collide");
+        write_bag(&dip, &dir).unwrap();
+        let names: Vec<String> = std::fs::read_dir(dir.join("data"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.len(), 4);
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), 4);
+        let report = validate_bag(&dir).unwrap();
+        assert!(report.is_valid(), "{:?}", report.problems);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,359 @@
+//! Archival arrangement and description: the fonds → series → file → item
+//! hierarchy (ISAD(G)-style multilevel description) plus finding-aid
+//! generation.
+//!
+//! Arrangement preserves *provenance* and *original order* — records are
+//! described in the context of the activity that produced them, never as
+//! isolated documents. The AI access layer (`itrust-core`) indexes the
+//! descriptions this module produces.
+
+use crate::errors::{ArchivalError, Result};
+use crate::record::RecordId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Level of a descriptive unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Level {
+    /// The whole of the records of one creator.
+    Fonds,
+    /// A body of records within a fonds maintained as a unit (same
+    /// function/activity).
+    Series,
+    /// An organized unit of documents within a series.
+    File,
+    /// The smallest intellectually indivisible unit.
+    Item,
+}
+
+impl Level {
+    /// The level a child of this level must have.
+    pub fn child_level(&self) -> Option<Level> {
+        match self {
+            Level::Fonds => Some(Level::Series),
+            Level::Series => Some(Level::File),
+            Level::File => Some(Level::Item),
+            Level::Item => None,
+        }
+    }
+}
+
+/// One descriptive unit in the hierarchy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DescriptionUnit {
+    /// Slug used in paths, e.g. `a5g` (unique among siblings).
+    pub slug: String,
+    /// Level of description.
+    pub level: Level,
+    /// Title proper.
+    pub title: String,
+    /// Covering dates, milliseconds (inclusive).
+    pub date_range_ms: (u64, u64),
+    /// Extent statement (e.g. "1 TB of scanned TIFF masters").
+    pub extent: String,
+    /// Scope and content note.
+    pub scope: String,
+    /// Records attached at this unit (normally only at `Item`/`File`).
+    pub records: Vec<RecordId>,
+    /// Child units.
+    pub children: Vec<DescriptionUnit>,
+}
+
+impl DescriptionUnit {
+    /// A new unit at `level` with empty notes.
+    pub fn new(level: Level, slug: impl Into<String>, title: impl Into<String>) -> Self {
+        DescriptionUnit {
+            slug: slug.into(),
+            level,
+            title: title.into(),
+            date_range_ms: (0, 0),
+            extent: String::new(),
+            scope: String::new(),
+            records: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Set covering dates (builder).
+    pub fn dated(mut self, from_ms: u64, to_ms: u64) -> Self {
+        assert!(from_ms <= to_ms, "date range must be ordered");
+        self.date_range_ms = (from_ms, to_ms);
+        self
+    }
+
+    /// Set the extent statement (builder).
+    pub fn with_extent(mut self, extent: impl Into<String>) -> Self {
+        self.extent = extent.into();
+        self
+    }
+
+    /// Set the scope note (builder).
+    pub fn with_scope(mut self, scope: impl Into<String>) -> Self {
+        self.scope = scope.into();
+        self
+    }
+
+    /// Attach a child unit; enforces the level hierarchy and sibling slug
+    /// uniqueness.
+    pub fn add_child(&mut self, child: DescriptionUnit) -> Result<&mut DescriptionUnit> {
+        let expected = self.level.child_level().ok_or_else(|| {
+            ArchivalError::InvariantViolation("items cannot have children".into())
+        })?;
+        if child.level != expected {
+            return Err(ArchivalError::InvariantViolation(format!(
+                "a {:?} may only contain {:?} units, got {:?}",
+                self.level, expected, child.level
+            )));
+        }
+        if self.children.iter().any(|c| c.slug == child.slug) {
+            return Err(ArchivalError::InvariantViolation(format!(
+                "duplicate sibling slug '{}'",
+                child.slug
+            )));
+        }
+        self.children.push(child);
+        Ok(self.children.last_mut().unwrap())
+    }
+
+    /// Attach a record to this unit.
+    pub fn attach_record(&mut self, id: RecordId) {
+        if !self.records.contains(&id) {
+            self.records.push(id);
+        }
+    }
+
+    /// Total records attached at or below this unit.
+    pub fn record_count(&self) -> usize {
+        self.records.len() + self.children.iter().map(|c| c.record_count()).sum::<usize>()
+    }
+}
+
+/// A creator's described holdings rooted at a fonds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FindingAid {
+    /// The fonds-level unit.
+    pub fonds: DescriptionUnit,
+    /// The records creator (provenance at the fonds level).
+    pub creator: String,
+}
+
+impl FindingAid {
+    /// Start a finding aid for `creator`'s fonds.
+    pub fn new(creator: impl Into<String>, fonds: DescriptionUnit) -> Result<Self> {
+        if fonds.level != Level::Fonds {
+            return Err(ArchivalError::InvariantViolation(
+                "a finding aid must be rooted at a fonds".into(),
+            ));
+        }
+        Ok(FindingAid { creator: creator.into(), fonds })
+    }
+
+    /// Locate a unit by slash-separated slug path (e.g. `a5g/series-1`),
+    /// starting below the fonds.
+    pub fn unit(&self, path: &str) -> Option<&DescriptionUnit> {
+        let mut current = &self.fonds;
+        if path.is_empty() {
+            return Some(current);
+        }
+        for part in path.split('/') {
+            current = current.children.iter().find(|c| c.slug == part)?;
+        }
+        Some(current)
+    }
+
+    /// Mutable lookup by path.
+    pub fn unit_mut(&mut self, path: &str) -> Option<&mut DescriptionUnit> {
+        let mut current = &mut self.fonds;
+        if path.is_empty() {
+            return Some(current);
+        }
+        for part in path.split('/') {
+            current = current.children.iter_mut().find(|c| c.slug == part)?;
+        }
+        Some(current)
+    }
+
+    /// Map every record id to its arrangement path.
+    pub fn record_paths(&self) -> BTreeMap<RecordId, String> {
+        fn walk(
+            unit: &DescriptionUnit,
+            prefix: &str,
+            out: &mut BTreeMap<RecordId, String>,
+        ) {
+            let path = if prefix.is_empty() {
+                unit.slug.clone()
+            } else {
+                format!("{prefix}/{}", unit.slug)
+            };
+            for r in &unit.records {
+                out.insert(r.clone(), path.clone());
+            }
+            for c in &unit.children {
+                walk(c, &path, out);
+            }
+        }
+        let mut out = BTreeMap::new();
+        walk(&self.fonds, "", &mut out);
+        out
+    }
+
+    /// Render a plain-text finding aid (the access copy researchers read).
+    pub fn render(&self) -> String {
+        fn walk(unit: &DescriptionUnit, depth: usize, out: &mut String) {
+            let indent = "  ".repeat(depth);
+            out.push_str(&format!(
+                "{indent}[{:?}] {} ({})\n",
+                unit.level, unit.title, unit.slug
+            ));
+            if !unit.extent.is_empty() {
+                out.push_str(&format!("{indent}  extent: {}\n", unit.extent));
+            }
+            if !unit.scope.is_empty() {
+                out.push_str(&format!("{indent}  scope: {}\n", unit.scope));
+            }
+            if !unit.records.is_empty() {
+                out.push_str(&format!("{indent}  records: {}\n", unit.records.len()));
+            }
+            for c in &unit.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        let mut out = format!("FINDING AID — fonds of {}\n", self.creator);
+        walk(&self.fonds, 0, &mut out);
+        out
+    }
+
+    /// Depth-first iterator over all units (fonds included).
+    pub fn units(&self) -> Vec<&DescriptionUnit> {
+        fn walk<'a>(u: &'a DescriptionUnit, out: &mut Vec<&'a DescriptionUnit>) {
+            out.push(u);
+            for c in &u.children {
+                walk(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.fonds, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_aid() -> FindingAid {
+        let mut fonds = DescriptionUnit::new(Level::Fonds, "a5g", "Fund A5G (First World War)")
+            .dated(0, 1_000_000)
+            .with_extent("1 TB of digitised files")
+            .with_scope("reports, correspondence, circulars");
+        let mut series =
+            DescriptionUnit::new(Level::Series, "reports", "Operational reports");
+        let mut file = DescriptionUnit::new(Level::File, "1916", "Reports of 1916");
+        let mut item = DescriptionUnit::new(Level::Item, "r-0001", "Report no. 1");
+        item.attach_record(RecordId::new("rec-0001"));
+        file.add_child(item).unwrap();
+        series.add_child(file).unwrap();
+        fonds.add_child(series).unwrap();
+        fonds
+            .add_child(DescriptionUnit::new(Level::Series, "correspondence", "Correspondence"))
+            .unwrap();
+        FindingAid::new("Ministry of War", fonds).unwrap()
+    }
+
+    #[test]
+    fn hierarchy_levels_enforced() {
+        let mut fonds = DescriptionUnit::new(Level::Fonds, "f", "F");
+        // Fonds cannot directly contain a file.
+        let err = fonds.add_child(DescriptionUnit::new(Level::File, "x", "X"));
+        assert!(err.is_err());
+        // Items cannot have children.
+        let mut item = DescriptionUnit::new(Level::Item, "i", "I");
+        assert!(item.add_child(DescriptionUnit::new(Level::Item, "j", "J")).is_err());
+    }
+
+    #[test]
+    fn sibling_slugs_unique() {
+        let mut fonds = DescriptionUnit::new(Level::Fonds, "f", "F");
+        fonds.add_child(DescriptionUnit::new(Level::Series, "s", "S1")).unwrap();
+        assert!(fonds.add_child(DescriptionUnit::new(Level::Series, "s", "S2")).is_err());
+    }
+
+    #[test]
+    fn finding_aid_requires_fonds_root() {
+        let series = DescriptionUnit::new(Level::Series, "s", "S");
+        assert!(FindingAid::new("c", series).is_err());
+    }
+
+    #[test]
+    fn path_lookup() {
+        let aid = sample_aid();
+        assert!(aid.unit("").is_some());
+        let file = aid.unit("reports/1916").unwrap();
+        assert_eq!(file.title, "Reports of 1916");
+        assert!(aid.unit("reports/1917").is_none());
+        let item = aid.unit("reports/1916/r-0001").unwrap();
+        assert_eq!(item.records.len(), 1);
+    }
+
+    #[test]
+    fn unit_mut_allows_later_description() {
+        let mut aid = sample_aid();
+        aid.unit_mut("correspondence").unwrap().scope = "letters to the front".into();
+        assert_eq!(aid.unit("correspondence").unwrap().scope, "letters to the front");
+    }
+
+    #[test]
+    fn record_paths_map_full_arrangement() {
+        let aid = sample_aid();
+        let paths = aid.record_paths();
+        assert_eq!(
+            paths.get(&RecordId::new("rec-0001")).unwrap(),
+            "a5g/reports/1916/r-0001"
+        );
+    }
+
+    #[test]
+    fn record_count_aggregates() {
+        let mut aid = sample_aid();
+        assert_eq!(aid.fonds.record_count(), 1);
+        aid.unit_mut("reports/1916/r-0001")
+            .unwrap()
+            .attach_record(RecordId::new("rec-0002"));
+        // Attaching the same record twice is a no-op.
+        aid.unit_mut("reports/1916/r-0001")
+            .unwrap()
+            .attach_record(RecordId::new("rec-0002"));
+        assert_eq!(aid.fonds.record_count(), 2);
+    }
+
+    #[test]
+    fn render_mentions_all_units() {
+        let aid = sample_aid();
+        let text = aid.render();
+        for needle in [
+            "Ministry of War",
+            "Fund A5G",
+            "Operational reports",
+            "Reports of 1916",
+            "Correspondence",
+            "extent: 1 TB",
+        ] {
+            assert!(text.contains(needle), "finding aid missing {needle}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn units_iterates_depth_first() {
+        let aid = sample_aid();
+        let slugs: Vec<&str> = aid.units().iter().map(|u| u.slug.as_str()).collect();
+        assert_eq!(slugs, vec!["a5g", "reports", "1916", "r-0001", "correspondence"]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let aid = sample_aid();
+        let json = serde_json::to_string(&aid).unwrap();
+        let back: FindingAid = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.record_paths(), aid.record_paths());
+    }
+}

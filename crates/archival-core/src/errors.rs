@@ -1,0 +1,96 @@
+//! Error types for archival operations.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ArchivalError>;
+
+/// Errors arising from archival functions.
+#[derive(Debug)]
+pub enum ArchivalError {
+    /// Underlying storage failure (wraps `trustdb`).
+    Storage(trustdb::Error),
+    /// A submission failed validation (reason per record id).
+    ValidationFailed(Vec<(String, String)>),
+    /// Referenced record/package/unit does not exist.
+    NotFound(String),
+    /// An operation would violate an archival invariant.
+    InvariantViolation(String),
+    /// Access denied by policy.
+    AccessDenied { actor: String, resource: String, reason: String },
+    /// Disposition blocked (e.g. legal hold).
+    DispositionBlocked(String),
+    /// Serialization failure.
+    Codec(String),
+}
+
+impl fmt::Display for ArchivalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchivalError::Storage(e) => write!(f, "storage error: {e}"),
+            ArchivalError::ValidationFailed(errs) => {
+                write!(f, "validation failed for {} record(s): ", errs.len())?;
+                for (id, why) in errs.iter().take(3) {
+                    write!(f, "[{id}: {why}] ")?;
+                }
+                Ok(())
+            }
+            ArchivalError::NotFound(what) => write!(f, "not found: {what}"),
+            ArchivalError::InvariantViolation(d) => write!(f, "invariant violation: {d}"),
+            ArchivalError::AccessDenied { actor, resource, reason } => {
+                write!(f, "access denied: {actor} → {resource}: {reason}")
+            }
+            ArchivalError::DispositionBlocked(d) => write!(f, "disposition blocked: {d}"),
+            ArchivalError::Codec(d) => write!(f, "codec error: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchivalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArchivalError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<trustdb::Error> for ArchivalError {
+    fn from(e: trustdb::Error) -> Self {
+        ArchivalError::Storage(e)
+    }
+}
+
+impl From<serde_json::Error> for ArchivalError {
+    fn from(e: serde_json::Error) -> Self {
+        ArchivalError::Codec(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ArchivalError::NotFound("aip-7".into());
+        assert!(e.to_string().contains("aip-7"));
+        let e = ArchivalError::AccessDenied {
+            actor: "researcher".into(),
+            resource: "record-1".into(),
+            reason: "classification".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("researcher") && s.contains("record-1"));
+        let e = ArchivalError::ValidationFailed(vec![("r1".into(), "missing title".into())]);
+        assert!(e.to_string().contains("r1"));
+    }
+
+    #[test]
+    fn storage_error_converts_and_chains() {
+        let inner = trustdb::Error::NotFound("x".into());
+        let e: ArchivalError = inner.into();
+        assert!(matches!(e, ArchivalError::Storage(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,312 @@
+//! Per-record provenance: PREMIS-style event chains.
+//!
+//! Where the repository-wide audit log answers "what happened in the
+//! archive", provenance answers "what happened to *this record*" — the
+//! chain of custody that authenticity assessments inspect. Events are
+//! hash-linked per record, the same construction as the audit chain but
+//! scoped to one object, so a record's history travels with it inside an
+//! AIP and remains independently verifiable after dissemination.
+
+use crate::errors::{ArchivalError, Result};
+use crate::record::RecordId;
+use serde::{Deserialize, Serialize};
+use trustdb::hash::{sha256, Digest};
+
+/// PREMIS-inspired event types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventType {
+    /// Record created by its author/system.
+    Creation,
+    /// Transferred to the archive's custody.
+    Transfer,
+    /// Ingested into the preservation system.
+    Ingestion,
+    /// Fixity verified.
+    FixityCheck,
+    /// Migrated between formats or storage.
+    Migration,
+    /// Annotated/described (including AI-generated description).
+    Description,
+    /// Redacted for dissemination.
+    Redaction,
+    /// Disseminated to a consumer.
+    Dissemination,
+    /// An AI model produced a decision about this record.
+    AiProcessing,
+    /// A human verified or overrode an AI decision.
+    HumanVerification,
+}
+
+/// One provenance event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvenanceEvent {
+    /// Position in this record's chain.
+    pub seq: u64,
+    /// When it happened (ms).
+    pub timestamp_ms: u64,
+    /// Agent responsible (person, system, or model identifier).
+    pub agent: String,
+    /// What kind of event.
+    pub event_type: EventType,
+    /// Outcome ("success", "failure: …").
+    pub outcome: String,
+    /// Free-form detail, including AI paradata (model version, confidence).
+    pub detail: String,
+    /// Hash link to the previous event.
+    pub prev: Digest,
+    /// Hash of this event.
+    pub hash: Digest,
+}
+
+impl ProvenanceEvent {
+    fn compute_hash(&self) -> Digest {
+        let mut h = trustdb::hash::Sha256::new();
+        h.update(&self.seq.to_le_bytes());
+        h.update(&self.timestamp_ms.to_le_bytes());
+        for s in [&self.agent, &self.outcome, &self.detail] {
+            h.update(&(s.len() as u32).to_le_bytes());
+            h.update(s.as_bytes());
+        }
+        h.update(&[event_tag(self.event_type)]);
+        h.update(&self.prev.0);
+        h.finalize()
+    }
+}
+
+fn event_tag(e: EventType) -> u8 {
+    match e {
+        EventType::Creation => 0,
+        EventType::Transfer => 1,
+        EventType::Ingestion => 2,
+        EventType::FixityCheck => 3,
+        EventType::Migration => 4,
+        EventType::Description => 5,
+        EventType::Redaction => 6,
+        EventType::Dissemination => 7,
+        EventType::AiProcessing => 8,
+        EventType::HumanVerification => 9,
+    }
+}
+
+/// A record's complete, hash-linked event history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvenanceChain {
+    /// The record this chain belongs to.
+    pub record_id: RecordId,
+    events: Vec<ProvenanceEvent>,
+}
+
+impl ProvenanceChain {
+    /// Empty chain for a record.
+    pub fn new(record_id: impl Into<RecordId>) -> Self {
+        ProvenanceChain { record_id: record_id.into(), events: Vec::new() }
+    }
+
+    /// Append an event. Timestamps must be non-decreasing.
+    pub fn append(
+        &mut self,
+        timestamp_ms: u64,
+        agent: impl Into<String>,
+        event_type: EventType,
+        outcome: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Result<&ProvenanceEvent> {
+        let (seq, prev, floor) = match self.events.last() {
+            Some(e) => (e.seq + 1, e.hash, e.timestamp_ms),
+            None => (0, Digest::zero(), 0),
+        };
+        if timestamp_ms < floor {
+            return Err(ArchivalError::InvariantViolation(format!(
+                "provenance timestamps must be monotonic ({timestamp_ms} < {floor})"
+            )));
+        }
+        let mut event = ProvenanceEvent {
+            seq,
+            timestamp_ms,
+            agent: agent.into(),
+            event_type,
+            outcome: outcome.into(),
+            detail: detail.into(),
+            prev,
+            hash: Digest::zero(),
+        };
+        event.hash = event.compute_hash();
+        self.events.push(event);
+        Ok(self.events.last().unwrap())
+    }
+
+    /// Events in order.
+    pub fn events(&self) -> &[ProvenanceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the chain has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Digest of the latest event (commits to the whole history).
+    pub fn head(&self) -> Option<Digest> {
+        self.events.last().map(|e| e.hash)
+    }
+
+    /// Verify every hash link; errors identify the first broken index.
+    pub fn verify(&self) -> Result<()> {
+        let mut prev = Digest::zero();
+        let mut last_ts = 0u64;
+        for (i, e) in self.events.iter().enumerate() {
+            if e.seq != i as u64 || e.prev != prev || e.timestamp_ms < last_ts {
+                return Err(ArchivalError::InvariantViolation(format!(
+                    "provenance chain of {} broken at event {i}",
+                    self.record_id
+                )));
+            }
+            if e.compute_hash() != e.hash {
+                return Err(ArchivalError::InvariantViolation(format!(
+                    "provenance event {i} of {} has been altered",
+                    self.record_id
+                )));
+            }
+            prev = e.hash;
+            last_ts = e.timestamp_ms;
+        }
+        Ok(())
+    }
+
+    /// Does the chain contain an unbroken custody path: a `Creation` (or
+    /// `Transfer`) followed eventually by `Ingestion`? This is the minimal
+    /// custody criterion the authenticity assessment uses.
+    pub fn has_custody_path(&self) -> bool {
+        let mut origin_seen = false;
+        for e in &self.events {
+            match e.event_type {
+                EventType::Creation | EventType::Transfer => origin_seen = true,
+                EventType::Ingestion if origin_seen => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// All events by a given agent.
+    pub fn by_agent(&self, agent: &str) -> Vec<&ProvenanceEvent> {
+        self.events.iter().filter(|e| e.agent == agent).collect()
+    }
+
+    /// Digest of the serialized chain (stored in AIP manifests so chain and
+    /// manifest cannot drift apart).
+    pub fn content_digest(&self) -> Digest {
+        sha256(&serde_json::to_vec(self).unwrap_or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_with(n: u64) -> ProvenanceChain {
+        let mut c = ProvenanceChain::new("rec-1");
+        for i in 0..n {
+            c.append(i * 10, "agent", EventType::FixityCheck, "success", "").unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn append_links_and_verifies() {
+        let mut c = ProvenanceChain::new("rec-1");
+        c.append(1, "author", EventType::Creation, "success", "born digital").unwrap();
+        c.append(2, "archive", EventType::Ingestion, "success", "accession 7").unwrap();
+        assert_eq!(c.len(), 2);
+        c.verify().unwrap();
+        assert!(c.head().is_some());
+    }
+
+    #[test]
+    fn tampering_with_detail_detected() {
+        let mut c = chain_with(5);
+        c.events[2].detail = "rewritten history".into();
+        assert!(c.verify().is_err());
+    }
+
+    #[test]
+    fn tampering_with_event_type_detected() {
+        let mut c = chain_with(5);
+        c.events[1].event_type = EventType::Dissemination;
+        assert!(c.verify().is_err());
+    }
+
+    #[test]
+    fn removal_and_reorder_detected() {
+        let mut c = chain_with(5);
+        c.events.remove(0);
+        assert!(c.verify().is_err());
+        let mut c = chain_with(5);
+        c.events.swap(3, 4);
+        assert!(c.verify().is_err());
+    }
+
+    #[test]
+    fn monotonic_timestamps_required() {
+        let mut c = ProvenanceChain::new("rec-1");
+        c.append(100, "a", EventType::Creation, "success", "").unwrap();
+        assert!(c.append(50, "a", EventType::Ingestion, "success", "").is_err());
+    }
+
+    #[test]
+    fn custody_path_requires_origin_then_ingestion() {
+        let mut c = ProvenanceChain::new("rec-1");
+        assert!(!c.has_custody_path());
+        c.append(1, "archive", EventType::Ingestion, "success", "").unwrap();
+        // Ingestion without a preceding origin event is NOT custody.
+        assert!(!c.has_custody_path());
+
+        let mut c = ProvenanceChain::new("rec-2");
+        c.append(1, "author", EventType::Creation, "success", "").unwrap();
+        assert!(!c.has_custody_path());
+        c.append(2, "archive", EventType::Ingestion, "success", "").unwrap();
+        assert!(c.has_custody_path());
+
+        // Transfer counts as an origin too (for legacy records).
+        let mut c = ProvenanceChain::new("rec-3");
+        c.append(1, "donor", EventType::Transfer, "success", "").unwrap();
+        c.append(2, "archive", EventType::Ingestion, "success", "").unwrap();
+        assert!(c.has_custody_path());
+    }
+
+    #[test]
+    fn by_agent_filters() {
+        let mut c = ProvenanceChain::new("rec-1");
+        c.append(1, "model:vgglite-v1", EventType::AiProcessing, "success", "recto p=0.93")
+            .unwrap();
+        c.append(2, "archivist-b", EventType::HumanVerification, "success", "confirmed")
+            .unwrap();
+        c.append(3, "model:vgglite-v1", EventType::AiProcessing, "success", "verso p=0.88")
+            .unwrap();
+        assert_eq!(c.by_agent("model:vgglite-v1").len(), 2);
+        assert_eq!(c.by_agent("archivist-b").len(), 1);
+        assert!(c.by_agent("nobody").is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_verifiability() {
+        let c = chain_with(8);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ProvenanceChain = serde_json::from_str(&json).unwrap();
+        back.verify().unwrap();
+        assert_eq!(back.head(), c.head());
+        assert_eq!(back.content_digest(), c.content_digest());
+    }
+
+    #[test]
+    fn content_digest_reflects_changes() {
+        let a = chain_with(3);
+        let b = chain_with(4);
+        assert_ne!(a.content_digest(), b.content_digest());
+    }
+}

@@ -1,0 +1,325 @@
+//! The record: the atomic unit of archival preservation.
+//!
+//! Following the paper's definition (after Duranti & Thibodeau): a record is
+//! *information affixed to a medium, with stable content and fixed form,
+//! made or received in the course of an activity, and kept for further
+//! action or reference*. The fields here carry exactly the attributes the
+//! InterPARES tradition treats as constituting **identity** — and identity
+//! plus **integrity** constitute authenticity.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trustdb::hash::Digest;
+
+/// Stable identifier of a record within the archive.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RecordId(pub String);
+
+impl RecordId {
+    /// Construct from anything string-like.
+    pub fn new(s: impl Into<String>) -> Self {
+        RecordId(s.into())
+    }
+
+    /// The identifier text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for RecordId {
+    fn from(s: &str) -> Self {
+        RecordId(s.to_string())
+    }
+}
+
+impl From<String> for RecordId {
+    fn from(s: String) -> Self {
+        RecordId(s)
+    }
+}
+
+/// The medium/genre a record presents itself in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Medium {
+    /// Born-digital or digitised text.
+    Textual,
+    /// Still image (including digitised parchment/TIFF masters).
+    Visual,
+    /// Audio.
+    Aural,
+    /// Moving image.
+    AudioVisual,
+    /// Structured data (databases, telemetry, simulation output).
+    Dataset,
+    /// Composite/interactive objects (e.g. digital twins).
+    Interactive,
+}
+
+/// Documentary form: the rules of representation that give a record "fixed
+/// form". In diplomatics, form elements identify a document independent of
+/// its content — the basis for PergaNet's "identify text as documentary
+/// form and not as reading".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DocumentaryForm {
+    /// The medium/genre.
+    pub medium: Medium,
+    /// MIME-style format of the digital manifestation.
+    pub format: String,
+    /// Intrinsic form elements present (e.g. "signum tabellionis",
+    /// "letterhead", "seal", "signature block").
+    pub intrinsic_elements: Vec<String>,
+    /// Extrinsic/presentational features (e.g. "recto", "verso",
+    /// "two-column layout").
+    pub extrinsic_elements: Vec<String>,
+}
+
+impl DocumentaryForm {
+    /// Minimal textual form.
+    pub fn textual(format: impl Into<String>) -> Self {
+        DocumentaryForm {
+            medium: Medium::Textual,
+            format: format.into(),
+            intrinsic_elements: Vec::new(),
+            extrinsic_elements: Vec::new(),
+        }
+    }
+
+    /// Minimal visual form (digitised masters).
+    pub fn visual(format: impl Into<String>) -> Self {
+        DocumentaryForm {
+            medium: Medium::Visual,
+            format: format.into(),
+            intrinsic_elements: Vec::new(),
+            extrinsic_elements: Vec::new(),
+        }
+    }
+
+    /// Add an intrinsic element (builder style).
+    pub fn with_intrinsic(mut self, element: impl Into<String>) -> Self {
+        self.intrinsic_elements.push(element.into());
+        self
+    }
+
+    /// Add an extrinsic element (builder style).
+    pub fn with_extrinsic(mut self, element: impl Into<String>) -> Self {
+        self.extrinsic_elements.push(element.into());
+        self
+    }
+}
+
+/// Security classification governing access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Classification {
+    /// Open to everyone.
+    Public,
+    /// Requires researcher registration.
+    Restricted,
+    /// Requires archivist privileges (e.g. pending declassification review).
+    Confidential,
+}
+
+/// A record's descriptive and identity metadata. Content itself lives in the
+/// content-addressed store; `content_digest` binds metadata to content.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Stable archival identifier.
+    pub id: RecordId,
+    /// Title or caption.
+    pub title: String,
+    /// The person/organization that made or received the record.
+    pub creator: String,
+    /// Moment of creation, milliseconds since epoch.
+    pub created_at_ms: u64,
+    /// The activity in whose course the record arose (procedural context).
+    pub activity: String,
+    /// Documentary form.
+    pub form: DocumentaryForm,
+    /// SHA-256 of the content bytes (identity-binding).
+    pub content_digest: Digest,
+    /// Content size in bytes.
+    pub content_size: u64,
+    /// Access classification.
+    pub classification: Classification,
+    /// Archival arrangement path, e.g. `fonds/series/file` (empty until
+    /// arranged).
+    pub arrangement: Option<String>,
+}
+
+impl Record {
+    /// Build a record over content bytes, computing the binding digest.
+    #[allow(clippy::too_many_arguments)]
+    pub fn over_content(
+        id: impl Into<RecordId>,
+        title: impl Into<String>,
+        creator: impl Into<String>,
+        created_at_ms: u64,
+        activity: impl Into<String>,
+        form: DocumentaryForm,
+        classification: Classification,
+        content: &[u8],
+    ) -> Self {
+        Record {
+            id: id.into(),
+            title: title.into(),
+            creator: creator.into(),
+            created_at_ms,
+            activity: activity.into(),
+            form,
+            content_digest: trustdb::hash::sha256(content),
+            content_size: content.len() as u64,
+            classification,
+            arrangement: None,
+        }
+    }
+
+    /// The identity fields a forger would have to reproduce, in canonical
+    /// order — hashing this gives an identity fingerprint used by
+    /// authenticity checks.
+    pub fn identity_fingerprint(&self) -> Digest {
+        let mut h = trustdb::hash::Sha256::new();
+        for field in [
+            self.id.as_str(),
+            &self.title,
+            &self.creator,
+            &self.activity,
+        ] {
+            h.update(&(field.len() as u32).to_le_bytes());
+            h.update(field.as_bytes());
+        }
+        h.update(&self.created_at_ms.to_le_bytes());
+        h.update(&self.content_digest.0);
+        h.finalize()
+    }
+
+    /// Metadata completeness in `[0,1]`: the share of identity-bearing
+    /// fields that are non-empty. Feeds the reliability pillar of the trust
+    /// assessment.
+    pub fn completeness(&self) -> f64 {
+        let checks = [
+            !self.id.as_str().is_empty(),
+            !self.title.is_empty(),
+            !self.creator.is_empty(),
+            self.created_at_ms > 0,
+            !self.activity.is_empty(),
+            !self.form.format.is_empty(),
+            self.arrangement.is_some(),
+        ];
+        checks.iter().filter(|&&c| c).count() as f64 / checks.len() as f64
+    }
+}
+
+impl From<RecordId> for String {
+    fn from(id: RecordId) -> String {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        Record::over_content(
+            "acs/a5g/0001",
+            "Report on supply lines",
+            "Ministry of War",
+            1_600_000_000_000,
+            "wartime correspondence",
+            DocumentaryForm::textual("text/plain").with_intrinsic("signature block"),
+            Classification::Public,
+            b"report body",
+        )
+    }
+
+    #[test]
+    fn over_content_binds_digest() {
+        let r = sample();
+        assert_eq!(r.content_digest, trustdb::hash::sha256(b"report body"));
+        assert_eq!(r.content_size, 11);
+    }
+
+    #[test]
+    fn identity_fingerprint_changes_with_any_identity_field() {
+        let base = sample().identity_fingerprint();
+        let mut r = sample();
+        r.title = "Altered title".into();
+        assert_ne!(r.identity_fingerprint(), base);
+        let mut r = sample();
+        r.creator = "Someone else".into();
+        assert_ne!(r.identity_fingerprint(), base);
+        let mut r = sample();
+        r.created_at_ms += 1;
+        assert_ne!(r.identity_fingerprint(), base);
+        let mut r = sample();
+        r.content_digest = trustdb::hash::sha256(b"other content");
+        assert_ne!(r.identity_fingerprint(), base);
+        // Classification is access metadata, not identity: changing it must
+        // NOT change the fingerprint.
+        let mut r = sample();
+        r.classification = Classification::Confidential;
+        assert_eq!(r.identity_fingerprint(), base);
+    }
+
+    #[test]
+    fn identity_fingerprint_resists_field_splicing() {
+        let mut a = sample();
+        a.title = "ab".into();
+        a.creator = "c".into();
+        let mut b = sample();
+        b.title = "a".into();
+        b.creator = "bc".into();
+        assert_ne!(a.identity_fingerprint(), b.identity_fingerprint());
+    }
+
+    #[test]
+    fn completeness_counts_fields() {
+        let mut r = sample();
+        // All but arrangement present: 6/7.
+        assert!((r.completeness() - 6.0 / 7.0).abs() < 1e-9);
+        r.arrangement = Some("fonds-a5g/series-1".into());
+        assert!((r.completeness() - 1.0).abs() < 1e-9);
+        r.title.clear();
+        r.creator.clear();
+        assert!((r.completeness() - 5.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn documentary_form_builders() {
+        let f = DocumentaryForm::visual("image/tiff")
+            .with_intrinsic("signum tabellionis")
+            .with_extrinsic("recto");
+        assert_eq!(f.medium, Medium::Visual);
+        assert_eq!(f.intrinsic_elements, vec!["signum tabellionis"]);
+        assert_eq!(f.extrinsic_elements, vec!["recto"]);
+    }
+
+    #[test]
+    fn classification_ordering_supports_clearance_checks() {
+        assert!(Classification::Public < Classification::Restricted);
+        assert!(Classification::Restricted < Classification::Confidential);
+    }
+
+    #[test]
+    fn record_serde_round_trip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Record = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.identity_fingerprint(), r.identity_fingerprint());
+    }
+
+    #[test]
+    fn record_id_display_and_from() {
+        let id: RecordId = "abc".into();
+        assert_eq!(id.to_string(), "abc");
+        let s: String = id.into();
+        assert_eq!(s, "abc");
+    }
+}

@@ -1,0 +1,412 @@
+//! Rule-based redaction of sensitive spans in textual content.
+//!
+//! The ESCS study (Section 3.1) names the concrete risk: transferring call
+//! data to a research environment leaks phone numbers and GPS coordinates.
+//! This module removes (or coarsens) such spans deterministically — no
+//! regex dependency, just small hand-rolled scanners — and reports exactly
+//! what was removed so the dissemination record is honest about its own
+//! processing. D8 property-tests that no recognizable span survives.
+
+use serde::{Deserialize, Serialize};
+
+/// Category of sensitive content a rule targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensitiveCategory {
+    /// North-American-style phone numbers.
+    Phone,
+    /// Decimal GPS coordinate pairs.
+    Gps,
+    /// Email addresses.
+    Email,
+    /// National identifier pattern (SSN-like `ddd-dd-dddd`).
+    NationalId,
+}
+
+impl SensitiveCategory {
+    /// Stable lowercase label for logs and DIP notes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SensitiveCategory::Phone => "phone",
+            SensitiveCategory::Gps => "gps",
+            SensitiveCategory::Email => "email",
+            SensitiveCategory::NationalId => "national-id",
+        }
+    }
+}
+
+/// One redacted span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RedactedSpan {
+    /// Category matched.
+    pub category: SensitiveCategory,
+    /// Byte offset in the *original* text.
+    pub start: usize,
+    /// Byte length of the original span.
+    pub len: usize,
+}
+
+/// Result of redacting one text.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RedactionOutcome {
+    /// The text with sensitive spans replaced by `[REDACTED:<cat>]`.
+    pub text: String,
+    /// The spans removed, in order of appearance.
+    pub spans: Vec<RedactedSpan>,
+}
+
+impl RedactionOutcome {
+    /// Distinct category labels present, sorted.
+    pub fn categories(&self) -> Vec<String> {
+        let mut cats: Vec<String> =
+            self.spans.iter().map(|s| s.category.label().to_string()).collect();
+        cats.sort();
+        cats.dedup();
+        cats
+    }
+}
+
+/// Deterministic scanner-based redactor.
+#[derive(Debug, Clone)]
+pub struct Redactor {
+    categories: Vec<SensitiveCategory>,
+}
+
+impl Default for Redactor {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+impl Redactor {
+    /// Redact every supported category.
+    pub fn all() -> Self {
+        Redactor {
+            categories: vec![
+                SensitiveCategory::Email,
+                SensitiveCategory::Phone,
+                SensitiveCategory::NationalId,
+                SensitiveCategory::Gps,
+            ],
+        }
+    }
+
+    /// Redact only the listed categories.
+    pub fn for_categories(categories: Vec<SensitiveCategory>) -> Self {
+        Redactor { categories }
+    }
+
+    /// Redact `text`, replacing each matched span with a `[REDACTED:…]`
+    /// marker.
+    pub fn redact(&self, text: &str) -> RedactionOutcome {
+        // Collect candidate spans from every enabled scanner, then resolve
+        // overlaps preferring earlier starts / longer spans.
+        let mut candidates: Vec<RedactedSpan> = Vec::new();
+        for &cat in &self.categories {
+            let found = match cat {
+                SensitiveCategory::Phone => scan_phone(text),
+                SensitiveCategory::Gps => scan_gps(text),
+                SensitiveCategory::Email => scan_email(text),
+                SensitiveCategory::NationalId => scan_national_id(text),
+            };
+            candidates.extend(found.into_iter().map(|(start, len)| RedactedSpan {
+                category: cat,
+                start,
+                len,
+            }));
+        }
+        candidates.sort_by(|a, b| a.start.cmp(&b.start).then(b.len.cmp(&a.len)));
+        let mut spans: Vec<RedactedSpan> = Vec::with_capacity(candidates.len());
+        let mut cursor = 0usize;
+        for c in candidates {
+            if c.start >= cursor {
+                cursor = c.start + c.len;
+                spans.push(c);
+            }
+        }
+        // Rebuild the text with markers.
+        let mut out = String::with_capacity(text.len());
+        let mut pos = 0usize;
+        for s in &spans {
+            out.push_str(&text[pos..s.start]);
+            out.push_str("[REDACTED:");
+            out.push_str(s.category.label());
+            out.push(']');
+            pos = s.start + s.len;
+        }
+        out.push_str(&text[pos..]);
+        RedactionOutcome { text: out, spans }
+    }
+
+    /// Convenience: does `text` contain anything this redactor would remove?
+    pub fn contains_sensitive(&self, text: &str) -> bool {
+        !self.redact(text).spans.is_empty()
+    }
+}
+
+/// Scan for phone numbers: sequences of ≥10 digits allowing separators
+/// `-`, `.`, ` `, `(`, `)`, `+` (e.g. `(555) 123-4567`, `+1-555-123-4567`).
+fn scan_phone(text: &str) -> Vec<(usize, usize)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() || bytes[i] == b'+' || bytes[i] == b'(' {
+            let start = i;
+            let mut digits = 0usize;
+            let mut j = i;
+            let mut last_digit_end = i;
+            while j < bytes.len() {
+                let b = bytes[j];
+                if b.is_ascii_digit() {
+                    digits += 1;
+                    j += 1;
+                    last_digit_end = j;
+                } else if matches!(b, b'-' | b'.' | b' ' | b'(' | b')' | b'+') {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            if (10..=15).contains(&digits) {
+                out.push((start, last_digit_end - start));
+            }
+            i = j.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Scan for GPS pairs: `±dd.ddd…, ±ddd.ddd…` with ≥3 decimal places each
+/// (plain integers and short decimals are left alone).
+fn scan_gps(text: &str) -> Vec<(usize, usize)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if let Some((lat_len, _)) = parse_decimal(bytes, i, 3) {
+            let mut j = i + lat_len;
+            // separator: comma and/or spaces
+            let sep_start = j;
+            while j < bytes.len() && (bytes[j] == b',' || bytes[j] == b' ') {
+                j += 1;
+            }
+            if j > sep_start {
+                if let Some((lon_len, _)) = parse_decimal(bytes, j, 3) {
+                    out.push((i, j + lon_len - i));
+                    i = j + lon_len;
+                    continue;
+                }
+            }
+            i += lat_len.max(1);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parse `[+-]?digits.digits{min_frac,}` at `pos`; returns (length, frac digits).
+/// Rejects when the previous byte is alphanumeric (mid-token).
+fn parse_decimal(bytes: &[u8], pos: usize, min_frac: usize) -> Option<(usize, usize)> {
+    if pos > 0 && (bytes[pos - 1].is_ascii_alphanumeric() || bytes[pos - 1] == b'.') {
+        return None;
+    }
+    let mut j = pos;
+    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+        j += 1;
+    }
+    let int_start = j;
+    while j < bytes.len() && bytes[j].is_ascii_digit() {
+        j += 1;
+    }
+    if j == int_start || j - int_start > 3 {
+        return None; // no integer part, or too long for a lat/lon
+    }
+    if j >= bytes.len() || bytes[j] != b'.' {
+        return None;
+    }
+    j += 1;
+    let frac_start = j;
+    while j < bytes.len() && bytes[j].is_ascii_digit() {
+        j += 1;
+    }
+    let frac = j - frac_start;
+    if frac < min_frac {
+        return None;
+    }
+    Some((j - pos, frac))
+}
+
+/// Scan for emails: `local@domain.tld` where local/domain are
+/// `[A-Za-z0-9._%+-]` / `[A-Za-z0-9.-]` and tld is ≥2 alphabetic chars.
+fn scan_email(text: &str) -> Vec<(usize, usize)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'@' {
+            continue;
+        }
+        // Extend left over local-part chars.
+        let mut start = i;
+        while start > 0 {
+            let c = bytes[start - 1];
+            if c.is_ascii_alphanumeric() || matches!(c, b'.' | b'_' | b'%' | b'+' | b'-') {
+                start -= 1;
+            } else {
+                break;
+            }
+        }
+        if start == i {
+            continue;
+        }
+        // Extend right over domain chars; require a dot followed by ≥2 letters.
+        let mut j = i + 1;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'.' || bytes[j] == b'-')
+        {
+            j += 1;
+        }
+        let domain = &text[i + 1..j];
+        if let Some(dot) = domain.rfind('.') {
+            let tld = &domain[dot + 1..];
+            if tld.len() >= 2 && tld.chars().all(|c| c.is_ascii_alphabetic()) && dot > 0 {
+                out.push((start, j - start));
+            }
+        }
+    }
+    out
+}
+
+/// Scan for SSN-like ids: `ddd-dd-dddd` with non-digit boundaries.
+fn scan_national_id(text: &str) -> Vec<(usize, usize)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    if bytes.len() < 11 {
+        return out;
+    }
+    for i in 0..=bytes.len() - 11 {
+        let w = &bytes[i..i + 11];
+        let shape_ok = w[0].is_ascii_digit()
+            && w[1].is_ascii_digit()
+            && w[2].is_ascii_digit()
+            && w[3] == b'-'
+            && w[4].is_ascii_digit()
+            && w[5].is_ascii_digit()
+            && w[6] == b'-'
+            && (7..11).all(|k| w[k].is_ascii_digit());
+        let left_ok = i == 0 || !(bytes[i - 1].is_ascii_digit() || bytes[i - 1] == b'-');
+        let right_ok =
+            i + 11 == bytes.len() || !(bytes[i + 11].is_ascii_digit() || bytes[i + 11] == b'-');
+        if shape_ok && left_ok && right_ok {
+            out.push((i, 11));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phone_numbers_redacted() {
+        let r = Redactor::all();
+        for text in [
+            "call 555-123-4567 now",
+            "call (555) 123-4567 now",
+            "call +1 555 123 4567 now",
+            "call 5551234567 now",
+        ] {
+            let out = r.redact(text);
+            assert!(out.text.contains("[REDACTED:phone]"), "{text} → {}", out.text);
+            assert!(!out.text.contains("4567"), "{text} → {}", out.text);
+        }
+    }
+
+    #[test]
+    fn short_numbers_untouched() {
+        let r = Redactor::all();
+        let out = r.redact("unit 42 responded to 911 at door 12345");
+        assert!(out.spans.is_empty(), "{:?}", out);
+        assert_eq!(out.text, "unit 42 responded to 911 at door 12345");
+    }
+
+    #[test]
+    fn gps_pairs_redacted() {
+        let r = Redactor::all();
+        let out = r.redact("caller at 47.6097, -122.3331 reported smoke");
+        assert!(out.text.contains("[REDACTED:gps]"), "{}", out.text);
+        assert!(!out.text.contains("47.6097"));
+        assert!(!out.text.contains("122.3331"));
+    }
+
+    #[test]
+    fn plain_decimals_untouched() {
+        let r = Redactor::for_categories(vec![SensitiveCategory::Gps]);
+        let out = r.redact("response time was 3.5 minutes; budget 12.75 dollars");
+        assert!(out.spans.is_empty(), "{:?}", out.spans);
+    }
+
+    #[test]
+    fn emails_redacted() {
+        let r = Redactor::all();
+        let out = r.redact("contact jane.doe+archives@example.org for access");
+        assert!(out.text.contains("[REDACTED:email]"));
+        assert!(!out.text.contains("example.org"));
+        // Not-an-email '@' untouched.
+        let out = r.redact("meet @ the station");
+        assert!(out.spans.is_empty());
+    }
+
+    #[test]
+    fn national_id_redacted_with_boundaries() {
+        let r = Redactor::all();
+        let out = r.redact("SSN 123-45-6789 on file");
+        assert!(out.text.contains("[REDACTED:national-id]"));
+        // Longer digit runs are not SSNs.
+        let out = r.redact("case 1123-45-67891");
+        assert!(!out.text.contains("national-id"), "{}", out.text);
+    }
+
+    #[test]
+    fn multiple_and_adjacent_spans() {
+        let r = Redactor::all();
+        let out = r.redact("p: 555-123-4567 e: a@b.co g: 12.345,67.890");
+        assert_eq!(out.spans.len(), 3, "{:?}", out.spans);
+        assert_eq!(out.categories(), vec!["email", "gps", "phone"]);
+        // Spans report original offsets in ascending order.
+        for w in out.spans.windows(2) {
+            assert!(w[0].start + w[0].len <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn category_selection_respected() {
+        let r = Redactor::for_categories(vec![SensitiveCategory::Email]);
+        let out = r.redact("p: 555-123-4567 e: a@b.co");
+        assert_eq!(out.spans.len(), 1);
+        assert_eq!(out.spans[0].category, SensitiveCategory::Email);
+        assert!(out.text.contains("555-123-4567"), "phone left in place");
+    }
+
+    #[test]
+    fn empty_and_clean_text() {
+        let r = Redactor::all();
+        assert_eq!(r.redact("").text, "");
+        let clean = "the archivist described the fonds in detail";
+        let out = r.redact(clean);
+        assert_eq!(out.text, clean);
+        assert!(!r.contains_sensitive(clean));
+        assert!(r.contains_sensitive("555-123-4567"));
+    }
+
+    #[test]
+    fn idempotent_on_own_output() {
+        let r = Redactor::all();
+        let once = r.redact("call 555-123-4567 or mail x@y.org at 47.123,-122.456");
+        let twice = r.redact(&once.text);
+        assert!(twice.spans.is_empty(), "second pass found {:?}", twice.spans);
+        assert_eq!(twice.text, once.text);
+    }
+}

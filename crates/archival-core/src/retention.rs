@@ -1,0 +1,379 @@
+//! Retention schedules and disposition.
+//!
+//! "Trusted data forever" does not mean *all* data forever: the paper's
+//! conclusion lists records being "duly destroyed when required" among the
+//! project's goals. A retention schedule assigns each records class a
+//! retention period and a disposition action; destruction happens only
+//! under that authority, is blocked by legal holds, and is itself audited
+//! (destruction without documentation is indistinguishable from loss).
+
+use crate::errors::{ArchivalError, Result};
+use crate::record::{Record, RecordId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use trustdb::audit::{AuditAction, AuditLog};
+use trustdb::store::{Backend, ObjectStore};
+
+/// What happens when a retention period lapses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Disposition {
+    /// Keep permanently (archival selection).
+    Permanent,
+    /// Destroy under authority.
+    Destroy,
+    /// Transfer to another custodian.
+    Transfer,
+    /// Escalate to a human review queue.
+    Review,
+}
+
+/// One rule of a retention schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RetentionRule {
+    /// Identifier of the records class this rule covers (matched against a
+    /// record's `activity` field).
+    pub records_class: String,
+    /// How long after creation the record is retained (ms);
+    /// `None` = forever (only meaningful with [`Disposition::Permanent`]).
+    pub retention_ms: Option<u64>,
+    /// Action at lapse.
+    pub disposition: Disposition,
+    /// Citation of the legal/organizational authority for the rule.
+    pub authority: String,
+}
+
+/// A named set of retention rules.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RetentionSchedule {
+    rules: BTreeMap<String, RetentionRule>,
+}
+
+impl RetentionSchedule {
+    /// Empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or replace) a rule; rejects a finite-period `Permanent` rule and
+    /// an infinite-period destruction rule as contradictions.
+    pub fn add_rule(&mut self, rule: RetentionRule) -> Result<()> {
+        match (rule.disposition, rule.retention_ms) {
+            (Disposition::Permanent, Some(_)) => {
+                return Err(ArchivalError::InvariantViolation(
+                    "a permanent rule cannot carry a retention period".into(),
+                ))
+            }
+            (Disposition::Destroy | Disposition::Transfer | Disposition::Review, None) => {
+                return Err(ArchivalError::InvariantViolation(
+                    "a non-permanent rule needs a retention period".into(),
+                ))
+            }
+            _ => {}
+        }
+        self.rules.insert(rule.records_class.clone(), rule);
+        Ok(())
+    }
+
+    /// The rule covering a record (by its activity/records class), if any.
+    pub fn rule_for(&self, record: &Record) -> Option<&RetentionRule> {
+        self.rules.get(&record.activity)
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the schedule has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// What should happen to `record` at time `now_ms`.
+    pub fn due_action(&self, record: &Record, now_ms: u64) -> Option<Disposition> {
+        let rule = self.rule_for(record)?;
+        match rule.retention_ms {
+            None => None, // permanent: never due
+            Some(period) => {
+                if now_ms >= record.created_at_ms.saturating_add(period) {
+                    Some(rule.disposition)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// An executed (or blocked) disposition decision.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispositionOutcome {
+    /// Content destroyed; metadata retained as a destruction certificate.
+    Destroyed,
+    /// Retained because a legal hold applies.
+    BlockedByHold(String),
+    /// Queued for human review.
+    QueuedForReview,
+    /// Marked for transfer (content retained until transfer completes).
+    MarkedForTransfer,
+    /// Nothing due.
+    NotDue,
+}
+
+/// Executes a retention schedule against a store, honoring legal holds.
+pub struct DispositionEngine {
+    schedule: RetentionSchedule,
+    holds: BTreeMap<String, BTreeSet<RecordId>>,
+}
+
+impl DispositionEngine {
+    /// Engine over a schedule.
+    pub fn new(schedule: RetentionSchedule) -> Self {
+        DispositionEngine { schedule, holds: BTreeMap::new() }
+    }
+
+    /// Place a legal hold covering `records` under a matter id.
+    pub fn place_hold(&mut self, matter: impl Into<String>, records: impl IntoIterator<Item = RecordId>) {
+        self.holds.entry(matter.into()).or_default().extend(records);
+    }
+
+    /// Release a hold entirely. Returns whether it existed.
+    pub fn release_hold(&mut self, matter: &str) -> bool {
+        self.holds.remove(matter).is_some()
+    }
+
+    /// The matter ids holding a record, if any.
+    pub fn holds_on(&self, id: &RecordId) -> Vec<&str> {
+        self.holds
+            .iter()
+            .filter(|(_, set)| set.contains(id))
+            .map(|(m, _)| m.as_str())
+            .collect()
+    }
+
+    /// Apply the schedule to one record at `now_ms`. Destruction removes
+    /// content from the store and appends a Disposition audit entry; all
+    /// other outcomes only audit.
+    pub fn apply<B: Backend>(
+        &self,
+        record: &Record,
+        now_ms: u64,
+        store: &ObjectStore<B>,
+        audit: &AuditLog,
+        actor: &str,
+    ) -> Result<DispositionOutcome> {
+        let due = match self.schedule.due_action(record, now_ms) {
+            None => return Ok(DispositionOutcome::NotDue),
+            Some(d) => d,
+        };
+        let holds = self.holds_on(&record.id);
+        if !holds.is_empty() {
+            let matter = holds.join(",");
+            audit.append(
+                now_ms,
+                actor,
+                AuditAction::Disposition,
+                record.id.as_str(),
+                format!("disposition due but blocked by legal hold(s): {matter}"),
+            )?;
+            return Ok(DispositionOutcome::BlockedByHold(matter));
+        }
+        match due {
+            Disposition::Destroy => {
+                let existed = store.delete(&record.content_digest)?;
+                if !existed {
+                    return Err(ArchivalError::NotFound(format!(
+                        "content of {} already absent at destruction",
+                        record.id
+                    )));
+                }
+                audit.append(
+                    now_ms,
+                    actor,
+                    AuditAction::Disposition,
+                    record.id.as_str(),
+                    format!(
+                        "destroyed under authority '{}' (class {})",
+                        self.schedule.rule_for(record).map(|r| r.authority.as_str()).unwrap_or("?"),
+                        record.activity
+                    ),
+                )?;
+                Ok(DispositionOutcome::Destroyed)
+            }
+            Disposition::Review => {
+                audit.append(
+                    now_ms,
+                    actor,
+                    AuditAction::Disposition,
+                    record.id.as_str(),
+                    "queued for disposition review",
+                )?;
+                Ok(DispositionOutcome::QueuedForReview)
+            }
+            Disposition::Transfer => {
+                audit.append(
+                    now_ms,
+                    actor,
+                    AuditAction::Disposition,
+                    record.id.as_str(),
+                    "marked for transfer to successor custodian",
+                )?;
+                Ok(DispositionOutcome::MarkedForTransfer)
+            }
+            Disposition::Permanent => Ok(DispositionOutcome::NotDue),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Classification, DocumentaryForm};
+    use trustdb::store::MemoryBackend;
+
+    fn record(class: &str, created: u64, body: &[u8]) -> Record {
+        Record::over_content(
+            format!("rec-{class}-{created}"),
+            "t",
+            "c",
+            created,
+            class,
+            DocumentaryForm::textual("text/plain"),
+            Classification::Public,
+            body,
+        )
+    }
+
+    fn schedule() -> RetentionSchedule {
+        let mut s = RetentionSchedule::new();
+        s.add_rule(RetentionRule {
+            records_class: "routine-correspondence".into(),
+            retention_ms: Some(1_000),
+            disposition: Disposition::Destroy,
+            authority: "GDA-7".into(),
+        })
+        .unwrap();
+        s.add_rule(RetentionRule {
+            records_class: "cultural-heritage".into(),
+            retention_ms: None,
+            disposition: Disposition::Permanent,
+            authority: "Archives Act s.12".into(),
+        })
+        .unwrap();
+        s.add_rule(RetentionRule {
+            records_class: "case-files".into(),
+            retention_ms: Some(2_000),
+            disposition: Disposition::Review,
+            authority: "GDA-9".into(),
+        })
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn contradictory_rules_rejected() {
+        let mut s = RetentionSchedule::new();
+        assert!(s
+            .add_rule(RetentionRule {
+                records_class: "x".into(),
+                retention_ms: Some(5),
+                disposition: Disposition::Permanent,
+                authority: "a".into(),
+            })
+            .is_err());
+        assert!(s
+            .add_rule(RetentionRule {
+                records_class: "x".into(),
+                retention_ms: None,
+                disposition: Disposition::Destroy,
+                authority: "a".into(),
+            })
+            .is_err());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn due_action_respects_period_and_permanence() {
+        let s = schedule();
+        let routine = record("routine-correspondence", 100, b"memo");
+        assert_eq!(s.due_action(&routine, 500), None);
+        assert_eq!(s.due_action(&routine, 1_100), Some(Disposition::Destroy));
+        let heritage = record("cultural-heritage", 100, b"parchment");
+        assert_eq!(s.due_action(&heritage, u64::MAX), None);
+        let unscheduled = record("unknown-class", 100, b"x");
+        assert_eq!(s.due_action(&unscheduled, u64::MAX), None);
+    }
+
+    #[test]
+    fn destruction_removes_content_and_audits() {
+        let store = ObjectStore::new(MemoryBackend::new());
+        let audit = AuditLog::new();
+        let rec = record("routine-correspondence", 100, b"memo body");
+        store.put(b"memo body".to_vec()).unwrap();
+        let engine = DispositionEngine::new(schedule());
+        let out = engine.apply(&rec, 2_000, &store, &audit, "rm-bot").unwrap();
+        assert_eq!(out, DispositionOutcome::Destroyed);
+        assert!(!store.contains(&rec.content_digest));
+        let entries = audit.query(|e| e.action == AuditAction::Disposition);
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].detail.contains("GDA-7"));
+    }
+
+    #[test]
+    fn legal_hold_blocks_destruction() {
+        let store = ObjectStore::new(MemoryBackend::new());
+        let audit = AuditLog::new();
+        let rec = record("routine-correspondence", 100, b"subpoenaed memo");
+        store.put(b"subpoenaed memo".to_vec()).unwrap();
+        let mut engine = DispositionEngine::new(schedule());
+        engine.place_hold("matter-2022-17", [rec.id.clone()]);
+        let out = engine.apply(&rec, 2_000, &store, &audit, "rm-bot").unwrap();
+        assert_eq!(out, DispositionOutcome::BlockedByHold("matter-2022-17".into()));
+        assert!(store.contains(&rec.content_digest), "content must survive");
+        // Release the hold → destruction proceeds.
+        assert!(engine.release_hold("matter-2022-17"));
+        assert!(!engine.release_hold("matter-2022-17"));
+        let out = engine.apply(&rec, 3_000, &store, &audit, "rm-bot").unwrap();
+        assert_eq!(out, DispositionOutcome::Destroyed);
+    }
+
+    #[test]
+    fn multiple_holds_all_reported() {
+        let mut engine = DispositionEngine::new(schedule());
+        let id = RecordId::new("r");
+        engine.place_hold("m1", [id.clone()]);
+        engine.place_hold("m2", [id.clone()]);
+        let holds = engine.holds_on(&id);
+        assert_eq!(holds, vec!["m1", "m2"]);
+    }
+
+    #[test]
+    fn review_and_not_due_paths() {
+        let store = ObjectStore::new(MemoryBackend::new());
+        let audit = AuditLog::new();
+        let engine = DispositionEngine::new(schedule());
+        let case = record("case-files", 0, b"case");
+        store.put(b"case".to_vec()).unwrap();
+        assert_eq!(
+            engine.apply(&case, 1_000, &store, &audit, "a").unwrap(),
+            DispositionOutcome::NotDue
+        );
+        assert_eq!(
+            engine.apply(&case, 2_500, &store, &audit, "a").unwrap(),
+            DispositionOutcome::QueuedForReview
+        );
+        assert!(store.contains(&case.content_digest));
+    }
+
+    #[test]
+    fn destroying_missing_content_is_an_error() {
+        let store = ObjectStore::new(MemoryBackend::new());
+        let audit = AuditLog::new();
+        let rec = record("routine-correspondence", 0, b"never stored");
+        let engine = DispositionEngine::new(schedule());
+        assert!(matches!(
+            engine.apply(&rec, 5_000, &store, &audit, "a"),
+            Err(ArchivalError::NotFound(_))
+        ));
+    }
+}

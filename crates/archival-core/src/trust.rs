@@ -1,0 +1,299 @@
+//! Trustworthiness assessment: reliability, accuracy, authenticity.
+//!
+//! The paper's introduction defines the three pillars exactly:
+//! *reliable* ("their content can be trusted"), *accurate* ("the data in
+//! them are unchanged and unchangeable"), *authentic* ("their identity and
+//! integrity are intact"). [`TrustAssessor`] turns those into measurable
+//! checks against a preserved record and produces a graded
+//! [`TrustReport`] — the quantity experiment D5 tracks before and after
+//! tamper injection.
+
+use crate::errors::Result;
+use crate::oais::AipRecordEntry;
+use serde::{Deserialize, Serialize};
+use trustdb::store::{Backend, ObjectStore};
+
+/// Outcome of one pillar's checks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PillarScore {
+    /// Score in `[0, 1]`.
+    pub score: f64,
+    /// Human-auditable findings that produced the score.
+    pub findings: Vec<String>,
+}
+
+/// Overall grade derived from the weakest pillar — trustworthiness is
+/// conjunctive; a record with perfect metadata but failed fixity is not
+/// "two-thirds trustworthy".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrustGrade {
+    /// All pillars ≥ 0.9.
+    Trustworthy,
+    /// Weakest pillar in [0.5, 0.9).
+    Questionable,
+    /// Weakest pillar < 0.5.
+    Untrustworthy,
+}
+
+/// Full assessment of one record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrustReport {
+    /// Record assessed.
+    pub record_id: String,
+    /// Reliability: can the content be trusted (creator known, procedural
+    /// context documented, metadata complete)?
+    pub reliability: PillarScore,
+    /// Accuracy: is the content bit-identical to what was preserved?
+    pub accuracy: PillarScore,
+    /// Authenticity: are identity and integrity intact (fingerprint matches,
+    /// provenance verifies, custody unbroken)?
+    pub authenticity: PillarScore,
+    /// Conjunctive grade.
+    pub grade: TrustGrade,
+}
+
+impl TrustReport {
+    fn grade_of(weakest: f64) -> TrustGrade {
+        if weakest >= 0.9 {
+            TrustGrade::Trustworthy
+        } else if weakest >= 0.5 {
+            TrustGrade::Questionable
+        } else {
+            TrustGrade::Untrustworthy
+        }
+    }
+
+    /// The minimum pillar score.
+    pub fn weakest(&self) -> f64 {
+        self.reliability
+            .score
+            .min(self.accuracy.score)
+            .min(self.authenticity.score)
+    }
+}
+
+/// Assesses preserved records against the three pillars.
+pub struct TrustAssessor<'a, B: Backend> {
+    store: &'a ObjectStore<B>,
+}
+
+impl<'a, B: Backend> TrustAssessor<'a, B> {
+    /// Assessor over a repository's object store.
+    pub fn new(store: &'a ObjectStore<B>) -> Self {
+        TrustAssessor { store }
+    }
+
+    /// Assess one AIP record entry.
+    pub fn assess(&self, entry: &AipRecordEntry) -> Result<TrustReport> {
+        let reliability = self.reliability(entry);
+        let accuracy = self.accuracy(entry)?;
+        let authenticity = self.authenticity(entry);
+        let weakest = reliability
+            .score
+            .min(accuracy.score)
+            .min(authenticity.score);
+        Ok(TrustReport {
+            record_id: entry.record.id.as_str().to_string(),
+            grade: TrustReport::grade_of(weakest),
+            reliability,
+            accuracy,
+            authenticity,
+        })
+    }
+
+    fn reliability(&self, entry: &AipRecordEntry) -> PillarScore {
+        let mut findings = Vec::new();
+        let completeness = entry.record.completeness();
+        if completeness < 1.0 {
+            findings.push(format!(
+                "identity metadata {:.0}% complete",
+                completeness * 100.0
+            ));
+        }
+        // Procedural context: a creation/transfer event by a named agent.
+        let has_origin = entry
+            .provenance
+            .events()
+            .iter()
+            .any(|e| {
+                matches!(
+                    e.event_type,
+                    crate::provenance::EventType::Creation
+                        | crate::provenance::EventType::Transfer
+                ) && !e.agent.is_empty()
+            });
+        let origin_score = if has_origin {
+            1.0
+        } else {
+            findings.push("no documented origin event (creation/transfer)".into());
+            0.0
+        };
+        PillarScore { score: 0.6 * completeness + 0.4 * origin_score, findings }
+    }
+
+    fn accuracy(&self, entry: &AipRecordEntry) -> Result<PillarScore> {
+        let mut findings = Vec::new();
+        let score = match self.store.get(&entry.record.content_digest) {
+            Ok(bytes) => {
+                if trustdb::hash::sha256(&bytes) == entry.record.content_digest {
+                    1.0
+                } else {
+                    findings.push("fixity check FAILED: content altered in storage".into());
+                    0.0
+                }
+            }
+            Err(trustdb::Error::NotFound(_)) => {
+                findings.push("content missing from storage".into());
+                0.0
+            }
+            Err(e) => return Err(e.into()),
+        };
+        Ok(PillarScore { score, findings })
+    }
+
+    fn authenticity(&self, entry: &AipRecordEntry) -> PillarScore {
+        let mut findings = Vec::new();
+        let mut score = 1.0f64;
+        if entry.record.identity_fingerprint() != entry.identity_fingerprint {
+            findings.push("identity fingerprint mismatch: metadata altered since ingest".into());
+            score -= 0.5;
+        }
+        if entry.provenance.verify().is_err() {
+            findings.push("provenance chain does not verify".into());
+            score -= 0.5;
+        }
+        if !entry.provenance.has_custody_path() {
+            findings.push("custody path incomplete (no origin→ingestion)".into());
+            score -= 0.25;
+        }
+        PillarScore { score: score.max(0.0), findings }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::Repository;
+    use crate::oais::{Sip, SubmissionItem};
+    use crate::provenance::{EventType, ProvenanceChain};
+    use crate::record::{Classification, DocumentaryForm, Record};
+    use trustdb::store::MemoryBackend;
+
+    fn preserved_entry(
+        repo: &Repository<MemoryBackend>,
+        body: &[u8],
+    ) -> AipRecordEntry {
+        let record = Record::over_content(
+            "rec-1",
+            "Complete title",
+            "Known Creator",
+            100,
+            "documented activity",
+            DocumentaryForm::textual("text/plain"),
+            Classification::Public,
+            body,
+        );
+        let mut provenance = ProvenanceChain::new("rec-1");
+        provenance
+            .append(50, "Known Creator", EventType::Creation, "success", "")
+            .unwrap();
+        let sip = Sip::new("Producer", 200).with_item(SubmissionItem {
+            record,
+            content: body.to_vec(),
+            provenance,
+        });
+        let receipt = repo.ingest(sip, 1_000, "archivist").unwrap();
+        let mut manifest = repo.manifest(&receipt.aip_id).unwrap();
+        let mut entry = manifest.records.remove(0);
+        // Arrange it so completeness = 1.0.
+        entry.record.arrangement = Some("fonds/series".into());
+        entry.identity_fingerprint = entry.record.identity_fingerprint();
+        entry
+    }
+
+    #[test]
+    fn pristine_record_is_trustworthy() {
+        let repo = Repository::new(trustdb::store::ObjectStore::new(MemoryBackend::new()));
+        let entry = preserved_entry(&repo, b"pristine content");
+        let assessor = TrustAssessor::new(repo.store());
+        let report = assessor.assess(&entry).unwrap();
+        assert_eq!(report.grade, TrustGrade::Trustworthy, "{report:?}");
+        assert!(report.weakest() >= 0.9);
+        assert!(report.accuracy.findings.is_empty());
+    }
+
+    #[test]
+    fn storage_tamper_fails_accuracy_only() {
+        let repo = Repository::new(trustdb::store::ObjectStore::new(MemoryBackend::new()));
+        let entry = preserved_entry(&repo, b"will be tampered");
+        repo.store().backend().tamper(&entry.record.content_digest, |v| v[0] ^= 1);
+        let report = TrustAssessor::new(repo.store()).assess(&entry).unwrap();
+        assert_eq!(report.accuracy.score, 0.0);
+        assert!(report.authenticity.score > 0.9, "authenticity metadata is intact");
+        assert_eq!(report.grade, TrustGrade::Untrustworthy);
+    }
+
+    #[test]
+    fn metadata_forgery_fails_authenticity() {
+        let repo = Repository::new(trustdb::store::ObjectStore::new(MemoryBackend::new()));
+        let mut entry = preserved_entry(&repo, b"content");
+        entry.record.creator = "Forged Creator".into(); // fingerprint now stale
+        let report = TrustAssessor::new(repo.store()).assess(&entry).unwrap();
+        assert!(report.authenticity.score <= 0.5, "{report:?}");
+        assert!(report
+            .authenticity
+            .findings
+            .iter()
+            .any(|f| f.contains("fingerprint")));
+        assert_ne!(report.grade, TrustGrade::Trustworthy);
+    }
+
+    #[test]
+    fn provenance_tamper_fails_authenticity() {
+        let repo = Repository::new(trustdb::store::ObjectStore::new(MemoryBackend::new()));
+        let mut entry = preserved_entry(&repo, b"content");
+        // Tamper an event in place (breaks hash chain).
+        let mut chain = entry.provenance.clone();
+        let mut events = chain.events().to_vec();
+        events[0].agent = "intruder".into();
+        chain = serde_json::from_str(
+            &serde_json::to_string(&chain).unwrap().replace("Known Creator", "Intruder Inc"),
+        )
+        .unwrap();
+        entry.provenance = chain;
+        let report = TrustAssessor::new(repo.store()).assess(&entry).unwrap();
+        assert!(report.authenticity.score < 0.9, "{report:?}");
+    }
+
+    #[test]
+    fn missing_content_fails_accuracy_with_finding() {
+        let repo = Repository::new(trustdb::store::ObjectStore::new(MemoryBackend::new()));
+        let entry = preserved_entry(&repo, b"to be deleted");
+        repo.store().delete(&entry.record.content_digest).unwrap();
+        let report = TrustAssessor::new(repo.store()).assess(&entry).unwrap();
+        assert_eq!(report.accuracy.score, 0.0);
+        assert!(report.accuracy.findings[0].contains("missing"));
+    }
+
+    #[test]
+    fn incomplete_metadata_lowers_reliability() {
+        let repo = Repository::new(trustdb::store::ObjectStore::new(MemoryBackend::new()));
+        let mut entry = preserved_entry(&repo, b"content");
+        entry.record.title.clear();
+        entry.record.arrangement = None;
+        entry.identity_fingerprint = entry.record.identity_fingerprint();
+        let report = TrustAssessor::new(repo.store()).assess(&entry).unwrap();
+        assert!(report.reliability.score < 0.9, "{report:?}");
+        assert!(!report.reliability.findings.is_empty());
+        assert_eq!(report.grade, TrustGrade::Questionable);
+    }
+
+    #[test]
+    fn grade_thresholds() {
+        assert_eq!(TrustReport::grade_of(0.95), TrustGrade::Trustworthy);
+        assert_eq!(TrustReport::grade_of(0.9), TrustGrade::Trustworthy);
+        assert_eq!(TrustReport::grade_of(0.7), TrustGrade::Questionable);
+        assert_eq!(TrustReport::grade_of(0.5), TrustGrade::Questionable);
+        assert_eq!(TrustReport::grade_of(0.49), TrustGrade::Untrustworthy);
+    }
+}

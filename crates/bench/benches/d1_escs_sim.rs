@@ -1,0 +1,26 @@
+//! D1 — ESCS discrete-event simulation cost (30 simulated minutes, quiet
+//! vs disaster).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use escs::external::ExternalTimeline;
+use escs::graph::Topology;
+use escs::sim::{run, SimConfig};
+use std::time::Duration;
+
+fn sim_bench(c: &mut Criterion) {
+    let duration = 30 * 60_000u64;
+    let mut group = c.benchmark_group("d1/escs_sim");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, timeline) in [
+        ("quiet_30min", ExternalTimeline::quiet()),
+        ("disaster_30min", ExternalTimeline::disaster(duration)),
+    ] {
+        let config =
+            SimConfig::with_defaults(Topology::metro(3), timeline, duration, 1);
+        group.bench_function(name, |b| b.iter(|| run(std::hint::black_box(&config))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sim_bench);
+criterion_main!(benches);

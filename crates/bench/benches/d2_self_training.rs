@@ -1,0 +1,23 @@
+//! D2 — cost of supervised vs self-training fits at 2% labels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itrust_core::sensitivity::{generate_corpus, FitMode, SensitivityModel};
+use std::time::Duration;
+
+fn fit_bench(c: &mut Criterion) {
+    let pool = generate_corpus(400, 0.3, 0.2, 1);
+    let labeled: Vec<_> = pool.iter().take(8).cloned().collect();
+    let unlabeled: Vec<String> = pool.iter().skip(8).map(|d| d.text.clone()).collect();
+    let mut group = c.benchmark_group("d2/self_training");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("supervised_fit", |b| {
+        b.iter(|| SensitivityModel::fit(&labeled, &[], FitMode::Supervised))
+    });
+    group.bench_function("self_training_fit", |b| {
+        b.iter(|| SensitivityModel::fit(&labeled, &unlabeled, FitMode::SemiSupervised))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fit_bench);
+criterion_main!(benches);

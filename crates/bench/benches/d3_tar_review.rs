@@ -1,0 +1,21 @@
+//! D3 — cost of a full TAR pass vs corpus size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itrust_core::sensitivity::generate_corpus;
+use itrust_core::tar::{tar_review, TarConfig};
+use std::time::Duration;
+
+fn tar_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d3/tar_review");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[200usize, 500] {
+        let corpus = generate_corpus(n, 0.1, 0.1, 2);
+        group.bench_function(format!("full_pass_{n}_docs"), |b| {
+            b.iter(|| tar_review(std::hint::black_box(&corpus), TarConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tar_bench);
+criterion_main!(benches);

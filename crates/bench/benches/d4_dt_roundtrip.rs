@@ -1,0 +1,30 @@
+//! D4 — digital-twin archive + rehydrate cost.
+
+use archival_core::ingest::Repository;
+use criterion::{criterion_group, criterion_main, Criterion};
+use digital_twin::archive::{archive_twin, DigitalTwin};
+use digital_twin::rehydrate::rehydrate_twin;
+use std::time::Duration;
+use trustdb::store::{MemoryBackend, ObjectStore};
+
+fn roundtrip_bench(c: &mut Criterion) {
+    let twin = DigitalTwin::synthetic("Campus", 3, 1, 600_000, 1);
+    let mut group = c.benchmark_group("d4/dt_roundtrip");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("archive_3_buildings", |b| {
+        b.iter_batched(
+            || Repository::new(ObjectStore::new(MemoryBackend::new())),
+            |repo| archive_twin(&repo, &twin, 1_000, "a").unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    let repo = Repository::new(ObjectStore::new(MemoryBackend::new()));
+    let receipt = archive_twin(&repo, &twin, 1_000, "a").unwrap();
+    group.bench_function("rehydrate_3_buildings", |b| {
+        b.iter(|| rehydrate_twin(&repo, &receipt.aip_id).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, roundtrip_bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! D5 — fixity sweep and audit-chain verification cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use itrust_bench::harness::d5::{tamper_run, verify_ablation};
+use std::time::Duration;
+use trustdb::audit::{AuditAction, AuditLog};
+
+fn sweep_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d5/tamper");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("sweep_1000_objects_1pct_corrupt", |b| {
+        b.iter(|| tamper_run(1_000, 10, 1))
+    });
+    group.finish();
+}
+
+fn audit_bench(c: &mut Criterion) {
+    let audit = AuditLog::new();
+    for i in 0..10_000u64 {
+        audit.append(i, "agent", AuditAction::Ingest, format!("rec-{i}"), "x").unwrap();
+    }
+    let mut group = c.benchmark_group("d5/audit_chain");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("verify_10k_entries", |b| b.iter(|| audit.verify_chain().unwrap()));
+    group.bench_function("merkle_proof_vs_chain_ablation", |b| {
+        b.iter(|| verify_ablation(1_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sweep_bench, audit_bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! D6 — BM25 build and query cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use itrust_bench::harness::d6::descriptions;
+use itrust_core::access::AccessIndex;
+use std::time::Duration;
+
+fn index_bench(c: &mut Criterion) {
+    let docs = descriptions(5_000, 1);
+    let mut group = c.benchmark_group("d6/access_index");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(docs.len() as u64));
+    group.bench_function("build_5k_docs", |b| {
+        b.iter(|| {
+            let mut idx = AccessIndex::default();
+            for (id, text) in &docs {
+                idx.add(id.clone(), text);
+            }
+            idx
+        })
+    });
+    let mut index = AccessIndex::default();
+    for (id, text) in &descriptions(20_000, 2) {
+        index.add(id.clone(), text);
+    }
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("query_20k_docs", |b| {
+        b.iter(|| index.search(std::hint::black_box("signum parchment notary"), 10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, index_bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! D7 — cost of one continuous-learning retraining round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perganet::classifier::VggLite;
+use perganet::corpus::{generate, CorpusConfig};
+use std::time::Duration;
+
+fn retrain_bench(c: &mut Criterion) {
+    let pool = generate(CorpusConfig { count: 60, damage: 0, seed: 1 });
+    let mut group = c.benchmark_group("d7/continuous_learning");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("retrain_60_parchments_2_epochs", |b| {
+        b.iter(|| {
+            let mut model = VggLite::new(7);
+            model.train(&pool, 2, 0.005)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, retrain_bench);
+criterion_main!(benches);

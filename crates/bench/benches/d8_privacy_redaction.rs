@@ -1,0 +1,29 @@
+//! D8 — sanitization and redaction throughput.
+
+use archival_core::redaction::Redactor;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use escs::privacy::PrivacyProfile;
+use itrust_bench::harness::d8::raw_calls;
+use std::time::Duration;
+
+fn redaction_bench(c: &mut Criterion) {
+    let calls = raw_calls(10_000, 1);
+    let profile = PrivacyProfile::research_default();
+    let mut group = c.benchmark_group("d8/privacy");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(calls.len() as u64));
+    group.bench_function("sanitize_10k_calls", |b| {
+        b.iter(|| profile.apply_batch(std::hint::black_box(&calls)))
+    });
+    let redactor = Redactor::all();
+    let narrative = "caller 206-555-0147 (mail ops@dispatch.example.org) reported \
+                     smoke at 47.6097, -122.3331; SSN on file 123-45-6789";
+    group.throughput(Throughput::Bytes(narrative.len() as u64));
+    group.bench_function("redact_narrative", |b| {
+        b.iter(|| redactor.redact(std::hint::black_box(narrative)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, redaction_bench);
+criterion_main!(benches);

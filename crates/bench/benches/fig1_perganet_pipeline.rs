@@ -1,0 +1,29 @@
+//! F1 — PergaNet inference cost: per-stage and end-to-end, on a
+//! pre-trained pipeline (training excluded from the timed region).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itrust_bench::harness::fig1::trained_pipeline_small;
+use std::time::Duration;
+
+fn pipeline_bench(c: &mut Criterion) {
+    let (mut net, test) = trained_pipeline_small();
+    let image = test[0].image.clone();
+    let mut group = c.benchmark_group("fig1/perganet");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.bench_function("stage1_classify", |b| {
+        b.iter(|| net.classifier.predict(std::hint::black_box(&image)))
+    });
+    group.bench_function("stage2_text_detect", |b| {
+        b.iter(|| net.text_detector.detect(std::hint::black_box(&image)))
+    });
+    group.bench_function("stage3_signum_detect", |b| {
+        b.iter(|| net.signum_detector.detect(std::hint::black_box(&image)))
+    });
+    group.bench_function("end_to_end_analyze", |b| {
+        b.iter(|| net.analyze(std::hint::black_box(&image)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_bench);
+criterion_main!(benches);

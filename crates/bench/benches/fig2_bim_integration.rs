@@ -1,0 +1,31 @@
+//! F2 — BIM database-integration throughput (6 heterogeneous sources into
+//! a 7-building campus).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use digital_twin::bim::BimModel;
+use digital_twin::integration::{integrate_all, synthetic_source, SourceKind};
+use std::time::Duration;
+
+fn integration_bench(c: &mut Criterion) {
+    let model = BimModel::synthetic_campus("Campus", 7, 3, 10);
+    let sources: Vec<_> = SourceKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| synthetic_source(&model, k, 0.85, 5, 3, 100 + i as u64))
+        .collect();
+    let records: usize = sources.iter().map(|s| s.records.len()).sum();
+    let mut group = c.benchmark_group("fig2/bim_integration");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(records as u64));
+    group.bench_function("six_sources_into_campus", |b| {
+        b.iter_batched(
+            || BimModel::synthetic_campus("Campus", 7, 3, 10),
+            |mut m| integrate_all(&mut m, &sources),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, integration_bench);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! T1 — accession throughput (Table 1 workload shape) plus the WAL
+//! group-commit ablation called out in DESIGN.md §4.
+
+use archival_core::ingest::Repository;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use itrust_bench::harness::table1::fond_sip;
+use std::time::Duration;
+use trustdb::store::{MemoryBackend, ObjectStore};
+use trustdb::wal::{SyncPolicy, Wal};
+
+fn ingest_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/ingest");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    // "Judgments of military courts": 3 TB → ~0.3 MiB of synthetic scans.
+    let template = fond_sip("Judgments of military courts", 3.0, 1);
+    group.throughput(Throughput::Bytes(template.payload_bytes()));
+    group.bench_function("judgments_fond", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Repository::new(ObjectStore::new(MemoryBackend::new())),
+                    fond_sip("Judgments of military courts", 3.0, 1),
+                )
+            },
+            |(repo, sip)| repo.ingest(sip, 1_000, "archivist").unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn wal_sync_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/wal_sync_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let frames: Vec<Vec<u8>> = (0..64).map(|i| vec![i as u8; 4096]).collect();
+    for (name, policy) in [
+        ("fsync_per_record", SyncPolicy::Always),
+        ("group_commit", SyncPolicy::GroupCommit),
+        ("no_sync", SyncPolicy::Never),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut path = std::env::temp_dir();
+                    path.push(format!(
+                        "itrust-bench-wal-{}-{:x}",
+                        std::process::id(),
+                        rand::random::<u64>()
+                    ));
+                    Wal::open(&path, policy).unwrap()
+                },
+                |wal| {
+                    match policy {
+                        // Per-record: one append (and one fsync) per frame.
+                        SyncPolicy::Always => {
+                            for f in &frames {
+                                wal.append(f).unwrap();
+                            }
+                        }
+                        // Group commit: one batch, one fsync.
+                        _ => {
+                            wal.append_batch(frames.iter().map(|f| f.as_slice())).unwrap();
+                        }
+                    }
+                    let p = wal.path().to_path_buf();
+                    drop(wal);
+                    std::fs::remove_file(p).ok();
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ingest_bench, wal_sync_ablation);
+criterion_main!(benches);

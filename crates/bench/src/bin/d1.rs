@@ -1,0 +1,5 @@
+//! Printable harness for D1 (ESCS simulator scaling).
+fn main() {
+    let (_, report) = itrust_bench::harness::d1::run();
+    println!("{report}");
+}

@@ -1,0 +1,7 @@
+//! Printable harness for D2 (self-training vs supervised).
+fn main() {
+    let (_, report) = itrust_bench::harness::d2::run();
+    println!("{report}");
+    let (_, ablation) = itrust_bench::harness::d2::threshold_ablation();
+    println!("{ablation}");
+}

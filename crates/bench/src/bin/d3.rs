@@ -1,0 +1,7 @@
+//! Printable harness for D3 (TAR vs linear review).
+fn main() {
+    let (_, report) = itrust_bench::harness::d3::run();
+    println!("{report}");
+    let (_, ablation) = itrust_bench::harness::d3::seed_batch_ablation();
+    println!("{ablation}");
+}

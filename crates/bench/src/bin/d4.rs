@@ -1,0 +1,5 @@
+//! Printable harness for D4 (digital-twin round trip).
+fn main() {
+    let (_, report) = itrust_bench::harness::d4::run();
+    println!("{report}");
+}

@@ -1,0 +1,5 @@
+//! Printable harness for D5 (tamper detection + verification ablation).
+fn main() {
+    let (_, report) = itrust_bench::harness::d5::run();
+    println!("{report}");
+}

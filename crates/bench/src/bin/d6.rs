@@ -1,0 +1,7 @@
+//! Printable harness for D6 (access index + record linking).
+fn main() {
+    let (_, index_report) = itrust_bench::harness::d6::run_index();
+    println!("{index_report}");
+    let (_, linking_report) = itrust_bench::harness::d6::run_linking();
+    println!("{linking_report}");
+}

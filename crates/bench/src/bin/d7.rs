@@ -1,0 +1,5 @@
+//! Printable harness for D7 (continuous learning vs annotator error).
+fn main() {
+    let (_, report) = itrust_bench::harness::d7::run();
+    println!("{report}");
+}

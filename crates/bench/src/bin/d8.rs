@@ -1,0 +1,7 @@
+//! Printable harness for D8 (privacy redaction).
+fn main() {
+    let (_, calls) = itrust_bench::harness::d8::run_calls();
+    println!("{calls}");
+    let (_, text) = itrust_bench::harness::d8::run_text();
+    println!("{text}");
+}

@@ -1,0 +1,5 @@
+//! Printable harness for Figure 1 (PergaNet pipeline).
+fn main() {
+    let (_, report) = itrust_bench::harness::fig1::run();
+    println!("{report}");
+}

@@ -1,0 +1,5 @@
+//! Printable harness for Figure 2 (BIM database integration).
+fn main() {
+    let (_, report) = itrust_bench::harness::fig2::run();
+    println!("{report}");
+}

@@ -1,0 +1,5 @@
+//! Printable harness for Table 1 (heritage fond ingest).
+fn main() {
+    let (_, report) = itrust_bench::harness::table1::run();
+    println!("{report}");
+}

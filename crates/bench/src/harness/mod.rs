@@ -1,0 +1,22 @@
+//! Experiment harness modules (see crate docs for the exhibit mapping).
+
+pub mod d1;
+pub mod d2;
+pub mod d3;
+pub mod d4;
+pub mod d5;
+pub mod d6;
+pub mod d7;
+pub mod d8;
+pub mod fig1;
+pub mod fig2;
+pub mod table1;
+
+use std::time::Instant;
+
+/// Time a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}

@@ -1,0 +1,223 @@
+//! BM25 full-text access index.
+//!
+//! The conclusion's third impact claim is access: AI "making current
+//! records easier to organise, retrieve and use by both their creators and
+//! the public at large". This is the retrieval half: an inverted index
+//! with BM25 ranking (k1/b with the standard defaults), built over record
+//! descriptions and disseminated text. Experiment D6 measures build and
+//! query throughput.
+
+use crate::text::tokenize;
+use std::collections::{BTreeMap, HashMap};
+
+/// Default BM25 term-saturation parameter.
+pub const DEFAULT_K1: f64 = 1.2;
+/// Default BM25 length-normalization parameter.
+pub const DEFAULT_B: f64 = 0.75;
+
+/// A scored search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Document id supplied at indexing time.
+    pub doc_id: String,
+    /// BM25 score (higher = better).
+    pub score: f64,
+}
+
+#[derive(Debug, Default)]
+struct Posting {
+    /// (internal doc idx, term frequency)
+    docs: Vec<(u32, u32)>,
+}
+
+/// BM25 inverted index.
+#[derive(Debug)]
+pub struct AccessIndex {
+    k1: f64,
+    b: f64,
+    postings: HashMap<String, Posting>,
+    doc_ids: Vec<String>,
+    doc_len: Vec<u32>,
+    total_len: u64,
+}
+
+impl Default for AccessIndex {
+    fn default() -> Self {
+        Self::new(DEFAULT_K1, DEFAULT_B)
+    }
+}
+
+impl AccessIndex {
+    /// Empty index with explicit parameters.
+    pub fn new(k1: f64, b: f64) -> Self {
+        assert!(k1 >= 0.0 && (0.0..=1.0).contains(&b));
+        AccessIndex {
+            k1,
+            b,
+            postings: HashMap::new(),
+            doc_ids: Vec::new(),
+            doc_len: Vec::new(),
+            total_len: 0,
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.doc_ids.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.doc_ids.is_empty()
+    }
+
+    /// Distinct terms indexed.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Add a document. Duplicate ids are allowed (e.g. versions) but each
+    /// call indexes a distinct document instance.
+    pub fn add(&mut self, doc_id: impl Into<String>, text: &str) {
+        let idx = self.doc_ids.len() as u32;
+        self.doc_ids.push(doc_id.into());
+        let tokens = tokenize(text);
+        self.doc_len.push(tokens.len() as u32);
+        self.total_len += tokens.len() as u64;
+        let mut tf: BTreeMap<String, u32> = BTreeMap::new();
+        for t in tokens {
+            *tf.entry(t).or_default() += 1;
+        }
+        for (term, freq) in tf {
+            self.postings.entry(term).or_default().docs.push((idx, freq));
+        }
+    }
+
+    /// BM25 search: returns the top `k` documents for `query`, ranked.
+    /// Ties break toward the earlier-indexed document (stable archival
+    /// ordering).
+    pub fn search(&self, query: &str, k: usize) -> Vec<Hit> {
+        if self.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let n = self.doc_ids.len() as f64;
+        let avg_len = self.total_len as f64 / n;
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        let mut terms = tokenize(query);
+        terms.sort_unstable();
+        terms.dedup();
+        for term in terms {
+            let Some(posting) = self.postings.get(&term) else { continue };
+            let df = posting.docs.len() as f64;
+            // BM25 IDF with the +1 inside the log to keep it positive.
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            for &(doc, tf) in &posting.docs {
+                let dl = self.doc_len[doc as usize] as f64;
+                let tf = tf as f64;
+                let denom = tf + self.k1 * (1.0 - self.b + self.b * dl / avg_len.max(1e-9));
+                *scores.entry(doc).or_default() += idf * tf * (self.k1 + 1.0) / denom;
+            }
+        }
+        let mut hits: Vec<(u32, f64)> = scores.into_iter().collect();
+        hits.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        hits.truncate(k);
+        hits.into_iter()
+            .map(|(doc, score)| Hit { doc_id: self.doc_ids[doc as usize].clone(), score })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> AccessIndex {
+        let mut idx = AccessIndex::default();
+        idx.add("war-report", "military report on supply lines at the western front");
+        idx.add("war-letter", "a letter from the front about supply shortages");
+        idx.add("parchment", "digitised parchment with signum tabellionis on the recto");
+        idx.add("permit", "building permit for the canal building renovation");
+        idx
+    }
+
+    #[test]
+    fn exact_topic_match_ranks_first() {
+        let idx = sample_index();
+        let hits = idx.search("signum tabellionis parchment", 4);
+        assert_eq!(hits[0].doc_id, "parchment");
+        assert!(hits[0].score > 0.0);
+    }
+
+    #[test]
+    fn shared_vocabulary_ranks_both_relevant_docs() {
+        let idx = sample_index();
+        let hits = idx.search("supply front", 4);
+        let ids: Vec<&str> = hits.iter().map(|h| h.doc_id.as_str()).collect();
+        assert!(ids.contains(&"war-report"));
+        assert!(ids.contains(&"war-letter"));
+        assert!(!ids.contains(&"permit"));
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_terms() {
+        let mut idx = AccessIndex::default();
+        for i in 0..20 {
+            idx.add(format!("common-{i}"), "record record record archive");
+        }
+        idx.add("special", "record unique archive");
+        let hits = idx.search("unique", 3);
+        assert_eq!(hits[0].doc_id, "special");
+    }
+
+    #[test]
+    fn k_limits_results_and_zero_k_is_empty() {
+        let idx = sample_index();
+        assert_eq!(idx.search("the", 2).len().min(2), idx.search("the", 2).len());
+        assert!(idx.search("supply", 0).is_empty());
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let idx = sample_index();
+        assert!(idx.search("zeppelin", 10).is_empty());
+        assert!(AccessIndex::default().search("anything", 5).is_empty());
+    }
+
+    #[test]
+    fn length_normalization_prefers_concise_match() {
+        let mut idx = AccessIndex::new(1.2, 0.75);
+        idx.add("short", "signum");
+        idx.add(
+            "long",
+            "signum surrounded by a very long body of unrelated narrative text that dilutes the term frequency considerably across the document",
+        );
+        let hits = idx.search("signum", 2);
+        assert_eq!(hits[0].doc_id, "short");
+    }
+
+    #[test]
+    fn counts_and_stats() {
+        let idx = sample_index();
+        assert_eq!(idx.len(), 4);
+        assert!(!idx.is_empty());
+        assert!(idx.term_count() > 10);
+    }
+
+    #[test]
+    fn repeated_query_terms_do_not_double_count() {
+        let idx = sample_index();
+        let once = idx.search("supply", 4);
+        let thrice = idx.search("supply supply supply", 4);
+        assert_eq!(once, thrice);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_parameters_rejected() {
+        AccessIndex::new(1.2, 1.5);
+    }
+}

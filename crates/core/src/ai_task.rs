@@ -1,0 +1,284 @@
+//! The trustworthiness guard: AI decisions under archival governance.
+//!
+//! Objective 3 — "ensure that archival concepts and principles inform the
+//! development of responsible AI" — becomes a concrete mechanism here.
+//! No model decision reaches an archival function directly; it passes
+//! through a [`TrustGuard`], which:
+//!
+//! 1. records the decision (with paradata: model id, confidence) in the
+//!    record's provenance chain and the repository audit log;
+//! 2. auto-accepts only decisions at or above the confidence threshold;
+//! 3. queues everything else for human review, and records the human
+//!    verdict as a `HumanVerification` provenance event when it arrives.
+//!
+//! This is the "human-in-the-loop as an archival invariant" pattern the
+//! whole platform builds on.
+
+use archival_core::provenance::{EventType, ProvenanceChain};
+use archival_core::Result;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use trustdb::audit::{AuditAction, AuditLog};
+
+/// A model decision submitted for vetting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardedDecision {
+    /// The record/object the decision concerns.
+    pub subject: String,
+    /// Model identity + version (paradata pointer).
+    pub model_id: String,
+    /// What the model decided (human-readable).
+    pub decision: String,
+    /// Model confidence in `[0, 1]`.
+    pub confidence: f32,
+}
+
+/// Where a vetted decision went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Routing {
+    /// Confidence ≥ threshold: applied automatically (but still logged).
+    AutoAccepted,
+    /// Confidence below threshold: parked for human review.
+    NeedsHumanReview,
+}
+
+/// A human reviewer's verdict on a queued decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The model was right.
+    Confirmed,
+    /// The model was wrong; the human supplies the correction upstream.
+    Overridden,
+}
+
+/// A queued decision awaiting review.
+#[derive(Debug, Clone)]
+pub struct PendingReview {
+    /// Queue ticket (stable).
+    pub ticket: u64,
+    /// The decision under review.
+    pub decision: GuardedDecision,
+}
+
+/// The guard. Thread-safe; one per repository is typical.
+pub struct TrustGuard<'a> {
+    threshold: f32,
+    audit: &'a AuditLog,
+    queue: RwLock<Vec<PendingReview>>,
+    next_ticket: RwLock<u64>,
+}
+
+impl<'a> TrustGuard<'a> {
+    /// Guard with the given auto-accept confidence threshold.
+    pub fn new(audit: &'a AuditLog, threshold: f32) -> Self {
+        assert!((0.0..=1.0).contains(&threshold));
+        TrustGuard { threshold, audit, queue: RwLock::new(Vec::new()), next_ticket: RwLock::new(0) }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Vet a decision: log it, then route by confidence. The provenance
+    /// chain of the subject record receives an `AiProcessing` event either
+    /// way — silent AI processing is the thing this type exists to prevent.
+    pub fn vet(
+        &self,
+        timestamp_ms: u64,
+        decision: GuardedDecision,
+        provenance: &mut ProvenanceChain,
+    ) -> Result<Routing> {
+        provenance.append(
+            timestamp_ms,
+            decision.model_id.clone(),
+            EventType::AiProcessing,
+            "success",
+            format!("{} (confidence {:.3})", decision.decision, decision.confidence),
+        )?;
+        self.audit.append(
+            timestamp_ms,
+            decision.model_id.clone(),
+            AuditAction::AiDecision,
+            decision.subject.clone(),
+            format!("{} (confidence {:.3})", decision.decision, decision.confidence),
+        )?;
+        if decision.confidence >= self.threshold {
+            Ok(Routing::AutoAccepted)
+        } else {
+            let mut next = self.next_ticket.write();
+            let ticket = *next;
+            *next += 1;
+            self.queue.write().push(PendingReview { ticket, decision });
+            Ok(Routing::NeedsHumanReview)
+        }
+    }
+
+    /// Decisions currently awaiting review, oldest first.
+    pub fn pending(&self) -> Vec<PendingReview> {
+        self.queue.read().clone()
+    }
+
+    /// Number of queued reviews.
+    pub fn pending_count(&self) -> usize {
+        self.queue.read().len()
+    }
+
+    /// Resolve a queued decision. Appends a `HumanVerification` provenance
+    /// event and an audit entry, and removes the ticket from the queue.
+    pub fn resolve(
+        &self,
+        ticket: u64,
+        verdict: Verdict,
+        reviewer: &str,
+        timestamp_ms: u64,
+        provenance: &mut ProvenanceChain,
+    ) -> Result<GuardedDecision> {
+        let decision = {
+            let mut queue = self.queue.write();
+            let pos = queue.iter().position(|p| p.ticket == ticket).ok_or_else(|| {
+                archival_core::ArchivalError::NotFound(format!("review ticket {ticket}"))
+            })?;
+            queue.remove(pos).decision
+        };
+        let outcome = match verdict {
+            Verdict::Confirmed => "confirmed model decision",
+            Verdict::Overridden => "overrode model decision",
+        };
+        provenance.append(
+            timestamp_ms,
+            reviewer,
+            EventType::HumanVerification,
+            "success",
+            format!("{outcome}: {}", decision.decision),
+        )?;
+        self.audit.append(
+            timestamp_ms,
+            reviewer,
+            AuditAction::HumanReview,
+            decision.subject.clone(),
+            format!("{outcome} from {}", decision.model_id),
+        )?;
+        Ok(decision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(subject: &str, confidence: f32) -> GuardedDecision {
+        GuardedDecision {
+            subject: subject.into(),
+            model_id: "model:sensitivity-v1".into(),
+            decision: "classify as sensitive".into(),
+            confidence,
+        }
+    }
+
+    #[test]
+    fn high_confidence_auto_accepts_but_still_logs() {
+        let audit = AuditLog::new();
+        let guard = TrustGuard::new(&audit, 0.85);
+        let mut chain = ProvenanceChain::new("rec-1");
+        let routing = guard.vet(100, decision("rec-1", 0.95), &mut chain).unwrap();
+        assert_eq!(routing, Routing::AutoAccepted);
+        assert_eq!(guard.pending_count(), 0);
+        // Logged in both provenance and audit.
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.events()[0].event_type, EventType::AiProcessing);
+        assert_eq!(audit.query(|e| e.action == AuditAction::AiDecision).len(), 1);
+    }
+
+    #[test]
+    fn low_confidence_queues_for_review() {
+        let audit = AuditLog::new();
+        let guard = TrustGuard::new(&audit, 0.85);
+        let mut chain = ProvenanceChain::new("rec-1");
+        let routing = guard.vet(100, decision("rec-1", 0.6), &mut chain).unwrap();
+        assert_eq!(routing, Routing::NeedsHumanReview);
+        assert_eq!(guard.pending_count(), 1);
+        let pending = guard.pending();
+        assert_eq!(pending[0].decision.subject, "rec-1");
+    }
+
+    #[test]
+    fn threshold_boundary_is_inclusive() {
+        let audit = AuditLog::new();
+        let guard = TrustGuard::new(&audit, 0.85);
+        let mut chain = ProvenanceChain::new("rec-1");
+        assert_eq!(
+            guard.vet(1, decision("rec-1", 0.85), &mut chain).unwrap(),
+            Routing::AutoAccepted
+        );
+    }
+
+    #[test]
+    fn resolve_records_human_verdict() {
+        let audit = AuditLog::new();
+        let guard = TrustGuard::new(&audit, 0.9);
+        let mut chain = ProvenanceChain::new("rec-2");
+        guard.vet(100, decision("rec-2", 0.4), &mut chain).unwrap();
+        let ticket = guard.pending()[0].ticket;
+        let resolved = guard
+            .resolve(ticket, Verdict::Overridden, "archivist-b", 200, &mut chain)
+            .unwrap();
+        assert_eq!(resolved.subject, "rec-2");
+        assert_eq!(guard.pending_count(), 0);
+        // Provenance now holds AiProcessing then HumanVerification.
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.events()[1].event_type, EventType::HumanVerification);
+        assert!(chain.events()[1].detail.contains("overrode"));
+        chain.verify().unwrap();
+        audit.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn resolve_unknown_ticket_errors() {
+        let audit = AuditLog::new();
+        let guard = TrustGuard::new(&audit, 0.9);
+        let mut chain = ProvenanceChain::new("rec-3");
+        assert!(guard
+            .resolve(42, Verdict::Confirmed, "a", 1, &mut chain)
+            .is_err());
+    }
+
+    #[test]
+    fn tickets_are_stable_across_resolutions() {
+        let audit = AuditLog::new();
+        let guard = TrustGuard::new(&audit, 0.99);
+        let mut chain = ProvenanceChain::new("rec");
+        for i in 0..3 {
+            guard.vet(i, decision(&format!("rec-{i}"), 0.1), &mut chain).unwrap();
+        }
+        let tickets: Vec<u64> = guard.pending().iter().map(|p| p.ticket).collect();
+        assert_eq!(tickets, vec![0, 1, 2]);
+        // Resolve the middle one; others keep their tickets.
+        guard.resolve(1, Verdict::Confirmed, "a", 10, &mut chain).unwrap();
+        let tickets: Vec<u64> = guard.pending().iter().map(|p| p.ticket).collect();
+        assert_eq!(tickets, vec![0, 2]);
+    }
+
+    #[test]
+    fn guard_is_shareable_across_threads() {
+        let audit = AuditLog::new();
+        let guard = TrustGuard::new(&audit, 0.99);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let guard = &guard;
+                s.spawn(move || {
+                    let mut chain = ProvenanceChain::new(format!("rec-{t}"));
+                    guard
+                        .vet(1_000, decision(&format!("rec-{t}"), 0.2), &mut chain)
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(guard.pending_count(), 4);
+        // All tickets unique.
+        let mut tickets: Vec<u64> = guard.pending().iter().map(|p| p.ticket).collect();
+        tickets.sort_unstable();
+        tickets.dedup();
+        assert_eq!(tickets.len(), 4);
+    }
+}

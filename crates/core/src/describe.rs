@@ -1,0 +1,158 @@
+//! AI-assisted description: extractive summarization and subject-term
+//! suggestion for archival description.
+//!
+//! The paper's impact claims include "sensitising problematic archival
+//! descriptions … or captioning historical photographs"; the tractable
+//! text-side counterpart implemented here is extractive summarization
+//! (pick the most central sentences by TF-IDF cosine against the document
+//! centroid) and subject-keyword suggestion (top TF-IDF terms) — both
+//! *assistive*: they produce draft scope notes a human archivist edits,
+//! consistent with the TrustGuard philosophy.
+
+use crate::text::{cosine, tokenize, Vocabulary};
+
+/// Split text into sentences on `.`, `!`, `?` (keeping non-empty trimmed
+/// spans).
+pub fn split_sentences(text: &str) -> Vec<&str> {
+    text.split(['.', '!', '?'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// A draft description produced for human review.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DraftDescription {
+    /// Extracted summary sentences, in original order.
+    pub summary: Vec<String>,
+    /// Suggested subject terms, most salient first.
+    pub subjects: Vec<String>,
+}
+
+/// Produce a draft description of `text`: the `k_sentences` most central
+/// sentences plus the `k_subjects` highest-TF-IDF terms.
+pub fn describe(text: &str, k_sentences: usize, k_subjects: usize) -> DraftDescription {
+    let sentences = split_sentences(text);
+    if sentences.is_empty() {
+        return DraftDescription { summary: Vec::new(), subjects: Vec::new() };
+    }
+    let vocab = Vocabulary::fit(&sentences, 1);
+    let vectors = vocab.tfidf_matrix(&sentences);
+    // Document centroid.
+    let d = vocab.len();
+    let mut centroid = vec![0.0f32; d];
+    for r in 0..sentences.len() {
+        for (c, acc) in centroid.iter_mut().enumerate() {
+            *acc += vectors.at2(r, c);
+        }
+    }
+    for v in &mut centroid {
+        *v /= sentences.len() as f32;
+    }
+    // Rank sentences by centrality; keep original order in the output.
+    let mut ranked: Vec<(usize, f32)> = (0..sentences.len())
+        .map(|r| (r, cosine(vectors.row(r), &centroid)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut chosen: Vec<usize> = ranked.iter().take(k_sentences).map(|&(r, _)| r).collect();
+    chosen.sort_unstable();
+    let summary = chosen.iter().map(|&r| sentences[r].to_string()).collect();
+
+    // Subject terms: highest total TF-IDF mass across sentences, skipping
+    // very short tokens (function-word-ish).
+    let mut mass: Vec<(usize, f32)> = (0..d)
+        .map(|c| {
+            let total: f32 = (0..sentences.len()).map(|r| vectors.at2(r, c)).sum();
+            (c, total)
+        })
+        .collect();
+    mass.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    // Map indices back to terms via tokenization order.
+    let mut terms: Vec<String> = Vec::new();
+    let all_tokens: std::collections::BTreeSet<String> =
+        tokenize(text).into_iter().collect();
+    for (idx, _) in mass {
+        let term = all_tokens
+            .iter()
+            .find(|t| vocab.index_of(t) == Some(idx))
+            .cloned();
+        if let Some(term) = term {
+            if term.len() >= 4 && !terms.contains(&term) {
+                terms.push(term);
+            }
+        }
+        if terms.len() >= k_subjects {
+            break;
+        }
+    }
+    DraftDescription { summary, subjects: terms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "The fonds documents wartime supply operations. \
+        Supply convoys crossed the mountain passes weekly. \
+        A brief note mentions the weather. \
+        Convoy schedules and supply manifests form the bulk of the records. \
+        One page lists the cook's favorite recipes.";
+
+    #[test]
+    fn sentence_splitting() {
+        let s = split_sentences("One. Two! Three? ");
+        assert_eq!(s, vec!["One", "Two", "Three"]);
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("...").is_empty());
+    }
+
+    #[test]
+    fn summary_picks_central_sentences_in_order() {
+        let draft = describe(SAMPLE, 2, 5);
+        assert_eq!(draft.summary.len(), 2);
+        // Central sentences are the supply/convoy ones, not the recipe or
+        // weather asides.
+        for s in &draft.summary {
+            assert!(
+                s.contains("upply") || s.contains("onvoy"),
+                "unexpected summary sentence: {s}"
+            );
+        }
+        // Original order preserved.
+        let pos_a = SAMPLE.find(&draft.summary[0]).unwrap();
+        let pos_b = SAMPLE.find(&draft.summary[1]).unwrap();
+        assert!(pos_a < pos_b);
+    }
+
+    #[test]
+    fn subjects_are_salient_terms() {
+        let draft = describe(SAMPLE, 2, 4);
+        assert!(!draft.subjects.is_empty());
+        assert!(
+            draft.subjects.iter().any(|t| t == "supply" || t == "convoy" || t == "convoys"),
+            "{:?}",
+            draft.subjects
+        );
+        // All subjects are ≥ 4 chars and lowercase tokens.
+        for t in &draft.subjects {
+            assert!(t.len() >= 4);
+            assert_eq!(t, &t.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(describe("", 3, 3).summary.len(), 0);
+        let one = describe("Single sentence only.", 5, 5);
+        assert_eq!(one.summary, vec!["Single sentence only".to_string()]);
+        // k = 0 asks for nothing.
+        let none = describe(SAMPLE, 0, 0);
+        assert!(none.summary.is_empty());
+        assert!(none.subjects.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(describe(SAMPLE, 2, 4), describe(SAMPLE, 2, 4));
+    }
+}

@@ -1,0 +1,246 @@
+//! Benefit/risk assessment for adopting an AI capability (Objective 2:
+//! "determine the benefits and risks of employing AI technologies on
+//! records and archives").
+//!
+//! A lightweight likelihood × impact framework: risks and benefits are
+//! scored 1–5 on both axes; unmitigated high risks block adoption. The
+//! [`crate::functions::CapabilityRegistry`] requires a completed assessment
+//! before a capability may run unattended.
+
+use serde::{Deserialize, Serialize};
+
+/// A 1–5 ordinal scale (1 = negligible, 5 = severe/near-certain).
+pub type Scale = u8;
+
+/// One identified risk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RiskFactor {
+    /// Short name (e.g. "training-data bias").
+    pub name: String,
+    /// How likely (1–5).
+    pub likelihood: Scale,
+    /// How bad if it happens (1–5).
+    pub impact: Scale,
+    /// Mitigations in place.
+    pub mitigations: Vec<String>,
+}
+
+impl RiskFactor {
+    /// Severity = likelihood × impact (1–25), discounted 40% when at least
+    /// one mitigation exists.
+    pub fn severity(&self) -> f64 {
+        let raw = f64::from(self.likelihood) * f64::from(self.impact);
+        if self.mitigations.is_empty() {
+            raw
+        } else {
+            raw * 0.6
+        }
+    }
+}
+
+/// One expected benefit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenefitFactor {
+    /// Short name (e.g. "review throughput").
+    pub name: String,
+    /// Magnitude (1–5).
+    pub magnitude: Scale,
+    /// Confidence it materializes (1–5).
+    pub confidence: Scale,
+}
+
+impl BenefitFactor {
+    /// Value = magnitude × confidence (1–25).
+    pub fn value(&self) -> f64 {
+        f64::from(self.magnitude) * f64::from(self.confidence)
+    }
+}
+
+/// The recommendation an assessment produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Recommendation {
+    /// Benefits clearly outweigh risks.
+    Proceed,
+    /// Proceed only with the named mitigations in force.
+    ProceedWithMitigations,
+    /// Do not deploy.
+    DoNotProceed,
+}
+
+/// A completed benefit/risk assessment for one capability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assessment {
+    /// The capability assessed.
+    pub capability_id: String,
+    /// Identified risks.
+    pub risks: Vec<RiskFactor>,
+    /// Expected benefits.
+    pub benefits: Vec<BenefitFactor>,
+}
+
+impl Assessment {
+    /// New assessment shell.
+    pub fn new(capability_id: impl Into<String>) -> Self {
+        Assessment { capability_id: capability_id.into(), risks: Vec::new(), benefits: Vec::new() }
+    }
+
+    /// Add a risk (builder). Panics on out-of-scale values.
+    pub fn with_risk(mut self, risk: RiskFactor) -> Self {
+        assert!((1..=5).contains(&risk.likelihood) && (1..=5).contains(&risk.impact));
+        self.risks.push(risk);
+        self
+    }
+
+    /// Add a benefit (builder). Panics on out-of-scale values.
+    pub fn with_benefit(mut self, benefit: BenefitFactor) -> Self {
+        assert!((1..=5).contains(&benefit.magnitude) && (1..=5).contains(&benefit.confidence));
+        self.benefits.push(benefit);
+        self
+    }
+
+    /// Total (mitigated) risk severity.
+    pub fn total_risk(&self) -> f64 {
+        self.risks.iter().map(RiskFactor::severity).sum()
+    }
+
+    /// Total benefit value.
+    pub fn total_benefit(&self) -> f64 {
+        self.benefits.iter().map(BenefitFactor::value).sum()
+    }
+
+    /// Risks that individually block deployment: severity ≥ 15 with no
+    /// mitigation.
+    pub fn blocking_risks(&self) -> Vec<&RiskFactor> {
+        self.risks
+            .iter()
+            .filter(|r| r.mitigations.is_empty() && r.severity() >= 15.0)
+            .collect()
+    }
+
+    /// Produce the recommendation:
+    /// * any blocking risk → `DoNotProceed`;
+    /// * benefit > 2× risk → `Proceed`;
+    /// * benefit > risk → `ProceedWithMitigations`;
+    /// * otherwise → `DoNotProceed`.
+    pub fn recommend(&self) -> Recommendation {
+        if !self.blocking_risks().is_empty() {
+            return Recommendation::DoNotProceed;
+        }
+        let risk = self.total_risk();
+        let benefit = self.total_benefit();
+        if benefit > 2.0 * risk {
+            Recommendation::Proceed
+        } else if benefit > risk {
+            Recommendation::ProceedWithMitigations
+        } else {
+            Recommendation::DoNotProceed
+        }
+    }
+
+    /// Render a human-auditable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Benefit/risk assessment — {}\n  total benefit {:.1}, total risk {:.1} → {:?}\n",
+            self.capability_id,
+            self.total_benefit(),
+            self.total_risk(),
+            self.recommend()
+        );
+        for r in &self.risks {
+            out.push_str(&format!(
+                "  risk: {} (L{} × I{} = {:.1}{})\n",
+                r.name,
+                r.likelihood,
+                r.impact,
+                r.severity(),
+                if r.mitigations.is_empty() { ", UNMITIGATED" } else { "" }
+            ));
+        }
+        for b in &self.benefits {
+            out.push_str(&format!("  benefit: {} ({:.1})\n", b.name, b.value()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn risk(name: &str, l: u8, i: u8, mitigated: bool) -> RiskFactor {
+        RiskFactor {
+            name: name.into(),
+            likelihood: l,
+            impact: i,
+            mitigations: if mitigated { vec!["mitigation".into()] } else { vec![] },
+        }
+    }
+
+    fn benefit(name: &str, m: u8, c: u8) -> BenefitFactor {
+        BenefitFactor { name: name.into(), magnitude: m, confidence: c }
+    }
+
+    #[test]
+    fn severity_and_value_math() {
+        assert_eq!(risk("r", 3, 4, false).severity(), 12.0);
+        assert!((risk("r", 3, 4, true).severity() - 7.2).abs() < 1e-12);
+        assert_eq!(benefit("b", 5, 4).value(), 20.0);
+    }
+
+    #[test]
+    fn clear_win_recommends_proceed() {
+        let a = Assessment::new("bm25-search")
+            .with_risk(risk("stale index", 2, 2, true))
+            .with_benefit(benefit("discovery speed", 5, 5));
+        assert_eq!(a.recommend(), Recommendation::Proceed);
+    }
+
+    #[test]
+    fn marginal_win_requires_mitigations() {
+        let a = Assessment::new("auto-description")
+            .with_risk(risk("hallucinated descriptions", 3, 4, true))
+            .with_benefit(benefit("throughput", 3, 3));
+        // benefit 9 vs risk 7.2 → between 1× and 2×.
+        assert_eq!(a.recommend(), Recommendation::ProceedWithMitigations);
+    }
+
+    #[test]
+    fn unmitigated_severe_risk_blocks_regardless_of_benefit() {
+        let a = Assessment::new("auto-disposal")
+            .with_risk(risk("wrongful destruction of records", 3, 5, false))
+            .with_benefit(benefit("cost savings", 5, 5));
+        assert_eq!(a.blocking_risks().len(), 1);
+        assert_eq!(a.recommend(), Recommendation::DoNotProceed);
+        // Mitigating the same risk unblocks (and the discount applies).
+        let b = Assessment::new("auto-disposal")
+            .with_risk(risk("wrongful destruction of records", 3, 5, true))
+            .with_benefit(benefit("cost savings", 5, 5));
+        assert_ne!(b.recommend(), Recommendation::DoNotProceed);
+    }
+
+    #[test]
+    fn net_negative_recommends_against() {
+        let a = Assessment::new("experimental-ocr")
+            .with_risk(risk("mis-transcription", 4, 3, false))
+            .with_benefit(benefit("minor speedup", 1, 2));
+        assert_eq!(a.recommend(), Recommendation::DoNotProceed);
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let a = Assessment::new("tar")
+            .with_risk(risk("missed sensitive docs", 2, 5, true))
+            .with_benefit(benefit("review speed", 5, 4));
+        let text = a.render();
+        assert!(text.contains("tar"));
+        assert!(text.contains("missed sensitive docs"));
+        assert!(text.contains("review speed"));
+        assert!(text.contains("Proceed"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_scale_values_rejected() {
+        Assessment::new("x").with_risk(risk("r", 0, 9, false));
+    }
+}

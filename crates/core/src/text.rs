@@ -1,0 +1,230 @@
+//! Text substrate: tokenizer, vocabulary, term-frequency and TF-IDF
+//! vectorization shared by the sensitivity classifier, TAR, the access
+//! index, and record linking.
+
+use neural::Tensor;
+use std::collections::BTreeMap;
+
+/// Lowercase alphanumeric tokenization. Apostrophes are dropped, any other
+/// non-alphanumeric byte splits tokens. Deterministic and allocation-lean.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            current.extend(c.to_lowercase());
+        } else if c == '\'' {
+            // "archivist's" → "archivists"
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// A fitted term vocabulary mapping tokens to dense indices.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    index: BTreeMap<String, usize>,
+    /// Document frequency per term (for IDF).
+    doc_freq: Vec<usize>,
+    /// Number of documents seen during fitting.
+    n_docs: usize,
+}
+
+impl Vocabulary {
+    /// Fit over a corpus: every token that appears in ≥ `min_df` documents
+    /// gets an index. Terms are indexed in lexicographic order so the
+    /// mapping is deterministic.
+    pub fn fit<S: AsRef<str>>(docs: &[S], min_df: usize) -> Vocabulary {
+        let mut df: BTreeMap<String, usize> = BTreeMap::new();
+        for doc in docs {
+            let mut seen: Vec<String> = tokenize(doc.as_ref());
+            seen.sort_unstable();
+            seen.dedup();
+            for t in seen {
+                *df.entry(t).or_default() += 1;
+            }
+        }
+        let mut index = BTreeMap::new();
+        let mut doc_freq = Vec::new();
+        for (term, freq) in df {
+            if freq >= min_df {
+                index.insert(term, doc_freq.len());
+                doc_freq.push(freq);
+            }
+        }
+        Vocabulary { index, doc_freq, n_docs: docs.len() }
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.doc_freq.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.doc_freq.is_empty()
+    }
+
+    /// Index of a term, if in vocabulary.
+    pub fn index_of(&self, term: &str) -> Option<usize> {
+        self.index.get(term).copied()
+    }
+
+    /// Raw term-frequency vector of one document.
+    pub fn tf_vector(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.len()];
+        for token in tokenize(text) {
+            if let Some(i) = self.index_of(&token) {
+                v[i] += 1.0;
+            }
+        }
+        v
+    }
+
+    /// Term-frequency matrix over a document batch, `[docs, vocab]`.
+    pub fn tf_matrix<S: AsRef<str>>(&self, docs: &[S]) -> Tensor {
+        let d = self.len();
+        let mut data = Vec::with_capacity(docs.len() * d);
+        for doc in docs {
+            data.extend(self.tf_vector(doc.as_ref()));
+        }
+        Tensor::from_vec(&[docs.len(), d], data)
+    }
+
+    /// Smoothed IDF of term index `i`: `ln((1+N)/(1+df)) + 1`.
+    pub fn idf(&self, i: usize) -> f32 {
+        ((1.0 + self.n_docs as f32) / (1.0 + self.doc_freq[i] as f32)).ln() + 1.0
+    }
+
+    /// TF-IDF matrix with L2-normalized rows.
+    pub fn tfidf_matrix<S: AsRef<str>>(&self, docs: &[S]) -> Tensor {
+        let mut m = self.tf_matrix(docs);
+        let d = self.len();
+        for r in 0..docs.len() {
+            let mut norm = 0.0f32;
+            for c in 0..d {
+                let v = m.at2(r, c) * self.idf(c);
+                *m.at2_mut(r, c) = v;
+                norm += v * v;
+            }
+            let norm = norm.sqrt().max(1e-12);
+            for c in 0..d {
+                *m.at2_mut(r, c) /= norm;
+            }
+        }
+        m
+    }
+}
+
+/// Cosine similarity of two equal-length vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_basics() {
+        assert_eq!(tokenize("The Archivist's record, 1916!"), vec!["the", "archivists", "record", "1916"]);
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("  --  "), Vec::<String>::new());
+        assert_eq!(tokenize("a-b c_d"), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn vocabulary_indexes_lexicographically() {
+        let docs = ["beta alpha", "alpha gamma"];
+        let v = Vocabulary::fit(&docs, 1);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.index_of("alpha"), Some(0));
+        assert_eq!(v.index_of("beta"), Some(1));
+        assert_eq!(v.index_of("gamma"), Some(2));
+        assert_eq!(v.index_of("delta"), None);
+    }
+
+    #[test]
+    fn min_df_filters_rare_terms() {
+        let docs = ["common rare1", "common rare2", "common rare3"];
+        let v = Vocabulary::fit(&docs, 2);
+        assert_eq!(v.len(), 1);
+        assert!(v.index_of("common").is_some());
+        assert!(v.index_of("rare1").is_none());
+    }
+
+    #[test]
+    fn tf_vector_counts() {
+        let docs = ["a b a", "b c"];
+        let v = Vocabulary::fit(&docs, 1);
+        let tf = v.tf_vector("a a a b zzz");
+        assert_eq!(tf[v.index_of("a").unwrap()], 3.0);
+        assert_eq!(tf[v.index_of("b").unwrap()], 1.0);
+        assert_eq!(tf[v.index_of("c").unwrap()], 0.0);
+    }
+
+    #[test]
+    fn idf_weights_rare_terms_higher() {
+        let docs = ["common rare", "common other", "common third"];
+        let v = Vocabulary::fit(&docs, 1);
+        let common = v.idf(v.index_of("common").unwrap());
+        let rare = v.idf(v.index_of("rare").unwrap());
+        assert!(rare > common);
+    }
+
+    #[test]
+    fn tfidf_rows_are_unit_length() {
+        let docs = ["alpha beta gamma", "alpha alpha", "beta gamma delta epsilon"];
+        let v = Vocabulary::fit(&docs, 1);
+        let m = v.tfidf_matrix(&docs);
+        for r in 0..3 {
+            let norm: f32 = m.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-5, "row {r} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn tfidf_empty_doc_is_zero_row_not_nan() {
+        let docs = ["alpha beta", ""];
+        let v = Vocabulary::fit(&docs, 1);
+        let m = v.tfidf_matrix(&docs);
+        assert!(m.all_finite());
+        assert!(m.row(1).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn cosine_properties() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        let sim = cosine(&[1.0, 1.0], &[1.0, 0.0]);
+        assert!((sim - std::f32::consts::FRAC_1_SQRT_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn similar_documents_have_higher_cosine() {
+        let docs = [
+            "military report supply lines front",
+            "military report ammunition supply",
+            "parchment recto verso signum notary",
+        ];
+        let v = Vocabulary::fit(&docs, 1);
+        let m = v.tfidf_matrix(&docs);
+        let sim_01 = cosine(m.row(0), m.row(1));
+        let sim_02 = cosine(m.row(0), m.row(2));
+        assert!(sim_01 > sim_02, "{sim_01} vs {sim_02}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests over the itrust-core text/access/guard machinery.
+
+use archival_core::provenance::ProvenanceChain;
+use itrust_core::access::AccessIndex;
+use itrust_core::ai_task::{GuardedDecision, Routing, TrustGuard};
+use itrust_core::text::{cosine, tokenize, Vocabulary};
+use proptest::prelude::*;
+use trustdb::audit::AuditLog;
+
+proptest! {
+    /// Tokens are never empty, always lowercase alphanumeric.
+    #[test]
+    fn tokenizer_output_well_formed(text in ".{0,200}") {
+        for token in tokenize(&text) {
+            prop_assert!(!token.is_empty());
+            prop_assert!(token.chars().all(|c| c.is_alphanumeric()));
+            prop_assert!(!token.chars().any(|c| c.is_uppercase()));
+        }
+    }
+
+    /// Tokenization is idempotent through join: tokenizing the joined
+    /// tokens yields the same tokens.
+    #[test]
+    fn tokenizer_idempotent(text in "[a-zA-Z0-9 .,;!?]{0,200}") {
+        let once = tokenize(&text);
+        let twice = tokenize(&once.join(" "));
+        prop_assert_eq!(once, twice);
+    }
+
+    /// TF vectors count exactly the in-vocabulary tokens.
+    #[test]
+    fn tf_vector_counts_tokens(words in proptest::collection::vec("[a-z]{1,8}", 1..30)) {
+        let doc = words.join(" ");
+        let vocab = Vocabulary::fit(&[doc.as_str()], 1);
+        let tf = vocab.tf_vector(&doc);
+        let total: f32 = tf.iter().sum();
+        prop_assert_eq!(total as usize, words.len());
+    }
+
+    /// Cosine similarity is bounded and symmetric.
+    #[test]
+    fn cosine_bounded_symmetric(
+        a in proptest::collection::vec(-10.0f32..10.0, 1..20),
+        b_seed in proptest::collection::vec(-10.0f32..10.0, 1..20),
+    ) {
+        let n = a.len().min(b_seed.len());
+        let (a, b) = (&a[..n], &b_seed[..n]);
+        let ab = cosine(a, b);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&ab));
+        prop_assert!((ab - cosine(b, a)).abs() < 1e-6);
+    }
+
+    /// BM25 search never returns unknown ids, scores are positive and
+    /// descending, and k bounds the result size.
+    #[test]
+    fn bm25_search_invariants(
+        docs in proptest::collection::vec("[a-z]{1,6}( [a-z]{1,6}){0,15}", 1..30),
+        query in "[a-z]{1,6}( [a-z]{1,6}){0,3}",
+        k in 0usize..10,
+    ) {
+        let mut idx = AccessIndex::default();
+        for (i, text) in docs.iter().enumerate() {
+            idx.add(format!("doc-{i}"), text);
+        }
+        let hits = idx.search(&query, k);
+        prop_assert!(hits.len() <= k);
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score - 1e-9);
+        }
+        for h in &hits {
+            prop_assert!(h.score > 0.0);
+            let n: usize = h.doc_id[4..].parse().unwrap();
+            prop_assert!(n < docs.len());
+        }
+    }
+
+    /// The guard partitions decisions exactly at the threshold and never
+    /// loses one: auto + queued == total.
+    #[test]
+    fn guard_partition_is_exact(confidences in proptest::collection::vec(0.0f32..=1.0, 1..40),
+                                threshold in 0.0f32..=1.0) {
+        let audit = AuditLog::new();
+        let guard = TrustGuard::new(&audit, threshold);
+        let mut chain = ProvenanceChain::new("rec");
+        let mut auto = 0usize;
+        for (i, &confidence) in confidences.iter().enumerate() {
+            let routing = guard.vet(
+                i as u64,
+                GuardedDecision {
+                    subject: format!("rec-{i}"),
+                    model_id: "m".into(),
+                    decision: "d".into(),
+                    confidence,
+                },
+                &mut chain,
+            ).unwrap();
+            match routing {
+                Routing::AutoAccepted => {
+                    prop_assert!(confidence >= threshold);
+                    auto += 1;
+                }
+                Routing::NeedsHumanReview => prop_assert!(confidence < threshold),
+            }
+        }
+        prop_assert_eq!(auto + guard.pending_count(), confidences.len());
+        // Everything was logged; chains verify.
+        prop_assert_eq!(chain.len(), confidences.len());
+        chain.verify().unwrap();
+        audit.verify_chain().unwrap();
+    }
+}

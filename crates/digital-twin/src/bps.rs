@@ -1,0 +1,244 @@
+//! Building performance simulation (BPS).
+//!
+//! The Carleton study "integrat[es] Building Performance Simulation (BPS)
+//! technologies with BIM on a campus scale". This module implements the
+//! standard lightweight thermal model — a lumped-parameter 1R1C network per
+//! building — driven by an outdoor-temperature profile, producing hourly
+//! indoor temperatures and heating/cooling energy. Its output feeds the
+//! Figure 2 integration as the `BpsResults` source, and, like every other
+//! automated tool in the twin, it registers paradata.
+
+use crate::bim::{Building, ElementKind};
+use serde::{Deserialize, Serialize};
+
+/// Tool identity for paradata.
+pub const TOOL_ID: &str = "sim:bps-1r1c-v1";
+
+/// Thermal parameters of one building (derived from its BIM).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Heat-loss coefficient (kW/°C): envelope conductance.
+    pub ua_kw_per_c: f64,
+    /// Thermal capacitance (kWh/°C): building mass.
+    pub c_kwh_per_c: f64,
+    /// Heating setpoint (°C).
+    pub heat_setpoint_c: f64,
+    /// Cooling setpoint (°C).
+    pub cool_setpoint_c: f64,
+    /// Maximum HVAC power (kW), symmetric for heat/cool.
+    pub hvac_max_kw: f64,
+}
+
+impl ThermalModel {
+    /// Derive parameters from a building's BIM: glazing raises UA, mass
+    /// (walls/slabs) raises capacitance — the point being that the BIM is
+    /// the *source of truth* for BPS inputs, as the study prescribes.
+    pub fn from_building(building: &Building) -> ThermalModel {
+        let mut windows = 0usize;
+        let mut mass_elements = 0usize;
+        let mut hvac_units = 0usize;
+        for storey in &building.storeys {
+            for e in &storey.elements {
+                match e.kind {
+                    ElementKind::Window => windows += 1,
+                    ElementKind::Wall | ElementKind::Slab => mass_elements += 1,
+                    ElementKind::HvacUnit => hvac_units += 1,
+                    _ => {}
+                }
+            }
+        }
+        ThermalModel {
+            ua_kw_per_c: 0.05 + 0.03 * windows as f64 + 0.01 * mass_elements as f64,
+            c_kwh_per_c: 2.0 + 1.5 * mass_elements as f64,
+            heat_setpoint_c: 20.0,
+            cool_setpoint_c: 25.0,
+            hvac_max_kw: 5.0 + 10.0 * hvac_units.max(1) as f64,
+        }
+    }
+}
+
+/// Hourly result of a BPS run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HourResult {
+    /// Hour index.
+    pub hour: usize,
+    /// Outdoor temperature (°C).
+    pub outdoor_c: f64,
+    /// Indoor temperature at end of hour (°C).
+    pub indoor_c: f64,
+    /// Heating energy this hour (kWh, ≥ 0).
+    pub heating_kwh: f64,
+    /// Cooling energy this hour (kWh, ≥ 0).
+    pub cooling_kwh: f64,
+}
+
+/// Full BPS output for one building.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BpsResult {
+    /// Building code.
+    pub building: String,
+    /// Parameters used.
+    pub model: ThermalModel,
+    /// Hour-by-hour trajectory.
+    pub hours: Vec<HourResult>,
+}
+
+impl BpsResult {
+    /// Total annualizable heating energy (kWh).
+    pub fn total_heating_kwh(&self) -> f64 {
+        self.hours.iter().map(|h| h.heating_kwh).sum()
+    }
+
+    /// Total cooling energy (kWh).
+    pub fn total_cooling_kwh(&self) -> f64 {
+        self.hours.iter().map(|h| h.cooling_kwh).sum()
+    }
+}
+
+/// A sinusoidal daily outdoor-temperature profile: mean ± swing, coldest
+/// at 4 am.
+pub fn outdoor_profile(hours: usize, mean_c: f64, swing_c: f64) -> Vec<f64> {
+    (0..hours)
+        .map(|h| {
+            let phase = ((h % 24) as f64 - 4.0) / 24.0 * std::f64::consts::TAU;
+            mean_c - swing_c * phase.cos()
+        })
+        .collect()
+}
+
+/// Run the 1R1C model: each hour, HVAC drives the indoor temperature
+/// toward the setpoint band, capped at `hvac_max_kw`; the envelope leaks
+/// toward the outdoor temperature.
+pub fn simulate(building: &Building, outdoor: &[f64]) -> BpsResult {
+    let model = ThermalModel::from_building(building);
+    let mut indoor = model.heat_setpoint_c;
+    let mut hours = Vec::with_capacity(outdoor.len());
+    for (hour, &out_c) in outdoor.iter().enumerate() {
+        // Envelope heat flow over one hour (kWh): UA · ΔT · 1h.
+        let leak_kwh = model.ua_kw_per_c * (out_c - indoor);
+        // HVAC demand to return to the nearest setpoint.
+        let target = if indoor < model.heat_setpoint_c {
+            Some(model.heat_setpoint_c)
+        } else if indoor > model.cool_setpoint_c {
+            Some(model.cool_setpoint_c)
+        } else {
+            None
+        };
+        let mut heating_kwh = 0.0;
+        let mut cooling_kwh = 0.0;
+        let hvac_kwh = match target {
+            None => 0.0,
+            Some(t) => {
+                let needed = (t - indoor) * model.c_kwh_per_c - leak_kwh;
+                let capped = needed.clamp(-model.hvac_max_kw, model.hvac_max_kw);
+                if capped > 0.0 {
+                    heating_kwh = capped;
+                } else {
+                    cooling_kwh = -capped;
+                }
+                capped
+            }
+        };
+        indoor += (leak_kwh + hvac_kwh) / model.c_kwh_per_c;
+        hours.push(HourResult {
+            hour,
+            outdoor_c: out_c,
+            indoor_c: indoor,
+            heating_kwh,
+            cooling_kwh,
+        });
+    }
+    BpsResult { building: building.code.clone(), model, hours }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bim::BimModel;
+
+    fn building() -> Building {
+        BimModel::synthetic_campus("c", 1, 3, 8).buildings.remove(0)
+    }
+
+    #[test]
+    fn parameters_derive_from_bim() {
+        let b = building();
+        let m = ThermalModel::from_building(&b);
+        assert!(m.ua_kw_per_c > 0.0);
+        assert!(m.c_kwh_per_c > 2.0);
+        assert!(m.hvac_max_kw >= 15.0, "building has HVAC units");
+        // More glazing → leakier envelope.
+        let mut glassy = b.clone();
+        for s in &mut glassy.storeys {
+            for e in &mut s.elements {
+                e.kind = ElementKind::Window;
+            }
+        }
+        assert!(ThermalModel::from_building(&glassy).ua_kw_per_c > m.ua_kw_per_c);
+    }
+
+    #[test]
+    fn outdoor_profile_shape() {
+        let p = outdoor_profile(48, 10.0, 5.0);
+        assert_eq!(p.len(), 48);
+        // Coldest at 4 am, warmest at 16 pm.
+        assert!(p[4] < p[16]);
+        assert!((p[4] - 5.0).abs() < 0.1);
+        assert!((p[16] - 15.0).abs() < 0.1);
+        // 24h periodicity.
+        assert!((p[3] - p[27]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_weather_heats_warm_weather_cools() {
+        let b = building();
+        let winter = simulate(&b, &outdoor_profile(72, -5.0, 4.0));
+        let summer = simulate(&b, &outdoor_profile(72, 32.0, 4.0));
+        assert!(winter.total_heating_kwh() > 10.0);
+        assert!(winter.total_cooling_kwh() < 1e-9);
+        assert!(summer.total_cooling_kwh() > 10.0);
+        assert!(summer.total_heating_kwh() < 1e-9);
+    }
+
+    #[test]
+    fn mild_weather_needs_no_hvac() {
+        let b = building();
+        let mild = simulate(&b, &outdoor_profile(48, 22.0, 1.0));
+        assert!(mild.total_heating_kwh() + mild.total_cooling_kwh() < 5.0);
+    }
+
+    #[test]
+    fn indoor_temperature_stays_near_band_under_capacity() {
+        let b = building();
+        let result = simulate(&b, &outdoor_profile(168, 0.0, 8.0));
+        // After the first day settles, indoor stays within a loosened band.
+        for h in &result.hours[24..] {
+            assert!(
+                (15.0..=28.0).contains(&h.indoor_c),
+                "hour {}: indoor {}",
+                h.hour,
+                h.indoor_c
+            );
+        }
+    }
+
+    #[test]
+    fn energy_grows_with_temperature_gap() {
+        let b = building();
+        let mild_winter = simulate(&b, &outdoor_profile(72, 10.0, 3.0));
+        let harsh_winter = simulate(&b, &outdoor_profile(72, -15.0, 3.0));
+        assert!(harsh_winter.total_heating_kwh() > mild_winter.total_heating_kwh() * 1.5);
+    }
+
+    #[test]
+    fn deterministic_and_serializable() {
+        let b = building();
+        let p = outdoor_profile(24, 5.0, 5.0);
+        let a = simulate(&b, &p);
+        let b2 = simulate(&b, &p);
+        assert_eq!(a, b2);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: BpsResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+    }
+}

@@ -1,0 +1,151 @@
+//! Paradata: preserving information *about* the AI tools inside the twin.
+//!
+//! The study asks: "Can information about the AI tools, automation and real
+//! time data involved in this complex data, social and technological system
+//! be preserved, and how?" The answer implemented here: every automated
+//! component registers a [`ToolDescription`] (identity, version, inputs,
+//! training-data digest where applicable), and every decision instance
+//! carries a pointer back to it. The whole registry travels inside the
+//! archival package.
+
+use serde::{Deserialize, Serialize};
+use trustdb::hash::Digest;
+
+/// Category of automated tool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ToolKind {
+    /// Fixed rule (auditable by reading it).
+    Rule,
+    /// Trained statistical/ML model.
+    Model,
+    /// Simulation engine.
+    Simulator,
+    /// External service (API).
+    Service,
+}
+
+/// Description of one automated tool — what a future archivist needs to
+/// interpret decisions the tool made.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ToolDescription {
+    /// Stable identifier referenced by decision logs (e.g.
+    /// "rule:comfort-band-v1").
+    pub id: String,
+    /// Category.
+    pub kind: ToolKind,
+    /// Version string.
+    pub version: String,
+    /// Human-readable purpose.
+    pub purpose: String,
+    /// What data the tool consumes.
+    pub inputs: Vec<String>,
+    /// Digest of training data / configuration, when applicable.
+    pub config_digest: Option<Digest>,
+}
+
+/// Registry of every automated tool active in a twin.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ParadataRegistry {
+    tools: Vec<ToolDescription>,
+}
+
+impl ParadataRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a tool; rejects duplicate ids.
+    pub fn register(&mut self, tool: ToolDescription) -> Result<(), String> {
+        if self.tools.iter().any(|t| t.id == tool.id) {
+            return Err(format!("tool id '{}' already registered", tool.id));
+        }
+        self.tools.push(tool);
+        Ok(())
+    }
+
+    /// Look up a tool by id.
+    pub fn get(&self, id: &str) -> Option<&ToolDescription> {
+        self.tools.iter().find(|t| t.id == id)
+    }
+
+    /// All registered tools.
+    pub fn tools(&self) -> &[ToolDescription] {
+        &self.tools
+    }
+
+    /// Completeness check against a set of decision-maker ids found in
+    /// logs: every id must be described. Returns the undescribed ids —
+    /// a non-empty result means the twin is *not* preservation-ready.
+    pub fn undescribed<'a>(&self, decision_makers: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+        let mut missing: Vec<String> = decision_makers
+            .into_iter()
+            .filter(|id| self.get(id).is_none())
+            .map(|s| s.to_string())
+            .collect();
+        missing.sort();
+        missing.dedup();
+        missing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule_tool() -> ToolDescription {
+        ToolDescription {
+            id: "rule:comfort-band-v1".into(),
+            kind: ToolKind::Rule,
+            version: "1.0".into(),
+            purpose: "keep room temperature in the comfort band".into(),
+            inputs: vec!["temperature telemetry".into()],
+            config_digest: None,
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = ParadataRegistry::new();
+        reg.register(rule_tool()).unwrap();
+        assert!(reg.get("rule:comfort-band-v1").is_some());
+        assert!(reg.get("ghost").is_none());
+        assert_eq!(reg.tools().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut reg = ParadataRegistry::new();
+        reg.register(rule_tool()).unwrap();
+        assert!(reg.register(rule_tool()).is_err());
+    }
+
+    #[test]
+    fn completeness_check_names_missing_tools() {
+        let mut reg = ParadataRegistry::new();
+        reg.register(rule_tool()).unwrap();
+        let missing = reg.undescribed(
+            ["rule:comfort-band-v1", "model:load-forecast-v3", "model:load-forecast-v3"]
+                .into_iter(),
+        );
+        assert_eq!(missing, vec!["model:load-forecast-v3"]);
+        assert!(reg.undescribed(["rule:comfort-band-v1"].into_iter()).is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut reg = ParadataRegistry::new();
+        reg.register(ToolDescription {
+            id: "model:x".into(),
+            kind: ToolKind::Model,
+            version: "2.1".into(),
+            purpose: "p".into(),
+            inputs: vec!["a".into()],
+            config_digest: Some(trustdb::hash::sha256(b"training set v7")),
+        })
+        .unwrap();
+        let json = serde_json::to_string(&reg).unwrap();
+        let back: ParadataRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, reg);
+    }
+}

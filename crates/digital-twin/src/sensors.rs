@@ -1,0 +1,253 @@
+//! IoT sensor network: the "synchronized data connections" between the
+//! physical and digital things — temperature, humidity, air quality, and
+//! energy telemetry attached to BIM elements.
+
+use crate::bim::ElementId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Physical quantity a sensor measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorKind {
+    /// Air temperature (°C).
+    Temperature,
+    /// Relative humidity (%).
+    Humidity,
+    /// CO₂ concentration (ppm).
+    AirQuality,
+    /// Electrical power draw (kW).
+    Power,
+}
+
+impl SensorKind {
+    /// All kinds.
+    pub const ALL: [SensorKind; 4] = [
+        SensorKind::Temperature,
+        SensorKind::Humidity,
+        SensorKind::AirQuality,
+        SensorKind::Power,
+    ];
+
+    /// Plausible operating range (used for generation and validation).
+    pub fn range(&self) -> (f64, f64) {
+        match self {
+            SensorKind::Temperature => (10.0, 35.0),
+            SensorKind::Humidity => (15.0, 80.0),
+            SensorKind::AirQuality => (350.0, 2000.0),
+            SensorKind::Power => (0.0, 150.0),
+        }
+    }
+}
+
+/// A deployed sensor bound to a BIM element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sensor {
+    /// Unique sensor id.
+    pub id: String,
+    /// What it measures.
+    pub kind: SensorKind,
+    /// The BIM element it is mounted on.
+    pub element: ElementId,
+    /// Sampling period (ms).
+    pub period_ms: u64,
+}
+
+/// One telemetry reading.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reading {
+    /// Producing sensor.
+    pub sensor_id: String,
+    /// Timestamp (ms).
+    pub timestamp_ms: u64,
+    /// Measured value.
+    pub value: f64,
+}
+
+/// A sensor fleet plus its accumulated telemetry history.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SensorNetwork {
+    /// Deployed sensors.
+    pub sensors: Vec<Sensor>,
+    /// Telemetry in timestamp order.
+    pub history: Vec<Reading>,
+}
+
+impl SensorNetwork {
+    /// Deploy `per_element` sensors on each of the given elements,
+    /// cycling through sensor kinds.
+    pub fn deploy(elements: &[ElementId], per_element: usize) -> SensorNetwork {
+        let mut sensors = Vec::with_capacity(elements.len() * per_element);
+        for (ei, element) in elements.iter().enumerate() {
+            for s in 0..per_element {
+                let kind = SensorKind::ALL[(ei + s) % SensorKind::ALL.len()];
+                sensors.push(Sensor {
+                    id: format!("sens-{ei}-{s}"),
+                    kind,
+                    element: element.clone(),
+                    period_ms: 60_000,
+                });
+            }
+        }
+        SensorNetwork { sensors, history: Vec::new() }
+    }
+
+    /// Simulate telemetry for `[0, duration_ms)`: a slow sinusoidal drift
+    /// plus noise, clamped to the sensor's plausible range. Deterministic
+    /// in `seed`.
+    pub fn simulate(&mut self, duration_ms: u64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for sensor in &self.sensors {
+            let (lo, hi) = sensor.kind.range();
+            let mid = (lo + hi) / 2.0;
+            let amp = (hi - lo) / 4.0;
+            let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let mut t = 0u64;
+            while t < duration_ms {
+                let cycle = (t as f64 / 86_400_000.0) * std::f64::consts::TAU;
+                let noise: f64 = rng.gen_range(-0.05..0.05) * (hi - lo);
+                let value = (mid + amp * (cycle + phase).sin() + noise).clamp(lo, hi);
+                self.history.push(Reading {
+                    sensor_id: sensor.id.clone(),
+                    timestamp_ms: t,
+                    value,
+                });
+                t += sensor.period_ms;
+            }
+        }
+        self.history.sort_by_key(|r| (r.timestamp_ms, r.sensor_id.clone()));
+    }
+
+    /// Readings of one sensor, in time order.
+    pub fn readings_of(&self, sensor_id: &str) -> Vec<&Reading> {
+        self.history.iter().filter(|r| r.sensor_id == sensor_id).collect()
+    }
+
+    /// Latest reading per sensor at or before `t_ms` (the twin's "state of
+    /// the world" snapshot the AMS consumes).
+    pub fn snapshot_at(&self, t_ms: u64) -> Vec<(&Sensor, Option<&Reading>)> {
+        self.sensors
+            .iter()
+            .map(|s| {
+                let last = self
+                    .history
+                    .iter()
+                    .filter(|r| r.sensor_id == s.id && r.timestamp_ms <= t_ms)
+                    .next_back();
+                (s, last)
+            })
+            .collect()
+    }
+
+    /// Validate that every reading is in its sensor's plausible range and
+    /// references a deployed sensor. Returns problem descriptions.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for r in &self.history {
+            match self.sensors.iter().find(|s| s.id == r.sensor_id) {
+                None => problems.push(format!("reading from unknown sensor {}", r.sensor_id)),
+                Some(s) => {
+                    let (lo, hi) = s.kind.range();
+                    if r.value < lo || r.value > hi {
+                        problems.push(format!(
+                            "{} reading {} outside [{lo}, {hi}]",
+                            r.sensor_id, r.value
+                        ));
+                    }
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bim::BimModel;
+
+    fn network() -> SensorNetwork {
+        let model = BimModel::synthetic_campus("c", 2, 2, 3);
+        let mut net = SensorNetwork::deploy(&model.element_ids(), 2);
+        net.simulate(600_000, 7); // 10 minutes at 1-minute period
+        net
+    }
+
+    #[test]
+    fn deploy_counts_and_binding() {
+        let model = BimModel::synthetic_campus("c", 2, 2, 3);
+        let net = SensorNetwork::deploy(&model.element_ids(), 2);
+        assert_eq!(net.sensors.len(), 24);
+        for s in &net.sensors {
+            assert!(model.element(&s.element).is_some());
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic_and_valid() {
+        let a = network();
+        let b = network();
+        assert_eq!(a.history, b.history);
+        assert!(a.validate().is_empty(), "{:?}", a.validate());
+        // 10 readings per sensor (t = 0..600000 step 60000).
+        assert_eq!(a.history.len(), 24 * 10);
+    }
+
+    #[test]
+    fn readings_are_time_ordered() {
+        let net = network();
+        for w in net.history.windows(2) {
+            assert!(w[0].timestamp_ms <= w[1].timestamp_ms);
+        }
+        let one = net.readings_of("sens-0-0");
+        assert_eq!(one.len(), 10);
+        for w in one.windows(2) {
+            assert!(w[0].timestamp_ms < w[1].timestamp_ms);
+        }
+    }
+
+    #[test]
+    fn snapshot_returns_latest_at_time() {
+        let net = network();
+        let snap = net.snapshot_at(150_000);
+        assert_eq!(snap.len(), 24);
+        for (_, reading) in &snap {
+            let r = reading.expect("every sensor has readings by 150s");
+            assert!(r.timestamp_ms <= 150_000);
+            assert_eq!(r.timestamp_ms, 120_000, "latest 1-minute tick before 150s");
+        }
+        // Before any reading exists → None.
+        let mut empty = SensorNetwork::deploy(&[crate::bim::ElementId::new("x")], 1);
+        empty.history.clear();
+        let snap = empty.snapshot_at(0);
+        assert!(snap[0].1.is_none());
+    }
+
+    #[test]
+    fn validation_catches_bad_data() {
+        let mut net = network();
+        net.history.push(Reading {
+            sensor_id: "ghost".into(),
+            timestamp_ms: 1,
+            value: 1.0,
+        });
+        net.history.push(Reading {
+            sensor_id: "sens-0-0".into(),
+            timestamp_ms: 2,
+            value: 1e9,
+        });
+        let problems = net.validate();
+        assert!(problems.iter().any(|p| p.contains("unknown sensor")));
+        assert!(problems.iter().any(|p| p.contains("outside")));
+    }
+
+    #[test]
+    fn values_respect_kind_ranges() {
+        let net = network();
+        for r in &net.history {
+            let s = net.sensors.iter().find(|s| s.id == r.sensor_id).unwrap();
+            let (lo, hi) = s.kind.range();
+            assert!((lo..=hi).contains(&r.value));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Model data-sharing agreements.
+//!
+//! One of the Section 3.1 work items: "fleshing out a model data sharing
+//! agreement to serve as a starting point for discussions surrounding
+//! transferring data to our research environment". The agreement here is a
+//! machine-checkable contract: parties, purpose, the privacy profile the
+//! transfer must satisfy, a retention limit for the research copy, and the
+//! jurisdictional restrictions the study's "knowledge base of legal
+//! restrictions" tracks. The preserve module refuses to package a transfer
+//! that violates its agreement.
+
+use crate::privacy::{PrivacyProfile, verify_no_leakage};
+use crate::call::CallRecord;
+use serde::{Deserialize, Serialize};
+
+/// A jurisdiction's collection/transfer restriction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LegalRestriction {
+    /// Jurisdiction code (e.g. "US-WA", "CA-BC", "IT").
+    pub jurisdiction: String,
+    /// Summary of the restriction.
+    pub summary: String,
+    /// Whether transfer outside the jurisdiction is permitted at all.
+    pub transfer_permitted: bool,
+}
+
+/// A data-sharing agreement between an ESCS owner and a research host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataSharingAgreement {
+    /// Stable agreement id.
+    pub id: String,
+    /// The data owner (e.g. "King County E-911 Office").
+    pub owner: String,
+    /// The receiving research organization.
+    pub recipient: String,
+    /// Research purpose statement.
+    pub purpose: String,
+    /// Jurisdiction the data originates in.
+    pub jurisdiction: String,
+    /// Privacy profile every transferred record must satisfy.
+    pub privacy: PrivacyProfile,
+    /// Agreement validity window (ms, inclusive start / exclusive end).
+    pub valid_ms: (u64, u64),
+    /// Maximum retention of the research copy after transfer (ms).
+    pub research_retention_ms: u64,
+}
+
+/// Why a transfer was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransferViolation {
+    /// The agreement is not in force at the transfer time.
+    OutsideValidity,
+    /// The jurisdiction forbids transfer.
+    JurisdictionForbids(String),
+    /// Sanitization requirements not met.
+    PrivacyLeakage(String),
+}
+
+impl std::fmt::Display for TransferViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferViolation::OutsideValidity => write!(f, "agreement not in force"),
+            TransferViolation::JurisdictionForbids(j) => {
+                write!(f, "jurisdiction {j} forbids transfer")
+            }
+            TransferViolation::PrivacyLeakage(d) => write!(f, "privacy leakage: {d}"),
+        }
+    }
+}
+
+impl DataSharingAgreement {
+    /// Check a proposed transfer of `records` (already sanitized) at
+    /// `now_ms` against this agreement and the restriction knowledge base.
+    pub fn check_transfer(
+        &self,
+        records: &[CallRecord],
+        now_ms: u64,
+        restrictions: &[LegalRestriction],
+    ) -> Result<(), TransferViolation> {
+        if now_ms < self.valid_ms.0 || now_ms >= self.valid_ms.1 {
+            return Err(TransferViolation::OutsideValidity);
+        }
+        if let Some(r) = restrictions
+            .iter()
+            .find(|r| r.jurisdiction == self.jurisdiction && !r.transfer_permitted)
+        {
+            return Err(TransferViolation::JurisdictionForbids(r.jurisdiction.clone()));
+        }
+        verify_no_leakage(&self.privacy, records)
+            .map_err(TransferViolation::PrivacyLeakage)?;
+        Ok(())
+    }
+
+    /// Sanitize then check: the one-call path `preserve` uses.
+    pub fn prepare_transfer(
+        &self,
+        raw: &[CallRecord],
+        now_ms: u64,
+        restrictions: &[LegalRestriction],
+    ) -> Result<Vec<CallRecord>, TransferViolation> {
+        let sanitized = self.privacy.apply_batch(raw);
+        self.check_transfer(&sanitized, now_ms, restrictions)?;
+        Ok(sanitized)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::call::{CallCategory, CallOutcome};
+    use crate::graph::{PsapId, RegionId};
+
+    fn agreement() -> DataSharingAgreement {
+        DataSharingAgreement {
+            id: "dsa-2022-01".into(),
+            owner: "County E-911 Office".into(),
+            recipient: "University Research Lab".into(),
+            purpose: "replay of past events; analytics method research".into(),
+            jurisdiction: "US-WA".into(),
+            privacy: PrivacyProfile::research_default(),
+            valid_ms: (1_000, 1_000_000),
+            research_retention_ms: 5_000_000,
+        }
+    }
+
+    fn raw_calls(n: u64) -> Vec<CallRecord> {
+        (0..n)
+            .map(|i| CallRecord {
+                call_id: i,
+                region: RegionId(0),
+                answered_by: Some(PsapId(0)),
+                transferred: false,
+                caller_phone: format!("206-555-{:04}", 1000 + i),
+                gps: (47.123456, -122.654321),
+                category: CallCategory::Fire,
+                arrived_ms: i * 100,
+                answered_ms: Some(i * 100 + 5),
+                handling_ms: Some(60_000),
+                dispatched: None,
+                responder_unit: None,
+                on_scene_ms: None,
+                outcome: CallOutcome::AnsweredNoDispatch,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prepare_transfer_sanitizes_and_passes() {
+        let dsa = agreement();
+        let out = dsa.prepare_transfer(&raw_calls(10), 2_000, &[]).unwrap();
+        assert_eq!(out.len(), 10);
+        for r in &out {
+            assert!(r.caller_phone.ends_with("XXXX"));
+        }
+    }
+
+    #[test]
+    fn raw_transfer_is_refused_as_leakage() {
+        let dsa = agreement();
+        let err = dsa.check_transfer(&raw_calls(3), 2_000, &[]).unwrap_err();
+        assert!(matches!(err, TransferViolation::PrivacyLeakage(_)));
+    }
+
+    #[test]
+    fn validity_window_enforced() {
+        let dsa = agreement();
+        let sanitized = dsa.privacy.apply_batch(&raw_calls(1));
+        assert_eq!(
+            dsa.check_transfer(&sanitized, 500, &[]),
+            Err(TransferViolation::OutsideValidity)
+        );
+        assert_eq!(
+            dsa.check_transfer(&sanitized, 1_000_000, &[]),
+            Err(TransferViolation::OutsideValidity)
+        );
+        dsa.check_transfer(&sanitized, 999_999, &[]).unwrap();
+    }
+
+    #[test]
+    fn jurisdictional_prohibition_enforced() {
+        let dsa = agreement();
+        let restrictions = vec![LegalRestriction {
+            jurisdiction: "US-WA".into(),
+            summary: "state law forbids off-site transfer of CAD data".into(),
+            transfer_permitted: false,
+        }];
+        let sanitized = dsa.privacy.apply_batch(&raw_calls(1));
+        assert!(matches!(
+            dsa.check_transfer(&sanitized, 2_000, &restrictions),
+            Err(TransferViolation::JurisdictionForbids(_))
+        ));
+        // A restriction in a different jurisdiction does not block.
+        let other = vec![LegalRestriction {
+            jurisdiction: "CA-BC".into(),
+            summary: "…".into(),
+            transfer_permitted: false,
+        }];
+        dsa.check_transfer(&sanitized, 2_000, &other).unwrap();
+    }
+
+    #[test]
+    fn violation_display() {
+        assert!(TransferViolation::OutsideValidity.to_string().contains("not in force"));
+        assert!(TransferViolation::JurisdictionForbids("X".into())
+            .to_string()
+            .contains('X'));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let dsa = agreement();
+        let json = serde_json::to_string(&dsa).unwrap();
+        let back: DataSharingAgreement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dsa);
+    }
+}

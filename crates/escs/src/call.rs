@@ -1,0 +1,268 @@
+//! Call detail records — the data objects whose preservation Section 3.1
+//! studies.
+//!
+//! The paper enumerates what "typical ESCS data currently involve": lists of
+//! individual calls with "full or partial phone numbers, call
+//! categorization, GPS coordinates, responder information, response times".
+//! [`CallRecord`] carries exactly those fields, and is what the privacy
+//! module redacts and the preservation module packages.
+
+use crate::graph::{PsapId, RegionId, ResponderKind};
+use serde::{Deserialize, Serialize};
+
+/// Caller-reported incident category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CallCategory {
+    /// Medical emergency → EMS.
+    Medical,
+    /// Fire → fire service.
+    Fire,
+    /// Crime in progress → police.
+    Crime,
+    /// Traffic accident → police (with EMS in severe cases; simplified to
+    /// police here).
+    Traffic,
+    /// Non-emergency / misdial: answered, not dispatched.
+    NonEmergency,
+}
+
+impl CallCategory {
+    /// Responder branch handling this category (None = no dispatch).
+    pub fn responder(&self) -> Option<ResponderKind> {
+        match self {
+            CallCategory::Medical => Some(ResponderKind::Ems),
+            CallCategory::Fire => Some(ResponderKind::Fire),
+            CallCategory::Crime | CallCategory::Traffic => Some(ResponderKind::Police),
+            CallCategory::NonEmergency => None,
+        }
+    }
+
+    /// All categories.
+    pub const ALL: [CallCategory; 5] = [
+        CallCategory::Medical,
+        CallCategory::Fire,
+        CallCategory::Crime,
+        CallCategory::Traffic,
+        CallCategory::NonEmergency,
+    ];
+}
+
+/// Terminal status of a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CallOutcome {
+    /// Answered and (if applicable) dispatched to completion.
+    Completed,
+    /// Caller hung up before being answered.
+    Abandoned,
+    /// Answered; no dispatch required.
+    AnsweredNoDispatch,
+}
+
+/// One call's complete detail record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallRecord {
+    /// Sequential call id within the scenario.
+    pub call_id: u64,
+    /// Originating region.
+    pub region: RegionId,
+    /// PSAP that ultimately answered (after any overflow transfer).
+    pub answered_by: Option<PsapId>,
+    /// Whether the call overflowed from its primary PSAP.
+    pub transferred: bool,
+    /// Caller phone number (synthetic, NANP-formatted) — sensitive.
+    pub caller_phone: String,
+    /// Incident GPS (lat, lon) — sensitive at full precision.
+    pub gps: (f64, f64),
+    /// Category assigned by the call taker.
+    pub category: CallCategory,
+    /// Arrival time (ms).
+    pub arrived_ms: u64,
+    /// Answer time (ms), if answered.
+    pub answered_ms: Option<u64>,
+    /// Call-taker handling duration (ms), if answered.
+    pub handling_ms: Option<u64>,
+    /// Responder branch dispatched, if any.
+    pub dispatched: Option<ResponderKind>,
+    /// Responder unit identifier, if dispatched.
+    pub responder_unit: Option<String>,
+    /// On-scene arrival time (ms), if a unit arrived.
+    pub on_scene_ms: Option<u64>,
+    /// Terminal status.
+    pub outcome: CallOutcome,
+}
+
+impl CallRecord {
+    /// Answer delay (arrival → answer) in ms, if answered.
+    pub fn answer_delay_ms(&self) -> Option<u64> {
+        self.answered_ms.map(|a| a - self.arrived_ms)
+    }
+
+    /// Response time (arrival → on scene) in ms, if a unit arrived.
+    pub fn response_time_ms(&self) -> Option<u64> {
+        self.on_scene_ms.map(|o| o - self.arrived_ms)
+    }
+
+    /// Serialize to the line format used in preserved call logs.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("CallRecord is always serializable")
+    }
+
+    /// Parse from the preserved line format.
+    pub fn from_json(s: &str) -> Option<CallRecord> {
+        serde_json::from_str(s).ok()
+    }
+
+    /// A human-readable one-line summary used in DIP finding aids.
+    pub fn summary(&self) -> String {
+        format!(
+            "call {} [{:?}] region {} at {}ms → {:?}",
+            self.call_id, self.category, self.region.0, self.arrived_ms, self.outcome
+        )
+    }
+}
+
+/// Aggregate statistics over a batch of call records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallStats {
+    /// Total calls.
+    pub total: usize,
+    /// Answered calls.
+    pub answered: usize,
+    /// Abandoned calls.
+    pub abandoned: usize,
+    /// Calls transferred by overflow.
+    pub transferred: usize,
+    /// Mean answer delay (ms) over answered calls.
+    pub mean_answer_delay_ms: f64,
+    /// 95th-percentile answer delay (ms).
+    pub p95_answer_delay_ms: f64,
+    /// Mean response time (ms) over dispatched-and-arrived calls.
+    pub mean_response_time_ms: f64,
+}
+
+impl CallStats {
+    /// Compute from a slice of records. Zero-valued stats for empty input.
+    pub fn from_records(records: &[CallRecord]) -> CallStats {
+        let answered: Vec<&CallRecord> =
+            records.iter().filter(|r| r.answered_ms.is_some()).collect();
+        let delays: Vec<f64> = answered
+            .iter()
+            .filter_map(|r| r.answer_delay_ms())
+            .map(|d| d as f64)
+            .collect();
+        let responses: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.response_time_ms())
+            .map(|d| d as f64)
+            .collect();
+        let delay_summary = crate::stats::summarize(&delays);
+        CallStats {
+            total: records.len(),
+            answered: answered.len(),
+            abandoned: records
+                .iter()
+                .filter(|r| r.outcome == CallOutcome::Abandoned)
+                .count(),
+            transferred: records.iter().filter(|r| r.transferred).count(),
+            mean_answer_delay_ms: delay_summary.map_or(0.0, |s| s.mean),
+            p95_answer_delay_ms: delay_summary.map_or(0.0, |s| s.p95),
+            mean_response_time_ms: crate::stats::summarize(&responses).map_or(0.0, |s| s.mean),
+        }
+    }
+
+    /// Abandonment rate in [0,1].
+    pub fn abandonment_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.abandoned as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample(id: u64) -> CallRecord {
+        CallRecord {
+            call_id: id,
+            region: RegionId(0),
+            answered_by: Some(PsapId(0)),
+            transferred: false,
+            caller_phone: "206-555-0147".into(),
+            gps: (47.6062, -122.3321),
+            category: CallCategory::Medical,
+            arrived_ms: 1_000,
+            answered_ms: Some(1_400),
+            handling_ms: Some(90_000),
+            dispatched: Some(ResponderKind::Ems),
+            responder_unit: Some("EMS-0-1".into()),
+            on_scene_ms: Some(400_000),
+            outcome: CallOutcome::Completed,
+        }
+    }
+
+    #[test]
+    fn derived_times() {
+        let r = sample(1);
+        assert_eq!(r.answer_delay_ms(), Some(400));
+        assert_eq!(r.response_time_ms(), Some(399_000));
+        let mut abandoned = sample(2);
+        abandoned.answered_ms = None;
+        abandoned.on_scene_ms = None;
+        abandoned.outcome = CallOutcome::Abandoned;
+        assert_eq!(abandoned.answer_delay_ms(), None);
+        assert_eq!(abandoned.response_time_ms(), None);
+    }
+
+    #[test]
+    fn category_routing() {
+        assert_eq!(CallCategory::Medical.responder(), Some(ResponderKind::Ems));
+        assert_eq!(CallCategory::Fire.responder(), Some(ResponderKind::Fire));
+        assert_eq!(CallCategory::Crime.responder(), Some(ResponderKind::Police));
+        assert_eq!(CallCategory::Traffic.responder(), Some(ResponderKind::Police));
+        assert_eq!(CallCategory::NonEmergency.responder(), None);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample(7);
+        let line = r.to_json();
+        let back = CallRecord::from_json(&line).unwrap();
+        assert_eq!(back, r);
+        assert!(CallRecord::from_json("{broken").is_none());
+    }
+
+    #[test]
+    fn stats_over_mixed_batch() {
+        let mut records = vec![sample(0), sample(1), sample(2)];
+        records[1].transferred = true;
+        let mut ab = sample(3);
+        ab.answered_ms = None;
+        ab.on_scene_ms = None;
+        ab.outcome = CallOutcome::Abandoned;
+        records.push(ab);
+        let stats = CallStats::from_records(&records);
+        assert_eq!(stats.total, 4);
+        assert_eq!(stats.answered, 3);
+        assert_eq!(stats.abandoned, 1);
+        assert_eq!(stats.transferred, 1);
+        assert!((stats.abandonment_rate() - 0.25).abs() < 1e-12);
+        assert!((stats.mean_answer_delay_ms - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_empty_batch() {
+        let stats = CallStats::from_records(&[]);
+        assert_eq!(stats.total, 0);
+        assert_eq!(stats.abandonment_rate(), 0.0);
+        assert_eq!(stats.mean_answer_delay_ms, 0.0);
+    }
+
+    #[test]
+    fn summary_mentions_key_fields() {
+        let s = sample(42).summary();
+        assert!(s.contains("42") && s.contains("Medical") && s.contains("Completed"));
+    }
+}

@@ -1,0 +1,166 @@
+//! External event streams: the context the paper says is missing from ESCS
+//! data.
+//!
+//! "What these datasets do not directly include are events and data that
+//! are external to the call stream but are the reason for such calls
+//! (traffic, weather, geopolitical events, and so on)." This module
+//! generates such events and exposes their effect as time-varying call-rate
+//! multipliers, so scenarios can model a storm or disaster surge — and so
+//! the preserved record of a simulation can include the *causal* stream,
+//! which is the study's point.
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of external event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExternalKind {
+    /// Severe weather (storm, flood).
+    Weather,
+    /// Major traffic incident.
+    Traffic,
+    /// Geopolitical / civil event (demonstration, emergency declaration).
+    Geopolitical,
+}
+
+/// One external event with a time window and an intensity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExternalEvent {
+    /// Kind of event.
+    pub kind: ExternalKind,
+    /// Human-readable description.
+    pub description: String,
+    /// Start of effect (ms).
+    pub start_ms: u64,
+    /// End of effect (ms, exclusive).
+    pub end_ms: u64,
+    /// Multiplier applied to regional call rates while active (≥ 1.0 for
+    /// surges; < 1.0 would model suppression, e.g. curfew).
+    pub rate_multiplier: f64,
+    /// Regions affected (empty = all).
+    pub regions: Vec<usize>,
+}
+
+impl ExternalEvent {
+    /// Whether the event affects `region` at `t_ms`.
+    pub fn active(&self, t_ms: u64, region: usize) -> bool {
+        t_ms >= self.start_ms
+            && t_ms < self.end_ms
+            && (self.regions.is_empty() || self.regions.contains(&region))
+    }
+}
+
+/// A scenario's complete external context.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExternalTimeline {
+    /// Events in no particular order.
+    pub events: Vec<ExternalEvent>,
+}
+
+impl ExternalTimeline {
+    /// No external events (baseline load).
+    pub fn quiet() -> Self {
+        Self::default()
+    }
+
+    /// Add an event (builder).
+    pub fn with(mut self, event: ExternalEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Combined rate multiplier for `region` at `t_ms` (product of active
+    /// events — concurrent stressors compound).
+    pub fn multiplier(&self, t_ms: u64, region: usize) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.active(t_ms, region))
+            .map(|e| e.rate_multiplier)
+            .product()
+    }
+
+    /// A canonical "disaster surge" scenario: a storm tripling call volume
+    /// across all regions for the middle third of `duration_ms`, plus a
+    /// traffic pile-up doubling one region's rate briefly.
+    pub fn disaster(duration_ms: u64) -> Self {
+        ExternalTimeline::quiet()
+            .with(ExternalEvent {
+                kind: ExternalKind::Weather,
+                description: "severe storm front".into(),
+                start_ms: duration_ms / 3,
+                end_ms: 2 * duration_ms / 3,
+                rate_multiplier: 3.0,
+                regions: Vec::new(),
+            })
+            .with(ExternalEvent {
+                kind: ExternalKind::Traffic,
+                description: "multi-vehicle pile-up, highway 9".into(),
+                start_ms: duration_ms / 3,
+                end_ms: duration_ms / 3 + duration_ms / 10,
+                rate_multiplier: 2.0,
+                regions: vec![0],
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_timeline_is_identity() {
+        let t = ExternalTimeline::quiet();
+        assert_eq!(t.multiplier(0, 0), 1.0);
+        assert_eq!(t.multiplier(u64::MAX, 5), 1.0);
+    }
+
+    #[test]
+    fn event_window_is_half_open() {
+        let e = ExternalEvent {
+            kind: ExternalKind::Weather,
+            description: "storm".into(),
+            start_ms: 100,
+            end_ms: 200,
+            rate_multiplier: 2.0,
+            regions: Vec::new(),
+        };
+        assert!(!e.active(99, 0));
+        assert!(e.active(100, 0));
+        assert!(e.active(199, 0));
+        assert!(!e.active(200, 0));
+    }
+
+    #[test]
+    fn region_scoping() {
+        let e = ExternalEvent {
+            kind: ExternalKind::Traffic,
+            description: "pile-up".into(),
+            start_ms: 0,
+            end_ms: 100,
+            rate_multiplier: 2.0,
+            regions: vec![1, 3],
+        };
+        assert!(!e.active(50, 0));
+        assert!(e.active(50, 1));
+        assert!(e.active(50, 3));
+    }
+
+    #[test]
+    fn concurrent_events_compound() {
+        let t = ExternalTimeline::disaster(900);
+        // Middle third (300..600): storm ×3 everywhere; region 0 also has
+        // the pile-up ×2 during 300..390.
+        assert!((t.multiplier(350, 0) - 6.0).abs() < 1e-12);
+        assert!((t.multiplier(350, 1) - 3.0).abs() < 1e-12);
+        assert!((t.multiplier(500, 0) - 3.0).abs() < 1e-12);
+        assert!((t.multiplier(100, 0) - 1.0).abs() < 1e-12);
+        assert!((t.multiplier(700, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = ExternalTimeline::disaster(1_000);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ExternalTimeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

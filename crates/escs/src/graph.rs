@@ -1,0 +1,288 @@
+//! PSAP network topology: the graph underlying the simulation.
+//!
+//! An ESCS is modeled as regions whose calls route to a primary PSAP
+//! (public-safety answering point); PSAPs have finite trunk capacity, may
+//! overflow to a partner PSAP, and hand answered calls to responder pools
+//! (fire / police / EMS) for dispatch.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Index of a PSAP in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PsapId(pub usize);
+
+/// Index of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub usize);
+
+/// Responder service branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResponderKind {
+    /// Fire and rescue.
+    Fire,
+    /// Law enforcement.
+    Police,
+    /// Emergency medical services.
+    Ems,
+}
+
+impl ResponderKind {
+    /// All branches, for iteration.
+    pub const ALL: [ResponderKind; 3] =
+        [ResponderKind::Fire, ResponderKind::Police, ResponderKind::Ems];
+}
+
+/// Configuration of one PSAP node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PsapConfig {
+    /// Node id (must equal its index in [`Topology::psaps`]).
+    pub id: PsapId,
+    /// Display name (e.g. "King County 911").
+    pub name: String,
+    /// Concurrent call-taker trunks.
+    pub trunks: usize,
+    /// Queue length beyond which new arrivals overflow to the partner.
+    pub overflow_threshold: usize,
+    /// Partner PSAP receiving overflow, if any.
+    pub overflow_to: Option<PsapId>,
+}
+
+/// Configuration of one responder pool (per region × kind).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResponderPoolConfig {
+    /// Which region the pool serves.
+    pub region: RegionId,
+    /// Service branch.
+    pub kind: ResponderKind,
+    /// Available units.
+    pub units: usize,
+}
+
+/// One geographic region generating calls.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionConfig {
+    /// Region id (must equal its index).
+    pub id: RegionId,
+    /// Display name.
+    pub name: String,
+    /// Primary PSAP for this region's calls.
+    pub primary_psap: PsapId,
+    /// Baseline call rate (calls per simulated minute).
+    pub base_rate_per_min: f64,
+    /// Region centroid for synthetic GPS (lat, lon).
+    pub centroid: (f64, f64),
+}
+
+/// The complete ESCS graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    /// PSAP nodes.
+    pub psaps: Vec<PsapConfig>,
+    /// Regions.
+    pub regions: Vec<RegionConfig>,
+    /// Responder pools.
+    pub pools: Vec<ResponderPoolConfig>,
+}
+
+impl Topology {
+    /// Validate referential integrity. Returns problems (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.psaps.is_empty() {
+            problems.push("topology has no PSAPs".into());
+        }
+        if self.regions.is_empty() {
+            problems.push("topology has no regions".into());
+        }
+        for (i, p) in self.psaps.iter().enumerate() {
+            if p.id.0 != i {
+                problems.push(format!("PSAP {} id mismatch (index {i})", p.id.0));
+            }
+            if p.trunks == 0 {
+                problems.push(format!("PSAP '{}' has zero trunks", p.name));
+            }
+            if let Some(o) = p.overflow_to {
+                if o == p.id {
+                    problems.push(format!("PSAP '{}' overflows to itself", p.name));
+                }
+                if o.0 >= self.psaps.len() {
+                    problems.push(format!("PSAP '{}' overflows to unknown PSAP {}", p.name, o.0));
+                }
+            }
+        }
+        for (i, r) in self.regions.iter().enumerate() {
+            if r.id.0 != i {
+                problems.push(format!("region {} id mismatch (index {i})", r.id.0));
+            }
+            if r.primary_psap.0 >= self.psaps.len() {
+                problems.push(format!("region '{}' routes to unknown PSAP", r.name));
+            }
+            if r.base_rate_per_min <= 0.0 {
+                problems.push(format!("region '{}' has non-positive call rate", r.name));
+            }
+        }
+        for pool in &self.pools {
+            if pool.region.0 >= self.regions.len() {
+                problems.push(format!("pool {:?} serves unknown region", pool.kind));
+            }
+            if pool.units == 0 {
+                problems.push(format!("pool {:?}/region {} has zero units", pool.kind, pool.region.0));
+            }
+        }
+        // Every region needs all three pools for dispatchability.
+        let mut have: BTreeMap<(RegionId, ResponderKind), usize> = BTreeMap::new();
+        for pool in &self.pools {
+            *have.entry((pool.region, pool.kind)).or_default() += pool.units;
+        }
+        for r in &self.regions {
+            for kind in ResponderKind::ALL {
+                if !have.contains_key(&(r.id, kind)) {
+                    problems.push(format!("region '{}' lacks a {:?} pool", r.name, kind));
+                }
+            }
+        }
+        problems
+    }
+
+    /// Total trunk capacity.
+    pub fn total_trunks(&self) -> usize {
+        self.psaps.iter().map(|p| p.trunks).sum()
+    }
+
+    /// Total responder units.
+    pub fn total_units(&self) -> usize {
+        self.pools.iter().map(|p| p.units).sum()
+    }
+
+    /// A small single-city topology: 1 region, 1 PSAP, three pools. The
+    /// quickstart configuration.
+    pub fn single_city() -> Topology {
+        Topology {
+            psaps: vec![PsapConfig {
+                id: PsapId(0),
+                name: "City 911".into(),
+                trunks: 4,
+                overflow_threshold: 10,
+                overflow_to: None,
+            }],
+            regions: vec![RegionConfig {
+                id: RegionId(0),
+                name: "City".into(),
+                primary_psap: PsapId(0),
+                base_rate_per_min: 2.0,
+                centroid: (47.6062, -122.3321),
+            }],
+            pools: ResponderKind::ALL
+                .iter()
+                .map(|&kind| ResponderPoolConfig { region: RegionId(0), kind, units: 3 })
+                .collect(),
+        }
+    }
+
+    /// A metro topology with `n` districts: `n` regions, `n` PSAPs in an
+    /// overflow ring, pools sized to the district index. Used for the D1
+    /// scaling sweep.
+    pub fn metro(n: usize) -> Topology {
+        assert!(n >= 1);
+        let psaps = (0..n)
+            .map(|i| PsapConfig {
+                id: PsapId(i),
+                name: format!("District {i} PSAP"),
+                trunks: 3 + i % 3,
+                overflow_threshold: 8,
+                overflow_to: if n > 1 { Some(PsapId((i + 1) % n)) } else { None },
+            })
+            .collect();
+        let regions = (0..n)
+            .map(|i| RegionConfig {
+                id: RegionId(i),
+                name: format!("District {i}"),
+                primary_psap: PsapId(i),
+                base_rate_per_min: 1.0 + (i % 4) as f64 * 0.5,
+                centroid: (45.0 + i as f64 * 0.05, -120.0 - i as f64 * 0.05),
+            })
+            .collect();
+        let mut pools = Vec::with_capacity(3 * n);
+        for i in 0..n {
+            for kind in ResponderKind::ALL {
+                pools.push(ResponderPoolConfig {
+                    region: RegionId(i),
+                    kind,
+                    units: 2 + i % 3,
+                });
+            }
+        }
+        Topology { psaps, regions, pools }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_city_is_valid() {
+        let t = Topology::single_city();
+        assert!(t.validate().is_empty(), "{:?}", t.validate());
+        assert_eq!(t.total_trunks(), 4);
+        assert_eq!(t.total_units(), 9);
+    }
+
+    #[test]
+    fn metro_topologies_valid_across_sizes() {
+        for n in [1, 2, 3, 10, 25] {
+            let t = Topology::metro(n);
+            assert!(t.validate().is_empty(), "n={n}: {:?}", t.validate());
+            assert_eq!(t.psaps.len(), n);
+            assert_eq!(t.regions.len(), n);
+            assert_eq!(t.pools.len(), 3 * n);
+        }
+    }
+
+    #[test]
+    fn metro_overflow_forms_ring() {
+        let t = Topology::metro(4);
+        assert_eq!(t.psaps[3].overflow_to, Some(PsapId(0)));
+        let t1 = Topology::metro(1);
+        assert_eq!(t1.psaps[0].overflow_to, None);
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let mut t = Topology::single_city();
+        t.psaps[0].trunks = 0;
+        t.psaps[0].overflow_to = Some(PsapId(0));
+        t.regions[0].base_rate_per_min = 0.0;
+        let problems = t.validate();
+        assert!(problems.iter().any(|p| p.contains("zero trunks")));
+        assert!(problems.iter().any(|p| p.contains("overflows to itself")));
+        assert!(problems.iter().any(|p| p.contains("non-positive call rate")));
+    }
+
+    #[test]
+    fn validation_catches_missing_pools() {
+        let mut t = Topology::single_city();
+        t.pools.retain(|p| p.kind != ResponderKind::Ems);
+        let problems = t.validate();
+        assert!(problems.iter().any(|p| p.contains("Ems")));
+    }
+
+    #[test]
+    fn validation_catches_dangling_references() {
+        let mut t = Topology::single_city();
+        t.regions[0].primary_psap = PsapId(99);
+        t.psaps[0].overflow_to = Some(PsapId(99));
+        let problems = t.validate();
+        assert!(problems.iter().filter(|p| p.contains("unknown")).count() >= 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Topology::metro(3);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        assert!(back.validate().is_empty());
+        assert_eq!(back.psaps.len(), 3);
+    }
+}

@@ -1,0 +1,272 @@
+//! Privacy transforms for transferring ESCS data to a research environment.
+//!
+//! Section 3.1: "we must understand privacy and security risks associated
+//! with transferring them from their current owners to a research
+//! environment". The transforms here are the standard pair:
+//!
+//! * **Phone masking** — keep the exchange prefix, mask the subscriber
+//!   number (`206-555-0147` → `206-555-XXXX`), or drop entirely.
+//! * **GPS coarsening** — snap coordinates to a grid of configurable cell
+//!   size, the cheap k-anonymity-style generalization that keeps spatial
+//!   analytics possible while removing address-level precision.
+//!
+//! Experiment D8 property-tests the leakage guarantee: no full phone number
+//! or full-precision coordinate survives the transform.
+
+use crate::call::CallRecord;
+use serde::{Deserialize, Serialize};
+
+/// How phone numbers are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhonePolicy {
+    /// Keep as-is (only lawful inside the owning agency).
+    Keep,
+    /// Mask the subscriber number: `206-555-XXXX`.
+    MaskSubscriber,
+    /// Remove entirely.
+    Drop,
+}
+
+/// How GPS coordinates are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GpsPolicy {
+    /// Keep full precision.
+    Keep,
+    /// Snap to a grid with the given cell size in degrees (e.g. 0.01 ≈ 1 km).
+    Coarsen {
+        /// Grid cell size in degrees.
+        cell_deg: f64,
+    },
+    /// Remove entirely (coordinates become (0,0) and a flag is set).
+    Drop,
+}
+
+/// A privacy profile applied to call records before transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyProfile {
+    /// Phone treatment.
+    pub phone: PhonePolicy,
+    /// GPS treatment.
+    pub gps: GpsPolicy,
+}
+
+impl PrivacyProfile {
+    /// The profile a model data-sharing agreement would default to:
+    /// masked subscriber numbers, ~1 km grid.
+    pub fn research_default() -> Self {
+        PrivacyProfile {
+            phone: PhonePolicy::MaskSubscriber,
+            gps: GpsPolicy::Coarsen { cell_deg: 0.01 },
+        }
+    }
+
+    /// Maximum protection: drop both.
+    pub fn strict() -> Self {
+        PrivacyProfile { phone: PhonePolicy::Drop, gps: GpsPolicy::Drop }
+    }
+
+    /// Apply to one record, returning the sanitized copy.
+    pub fn apply(&self, record: &CallRecord) -> CallRecord {
+        let mut out = record.clone();
+        out.caller_phone = match self.phone {
+            PhonePolicy::Keep => out.caller_phone,
+            PhonePolicy::MaskSubscriber => mask_subscriber(&out.caller_phone),
+            PhonePolicy::Drop => String::new(),
+        };
+        out.gps = match self.gps {
+            GpsPolicy::Keep => out.gps,
+            GpsPolicy::Coarsen { cell_deg } => {
+                (snap(out.gps.0, cell_deg), snap(out.gps.1, cell_deg))
+            }
+            GpsPolicy::Drop => (0.0, 0.0),
+        };
+        out
+    }
+
+    /// Apply to a batch.
+    pub fn apply_batch(&self, records: &[CallRecord]) -> Vec<CallRecord> {
+        records.iter().map(|r| self.apply(r)).collect()
+    }
+}
+
+fn mask_subscriber(phone: &str) -> String {
+    // Already masked (idempotence): leave untouched.
+    if phone.is_empty() || phone.contains('X') {
+        return phone.to_string();
+    }
+    // Keep everything up to the last separator, mask the trailing digit run.
+    match phone.rfind('-') {
+        Some(pos) if phone[pos + 1..].chars().all(|c| c.is_ascii_digit()) => {
+            format!("{}-XXXX", &phone[..pos])
+        }
+        _ => {
+            // Unstructured number: mask the last 4 digits defensively.
+            let digits: Vec<usize> = phone
+                .char_indices()
+                .filter(|(_, c)| c.is_ascii_digit())
+                .map(|(i, _)| i)
+                .collect();
+            if digits.len() < 4 {
+                return "XXXX".into();
+            }
+            let mut s: Vec<char> = phone.chars().collect();
+            for &i in &digits[digits.len() - 4..] {
+                s[i] = 'X';
+            }
+            s.into_iter().collect()
+        }
+    }
+}
+
+fn snap(v: f64, cell: f64) -> f64 {
+    assert!(cell > 0.0);
+    (v / cell).round() * cell
+}
+
+/// Leakage check used by tests and the D8 experiment: does the sanitized
+/// batch still contain any full subscriber number or any coordinate at
+/// higher precision than the profile allows?
+pub fn verify_no_leakage(profile: &PrivacyProfile, sanitized: &[CallRecord]) -> Result<(), String> {
+    for r in sanitized {
+        match profile.phone {
+            PhonePolicy::Keep => {}
+            PhonePolicy::MaskSubscriber => {
+                let tail: String = r
+                    .caller_phone
+                    .chars()
+                    .rev()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect();
+                if tail.len() >= 4 {
+                    return Err(format!(
+                        "call {}: subscriber digits survived masking: {}",
+                        r.call_id, r.caller_phone
+                    ));
+                }
+            }
+            PhonePolicy::Drop => {
+                if !r.caller_phone.is_empty() {
+                    return Err(format!("call {}: phone not dropped", r.call_id));
+                }
+            }
+        }
+        if let GpsPolicy::Coarsen { cell_deg } = profile.gps {
+            for (axis, v) in [("lat", r.gps.0), ("lon", r.gps.1)] {
+                let snapped = snap(v, cell_deg);
+                if (snapped - v).abs() > 1e-9 {
+                    return Err(format!(
+                        "call {}: {axis} {v} not on the {cell_deg}° grid",
+                        r.call_id
+                    ));
+                }
+            }
+        }
+        if profile.gps == GpsPolicy::Drop && r.gps != (0.0, 0.0) {
+            return Err(format!("call {}: gps not dropped", r.call_id));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::call::{CallCategory, CallOutcome};
+    use crate::graph::{PsapId, RegionId};
+
+    fn record(phone: &str, gps: (f64, f64)) -> CallRecord {
+        CallRecord {
+            call_id: 0,
+            region: RegionId(0),
+            answered_by: Some(PsapId(0)),
+            transferred: false,
+            caller_phone: phone.into(),
+            gps,
+            category: CallCategory::Medical,
+            arrived_ms: 0,
+            answered_ms: Some(10),
+            handling_ms: Some(100),
+            dispatched: None,
+            responder_unit: None,
+            on_scene_ms: None,
+            outcome: CallOutcome::AnsweredNoDispatch,
+        }
+    }
+
+    #[test]
+    fn mask_subscriber_standard_format() {
+        let p = PrivacyProfile::research_default();
+        let out = p.apply(&record("206-555-0147", (47.0, -122.0)));
+        assert_eq!(out.caller_phone, "206-555-XXXX");
+    }
+
+    #[test]
+    fn mask_subscriber_unstructured_number() {
+        let p = PrivacyProfile {
+            phone: PhonePolicy::MaskSubscriber,
+            gps: GpsPolicy::Keep,
+        };
+        let out = p.apply(&record("2065550147", (0.0, 0.0)));
+        assert!(out.caller_phone.ends_with("XXXX"));
+        assert!(!out.caller_phone.contains("0147"));
+        // Degenerate short number.
+        let out = p.apply(&record("911", (0.0, 0.0)));
+        assert_eq!(out.caller_phone, "XXXX");
+    }
+
+    #[test]
+    fn gps_coarsening_snaps_to_grid() {
+        let p = PrivacyProfile::research_default();
+        let out = p.apply(&record("206-555-0147", (47.60621, -122.33207)));
+        assert!((out.gps.0 - 47.61).abs() < 1e-9, "{}", out.gps.0);
+        assert!((out.gps.1 - (-122.33)).abs() < 1e-9, "{}", out.gps.1);
+    }
+
+    #[test]
+    fn strict_profile_drops_everything() {
+        let p = PrivacyProfile::strict();
+        let out = p.apply(&record("206-555-0147", (47.6, -122.3)));
+        assert!(out.caller_phone.is_empty());
+        assert_eq!(out.gps, (0.0, 0.0));
+    }
+
+    #[test]
+    fn keep_profile_is_identity() {
+        let p = PrivacyProfile { phone: PhonePolicy::Keep, gps: GpsPolicy::Keep };
+        let r = record("206-555-0147", (47.6062, -122.3321));
+        assert_eq!(p.apply(&r), r);
+    }
+
+    #[test]
+    fn non_sensitive_fields_preserved() {
+        let p = PrivacyProfile::strict();
+        let r = record("206-555-0147", (47.6, -122.3));
+        let out = p.apply(&r);
+        assert_eq!(out.call_id, r.call_id);
+        assert_eq!(out.category, r.category);
+        assert_eq!(out.answered_ms, r.answered_ms);
+        assert_eq!(out.outcome, r.outcome);
+    }
+
+    #[test]
+    fn verify_no_leakage_passes_on_sanitized_fails_on_raw() {
+        let p = PrivacyProfile::research_default();
+        let raw: Vec<CallRecord> = (0..20)
+            .map(|i| {
+                let mut r = record("206-555-0147", (47.123456 + i as f64 * 0.001, -122.654321));
+                r.call_id = i;
+                r
+            })
+            .collect();
+        let sanitized = p.apply_batch(&raw);
+        verify_no_leakage(&p, &sanitized).unwrap();
+        assert!(verify_no_leakage(&p, &raw).is_err());
+    }
+
+    #[test]
+    fn verify_detects_dropped_policy_violation() {
+        let p = PrivacyProfile::strict();
+        let not_dropped = vec![record("1", (1.0, 1.0))];
+        assert!(verify_no_leakage(&p, &not_dropped).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Random samplers for simulation workloads: exponential, Poisson, and
+//! log-normal, built on `rand`'s uniform source (keeping the dependency
+//! footprint to the whitelisted crates).
+
+use rand::Rng;
+
+/// Sample an exponential inter-arrival time with rate `lambda` (events per
+/// unit time). Mean is `1/lambda`.
+pub fn exponential<R: Rng>(rng: &mut R, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "rate must be positive");
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / lambda
+}
+
+/// Sample a Poisson count with mean `lambda`. Knuth's product method for
+/// small λ, normal approximation (rounded, clamped at 0) for large λ.
+pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0);
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        let z = gaussian(rng);
+        let v = lambda + lambda.sqrt() * z;
+        if v < 0.0 {
+            0
+        } else {
+            v.round() as u64
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal sample with the given parameters of the underlying normal
+/// (`mu`, `sigma`). Service/handling times are classically log-normal.
+pub fn log_normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0);
+    (mu + sigma * gaussian(rng)).exp()
+}
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (by sorting a copy).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+/// Compute summary statistics. Returns `None` for an empty slice.
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    if values.is_empty() {
+        return None;
+    }
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pct = |p: f64| {
+        let idx = ((n as f64 - 1.0) * p).round() as usize;
+        sorted[idx]
+    };
+    Some(Summary {
+        n,
+        mean,
+        std: var.sqrt(),
+        min: sorted[0],
+        max: sorted[n - 1],
+        p50: pct(0.5),
+        p95: pct(0.95),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for lambda in [0.5, 2.0, 10.0] {
+            let n = 20_000;
+            let mean: f64 =
+                (0..n).map(|_| exponential(&mut rng, lambda)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - 1.0 / lambda).abs() < 0.05 / lambda + 0.01,
+                "λ={lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(exponential(&mut rng, 3.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lambda = 4.0;
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lambda) as f64).collect();
+        let s = summarize(&samples).unwrap();
+        assert!((s.mean - lambda).abs() < 0.1, "mean {}", s.mean);
+        // Poisson variance == mean.
+        assert!((s.std * s.std - lambda).abs() < 0.3, "var {}", s.std * s.std);
+    }
+
+    #[test]
+    fn poisson_large_lambda_normal_branch() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let lambda = 200.0;
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let s = summarize(&samples).unwrap();
+        assert!(s.mean.abs() < 0.02, "mean {}", s.mean);
+        assert!((s.std - 1.0).abs() < 0.02, "std {}", s.std);
+    }
+
+    #[test]
+    fn log_normal_median_is_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (mu, sigma) = (1.0, 0.5);
+        let n = 30_000;
+        let samples: Vec<f64> = (0..n).map(|_| log_normal(&mut rng, mu, sigma)).collect();
+        let s = summarize(&samples).unwrap();
+        assert!((s.p50 - mu.exp()).abs() < 0.1, "median {}", s.p50);
+        assert!(s.min > 0.0);
+    }
+
+    #[test]
+    fn summarize_known_values() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert!((s.std - (2.0f64).sqrt()).abs() < 1e-12);
+        assert!(summarize(&[]).is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests over ESCS privacy, statistics, and replay
+//! machinery.
+
+use escs::call::{CallCategory, CallOutcome, CallRecord};
+use escs::graph::{PsapId, RegionId};
+use escs::privacy::{verify_no_leakage, GpsPolicy, PhonePolicy, PrivacyProfile};
+use escs::replay::divergence;
+use escs::stats::summarize;
+use proptest::prelude::*;
+
+fn arb_call() -> impl Strategy<Value = CallRecord> {
+    (
+        any::<u64>(),
+        0usize..4,
+        200u32..999,
+        0u32..9999,
+        -90.0f64..90.0,
+        -180.0f64..180.0,
+        0u64..1_000_000,
+        proptest::option::of(0u64..100_000),
+    )
+        .prop_map(|(id, region, area, number, lat, lon, arrived, delay)| CallRecord {
+            call_id: id,
+            region: RegionId(region),
+            answered_by: delay.map(|_| PsapId(region % 3)),
+            transferred: id % 7 == 0,
+            caller_phone: format!("{area}-555-{number:04}"),
+            gps: (lat, lon),
+            category: CallCategory::ALL[(id % 5) as usize],
+            arrived_ms: arrived,
+            answered_ms: delay.map(|d| arrived + d),
+            handling_ms: delay.map(|d| d + 1),
+            dispatched: None,
+            responder_unit: None,
+            on_scene_ms: None,
+            outcome: if delay.is_some() {
+                CallOutcome::AnsweredNoDispatch
+            } else {
+                CallOutcome::Abandoned
+            },
+        })
+}
+
+proptest! {
+    /// The research-default profile never leaks, for arbitrary records.
+    #[test]
+    fn research_profile_never_leaks(calls in proptest::collection::vec(arb_call(), 0..30)) {
+        let profile = PrivacyProfile::research_default();
+        let sanitized = profile.apply_batch(&calls);
+        prop_assert!(verify_no_leakage(&profile, &sanitized).is_ok());
+        // Sanitization preserves record count and non-sensitive fields.
+        prop_assert_eq!(sanitized.len(), calls.len());
+        for (a, b) in calls.iter().zip(&sanitized) {
+            prop_assert_eq!(a.call_id, b.call_id);
+            prop_assert_eq!(a.arrived_ms, b.arrived_ms);
+            prop_assert_eq!(a.outcome, b.outcome);
+        }
+    }
+
+    /// Sanitization is idempotent: applying the profile twice equals once.
+    #[test]
+    fn sanitization_idempotent(calls in proptest::collection::vec(arb_call(), 0..20)) {
+        let profile = PrivacyProfile {
+            phone: PhonePolicy::MaskSubscriber,
+            gps: GpsPolicy::Coarsen { cell_deg: 0.01 },
+        };
+        let once = profile.apply_batch(&calls);
+        let twice = profile.apply_batch(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Call-record JSON round trip is lossless.
+    #[test]
+    fn call_record_json_round_trip(call in arb_call()) {
+        let json = call.to_json();
+        let back = CallRecord::from_json(&json).unwrap();
+        prop_assert_eq!(back, call);
+    }
+
+    /// Divergence is a premetric: d(a,a) = 0, symmetric, and counts
+    /// length mismatches.
+    #[test]
+    fn divergence_premetric(a in proptest::collection::vec(arb_call(), 0..15),
+                            b in proptest::collection::vec(arb_call(), 0..15)) {
+        prop_assert_eq!(divergence(&a, &a), 0);
+        prop_assert_eq!(divergence(&a, &b), divergence(&b, &a));
+        prop_assert!(divergence(&a, &b) >= a.len().abs_diff(b.len()));
+    }
+
+    /// Summary statistics respect ordering: min ≤ p50 ≤ p95 ≤ max, and the
+    /// mean lies within [min, max].
+    #[test]
+    fn summary_ordering(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = summarize(&values).unwrap();
+        prop_assert!(s.min <= s.p50 + 1e-9);
+        prop_assert!(s.p50 <= s.p95 + 1e-9);
+        prop_assert!(s.p95 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std >= 0.0);
+        prop_assert_eq!(s.n, values.len());
+    }
+
+    /// Metro topologies of any size validate; any dangling overflow edge is
+    /// caught.
+    #[test]
+    fn topology_validation(n in 1usize..20, broken in any::<bool>()) {
+        use escs::graph::Topology;
+        let mut t = Topology::metro(n);
+        if broken {
+            t.psaps[0].overflow_to = Some(escs::graph::PsapId(n + 5));
+            prop_assert!(!t.validate().is_empty());
+        } else {
+            prop_assert!(t.validate().is_empty());
+        }
+    }
+}

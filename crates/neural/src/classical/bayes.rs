@@ -1,0 +1,315 @@
+//! Naive Bayes classifiers: Gaussian (continuous features) and multinomial
+//! (count features — the standard baseline for text such as TF vectors).
+
+use super::Classifier;
+use crate::data::Dataset;
+use crate::tensor::Tensor;
+
+/// Gaussian naive Bayes: per-class, per-feature normal densities with a
+/// variance floor for numerical stability.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNb {
+    /// log P(class)
+    log_prior: Vec<f64>,
+    /// means[class][feature]
+    means: Vec<Vec<f64>>,
+    /// vars[class][feature]
+    vars: Vec<Vec<f64>>,
+    dim: usize,
+}
+
+impl GaussianNb {
+    /// Unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let k = data.n_classes();
+        let d = data.dim();
+        let n = data.len();
+        let mut counts = vec![0usize; k];
+        let mut means = vec![vec![0.0f64; d]; k];
+        for i in 0..n {
+            let c = data.y[i];
+            counts[c] += 1;
+            for (m, &v) in means[c].iter_mut().zip(data.x.row(i)) {
+                *m += v as f64;
+            }
+        }
+        for c in 0..k {
+            for m in &mut means[c] {
+                *m /= counts[c].max(1) as f64;
+            }
+        }
+        let mut vars = vec![vec![0.0f64; d]; k];
+        for i in 0..n {
+            let c = data.y[i];
+            for (j, &v) in data.x.row(i).iter().enumerate() {
+                let diff = v as f64 - means[c][j];
+                vars[c][j] += diff * diff;
+            }
+        }
+        // Variance floor: 1e-9 × max feature variance, as scikit-learn does.
+        let global_var: f64 = {
+            let total_mean: Vec<f64> = (0..d)
+                .map(|j| (0..n).map(|i| data.x.row(i)[j] as f64).sum::<f64>() / n as f64)
+                .collect();
+            (0..d)
+                .map(|j| {
+                    (0..n)
+                        .map(|i| {
+                            let diff = data.x.row(i)[j] as f64 - total_mean[j];
+                            diff * diff
+                        })
+                        .sum::<f64>()
+                        / n as f64
+                })
+                .fold(0.0, f64::max)
+        };
+        let floor = (1e-9 * global_var).max(1e-9);
+        for c in 0..k {
+            for v in &mut vars[c] {
+                *v = (*v / counts[c].max(1) as f64).max(floor);
+            }
+        }
+        self.log_prior = counts
+            .iter()
+            .map(|&c| ((c.max(1)) as f64 / n as f64).ln())
+            .collect();
+        self.means = means;
+        self.vars = vars;
+        self.dim = d;
+    }
+
+    fn predict_proba(&self, x: &Tensor) -> Tensor {
+        assert!(!self.means.is_empty(), "model not fitted");
+        assert_eq!(x.shape()[1], self.dim);
+        let k = self.means.len();
+        let n = x.shape()[0];
+        let mut out = Tensor::zeros(&[n, k]);
+        for r in 0..n {
+            let row = x.row(r);
+            let mut log_post = vec![0.0f64; k];
+            for c in 0..k {
+                let mut lp = self.log_prior[c];
+                for (j, &v) in row.iter().enumerate() {
+                    let mean = self.means[c][j];
+                    let var = self.vars[c][j];
+                    let diff = v as f64 - mean;
+                    lp += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
+                }
+                log_post[c] = lp;
+            }
+            let max = log_post.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut denom = 0.0;
+            for lp in &mut log_post {
+                *lp = (*lp - max).exp();
+                denom += *lp;
+            }
+            for c in 0..k {
+                *out.at2_mut(r, c) = (log_post[c] / denom) as f32;
+            }
+        }
+        out
+    }
+
+    fn n_classes(&self) -> usize {
+        self.means.len()
+    }
+}
+
+/// Multinomial naive Bayes with Laplace (add-α) smoothing, for non-negative
+/// count features (term frequencies).
+#[derive(Debug, Clone)]
+pub struct MultinomialNb {
+    alpha: f64,
+    log_prior: Vec<f64>,
+    /// log P(feature | class)
+    log_likelihood: Vec<Vec<f64>>,
+    dim: usize,
+}
+
+impl Default for MultinomialNb {
+    fn default() -> Self {
+        Self::new(1.0)
+    }
+}
+
+impl MultinomialNb {
+    /// `alpha` is the Laplace smoothing constant (1.0 = classic add-one).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0, "smoothing must be positive");
+        MultinomialNb { alpha, log_prior: Vec::new(), log_likelihood: Vec::new(), dim: 0 }
+    }
+}
+
+impl Classifier for MultinomialNb {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty());
+        let k = data.n_classes();
+        let d = data.dim();
+        let mut class_counts = vec![0usize; k];
+        let mut feature_counts = vec![vec![0.0f64; d]; k];
+        for i in 0..data.len() {
+            let c = data.y[i];
+            class_counts[c] += 1;
+            for (fc, &v) in feature_counts[c].iter_mut().zip(data.x.row(i)) {
+                debug_assert!(v >= 0.0, "multinomial NB requires non-negative features");
+                *fc += v as f64;
+            }
+        }
+        self.log_prior = class_counts
+            .iter()
+            .map(|&c| ((c.max(1)) as f64 / data.len() as f64).ln())
+            .collect();
+        self.log_likelihood = feature_counts
+            .iter()
+            .map(|counts| {
+                let total: f64 = counts.iter().sum::<f64>() + self.alpha * d as f64;
+                counts.iter().map(|&c| ((c + self.alpha) / total).ln()).collect()
+            })
+            .collect();
+        self.dim = d;
+    }
+
+    fn predict_proba(&self, x: &Tensor) -> Tensor {
+        assert!(!self.log_likelihood.is_empty(), "model not fitted");
+        assert_eq!(x.shape()[1], self.dim);
+        let k = self.log_likelihood.len();
+        let n = x.shape()[0];
+        let mut out = Tensor::zeros(&[n, k]);
+        for r in 0..n {
+            let row = x.row(r);
+            let mut log_post: Vec<f64> = (0..k)
+                .map(|c| {
+                    self.log_prior[c]
+                        + row
+                            .iter()
+                            .zip(&self.log_likelihood[c])
+                            .map(|(&v, &ll)| v as f64 * ll)
+                            .sum::<f64>()
+                })
+                .collect();
+            let max = log_post.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut denom = 0.0;
+            for lp in &mut log_post {
+                *lp = (*lp - max).exp();
+                denom += *lp;
+            }
+            for c in 0..k {
+                *out.at2_mut(r, c) = (log_post[c] / denom) as f32;
+            }
+        }
+        out
+    }
+
+    fn n_classes(&self) -> usize {
+        self.log_likelihood.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{blobs, three_blobs};
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn gaussian_nb_separates_blobs() {
+        let data = blobs(100, 1);
+        let mut nb = GaussianNb::new();
+        nb.fit(&data);
+        assert_eq!(nb.n_classes(), 2);
+        let preds = nb.predict(&data.x);
+        assert!(accuracy(&data.y, &preds) > 0.97);
+    }
+
+    #[test]
+    fn gaussian_nb_multiclass() {
+        let data = three_blobs(80, 2);
+        let mut nb = GaussianNb::new();
+        nb.fit(&data);
+        let preds = nb.predict(&data.x);
+        assert!(accuracy(&data.y, &preds) > 0.95);
+    }
+
+    #[test]
+    fn gaussian_nb_probabilities_are_calibrated_at_midpoint() {
+        let data = blobs(500, 3);
+        let mut nb = GaussianNb::new();
+        nb.fit(&data);
+        // The point (0,0) is equidistant from both blobs: P ≈ 0.5 each.
+        let mid = Tensor::from_vec(&[1, 2], vec![0.0, 0.0]);
+        let p = nb.predict_proba(&mid);
+        assert!((p.at2(0, 0) - 0.5).abs() < 0.15, "p0 = {}", p.at2(0, 0));
+        let s: f32 = p.row(0).iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gaussian_nb_constant_feature_is_stable() {
+        // Feature 1 is identical for every example — needs the variance floor.
+        let x = Tensor::from_vec(&[4, 2], vec![0.0, 5.0, 0.1, 5.0, 10.0, 5.0, 10.1, 5.0]);
+        let data = Dataset::new(x.clone(), vec![0, 0, 1, 1]);
+        let mut nb = GaussianNb::new();
+        nb.fit(&data);
+        let p = nb.predict_proba(&x);
+        assert!(p.all_finite());
+        assert_eq!(nb.predict(&x), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn multinomial_nb_classifies_word_counts() {
+        // Vocabulary: [archive, record, pixel, image].
+        // Class 0 = textual docs, class 1 = imaging docs.
+        let x = Tensor::from_vec(&[6, 4], vec![
+            3.0, 2.0, 0.0, 0.0,
+            4.0, 1.0, 0.0, 1.0,
+            2.0, 3.0, 1.0, 0.0,
+            0.0, 0.0, 3.0, 2.0,
+            0.0, 1.0, 4.0, 4.0,
+            1.0, 0.0, 2.0, 3.0,
+        ]);
+        let data = Dataset::new(x.clone(), vec![0, 0, 0, 1, 1, 1]);
+        let mut nb = MultinomialNb::new(1.0);
+        nb.fit(&data);
+        assert_eq!(nb.predict(&x), vec![0, 0, 0, 1, 1, 1]);
+        // Unseen doc heavy on "pixel image" → class 1.
+        let probe = Tensor::from_vec(&[1, 4], vec![0.0, 0.0, 5.0, 5.0]);
+        assert_eq!(nb.predict(&probe), vec![1]);
+    }
+
+    #[test]
+    fn multinomial_nb_smoothing_handles_unseen_words() {
+        let x = Tensor::from_vec(&[2, 3], vec![5.0, 0.0, 0.0, 0.0, 5.0, 0.0]);
+        let data = Dataset::new(x, vec![0, 1]);
+        let mut nb = MultinomialNb::new(1.0);
+        nb.fit(&data);
+        // Feature 2 never appears in training; prediction must stay finite.
+        let probe = Tensor::from_vec(&[1, 3], vec![0.0, 0.0, 10.0]);
+        let p = nb.predict_proba(&probe);
+        assert!(p.all_finite());
+    }
+
+    #[test]
+    fn class_priors_break_ties() {
+        // Identical likelihoods, imbalanced priors → majority class wins.
+        let x = Tensor::from_vec(&[4, 1], vec![1.0, 1.0, 1.0, 1.0]);
+        let data = Dataset::new(x, vec![0, 0, 0, 1]);
+        let mut nb = MultinomialNb::new(1.0);
+        nb.fit(&data);
+        let probe = Tensor::from_vec(&[1, 1], vec![1.0]);
+        assert_eq!(nb.predict(&probe), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn fitting_empty_dataset_panics() {
+        let data = Dataset::new(Tensor::zeros(&[0, 2]), vec![]);
+        GaussianNb::new().fit(&data);
+    }
+}

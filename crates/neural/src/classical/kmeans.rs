@@ -1,0 +1,248 @@
+//! k-means clustering (Lloyd's algorithm with k-means++ seeding) — the
+//! unsupervised paradigm in the paper's Section 2 taxonomy, used downstream
+//! for grouping undescribed records.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Result of a k-means fit.
+#[derive(Debug, Clone)]
+pub struct KMeansFit {
+    /// Cluster centroids, `[k, d]`.
+    pub centroids: Tensor,
+    /// Assignment of each input row to a centroid index.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+    /// Iterations until convergence (or the cap).
+    pub iterations: usize,
+}
+
+/// Lloyd's algorithm with k-means++ initialization.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    k: usize,
+    max_iter: usize,
+    tol: f64,
+}
+
+impl KMeans {
+    /// `k` clusters, up to `max_iter` Lloyd iterations, stopping early when
+    /// inertia improves by less than `tol` (relative).
+    pub fn new(k: usize, max_iter: usize, tol: f64) -> Self {
+        assert!(k > 0 && max_iter > 0 && tol >= 0.0);
+        KMeans { k, max_iter, tol }
+    }
+
+    /// Fit to `x` (`[n, d]`, n ≥ k).
+    pub fn fit<R: Rng>(&self, x: &Tensor, rng: &mut R) -> KMeansFit {
+        assert_eq!(x.ndim(), 2);
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        assert!(n >= self.k, "need at least k points");
+        let mut centroids = self.kmeanspp_init(x, rng);
+        let mut assignments = vec![0usize; n];
+        let mut prev_inertia = f64::INFINITY;
+        let mut iterations = 0;
+        for it in 0..self.max_iter {
+            iterations = it + 1;
+            // Assign.
+            let mut inertia = 0.0f64;
+            for i in 0..n {
+                let (best, dist) = nearest(x.row(i), &centroids, self.k, d);
+                assignments[i] = best;
+                inertia += dist as f64;
+            }
+            // Update.
+            let mut sums = vec![0.0f32; self.k * d];
+            let mut counts = vec![0usize; self.k];
+            for i in 0..n {
+                let c = assignments[i];
+                counts[c] += 1;
+                for (s, &v) in sums[c * d..(c + 1) * d].iter_mut().zip(x.row(i)) {
+                    *s += v;
+                }
+            }
+            for c in 0..self.k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at the point farthest from its
+                    // centroid (standard fix for dead centroids).
+                    let far = (0..n)
+                        .max_by(|&a, &b| {
+                            let da = sq_dist(x.row(a), &centroids[assignments[a] * d..], d);
+                            let db = sq_dist(x.row(b), &centroids[assignments[b] * d..], d);
+                            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .unwrap();
+                    centroids[c * d..(c + 1) * d].copy_from_slice(x.row(far));
+                } else {
+                    for (j, s) in sums[c * d..(c + 1) * d].iter().enumerate() {
+                        centroids[c * d + j] = s / counts[c] as f32;
+                    }
+                }
+            }
+            let converged = prev_inertia.is_finite()
+                && (prev_inertia - inertia).abs() <= self.tol * prev_inertia.max(1e-12);
+            prev_inertia = inertia;
+            if converged {
+                break;
+            }
+        }
+        // Final assignment pass against the last centroids.
+        let mut inertia = 0.0f64;
+        for i in 0..n {
+            let (best, dist) = nearest(x.row(i), &centroids, self.k, d);
+            assignments[i] = best;
+            inertia += dist as f64;
+        }
+        KMeansFit {
+            centroids: Tensor::from_vec(&[self.k, d], centroids),
+            assignments,
+            inertia,
+            iterations,
+        }
+    }
+
+    fn kmeanspp_init<R: Rng>(&self, x: &Tensor, rng: &mut R) -> Vec<f32> {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        let mut centroids = Vec::with_capacity(self.k * d);
+        let first = rng.gen_range(0..n);
+        centroids.extend_from_slice(x.row(first));
+        let mut dists: Vec<f32> = (0..n)
+            .map(|i| sq_dist(x.row(i), &centroids[0..d], d))
+            .collect();
+        for _ in 1..self.k {
+            let total: f32 = dists.iter().sum();
+            let next = if total <= 0.0 {
+                rng.gen_range(0..n)
+            } else {
+                let mut target = rng.gen_range(0.0..total);
+                let mut chosen = n - 1;
+                for (i, &dist) in dists.iter().enumerate() {
+                    if target < dist {
+                        chosen = i;
+                        break;
+                    }
+                    target -= dist;
+                }
+                chosen
+            };
+            let start = centroids.len();
+            centroids.extend_from_slice(x.row(next));
+            for (i, dv) in dists.iter_mut().enumerate() {
+                let nd = sq_dist(x.row(i), &centroids[start..start + d], d);
+                if nd < *dv {
+                    *dv = nd;
+                }
+            }
+        }
+        centroids
+    }
+
+    /// Assign new points to the nearest fitted centroid.
+    pub fn assign(fit: &KMeansFit, x: &Tensor) -> Vec<usize> {
+        let d = fit.centroids.shape()[1];
+        let k = fit.centroids.shape()[0];
+        (0..x.shape()[0])
+            .map(|i| nearest(x.row(i), fit.centroids.data(), k, d).0)
+            .collect()
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f32], d: usize) -> f32 {
+    (0..d).map(|j| (a[j] - b[j]) * (a[j] - b[j])).sum()
+}
+
+fn nearest(point: &[f32], centroids: &[f32], k: usize, d: usize) -> (usize, f32) {
+    let mut best = 0;
+    let mut best_dist = f32::INFINITY;
+    for c in 0..k {
+        let dist = sq_dist(point, &centroids[c * d..(c + 1) * d], d);
+        if dist < best_dist {
+            best_dist = dist;
+            best = c;
+        }
+    }
+    (best, best_dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::three_blobs;
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_three_blobs() {
+        let data = three_blobs(100, 20);
+        let mut rng = StdRng::seed_from_u64(21);
+        let fit = KMeans::new(3, 100, 1e-6).fit(&data.x, &mut rng);
+        // Purity: each cluster should be dominated by one true class.
+        let mut purity_num = 0usize;
+        for cluster in 0..3 {
+            let mut counts = [0usize; 3];
+            for (i, &a) in fit.assignments.iter().enumerate() {
+                if a == cluster {
+                    counts[data.y[i]] += 1;
+                }
+            }
+            purity_num += counts.iter().max().unwrap();
+        }
+        let purity = purity_num as f64 / data.len() as f64;
+        assert!(purity > 0.95, "purity {purity}");
+        assert!(fit.inertia.is_finite());
+        assert!(fit.iterations >= 1);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let data = three_blobs(60, 22);
+        let mut rng = StdRng::seed_from_u64(23);
+        let one = KMeans::new(1, 50, 1e-6).fit(&data.x, &mut rng).inertia;
+        let three = KMeans::new(3, 50, 1e-6).fit(&data.x, &mut rng).inertia;
+        let six = KMeans::new(6, 50, 1e-6).fit(&data.x, &mut rng).inertia;
+        assert!(three < one);
+        assert!(six < three);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let x = Tensor::from_vec(&[3, 2], vec![0.0, 0.0, 5.0, 5.0, 9.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(24);
+        let fit = KMeans::new(3, 20, 1e-9).fit(&x, &mut rng);
+        assert!(fit.inertia < 1e-9, "inertia {}", fit.inertia);
+        // All three points get distinct clusters.
+        let mut seen = fit.assignments.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn assign_maps_new_points_to_nearest() {
+        let data = three_blobs(50, 25);
+        let mut rng = StdRng::seed_from_u64(26);
+        let fit = KMeans::new(3, 50, 1e-6).fit(&data.x, &mut rng);
+        // A point at a blob center should map to the same cluster as the
+        // blob members.
+        let probe = Tensor::from_vec(&[1, 2], vec![-3.0, 0.0]);
+        let assigned = KMeans::assign(&fit, &probe)[0];
+        let mut votes = [0usize; 3];
+        for (i, &a) in fit.assignments.iter().enumerate() {
+            if data.y[i] == 0 {
+                votes[a] += 1;
+            }
+        }
+        let majority = votes.iter().enumerate().max_by_key(|(_, &v)| v).unwrap().0;
+        assert_eq!(assigned, majority);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_crash() {
+        let x = Tensor::from_vec(&[6, 1], vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(27);
+        let fit = KMeans::new(2, 20, 1e-9).fit(&x, &mut rng);
+        assert!(fit.inertia < 1e-9);
+        assert!(fit.centroids.all_finite());
+    }
+}

@@ -1,0 +1,141 @@
+//! Multiclass logistic regression (softmax regression) trained by
+//! full-batch gradient descent with L2 regularization.
+
+use super::Classifier;
+use crate::data::Dataset;
+use crate::loss::softmax;
+use crate::tensor::Tensor;
+
+/// Softmax regression: `P(c | x) = softmax(xW + b)`.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    lr: f32,
+    epochs: usize,
+    l2: f32,
+    weight: Option<Tensor>,
+    bias: Option<Tensor>,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self::new(0.5, 300, 1e-4)
+    }
+}
+
+impl LogisticRegression {
+    /// Configure learning rate, epoch count, and L2 penalty.
+    pub fn new(lr: f32, epochs: usize, l2: f32) -> Self {
+        assert!(lr > 0.0 && epochs > 0 && l2 >= 0.0);
+        LogisticRegression { lr, epochs, l2, weight: None, bias: None }
+    }
+
+    fn logits(&self, x: &Tensor) -> Tensor {
+        let w = self.weight.as_ref().expect("model not fitted");
+        let b = self.bias.as_ref().unwrap();
+        x.matmul(w).add_row_bias(b)
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let k = data.n_classes().max(2);
+        let d = data.dim();
+        let n = data.len();
+        let mut w = Tensor::zeros(&[d, k]);
+        let mut b = Tensor::zeros(&[k]);
+        let inv_n = 1.0 / n as f32;
+        for _ in 0..self.epochs {
+            let logits = data.x.matmul(&w).add_row_bias(&b);
+            let mut grad = softmax(&logits); // p
+            for (r, &t) in data.y.iter().enumerate() {
+                *grad.at2_mut(r, t) -= 1.0; // p - y
+            }
+            grad.scale(inv_n);
+            let mut dw = data.x.transpose2().matmul(&grad);
+            if self.l2 > 0.0 {
+                dw.axpy(self.l2, &w);
+            }
+            let db = grad.sum_rows();
+            w.axpy(-self.lr, &dw);
+            b.axpy(-self.lr, &db);
+        }
+        self.weight = Some(w);
+        self.bias = Some(b);
+    }
+
+    fn predict_proba(&self, x: &Tensor) -> Tensor {
+        softmax(&self.logits(x))
+    }
+
+    fn n_classes(&self) -> usize {
+        self.bias.as_ref().map_or(0, |b| b.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{blobs, three_blobs};
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn separates_blobs() {
+        let data = blobs(100, 10);
+        let mut lr = LogisticRegression::default();
+        lr.fit(&data);
+        assert_eq!(lr.n_classes(), 2);
+        assert!(accuracy(&data.y, &lr.predict(&data.x)) > 0.97);
+    }
+
+    #[test]
+    fn multiclass_blobs() {
+        let data = three_blobs(80, 11);
+        let mut lr = LogisticRegression::default();
+        lr.fit(&data);
+        assert!(accuracy(&data.y, &lr.predict(&data.x)) > 0.95);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_reflect_margin() {
+        let data = blobs(200, 12);
+        let mut lr = LogisticRegression::default();
+        lr.fit(&data);
+        let deep0 = Tensor::from_vec(&[1, 2], vec![-3.0, -3.0]);
+        let p = lr.predict_proba(&deep0);
+        assert!(p.at2(0, 0) > 0.95, "deep in class 0: {}", p.at2(0, 0));
+        let sum: f32 = p.row(0).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn l2_regularization_shrinks_weights() {
+        let data = blobs(100, 13);
+        let mut free = LogisticRegression::new(0.5, 300, 0.0);
+        let mut ridge = LogisticRegression::new(0.5, 300, 0.5);
+        free.fit(&data);
+        ridge.fit(&data);
+        let wf = free.weight.as_ref().unwrap().norm();
+        let wr = ridge.weight.as_ref().unwrap().norm();
+        assert!(wr < wf, "ridge {wr} vs free {wf}");
+    }
+
+    #[test]
+    fn single_class_degenerates_gracefully() {
+        // All labels 0: model must still emit valid distributions.
+        let x = Tensor::from_vec(&[3, 1], vec![1.0, 2.0, 3.0]);
+        let data = Dataset::new(x.clone(), vec![0, 0, 0]);
+        let mut lr = LogisticRegression::new(0.1, 50, 0.0);
+        lr.fit(&data);
+        let p = lr.predict_proba(&x);
+        assert!(p.all_finite());
+        assert_eq!(lr.predict(&x), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn predict_before_fit_panics() {
+        let lr = LogisticRegression::default();
+        lr.predict_proba(&Tensor::zeros(&[1, 2]));
+    }
+}

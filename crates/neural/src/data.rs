@@ -1,0 +1,282 @@
+//! Dataset utilities: labeled feature matrices, splits, shuffling, batching.
+
+use crate::tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A supervised dataset: features `[n, d]` plus one class label per row.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Feature matrix, one example per row.
+    pub x: Tensor,
+    /// Class index per example.
+    pub y: Vec<usize>,
+}
+
+impl Dataset {
+    /// Build from a feature tensor and labels; panics on length mismatch.
+    pub fn new(x: Tensor, y: Vec<usize>) -> Self {
+        assert_eq!(x.ndim(), 2, "Dataset features must be 2-D");
+        assert_eq!(x.shape()[0], y.len(), "one label per row");
+        Dataset { x, y }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.x.shape()[1]
+    }
+
+    /// Number of distinct classes (max label + 1).
+    pub fn n_classes(&self) -> usize {
+        self.y.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Select a subset by example indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let d = self.dim();
+        let mut data = Vec::with_capacity(indices.len() * d);
+        let mut y = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.x.row(i));
+            y.push(self.y[i]);
+        }
+        Dataset { x: Tensor::from_vec(&[indices.len(), d], data), y }
+    }
+
+    /// Shuffle examples in place.
+    pub fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        *self = self.subset(&idx);
+    }
+
+    /// Split into `(train, test)` with `train_fraction` of examples in the
+    /// first part. Does not shuffle — call [`Dataset::shuffle`] first.
+    pub fn split(&self, train_fraction: f64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_fraction));
+        let cut = (self.len() as f64 * train_fraction).round() as usize;
+        let idx: Vec<usize> = (0..self.len()).collect();
+        (self.subset(&idx[..cut]), self.subset(&idx[cut..]))
+    }
+
+    /// Stratified labeled/unlabeled split for semi-supervised experiments:
+    /// keeps `labeled_fraction` of each class labeled, returns
+    /// `(labeled, unlabeled)`; at least one example per present class stays
+    /// labeled.
+    pub fn split_labeled<R: Rng>(&self, labeled_fraction: f64, rng: &mut R) -> (Dataset, Dataset) {
+        let k = self.n_classes();
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, &c) in self.y.iter().enumerate() {
+            by_class[c].push(i);
+        }
+        let mut labeled = Vec::new();
+        let mut unlabeled = Vec::new();
+        for members in by_class.iter_mut() {
+            if members.is_empty() {
+                continue;
+            }
+            members.shuffle(rng);
+            let keep = ((members.len() as f64 * labeled_fraction).round() as usize)
+                .clamp(1, members.len());
+            labeled.extend_from_slice(&members[..keep]);
+            unlabeled.extend_from_slice(&members[keep..]);
+        }
+        (self.subset(&labeled), self.subset(&unlabeled))
+    }
+
+    /// Iterate over `(x_batch, y_batch)` minibatches of at most
+    /// `batch_size` rows.
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = (Tensor, Vec<usize>)> + '_ {
+        assert!(batch_size > 0);
+        let n = self.len();
+        (0..n).step_by(batch_size).map(move |start| {
+            let end = (start + batch_size).min(n);
+            (self.x.rows(start, end), self.y[start..end].to_vec())
+        })
+    }
+
+    /// Per-class example counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for &c in &self.y {
+            counts[c] += 1;
+        }
+        counts
+    }
+}
+
+/// One-hot encode labels into a `[n, classes]` tensor.
+pub fn one_hot(labels: &[usize], classes: usize) -> Tensor {
+    let mut t = Tensor::zeros(&[labels.len(), classes]);
+    for (r, &c) in labels.iter().enumerate() {
+        assert!(c < classes);
+        *t.at2_mut(r, c) = 1.0;
+    }
+    t
+}
+
+/// Standardize columns to zero mean / unit variance; returns the transformed
+/// tensor plus `(means, stds)` for applying the same transform to new data.
+pub fn standardize(x: &Tensor) -> (Tensor, Vec<f32>, Vec<f32>) {
+    assert_eq!(x.ndim(), 2);
+    let (n, d) = (x.shape()[0], x.shape()[1]);
+    let mut means = vec![0.0f32; d];
+    let mut stds = vec![0.0f32; d];
+    for r in 0..n {
+        for (m, &v) in means.iter_mut().zip(x.row(r)) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n.max(1) as f32;
+    }
+    for r in 0..n {
+        for c in 0..d {
+            let diff = x.at2(r, c) - means[c];
+            stds[c] += diff * diff;
+        }
+    }
+    for s in &mut stds {
+        *s = (*s / n.max(1) as f32).sqrt().max(1e-8);
+    }
+    let mut out = x.clone();
+    for r in 0..n {
+        for c in 0..d {
+            *out.at2_mut(r, c) = (x.at2(r, c) - means[c]) / stds[c];
+        }
+    }
+    (out, means, stds)
+}
+
+/// Apply a previously fitted standardization to new data.
+pub fn apply_standardize(x: &Tensor, means: &[f32], stds: &[f32]) -> Tensor {
+    let (n, d) = (x.shape()[0], x.shape()[1]);
+    assert_eq!(d, means.len());
+    let mut out = x.clone();
+    for r in 0..n {
+        for c in 0..d {
+            *out.at2_mut(r, c) = (x.at2(r, c) - means[c]) / stds[c];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        let data: Vec<f32> = (0..n * 2).map(|v| v as f32).collect();
+        let y: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        Dataset::new(Tensor::from_vec(&[n, 2], data), y)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let ds = toy(9);
+        assert_eq!(ds.len(), 9);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.n_classes(), 3);
+        assert_eq!(ds.class_counts(), vec![3, 3, 3]);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let ds = toy(5);
+        let s = ds.subset(&[4, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.x.row(0), &[8.0, 9.0]);
+        assert_eq!(s.x.row(1), &[0.0, 1.0]);
+        assert_eq!(s.y, vec![1, 0]);
+    }
+
+    #[test]
+    fn shuffle_preserves_pairs() {
+        let mut ds = toy(30);
+        let mut rng = StdRng::seed_from_u64(3);
+        ds.shuffle(&mut rng);
+        assert_eq!(ds.len(), 30);
+        // Label must still match the feature row it was paired with:
+        // in toy(), row i has features [2i, 2i+1] and label i % 3.
+        for r in 0..30 {
+            let i = (ds.x.row(r)[0] / 2.0) as usize;
+            assert_eq!(ds.y[r], i % 3);
+        }
+    }
+
+    #[test]
+    fn split_fractions() {
+        let ds = toy(10);
+        let (train, test) = ds.split(0.7);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+    }
+
+    #[test]
+    fn split_labeled_is_stratified_and_nonempty() {
+        let ds = toy(300);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (labeled, unlabeled) = ds.split_labeled(0.1, &mut rng);
+        assert_eq!(labeled.len() + unlabeled.len(), 300);
+        // Each class keeps ≈10 labeled examples.
+        for &c in &labeled.class_counts() {
+            assert!((8..=12).contains(&c), "class count {c}");
+        }
+        // Extreme fraction still leaves ≥1 per class.
+        let (tiny, _) = ds.split_labeled(0.0001, &mut rng);
+        assert!(tiny.class_counts().iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn batches_cover_all_rows() {
+        let ds = toy(10);
+        let sizes: Vec<usize> = ds.batches(4).map(|(x, y)| {
+            assert_eq!(x.shape()[0], y.len());
+            y.len()
+        }).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn one_hot_encodes() {
+        let t = one_hot(&[0, 2, 1], 3);
+        assert_eq!(t.row(0), &[1.0, 0.0, 0.0]);
+        assert_eq!(t.row(1), &[0.0, 0.0, 1.0]);
+        assert_eq!(t.row(2), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_var() {
+        let x = Tensor::from_vec(&[4, 1], vec![1.0, 2.0, 3.0, 4.0]);
+        let (z, means, stds) = standardize(&x);
+        assert!((means[0] - 2.5).abs() < 1e-6);
+        let mean_z: f32 = z.data().iter().sum::<f32>() / 4.0;
+        assert!(mean_z.abs() < 1e-6);
+        let var_z: f32 = z.data().iter().map(|v| v * v).sum::<f32>() / 4.0;
+        assert!((var_z - 1.0).abs() < 1e-5);
+        // Applying the fitted transform to the same data reproduces z.
+        let z2 = apply_standardize(&x, &means, &stds);
+        assert_eq!(z.data(), z2.data());
+    }
+
+    #[test]
+    fn standardize_constant_column_is_safe() {
+        let x = Tensor::from_vec(&[3, 1], vec![7.0, 7.0, 7.0]);
+        let (z, _, _) = standardize(&x);
+        assert!(z.all_finite());
+        assert!(z.data().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,710 @@
+//! Neural network layers with explicit forward/backward passes.
+//!
+//! Every layer caches whatever it needs during `forward` to compute exact
+//! gradients in `backward` (reverse-mode, hand-derived). Gradient
+//! correctness is validated against central finite differences in the
+//! tests at the bottom of this module — the single most important test in
+//! the crate, since every downstream model depends on it.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// A trainable parameter: value plus accumulated gradient.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient accumulated by the latest backward pass.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wrap an initial value with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Reset the gradient to zero (called by the trainer between steps).
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+}
+
+/// A differentiable layer.
+pub trait Layer: Send {
+    /// Compute the output for `input`. `train` toggles train-time behaviour
+    /// (dropout masks). Implementations cache activations for `backward`.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Given ∂L/∂output, accumulate parameter gradients and return
+    /// ∂L/∂input. Must be called after a matching `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable access to this layer's parameters (empty for stateless
+    /// layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Human-readable layer name for summaries.
+    fn name(&self) -> &'static str;
+
+    /// Parameter count (for model summaries / paradata).
+    fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+}
+
+/// Fully connected layer: `y = xW + b`, `x: [batch, in]`, `W: [in, out]`.
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// He-initialized dense layer.
+    pub fn new<R: Rng>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        Dense {
+            weight: Param::new(Tensor::randn(&[in_features, out_features], in_features, rng)),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            cached_input: None,
+        }
+    }
+
+    /// Construct from explicit weights (tests, serialization).
+    pub fn from_parts(weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(weight.ndim(), 2);
+        assert_eq!(bias.ndim(), 1);
+        assert_eq!(weight.shape()[1], bias.len());
+        Dense { weight: Param::new(weight), bias: Param::new(bias), cached_input: None }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.shape()[0]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.shape()[1]
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let out = input.matmul(&self.weight.value).add_row_bias(&self.bias.value);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        // dW += x^T g ; db += Σ_rows g ; dx = g W^T
+        let dw = x.transpose2().matmul(grad_out);
+        self.weight.grad.axpy(1.0, &dw);
+        self.bias.grad.axpy(1.0, &grad_out.sum_rows());
+        grad_out.matmul(&self.weight.value.transpose2())
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// New ReLU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(grad_out.shape(), data)
+    }
+
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+}
+
+/// Logistic sigmoid (used by the YoloLite objectness head).
+#[derive(Default)]
+pub struct Sigmoid {
+    cached_output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// New sigmoid.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.cached_output.as_ref().expect("backward before forward");
+        grad_out.zip(y, |g, y| g * y * (1.0 - y))
+    }
+
+    fn name(&self) -> &'static str {
+        "Sigmoid"
+    }
+}
+
+/// Hyperbolic tangent.
+#[derive(Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// New tanh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let out = input.map(|v| v.tanh());
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.cached_output.as_ref().expect("backward before forward");
+        grad_out.zip(y, |g, y| g * (1.0 - y * y))
+    }
+
+    fn name(&self) -> &'static str {
+        "Tanh"
+    }
+}
+
+/// 2-D convolution over `[N, C, H, W]` inputs, square kernel, stride 1,
+/// symmetric zero padding. Direct (non-im2col) implementation — at the
+/// tens-of-units scale of this workspace, cache behaviour is fine and the
+/// code stays auditable.
+pub struct Conv2d {
+    /// Weights `[out_c, in_c, k, k]`.
+    weight: Param,
+    /// Bias `[out_c]`.
+    bias: Param,
+    kernel: usize,
+    padding: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// He-initialized convolution.
+    pub fn new<R: Rng>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            weight: Param::new(Tensor::randn(
+                &[out_channels, in_channels, kernel, kernel],
+                fan_in,
+                rng,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            kernel,
+            padding,
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 2 * self.padding + 1 - self.kernel, w + 2 * self.padding + 1 - self.kernel)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 4, "Conv2d expects [N,C,H,W]");
+        let [n, in_c, h, w] = [input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]];
+        let out_c = self.weight.value.shape()[0];
+        assert_eq!(self.weight.value.shape()[1], in_c, "channel mismatch");
+        let k = self.kernel;
+        let p = self.padding as isize;
+        let (oh, ow) = self.out_size(h, w);
+        let mut out = Tensor::zeros(&[n, out_c, oh, ow]);
+        for b in 0..n {
+            for oc in 0..out_c {
+                let bias = self.bias.value.data()[oc];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias;
+                        for ic in 0..in_c {
+                            for ky in 0..k {
+                                let iy = oy as isize + ky as isize - p;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = ox as isize + kx as isize - p;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += input.at4(b, ic, iy as usize, ix as usize)
+                                        * self.weight.value.at4(oc, ic, ky, kx);
+                                }
+                            }
+                        }
+                        *out.at4_mut(b, oc, oy, ox) = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let [n, in_c, h, w] = [input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]];
+        let out_c = self.weight.value.shape()[0];
+        let k = self.kernel;
+        let p = self.padding as isize;
+        let (oh, ow) = (grad_out.shape()[2], grad_out.shape()[3]);
+        let mut grad_in = Tensor::zeros(input.shape());
+        for b in 0..n {
+            for oc in 0..out_c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_out.at4(b, oc, oy, ox);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.bias.grad.data_mut()[oc] += g;
+                        for ic in 0..in_c {
+                            for ky in 0..k {
+                                let iy = oy as isize + ky as isize - p;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = ox as isize + kx as isize - p;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let x = input.at4(b, ic, iy as usize, ix as usize);
+                                    *self.weight.grad.at4_mut(oc, ic, ky, kx) += g * x;
+                                    *grad_in.at4_mut(b, ic, iy as usize, ix as usize) +=
+                                        g * self.weight.value.at4(oc, ic, ky, kx);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+/// 2×2 max pooling with stride 2 over `[N, C, H, W]`. Odd trailing
+/// rows/columns are dropped (floor semantics).
+#[derive(Default)]
+pub struct MaxPool2d {
+    /// Flat input index of each selected maximum, per output element.
+    argmax: Option<Vec<usize>>,
+    input_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// New 2×2/stride-2 max pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 4);
+        let [n, c, h, w] = [input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]];
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let mut oi = 0;
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let iy = oy * 2 + dy;
+                                let ix = ox * 2 + dx;
+                                let v = input.at4(b, ch, iy, ix);
+                                if v > best {
+                                    best = v;
+                                    best_idx = ((b * c + ch) * h + iy) * w + ix;
+                                }
+                            }
+                        }
+                        *out.at4_mut(b, ch, oy, ox) = best;
+                        argmax[oi] = best_idx;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        self.argmax = Some(argmax);
+        self.input_shape = input.shape().to_vec();
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("backward before forward");
+        let mut grad_in = Tensor::zeros(&self.input_shape);
+        for (g, &idx) in grad_out.data().iter().zip(argmax) {
+            grad_in.data_mut()[idx] += g;
+        }
+        grad_in
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+/// Flatten `[N, C, H, W] → [N, C·H·W]`.
+#[derive(Default)]
+pub struct Flatten {
+    input_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// New flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.input_shape = input.shape().to_vec();
+        let n = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        input.reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.reshape(&self.input_shape)
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+/// Inverted dropout: active only when `train == true`; scales kept units by
+/// `1/(1-rate)` so evaluation needs no rescaling.
+pub struct Dropout {
+    rate: f32,
+    mask: Option<Vec<f32>>,
+    rng: rand::rngs::StdRng,
+}
+
+impl Dropout {
+    /// `rate` in `[0, 1)`: fraction of units dropped at train time.
+    pub fn new(rate: f32, seed: u64) -> Self {
+        use rand::SeedableRng;
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0,1)");
+        Dropout { rate, mask: None, rng: rand::rngs::StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.rate == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| if self.rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        let data = input.data().iter().zip(&mask).map(|(&v, &m)| v * m).collect();
+        self.mask = Some(mask);
+        Tensor::from_vec(input.shape(), data)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            None => grad_out.clone(),
+            Some(mask) => {
+                let data = grad_out.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
+                Tensor::from_vec(grad_out.shape(), data)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_forward_known_values() {
+        let w = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(&[2], vec![0.5, -0.5]);
+        let mut layer = Dense::from_parts(w, b);
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]);
+        let y = layer.forward(&x, false);
+        assert_eq!(y.data(), &[4.5, 5.5]);
+        assert_eq!(layer.in_features(), 2);
+        assert_eq!(layer.out_features(), 2);
+    }
+
+    #[test]
+    fn relu_clamps_and_gates_gradient() {
+        let mut relu = ReLU::new();
+        let x = Tensor::from_vec(&[1, 4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = relu.forward(&x, false);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = relu.backward(&Tensor::full(&[1, 4], 1.0));
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_gradient() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_vec(&[1, 3], vec![-10.0, 0.0, 10.0]);
+        let y = s.forward(&x, false);
+        assert!(y.data()[0] < 0.001);
+        assert!((y.data()[1] - 0.5).abs() < 1e-6);
+        assert!(y.data()[2] > 0.999);
+        let g = s.backward(&Tensor::full(&[1, 3], 1.0));
+        // σ'(0) = 0.25
+        assert!((g.data()[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn maxpool_selects_max_and_routes_gradient() {
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
+        let mut pool = MaxPool2d::new();
+        let y = pool.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data(), &[5.0]);
+        let g = pool.backward(&Tensor::full(&[1, 1, 1, 1], 7.0));
+        assert_eq!(g.data(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_drops_odd_edges() {
+        let x = Tensor::zeros(&[1, 1, 5, 5]);
+        let mut pool = MaxPool2d::new();
+        let y = pool.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let x = Tensor::from_vec(&[2, 1, 2, 2], (0..8).map(|v| v as f32).collect());
+        let mut f = Flatten::new();
+        let y = f.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 4]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(1, 1, 3, 1, &mut rng);
+        // Set kernel to the delta function, bias 0.
+        {
+            let params = conv.params_mut();
+            let [w, b] = <[_; 2]>::try_from(params).ok().unwrap();
+            w.value.data_mut().fill(0.0);
+            *w.value.at4_mut(0, 0, 1, 1) = 1.0;
+            b.value.data_mut().fill(0.0);
+        }
+        let x = Tensor::from_vec(&[1, 1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), x.shape());
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_known_sum_kernel() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(1, 1, 2, 0, &mut rng);
+        {
+            let params = conv.params_mut();
+            let [w, b] = <[_; 2]>::try_from(params).ok().unwrap();
+            w.value.data_mut().fill(1.0);
+            b.value.data_mut().fill(0.5);
+        }
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data(), &[10.5]);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity_train_scales() {
+        let x = Tensor::full(&[1, 1000], 1.0);
+        let mut d = Dropout::new(0.5, 42);
+        let eval = d.forward(&x, false);
+        assert_eq!(eval.data(), x.data());
+        let train = d.forward(&x, true);
+        // Kept units are scaled to 2.0; expectation of the mean stays ≈ 1.
+        let mean = train.mean();
+        assert!((mean - 1.0).abs() < 0.1, "dropout mean {mean}");
+        let kept = train.data().iter().filter(|&&v| v != 0.0).count();
+        assert!((400..600).contains(&kept));
+    }
+
+    /// Central-difference gradient check for a Dense layer, the backbone
+    /// correctness test for the whole training stack.
+    #[test]
+    fn dense_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let x = Tensor::rand_uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        // Scalar loss: sum of outputs (so dL/dy = 1 everywhere).
+        let loss = |layer: &mut Dense, x: &Tensor| layer.forward(x, false).sum();
+
+        let _ = layer.forward(&x, false);
+        let ones = Tensor::full(&[4, 2], 1.0);
+        let grad_in = layer.backward(&ones);
+
+        let eps = 1e-3;
+        // Check weight gradients.
+        for idx in 0..6 {
+            let analytic = layer.params_mut()[0].grad.data()[idx];
+            layer.params_mut()[0].value.data_mut()[idx] += eps;
+            let up = loss(&mut layer, &x);
+            layer.params_mut()[0].value.data_mut()[idx] -= 2.0 * eps;
+            let down = loss(&mut layer, &x);
+            layer.params_mut()[0].value.data_mut()[idx] += eps;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "weight[{idx}] analytic {analytic} vs numeric {numeric}"
+            );
+        }
+        // Check input gradients.
+        let mut x_pert = x.clone();
+        for idx in 0..x.len() {
+            x_pert.data_mut()[idx] += eps;
+            let up = loss(&mut layer, &x_pert);
+            x_pert.data_mut()[idx] -= 2.0 * eps;
+            let down = loss(&mut layer, &x_pert);
+            x_pert.data_mut()[idx] += eps;
+            let numeric = (up - down) / (2.0 * eps);
+            let analytic = grad_in.data()[idx];
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "input[{idx}] analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    /// Finite-difference check for Conv2d weights — exercises padding.
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut conv = Conv2d::new(2, 2, 3, 1, &mut rng);
+        let x = Tensor::rand_uniform(&[1, 2, 4, 4], -1.0, 1.0, &mut rng);
+        let loss = |conv: &mut Conv2d, x: &Tensor| conv.forward(x, false).sum();
+
+        let out = conv.forward(&x, false);
+        let ones = Tensor::full(out.shape(), 1.0);
+        let grad_in = conv.backward(&ones);
+
+        let eps = 1e-2;
+        let n_weights = conv.params_mut()[0].value.len();
+        for idx in (0..n_weights).step_by(7) {
+            let analytic = conv.params_mut()[0].grad.data()[idx];
+            conv.params_mut()[0].value.data_mut()[idx] += eps;
+            let up = loss(&mut conv, &x);
+            conv.params_mut()[0].value.data_mut()[idx] -= 2.0 * eps;
+            let down = loss(&mut conv, &x);
+            conv.params_mut()[0].value.data_mut()[idx] += eps;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 0.05,
+                "conv weight[{idx}] analytic {analytic} vs numeric {numeric}"
+            );
+        }
+        let mut x_pert = x.clone();
+        for idx in (0..x.len()).step_by(5) {
+            x_pert.data_mut()[idx] += eps;
+            let up = loss(&mut conv, &x_pert);
+            x_pert.data_mut()[idx] -= 2.0 * eps;
+            let down = loss(&mut conv, &x_pert);
+            x_pert.data_mut()[idx] += eps;
+            let numeric = (up - down) / (2.0 * eps);
+            let analytic = grad_in.data()[idx];
+            assert!(
+                (analytic - numeric).abs() < 0.05,
+                "conv input[{idx}] analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_reports_all() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = Dense::new(10, 5, &mut rng);
+        assert_eq!(d.param_count(), 55);
+        let mut c = Conv2d::new(3, 8, 3, 1, &mut rng);
+        assert_eq!(c.param_count(), 8 * 3 * 9 + 8);
+    }
+}

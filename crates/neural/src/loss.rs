@@ -1,0 +1,194 @@
+//! Loss functions with fused backward passes.
+//!
+//! Softmax + cross-entropy is fused ([`softmax_cross_entropy`]) for the
+//! usual numerical-stability reason: the combined gradient `p − y` avoids
+//! the catastrophic cancellation of a separate softmax backward.
+
+use crate::tensor::Tensor;
+
+/// Loss value plus gradient with respect to the pre-loss activations.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// ∂L/∂logits, shape identical to the logits, already divided by the
+    /// batch size (so optimizers see per-example-mean gradients).
+    pub grad: Tensor,
+}
+
+/// Row-wise numerically-stable softmax of `[batch, classes]` logits.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.ndim(), 2);
+    let (m, n) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = Tensor::zeros(&[m, n]);
+    for r in 0..m {
+        let row = logits.row(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for c in 0..n {
+            let e = (row[c] - max).exp();
+            *out.at2_mut(r, c) = e;
+            denom += e;
+        }
+        for c in 0..n {
+            *out.at2_mut(r, c) /= denom;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy over the batch, fused with softmax.
+///
+/// `targets[i]` is the class index of row `i`. Returns the loss and the
+/// gradient `(softmax(logits) − onehot(targets)) / batch`.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> LossOutput {
+    assert_eq!(logits.ndim(), 2);
+    let (m, n) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(targets.len(), m, "one target per row");
+    let probs = softmax(logits);
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let inv_batch = 1.0 / m as f32;
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < n, "target {t} out of range for {n} classes");
+        let p = probs.at2(r, t).max(1e-12);
+        loss -= p.ln();
+        *grad.at2_mut(r, t) -= 1.0;
+    }
+    grad.scale(inv_batch);
+    LossOutput { loss: loss * inv_batch, grad }
+}
+
+/// Mean squared error: `mean((pred − target)^2)` with gradient
+/// `2(pred − target)/len`.
+pub fn mse(pred: &Tensor, target: &Tensor) -> LossOutput {
+    assert_eq!(pred.shape(), target.shape());
+    let n = pred.len().max(1) as f32;
+    let diff = pred.sub(target);
+    let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / n;
+    let mut grad = diff;
+    grad.scale(2.0 / n);
+    LossOutput { loss, grad }
+}
+
+/// Binary cross-entropy over probabilities already in `(0,1)` (post-sigmoid),
+/// with per-element weighting — used by the YoloLite objectness loss where
+/// positive cells are rare and up-weighted.
+pub fn weighted_bce(pred: &Tensor, target: &Tensor, weight: &Tensor) -> LossOutput {
+    assert_eq!(pred.shape(), target.shape());
+    assert_eq!(pred.shape(), weight.shape());
+    let n = pred.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Tensor::zeros(pred.shape());
+    for i in 0..pred.len() {
+        let p = pred.data()[i].clamp(1e-6, 1.0 - 1e-6);
+        let y = target.data()[i];
+        let w = weight.data()[i];
+        loss -= w * (y * p.ln() + (1.0 - y) * (1.0 - p).ln());
+        grad.data_mut()[i] = w * (p - y) / (p * (1.0 - p)) / n;
+    }
+    LossOutput { loss: loss / n, grad }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let p = softmax(&logits);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Monotone: bigger logit → bigger probability.
+        assert!(p.at2(0, 2) > p.at2(0, 1));
+        assert!(p.at2(0, 1) > p.at2(0, 0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]));
+        let b = softmax(&Tensor::from_vec(&[1, 3], vec![1001.0, 1002.0, 1003.0]));
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        assert!(b.all_finite());
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_near_zero() {
+        let logits = Tensor::from_vec(&[1, 3], vec![100.0, 0.0, 0.0]);
+        let out = softmax_cross_entropy(&logits, &[0]);
+        assert!(out.loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_is_ln_classes() {
+        let logits = Tensor::zeros(&[4, 5]);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((out.loss - (5.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_p_minus_y_over_batch() {
+        let logits = Tensor::zeros(&[2, 2]); // softmax = 0.5 everywhere
+        let out = softmax_cross_entropy(&logits, &[0, 1]);
+        // grad = (0.5 - y)/2
+        assert!((out.grad.at2(0, 0) - (-0.25)).abs() < 1e-6);
+        assert!((out.grad.at2(0, 1) - 0.25).abs() < 1e-6);
+        assert!((out.grad.at2(1, 0) - 0.25).abs() < 1e-6);
+        assert!((out.grad.at2(1, 1) - (-0.25)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.3, -0.2, 0.9, 1.5, 0.1, -0.7]);
+        let targets = [2usize, 0];
+        let out = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3;
+        for idx in 0..logits.len() {
+            let mut up = logits.clone();
+            up.data_mut()[idx] += eps;
+            let mut down = logits.clone();
+            down.data_mut()[idx] -= eps;
+            let numeric = (softmax_cross_entropy(&up, &targets).loss
+                - softmax_cross_entropy(&down, &targets).loss)
+                / (2.0 * eps);
+            assert!(
+                (out.grad.data()[idx] - numeric).abs() < 1e-3,
+                "logit[{idx}]: analytic {} vs numeric {numeric}",
+                out.grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let pred = Tensor::from_vec(&[2], vec![1.0, 3.0]);
+        let target = Tensor::from_vec(&[2], vec![0.0, 0.0]);
+        let out = mse(&pred, &target);
+        assert!((out.loss - 5.0).abs() < 1e-6); // (1 + 9)/2
+        assert_eq!(out.grad.data(), &[1.0, 3.0]); // 2*diff/2
+    }
+
+    #[test]
+    fn weighted_bce_prefers_correct() {
+        let target = Tensor::from_vec(&[2], vec![1.0, 0.0]);
+        let w = Tensor::full(&[2], 1.0);
+        let good = weighted_bce(&Tensor::from_vec(&[2], vec![0.99, 0.01]), &target, &w);
+        let bad = weighted_bce(&Tensor::from_vec(&[2], vec![0.01, 0.99]), &target, &w);
+        assert!(good.loss < bad.loss);
+    }
+
+    #[test]
+    fn weighted_bce_weighting_scales_loss_and_grad() {
+        let pred = Tensor::from_vec(&[1], vec![0.3]);
+        let target = Tensor::from_vec(&[1], vec![1.0]);
+        let w1 = weighted_bce(&pred, &target, &Tensor::full(&[1], 1.0));
+        let w5 = weighted_bce(&pred, &target, &Tensor::full(&[1], 5.0));
+        assert!((w5.loss - 5.0 * w1.loss).abs() < 1e-5);
+        assert!((w5.grad.data()[0] - 5.0 * w1.grad.data()[0]).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,411 @@
+//! Evaluation metrics: classification, detection (IoU / average precision),
+//! and the confusion matrix underlying them.
+
+/// Row-normalized confusion matrix and derived per-class statistics.
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    k: usize,
+    /// `counts[true][pred]`.
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Build from parallel slices of true and predicted labels.
+    pub fn from_pairs(truth: &[usize], pred: &[usize], classes: usize) -> Self {
+        assert_eq!(truth.len(), pred.len());
+        let mut counts = vec![vec![0usize; classes]; classes];
+        for (&t, &p) in truth.iter().zip(pred) {
+            assert!(t < classes && p < classes, "label out of range");
+            counts[t][p] += 1;
+        }
+        ConfusionMatrix { k: classes, counts }
+    }
+
+    /// Raw count of (true=t, pred=p).
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Overall accuracy. 1.0 on empty input (vacuous).
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().flatten().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let correct: usize = (0..self.k).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of class `c` (0.0 when the class is never predicted).
+    pub fn precision(&self, c: usize) -> f64 {
+        let predicted: usize = (0..self.k).map(|t| self.counts[t][c]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            self.counts[c][c] as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of class `c` (0.0 when the class never occurs).
+    pub fn recall(&self, c: usize) -> f64 {
+        let actual: usize = self.counts[c].iter().sum();
+        if actual == 0 {
+            0.0
+        } else {
+            self.counts[c][c] as f64 / actual as f64
+        }
+    }
+
+    /// F1 of class `c`.
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean F1 over classes that occur in the truth.
+    pub fn macro_f1(&self) -> f64 {
+        let present: Vec<usize> = (0..self.k)
+            .filter(|&c| self.counts[c].iter().sum::<usize>() > 0)
+            .collect();
+        if present.is_empty() {
+            return 0.0;
+        }
+        present.iter().map(|&c| self.f1(c)).sum::<f64>() / present.len() as f64
+    }
+}
+
+/// Fraction of matching positions in two label slices. 1.0 on empty input.
+pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let correct = truth.iter().zip(pred).filter(|(t, p)| t == p).count();
+    correct as f64 / truth.len() as f64
+}
+
+/// Axis-aligned box `(x0, y0, x1, y1)` in pixel coordinates, inclusive of
+/// x0/y0 and exclusive of x1/y1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    /// Left edge.
+    pub x0: f32,
+    /// Top edge.
+    pub y0: f32,
+    /// Right edge (exclusive).
+    pub x1: f32,
+    /// Bottom edge (exclusive).
+    pub y1: f32,
+}
+
+impl BBox {
+    /// Construct; normalizes so `x0 ≤ x1`, `y0 ≤ y1`.
+    pub fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
+        BBox { x0: x0.min(x1), y0: y0.min(y1), x1: x0.max(x1), y1: y0.max(y1) }
+    }
+
+    /// Box area.
+    pub fn area(&self) -> f32 {
+        (self.x1 - self.x0).max(0.0) * (self.y1 - self.y0).max(0.0)
+    }
+
+    /// Intersection-over-union with another box, in `[0, 1]`.
+    pub fn iou(&self, other: &BBox) -> f32 {
+        let ix0 = self.x0.max(other.x0);
+        let iy0 = self.y0.max(other.y0);
+        let ix1 = self.x1.min(other.x1);
+        let iy1 = self.y1.min(other.y1);
+        let inter = (ix1 - ix0).max(0.0) * (iy1 - iy0).max(0.0);
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Center point.
+    pub fn center(&self) -> (f32, f32) {
+        ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+}
+
+/// A scored detection for average-precision computation.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// Predicted box.
+    pub bbox: BBox,
+    /// Confidence score (higher = more confident).
+    pub score: f32,
+}
+
+/// Precision/recall summary of matching `detections` against
+/// `ground_truth` at an IoU threshold. Greedy matching in descending score
+/// order; each ground-truth box matches at most one detection.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectionEval {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives (unmatched ground truth).
+    pub fn_: usize,
+    /// tp / (tp + fp); 1.0 when nothing was detected and nothing existed.
+    pub precision: f64,
+    /// tp / (tp + fn).
+    pub recall: f64,
+}
+
+/// Match detections to ground truth at `iou_threshold` and summarize.
+pub fn evaluate_detections(
+    detections: &[Detection],
+    ground_truth: &[BBox],
+    iou_threshold: f32,
+) -> DetectionEval {
+    let mut order: Vec<usize> = (0..detections.len()).collect();
+    order.sort_by(|&a, &b| {
+        detections[b]
+            .score
+            .partial_cmp(&detections[a].score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut matched = vec![false; ground_truth.len()];
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    for &di in &order {
+        let det = &detections[di];
+        let mut best: Option<(usize, f32)> = None;
+        for (gi, gt) in ground_truth.iter().enumerate() {
+            if matched[gi] {
+                continue;
+            }
+            let iou = det.bbox.iou(gt);
+            if iou >= iou_threshold && best.map_or(true, |(_, b)| iou > b) {
+                best = Some((gi, iou));
+            }
+        }
+        match best {
+            Some((gi, _)) => {
+                matched[gi] = true;
+                tp += 1;
+            }
+            None => fp += 1,
+        }
+    }
+    let fn_ = matched.iter().filter(|&&m| !m).count();
+    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+    DetectionEval { tp, fp, fn_, precision, recall }
+}
+
+/// Average precision (area under the interpolated PR curve) for one class,
+/// computed over a whole evaluation set: `per_image` pairs each image's
+/// detections with its ground-truth boxes.
+pub fn average_precision(per_image: &[(Vec<Detection>, Vec<BBox>)], iou_threshold: f32) -> f64 {
+    // Flatten: each detection needs a global (score, is_tp) after greedy
+    // per-image matching.
+    let mut scored: Vec<(f32, bool)> = Vec::new();
+    let mut total_gt = 0usize;
+    for (dets, gts) in per_image {
+        total_gt += gts.len();
+        let mut order: Vec<usize> = (0..dets.len()).collect();
+        order.sort_by(|&a, &b| {
+            dets[b].score.partial_cmp(&dets[a].score).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut matched = vec![false; gts.len()];
+        for &di in &order {
+            let det = &dets[di];
+            let mut best: Option<(usize, f32)> = None;
+            for (gi, gt) in gts.iter().enumerate() {
+                if matched[gi] {
+                    continue;
+                }
+                let iou = det.bbox.iou(gt);
+                if iou >= iou_threshold && best.map_or(true, |(_, b)| iou > b) {
+                    best = Some((gi, iou));
+                }
+            }
+            match best {
+                Some((gi, _)) => {
+                    matched[gi] = true;
+                    scored.push((det.score, true));
+                }
+                None => scored.push((det.score, false)),
+            }
+        }
+    }
+    if total_gt == 0 {
+        return if scored.is_empty() { 1.0 } else { 0.0 };
+    }
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    // Precision at each recall step, then interpolate (max to the right).
+    let mut tp = 0usize;
+    let mut points: Vec<(f64, f64)> = Vec::with_capacity(scored.len()); // (recall, precision)
+    for (i, &(_, is_tp)) in scored.iter().enumerate() {
+        if is_tp {
+            tp += 1;
+        }
+        let prec = tp as f64 / (i + 1) as f64;
+        let rec = tp as f64 / total_gt as f64;
+        points.push((rec, prec));
+    }
+    // Interpolated AP: integrate precision envelope over recall.
+    let mut max_prec = 0.0f64;
+    for p in points.iter_mut().rev() {
+        max_prec = max_prec.max(p.1);
+        p.1 = max_prec;
+    }
+    let mut ap = 0.0f64;
+    let mut prev_rec = 0.0f64;
+    for (rec, prec) in points {
+        ap += (rec - prev_rec) * prec;
+        prev_rec = rec;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[], &[]), 1.0);
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 0]), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn confusion_matrix_perfect() {
+        let cm = ConfusionMatrix::from_pairs(&[0, 1, 2, 0], &[0, 1, 2, 0], 3);
+        assert_eq!(cm.accuracy(), 1.0);
+        for c in 0..3 {
+            assert_eq!(cm.precision(c), 1.0);
+            assert_eq!(cm.recall(c), 1.0);
+            assert_eq!(cm.f1(c), 1.0);
+        }
+        assert_eq!(cm.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_known_values() {
+        // truth: [0,0,0,1,1], pred: [0,0,1,1,0]
+        let cm = ConfusionMatrix::from_pairs(&[0, 0, 0, 1, 1], &[0, 0, 1, 1, 0], 2);
+        assert_eq!(cm.count(0, 0), 2);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.count(1, 1), 1);
+        assert!((cm.accuracy() - 0.6).abs() < 1e-12);
+        assert!((cm.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.precision(1) - 0.5).abs() < 1e-12);
+        assert!((cm.recall(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_class_contributes_zero_not_nan() {
+        let cm = ConfusionMatrix::from_pairs(&[0, 0], &[0, 0], 3);
+        assert_eq!(cm.precision(2), 0.0);
+        assert_eq!(cm.recall(2), 0.0);
+        assert_eq!(cm.f1(2), 0.0);
+        // macro_f1 averages only over present classes.
+        assert_eq!(cm.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn iou_identical_and_disjoint() {
+        let a = BBox::new(0.0, 0.0, 10.0, 10.0);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+        let b = BBox::new(20.0, 20.0, 30.0, 30.0);
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let a = BBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BBox::new(5.0, 0.0, 15.0, 10.0);
+        // inter 50, union 150 → 1/3
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bbox_normalizes_corners() {
+        let b = BBox::new(10.0, 10.0, 0.0, 0.0);
+        assert_eq!(b.x0, 0.0);
+        assert_eq!(b.area(), 100.0);
+        assert_eq!(b.center(), (5.0, 5.0));
+    }
+
+    #[test]
+    fn detection_eval_matches_greedily_by_score() {
+        let gt = vec![BBox::new(0.0, 0.0, 10.0, 10.0)];
+        let dets = vec![
+            Detection { bbox: BBox::new(0.0, 0.0, 10.0, 10.0), score: 0.9 },
+            Detection { bbox: BBox::new(1.0, 1.0, 11.0, 11.0), score: 0.8 },
+        ];
+        let eval = evaluate_detections(&dets, &gt, 0.5);
+        // One GT: best detection matches, the other is a false positive.
+        assert_eq!(eval.tp, 1);
+        assert_eq!(eval.fp, 1);
+        assert_eq!(eval.fn_, 0);
+        assert_eq!(eval.recall, 1.0);
+        assert!((eval.precision - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detection_eval_empty_cases() {
+        let none = evaluate_detections(&[], &[], 0.5);
+        assert_eq!(none.precision, 1.0);
+        assert_eq!(none.recall, 1.0);
+        let missed = evaluate_detections(&[], &[BBox::new(0.0, 0.0, 1.0, 1.0)], 0.5);
+        assert_eq!(missed.fn_, 1);
+        assert_eq!(missed.recall, 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_detector_is_one() {
+        let img = (
+            vec![Detection { bbox: BBox::new(0.0, 0.0, 5.0, 5.0), score: 0.9 }],
+            vec![BBox::new(0.0, 0.0, 5.0, 5.0)],
+        );
+        let ap = average_precision(&[img], 0.5);
+        assert!((ap - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_precision_ranks_confident_correct_higher() {
+        // Detector A: correct detection has the higher score → AP 1.0.
+        // Detector B: false positive outranks the correct one → AP 0.5.
+        let gt = vec![BBox::new(0.0, 0.0, 5.0, 5.0)];
+        let far = BBox::new(50.0, 50.0, 55.0, 55.0);
+        let a = vec![(
+            vec![
+                Detection { bbox: gt[0], score: 0.9 },
+                Detection { bbox: far, score: 0.3 },
+            ],
+            gt.clone(),
+        )];
+        let b = vec![(
+            vec![
+                Detection { bbox: gt[0], score: 0.3 },
+                Detection { bbox: far, score: 0.9 },
+            ],
+            gt.clone(),
+        )];
+        let ap_a = average_precision(&a, 0.5);
+        let ap_b = average_precision(&b, 0.5);
+        assert!(ap_a > ap_b, "{ap_a} vs {ap_b}");
+        assert!((ap_a - 1.0).abs() < 1e-9);
+        assert!((ap_b - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_precision_no_gt_no_dets_is_vacuous_one() {
+        assert_eq!(average_precision(&[(vec![], vec![])], 0.5), 1.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! First-order optimizers: SGD with momentum and Adam.
+//!
+//! Optimizer state (velocities, moments) is keyed by parameter *position* in
+//! the slice passed to [`Optimizer::step`]; callers must pass parameters in a
+//! stable order across steps ([`crate::net::Sequential::params_mut`] does).
+
+use crate::layers::Param;
+use crate::tensor::Tensor;
+
+/// A stateful gradient-descent optimizer.
+pub trait Optimizer: Send {
+    /// Apply one update to every parameter, consuming its accumulated
+    /// gradient (gradients are *not* zeroed here; the trainer does that).
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replace the learning rate (schedules / warm restarts).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// `momentum = 0.0` gives plain SGD.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() < params.len() {
+            for p in params[self.velocity.len()..].iter() {
+                self.velocity.push(Tensor::zeros(p.value.shape()));
+            }
+        }
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            if self.momentum > 0.0 {
+                // v = μv − lr·g ; θ += v
+                v.scale(self.momentum);
+                v.axpy(-self.lr, &p.grad);
+                p.value.axpy(1.0, v);
+            } else {
+                p.value.axpy(-self.lr, &p.grad);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the canonical defaults β₁=0.9, β₂=0.999, ε=1e-8.
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Adam with explicit betas.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        assert!(lr > 0.0);
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Adam { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        while self.m.len() < params.len() {
+            let shape = params[self.m.len()].value.shape().to_vec();
+            self.m.push(Tensor::zeros(&shape));
+            self.v.push(Tensor::zeros(&shape));
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            let g = p.grad.data();
+            let md = m.data_mut();
+            let vd = v.data_mut();
+            let theta = p.value.data_mut();
+            for i in 0..g.len() {
+                md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * g[i];
+                vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let m_hat = md[i] / bc1;
+                let v_hat = vd[i] / bc2;
+                theta[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(θ) = (θ − 3)² with each optimizer; both must converge.
+    fn run(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut p = Param::new(Tensor::from_vec(&[1], vec![0.0]));
+        for _ in 0..steps {
+            let theta = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * (theta - 3.0);
+            let mut params = [&mut p];
+            opt.step(&mut params);
+        }
+        p.value.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let theta = run(&mut opt, 100);
+        assert!((theta - 3.0).abs() < 1e-3, "θ = {theta}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_faster_than_plain() {
+        let mut plain = Sgd::new(0.01, 0.0);
+        let mut heavy = Sgd::new(0.01, 0.9);
+        let after_plain = run(&mut plain, 50);
+        let after_heavy = run(&mut heavy, 50);
+        assert!(
+            (after_heavy - 3.0).abs() < (after_plain - 3.0).abs(),
+            "momentum {after_heavy} vs plain {after_plain}"
+        );
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.3);
+        let theta = run(&mut opt, 200);
+        assert!((theta - 3.0).abs() < 1e-2, "θ = {theta}");
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction, the very first Adam step ≈ lr · sign(g).
+        let mut opt = Adam::new(0.1);
+        let mut p = Param::new(Tensor::from_vec(&[1], vec![0.0]));
+        p.grad.data_mut()[0] = 123.0;
+        let mut params = [&mut p];
+        opt.step(&mut params);
+        assert!((p.value.data()[0] + 0.1).abs() < 1e-4, "got {}", p.value.data()[0]);
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    fn multiple_params_tracked_independently() {
+        let mut opt = Adam::new(0.1);
+        let mut a = Param::new(Tensor::from_vec(&[1], vec![0.0]));
+        let mut b = Param::new(Tensor::from_vec(&[2], vec![0.0, 0.0]));
+        for _ in 0..100 {
+            a.grad.data_mut()[0] = 2.0 * (a.value.data()[0] - 1.0);
+            let bv: Vec<f32> = b.value.data().iter().map(|&t| 2.0 * (t + 2.0)).collect();
+            b.grad.data_mut().copy_from_slice(&bv);
+            let mut params = [&mut a, &mut b];
+            opt.step(&mut params);
+        }
+        assert!((a.value.data()[0] - 1.0).abs() < 0.05);
+        assert!((b.value.data()[0] + 2.0).abs() < 0.05);
+        assert!((b.value.data()[1] + 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_nonpositive_lr() {
+        Sgd::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,524 @@
+//! Row-major `f32` tensors with the operations the layer zoo needs.
+//!
+//! This is a deliberately small tensor: contiguous storage, shapes up to
+//! four dimensions (`[N, C, H, W]` for image batches), no views or strides.
+//! Hot loops (matmul, conv) are written so the inner loop is a contiguous
+//! slice traversal, which the compiler auto-vectorizes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, contiguous, row-major `f32` tensor.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}(", self.shape)?;
+        let preview: Vec<String> =
+            self.data.iter().take(8).map(|v| format!("{v:.4}")).collect();
+        write!(f, "{}", preview.join(", "))?;
+        if self.data.len() > 8 {
+            write!(f, ", …")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Tensor {
+    /// Zero-filled tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![0.0; n] }
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![value; n] }
+    }
+
+    /// Build from raw data; panics if `data.len()` does not match the shape.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, data.len(), "shape {shape:?} needs {n} elements, got {}", data.len());
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// He-style Gaussian initialization: N(0, sqrt(2/fan_in)).
+    pub fn randn<R: Rng>(shape: &[usize], fan_in: usize, rng: &mut R) -> Self {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| gaussian(rng) * std).collect();
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// Uniform random in `[lo, hi)`.
+    pub fn rand_uniform<R: Rng>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// The shape slice.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable raw data (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape {:?} → {shape:?} changes element count", self.shape);
+        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+    }
+
+    /// 2-D element accessor (row, col).
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.ndim(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// 2-D mutable element accessor.
+    #[inline]
+    pub fn at2_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert_eq!(self.ndim(), 2);
+        &mut self.data[r * self.shape[1] + c]
+    }
+
+    /// 4-D element accessor (n, c, h, w).
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert_eq!(self.ndim(), 4);
+        let (cc, hh, ww) = (self.shape[1], self.shape[2], self.shape[3]);
+        self.data[((n * cc + c) * hh + h) * ww + w]
+    }
+
+    /// 4-D mutable element accessor.
+    #[inline]
+    pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        debug_assert_eq!(self.ndim(), 4);
+        let (cc, hh, ww) = (self.shape[1], self.shape[2], self.shape[3]);
+        &mut self.data[((n * cc + c) * hh + h) * ww + w]
+    }
+
+    /// One row of a 2-D tensor as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert_eq!(self.ndim(), 2);
+        let cols = self.shape[1];
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Matrix multiply: `[m,k] × [k,n] → [m,n]`.
+    ///
+    /// ikj loop order keeps the inner loop contiguous over both the output
+    /// row and the right-hand row, which auto-vectorizes well.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D");
+        assert_eq!(rhs.ndim(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Transpose of a 2-D tensor.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor { shape: vec![n, m], data: out }
+    }
+
+    /// Elementwise addition; shapes must match.
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a * b)
+    }
+
+    /// Elementwise combine with an arbitrary function.
+    pub fn zip(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, rhs.shape, "elementwise op shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// In-place scaled add: `self += alpha * rhs`.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) {
+        assert_eq!(self.shape, rhs.shape);
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiply every element by a scalar (in place).
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Add `bias` (shape `[n]`) to every row of a `[m,n]` tensor.
+    pub fn add_row_bias(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2);
+        assert_eq!(bias.ndim(), 1);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        assert_eq!(bias.len(), n);
+        let mut out = self.data.clone();
+        for i in 0..m {
+            for (o, &b) in out[i * n..(i + 1) * n].iter_mut().zip(&bias.data) {
+                *o += b;
+            }
+        }
+        Tensor { shape: self.shape.clone(), data: out }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Column-wise sums of a `[m,n]` tensor → shape `[n]` (bias gradients).
+    pub fn sum_rows(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; n];
+        for i in 0..m {
+            for (o, &v) in out.iter_mut().zip(&self.data[i * n..(i + 1) * n]) {
+                *o += v;
+            }
+        }
+        Tensor { shape: vec![n], data: out }
+    }
+
+    /// Index of the maximum element in each row of a 2-D tensor.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.ndim(), 2);
+        (0..self.shape[0])
+            .map(|r| {
+                let row = self.row(r);
+                let mut best = 0usize;
+                let mut best_v = f32::NEG_INFINITY;
+                for (i, &v) in row.iter().enumerate() {
+                    // Strict '>' keeps the first index on ties.
+                    if v > best_v {
+                        best_v = v;
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Extract rows `[start, end)` of a 2-D tensor (a batch slice).
+    pub fn rows(&self, start: usize, end: usize) -> Tensor {
+        assert_eq!(self.ndim(), 2);
+        let n = self.shape[1];
+        Tensor {
+            shape: vec![end - start, n],
+            data: self.data[start * n..end * n].to_vec(),
+        }
+    }
+
+    /// Extract items `[start, end)` along the batch axis of a 4-D tensor.
+    pub fn batch_slice(&self, start: usize, end: usize) -> Tensor {
+        assert_eq!(self.ndim(), 4);
+        let per = self.shape[1] * self.shape[2] * self.shape[3];
+        Tensor {
+            shape: vec![end - start, self.shape[1], self.shape[2], self.shape[3]],
+            data: self.data[start * per..end * per].to_vec(),
+        }
+    }
+
+    /// Stack 4-D single-item tensors (`[1,C,H,W]` each) into one batch.
+    pub fn stack_batch(items: &[Tensor]) -> Tensor {
+        assert!(!items.is_empty());
+        let first = &items[0];
+        assert_eq!(first.ndim(), 4);
+        assert_eq!(first.shape[0], 1);
+        let per = first.len();
+        let mut data = Vec::with_capacity(per * items.len());
+        for t in items {
+            assert_eq!(t.shape, first.shape, "stack_batch requires identical shapes");
+            data.extend_from_slice(&t.data);
+        }
+        Tensor {
+            shape: vec![items.len(), first.shape[1], first.shape[2], first.shape[3]],
+            data,
+        }
+    }
+
+    /// Frobenius / L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// True when every element is finite (NaN/Inf detector for training
+    /// sanity checks).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Standard normal via Box–Muller (avoids a rand_distr dependency).
+pub fn gaussian<R: Rng>(rng: &mut R) -> f32 {
+    loop {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+        let f = Tensor::full(&[4], 2.5);
+        assert!(f.data().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn from_vec_checks_length() {
+        Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        // [[1,2],[3,4]] × [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(&[2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut eye = Tensor::zeros(&[3, 3]);
+        for i in 0..3 {
+            *eye.at2_mut(i, i) = 1.0;
+        }
+        assert_eq!(a.matmul(&eye), a);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_vec(&[1, 3], vec![1.0, 0.0, 2.0]);
+        let b = Tensor::from_vec(&[3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[1, 2]);
+        assert_eq!(c.data(), &[11.0, 14.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose2();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at2(0, 1), 4.0);
+        assert_eq!(t.transpose2(), a);
+    }
+
+    #[test]
+    fn transpose_matmul_identity_property() {
+        // (AB)^T == B^T A^T
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::rand_uniform(&[4, 5], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[5, 3], -1.0, 1.0, &mut rng);
+        let lhs = a.matmul(&b).transpose2();
+        let rhs = b.transpose2().matmul(&a.transpose2());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(&[3], vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.map(|v| v * v).data(), &[1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[2], vec![10.0, 20.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[12.0, 24.0]);
+    }
+
+    #[test]
+    fn bias_and_row_sums() {
+        let x = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(&[3], vec![10.0, 20.0, 30.0]);
+        let y = x.add_row_bias(&b);
+        assert_eq!(y.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        assert_eq!(x.sum_rows().data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let x = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(x.sum(), 10.0);
+        assert_eq!(x.mean(), 2.5);
+        assert!((x.norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_rows_ties_take_first() {
+        let x = Tensor::from_vec(&[3, 3], vec![
+            0.1, 0.9, 0.0,
+            0.5, 0.5, 0.5,
+            0.0, 0.0, 1.0,
+        ]);
+        assert_eq!(x.argmax_rows(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn row_and_batch_slicing() {
+        let x = Tensor::from_vec(&[3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(x.row(1), &[3.0, 4.0]);
+        let mid = x.rows(1, 3);
+        assert_eq!(mid.shape(), &[2, 2]);
+        assert_eq!(mid.data(), &[3.0, 4.0, 5.0, 6.0]);
+
+        let img = Tensor::from_vec(&[2, 1, 2, 2], (0..8).map(|v| v as f32).collect());
+        let second = img.batch_slice(1, 2);
+        assert_eq!(second.shape(), &[1, 1, 2, 2]);
+        assert_eq!(second.data(), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn stack_batch_concatenates() {
+        let a = Tensor::from_vec(&[1, 1, 1, 2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[1, 1, 1, 2], vec![3.0, 4.0]);
+        let s = Tensor::stack_batch(&[a, b]);
+        assert_eq!(s.shape(), &[2, 1, 1, 2]);
+        assert_eq!(s.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn at4_indexing_round_trip() {
+        let mut t = Tensor::zeros(&[2, 3, 4, 5]);
+        *t.at4_mut(1, 2, 3, 4) = 42.0;
+        assert_eq!(t.at4(1, 2, 3, 4), 42.0);
+        assert_eq!(t.data()[t.len() - 1], 42.0);
+    }
+
+    #[test]
+    fn randn_has_roughly_expected_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::randn(&[10_000], 2, &mut rng);
+        // std should be ≈ sqrt(2/2) = 1.0
+        let mean = t.mean();
+        let var = t.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 1.0).abs() < 0.05, "std {}", var.sqrt());
+        assert!(t.all_finite());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut t = Tensor::zeros(&[3]);
+        assert!(t.all_finite());
+        t.data_mut()[1] = f32::NAN;
+        assert!(!t.all_finite());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests over tensor algebra and detection metrics.
+
+use neural::loss::softmax;
+use neural::metrics::BBox;
+use neural::tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(&[rows, cols], data))
+}
+
+proptest! {
+    /// A · I = A and I · A = A.
+    #[test]
+    fn matmul_identity(a in small_matrix(3, 3)) {
+        let mut eye = Tensor::zeros(&[3, 3]);
+        for i in 0..3 {
+            *eye.at2_mut(i, i) = 1.0;
+        }
+        let right = a.matmul(&eye);
+        let left = eye.matmul(&a);
+        for (x, y) in right.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        for (x, y) in left.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn matmul_transpose_identity(a in small_matrix(2, 4), b in small_matrix(4, 3)) {
+        let lhs = a.matmul(&b).transpose2();
+        let rhs = b.transpose2().matmul(&a.transpose2());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Matmul distributes over addition: A(B+C) = AB + AC.
+    #[test]
+    fn matmul_distributive(a in small_matrix(2, 3), b in small_matrix(3, 2), c in small_matrix(3, 2)) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Softmax rows are probability distributions and argmax is preserved.
+    #[test]
+    fn softmax_distribution_properties(logits in small_matrix(4, 5)) {
+        let p = softmax(&logits);
+        prop_assert!(p.all_finite());
+        for r in 0..4 {
+            let sum: f32 = p.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        prop_assert_eq!(p.argmax_rows(), logits.argmax_rows());
+    }
+
+    /// IoU is symmetric, bounded, and 1 only for (near-)identical boxes.
+    #[test]
+    fn iou_properties(
+        ax in -50.0f32..50.0, ay in -50.0f32..50.0, aw in 1.0f32..30.0, ah in 1.0f32..30.0,
+        bx in -50.0f32..50.0, by in -50.0f32..50.0, bw in 1.0f32..30.0, bh in 1.0f32..30.0,
+    ) {
+        let a = BBox::new(ax, ay, ax + aw, ay + ah);
+        let b = BBox::new(bx, by, bx + bw, by + bh);
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+    }
+
+    /// Dataset shuffle/subset preserve feature-label pairing.
+    #[test]
+    fn dataset_pairing_preserved(n in 1usize..40, seed in any::<u64>()) {
+        use neural::data::Dataset;
+        use rand::SeedableRng;
+        // Feature value encodes the label.
+        let data: Vec<f32> = (0..n).flat_map(|i| [i as f32, (i % 3) as f32]).collect();
+        let y: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let mut ds = Dataset::new(Tensor::from_vec(&[n, 2], data), y);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        ds.shuffle(&mut rng);
+        for r in 0..n {
+            prop_assert_eq!(ds.x.row(r)[1] as usize, ds.y[r]);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Synthetic parchment corpus with full ground truth.
+//!
+//! The real PergaNet corpus (scanned parchments of the Italian State
+//! Archives) is unpublished, so this generator produces images that
+//! exercise the same three decisions with controllable difficulty:
+//!
+//! * **Recto vs verso** — recto sides are brighter with crisp text; verso
+//!   sides are darker, rougher, and carry only faint bleed-through.
+//! * **Text lines** — dark horizontal strips with a left margin, recorded
+//!   as ground-truth boxes.
+//! * **Signum tabellionis** — a distinctive cross-shaped notarial glyph
+//!   placed away from the text, recorded as a ground-truth box.
+//!
+//! A `damage` level (0–2) adds noise and stain blotches, modeling the
+//! "high levels of damage" the paper emphasizes.
+
+use crate::image::GrayImage;
+use neural::metrics::BBox;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Canonical image side length used throughout the pipeline.
+pub const IMG: usize = 32;
+
+/// Which face of the parchment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The front (hair) side carrying the primary text.
+    Recto,
+    /// The back (flesh) side.
+    Verso,
+}
+
+impl Side {
+    /// Class index for the classifier (recto = 0, verso = 1).
+    pub fn class(&self) -> usize {
+        match self {
+            Side::Recto => 0,
+            Side::Verso => 1,
+        }
+    }
+
+    /// Inverse of [`Side::class`].
+    pub fn from_class(c: usize) -> Side {
+        if c == 0 {
+            Side::Recto
+        } else {
+            Side::Verso
+        }
+    }
+}
+
+/// Ground truth for one synthetic parchment.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// True side.
+    pub side: Side,
+    /// Text line boxes.
+    pub text_boxes: Vec<BBox>,
+    /// Signum boxes (0 or 1 in this corpus).
+    pub signum_boxes: Vec<BBox>,
+}
+
+/// One corpus item.
+#[derive(Debug, Clone)]
+pub struct Parchment {
+    /// The rendered scan.
+    pub image: GrayImage,
+    /// Its ground truth.
+    pub truth: GroundTruth,
+}
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    /// Number of parchments.
+    pub count: usize,
+    /// Damage level 0 (pristine) – 2 (heavily damaged).
+    pub damage: u8,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generate a corpus.
+pub fn generate(config: CorpusConfig) -> Vec<Parchment> {
+    assert!(config.damage <= 2, "damage level is 0..=2");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    (0..config.count).map(|_| generate_one(&mut rng, config.damage)).collect()
+}
+
+/// Generate one parchment with the given damage level.
+pub fn generate_one(rng: &mut StdRng, damage: u8) -> Parchment {
+    let recto = rng.gen_bool(0.5);
+    let side = if recto { Side::Recto } else { Side::Verso };
+    let base = if recto { 0.78 } else { 0.52 };
+    let mut image = GrayImage::filled(IMG, IMG, base);
+    // Parchment texture: gentle vertical gradient plus noise.
+    for y in 0..IMG {
+        for x in 0..IMG {
+            let g = 0.04 * (y as f32 / IMG as f32);
+            image.set(x, y, image.get(x, y) - g);
+        }
+    }
+
+    let mut text_boxes = Vec::new();
+    let n_lines = if recto { rng.gen_range(2..=4) } else { rng.gen_range(0..=2) };
+    let opacity = if recto { 0.75 } else { 0.25 }; // verso = bleed-through
+    let mut y = rng.gen_range(3..6);
+    for _ in 0..n_lines {
+        if y + 2 >= IMG - 10 {
+            break;
+        }
+        let x0 = rng.gen_range(3..6);
+        let w = rng.gen_range(16..=(IMG - x0 - 2));
+        let h = 2;
+        image.ink_rect(x0, y, w, h, opacity);
+        text_boxes.push(BBox::new(x0 as f32, y as f32, (x0 + w) as f32, (y + h) as f32));
+        y += rng.gen_range(4..7);
+    }
+
+    // Signum tabellionis: mostly on recto, placed in the bottom band away
+    // from text.
+    let mut signum_boxes = Vec::new();
+    let signum_prob = if recto { 0.75 } else { 0.08 };
+    if rng.gen_bool(signum_prob) {
+        let size = 7usize;
+        let sx = rng.gen_range(2..IMG - size - 2);
+        let sy = rng.gen_range(IMG - 10..IMG - size);
+        draw_signum(&mut image, sx, sy, size);
+        signum_boxes.push(BBox::new(
+            sx as f32,
+            sy as f32,
+            (sx + size) as f32,
+            (sy + size) as f32,
+        ));
+    }
+
+    // Damage.
+    let (noise, blotches) = match damage {
+        0 => (0.03, 0),
+        1 => (0.08, 2),
+        _ => (0.15, 5),
+    };
+    image.add_noise(rng, noise);
+    if blotches > 0 {
+        image.add_damage(rng, blotches, 3);
+    }
+
+    Parchment { image, truth: GroundTruth { side, text_boxes, signum_boxes } }
+}
+
+/// Draw the cross-shaped notarial glyph: a thick plus with a diagonal
+/// flourish — visually distinct from horizontal text strips.
+fn draw_signum(image: &mut GrayImage, x0: usize, y0: usize, size: usize) {
+    let mid = size / 2;
+    // Vertical bar.
+    image.ink_rect(x0 + mid - 1, y0, 2, size, 0.85);
+    // Horizontal bar.
+    image.ink_rect(x0, y0 + mid - 1, size, 2, 0.85);
+    // Diagonal flourish.
+    for d in 0..size {
+        let x = x0 + d;
+        let y = y0 + d;
+        if x < image.width() && y < image.height() {
+            let v = image.get(x, y) * 0.3;
+            image.set(x, y, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(n: usize, damage: u8, seed: u64) -> Vec<Parchment> {
+        generate(CorpusConfig { count: n, damage, seed })
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = corpus(10, 1, 5);
+        let b = corpus(10, 1, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.image, y.image);
+            assert_eq!(x.truth.side, y.truth.side);
+        }
+        let c = corpus(10, 1, 6);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.image != y.image));
+    }
+
+    #[test]
+    fn sides_are_roughly_balanced() {
+        let items = corpus(400, 0, 1);
+        let recto = items.iter().filter(|p| p.truth.side == Side::Recto).count();
+        assert!((140..=260).contains(&recto), "recto count {recto}");
+    }
+
+    #[test]
+    fn recto_is_brighter_than_verso_on_average() {
+        let items = corpus(200, 0, 2);
+        let mean_of = |side: Side| {
+            let v: Vec<f32> = items
+                .iter()
+                .filter(|p| p.truth.side == side)
+                .map(|p| p.image.mean())
+                .collect();
+            v.iter().sum::<f32>() / v.len() as f32
+        };
+        assert!(
+            mean_of(Side::Recto) > mean_of(Side::Verso) + 0.1,
+            "recto {} vs verso {}",
+            mean_of(Side::Recto),
+            mean_of(Side::Verso)
+        );
+    }
+
+    #[test]
+    fn ground_truth_boxes_are_in_bounds() {
+        for p in corpus(100, 2, 3) {
+            for b in p.truth.text_boxes.iter().chain(&p.truth.signum_boxes) {
+                assert!(b.x0 >= 0.0 && b.y0 >= 0.0);
+                assert!(b.x1 <= IMG as f32 && b.y1 <= IMG as f32);
+                assert!(b.area() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn signa_mostly_on_recto() {
+        let items = corpus(400, 0, 4);
+        let with_signum = |side: Side| {
+            let of_side: Vec<&Parchment> =
+                items.iter().filter(|p| p.truth.side == side).collect();
+            of_side.iter().filter(|p| !p.truth.signum_boxes.is_empty()).count() as f64
+                / of_side.len() as f64
+        };
+        assert!(with_signum(Side::Recto) > 0.6);
+        assert!(with_signum(Side::Verso) < 0.25);
+    }
+
+    #[test]
+    fn signum_region_is_darker_than_surroundings() {
+        let items = corpus(50, 0, 7);
+        for p in items.iter().filter(|p| !p.truth.signum_boxes.is_empty()) {
+            let b = &p.truth.signum_boxes[0];
+            let mut inside = 0.0;
+            let mut n = 0;
+            for y in b.y0 as usize..b.y1 as usize {
+                for x in b.x0 as usize..b.x1 as usize {
+                    inside += p.image.get(x, y);
+                    n += 1;
+                }
+            }
+            let inside_mean = inside / n as f32;
+            assert!(
+                inside_mean < p.image.mean(),
+                "signum region should be darker: {} vs {}",
+                inside_mean,
+                p.image.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn damage_reduces_image_regularity() {
+        // Higher damage → more pixel-to-pixel variation.
+        let roughness = |items: &[Parchment]| {
+            items
+                .iter()
+                .map(|p| {
+                    let mut acc = 0.0f32;
+                    for y in 0..IMG {
+                        for x in 1..IMG {
+                            acc += (p.image.get(x, y) - p.image.get(x - 1, y)).abs();
+                        }
+                    }
+                    acc
+                })
+                .sum::<f32>()
+                / items.len() as f32
+        };
+        let pristine = roughness(&corpus(40, 0, 8));
+        let damaged = roughness(&corpus(40, 2, 8));
+        assert!(damaged > pristine * 1.5, "{damaged} vs {pristine}");
+    }
+
+    #[test]
+    fn side_class_round_trip() {
+        assert_eq!(Side::from_class(Side::Recto.class()), Side::Recto);
+        assert_eq!(Side::from_class(Side::Verso.class()), Side::Verso);
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-stage and end-to-end evaluation for Experiment F1: the
+//! figures-of-merit the paper's Figure 1 implies but never reports.
+
+use crate::corpus::Parchment;
+use crate::pipeline::PergaNet;
+use neural::metrics::{average_precision, evaluate_detections, BBox, Detection};
+
+/// All stage metrics for one evaluation corpus.
+#[derive(Debug, Clone)]
+pub struct PipelineEval {
+    /// Stage 1: recto/verso accuracy.
+    pub side_accuracy: f64,
+    /// Stage 2: text-detection box precision at IoU 0.3.
+    pub text_precision: f64,
+    /// Stage 2: text-detection box recall at IoU 0.3.
+    pub text_recall: f64,
+    /// Stage 3: signum average precision at IoU 0.3.
+    pub signum_ap: f64,
+    /// Stage 3: signum recall at IoU 0.3.
+    pub signum_recall: f64,
+    /// Images evaluated.
+    pub images: usize,
+}
+
+/// Evaluate a trained pipeline on a labeled corpus.
+pub fn evaluate(net: &mut PergaNet, corpus: &[Parchment]) -> PipelineEval {
+    let mut side_correct = 0usize;
+    let mut text_tp = 0usize;
+    let mut text_fp = 0usize;
+    let mut text_fn = 0usize;
+    let mut signum_tp = 0usize;
+    let mut signum_total = 0usize;
+    let mut signum_per_image: Vec<(Vec<Detection>, Vec<BBox>)> = Vec::with_capacity(corpus.len());
+    for p in corpus {
+        let analysis = net.analyze(&p.image);
+        if analysis.side == p.truth.side {
+            side_correct += 1;
+        }
+        // Text boxes: the detector emits one box per (row, run) while truth
+        // has one box per line; match at a forgiving IoU.
+        let text_dets: Vec<Detection> = analysis
+            .text_boxes
+            .iter()
+            .map(|b| Detection { bbox: *b, score: 1.0 })
+            .collect();
+        let e = evaluate_detections(&text_dets, &p.truth.text_boxes, 0.3);
+        text_tp += e.tp;
+        text_fp += e.fp;
+        text_fn += e.fn_;
+        let se = evaluate_detections(&analysis.signum_detections, &p.truth.signum_boxes, 0.3);
+        signum_tp += se.tp;
+        signum_total += se.tp + se.fn_;
+        signum_per_image.push((analysis.signum_detections, p.truth.signum_boxes.clone()));
+    }
+    PipelineEval {
+        side_accuracy: side_correct as f64 / corpus.len().max(1) as f64,
+        text_precision: if text_tp + text_fp == 0 {
+            1.0
+        } else {
+            text_tp as f64 / (text_tp + text_fp) as f64
+        },
+        text_recall: if text_tp + text_fn == 0 {
+            1.0
+        } else {
+            text_tp as f64 / (text_tp + text_fn) as f64
+        },
+        signum_ap: average_precision(&signum_per_image, 0.3),
+        signum_recall: signum_tp as f64 / signum_total.max(1) as f64,
+        images: corpus.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate, CorpusConfig};
+    use crate::pipeline::TrainConfig;
+
+    #[test]
+    fn trained_pipeline_beats_untrained_across_stages() {
+        let train = generate(CorpusConfig { count: 150, damage: 0, seed: 61 });
+        let test = generate(CorpusConfig { count: 50, damage: 0, seed: 62 });
+
+        let mut untrained = PergaNet::new(63);
+        // An untrained classifier still emits predictions; do not train.
+        let base = evaluate(&mut untrained, &test);
+
+        let mut trained = PergaNet::new(63);
+        trained.train(&train, TrainConfig::default());
+        let good = evaluate(&mut trained, &test);
+
+        assert!(good.side_accuracy > 0.85, "side {}", good.side_accuracy);
+        assert!(good.side_accuracy >= base.side_accuracy);
+        assert!(good.text_recall > 0.5, "text recall {}", good.text_recall);
+        assert!(good.signum_ap >= base.signum_ap);
+        assert_eq!(good.images, 50);
+    }
+
+    #[test]
+    fn damage_degrades_metrics_monotonically_in_shape() {
+        // Train on mixed damage, evaluate per damage level: pristine should
+        // be at least as good as heavily damaged.
+        let mut train = generate(CorpusConfig { count: 80, damage: 0, seed: 64 });
+        train.extend(generate(CorpusConfig { count: 80, damage: 2, seed: 65 }));
+        let mut net = PergaNet::new(66);
+        net.train(&train, TrainConfig::default());
+        let pristine = evaluate(&mut net, &generate(CorpusConfig { count: 50, damage: 0, seed: 67 }));
+        let damaged = evaluate(&mut net, &generate(CorpusConfig { count: 50, damage: 2, seed: 68 }));
+        assert!(
+            pristine.side_accuracy + 0.1 >= damaged.side_accuracy,
+            "pristine {} vs damaged {}",
+            pristine.side_accuracy,
+            damaged.side_accuracy
+        );
+    }
+
+    #[test]
+    fn empty_corpus_is_vacuously_perfect() {
+        let mut net = PergaNet::new(69);
+        let eval = evaluate(&mut net, &[]);
+        assert_eq!(eval.images, 0);
+        assert_eq!(eval.side_accuracy, 0.0); // 0 correct / max(1)
+        assert_eq!(eval.text_precision, 1.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Grayscale raster images and the drawing/augmentation primitives the
+//! synthetic parchment generator uses.
+
+use neural::Tensor;
+use rand::Rng;
+
+/// A grayscale image with intensities in `[0, 1]` (0 = ink, 1 = bright).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<f32>,
+}
+
+impl GrayImage {
+    /// Constant-intensity image.
+    pub fn filled(width: usize, height: usize, value: f32) -> Self {
+        GrayImage { width, height, pixels: vec![value; width * height] }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel accessor.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Pixel mutator (clamps the value to `[0,1]`).
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: f32) {
+        self.pixels[y * self.width + x] = value.clamp(0.0, 1.0);
+    }
+
+    /// Raw pixels, row-major.
+    pub fn pixels(&self) -> &[f32] {
+        &self.pixels
+    }
+
+    /// Mean intensity.
+    pub fn mean(&self) -> f32 {
+        self.pixels.iter().sum::<f32>() / self.pixels.len().max(1) as f32
+    }
+
+    /// Fill an axis-aligned rectangle (clipped to bounds) with `value`.
+    pub fn fill_rect(&mut self, x0: usize, y0: usize, w: usize, h: usize, value: f32) {
+        let x1 = (x0 + w).min(self.width);
+        let y1 = (y0 + h).min(self.height);
+        for y in y0.min(self.height)..y1 {
+            for x in x0.min(self.width)..x1 {
+                self.set(x, y, value);
+            }
+        }
+    }
+
+    /// Darken a rectangle multiplicatively (ink over texture).
+    pub fn ink_rect(&mut self, x0: usize, y0: usize, w: usize, h: usize, opacity: f32) {
+        let x1 = (x0 + w).min(self.width);
+        let y1 = (y0 + h).min(self.height);
+        for y in y0.min(self.height)..y1 {
+            for x in x0.min(self.width)..x1 {
+                let v = self.get(x, y) * (1.0 - opacity);
+                self.set(x, y, v);
+            }
+        }
+    }
+
+    /// Add zero-mean uniform noise of amplitude `amp` (values stay clamped).
+    pub fn add_noise<R: Rng>(&mut self, rng: &mut R, amp: f32) {
+        for i in 0..self.pixels.len() {
+            let n = rng.gen_range(-amp..=amp);
+            self.pixels[i] = (self.pixels[i] + n).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Stamp circular "damage" blotches (stains/holes) of random placement.
+    pub fn add_damage<R: Rng>(&mut self, rng: &mut R, blotches: usize, max_radius: usize) {
+        for _ in 0..blotches {
+            let cx = rng.gen_range(0..self.width) as isize;
+            let cy = rng.gen_range(0..self.height) as isize;
+            let r = rng.gen_range(1..=max_radius.max(1)) as isize;
+            let dark = rng.gen_bool(0.5);
+            for y in (cy - r).max(0)..(cy + r).min(self.height as isize) {
+                for x in (cx - r).max(0)..(cx + r).min(self.width as isize) {
+                    let dx = x - cx;
+                    let dy = y - cy;
+                    if dx * dx + dy * dy <= r * r {
+                        let v = if dark { 0.15 } else { 0.95 };
+                        self.set(x as usize, y as usize, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// 3×3 box blur (edge pixels use the available neighborhood).
+    pub fn blur(&self) -> GrayImage {
+        let mut out = GrayImage::filled(self.width, self.height, 0.0);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let mut sum = 0.0;
+                let mut n = 0;
+                for dy in -1isize..=1 {
+                    for dx in -1isize..=1 {
+                        let nx = x as isize + dx;
+                        let ny = y as isize + dy;
+                        if nx >= 0 && ny >= 0 && (nx as usize) < self.width && (ny as usize) < self.height {
+                            sum += self.get(nx as usize, ny as usize);
+                            n += 1;
+                        }
+                    }
+                }
+                out.set(x, y, sum / n as f32);
+            }
+        }
+        out
+    }
+
+    /// Convert to a `[1, 1, H, W]` tensor for the networks.
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(&[1, 1, self.height, self.width], self.pixels.clone())
+    }
+
+    /// Zero (blank to background 1.0) the given rectangle — used by the
+    /// pipeline to mask detected text before signum detection.
+    pub fn mask_rect(&mut self, x0: usize, y0: usize, w: usize, h: usize) {
+        self.fill_rect(x0, y0, w, h, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_accessors() {
+        let img = GrayImage::filled(4, 3, 0.5);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.pixels().len(), 12);
+        assert_eq!(img.get(3, 2), 0.5);
+        assert!((img.mean() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn set_clamps() {
+        let mut img = GrayImage::filled(2, 2, 0.5);
+        img.set(0, 0, 2.0);
+        img.set(1, 1, -1.0);
+        assert_eq!(img.get(0, 0), 1.0);
+        assert_eq!(img.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn fill_rect_clips_to_bounds() {
+        let mut img = GrayImage::filled(4, 4, 1.0);
+        img.fill_rect(2, 2, 10, 10, 0.0);
+        assert_eq!(img.get(3, 3), 0.0);
+        assert_eq!(img.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn ink_rect_darkens_multiplicatively() {
+        let mut img = GrayImage::filled(2, 1, 0.8);
+        img.ink_rect(0, 0, 1, 1, 0.5);
+        assert!((img.get(0, 0) - 0.4).abs() < 1e-6);
+        assert_eq!(img.get(1, 0), 0.8);
+    }
+
+    #[test]
+    fn noise_stays_in_range_and_changes_pixels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut img = GrayImage::filled(16, 16, 0.5);
+        img.add_noise(&mut rng, 0.2);
+        assert!(img.pixels().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(img.pixels().iter().any(|&v| (v - 0.5).abs() > 1e-4));
+    }
+
+    #[test]
+    fn damage_changes_some_pixels() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut img = GrayImage::filled(32, 32, 0.6);
+        img.add_damage(&mut rng, 3, 4);
+        let changed = img.pixels().iter().filter(|&&v| (v - 0.6).abs() > 1e-4).count();
+        assert!(changed > 0);
+    }
+
+    #[test]
+    fn blur_smooths_an_impulse() {
+        let mut img = GrayImage::filled(5, 5, 0.0);
+        img.set(2, 2, 1.0);
+        let blurred = img.blur();
+        assert!((blurred.get(2, 2) - 1.0 / 9.0).abs() < 1e-6);
+        assert!((blurred.get(1, 2) - 1.0 / 9.0).abs() < 1e-6);
+        assert_eq!(blurred.get(0, 0), 0.0);
+        // Mean is approximately preserved away from edges.
+        assert!((blurred.mean() - img.mean()).abs() < 0.01);
+    }
+
+    #[test]
+    fn to_tensor_shape_and_order() {
+        let mut img = GrayImage::filled(3, 2, 0.0);
+        img.set(2, 1, 1.0);
+        let t = img.to_tensor();
+        assert_eq!(t.shape(), &[1, 1, 2, 3]);
+        assert_eq!(t.at4(0, 0, 1, 2), 1.0);
+    }
+
+    #[test]
+    fn mask_rect_blanks_region() {
+        let mut img = GrayImage::filled(4, 4, 0.2);
+        img.mask_rect(0, 0, 2, 2);
+        assert_eq!(img.get(0, 0), 1.0);
+        assert_eq!(img.get(3, 3), 0.2);
+    }
+}

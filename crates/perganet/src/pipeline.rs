@@ -1,0 +1,238 @@
+//! The complete Figure 1 pipeline: classification → text detection → signum
+//! detection, with text regions excluded before stage 3, and AI paradata
+//! emitted for every decision (the archival requirement that model
+//! processing be documented like any other provenance event).
+
+use crate::classifier::{self, VggLite};
+use crate::corpus::{Parchment, Side};
+use crate::image::GrayImage;
+use crate::signum::{self, YoloLite};
+use crate::text_detect::{self, EastLite};
+use neural::metrics::{BBox, Detection};
+use serde::{Deserialize, Serialize};
+
+/// One AI decision's paradata: which model, what it decided, how sure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AiDecision {
+    /// Model identifier (name + version).
+    pub model_id: String,
+    /// Pipeline stage ("classify", "detect-text", "detect-signum").
+    pub stage: String,
+    /// Human-readable decision.
+    pub decision: String,
+    /// Confidence in `[0,1]` (stage-specific meaning).
+    pub confidence: f32,
+}
+
+/// Full analysis of one parchment image.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Predicted side.
+    pub side: Side,
+    /// Classifier confidence.
+    pub side_confidence: f32,
+    /// Detected text-line boxes.
+    pub text_boxes: Vec<BBox>,
+    /// Detected signa (post-NMS), on the text-masked image.
+    pub signum_detections: Vec<Detection>,
+    /// Paradata for every model decision taken.
+    pub paradata: Vec<AiDecision>,
+}
+
+/// Training configuration for all three stages.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Epochs for the recto/verso classifier.
+    pub classifier_epochs: usize,
+    /// Epochs for the text detector.
+    pub text_epochs: usize,
+    /// Epochs for the signum detector.
+    pub signum_epochs: usize,
+    /// Learning rate for stages 1 and 2.
+    pub lr: f32,
+    /// Learning rate for the signum detector (box regression prefers a
+    /// lower rate over more epochs).
+    pub signum_lr: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { classifier_epochs: 6, text_epochs: 8, signum_epochs: 25, lr: 0.005, signum_lr: 0.002 }
+    }
+}
+
+/// The three-stage PergaNet system.
+pub struct PergaNet {
+    /// Stage 1 model.
+    pub classifier: VggLite,
+    /// Stage 2 model.
+    pub text_detector: EastLite,
+    /// Stage 3 model.
+    pub signum_detector: YoloLite,
+}
+
+impl PergaNet {
+    /// Fresh, untrained pipeline.
+    pub fn new(seed: u64) -> Self {
+        PergaNet {
+            classifier: VggLite::new(seed),
+            text_detector: EastLite::new(seed.wrapping_add(1)),
+            signum_detector: YoloLite::new(seed.wrapping_add(2)),
+        }
+    }
+
+    /// Train all three stages on a corpus.
+    pub fn train(&mut self, corpus: &[Parchment], config: TrainConfig) {
+        self.classifier.train(corpus, config.classifier_epochs, config.lr);
+        self.text_detector.train(corpus, config.text_epochs, config.lr);
+        self.signum_detector.train(corpus, config.signum_epochs, config.signum_lr);
+    }
+
+    /// Run the full pipeline on one image.
+    pub fn analyze(&mut self, image: &GrayImage) -> Analysis {
+        let mut paradata = Vec::with_capacity(3);
+        // Stage 1: recto/verso.
+        let (side, side_confidence) = self.classifier.predict(image);
+        paradata.push(AiDecision {
+            model_id: classifier::MODEL_ID.into(),
+            stage: "classify".into(),
+            decision: format!("{side:?}"),
+            confidence: side_confidence,
+        });
+        // Stage 2: text detection.
+        let text_boxes = self.text_detector.detect(image);
+        paradata.push(AiDecision {
+            model_id: text_detect::MODEL_ID.into(),
+            stage: "detect-text".into(),
+            decision: format!("{} text region(s)", text_boxes.len()),
+            confidence: if text_boxes.is_empty() { 1.0 } else { 0.9 },
+        });
+        // Stage 3: mask text, then detect signa on the masked image.
+        let mut masked = image.clone();
+        for b in &text_boxes {
+            masked.mask_rect(
+                b.x0 as usize,
+                b.y0 as usize,
+                (b.x1 - b.x0) as usize,
+                (b.y1 - b.y0) as usize,
+            );
+        }
+        let signum_detections = self.signum_detector.detect(&masked);
+        let best = signum_detections.first().map_or(0.0, |d| d.score);
+        paradata.push(AiDecision {
+            model_id: signum::MODEL_ID.into(),
+            stage: "detect-signum".into(),
+            decision: format!("{} signum candidate(s)", signum_detections.len()),
+            confidence: best,
+        });
+        Analysis { side, side_confidence, text_boxes, signum_detections, paradata }
+    }
+
+    /// Analyze a whole batch, returning analyses in order.
+    pub fn analyze_batch(&mut self, images: &[GrayImage]) -> Vec<Analysis> {
+        images.iter().map(|img| self.analyze(img)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate, CorpusConfig};
+
+    fn trained_pipeline() -> (PergaNet, Vec<Parchment>) {
+        let train = generate(CorpusConfig { count: 150, damage: 0, seed: 31 });
+        let test = generate(CorpusConfig { count: 40, damage: 0, seed: 32 });
+        let mut net = PergaNet::new(33);
+        net.train(&train, TrainConfig::default());
+        (net, test)
+    }
+
+    #[test]
+    fn end_to_end_analysis_is_coherent() {
+        let (mut net, test) = trained_pipeline();
+        let mut side_correct = 0usize;
+        for p in &test {
+            let analysis = net.analyze(&p.image);
+            if analysis.side == p.truth.side {
+                side_correct += 1;
+            }
+            assert_eq!(analysis.paradata.len(), 3);
+            assert_eq!(analysis.paradata[0].stage, "classify");
+            assert_eq!(analysis.paradata[1].stage, "detect-text");
+            assert_eq!(analysis.paradata[2].stage, "detect-signum");
+            assert!((0.0..=1.0).contains(&analysis.side_confidence));
+        }
+        let acc = side_correct as f64 / test.len() as f64;
+        assert!(acc > 0.85, "pipeline side accuracy {acc}");
+    }
+
+    #[test]
+    fn signum_detection_benefits_from_text_masking() {
+        // The pipeline's design claim: signum detection runs on a text-free
+        // image. Verify the masking happens by checking that detected text
+        // regions are blank in the stage-3 input — observable via detections
+        // not overlapping text boxes excessively.
+        let (mut net, test) = trained_pipeline();
+        let mut overlaps = 0usize;
+        let mut dets = 0usize;
+        for p in &test {
+            let a = net.analyze(&p.image);
+            for d in &a.signum_detections {
+                dets += 1;
+                if a.text_boxes.iter().any(|t| d.bbox.iou(t) > 0.5) {
+                    overlaps += 1;
+                }
+            }
+        }
+        if dets > 0 {
+            assert!(
+                (overlaps as f64 / dets as f64) < 0.3,
+                "{overlaps}/{dets} signum detections sit on text"
+            );
+        }
+    }
+
+    #[test]
+    fn finds_signa_on_recto_parchments() {
+        let (mut net, test) = trained_pipeline();
+        let with_signum: Vec<&Parchment> =
+            test.iter().filter(|p| !p.truth.signum_boxes.is_empty()).collect();
+        assert!(!with_signum.is_empty());
+        let mut hits = 0usize;
+        for p in &with_signum {
+            let a = net.analyze(&p.image);
+            let gt = &p.truth.signum_boxes[0];
+            if a.signum_detections.iter().any(|d| d.bbox.iou(gt) > 0.2) {
+                hits += 1;
+            }
+        }
+        let hit_rate = hits as f64 / with_signum.len() as f64;
+        assert!(hit_rate > 0.5, "signum hit rate {hit_rate}");
+    }
+
+    #[test]
+    fn paradata_serializes() {
+        let d = AiDecision {
+            model_id: "m".into(),
+            stage: "classify".into(),
+            decision: "Recto".into(),
+            confidence: 0.93,
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: AiDecision = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn analyze_batch_matches_individual_calls() {
+        let (mut net, test) = trained_pipeline();
+        let images: Vec<GrayImage> = test.iter().take(5).map(|p| p.image.clone()).collect();
+        let batch = net.analyze_batch(&images);
+        assert_eq!(batch.len(), 5);
+        for (a, img) in batch.iter().zip(&images) {
+            let single = net.analyze(img);
+            assert_eq!(a.side, single.side);
+            assert_eq!(a.text_boxes.len(), single.text_boxes.len());
+        }
+    }
+}

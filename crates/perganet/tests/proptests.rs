@@ -1,0 +1,93 @@
+//! Property-based tests over PergaNet's detection machinery and corpus.
+
+use neural::metrics::{BBox, Detection};
+use perganet::corpus::{generate, CorpusConfig, IMG};
+use perganet::signum::{nms, targets_for, GRID};
+use perganet::text_detect::EastLite;
+use proptest::prelude::*;
+
+proptest! {
+    /// NMS output: subset of input, sorted by score, no two kept boxes
+    /// overlap at ≥ the threshold.
+    #[test]
+    fn nms_invariants(
+        boxes in proptest::collection::vec(
+            (0.0f32..100.0, 0.0f32..100.0, 2.0f32..25.0, 2.0f32..25.0, 0.0f32..1.0), 0..20)
+    ) {
+        let dets: Vec<Detection> = boxes
+            .iter()
+            .map(|&(x, y, w, h, s)| Detection { bbox: BBox::new(x, y, x + w, y + h), score: s })
+            .collect();
+        let kept = nms(dets.clone(), 0.4);
+        prop_assert!(kept.len() <= dets.len());
+        for w in kept.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for i in 0..kept.len() {
+            for j in (i + 1)..kept.len() {
+                prop_assert!(kept[i].bbox.iou(&kept[j].bbox) < 0.4);
+            }
+        }
+        for k in &kept {
+            prop_assert!(dets.iter().any(|d| d.score == k.score && d.bbox == k.bbox));
+        }
+    }
+
+    /// Yolo cell targets: normalized parameters stay in [0,1] and the
+    /// owning cell contains the box center, for arbitrary in-bounds boxes.
+    #[test]
+    fn yolo_targets_normalized(
+        x in 0.0f32..28.0, y in 0.0f32..28.0,
+        w in 1.0f32..8.0, h in 1.0f32..8.0,
+    ) {
+        let b = BBox::new(x, y, (x + w).min(IMG as f32), (y + h).min(IMG as f32));
+        let cells = targets_for(&[b]);
+        let filled: Vec<(usize, (f32, f32, f32, f32))> = cells
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|v| (i, v)))
+            .collect();
+        prop_assert_eq!(filled.len(), 1);
+        let (idx, (dx, dy, bw, bh)) = filled[0];
+        for v in [dx, dy, bw, bh] {
+            prop_assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+        // The owning cell contains the center.
+        let (cx, cy) = b.center();
+        let cell = IMG / GRID;
+        prop_assert_eq!(idx % GRID, ((cx as usize) / cell).min(GRID - 1));
+        prop_assert_eq!(idx / GRID, ((cy as usize) / cell).min(GRID - 1));
+    }
+
+    /// EastLite target maps flag exactly the cells that text covers ≥ 25%.
+    #[test]
+    fn east_targets_reflect_coverage(y0 in 0.0f32..30.0, h in 1.0f32..4.0) {
+        let b = BBox::new(0.0, y0, IMG as f32, (y0 + h).min(IMG as f32));
+        let map = EastLite::target_map(&[b]);
+        let cell = (IMG / perganet::text_detect::GRID) as f32;
+        for (ci, &v) in map.iter().enumerate() {
+            let row = (ci / perganet::text_detect::GRID) as f32;
+            let cy0 = row * cell;
+            let cy1 = cy0 + cell;
+            let covered = (b.y1.min(cy1) - b.y0.max(cy0)).max(0.0) * IMG as f32;
+            let expected = covered >= 0.25 * cell * cell;
+            prop_assert_eq!(v > 0.5, expected, "cell {}: covered {}", ci, covered);
+        }
+    }
+
+    /// Corpus generation is panic-free and in-bounds for arbitrary seeds
+    /// and damage levels.
+    #[test]
+    fn corpus_always_well_formed(seed in any::<u64>(), damage in 0u8..=2) {
+        let items = generate(CorpusConfig { count: 5, damage, seed });
+        prop_assert_eq!(items.len(), 5);
+        for p in &items {
+            prop_assert_eq!(p.image.width(), IMG);
+            prop_assert!(p.image.pixels().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            for b in p.truth.text_boxes.iter().chain(&p.truth.signum_boxes) {
+                prop_assert!(b.x0 >= 0.0 && b.x1 <= IMG as f32);
+                prop_assert!(b.y0 >= 0.0 && b.y1 <= IMG as f32);
+            }
+        }
+    }
+}

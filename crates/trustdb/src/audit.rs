@@ -1,0 +1,376 @@
+//! Hash-chained, tamper-evident audit log.
+//!
+//! Archival accountability requires that the history of actions on holdings
+//! ("who ingested / accessed / disposed what, when") is itself trustworthy.
+//! Each entry embeds the digest of its predecessor, so the log forms a hash
+//! chain: editing, deleting, or reordering any past entry invalidates every
+//! subsequent link and is caught by [`AuditLog::verify_chain`].
+//!
+//! The chain digest of the latest entry (the *chain head*) can be published
+//! or countersigned externally; that single value then commits to the entire
+//! history.
+
+use crate::errors::{Error, Result};
+use crate::hash::{sha256, Digest};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// Category of audited action. The taxonomy mirrors PREMIS event types used
+/// in digital preservation metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AuditAction {
+    /// Object or package ingested into the repository.
+    Ingest,
+    /// Fixity of an object was verified.
+    FixityCheck,
+    /// Object was read / disseminated.
+    Access,
+    /// Object migrated to a new format or storage location.
+    Migration,
+    /// Sanctioned destruction under a disposition authority.
+    Disposition,
+    /// Redaction applied for access purposes.
+    Redaction,
+    /// A decision produced by an AI model (always logged with paradata).
+    AiDecision,
+    /// Human review/override of an AI decision.
+    HumanReview,
+    /// Administrative/configuration change.
+    Admin,
+}
+
+/// One immutable entry in the audit chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    /// Position in the chain, starting at 0.
+    pub seq: u64,
+    /// Caller-supplied timestamp in milliseconds. Must be non-decreasing;
+    /// the log enforces monotonicity so the chain order and time order agree.
+    pub timestamp_ms: u64,
+    /// Who performed the action (person, system component, or model id).
+    pub actor: String,
+    /// What kind of action.
+    pub action: AuditAction,
+    /// The object/package/record the action concerned.
+    pub subject: String,
+    /// Free-form, human-auditable detail.
+    pub detail: String,
+    /// Chain digest of the previous entry ([`Digest::zero`] for the first).
+    pub prev: Digest,
+    /// Digest over this entry's canonical encoding including `prev`.
+    pub hash: Digest,
+}
+
+impl AuditEntry {
+    /// Canonical byte encoding that the entry hash commits to. Field order
+    /// and separators are fixed; changing any field changes the hash.
+    fn canonical_bytes(
+        seq: u64,
+        timestamp_ms: u64,
+        actor: &str,
+        action: AuditAction,
+        subject: &str,
+        detail: &str,
+        prev: &Digest,
+    ) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + actor.len() + subject.len() + detail.len());
+        buf.extend_from_slice(&seq.to_le_bytes());
+        buf.extend_from_slice(&timestamp_ms.to_le_bytes());
+        // Length-prefix strings so field boundaries cannot be confused.
+        for s in [actor, subject, detail] {
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
+        }
+        buf.push(action_tag(action));
+        buf.extend_from_slice(&prev.0);
+        buf
+    }
+
+    fn compute_hash(&self) -> Digest {
+        sha256(&Self::canonical_bytes(
+            self.seq,
+            self.timestamp_ms,
+            &self.actor,
+            self.action,
+            &self.subject,
+            &self.detail,
+            &self.prev,
+        ))
+    }
+}
+
+fn action_tag(a: AuditAction) -> u8 {
+    match a {
+        AuditAction::Ingest => 0,
+        AuditAction::FixityCheck => 1,
+        AuditAction::Access => 2,
+        AuditAction::Migration => 3,
+        AuditAction::Disposition => 4,
+        AuditAction::Redaction => 5,
+        AuditAction::AiDecision => 6,
+        AuditAction::HumanReview => 7,
+        AuditAction::Admin => 8,
+    }
+}
+
+/// An append-only audit log whose entries form a hash chain.
+pub struct AuditLog {
+    entries: RwLock<Vec<AuditEntry>>,
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AuditLog {
+    /// Create an empty log.
+    pub fn new() -> Self {
+        AuditLog { entries: RwLock::new(Vec::new()) }
+    }
+
+    /// Rebuild a log from previously-exported entries, verifying the chain
+    /// as it loads. Rejects any tampering with [`Error::ChainBroken`].
+    pub fn from_entries(entries: Vec<AuditEntry>) -> Result<Self> {
+        let log = AuditLog { entries: RwLock::new(entries) };
+        log.verify_chain()?;
+        Ok(log)
+    }
+
+    /// Append an action. `timestamp_ms` must be ≥ the previous entry's.
+    pub fn append(
+        &self,
+        timestamp_ms: u64,
+        actor: impl Into<String>,
+        action: AuditAction,
+        subject: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Result<Digest> {
+        let mut entries = self.entries.write();
+        let (seq, prev, floor) = match entries.last() {
+            Some(last) => (last.seq + 1, last.hash, last.timestamp_ms),
+            None => (0, Digest::zero(), 0),
+        };
+        if timestamp_ms < floor {
+            return Err(Error::InvariantViolation(format!(
+                "audit timestamps must be monotonic: {timestamp_ms} < {floor}"
+            )));
+        }
+        let mut entry = AuditEntry {
+            seq,
+            timestamp_ms,
+            actor: actor.into(),
+            action,
+            subject: subject.into(),
+            detail: detail.into(),
+            prev,
+            hash: Digest::zero(),
+        };
+        entry.hash = entry.compute_hash();
+        let head = entry.hash;
+        entries.push(entry);
+        Ok(head)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// The chain head: digest of the latest entry, committing to the whole
+    /// history. `None` when empty.
+    pub fn head(&self) -> Option<Digest> {
+        self.entries.read().last().map(|e| e.hash)
+    }
+
+    /// Clone out all entries (e.g. for export into an AIP).
+    pub fn export(&self) -> Vec<AuditEntry> {
+        self.entries.read().clone()
+    }
+
+    /// Entries matching a predicate, in order.
+    pub fn query(&self, mut pred: impl FnMut(&AuditEntry) -> bool) -> Vec<AuditEntry> {
+        self.entries.read().iter().filter(|e| pred(e)).cloned().collect()
+    }
+
+    /// Verify every link of the chain. O(n) re-hash.
+    pub fn verify_chain(&self) -> Result<()> {
+        let entries = self.entries.read();
+        Self::verify_entries(&entries)
+    }
+
+    /// Verify an exported entry slice (e.g. after round-tripping through an
+    /// archival package).
+    pub fn verify_entries(entries: &[AuditEntry]) -> Result<()> {
+        let mut prev = Digest::zero();
+        let mut last_ts = 0u64;
+        for (i, e) in entries.iter().enumerate() {
+            if e.seq != i as u64 {
+                return Err(Error::ChainBroken {
+                    index: i as u64,
+                    detail: format!("sequence gap: expected {i}, found {}", e.seq),
+                });
+            }
+            if e.prev != prev {
+                return Err(Error::ChainBroken {
+                    index: i as u64,
+                    detail: "prev link does not match predecessor hash".into(),
+                });
+            }
+            if e.timestamp_ms < last_ts {
+                return Err(Error::ChainBroken {
+                    index: i as u64,
+                    detail: "timestamp regression".into(),
+                });
+            }
+            let recomputed = e.compute_hash();
+            if recomputed != e.hash {
+                return Err(Error::ChainBroken {
+                    index: i as u64,
+                    detail: "entry hash does not match contents".into(),
+                });
+            }
+            prev = e.hash;
+            last_ts = e.timestamp_ms;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log(n: u64) -> AuditLog {
+        let log = AuditLog::new();
+        for i in 0..n {
+            log.append(
+                i * 1000,
+                "archivist-a",
+                AuditAction::Ingest,
+                format!("record-{i}"),
+                "accession 2022-07",
+            )
+            .unwrap();
+        }
+        log
+    }
+
+    #[test]
+    fn empty_log_verifies_and_has_no_head() {
+        let log = AuditLog::new();
+        assert!(log.is_empty());
+        assert!(log.head().is_none());
+        log.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn chain_verifies_after_appends() {
+        let log = sample_log(50);
+        assert_eq!(log.len(), 50);
+        log.verify_chain().unwrap();
+        assert!(log.head().is_some());
+    }
+
+    #[test]
+    fn head_commits_to_history() {
+        let a = sample_log(10);
+        let b = sample_log(10);
+        assert_eq!(a.head(), b.head(), "identical histories → identical heads");
+        b.append(10_000, "x", AuditAction::Access, "record-0", "read").unwrap();
+        assert_ne!(a.head(), b.head());
+    }
+
+    #[test]
+    fn editing_any_field_breaks_chain() {
+        let log = sample_log(10);
+        let mut entries = log.export();
+        entries[4].detail = "falsified".into();
+        let err = AuditLog::verify_entries(&entries).unwrap_err();
+        assert!(matches!(err, Error::ChainBroken { index: 4, .. }));
+    }
+
+    #[test]
+    fn deleting_an_entry_breaks_chain() {
+        let log = sample_log(10);
+        let mut entries = log.export();
+        entries.remove(3);
+        assert!(AuditLog::verify_entries(&entries).is_err());
+    }
+
+    #[test]
+    fn reordering_entries_breaks_chain() {
+        let log = sample_log(10);
+        let mut entries = log.export();
+        entries.swap(2, 3);
+        assert!(AuditLog::verify_entries(&entries).is_err());
+    }
+
+    #[test]
+    fn truncating_tail_still_verifies_but_changes_head() {
+        // Hash chains cannot detect pure tail truncation without an external
+        // head attestation — that is exactly why `head()` exists and is
+        // exported into accession receipts.
+        let log = sample_log(10);
+        let full_head = log.head().unwrap();
+        let mut entries = log.export();
+        entries.truncate(5);
+        AuditLog::verify_entries(&entries).unwrap();
+        assert_ne!(entries.last().unwrap().hash, full_head);
+    }
+
+    #[test]
+    fn recomputed_hash_forgery_detected() {
+        // An attacker who edits an entry AND recomputes its hash still breaks
+        // the next entry's prev link.
+        let log = sample_log(5);
+        let mut entries = log.export();
+        entries[2].detail = "falsified".into();
+        entries[2].hash = entries[2].compute_hash();
+        let err = AuditLog::verify_entries(&entries).unwrap_err();
+        assert!(matches!(err, Error::ChainBroken { index: 3, .. }));
+    }
+
+    #[test]
+    fn timestamp_monotonicity_enforced() {
+        let log = AuditLog::new();
+        log.append(1000, "a", AuditAction::Ingest, "s", "d").unwrap();
+        assert!(log.append(999, "a", AuditAction::Ingest, "s", "d").is_err());
+        // Equal timestamps are allowed (same-millisecond actions).
+        log.append(1000, "a", AuditAction::Ingest, "s2", "d").unwrap();
+    }
+
+    #[test]
+    fn from_entries_rejects_tampered_export() {
+        let log = sample_log(8);
+        let mut entries = log.export();
+        entries[0].actor = "intruder".into();
+        assert!(AuditLog::from_entries(entries).is_err());
+    }
+
+    #[test]
+    fn query_filters_by_action() {
+        let log = sample_log(3);
+        log.append(99_000, "m", AuditAction::FixityCheck, "record-1", "sweep").unwrap();
+        let checks = log.query(|e| e.action == AuditAction::FixityCheck);
+        assert_eq!(checks.len(), 1);
+        assert_eq!(checks[0].subject, "record-1");
+    }
+
+    #[test]
+    fn length_prefixing_prevents_field_splice() {
+        // "ab" + "c" must hash differently from "a" + "bc" even though the
+        // concatenated bytes agree.
+        let log1 = AuditLog::new();
+        log1.append(0, "ab", AuditAction::Admin, "c", "").unwrap();
+        let log2 = AuditLog::new();
+        log2.append(0, "a", AuditAction::Admin, "bc", "").unwrap();
+        assert_ne!(log1.head(), log2.head());
+    }
+}

@@ -1,0 +1,271 @@
+//! Durable key → manifest catalog with WAL-backed persistence.
+//!
+//! The object store holds opaque, content-addressed blobs; the catalog maps
+//! stable archival identifiers (accession numbers, package ids, record ids)
+//! to those digests plus a small amount of structured metadata. It is a
+//! log-structured map: every mutation is a WAL frame, and the in-memory
+//! `BTreeMap` is the materialized view, rebuilt on open by replay.
+
+use crate::errors::{Error, Result};
+use crate::hash::Digest;
+use crate::wal::{SyncPolicy, Wal};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A catalog value: the content address of the described object plus
+/// interpretation metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// Content address of the primary object.
+    pub digest: Digest,
+    /// Media type hint (e.g. `application/json`, `image/tiff`).
+    pub media_type: String,
+    /// Size in bytes of the referenced object.
+    pub size: u64,
+    /// Schema/format version of the referenced object's encoding.
+    pub format_version: u32,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+enum LogOp {
+    Put { key: String, entry: CatalogEntry },
+    Delete { key: String },
+}
+
+/// A durable, WAL-backed key→[`CatalogEntry`] map.
+pub struct Catalog {
+    wal: Wal,
+    map: RwLock<BTreeMap<String, CatalogEntry>>,
+}
+
+impl Catalog {
+    /// Open (or create) a catalog persisted at `path`, replaying any
+    /// existing log into memory.
+    pub fn open(path: impl AsRef<Path>, policy: SyncPolicy) -> Result<Self> {
+        let wal = Wal::open(path, policy)?;
+        let mut map = BTreeMap::new();
+        for frame in wal.replay()?.frames {
+            let op: LogOp = serde_json::from_slice(&frame)
+                .map_err(|e| Error::Codec(format!("catalog frame: {e}")))?;
+            match op {
+                LogOp::Put { key, entry } => {
+                    map.insert(key, entry);
+                }
+                LogOp::Delete { key } => {
+                    map.remove(&key);
+                }
+            }
+        }
+        Ok(Catalog { wal, map: RwLock::new(map) })
+    }
+
+    /// Insert or update `key`. The WAL append happens before the in-memory
+    /// update (write-ahead ordering).
+    pub fn put(&self, key: impl Into<String>, entry: CatalogEntry) -> Result<()> {
+        let key = key.into();
+        let frame = serde_json::to_vec(&LogOp::Put { key: key.clone(), entry: entry.clone() })
+            .map_err(|e| Error::Codec(e.to_string()))?;
+        self.wal.append(&frame)?;
+        self.map.write().insert(key, entry);
+        Ok(())
+    }
+
+    /// Remove `key`. Returns whether it existed.
+    pub fn delete(&self, key: &str) -> Result<bool> {
+        let existed = self.map.read().contains_key(key);
+        if existed {
+            let frame = serde_json::to_vec(&LogOp::Delete { key: key.to_string() })
+                .map_err(|e| Error::Codec(e.to_string()))?;
+            self.wal.append(&frame)?;
+            self.map.write().remove(key);
+        }
+        Ok(existed)
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: &str) -> Option<CatalogEntry> {
+        self.map.read().get(key).cloned()
+    }
+
+    /// Whether `key` exists.
+    pub fn contains(&self, key: &str) -> bool {
+        self.map.read().contains_key(key)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// All keys with the given prefix, sorted.
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        self.map
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Snapshot of all live entries.
+    pub fn snapshot(&self) -> Vec<(String, CatalogEntry)> {
+        self.map.read().iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Bytes currently occupied by the backing log (grows with history, not
+    /// live size — the motivation for [`Catalog::compact_into`]).
+    pub fn log_bytes(&self) -> u64 {
+        self.wal.len_bytes()
+    }
+
+    /// Write a compacted log containing only live entries to `path` and
+    /// return the new catalog. The old log file is left untouched (caller
+    /// swaps files if desired) — compaction must never destroy the only
+    /// copy of history before the new copy is durable.
+    pub fn compact_into(&self, path: impl AsRef<Path>, policy: SyncPolicy) -> Result<Catalog> {
+        let new = Catalog::open(path, policy)?;
+        if !new.is_empty() {
+            return Err(Error::InvariantViolation(
+                "compaction target must be empty".into(),
+            ));
+        }
+        for (k, v) in self.snapshot() {
+            new.put(k, v)?;
+        }
+        Ok(new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::sha256;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("trustdb-catalog-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn entry(tag: &str) -> CatalogEntry {
+        CatalogEntry {
+            digest: sha256(tag.as_bytes()),
+            media_type: "application/json".into(),
+            size: tag.len() as u64,
+            format_version: 1,
+        }
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let path = tmp("pgd");
+        let cat = Catalog::open(&path, SyncPolicy::Never).unwrap();
+        cat.put("aip/001", entry("one")).unwrap();
+        assert_eq!(cat.get("aip/001"), Some(entry("one")));
+        assert!(cat.contains("aip/001"));
+        assert!(cat.delete("aip/001").unwrap());
+        assert!(!cat.delete("aip/001").unwrap());
+        assert!(cat.get("aip/001").is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn update_overwrites() {
+        let path = tmp("update");
+        let cat = Catalog::open(&path, SyncPolicy::Never).unwrap();
+        cat.put("k", entry("v1")).unwrap();
+        cat.put("k", entry("v2")).unwrap();
+        assert_eq!(cat.get("k"), Some(entry("v2")));
+        assert_eq!(cat.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let path = tmp("reopen");
+        {
+            let cat = Catalog::open(&path, SyncPolicy::Always).unwrap();
+            cat.put("a", entry("a")).unwrap();
+            cat.put("b", entry("b")).unwrap();
+            cat.delete("a").unwrap();
+        }
+        let cat = Catalog::open(&path, SyncPolicy::Always).unwrap();
+        assert_eq!(cat.len(), 1);
+        assert!(cat.get("a").is_none());
+        assert_eq!(cat.get("b"), Some(entry("b")));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn prefix_scan_sorted() {
+        let path = tmp("prefix");
+        let cat = Catalog::open(&path, SyncPolicy::Never).unwrap();
+        for k in ["aip/3", "aip/1", "sip/9", "aip/2", "dip/5"] {
+            cat.put(k, entry(k)).unwrap();
+        }
+        assert_eq!(cat.keys_with_prefix("aip/"), vec!["aip/1", "aip/2", "aip/3"]);
+        assert_eq!(cat.keys_with_prefix("zzz/"), Vec::<String>::new());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_live_state_and_shrinks_log() {
+        let path = tmp("compact-src");
+        let dst = tmp("compact-dst");
+        let cat = Catalog::open(&path, SyncPolicy::Never).unwrap();
+        // Churn: many updates to the same keys.
+        for round in 0..50 {
+            for k in 0..10 {
+                cat.put(format!("k{k}"), entry(&format!("r{round}"))).unwrap();
+            }
+        }
+        let compacted = cat.compact_into(&dst, SyncPolicy::Never).unwrap();
+        assert_eq!(compacted.snapshot(), cat.snapshot());
+        assert!(
+            compacted.log_bytes() < cat.log_bytes() / 10,
+            "compacted {} vs original {}",
+            compacted.log_bytes(),
+            cat.log_bytes()
+        );
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&dst).unwrap();
+    }
+
+    #[test]
+    fn compaction_into_nonempty_target_rejected() {
+        let path = tmp("compact2-src");
+        let dst = tmp("compact2-dst");
+        let cat = Catalog::open(&path, SyncPolicy::Never).unwrap();
+        cat.put("x", entry("x")).unwrap();
+        {
+            let pre = Catalog::open(&dst, SyncPolicy::Never).unwrap();
+            pre.put("existing", entry("e")).unwrap();
+        }
+        assert!(cat.compact_into(&dst, SyncPolicy::Never).is_err());
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&dst).unwrap();
+    }
+
+    #[test]
+    fn corrupt_frame_surfaces_as_codec_error() {
+        let path = tmp("codec");
+        {
+            let wal = Wal::open(&path, SyncPolicy::Never).unwrap();
+            wal.append(b"{not valid catalog json}").unwrap();
+        }
+        assert!(matches!(
+            Catalog::open(&path, SyncPolicy::Never),
+            Err(Error::Codec(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,125 @@
+//! Error types shared across the storage substrate.
+
+use std::fmt;
+
+/// Convenience alias used throughout `trustdb`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the storage substrate.
+///
+/// Corruption-class errors ([`Error::ChecksumMismatch`],
+/// [`Error::DigestMismatch`], [`Error::ChainBroken`]) are deliberately
+/// distinct from "not found" and I/O errors: in an archival setting a
+/// corruption is an *integrity incident* that must be reported and logged,
+/// never silently retried.
+#[derive(Debug)]
+pub enum Error {
+    /// The requested object is not present in the store.
+    NotFound(String),
+    /// A stored frame failed its CRC32C check (bit rot or truncation).
+    ChecksumMismatch { context: String },
+    /// A content-addressed object no longer matches its digest.
+    DigestMismatch {
+        expected: String,
+        actual: String,
+    },
+    /// A hash-chained log entry does not link to its predecessor.
+    ChainBroken { index: u64, detail: String },
+    /// A Merkle proof failed to verify.
+    ProofInvalid(String),
+    /// The write-ahead log contained a frame that could not be decoded.
+    WalCorrupt { offset: u64, detail: String },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Serialization / deserialization failure.
+    Codec(String),
+    /// An operation was rejected because it would violate an invariant
+    /// (e.g. overwriting an immutable object with different content).
+    InvariantViolation(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound(k) => write!(f, "object not found: {k}"),
+            Error::ChecksumMismatch { context } => {
+                write!(f, "checksum mismatch: {context}")
+            }
+            Error::DigestMismatch { expected, actual } => {
+                write!(f, "digest mismatch: expected {expected}, got {actual}")
+            }
+            Error::ChainBroken { index, detail } => {
+                write!(f, "audit chain broken at entry {index}: {detail}")
+            }
+            Error::ProofInvalid(d) => write!(f, "merkle proof invalid: {d}"),
+            Error::WalCorrupt { offset, detail } => {
+                write!(f, "WAL corrupt at offset {offset}: {detail}")
+            }
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Codec(d) => write!(f, "codec error: {d}"),
+            Error::InvariantViolation(d) => write!(f, "invariant violation: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// True when the error indicates stored data no longer matches what was
+    /// written — the class of error a fixity audit exists to surface.
+    pub fn is_integrity_incident(&self) -> bool {
+        matches!(
+            self,
+            Error::ChecksumMismatch { .. }
+                | Error::DigestMismatch { .. }
+                | Error::ChainBroken { .. }
+                | Error::ProofInvalid(_)
+                | Error::WalCorrupt { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrity_classification() {
+        assert!(Error::ChecksumMismatch { context: "x".into() }.is_integrity_incident());
+        assert!(Error::DigestMismatch { expected: "a".into(), actual: "b".into() }
+            .is_integrity_incident());
+        assert!(Error::ChainBroken { index: 3, detail: "d".into() }.is_integrity_incident());
+        assert!(!Error::NotFound("k".into()).is_integrity_incident());
+        assert!(!Error::Codec("bad".into()).is_integrity_incident());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::DigestMismatch { expected: "aa".into(), actual: "bb".into() };
+        let s = e.to_string();
+        assert!(s.contains("aa") && s.contains("bb"));
+        let e = Error::WalCorrupt { offset: 42, detail: "short frame".into() };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let e: Error = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("disk on fire"));
+    }
+}

@@ -1,0 +1,419 @@
+//! Cryptographic and error-detecting hashes, implemented from scratch.
+//!
+//! * [`Sha256`] — FIPS 180-4 SHA-256, incremental and one-shot, validated
+//!   against the published NIST test vectors in the unit tests below.
+//! * [`crc32c`] — CRC-32C (Castagnoli polynomial, the variant used by iSCSI
+//!   and most storage systems), table-driven.
+//!
+//! Archival fixity conventionally uses SHA-256 (e.g. PREMIS `fixity`
+//! elements); CRC32C is used only for cheap per-frame corruption detection
+//! inside the WAL, never as a content address.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 256-bit content digest. The canonical identity of every object stored
+/// in `trustdb`, and the identity component of archival records upstream.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// Digest of the empty byte string — useful as a sentinel for "no
+    /// predecessor" in hash chains.
+    pub fn zero() -> Self {
+        Digest([0u8; 32])
+    }
+
+    /// Render as lowercase hex (the interchange form used in manifests).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+            s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+        }
+        s
+    }
+
+    /// Parse from lowercase or uppercase hex. Returns `None` on malformed
+    /// input (wrong length or non-hex characters).
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        let bytes = s.as_bytes();
+        for i in 0..32 {
+            let hi = (bytes[2 * i] as char).to_digit(16)?;
+            let lo = (bytes[2 * i + 1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+
+    /// A short prefix for human-readable logs (8 hex chars).
+    pub fn short(&self) -> String {
+        self.to_hex()[..8].to_string()
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.short())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher (FIPS 180-4).
+///
+/// ```
+/// use trustdb::hash::Sha256;
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// assert_eq!(
+///     h.finalize().to_hex(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Create a fresh hasher in the initial state.
+    pub fn new() -> Self {
+        Sha256 { state: H0, buf: [0u8; 64], buf_len: 0, total_len: 0 }
+    }
+
+    /// Absorb `data`, buffering partial blocks internally.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+            if data.is_empty() {
+                return;
+            }
+            // If data remains, the buffer was necessarily filled and flushed.
+            debug_assert_eq!(self.buf_len, 0);
+        }
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            // Safe: chunks_exact guarantees 64 bytes.
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Finish the computation and produce the digest, consuming the hasher.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+        self.update_padding(bit_len);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn update_padding(&mut self, bit_len: u64) {
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        // Number of pad bytes so that (buf_len + pad_len) % 64 == 56.
+        let pad_len = if self.buf_len < 56 { 56 - self.buf_len } else { 120 - self.buf_len };
+        pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        // Feed via the same buffering path; total_len is no longer used.
+        let total = pad_len + 8;
+        let mut fed = 0;
+        while fed < total {
+            let need = 64 - self.buf_len;
+            let take = need.min(total - fed);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&pad[fed..fed + take]);
+            self.buf_len += take;
+            fed += take;
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+    }
+
+    #[inline]
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256 of `data`.
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// SHA-256 over the concatenation of two digests — the node combiner used by
+/// [`crate::merkle::MerkleTree`] and the audit hash chain. Domain-separated
+/// from leaf hashing by a prefix byte (second-preimage hardening, as in
+/// RFC 6962).
+pub fn sha256_pair(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[0x01]);
+    h.update(&left.0);
+    h.update(&right.0);
+    h.finalize()
+}
+
+/// Leaf hash with RFC 6962-style domain separation.
+pub fn sha256_leaf(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[0x00]);
+    h.update(data);
+    h.finalize()
+}
+
+/// CRC-32C (Castagnoli) lookup table, generated at first use.
+fn crc32c_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        // Reflected polynomial for CRC-32C.
+        const POLY: u32 = 0x82f6_3b78;
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32C of `data` (Castagnoli polynomial, reflected, init/xorout all-ones).
+pub fn crc32c(data: &[u8]) -> u32 {
+    let table = crc32c_table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NIST FIPS 180-4 / well-known reference vectors.
+    #[test]
+    fn sha256_empty() {
+        assert_eq!(
+            sha256(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn sha256_abc() {
+        assert_eq!(
+            sha256(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn sha256_two_block_message() {
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256(&data).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn sha256_exact_block_boundary() {
+        // 64-byte input exercises the padding-overflow branch (pad_len = 120 - 0).
+        let data = [0x42u8; 64];
+        let whole = sha256(&data);
+        let mut inc = Sha256::new();
+        inc.update(&data[..64]);
+        assert_eq!(inc.finalize(), whole);
+    }
+
+    #[test]
+    fn sha256_incremental_matches_oneshot_at_many_split_points() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let whole = sha256(&data);
+        for split in [0, 1, 55, 56, 63, 64, 65, 127, 128, 500, 999, 1000] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn sha256_byte_at_a_time() {
+        let data = b"The quick brown fox jumps over the lazy dog";
+        let mut h = Sha256::new();
+        for b in data.iter() {
+            h.update(std::slice::from_ref(b));
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"
+        );
+    }
+
+    #[test]
+    fn digest_hex_round_trip() {
+        let d = sha256(b"round trip");
+        let parsed = Digest::from_hex(&d.to_hex()).unwrap();
+        assert_eq!(d, parsed);
+    }
+
+    #[test]
+    fn digest_from_hex_rejects_malformed() {
+        assert!(Digest::from_hex("abc").is_none());
+        assert!(Digest::from_hex(&"g".repeat(64)).is_none());
+        let valid = "0".repeat(64);
+        assert!(Digest::from_hex(&valid).is_some());
+    }
+
+    #[test]
+    fn domain_separation_distinguishes_leaf_and_pair() {
+        // A leaf whose content happens to be two concatenated digests must not
+        // collide with the interior node over those digests.
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        let mut concat = Vec::new();
+        concat.extend_from_slice(&a.0);
+        concat.extend_from_slice(&b.0);
+        assert_ne!(sha256_leaf(&concat), sha256_pair(&a, &b));
+    }
+
+    #[test]
+    fn crc32c_reference_vectors() {
+        // "123456789" → 0xE3069283 is the canonical CRC-32C check value.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        // RFC 3720 (iSCSI) test: 32 bytes of zeros.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        // 32 bytes of 0xFF.
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn crc32c_detects_single_bit_flip() {
+        let mut data = b"archival record".to_vec();
+        let before = crc32c(&data);
+        data[3] ^= 0x01;
+        assert_ne!(before, crc32c(&data));
+    }
+
+    #[test]
+    fn digest_ordering_is_lexicographic() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        a[0] = 1;
+        b[0] = 2;
+        assert!(Digest(a) < Digest(b));
+    }
+}

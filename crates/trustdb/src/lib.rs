@@ -1,0 +1,44 @@
+//! # trustdb — tamper-evident storage substrate for trusted digital preservation
+//!
+//! `trustdb` is the storage layer underneath the `itrust` workspace. Archival
+//! preservation ("trusted data forever") imposes requirements an ordinary
+//! key-value store does not meet:
+//!
+//! * **Fixity** — every stored object is content-addressed by its SHA-256
+//!   digest, and the store can re-verify all holdings on demand
+//!   ([`fixity::FixityAuditor`]).
+//! * **Tamper evidence** — every mutation is recorded in a hash-chained audit
+//!   log ([`audit::AuditLog`]); any retroactive edit breaks the chain.
+//! * **Durability discipline** — writes flow through an append-only,
+//!   CRC-framed write-ahead log ([`wal::Wal`]) with group commit.
+//! * **Verifiable batches** — Merkle trees ([`merkle::MerkleTree`]) provide
+//!   logarithmic inclusion proofs over ingest batches, so a third party can
+//!   verify that a single record belongs to an attested accession.
+//!
+//! All cryptographic primitives (SHA-256, CRC32C) are implemented in this
+//! crate from scratch — no external crypto dependencies — and validated
+//! against published test vectors.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use trustdb::store::{ObjectStore, MemoryBackend};
+//!
+//! let store = ObjectStore::new(MemoryBackend::default());
+//! let id = store.put(b"archival record content".as_slice()).unwrap();
+//! assert_eq!(&store.get(&id).unwrap()[..], b"archival record content");
+//! assert!(store.verify(&id).unwrap());
+//! ```
+
+pub mod audit;
+pub mod catalog;
+pub mod errors;
+pub mod fixity;
+pub mod hash;
+pub mod merkle;
+pub mod store;
+pub mod wal;
+
+pub use errors::{Error, Result};
+pub use hash::{crc32c, sha256, Digest};
+pub use store::{MemoryBackend, ObjectStore};

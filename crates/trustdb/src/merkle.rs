@@ -1,0 +1,250 @@
+//! Merkle trees over ingest batches.
+//!
+//! When an accession (a batch of records transferred to the archive) is
+//! ingested, the archive computes a Merkle root over the batch and records it
+//! in the audit log. Later, anyone holding the attested root can verify that
+//! a single record belongs to that accession with an O(log n) inclusion
+//! proof — without access to the other records. This is the mechanism the
+//! `archival-core` crate uses to make accession receipts independently
+//! verifiable.
+//!
+//! Leaf and interior hashing are domain-separated (RFC 6962 style, see
+//! [`crate::hash::sha256_leaf`] / [`crate::hash::sha256_pair`]) so a leaf
+//! cannot be reinterpreted as an interior node.
+
+use crate::errors::{Error, Result};
+use crate::hash::{sha256_leaf, sha256_pair, Digest};
+use serde::{Deserialize, Serialize};
+
+/// Side of a sibling hash within a Merkle path step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Side {
+    /// Sibling hash is to the left of the running hash.
+    Left,
+    /// Sibling hash is to the right of the running hash.
+    Right,
+}
+
+/// One step of an inclusion proof: a sibling digest and which side it is on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProofStep {
+    /// The sibling subtree digest.
+    pub sibling: Digest,
+    /// Which side the sibling sits on when combining.
+    pub side: Side,
+}
+
+/// An inclusion proof for one leaf against a Merkle root.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InclusionProof {
+    /// Index of the proven leaf in the original batch.
+    pub leaf_index: usize,
+    /// Total number of leaves in the tree the proof was generated from.
+    pub leaf_count: usize,
+    /// Bottom-up path of sibling hashes.
+    pub path: Vec<ProofStep>,
+}
+
+impl InclusionProof {
+    /// Verify that `leaf_data` is included under `root`.
+    ///
+    /// Returns `Ok(())` on success, [`Error::ProofInvalid`] otherwise.
+    pub fn verify(&self, leaf_data: &[u8], root: &Digest) -> Result<()> {
+        let mut running = sha256_leaf(leaf_data);
+        for step in &self.path {
+            running = match step.side {
+                Side::Left => sha256_pair(&step.sibling, &running),
+                Side::Right => sha256_pair(&running, &step.sibling),
+            };
+        }
+        if running == *root {
+            Ok(())
+        } else {
+            Err(Error::ProofInvalid(format!(
+                "recomputed root {} does not match expected {}",
+                running.short(),
+                root.short()
+            )))
+        }
+    }
+}
+
+/// A Merkle tree built over a batch of leaves.
+///
+/// The full node set is retained so proofs can be generated for any leaf.
+/// Odd nodes at any level are promoted (not duplicated), which avoids the
+/// classic duplicate-leaf malleability.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// `levels[0]` is the leaf digests; the last level has exactly one node.
+    levels: Vec<Vec<Digest>>,
+}
+
+impl MerkleTree {
+    /// Build from raw leaf payloads. Returns `None` for an empty batch
+    /// (an empty accession has no meaningful root).
+    pub fn from_leaves<I, B>(leaves: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = B>,
+        B: AsRef<[u8]>,
+    {
+        let leaf_hashes: Vec<Digest> =
+            leaves.into_iter().map(|l| sha256_leaf(l.as_ref())).collect();
+        Self::from_leaf_digests(leaf_hashes)
+    }
+
+    /// Build from already-computed (domain-separated) leaf digests.
+    pub fn from_leaf_digests(leaf_hashes: Vec<Digest>) -> Option<Self> {
+        if leaf_hashes.is_empty() {
+            return None;
+        }
+        let mut levels = vec![leaf_hashes];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            let mut chunks = prev.chunks_exact(2);
+            for pair in &mut chunks {
+                next.push(sha256_pair(&pair[0], &pair[1]));
+            }
+            if let [odd] = chunks.remainder() {
+                next.push(*odd); // promote, do not duplicate
+            }
+            levels.push(next);
+        }
+        Some(MerkleTree { levels })
+    }
+
+    /// The attested root of the batch.
+    pub fn root(&self) -> Digest {
+        self.levels.last().unwrap()[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Generate an inclusion proof for the leaf at `index`.
+    pub fn prove(&self, index: usize) -> Result<InclusionProof> {
+        let n = self.leaf_count();
+        if index >= n {
+            return Err(Error::ProofInvalid(format!(
+                "leaf index {index} out of range (leaf count {n})"
+            )));
+        }
+        let mut path = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = idx ^ 1;
+            if sibling_idx < level.len() {
+                let side = if sibling_idx < idx { Side::Left } else { Side::Right };
+                path.push(ProofStep { sibling: level[sibling_idx], side });
+            }
+            // With promotion, an odd node keeps its hash and moves up at the
+            // position of its pair slot.
+            idx /= 2;
+        }
+        Ok(InclusionProof { leaf_index: index, leaf_count: n, path })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::sha256_leaf;
+
+    fn batch(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("record-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn empty_batch_has_no_tree() {
+        assert!(MerkleTree::from_leaves(Vec::<Vec<u8>>::new()).is_none());
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let t = MerkleTree::from_leaves([b"only".to_vec()]).unwrap();
+        assert_eq!(t.root(), sha256_leaf(b"only"));
+        assert_eq!(t.leaf_count(), 1);
+        let p = t.prove(0).unwrap();
+        assert!(p.path.is_empty());
+        p.verify(b"only", &t.root()).unwrap();
+    }
+
+    #[test]
+    fn all_leaves_provable_across_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33, 100] {
+            let leaves = batch(n);
+            let t = MerkleTree::from_leaves(leaves.iter()).unwrap();
+            let root = t.root();
+            for (i, leaf) in leaves.iter().enumerate() {
+                let proof = t.prove(i).unwrap();
+                proof
+                    .verify(leaf, &root)
+                    .unwrap_or_else(|e| panic!("n={n} leaf={i}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn proof_rejects_wrong_leaf() {
+        let leaves = batch(8);
+        let t = MerkleTree::from_leaves(leaves.iter()).unwrap();
+        let proof = t.prove(3).unwrap();
+        assert!(proof.verify(b"record-4", &t.root()).is_err());
+    }
+
+    #[test]
+    fn proof_rejects_wrong_root() {
+        let leaves = batch(8);
+        let t = MerkleTree::from_leaves(leaves.iter()).unwrap();
+        let other = MerkleTree::from_leaves(batch(9).iter()).unwrap();
+        let proof = t.prove(3).unwrap();
+        assert!(proof.verify(b"record-3", &other.root()).is_err());
+    }
+
+    #[test]
+    fn proof_index_out_of_range() {
+        let t = MerkleTree::from_leaves(batch(4).iter()).unwrap();
+        assert!(t.prove(4).is_err());
+    }
+
+    #[test]
+    fn root_changes_with_any_leaf_change() {
+        let base = MerkleTree::from_leaves(batch(16).iter()).unwrap().root();
+        for i in 0..16 {
+            let mut leaves = batch(16);
+            leaves[i].push(b'!');
+            let mutated = MerkleTree::from_leaves(leaves.iter()).unwrap().root();
+            assert_ne!(base, mutated, "mutating leaf {i} must change the root");
+        }
+    }
+
+    #[test]
+    fn root_depends_on_leaf_order() {
+        let a = MerkleTree::from_leaves([b"x".to_vec(), b"y".to_vec()]).unwrap().root();
+        let b = MerkleTree::from_leaves([b"y".to_vec(), b"x".to_vec()]).unwrap().root();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn promotion_distinguishes_odd_from_duplicated() {
+        // With duplicate-last schemes, [a, b, c] == [a, b, c, c]. Promotion
+        // must distinguish them.
+        let abc = MerkleTree::from_leaves(batch(3).iter()).unwrap().root();
+        let mut four = batch(3);
+        four.push(batch(3)[2].clone());
+        let abcc = MerkleTree::from_leaves(four.iter()).unwrap().root();
+        assert_ne!(abc, abcc);
+    }
+
+    #[test]
+    fn proof_serde_round_trip() {
+        let t = MerkleTree::from_leaves(batch(10).iter()).unwrap();
+        let proof = t.prove(7).unwrap();
+        let json = serde_json::to_string(&proof).unwrap();
+        let back: InclusionProof = serde_json::from_str(&json).unwrap();
+        back.verify(b"record-7", &t.root()).unwrap();
+    }
+}

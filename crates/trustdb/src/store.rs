@@ -1,0 +1,420 @@
+//! Content-addressed object store.
+//!
+//! Every object's identity is the SHA-256 digest of its content. This gives
+//! the preservation layer three properties for free:
+//!
+//! * **Immutability** — an object can never change without changing its
+//!   address, so "stable content" (a defining property of a record) is
+//!   enforced structurally.
+//! * **Deduplication** — identical digitised masters stored twice occupy one
+//!   slot.
+//! * **Verifiability** — fixity checking is re-hashing; no side-channel
+//!   checksum database can drift out of sync with the data.
+//!
+//! Two backends are provided: [`MemoryBackend`] (tests, benchmarks) and
+//! [`FileBackend`] (a fanned-out directory layout, one file per object).
+
+use crate::errors::{Error, Result};
+use crate::hash::{sha256, Digest};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Storage backend abstraction: a flat digest → bytes map.
+///
+/// Implementations must be safe for concurrent use; `ObjectStore` performs
+/// hashing and verification above this trait.
+pub trait Backend: Send + Sync {
+    /// Store `bytes` under `digest`. Must be idempotent for identical
+    /// content; implementations need not re-verify the digest.
+    fn put_raw(&self, digest: &Digest, bytes: Bytes) -> Result<()>;
+    /// Fetch the bytes stored under `digest`.
+    fn get_raw(&self, digest: &Digest) -> Result<Bytes>;
+    /// Whether an object exists.
+    fn contains(&self, digest: &Digest) -> bool;
+    /// Remove an object (used only by sanctioned disposition, see
+    /// `archival-core::retention`). Returns `true` if it existed.
+    fn delete_raw(&self, digest: &Digest) -> Result<bool>;
+    /// Enumerate all stored digests in sorted order.
+    fn list(&self) -> Vec<Digest>;
+    /// Number of stored objects.
+    fn object_count(&self) -> usize;
+    /// Total stored payload bytes.
+    fn payload_bytes(&self) -> u64;
+}
+
+/// In-memory backend for tests and benchmarks.
+#[derive(Default)]
+pub struct MemoryBackend {
+    map: RwLock<BTreeMap<Digest, Bytes>>,
+    bytes: AtomicU64,
+}
+
+impl MemoryBackend {
+    /// Create an empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fault injection for tests and the D5 tamper-detection experiment:
+    /// mutate the stored bytes of `digest` in place, bypassing all integrity
+    /// machinery (as a decaying disk or malicious actor would).
+    pub fn tamper(&self, digest: &Digest, f: impl FnOnce(&mut Vec<u8>)) -> bool {
+        let mut map = self.map.write();
+        if let Some(b) = map.get_mut(digest) {
+            let mut v = b.to_vec();
+            let before = v.len() as u64;
+            f(&mut v);
+            let after = v.len() as u64;
+            *b = Bytes::from(v);
+            if after >= before {
+                self.bytes.fetch_add(after - before, Ordering::Relaxed);
+            } else {
+                self.bytes.fetch_sub(before - after, Ordering::Relaxed);
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Backend for MemoryBackend {
+    fn put_raw(&self, digest: &Digest, bytes: Bytes) -> Result<()> {
+        let mut map = self.map.write();
+        if map.insert(*digest, bytes.clone()).is_none() {
+            self.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn get_raw(&self, digest: &Digest) -> Result<Bytes> {
+        self.map
+            .read()
+            .get(digest)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(digest.to_hex()))
+    }
+
+    fn contains(&self, digest: &Digest) -> bool {
+        self.map.read().contains_key(digest)
+    }
+
+    fn delete_raw(&self, digest: &Digest) -> Result<bool> {
+        let mut map = self.map.write();
+        if let Some(b) = map.remove(digest) {
+            self.bytes.fetch_sub(b.len() as u64, Ordering::Relaxed);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn list(&self) -> Vec<Digest> {
+        self.map.read().keys().copied().collect()
+    }
+
+    fn object_count(&self) -> usize {
+        self.map.read().len()
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// File-backed backend: one file per object under a two-level hex fanout
+/// (`root/ab/cd/<digest>`), the layout used by most content stores to keep
+/// directory sizes bounded.
+pub struct FileBackend {
+    root: PathBuf,
+    // Index kept in memory for cheap list/count; rebuilt on open.
+    index: RwLock<BTreeMap<Digest, u64>>,
+}
+
+impl FileBackend {
+    /// Open (or create) a file backend rooted at `root`, scanning existing
+    /// objects into the in-memory index.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        let mut index = BTreeMap::new();
+        for l1 in std::fs::read_dir(&root)? {
+            let l1 = l1?;
+            if !l1.file_type()?.is_dir() {
+                continue;
+            }
+            for l2 in std::fs::read_dir(l1.path())? {
+                let l2 = l2?;
+                for obj in std::fs::read_dir(l2.path())? {
+                    let obj = obj?;
+                    if let Some(d) =
+                        obj.file_name().to_str().and_then(Digest::from_hex)
+                    {
+                        index.insert(d, obj.metadata()?.len());
+                    }
+                }
+            }
+        }
+        Ok(FileBackend { root, index: RwLock::new(index) })
+    }
+
+    fn path_for(&self, digest: &Digest) -> PathBuf {
+        let hex = digest.to_hex();
+        self.root.join(&hex[0..2]).join(&hex[2..4]).join(hex)
+    }
+}
+
+impl Backend for FileBackend {
+    fn put_raw(&self, digest: &Digest, bytes: Bytes) -> Result<()> {
+        if self.index.read().contains_key(digest) {
+            return Ok(()); // dedup
+        }
+        let path = self.path_for(digest);
+        std::fs::create_dir_all(path.parent().unwrap())?;
+        // Write to a temp name then rename: readers never observe a torn
+        // object file.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &path)?;
+        self.index.write().insert(*digest, bytes.len() as u64);
+        Ok(())
+    }
+
+    fn get_raw(&self, digest: &Digest) -> Result<Bytes> {
+        match std::fs::read(self.path_for(digest)) {
+            Ok(v) => Ok(Bytes::from(v)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(Error::NotFound(digest.to_hex()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn contains(&self, digest: &Digest) -> bool {
+        self.index.read().contains_key(digest)
+    }
+
+    fn delete_raw(&self, digest: &Digest) -> Result<bool> {
+        if self.index.write().remove(digest).is_none() {
+            return Ok(false);
+        }
+        match std::fs::remove_file(self.path_for(digest)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(true),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn list(&self) -> Vec<Digest> {
+        self.index.read().keys().copied().collect()
+    }
+
+    fn object_count(&self) -> usize {
+        self.index.read().len()
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        self.index.read().values().sum()
+    }
+}
+
+/// Content-addressed object store over any [`Backend`].
+pub struct ObjectStore<B: Backend> {
+    backend: B,
+    verify_on_read: bool,
+}
+
+impl<B: Backend> ObjectStore<B> {
+    /// Wrap a backend. Reads are *not* verified by default (fixity audits
+    /// cover that); enable [`ObjectStore::with_verify_on_read`] for paranoid
+    /// deployments.
+    pub fn new(backend: B) -> Self {
+        ObjectStore { backend, verify_on_read: false }
+    }
+
+    /// Verify the digest of every object as it is read, turning silent
+    /// corruption into an immediate [`Error::DigestMismatch`].
+    pub fn with_verify_on_read(mut self) -> Self {
+        self.verify_on_read = true;
+        self
+    }
+
+    /// Store `bytes`, returning the content address. Idempotent.
+    pub fn put(&self, bytes: impl Into<Bytes>) -> Result<Digest> {
+        let bytes = bytes.into();
+        let digest = sha256(&bytes);
+        self.backend.put_raw(&digest, bytes)?;
+        Ok(digest)
+    }
+
+    /// Fetch the object at `digest`.
+    pub fn get(&self, digest: &Digest) -> Result<Bytes> {
+        let bytes = self.backend.get_raw(digest)?;
+        if self.verify_on_read {
+            let actual = sha256(&bytes);
+            if actual != *digest {
+                return Err(Error::DigestMismatch {
+                    expected: digest.to_hex(),
+                    actual: actual.to_hex(),
+                });
+            }
+        }
+        Ok(bytes)
+    }
+
+    /// Re-hash the object at `digest` and report whether it is intact.
+    /// `Err(NotFound)` if absent.
+    pub fn verify(&self, digest: &Digest) -> Result<bool> {
+        let bytes = self.backend.get_raw(digest)?;
+        Ok(sha256(&bytes) == *digest)
+    }
+
+    /// Whether the object exists (no integrity check).
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.backend.contains(digest)
+    }
+
+    /// Sanctioned removal (disposition). Returns whether it existed.
+    pub fn delete(&self, digest: &Digest) -> Result<bool> {
+        self.backend.delete_raw(digest)
+    }
+
+    /// All stored digests, sorted.
+    pub fn list(&self) -> Vec<Digest> {
+        self.backend.list()
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.backend.object_count()
+    }
+
+    /// Total payload bytes across all objects.
+    pub fn payload_bytes(&self) -> u64 {
+        self.backend.payload_bytes()
+    }
+
+    /// Borrow the backend (e.g. for fault injection in tests).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let store = ObjectStore::new(MemoryBackend::new());
+        let id = store.put(b"content".as_slice()).unwrap();
+        assert_eq!(&store.get(&id).unwrap()[..], b"content");
+        assert!(store.contains(&id));
+        assert!(store.verify(&id).unwrap());
+    }
+
+    #[test]
+    fn put_is_idempotent_and_deduplicates() {
+        let store = ObjectStore::new(MemoryBackend::new());
+        let a = store.put(b"same".as_slice()).unwrap();
+        let b = store.put(b"same".as_slice()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(store.object_count(), 1);
+        assert_eq!(store.payload_bytes(), 4);
+    }
+
+    #[test]
+    fn get_missing_is_not_found() {
+        let store = ObjectStore::new(MemoryBackend::new());
+        let err = store.get(&Digest::zero()).unwrap_err();
+        assert!(matches!(err, Error::NotFound(_)));
+    }
+
+    #[test]
+    fn tamper_is_caught_by_verify() {
+        let store = ObjectStore::new(MemoryBackend::new());
+        let id = store.put(b"pristine archival master".as_slice()).unwrap();
+        assert!(store.backend().tamper(&id, |v| v[0] ^= 0x80));
+        assert!(!store.verify(&id).unwrap());
+    }
+
+    #[test]
+    fn verify_on_read_rejects_tampered() {
+        let store = ObjectStore::new(MemoryBackend::new()).with_verify_on_read();
+        let id = store.put(b"pristine".as_slice()).unwrap();
+        store.get(&id).unwrap();
+        store.backend().tamper(&id, |v| v.truncate(3));
+        assert!(matches!(store.get(&id), Err(Error::DigestMismatch { .. })));
+    }
+
+    #[test]
+    fn delete_removes_and_reports() {
+        let store = ObjectStore::new(MemoryBackend::new());
+        let id = store.put(b"to be disposed".as_slice()).unwrap();
+        assert!(store.delete(&id).unwrap());
+        assert!(!store.delete(&id).unwrap());
+        assert!(!store.contains(&id));
+        assert_eq!(store.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn list_is_sorted_and_complete() {
+        let store = ObjectStore::new(MemoryBackend::new());
+        let mut ids: Vec<Digest> =
+            (0..20).map(|i| store.put(vec![i as u8; 10]).unwrap()).collect();
+        ids.sort();
+        assert_eq!(store.list(), ids);
+    }
+
+    #[test]
+    fn file_backend_round_trip_and_reopen() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("trustdb-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let id;
+        {
+            let store = ObjectStore::new(FileBackend::open(&dir).unwrap());
+            id = store.put(b"durable object".as_slice()).unwrap();
+            assert!(store.verify(&id).unwrap());
+        }
+        // Reopen: index is rebuilt from the directory scan.
+        let store = ObjectStore::new(FileBackend::open(&dir).unwrap());
+        assert!(store.contains(&id));
+        assert_eq!(&store.get(&id).unwrap()[..], b"durable object");
+        assert_eq!(store.object_count(), 1);
+        assert_eq!(store.payload_bytes(), 14);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_backend_on_disk_corruption_detected() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("trustdb-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ObjectStore::new(FileBackend::open(&dir).unwrap());
+        let id = store.put(b"master image bytes".as_slice()).unwrap();
+        // Corrupt the file on disk directly.
+        let hex = id.to_hex();
+        let path = dir.join(&hex[0..2]).join(&hex[2..4]).join(&hex);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[5] ^= 0x01;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(!store.verify(&id).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_backend_delete() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("trustdb-del-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ObjectStore::new(FileBackend::open(&dir).unwrap());
+        let id = store.put(b"ephemeral".as_slice()).unwrap();
+        assert!(store.delete(&id).unwrap());
+        assert!(matches!(store.get(&id), Err(Error::NotFound(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

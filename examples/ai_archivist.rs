@@ -1,0 +1,98 @@
+//! The AI-assisted archivist: the newer capabilities working together —
+//! distant supervision (no human labels), draft description generation,
+//! format migration with verifiable lineage, and BagIt export of a
+//! dissemination.
+//!
+//! ```sh
+//! cargo run --example ai_archivist
+//! ```
+
+use archival_core::bagit::{validate_bag, write_bag};
+use archival_core::ingest::Repository;
+use archival_core::migration::{MigrationEngine, Utf8Normalizer};
+use archival_core::oais::{Sip, SubmissionItem};
+use archival_core::provenance::{EventType, ProvenanceChain};
+use archival_core::record::{Classification, DocumentaryForm, Record, RecordId};
+use itrust_core::describe::describe;
+use itrust_core::distant::{default_cues, fit_distant};
+use itrust_core::sensitivity::generate_corpus;
+use trustdb::store::{MemoryBackend, ObjectStore};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Distant supervision: a sensitivity model from retention-schedule
+    //    keyword cues alone — zero human annotations.
+    let incoming = generate_corpus(400, 0.3, 0.1, 11);
+    let texts: Vec<String> = incoming.iter().map(|d| d.text.clone()).collect();
+    let model = fit_distant(&texts, &default_cues()).expect("cues cover the corpus");
+    let acc = model.accuracy(&incoming);
+    println!("distant-supervised sensitivity model (no human labels): accuracy {acc:.3}");
+
+    // 2. Draft description of a fonds narrative.
+    let narrative = "The fonds documents wartime supply operations. \
+        Supply convoys crossed the mountain passes weekly. \
+        A brief note mentions the weather. \
+        Convoy schedules and supply manifests form the bulk of the records. \
+        One page lists the cook's favorite recipes.";
+    let draft = describe(narrative, 2, 4);
+    println!("\ndraft scope note (for archivist review):");
+    for s in &draft.summary {
+        println!("  • {s}.");
+    }
+    println!("  suggested subjects: {}", draft.subjects.join(", "));
+
+    // 3. Accession a record with CRLF line endings, then migrate it.
+    let repo = Repository::new(ObjectStore::new(MemoryBackend::new()));
+    let body = b"REPORT\r\nSupply lines held.\r\nEnd of report.\r".to_vec();
+    let record = Record::over_content(
+        "a5g/rep-1",
+        "Supply report",
+        "Ministry",
+        100,
+        "wartime-reporting",
+        DocumentaryForm::textual("text/plain"),
+        Classification::Public,
+        &body,
+    );
+    let mut provenance = ProvenanceChain::new("a5g/rep-1");
+    provenance.append(50, "Ministry", EventType::Creation, "success", "")?;
+    let receipt = repo.ingest(
+        Sip::new("Ministry", 200).with_item(SubmissionItem {
+            record: record.clone(),
+            content: body,
+            provenance: provenance.clone(),
+        }),
+        1_000,
+        "archivist",
+    )?;
+    let engine = MigrationEngine::new(repo.store(), repo.audit());
+    let migration = engine.migrate(&record, &Utf8Normalizer, &mut provenance, 2_000, "archivist")?;
+    println!(
+        "\nmigrated {}: {} → {} ({} → {})",
+        migration.record_id,
+        migration.from_format,
+        migration.to_format,
+        migration.original_digest.short(),
+        migration.migrated_digest.short()
+    );
+    engine.verify_lineage(&migration, &Utf8Normalizer)?;
+    println!("lineage re-verified: converter still reproduces the migrated manifestation");
+
+    // 4. Disseminate and export as a BagIt bag.
+    let dip = repo.disseminate(&receipt.aip_id, &[RecordId::new("a5g/rep-1")], "researcher", 3_000, None)?;
+    let mut bag_dir = std::env::temp_dir();
+    bag_dir.push(format!("itrust-example-bag-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&bag_dir);
+    let root = write_bag(&dip, &bag_dir)?;
+    let validation = validate_bag(&root)?;
+    println!(
+        "\nBagIt export at {}: {} payload file(s), valid = {}",
+        root.display(),
+        validation.valid,
+        validation.is_valid()
+    );
+    std::fs::remove_dir_all(&bag_dir).ok();
+
+    repo.audit().verify_chain()?;
+    println!("audit chain verified ({} entries)", repo.audit().len());
+    Ok(())
+}

@@ -1,0 +1,160 @@
+//! The full records lifecycle under archival governance: accession →
+//! arrangement & description → trust assessment → retention/disposition
+//! (with a legal hold) → role-gated access → redacted dissemination.
+//!
+//! This example exercises the archival-core substrate directly, without
+//! any AI in the loop — the baseline the AI capabilities must respect.
+//!
+//! ```sh
+//! cargo run --example records_lifecycle
+//! ```
+
+use archival_core::access::{AccessController, Principal, Role};
+use archival_core::description::{DescriptionUnit, FindingAid, Level};
+use archival_core::ingest::Repository;
+use archival_core::oais::{Sip, SubmissionItem};
+use archival_core::provenance::{EventType, ProvenanceChain};
+use archival_core::record::{Classification, DocumentaryForm, Record, RecordId};
+use archival_core::redaction::Redactor;
+use archival_core::retention::{
+    DispositionEngine, Disposition, RetentionRule, RetentionSchedule,
+};
+use archival_core::trust::TrustAssessor;
+use trustdb::store::{MemoryBackend, ObjectStore};
+
+fn item(id: &str, title: &str, class: Classification, activity: &str, body: &str) -> SubmissionItem {
+    let record = Record::over_content(
+        id,
+        title,
+        "Ministry of War",
+        100,
+        activity,
+        DocumentaryForm::textual("text/plain"),
+        class,
+        body.as_bytes(),
+    );
+    let mut provenance = ProvenanceChain::new(id);
+    provenance
+        .append(50, "Ministry of War", EventType::Creation, "success", "registry copy")
+        .unwrap();
+    SubmissionItem { record, content: body.as_bytes().to_vec(), provenance }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let repo = Repository::new(ObjectStore::new(MemoryBackend::new()));
+
+    // 1. Accession a small fonds.
+    let sip = Sip::new("Ministry of War", 1_000)
+        .with_item(item(
+            "a5g/reports/0001",
+            "Report on supply lines",
+            Classification::Public,
+            "cultural-heritage",
+            "Supply lines to the western front held through the winter.",
+        ))
+        .with_item(item(
+            "a5g/personnel/0001",
+            "Personnel complaint file",
+            Classification::Restricted,
+            "routine-correspondence",
+            "Complaint filed; contact 555-123-4567 and officer at 47.6097, -122.3331.",
+        ))
+        .with_item(item(
+            "a5g/reports/0002",
+            "Casualty report",
+            Classification::Public,
+            "cultural-heritage",
+            "Casualty figures for March, compiled from field returns.",
+        ));
+    let receipt = repo.ingest(sip, 2_000, "head-archivist")?;
+    println!("accessioned {} records as {}", receipt.record_count, receipt.aip_id);
+
+    // 2. Arrangement & description.
+    let mut fonds = DescriptionUnit::new(Level::Fonds, "a5g", "Fund A5G (First World War)")
+        .dated(0, 10_000)
+        .with_extent("3 digitised files")
+        .with_scope("reports and personnel correspondence");
+    let mut reports = DescriptionUnit::new(Level::Series, "reports", "Operational reports");
+    let mut file = DescriptionUnit::new(Level::File, "1916", "Reports of 1916");
+    let mut r1 = DescriptionUnit::new(Level::Item, "0001", "Report on supply lines");
+    r1.attach_record(RecordId::new("a5g/reports/0001"));
+    let mut r2 = DescriptionUnit::new(Level::Item, "0002", "Casualty report");
+    r2.attach_record(RecordId::new("a5g/reports/0002"));
+    file.add_child(r1)?;
+    file.add_child(r2)?;
+    reports.add_child(file)?;
+    fonds.add_child(reports)?;
+    let aid = FindingAid::new("Ministry of War", fonds)?;
+    println!("\n{}", aid.render());
+
+    // 3. Trust assessment of every preserved record.
+    let manifest = repo.manifest(&receipt.aip_id)?;
+    let assessor = TrustAssessor::new(repo.store());
+    for entry in &manifest.records {
+        let report = assessor.assess(entry)?;
+        println!(
+            "trust[{}]: {:?} (reliability {:.2}, accuracy {:.2}, authenticity {:.2})",
+            report.record_id,
+            report.grade,
+            report.reliability.score,
+            report.accuracy.score,
+            report.authenticity.score
+        );
+    }
+
+    // 4. Retention: the complaint file is destroyable after its period —
+    //    unless a legal hold intervenes.
+    let mut schedule = RetentionSchedule::new();
+    schedule.add_rule(RetentionRule {
+        records_class: "routine-correspondence".into(),
+        retention_ms: Some(5_000),
+        disposition: Disposition::Destroy,
+        authority: "GDA-7".into(),
+    })?;
+    schedule.add_rule(RetentionRule {
+        records_class: "cultural-heritage".into(),
+        retention_ms: None,
+        disposition: Disposition::Permanent,
+        authority: "Archives Act s.12".into(),
+    })?;
+    let mut engine = DispositionEngine::new(schedule);
+    let complaint = manifest
+        .records
+        .iter()
+        .find(|e| e.record.id.as_str() == "a5g/personnel/0001")
+        .unwrap();
+    engine.place_hold("matter-1922-04", [complaint.record.id.clone()]);
+    let blocked = engine.apply(&complaint.record, 10_000, repo.store(), repo.audit(), "rm-bot")?;
+    println!("\ndisposition attempt under hold: {blocked:?}");
+    engine.release_hold("matter-1922-04");
+    let destroyed = engine.apply(&complaint.record, 11_000, repo.store(), repo.audit(), "rm-bot")?;
+    println!("disposition after release: {destroyed:?}");
+
+    // 5. Access control: a public user, a researcher, an archivist.
+    let gate = AccessController::new(repo.audit());
+    let heritage = &manifest.records[0].record;
+    for (who, role) in [("anon", Role::Public), ("dr-researcher", Role::Researcher)] {
+        let decision = gate.check_read(&Principal::new(who, role), heritage, 12_000)?;
+        println!("access[{who} → {}]: {decision:?}", heritage.id);
+    }
+
+    // 6. Dissemination with redaction (the public records only — the
+    //    restricted one is now destroyed).
+    let redactor = Redactor::all();
+    let dip = repo.disseminate(
+        &receipt.aip_id,
+        &[RecordId::new("a5g/reports/0001"), RecordId::new("a5g/reports/0002")],
+        "dr-researcher",
+        13_000,
+        Some(&redactor),
+    )?;
+    println!("\nDIP {} delivered with {} records", dip.dip_id, dip.items.len());
+
+    repo.audit().verify_chain()?;
+    println!(
+        "audit chain: {} entries, verified (head {})",
+        repo.audit().len(),
+        repo.audit().head().unwrap().short()
+    );
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! Integration: PergaNet analyses become governed archival actions — each
+//! pipeline decision is vetted by the trust guard and lands in provenance
+//! with paradata.
+
+use archival_core::provenance::{EventType, ProvenanceChain};
+use itrust_core::ai_task::{GuardedDecision, Routing, TrustGuard, Verdict};
+use perganet::corpus::{generate, CorpusConfig};
+use perganet::pipeline::{PergaNet, TrainConfig};
+use trustdb::audit::{AuditAction, AuditLog};
+
+#[test]
+fn pipeline_decisions_flow_through_the_guard_into_provenance() {
+    // Train a small pipeline.
+    let train = generate(CorpusConfig { count: 120, damage: 0, seed: 1 });
+    let mut net = PergaNet::new(2);
+    net.train(
+        &train,
+        TrainConfig { classifier_epochs: 5, text_epochs: 6, signum_epochs: 15, lr: 0.005, signum_lr: 0.002 },
+    );
+
+    // Analyze a batch of "newly digitised" parchments under the guard.
+    let incoming = generate(CorpusConfig { count: 12, damage: 1, seed: 3 });
+    let audit = AuditLog::new();
+    let guard = TrustGuard::new(&audit, 0.9);
+    let mut chains: Vec<ProvenanceChain> = Vec::new();
+    let mut auto = 0usize;
+    for (i, p) in incoming.iter().enumerate() {
+        let analysis = net.analyze(&p.image);
+        let record_id = format!("parchment-{i:03}");
+        let mut chain = ProvenanceChain::new(record_id.clone());
+        chain
+            .append(100, "scanner", EventType::Creation, "success", "digitised master")
+            .unwrap();
+        // The classification decision is the one that gates downstream
+        // arrangement (recto/verso ordering), so it is the one vetted.
+        let routing = guard
+            .vet(
+                200,
+                GuardedDecision {
+                    subject: record_id,
+                    model_id: analysis.paradata[0].model_id.clone(),
+                    decision: analysis.paradata[0].decision.clone(),
+                    confidence: analysis.side_confidence,
+                },
+                &mut chain,
+            )
+            .unwrap();
+        if routing == Routing::AutoAccepted {
+            auto += 1;
+        }
+        chains.push(chain);
+    }
+
+    // Every chain carries the AI event and verifies.
+    for chain in &chains {
+        assert!(chain
+            .events()
+            .iter()
+            .any(|e| e.event_type == EventType::AiProcessing));
+        chain.verify().unwrap();
+    }
+    // Every decision audited; queue + auto = batch size.
+    assert_eq!(audit.query(|e| e.action == AuditAction::AiDecision).len(), 12);
+    assert_eq!(auto + guard.pending_count(), 12);
+    audit.verify_chain().unwrap();
+}
+
+#[test]
+fn human_review_resolves_low_confidence_classifications() {
+    // An untrained classifier produces ~0.5 confidences → all queued.
+    let mut net = PergaNet::new(9);
+    let incoming = generate(CorpusConfig { count: 5, damage: 0, seed: 4 });
+    let audit = AuditLog::new();
+    let guard = TrustGuard::new(&audit, 0.95);
+    let mut chain = ProvenanceChain::new("batch");
+    for (i, p) in incoming.iter().enumerate() {
+        let analysis = net.analyze(&p.image);
+        guard
+            .vet(
+                100 + i as u64,
+                GuardedDecision {
+                    subject: format!("parchment-{i}"),
+                    model_id: analysis.paradata[0].model_id.clone(),
+                    decision: analysis.paradata[0].decision.clone(),
+                    confidence: analysis.side_confidence.min(0.94),
+                },
+                &mut chain,
+            )
+            .unwrap();
+    }
+    assert_eq!(guard.pending_count(), 5);
+
+    // The archivist works through the queue.
+    let tickets: Vec<u64> = guard.pending().iter().map(|p| p.ticket).collect();
+    for (n, ticket) in tickets.into_iter().enumerate() {
+        let verdict = if n % 2 == 0 { Verdict::Confirmed } else { Verdict::Overridden };
+        guard.resolve(ticket, verdict, "archivist-c", 1_000 + n as u64, &mut chain).unwrap();
+    }
+    assert_eq!(guard.pending_count(), 0);
+    let verifications = chain
+        .events()
+        .iter()
+        .filter(|e| e.event_type == EventType::HumanVerification)
+        .count();
+    assert_eq!(verifications, 5);
+    assert_eq!(audit.query(|e| e.action == AuditAction::HumanReview).len(), 5);
+    chain.verify().unwrap();
+}

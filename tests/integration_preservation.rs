@@ -1,0 +1,186 @@
+//! Integration: the preservation core across crates — ingest, tamper
+//! detection, trust assessment, third-party-verifiable dissemination.
+
+use archival_core::ingest::Repository;
+use archival_core::oais::{Sip, SubmissionItem};
+use archival_core::provenance::{EventType, ProvenanceChain};
+use archival_core::record::{Classification, DocumentaryForm, Record, RecordId};
+use archival_core::redaction::Redactor;
+use archival_core::trust::{TrustAssessor, TrustGrade};
+use trustdb::store::{MemoryBackend, ObjectStore};
+
+fn item(id: &str, class: Classification, body: &[u8]) -> SubmissionItem {
+    let record = Record::over_content(
+        id,
+        format!("Title {id}"),
+        "Producer",
+        100,
+        "business",
+        DocumentaryForm::textual("text/plain"),
+        class,
+        body,
+    );
+    let mut provenance = ProvenanceChain::new(id);
+    provenance.append(50, "Producer", EventType::Creation, "success", "").unwrap();
+    SubmissionItem { record, content: body.to_vec(), provenance }
+}
+
+#[test]
+fn tampering_degrades_trust_and_is_found_by_fixity() {
+    let repo = Repository::new(ObjectStore::new(MemoryBackend::new()));
+    let sip = Sip::new("Producer", 1_000)
+        .with_item(item("r1", Classification::Public, b"intact record one"))
+        .with_item(item("r2", Classification::Public, b"record that will rot"));
+    let receipt = repo.ingest(sip, 1_000, "archivist").unwrap();
+    let manifest = repo.manifest(&receipt.aip_id).unwrap();
+
+    // Pre-tamper: everything trustworthy.
+    let assessor = TrustAssessor::new(repo.store());
+    for entry in &manifest.records {
+        let report = assessor.assess(entry).unwrap();
+        assert_ne!(report.grade, TrustGrade::Untrustworthy, "{report:?}");
+    }
+
+    // Bit rot hits r2.
+    let victim = manifest
+        .records
+        .iter()
+        .find(|e| e.record.id.as_str() == "r2")
+        .unwrap();
+    repo.store().backend().tamper(&victim.record.content_digest, |v| v[3] ^= 0x10);
+
+    // Fixity sweep localizes it.
+    let sweep = repo.fixity_sweep(2_000).unwrap();
+    assert_eq!(sweep.incidents.len(), 1);
+    assert_eq!(sweep.incidents[0].0, victim.record.content_digest);
+
+    // Trust assessment for r2 collapses on the accuracy pillar only.
+    let report = assessor.assess(victim).unwrap();
+    assert_eq!(report.accuracy.score, 0.0);
+    assert_eq!(report.grade, TrustGrade::Untrustworthy);
+    let intact = manifest
+        .records
+        .iter()
+        .find(|e| e.record.id.as_str() == "r1")
+        .unwrap();
+    let ok = assessor.assess(intact).unwrap();
+    assert!(ok.accuracy.score == 1.0);
+
+    // Audit trail recorded ingest + both sweeps and still verifies.
+    repo.audit().verify_chain().unwrap();
+    assert!(repo.audit().len() >= 2);
+}
+
+#[test]
+fn dip_consumer_verifies_without_trusting_the_repository() {
+    let repo = Repository::new(ObjectStore::new(MemoryBackend::new()));
+    let sip = Sip::new("Producer", 1_000)
+        .with_item(item("pub-1", Classification::Public, b"public content alpha"))
+        .with_item(item(
+            "res-1",
+            Classification::Restricted,
+            b"restricted: call 555-123-4567 about case 123-45-6789",
+        ));
+    let receipt = repo.ingest(sip, 1_000, "archivist").unwrap();
+
+    let redactor = Redactor::all();
+    let dip = repo
+        .disseminate(
+            &receipt.aip_id,
+            &[RecordId::new("pub-1"), RecordId::new("res-1")],
+            "researcher",
+            2_000,
+            Some(&redactor),
+        )
+        .unwrap();
+
+    // Consumer-side: the published merkle root (from the receipt) plus the
+    // DIP proofs verify each record's ORIGINAL content digest — the
+    // redacted copy is honest about being a rendering, while the original's
+    // inclusion in the attested accession is provable.
+    for ((record, content), proof) in dip.items.iter().zip(&dip.proofs) {
+        proof.verify(&record.content_digest.0, &receipt.merkle_root).unwrap();
+        if record.classification == Classification::Restricted {
+            let text = String::from_utf8(content.clone()).unwrap();
+            assert!(text.contains("[REDACTED:phone]"));
+            assert!(text.contains("[REDACTED:national-id]"));
+            assert!(!text.contains("4567"));
+        } else {
+            // Public record released verbatim: digest still matches.
+            assert_eq!(trustdb::hash::sha256(content), record.content_digest);
+        }
+    }
+    assert_eq!(dip.redactions.len(), 1);
+    assert_eq!(dip.redactions[0].spans_redacted, 2);
+}
+
+#[test]
+fn accession_merkle_root_commits_to_the_whole_batch() {
+    let repo = Repository::new(ObjectStore::new(MemoryBackend::new()));
+    let mut sip = Sip::new("Producer", 1_000);
+    for i in 0..32 {
+        sip = sip.with_item(item(
+            &format!("rec-{i}"),
+            Classification::Public,
+            format!("content {i}").as_bytes(),
+        ));
+    }
+    let receipt = repo.ingest(sip, 1_000, "archivist").unwrap();
+    let manifest = repo.manifest(&receipt.aip_id).unwrap();
+    manifest.verify_internal_consistency().unwrap();
+
+    // Every record is provable against the receipt's root.
+    for entry in &manifest.records {
+        let proof = manifest.prove_inclusion(&entry.record.id).unwrap();
+        proof
+            .verify(&entry.record.content_digest.0, &receipt.merkle_root)
+            .unwrap();
+    }
+    // And a forged digest is not.
+    let forged = trustdb::hash::sha256(b"never accessioned");
+    let proof = manifest.prove_inclusion(&RecordId::new("rec-0")).unwrap();
+    assert!(proof.verify(&forged.0, &receipt.merkle_root).is_err());
+}
+
+#[test]
+fn migration_then_dissemination_then_bagit_export() {
+    use archival_core::bagit::{validate_bag, write_bag};
+    use archival_core::migration::{MigrationEngine, Utf8Normalizer};
+
+    let repo = Repository::new(ObjectStore::new(MemoryBackend::new()));
+    let sip = Sip::new("Producer", 1_000)
+        .with_item(item("crlf-1", Classification::Public, b"line a\r\nline b\r\n"));
+    let receipt = repo.ingest(sip, 1_000, "archivist").unwrap();
+    let manifest = repo.manifest(&receipt.aip_id).unwrap();
+    let entry = &manifest.records[0];
+
+    // Migrate the preserved record; original retained, lineage verifiable.
+    let engine = MigrationEngine::new(repo.store(), repo.audit());
+    let mut chain = entry.provenance.clone();
+    let migration = engine
+        .migrate(&entry.record, &Utf8Normalizer, &mut chain, 2_000, "archivist")
+        .unwrap();
+    engine.verify_lineage(&migration, &Utf8Normalizer).unwrap();
+    assert!(repo.store().contains(&migration.original_digest));
+    assert!(repo.store().contains(&migration.migrated_digest));
+
+    // Disseminate the (original) record and export the DIP as a bag.
+    let dip = repo
+        .disseminate(&receipt.aip_id, &[RecordId::new("crlf-1")], "consumer", 3_000, None)
+        .unwrap();
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("itrust-it-bag-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let root = write_bag(&dip, &dir).unwrap();
+    let validation = validate_bag(&root).unwrap();
+    assert!(validation.is_valid(), "{:?}", validation.problems);
+    assert_eq!(validation.valid, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // The whole episode is one coherent audit history.
+    repo.audit().verify_chain().unwrap();
+    let kinds: Vec<_> = repo.audit().export().iter().map(|e| e.action).collect();
+    assert!(kinds.contains(&trustdb::audit::AuditAction::Ingest));
+    assert!(kinds.contains(&trustdb::audit::AuditAction::Migration));
+    assert!(kinds.contains(&trustdb::audit::AuditAction::Access));
+}
