@@ -60,9 +60,9 @@ pub fn write_bag(dip: &Dip, dir: impl AsRef<Path>) -> Result<PathBuf> {
     .map_err(io_err)?;
     // bag-info.txt: provenance of the dissemination itself.
     let mut info = String::new();
-    info.push_str(&format!("Source-Organization: itrust repository\n"));
+    info.push_str("Source-Organization: itrust repository\n");
     info.push_str(&format!("External-Identifier: {}\n", dip.dip_id));
-    info.push_str(&format!("Bagging-Software: itrust archival-core\n"));
+    info.push_str("Bagging-Software: itrust archival-core\n");
     info.push_str(&format!("Internal-Sender-Identifier: {}\n", dip.source_aip));
     info.push_str(&format!("Contact-Name: {}\n", dip.consumer));
     info.push_str(&format!("Payload-Oxum: {}.{}\n",

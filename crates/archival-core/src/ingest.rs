@@ -75,7 +75,8 @@ impl<B: Backend> Repository<B> {
 
     /// Ingest a SIP: validate, persist contents, form and persist the AIP.
     pub fn ingest(&self, sip: Sip, timestamp_ms: u64, archivist: &str) -> Result<AccessionReceipt> {
-        let problems = sip.validate();
+        let _span = itrust_obs::span!("archival.ingest");
+        let problems = itrust_obs::time("archival.ingest.validate", || sip.validate());
         if !problems.is_empty() {
             self.audit.append(
                 timestamp_ms,
@@ -84,6 +85,7 @@ impl<B: Backend> Repository<B> {
                 format!("sip from {}", sip.producer),
                 format!("REJECTED: {} validation problems", problems.len()),
             )?;
+            itrust_obs::counter_inc!("archival.ingest.rejected");
             return Err(ArchivalError::ValidationFailed(problems));
         }
         if sip.items.is_empty() {
@@ -92,6 +94,7 @@ impl<B: Backend> Repository<B> {
         let aip_id = format!("aip-{:06}", self.next_aip.fetch_add(1, Ordering::SeqCst));
         let payload_bytes = sip.payload_bytes();
         // Persist contents (content addressing dedups automatically).
+        let persist_span = itrust_obs::span!("archival.ingest.persist");
         let mut entries = Vec::with_capacity(sip.items.len());
         for mut item in sip.items {
             let stored = self.store.put(item.content)?;
@@ -109,6 +112,8 @@ impl<B: Backend> Repository<B> {
                 record: item.record,
             });
         }
+        drop(persist_span);
+        let _seal_span = itrust_obs::span!("archival.ingest.seal");
         let tree = MerkleTree::from_leaves(
             entries.iter().map(|e| e.record.content_digest.0.to_vec()),
         )
@@ -141,6 +146,9 @@ impl<B: Backend> Repository<B> {
         let manifest_digest = self.store.put(manifest.to_bytes()?)?;
         let record_count = manifest.records.len();
         self.aips.write().insert(aip_id.clone(), manifest_digest);
+        itrust_obs::counter_inc!("archival.ingest.aips");
+        itrust_obs::counter_add!("archival.ingest.records", record_count as u64);
+        itrust_obs::counter_add!("archival.ingest.payload_bytes", payload_bytes);
         Ok(AccessionReceipt {
             aip_id,
             manifest_digest,

@@ -22,6 +22,7 @@ pub trait FormatConverter: Send + Sync {
     /// Tool identity for paradata (e.g. "itrust/utf8-normalizer-v1").
     fn tool_id(&self) -> &str;
     /// Source format this converter accepts.
+    #[allow(clippy::wrong_self_convention)] // "from" is the migration source, not a constructor
     fn from_format(&self) -> &str;
     /// Target format it produces.
     fn to_format(&self) -> &str;
@@ -97,6 +98,7 @@ impl<'a, B: Backend> MigrationEngine<'a, B> {
         timestamp_ms: u64,
         operator: &str,
     ) -> Result<MigrationRecord> {
+        let _span = itrust_obs::span!("archival.migration.migrate");
         if record.form.format != converter.from_format() {
             return Err(ArchivalError::InvariantViolation(format!(
                 "record {} is {}, converter expects {}",
@@ -121,6 +123,7 @@ impl<'a, B: Backend> MigrationEngine<'a, B> {
             ))
         })?;
         let migrated_digest = self.store.put(converted)?;
+        itrust_obs::counter_inc!("archival.migration.migrations");
         provenance.append(
             timestamp_ms,
             converter.tool_id(),

@@ -167,7 +167,7 @@ impl AipManifest {
         let tree = self
             .merkle_tree()
             .ok_or_else(|| ArchivalError::InvariantViolation("empty AIP".into()))?;
-        Ok(tree.prove(pos).map_err(ArchivalError::Storage)?)
+        tree.prove(pos).map_err(ArchivalError::Storage)
     }
 
     /// Verify an inclusion proof produced by [`AipManifest::prove_inclusion`]

@@ -98,6 +98,7 @@ impl Redactor {
     /// Redact `text`, replacing each matched span with a `[REDACTED:…]`
     /// marker.
     pub fn redact(&self, text: &str) -> RedactionOutcome {
+        let _span = itrust_obs::span!("archival.redaction.redact");
         // Collect candidate spans from every enabled scanner, then resolve
         // overlaps preferring earlier starts / longer spans.
         let mut candidates: Vec<RedactedSpan> = Vec::new();
@@ -134,6 +135,7 @@ impl Redactor {
             pos = s.start + s.len;
         }
         out.push_str(&text[pos..]);
+        itrust_obs::counter_add!("archival.redaction.spans_redacted", spans.len() as u64);
         RedactionOutcome { text: out, spans }
     }
 

@@ -1,7 +1,22 @@
 //! Printable harness for D2 (self-training vs supervised).
+use itrust_bench::report::Emitter;
+
 fn main() {
-    let (_, report) = itrust_bench::harness::d2::run();
+    let mut em = Emitter::begin("d2");
+    let (rows, report) = itrust_bench::harness::d2::run();
     println!("{report}");
-    let (_, ablation) = itrust_bench::harness::d2::threshold_ablation();
+    let (thresholds, ablation) = itrust_bench::harness::d2::threshold_ablation();
     println!("{ablation}");
+    if let Some(low) = rows.first() {
+        em.metric("d2.supervised_acc_at_min_fraction", low.supervised_acc)
+            .metric("d2.semi_acc_at_min_fraction", low.semi_acc)
+            .metric("d2.full_acc", low.full_acc);
+    }
+    em.metric(
+        "d2.semi_gain_mean",
+        rows.iter().map(|r| r.semi_acc - r.supervised_acc).sum::<f64>() / rows.len() as f64,
+    )
+    .metric("d2.ablation_best_acc", thresholds.iter().map(|&(_, acc)| acc).fold(0.0, f64::max));
+    em.finish((rows.len() + thresholds.len()) as u64, &format!("{report}\n{ablation}"))
+        .expect("write results");
 }

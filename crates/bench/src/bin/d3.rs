@@ -1,7 +1,28 @@
 //! Printable harness for D3 (TAR vs linear review).
+use itrust_bench::report::Emitter;
+
 fn main() {
-    let (_, report) = itrust_bench::harness::d3::run();
+    let mut em = Emitter::begin("d3");
+    let (rows, report) = itrust_bench::harness::d3::run();
     println!("{report}");
-    let (_, ablation) = itrust_bench::harness::d3::seed_batch_ablation();
+    let (ablation_rows, ablation) = itrust_bench::harness::d3::seed_batch_ablation();
     println!("{ablation}");
+    // Review-effort savings of TAR over linear review, averaged over
+    // prevalence levels.
+    em.metric(
+        "d3.tar_savings_80_mean",
+        rows.iter()
+            .map(|r| 1.0 - r.tar_80 as f64 / r.linear_80.max(1) as f64)
+            .sum::<f64>()
+            / rows.len() as f64,
+    )
+    .metric(
+        "d3.tar_savings_95_mean",
+        rows.iter()
+            .map(|r| 1.0 - r.tar_95 as f64 / r.linear_95.max(1) as f64)
+            .sum::<f64>()
+            / rows.len() as f64,
+    );
+    em.finish((rows.len() + ablation_rows.len()) as u64, &format!("{report}\n{ablation}"))
+        .expect("write results");
 }

@@ -1,5 +1,14 @@
 //! Printable harness for D4 (digital-twin round trip).
+use itrust_bench::report::Emitter;
+
 fn main() {
-    let (_, report) = itrust_bench::harness::d4::run();
+    let mut em = Emitter::begin("d4");
+    let (rows, report) = itrust_bench::harness::d4::run();
     println!("{report}");
+    em.metric("d4.readings_total", rows.iter().map(|r| r.readings).sum::<usize>() as f64)
+        .metric("d4.aip_bytes_total", rows.iter().map(|r| r.aip_bytes).sum::<u64>() as f64)
+        .metric("d4.archive_s_max", rows.iter().map(|r| r.archive_s).fold(0.0, f64::max))
+        .metric("d4.rehydrate_s_max", rows.iter().map(|r| r.rehydrate_s).fold(0.0, f64::max))
+        .metric("d4.all_perfect", rows.iter().all(|r| r.perfect) as u64 as f64);
+    em.finish(rows.len() as u64, &report).expect("write results");
 }

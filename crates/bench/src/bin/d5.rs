@@ -1,5 +1,12 @@
 //! Printable harness for D5 (tamper detection + verification ablation).
+use itrust_bench::report::Emitter;
+
 fn main() {
-    let (_, report) = itrust_bench::harness::d5::run();
+    let mut em = Emitter::begin("d5");
+    let (rows, report) = itrust_bench::harness::d5::run();
     println!("{report}");
+    em.metric("d5.injected_total", rows.iter().map(|r| r.injected).sum::<usize>() as f64)
+        .metric("d5.detected_total", rows.iter().map(|r| r.detected).sum::<usize>() as f64)
+        .metric("d5.sweep_mib_s_max", rows.iter().map(|r| r.sweep_mib_s).fold(0.0, f64::max));
+    em.finish(rows.len() as u64, &report).expect("write results");
 }

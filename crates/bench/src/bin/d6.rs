@@ -1,7 +1,22 @@
 //! Printable harness for D6 (access index + record linking).
+use itrust_bench::report::Emitter;
+
 fn main() {
-    let (_, index_report) = itrust_bench::harness::d6::run_index();
+    let mut em = Emitter::begin("d6");
+    let (index_rows, index_report) = itrust_bench::harness::d6::run_index();
     println!("{index_report}");
-    let (_, linking_report) = itrust_bench::harness::d6::run_linking();
+    let (linking, linking_report) = itrust_bench::harness::d6::run_linking();
     println!("{linking_report}");
+    em.metric(
+        "d6.build_docs_s_max",
+        index_rows.iter().map(|r| r.build_docs_s).fold(0.0, f64::max),
+    )
+    .metric("d6.queries_s_max", index_rows.iter().map(|r| r.queries_s).fold(0.0, f64::max))
+    .metric("d6.linking_recall", linking.recovered as f64 / linking.planted.max(1) as f64)
+    .metric("d6.linking_false_merges", linking.false_merges as f64);
+    em.finish(
+        (index_rows.len() + 1) as u64,
+        &format!("{index_report}\n{linking_report}"),
+    )
+    .expect("write results");
 }

@@ -1,5 +1,17 @@
 //! Printable harness for D7 (continuous learning vs annotator error).
+use itrust_bench::report::Emitter;
+
 fn main() {
-    let (_, report) = itrust_bench::harness::d7::run();
+    let mut em = Emitter::begin("d7");
+    let (trajectories, report) = itrust_bench::harness::d7::run();
     println!("{report}");
+    for t in &trajectories {
+        if let Some(last) = t.rounds.last() {
+            em.metric(
+                &format!("d7.final_acc_at_err_{:02}", (t.error_rate * 100.0).round() as u32),
+                last.held_out_accuracy,
+            );
+        }
+    }
+    em.finish(trajectories.len() as u64, &report).expect("write results");
 }

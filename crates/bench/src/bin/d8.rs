@@ -1,7 +1,15 @@
 //! Printable harness for D8 (privacy redaction).
+use itrust_bench::report::Emitter;
+
 fn main() {
-    let (_, calls) = itrust_bench::harness::d8::run_calls();
-    println!("{calls}");
-    let (_, text) = itrust_bench::harness::d8::run_text();
-    println!("{text}");
+    let mut em = Emitter::begin("d8");
+    let (calls, calls_report) = itrust_bench::harness::d8::run_calls();
+    println!("{calls_report}");
+    let (text, text_report) = itrust_bench::harness::d8::run_text();
+    println!("{text_report}");
+    em.metric("d8.call_records_per_sec", calls.records_per_sec)
+        .metric("d8.call_no_leakage", calls.no_leakage as u64 as f64)
+        .metric("d8.text_mib_per_sec", text.mib_per_sec)
+        .metric("d8.text_spans", text.spans as f64);
+    em.finish(2, &format!("{calls_report}\n{text_report}")).expect("write results");
 }

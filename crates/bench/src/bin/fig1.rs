@@ -1,5 +1,14 @@
 //! Printable harness for Figure 1 (PergaNet pipeline).
+use itrust_bench::report::Emitter;
+
 fn main() {
-    let (_, report) = itrust_bench::harness::fig1::run();
+    let mut em = Emitter::begin("fig1");
+    let (rows, report) = itrust_bench::harness::fig1::run();
     println!("{report}");
+    for r in &rows {
+        em.metric(&format!("fig1.side_acc_damage{}", r.damage), r.eval.side_accuracy)
+            .metric(&format!("fig1.signum_ap_damage{}", r.damage), r.eval.signum_ap)
+            .metric(&format!("fig1.images_per_sec_damage{}", r.damage), r.images_per_sec);
+    }
+    em.finish(rows.len() as u64, &report).expect("write results");
 }

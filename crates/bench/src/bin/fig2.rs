@@ -1,5 +1,16 @@
 //! Printable harness for Figure 2 (BIM database integration).
+use itrust_bench::report::Emitter;
+
 fn main() {
-    let (_, report) = itrust_bench::harness::fig2::run();
+    let mut em = Emitter::begin("fig2");
+    let (rows, report) = itrust_bench::harness::fig2::run();
     println!("{report}");
+    em.metric("fig2.records_in_total", rows.iter().map(|r| r.records_in).sum::<usize>() as f64)
+        .metric("fig2.integrated_total", rows.iter().map(|r| r.integrated).sum::<usize>() as f64)
+        .metric("fig2.conflicts_total", rows.iter().map(|r| r.conflicts).sum::<usize>() as f64)
+        .metric(
+            "fig2.records_per_sec_max",
+            rows.iter().map(|r| r.records_per_sec).fold(0.0, f64::max),
+        );
+    em.finish(rows.len() as u64, &report).expect("write results");
 }

@@ -1,5 +1,19 @@
 //! Printable harness for Table 1 (heritage fond ingest).
+use itrust_bench::report::Emitter;
+
 fn main() {
-    let (_, report) = itrust_bench::harness::table1::run();
+    let mut em = Emitter::begin("table1");
+    let (rows, report) = itrust_bench::harness::table1::run();
     println!("{report}");
+    em.metric("table1.bytes_total", rows.iter().map(|r| r.bytes).sum::<u64>() as f64)
+        .metric("table1.records_total", rows.iter().map(|r| r.records).sum::<usize>() as f64)
+        .metric(
+            "table1.ingest_mib_s_mean",
+            rows.iter().map(|r| r.ingest_mib_s).sum::<f64>() / rows.len() as f64,
+        )
+        .metric(
+            "table1.fixity_mib_s_mean",
+            rows.iter().map(|r| r.fixity_mib_s).sum::<f64>() / rows.len() as f64,
+        );
+    em.finish(rows.len() as u64, &report).expect("write results");
 }

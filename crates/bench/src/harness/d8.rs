@@ -27,9 +27,9 @@ pub fn raw_calls(n: usize, seed: u64) -> Vec<CallRecord> {
                 45.0 + rng.gen_range(0.0..5.0),
                 -125.0 + rng.gen_range(0.0..5.0),
             ),
-            category: CallCategory::ALL[rng.gen_range(0..5)],
+            category: CallCategory::ALL[rng.gen_range(0..5usize)],
             arrived_ms: i as u64 * 1_000,
-            answered_ms: Some(i as u64 * 1_000 + rng.gen_range(1..30_000)),
+            answered_ms: Some(i as u64 * 1_000 + rng.gen_range(1..30_000u64)),
             handling_ms: Some(rng.gen_range(30_000..200_000)),
             dispatched: None,
             responder_unit: None,

@@ -21,6 +21,7 @@
 //! | [`harness::d8`] | privacy redaction throughput + leakage |
 
 pub mod harness;
+pub mod report;
 
 /// Right-pad or align simple report tables.
 pub fn fmt_row(cells: &[String], widths: &[usize]) -> String {

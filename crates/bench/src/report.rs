@@ -1,0 +1,85 @@
+//! Structured run artifacts for the printable harness binaries.
+//!
+//! Every `src/bin/<name>.rs` wraps its harness call in an [`Emitter`],
+//! which writes three files into `results/`:
+//!
+//! - `<name>.txt` — the human-readable report (same text the bin prints),
+//! - `<name>.json` — a [`RunSummary`] with wall time and derived metrics,
+//!   so future PRs can diff performance numerically,
+//! - `<name>.telemetry.json` — the workspace-wide `itrust-obs` snapshot
+//!   covering exactly this run (the registry is reset at `begin`).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Machine-readable summary of one harness run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Experiment name (`d1`..`d8`, `fig1`, `fig2`, `table1`).
+    pub name: String,
+    /// Result rows (or sub-experiments) the run produced.
+    pub iters: u64,
+    /// End-to-end wall time of the run in seconds.
+    pub wall_secs: f64,
+    /// Experiment-specific derived metrics, named like obs metrics
+    /// (dot-separated, lowercase).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// The `results/` directory, resolved relative to the workspace root so
+/// binaries work from any working directory. `ITRUST_RESULTS_DIR`
+/// overrides it (useful for scratch runs that must not touch the repo).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("ITRUST_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+}
+
+/// Collects one run's timing and metrics, then writes the artifact trio.
+pub struct Emitter {
+    name: &'static str,
+    start: Instant,
+    metrics: BTreeMap<String, f64>,
+}
+
+impl Emitter {
+    /// Start a run: resets the metrics registry so the telemetry snapshot
+    /// covers exactly this run.
+    pub fn begin(name: &'static str) -> Self {
+        itrust_obs::reset();
+        Emitter { name, start: Instant::now(), metrics: BTreeMap::new() }
+    }
+
+    /// Record one derived metric.
+    pub fn metric(&mut self, key: &str, value: f64) -> &mut Self {
+        self.metrics.insert(key.to_string(), value);
+        self
+    }
+
+    /// Stop the clock and write `<name>.txt`, `<name>.json`, and
+    /// `<name>.telemetry.json` into [`results_dir`].
+    pub fn finish(self, iters: u64, report: &str) -> io::Result<RunSummary> {
+        let wall_secs = self.start.elapsed().as_secs_f64();
+        let summary = RunSummary {
+            name: self.name.to_string(),
+            iters,
+            wall_secs,
+            metrics: self.metrics,
+        };
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        std::fs::write(dir.join(format!("{}.txt", self.name)), report)?;
+        let summary_json =
+            serde_json::to_string_pretty(&summary).expect("summary serialization cannot fail");
+        std::fs::write(dir.join(format!("{}.json", self.name)), summary_json + "\n")?;
+        std::fs::write(
+            dir.join(format!("{}.telemetry.json", self.name)),
+            itrust_obs::snapshot().to_json_pretty() + "\n",
+        )?;
+        Ok(summary)
+    }
+}

@@ -79,6 +79,7 @@ impl AccessIndex {
     /// Add a document. Duplicate ids are allowed (e.g. versions) but each
     /// call indexes a distinct document instance.
     pub fn add(&mut self, doc_id: impl Into<String>, text: &str) {
+        let _span = itrust_obs::span!("core.access.index_add");
         let idx = self.doc_ids.len() as u32;
         self.doc_ids.push(doc_id.into());
         let tokens = tokenize(text);
@@ -97,6 +98,8 @@ impl AccessIndex {
     /// Ties break toward the earlier-indexed document (stable archival
     /// ordering).
     pub fn search(&self, query: &str, k: usize) -> Vec<Hit> {
+        let _span = itrust_obs::span!("core.access.search");
+        itrust_obs::counter_inc!("core.access.queries");
         if self.is_empty() || k == 0 {
             return Vec::new();
         }

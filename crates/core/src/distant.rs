@@ -13,12 +13,15 @@
 use crate::sensitivity::{LabeledDoc, SensitivityModel, FitMode, NOT_SENSITIVE, SENSITIVE};
 use crate::text::tokenize;
 
+/// A voting rule: maps a document's text to a label vote, or abstains.
+pub type VoteRule = Box<dyn Fn(&str) -> Option<usize> + Send + Sync>;
+
 /// A labeling function: votes on a document or abstains.
 pub struct LabelingFunction {
     /// Name for diagnostics.
     pub name: String,
     /// The voting rule.
-    pub rule: Box<dyn Fn(&str) -> Option<usize> + Send + Sync>,
+    pub rule: VoteRule,
 }
 
 impl LabelingFunction {

@@ -22,6 +22,7 @@ impl RecordLinker {
     /// Build from `(record id, descriptive text)` pairs. Duplicate ids are
     /// rejected.
     pub fn build(records: &[(String, String)]) -> Result<RecordLinker, String> {
+        let _span = itrust_obs::span!("core.linking.build");
         let mut by_id = BTreeMap::new();
         for (i, (id, _)) in records.iter().enumerate() {
             if by_id.insert(id.clone(), i).is_some() {
@@ -76,6 +77,7 @@ impl RecordLinker {
     /// whole set. Cluster members are sorted; clusters are sorted by their
     /// first member.
     pub fn duplicate_clusters(&self, threshold: f32) -> Vec<Vec<String>> {
+        let _span = itrust_obs::span!("core.linking.cluster");
         let n = self.ids.len();
         let mut parent: Vec<usize> = (0..n).collect();
         fn find(parent: &mut Vec<usize>, x: usize) -> usize {

@@ -108,6 +108,7 @@ pub struct IntegrationReport {
 /// (the BIM is authoritative; conflicts are reported for human review —
 /// the archival stance on contradictory evidence).
 pub fn integrate(model: &mut BimModel, source: &SourceDatabase) -> IntegrationReport {
+    let _span = itrust_obs::span!("twin.integration.integrate");
     let mut report = IntegrationReport {
         source: source.name.clone(),
         integrated: 0,
@@ -157,6 +158,8 @@ pub fn integrate(model: &mut BimModel, source: &SourceDatabase) -> IntegrationRe
             conflicts,
         });
     }
+    itrust_obs::counter_add!("twin.integration.records_integrated", report.integrated as u64);
+    itrust_obs::counter_add!("twin.integration.conflicts", report.conflicts as u64);
     report
 }
 

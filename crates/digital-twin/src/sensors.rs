@@ -131,9 +131,7 @@ impl SensorNetwork {
             .map(|s| {
                 let last = self
                     .history
-                    .iter()
-                    .filter(|r| r.sensor_id == s.id && r.timestamp_ms <= t_ms)
-                    .next_back();
+                    .iter().rfind(|r| r.sensor_id == s.id && r.timestamp_ms <= t_ms);
                 (s, last)
             })
             .collect()

@@ -56,6 +56,8 @@ impl SyncLog {
         channel: impl Into<String>,
         payload: &[u8],
     ) -> &SyncEvent {
+        let _span = itrust_obs::span!("twin.sync.record");
+        itrust_obs::counter_add!("twin.sync.payload_bytes", payload.len() as u64);
         let seq = self.events.len() as u64;
         self.events.push(SyncEvent {
             seq,

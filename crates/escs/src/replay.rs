@@ -71,12 +71,17 @@ pub fn replay_from_archive<B: Backend>(
 
 /// Replay an already-loaded preserved run.
 pub fn replay_preserved(preserved: &PreservedRun) -> ReplayReport {
+    let _span = itrust_obs::span!("escs.replay.preserved");
     let replayed = run(&preserved.config);
-    ReplayReport {
+    let report = ReplayReport {
         original_stats: preserved.stats.clone(),
         replayed_stats: replayed.stats.clone(),
         divergence: divergence(&preserved.calls, &replayed.calls),
+    };
+    if !report.is_faithful() {
+        itrust_obs::counter_inc!("escs.replay.divergent_runs");
     }
+    report
 }
 
 /// Re-run a preserved scenario under a modified topology ("investigate how

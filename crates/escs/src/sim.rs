@@ -118,6 +118,7 @@ struct PoolState {
 /// Run the simulation to completion (arrivals stop at `duration_ms`; the
 /// event list then drains so every accepted call reaches a terminal state).
 pub fn run(config: &SimConfig) -> SimOutput {
+    let _span = itrust_obs::span!("escs.sim.run");
     let problems = config.topology.validate();
     assert!(problems.is_empty(), "invalid topology: {problems:?}");
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -177,9 +178,16 @@ pub fn run(config: &SimConfig) -> SimOutput {
     let mut calls: Vec<CallRecord> = Vec::new();
     let mut waiting: Vec<bool> = Vec::new(); // call index → still in a queue
 
+    // Handles hoisted out of the event loop: the loop body must stay pure
+    // atomics, not per-iteration registry lookups.
+    let dispatched = itrust_obs::counter("escs.sim.events_dispatched");
+    let depth_high_water = itrust_obs::gauge("escs.sim.queue_depth_max");
+
     // Helper closures are avoided where they would need &mut captures;
     // the match below is explicit instead.
     while let Some((now, event)) = queue.pop() {
+        dispatched.inc();
+        depth_high_water.max_of(queue.len() as i64);
         match event {
             Event::Arrival { region } => {
                 // Schedule the next candidate for this region first.

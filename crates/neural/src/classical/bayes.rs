@@ -93,25 +93,27 @@ impl Classifier for GaussianNb {
         let mut out = Tensor::zeros(&[n, k]);
         for r in 0..n {
             let row = x.row(r);
-            let mut log_post = vec![0.0f64; k];
-            for c in 0..k {
-                let mut lp = self.log_prior[c];
-                for (j, &v) in row.iter().enumerate() {
-                    let mean = self.means[c][j];
-                    let var = self.vars[c][j];
-                    let diff = v as f64 - mean;
-                    lp += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
-                }
-                log_post[c] = lp;
-            }
+            let mut log_post: Vec<f64> = (0..k)
+                .map(|c| {
+                    let mut lp = self.log_prior[c];
+                    for (j, &v) in row.iter().enumerate() {
+                        let mean = self.means[c][j];
+                        let var = self.vars[c][j];
+                        let diff = v as f64 - mean;
+                        lp +=
+                            -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
+                    }
+                    lp
+                })
+                .collect();
             let max = log_post.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let mut denom = 0.0;
             for lp in &mut log_post {
                 *lp = (*lp - max).exp();
                 denom += *lp;
             }
-            for c in 0..k {
-                *out.at2_mut(r, c) = (log_post[c] / denom) as f32;
+            for (c, lp) in log_post.iter().enumerate() {
+                *out.at2_mut(r, c) = (lp / denom) as f32;
             }
         }
         out
@@ -200,8 +202,8 @@ impl Classifier for MultinomialNb {
                 *lp = (*lp - max).exp();
                 denom += *lp;
             }
-            for c in 0..k {
-                *out.at2_mut(r, c) = (log_post[c] / denom) as f32;
+            for (c, lp) in log_post.iter().enumerate() {
+                *out.at2_mut(r, c) = (lp / denom) as f32;
             }
         }
         out

@@ -47,16 +47,15 @@ impl KMeans {
             iterations = it + 1;
             // Assign.
             let mut inertia = 0.0f64;
-            for i in 0..n {
+            for (i, slot) in assignments.iter_mut().enumerate() {
                 let (best, dist) = nearest(x.row(i), &centroids, self.k, d);
-                assignments[i] = best;
+                *slot = best;
                 inertia += dist as f64;
             }
             // Update.
             let mut sums = vec![0.0f32; self.k * d];
             let mut counts = vec![0usize; self.k];
-            for i in 0..n {
-                let c = assignments[i];
+            for (i, &c) in assignments.iter().enumerate() {
                 counts[c] += 1;
                 for (s, &v) in sums[c * d..(c + 1) * d].iter_mut().zip(x.row(i)) {
                     *s += v;
@@ -89,9 +88,9 @@ impl KMeans {
         }
         // Final assignment pass against the last centroids.
         let mut inertia = 0.0f64;
-        for i in 0..n {
+        for (i, slot) in assignments.iter_mut().enumerate() {
             let (best, dist) = nearest(x.row(i), &centroids, self.k, d);
-            assignments[i] = best;
+            *slot = best;
             inertia += dist as f64;
         }
         KMeansFit {

@@ -120,7 +120,7 @@ impl DecisionTree {
                 let weighted = (nl as f64 * Self::gini(&left_counts, nl)
                     + nr as f64 * Self::gini(&right_counts, nr))
                     / sorted.len() as f64;
-                if best.map_or(true, |(_, _, g)| weighted < g) {
+                if best.is_none_or(|(_, _, g)| weighted < g) {
                     best = Some((f, threshold, weighted));
                 }
             }

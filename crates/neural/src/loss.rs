@@ -25,8 +25,8 @@ pub fn softmax(logits: &Tensor) -> Tensor {
         let row = logits.row(r);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let mut denom = 0.0f32;
-        for c in 0..n {
-            let e = (row[c] - max).exp();
+        for (c, &v) in row.iter().enumerate().take(n) {
+            let e = (v - max).exp();
             *out.at2_mut(r, c) = e;
             denom += e;
         }

@@ -185,7 +185,7 @@ pub fn evaluate_detections(
                 continue;
             }
             let iou = det.bbox.iou(gt);
-            if iou >= iou_threshold && best.map_or(true, |(_, b)| iou > b) {
+            if iou >= iou_threshold && best.is_none_or(|(_, b)| iou > b) {
                 best = Some((gi, iou));
             }
         }
@@ -226,7 +226,7 @@ pub fn average_precision(per_image: &[(Vec<Detection>, Vec<BBox>)], iou_threshol
                     continue;
                 }
                 let iou = det.bbox.iou(gt);
-                if iou >= iou_threshold && best.map_or(true, |(_, b)| iou > b) {
+                if iou >= iou_threshold && best.is_none_or(|(_, b)| iou > b) {
                     best = Some((gi, iou));
                 }
             }

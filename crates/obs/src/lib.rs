@@ -1,0 +1,102 @@
+//! # itrust-obs — workspace-wide telemetry substrate
+//!
+//! The paper's position (and ARCHANGEL's before it) is that archival trust
+//! requires *demonstrable*, machine-checkable evidence of what the system
+//! did. This crate is the workspace's evidence plane for performance and
+//! behavior: every hot path records into a global, lock-cheap metrics
+//! registry, and every experiment exports a deterministic snapshot that can
+//! be diffed PR-over-PR.
+//!
+//! Three layers:
+//!
+//! - **Metrics registry** ([`counter`], [`gauge`], [`histogram`]): atomic
+//!   counters, gauges, and fixed-bucket exponential histograms with
+//!   p50/p90/p99 extraction, keyed by `&'static str` names. Handles are
+//!   `&'static` and registration is once-per-name; the hot path is pure
+//!   atomics. The [`counter_inc!`], [`counter_add!`], [`gauge_set!`],
+//!   [`hist_record!`] macros cache the handle in a per-call-site static so
+//!   steady-state cost is one atomic load plus the update.
+//! - **Spans** ([`span`], [`span!`]): RAII guards that time a scope into the
+//!   histogram of the same name and maintain a thread-local span stack
+//!   (`a/b/c` paths). When a [`SpanSink`] is installed each completed span
+//!   also emits a structured [`SpanEvent`]; with no sink the overhead is two
+//!   `Instant::now()` calls and a few atomics.
+//! - **Snapshot** ([`snapshot`], [`Snapshot`]): serializes the whole
+//!   registry to deterministic JSON (sorted names, stable field order) and
+//!   renders a human-readable table. Benches write these next to their
+//!   `.txt` reports as `results/<name>.telemetry.json`.
+//!
+//! ## Naming convention
+//!
+//! Metric names are dot-separated `crate.component.operation` paths, e.g.
+//! `trustdb.wal.append`. Span names double as histogram names recording
+//! nanoseconds. Counters of discrete events end in a plural noun
+//! (`trustdb.store.puts`); gauges describe a level (`escs.sim.queue_depth`).
+
+mod registry;
+mod snapshot;
+mod span;
+
+pub use registry::{
+    counter, gauge, histogram, metric_names, reset, Counter, Gauge, Histogram, BUCKET_COUNT,
+};
+pub use snapshot::{snapshot, HistogramSnapshot, Snapshot, SnapshotBucket};
+pub use span::{
+    clear_sink, set_sink, span, span_path, CollectingSink, SpanEvent, SpanGuard, SpanSink,
+};
+
+/// Time a closure into the named histogram (nanoseconds) and return its
+/// output. Equivalent to holding a [`span`] guard for the duration of `f`.
+pub fn time<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let _guard = span(name);
+    f()
+}
+
+/// Increment a counter through a per-call-site cached handle.
+#[macro_export]
+macro_rules! counter_inc {
+    ($name:literal) => {
+        $crate::counter_add!($name, 1)
+    };
+}
+
+/// Add to a counter through a per-call-site cached handle.
+#[macro_export]
+macro_rules! counter_add {
+    ($name:literal, $delta:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::counter($name)).add($delta);
+    }};
+}
+
+/// Set a gauge through a per-call-site cached handle.
+#[macro_export]
+macro_rules! gauge_set {
+    ($name:literal, $value:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Gauge> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::gauge($name)).set($value);
+    }};
+}
+
+/// Record a value into a histogram through a per-call-site cached handle.
+#[macro_export]
+macro_rules! hist_record {
+    ($name:literal, $value:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::histogram($name)).record($value);
+    }};
+}
+
+/// Open a span guard bound to a local, with the histogram handle cached at
+/// the call site: `let _span = span!("trustdb.wal.append");`
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        $crate::SpanGuard::with_histogram($name, HANDLE.get_or_init(|| $crate::histogram($name)))
+    }};
+}

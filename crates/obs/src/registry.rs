@@ -1,0 +1,330 @@
+//! Global metrics registry: atomic counters, gauges, and fixed-bucket
+//! exponential histograms, keyed by static names.
+//!
+//! Registration takes a short mutex on first use of a name; every
+//! subsequent operation on the returned `&'static` handle is lock-free
+//! atomics. Metrics live for the process lifetime (entries are leaked
+//! intentionally — the registry IS the process-global table).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of histogram buckets. Bucket `i < BUCKET_COUNT - 1` covers
+/// `[lo(i), lo(i+1))` with `lo(0) = 0`, `lo(i) = 2^(i+5)`; the final bucket
+/// is unbounded. The range therefore spans 32 ns .. ~2^35 ns (~34 s) with
+/// one sub-32 bucket and one overflow bucket — good resolution for
+/// nanosecond latencies while still usable for sizes and counts.
+pub const BUCKET_COUNT: usize = 32;
+
+/// Lower bound (inclusive) of bucket `i`.
+pub(crate) fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i + 4)
+    }
+}
+
+/// Upper bound (exclusive) of bucket `i`, or `u64::MAX` for the last.
+pub(crate) fn bucket_hi(i: usize) -> u64 {
+    if i + 1 >= BUCKET_COUNT {
+        u64::MAX
+    } else {
+        bucket_lo(i + 1)
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    if value < 32 {
+        return 0;
+    }
+    // value >= 32 → bits >= 6; bucket i holds values with bits == i + 5.
+    let bits = 64 - value.leading_zeros() as usize;
+    (bits - 5).min(BUCKET_COUNT - 1)
+}
+
+/// Monotonically increasing event count.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Instantaneous level (can go up and down).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Set to `value` if it exceeds the current reading (high-water mark).
+    pub fn max_of(&self, value: i64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Fixed-bucket exponential histogram of `u64` observations (conventionally
+/// nanoseconds for span latencies).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            v
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]` by cumulative bucket walk with
+    /// linear interpolation inside the winning bucket, clamped to the
+    /// observed min/max so single-observation histograms report exactly.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
+            }
+            if seen + in_bucket >= rank {
+                let lo = bucket_lo(i);
+                let hi = bucket_hi(i).min(self.max().max(lo));
+                let frac = (rank - seen) as f64 / in_bucket as f64;
+                let est = lo as f64 + frac * (hi.saturating_sub(lo)) as f64;
+                return (est as u64).clamp(self.min(), self.max());
+            }
+            seen += in_bucket;
+        }
+        self.max()
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    pub(crate) fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One registered metric. Variants differ greatly in size (a histogram is
+/// ~37 atomics), but entries are registered once and leaked — boxing the
+/// histogram would only add an indirection on the hot path.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+static REGISTRY: Mutex<BTreeMap<&'static str, &'static Metric>> = Mutex::new(BTreeMap::new());
+
+fn register(name: &'static str, make: fn() -> Metric) -> &'static Metric {
+    let mut map = REGISTRY.lock().expect("metrics registry poisoned");
+    map.entry(name).or_insert_with(|| Box::leak(Box::new(make())))
+}
+
+/// Look up or create the counter `name`.
+///
+/// Panics if `name` is already registered as a different metric kind — a
+/// name collision is a bug at the instrumentation site, not a runtime
+/// condition to tolerate silently.
+pub fn counter(name: &'static str) -> &'static Counter {
+    match register(name, || Metric::Counter(Counter::default())) {
+        Metric::Counter(c) => c,
+        other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+    }
+}
+
+/// Look up or create the gauge `name`. Panics on kind collision.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    match register(name, || Metric::Gauge(Gauge::default())) {
+        Metric::Gauge(g) => g,
+        other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+    }
+}
+
+/// Look up or create the histogram `name`. Panics on kind collision.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    match register(name, || Metric::Histogram(Histogram::default())) {
+        Metric::Histogram(h) => h,
+        other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+    }
+}
+
+/// Names of all registered metrics, sorted.
+pub fn metric_names() -> Vec<&'static str> {
+    REGISTRY.lock().expect("metrics registry poisoned").keys().copied().collect()
+}
+
+/// Zero every registered metric (registrations are kept). Benches call this
+/// between runs so each telemetry snapshot covers exactly one run.
+pub fn reset() {
+    let map = REGISTRY.lock().expect("metrics registry poisoned");
+    for metric in map.values() {
+        match metric {
+            Metric::Counter(c) => c.reset(),
+            Metric::Gauge(g) => g.reset(),
+            Metric::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+/// Iterate all metrics under the registry lock.
+pub(crate) fn for_each(mut f: impl FnMut(&'static str, &'static Metric)) {
+    let map = REGISTRY.lock().expect("metrics registry poisoned");
+    for (name, metric) in map.iter() {
+        f(name, metric);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_contiguous_and_monotone() {
+        assert_eq!(bucket_lo(0), 0);
+        for i in 0..BUCKET_COUNT - 1 {
+            assert_eq!(bucket_hi(i), bucket_lo(i + 1), "bucket {i} not contiguous");
+            assert!(bucket_lo(i) < bucket_hi(i));
+        }
+        assert_eq!(bucket_hi(BUCKET_COUNT - 1), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        for value in [0u64, 1, 31, 32, 33, 63, 64, 1023, 1024, 1 << 20, u64::MAX] {
+            let i = bucket_index(value);
+            assert!(
+                bucket_lo(i) <= value && (i == BUCKET_COUNT - 1 || value < bucket_hi(i)),
+                "value {value} landed in bucket {i} [{}, {})",
+                bucket_lo(i),
+                bucket_hi(i)
+            );
+        }
+    }
+
+    #[test]
+    fn kind_collision_panics() {
+        counter("test.registry.collision");
+        let err = std::panic::catch_unwind(|| gauge("test.registry.collision"));
+        assert!(err.is_err());
+    }
+}

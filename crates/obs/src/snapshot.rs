@@ -1,0 +1,179 @@
+//! Registry snapshots: deterministic JSON export and a human-readable
+//! table.
+
+use crate::registry::{bucket_hi, bucket_lo, for_each, Metric};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One non-empty histogram bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotBucket {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Exclusive upper bound (`u64::MAX` marks the overflow bucket).
+    pub hi: u64,
+    pub count: u64,
+}
+
+/// Point-in-time state of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    /// Only buckets with at least one observation, in ascending order.
+    pub buckets: Vec<SnapshotBucket>,
+}
+
+/// Point-in-time state of the whole registry. `BTreeMap` keys make the JSON
+/// rendering deterministic.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Compact deterministic JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Pretty-printed deterministic JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialization cannot fail")
+    }
+
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Total observations across all histograms (used by benches to assert
+    /// that instrumentation actually fired).
+    pub fn total_histogram_count(&self) -> u64 {
+        self.histograms.values().map(|h| h.count).sum()
+    }
+
+    /// Render a human-readable table. Histogram times print in adaptive
+    /// units (ns/µs/ms/s) since span histograms record nanoseconds.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            let width = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<width$}  {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges\n");
+            let width = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name:<width$}  {value}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            let width = self.histograms.keys().map(|k| k.len()).max().unwrap_or(0).max(4);
+            out.push_str(&format!(
+                "histograms\n  {:<width$}  {:>10}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+                "name", "count", "mean", "p50", "p90", "p99"
+            ));
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<width$}  {:>10}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+                    h.count,
+                    fmt_ns(h.mean as u64),
+                    fmt_ns(h.p50),
+                    fmt_ns(h.p90),
+                    fmt_ns(h.p99),
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics registered)\n");
+        }
+        out
+    }
+}
+
+/// Format a nanosecond quantity with an adaptive unit.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Capture the current state of every registered metric.
+pub fn snapshot() -> Snapshot {
+    let mut snap = Snapshot::default();
+    for_each(|name, metric| match metric {
+        Metric::Counter(c) => {
+            snap.counters.insert(name.to_string(), c.get());
+        }
+        Metric::Gauge(g) => {
+            snap.gauges.insert(name.to_string(), g.get());
+        }
+        Metric::Histogram(h) => {
+            let buckets = h
+                .bucket_counts()
+                .into_iter()
+                .enumerate()
+                .filter(|(_, count)| *count > 0)
+                .map(|(i, count)| SnapshotBucket { lo: bucket_lo(i), hi: bucket_hi(i), count })
+                .collect();
+            snap.histograms.insert(
+                name.to_string(),
+                HistogramSnapshot {
+                    count: h.count(),
+                    sum: h.sum(),
+                    min: h.min(),
+                    max: h.max(),
+                    mean: h.mean(),
+                    p50: h.p50(),
+                    p90: h.p90(),
+                    p99: h.p99(),
+                    buckets,
+                },
+            );
+        }
+    });
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_json_round_trips_and_is_deterministic() {
+        crate::counter("test.snapshot.events").add(3);
+        crate::gauge("test.snapshot.level").set(-7);
+        let h = crate::histogram("test.snapshot.latency");
+        for v in [10, 100, 1_000, 10_000] {
+            h.record(v);
+        }
+
+        let a = snapshot();
+        let b = snapshot();
+        assert_eq!(a.to_json(), b.to_json(), "snapshot must be deterministic");
+
+        let back = Snapshot::from_json(&a.to_json()).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.counters["test.snapshot.events"], 3);
+        assert_eq!(back.gauges["test.snapshot.level"], -7);
+        assert!(back.histograms["test.snapshot.latency"].count >= 4);
+
+        let table = a.render_table();
+        assert!(table.contains("test.snapshot.events"));
+        assert!(table.contains("histograms"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Structured spans: RAII scope timers recording into histograms, with a
+//! thread-local span stack and an optional event sink.
+
+use crate::registry::{histogram, Histogram};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One completed span, as delivered to a [`SpanSink`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Span (and histogram) name, e.g. `trustdb.wal.append`.
+    pub name: String,
+    /// Slash-joined path of enclosing spans on this thread, ending with
+    /// this span: `bench.d5/trustdb.store.put`.
+    pub path: String,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Nesting depth (0 = root span on its thread).
+    pub depth: u32,
+}
+
+/// Receives completed spans when installed via [`set_sink`].
+pub trait SpanSink: Send + Sync {
+    fn record(&self, event: &SpanEvent);
+}
+
+/// A sink that buffers events in memory; drain with
+/// [`CollectingSink::take`]. Useful in tests and for bundling a span trace
+/// into an experiment artifact.
+#[derive(Default)]
+pub struct CollectingSink {
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+impl CollectingSink {
+    pub fn take(&self) -> Vec<SpanEvent> {
+        std::mem::take(&mut self.events.lock().expect("collecting sink poisoned"))
+    }
+}
+
+impl SpanSink for CollectingSink {
+    fn record(&self, event: &SpanEvent) {
+        self.events.lock().expect("collecting sink poisoned").push(event.clone());
+    }
+}
+
+/// `SINK_INSTALLED` lets the span drop path skip the sink mutex entirely in
+/// the common no-sink configuration.
+static SINK_INSTALLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<std::sync::Arc<dyn SpanSink>>> = Mutex::new(None);
+
+/// Install a global span sink (replacing any previous one).
+pub fn set_sink(sink: std::sync::Arc<dyn SpanSink>) {
+    *SINK.lock().expect("span sink poisoned") = Some(sink);
+    SINK_INSTALLED.store(true, Ordering::Release);
+}
+
+/// Remove the global span sink.
+pub fn clear_sink() {
+    SINK_INSTALLED.store(false, Ordering::Release);
+    *SINK.lock().expect("span sink poisoned") = None;
+}
+
+/// The current thread's span path (slash-joined), or empty when no span is
+/// open.
+pub fn span_path() -> String {
+    SPAN_STACK.with(|stack| stack.borrow().join("/"))
+}
+
+/// RAII span: times from construction to drop, records the elapsed
+/// nanoseconds into the histogram named after the span, and (if a sink is
+/// installed) emits a [`SpanEvent`].
+pub struct SpanGuard {
+    name: &'static str,
+    histogram: &'static Histogram,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Used by the `span!` macro, which caches the histogram handle.
+    pub fn with_histogram(name: &'static str, histogram: &'static Histogram) -> Self {
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+        SpanGuard { name, histogram, start: Instant::now() }
+    }
+}
+
+/// Open a span. Prefer the [`span!`](crate::span!) macro on hot paths — it
+/// caches the histogram lookup per call site.
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard::with_histogram(name, histogram(name))
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        self.histogram.record_duration(elapsed);
+        let depth = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop our own entry. Guards are scope-bound so LIFO order holds;
+            // defend anyway against a mem::forget-ed sibling.
+            if let Some(pos) = stack.iter().rposition(|&n| std::ptr::eq(n, self.name)) {
+                stack.truncate(pos);
+            }
+            stack.len() as u32
+        });
+        if SINK_INSTALLED.load(Ordering::Acquire) {
+            let sink = SINK.lock().expect("span sink poisoned").clone();
+            if let Some(sink) = sink {
+                let mut path = span_path();
+                if !path.is_empty() {
+                    path.push('/');
+                }
+                path.push_str(self.name);
+                sink.record(&SpanEvent {
+                    name: self.name.to_string(),
+                    path,
+                    duration_ns: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+                    depth,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_record_into_histograms_and_nest() {
+        let sink = Arc::new(CollectingSink::default());
+        set_sink(sink.clone());
+        {
+            let _outer = crate::span("test.span.outer");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            {
+                let _inner = crate::span("test.span.inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                assert_eq!(span_path(), "test.span.outer/test.span.inner");
+            }
+        }
+        clear_sink();
+
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        // Inner drops first.
+        assert_eq!(events[0].name, "test.span.inner");
+        assert_eq!(events[0].path, "test.span.outer/test.span.inner");
+        assert_eq!(events[0].depth, 1);
+        assert_eq!(events[1].name, "test.span.outer");
+        assert_eq!(events[1].depth, 0);
+        assert!(events.iter().all(|e| e.duration_ns >= 1_000_000));
+
+        let h = crate::histogram("test.span.inner");
+        assert_eq!(h.count(), 1);
+        assert!(h.p50() >= 1_000_000);
+        assert!(span_path().is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration tests for itrust-obs: concurrency, percentile accuracy, and
+//! snapshot JSON round-trips.
+
+use itrust_obs::{counter, histogram, snapshot, HistogramSnapshot, Snapshot, SnapshotBucket};
+use proptest::prelude::*;
+
+#[test]
+fn concurrent_counter_increments_are_exact() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let handle = counter("test.concurrent.hits");
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    handle.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(handle.get(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn concurrent_histogram_records_lose_nothing() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 5_000;
+    let handle = histogram("test.concurrent.latency");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    handle.record(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let n = THREADS * PER_THREAD;
+    assert_eq!(handle.count(), n);
+    assert_eq!(handle.sum(), n * (n - 1) / 2);
+    assert_eq!(handle.min(), 0);
+    assert_eq!(handle.max(), n - 1);
+}
+
+#[test]
+fn percentiles_track_uniform_data_within_bucket_resolution() {
+    let handle = histogram("test.percentiles.uniform");
+    for v in 1..=10_000u64 {
+        handle.record(v);
+    }
+    // Exponential buckets are accurate to within a factor of 2; check the
+    // estimates land in [true/2, true*2].
+    for (q, truth) in [(0.50, 5_000u64), (0.90, 9_000), (0.99, 9_900)] {
+        let est = handle.quantile(q);
+        assert!(
+            est >= truth / 2 && est <= truth * 2,
+            "q={q}: estimate {est} vs true {truth}"
+        );
+    }
+    assert_eq!(handle.quantile(1.0), 10_000);
+}
+
+fn arb_histogram_snapshot() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        1u64..100_000,
+        any::<u64>(),
+        (0u64..1 << 40, 0u64..1 << 40),
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        proptest::collection::vec((0u64..1 << 40, 0u64..1 << 40, 1u64..1 << 30), 0..8),
+    )
+        .prop_map(|(count, sum, (min, max), (p50, p90, p99), buckets)| HistogramSnapshot {
+            count,
+            sum,
+            min,
+            max,
+            // Derived mean keeps the float finite, matching live snapshots.
+            mean: sum as f64 / count as f64,
+            p50,
+            p90,
+            p99,
+            buckets: buckets
+                .into_iter()
+                .map(|(lo, hi, count)| SnapshotBucket { lo, hi, count })
+                .collect(),
+        })
+}
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        proptest::collection::vec(("[a-z.]{1,12}", any::<u64>()), 0..6),
+        proptest::collection::vec(("[a-z.]{1,12}", any::<i64>()), 0..6),
+        proptest::collection::vec(("[a-z.]{1,12}", arb_histogram_snapshot()), 0..4),
+    )
+        .prop_map(|(counters, gauges, hists)| {
+            let mut snap = Snapshot::default();
+            snap.counters.extend(counters);
+            snap.gauges.extend(gauges);
+            snap.histograms.extend(hists);
+            snap
+        })
+}
+
+proptest! {
+    /// Snapshots survive a JSON round-trip through serde_json bit-for-bit,
+    /// and serialization is deterministic.
+    #[test]
+    fn snapshot_round_trips_through_json(snap in arb_snapshot()) {
+        let json = snap.to_json();
+        prop_assert_eq!(&json, &snap.to_json());
+        let back = Snapshot::from_json(&json).unwrap();
+        prop_assert_eq!(&back, &snap);
+        // Pretty form parses to the same value too.
+        let pretty = Snapshot::from_json(&snap.to_json_pretty()).unwrap();
+        prop_assert_eq!(&pretty, &snap);
+    }
+}
+
+#[test]
+fn snapshot_reflects_live_registry() {
+    counter("test.live.events").add(42);
+    itrust_obs::time("test.live.work", || std::thread::sleep(std::time::Duration::from_micros(50)));
+    let snap = snapshot();
+    assert_eq!(snap.counters["test.live.events"], 42);
+    let h = &snap.histograms["test.live.work"];
+    assert_eq!(h.count, 1);
+    assert!(h.p50 >= 50_000, "slept 50µs but p50 was {}ns", h.p50);
+    assert!(snap.total_histogram_count() >= 1);
+}

@@ -70,6 +70,11 @@ pub fn continuous_learning(
     epochs: usize,
     lr: f32,
 ) -> Vec<RoundOutcome> {
+    let _span = itrust_obs::span!("perganet.continuous.learn");
+    itrust_obs::counter_add!(
+        "perganet.continuous.rounds",
+        incoming_batches.len() as u64 + 1
+    );
     // The annotator labels everything that enters the pool (including the
     // seed set — real archives bootstrap from human-tagged data).
     let relabel = |items: &[Parchment], annotator: &mut SimulatedAnnotator| -> Vec<Parchment> {

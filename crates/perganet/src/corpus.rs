@@ -115,7 +115,7 @@ pub fn generate_one(rng: &mut StdRng, damage: u8) -> Parchment {
         let h = 2;
         image.ink_rect(x0, y, w, h, opacity);
         text_boxes.push(BBox::new(x0 as f32, y as f32, (x0 + w) as f32, (y + h) as f32));
-        y += rng.gen_range(4..7);
+        y += rng.gen_range(4..7usize);
     }
 
     // Signum tabellionis: mostly on recto, placed in the bottom band away

@@ -90,9 +90,12 @@ impl PergaNet {
 
     /// Run the full pipeline on one image.
     pub fn analyze(&mut self, image: &GrayImage) -> Analysis {
+        let _span = itrust_obs::span!("perganet.pipeline.analyze");
+        itrust_obs::counter_inc!("perganet.pipeline.images");
         let mut paradata = Vec::with_capacity(3);
         // Stage 1: recto/verso.
-        let (side, side_confidence) = self.classifier.predict(image);
+        let (side, side_confidence) =
+            itrust_obs::time("perganet.stage1.classify", || self.classifier.predict(image));
         paradata.push(AiDecision {
             model_id: classifier::MODEL_ID.into(),
             stage: "classify".into(),
@@ -100,7 +103,8 @@ impl PergaNet {
             confidence: side_confidence,
         });
         // Stage 2: text detection.
-        let text_boxes = self.text_detector.detect(image);
+        let text_boxes =
+            itrust_obs::time("perganet.stage2.detect_text", || self.text_detector.detect(image));
         paradata.push(AiDecision {
             model_id: text_detect::MODEL_ID.into(),
             stage: "detect-text".into(),
@@ -108,6 +112,7 @@ impl PergaNet {
             confidence: if text_boxes.is_empty() { 1.0 } else { 0.9 },
         });
         // Stage 3: mask text, then detect signa on the masked image.
+        let stage3 = itrust_obs::span!("perganet.stage3.detect_signum");
         let mut masked = image.clone();
         for b in &text_boxes {
             masked.mask_rect(
@@ -118,6 +123,7 @@ impl PergaNet {
             );
         }
         let signum_detections = self.signum_detector.detect(&masked);
+        drop(stage3);
         let best = signum_detections.first().map_or(0.0, |d| d.score);
         paradata.push(AiDecision {
             model_id: signum::MODEL_ID.into(),

@@ -69,7 +69,10 @@ proptest! {
             let row = (ci / perganet::text_detect::GRID) as f32;
             let cy0 = row * cell;
             let cy1 = cy0 + cell;
-            let covered = (b.y1.min(cy1) - b.y0.max(cy0)).max(0.0) * IMG as f32;
+            // Per-cell covered area: the cell sees `cell` width of the
+            // full-width strip (multiplying by IMG here was a seed bug —
+            // it compared whole-row coverage against a per-cell threshold).
+            let covered = cell * (b.y1.min(cy1) - b.y0.max(cy0)).max(0.0);
             let expected = covered >= 0.25 * cell * cell;
             prop_assert_eq!(v > 0.5, expected, "cell {}: covered {}", ci, covered);
         }

@@ -75,6 +75,8 @@ impl<'a, B: Backend> FixityAuditor<'a, B> {
 
     /// Verify a specific subset of digests (sampled or incremental sweeps).
     pub fn sweep_subset(&self, timestamp_ms: u64, digests: &[Digest]) -> Result<FixityReport> {
+        let _span = itrust_obs::span!("trustdb.fixity.sweep");
+        itrust_obs::counter_add!("trustdb.fixity.objects_checked", digests.len() as u64);
         let mut report = FixityReport {
             timestamp_ms,
             checked: 0,

@@ -98,6 +98,8 @@ impl MerkleTree {
         if leaf_hashes.is_empty() {
             return None;
         }
+        let _span = itrust_obs::span!("trustdb.merkle.build");
+        itrust_obs::counter_add!("trustdb.merkle.leaves", leaf_hashes.len() as u64);
         let mut levels = vec![leaf_hashes];
         while levels.last().unwrap().len() > 1 {
             let prev = levels.last().unwrap();

@@ -244,7 +244,9 @@ impl<B: Backend> ObjectStore<B> {
 
     /// Store `bytes`, returning the content address. Idempotent.
     pub fn put(&self, bytes: impl Into<Bytes>) -> Result<Digest> {
+        let _span = itrust_obs::span!("trustdb.store.put");
         let bytes = bytes.into();
+        itrust_obs::counter_add!("trustdb.store.put_bytes", bytes.len() as u64);
         let digest = sha256(&bytes);
         self.backend.put_raw(&digest, bytes)?;
         Ok(digest)
@@ -252,6 +254,7 @@ impl<B: Backend> ObjectStore<B> {
 
     /// Fetch the object at `digest`.
     pub fn get(&self, digest: &Digest) -> Result<Bytes> {
+        let _span = itrust_obs::span!("trustdb.store.get");
         let bytes = self.backend.get_raw(digest)?;
         if self.verify_on_read {
             let actual = sha256(&bytes);

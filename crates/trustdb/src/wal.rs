@@ -129,6 +129,7 @@ impl Wal {
     where
         I: IntoIterator<Item = &'a [u8]>,
     {
+        let _span = itrust_obs::span!("trustdb.wal.append");
         let mut inner = self.inner.lock();
         let mut appended = 0u64;
         let mut n = 0u64;
@@ -156,11 +157,14 @@ impl Wal {
         }
         inner.len += appended;
         inner.frames += n;
+        itrust_obs::counter_add!("trustdb.wal.frames_appended", n);
+        itrust_obs::counter_add!("trustdb.wal.bytes_appended", appended);
         Ok(inner.len)
     }
 
     /// Read back every intact frame from the start of the log.
     pub fn replay(&self) -> Result<Replay> {
+        let _span = itrust_obs::span!("trustdb.wal.replay");
         // Flush buffered bytes so the reader sees them.
         {
             let mut inner = self.inner.lock();

@@ -1,0 +1,177 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! Implements enough of criterion's surface for the workspace's benches to
+//! compile and produce useful numbers offline: per-benchmark median / min /
+//! max wall-clock over a configurable sample count, with optional throughput
+//! reporting. No statistical regression analysis, plots, or HTML reports.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput hint attached to a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// How batched inputs are grouped (accepted for API compatibility; every
+/// batch is per-iteration here).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    fn new(target_samples: usize, measurement_time: Duration) -> Self {
+        Self { samples: Vec::new(), target_samples, measurement_time }
+    }
+
+    /// Time `f` repeatedly until the sample budget or time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<40} no samples");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let (min, max) = (sorted[0], sorted[sorted.len() - 1]);
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if median.as_secs_f64() > 0.0 => {
+            format!("  {:>10.1} MiB/s", b as f64 / median.as_secs_f64() / (1 << 20) as f64)
+        }
+        Some(Throughput::Elements(e)) if median.as_secs_f64() > 0.0 => {
+            format!("  {:>10.0} elem/s", e as f64 / median.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<40} median {median:>12?}  (min {min:?} .. max {max:?}, n={}){rate}",
+        sorted.len()
+    );
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b.samples, self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(20, Duration::from_secs(3));
+        f(&mut b);
+        report(id, &b.samples, None);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

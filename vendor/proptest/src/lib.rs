@@ -1,0 +1,588 @@
+//! Offline vendored subset of `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace's property
+//! tests use: `any::<T>()`, numeric range strategies, regex-like string
+//! strategies, `collection::vec`, `option::of`, `array::uniform32`, tuple
+//! strategies, `.prop_map`, and the `proptest!` / `prop_assert*` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with the
+//! generated inputs' debug representation via the assert message), and the
+//! case count defaults to 64 (override with `PROPTEST_CASES`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy,
+    };
+}
+
+/// RNG handed to strategies; deterministic per test unless
+/// `PROPTEST_SEED` overrides it.
+pub type TestRng = StdRng;
+
+/// Number of cases each `proptest!` test runs.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-test RNG: seeded from the test name, or from
+/// `PROPTEST_SEED` when set.
+pub fn test_rng(test_name: &str) -> TestRng {
+    if let Some(seed) = std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse().ok()) {
+        return TestRng::seed_from_u64(seed);
+    }
+    // FNV-1a over the test name keeps runs reproducible across processes.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f, reason }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`]. Rejects by regenerating (bounded).
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates: {}", self.reason);
+    }
+}
+
+/// Constant strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `any::<T>()` — the full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a canonical full-range generator.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mix of magnitudes plus the unit interval; always finite.
+        let base: f64 = rng.gen();
+        let scale = 10f64.powi(rng.gen_range(-3..9));
+        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        sign * base * scale
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<char>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ---------------------------------------------------------------------------
+// Regex-like string strategies
+// ---------------------------------------------------------------------------
+
+/// String literals act as generation-only regexes. Supported syntax:
+/// literal chars, `.`, character classes `[a-z0-9 .,]` (ranges + literals),
+/// groups `(...)`, and `{n}` / `{n,m}` / `*` / `+` / `?` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = regex::parse(self)
+            .unwrap_or_else(|e| panic!("unsupported regex strategy {self:?}: {e}"));
+        let mut out = String::new();
+        regex::generate(&pattern, rng, &mut out);
+        out
+    }
+}
+
+mod regex {
+    use super::TestRng;
+    use rand::Rng;
+
+    #[derive(Debug)]
+    pub enum Node {
+        Literal(char),
+        /// Any printable ASCII character.
+        Dot,
+        /// Explicit set of candidate characters.
+        Class(Vec<char>),
+        Group(Vec<Piece>),
+    }
+
+    #[derive(Debug)]
+    pub struct Piece {
+        pub node: Node,
+        pub min: u32,
+        pub max: u32,
+    }
+
+    pub fn parse(pattern: &str) -> Result<Vec<Piece>, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (pieces, consumed) = parse_seq(&chars, 0, None)?;
+        if consumed != chars.len() {
+            return Err(format!("unexpected character at {consumed}"));
+        }
+        Ok(pieces)
+    }
+
+    fn parse_seq(
+        chars: &[char],
+        mut i: usize,
+        closing: Option<char>,
+    ) -> Result<(Vec<Piece>, usize), String> {
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            if Some(chars[i]) == closing {
+                return Ok((pieces, i));
+            }
+            let node = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Node::Dot
+                }
+                '[' => {
+                    let (class, next) = parse_class(chars, i + 1)?;
+                    i = next;
+                    Node::Class(class)
+                }
+                '(' => {
+                    let (inner, close) = parse_seq(chars, i + 1, Some(')'))?;
+                    if chars.get(close) != Some(&')') {
+                        return Err("unterminated group".to_string());
+                    }
+                    i = close + 1;
+                    Node::Group(inner)
+                }
+                '\\' => {
+                    let c = *chars.get(i + 1).ok_or("dangling backslash")?;
+                    i += 2;
+                    Node::Literal(match c {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        'd' => return Err("\\d unsupported; use [0-9]".to_string()),
+                        other => other,
+                    })
+                }
+                '|' => return Err("alternation unsupported".to_string()),
+                c => {
+                    i += 1;
+                    Node::Literal(c)
+                }
+            };
+            let (min, max, next) = parse_quantifier(chars, i)?;
+            i = next;
+            pieces.push(Piece { node, min, max });
+        }
+        if closing.is_some() {
+            return Err("unterminated group".to_string());
+        }
+        Ok((pieces, i))
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), String> {
+        let mut set = Vec::new();
+        if chars.get(i) == Some(&'^') {
+            return Err("negated classes unsupported".to_string());
+        }
+        while i < chars.len() && chars[i] != ']' {
+            let lo = chars[i];
+            if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                let hi = chars[i + 2];
+                if (lo as u32) > (hi as u32) {
+                    return Err(format!("bad range {lo}-{hi}"));
+                }
+                for c in (lo as u32)..=(hi as u32) {
+                    set.push(char::from_u32(c).ok_or("bad range")?);
+                }
+                i += 3;
+            } else {
+                set.push(lo);
+                i += 1;
+            }
+        }
+        if chars.get(i) != Some(&']') {
+            return Err("unterminated character class".to_string());
+        }
+        if set.is_empty() {
+            return Err("empty character class".to_string());
+        }
+        Ok((set, i + 1))
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize) -> Result<(u32, u32, usize), String> {
+        match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or("unterminated quantifier")?
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, "")) => {
+                        let lo: u32 = lo.trim().parse().map_err(|_| "bad quantifier")?;
+                        (lo, lo + 8)
+                    }
+                    Some((lo, hi)) => (
+                        lo.trim().parse().map_err(|_| "bad quantifier")?,
+                        hi.trim().parse().map_err(|_| "bad quantifier")?,
+                    ),
+                    None => {
+                        let n: u32 = body.trim().parse().map_err(|_| "bad quantifier")?;
+                        (n, n)
+                    }
+                };
+                if min > max {
+                    return Err("quantifier min > max".to_string());
+                }
+                Ok((min, max, close + 1))
+            }
+            Some('*') => Ok((0, 8, i + 1)),
+            Some('+') => Ok((1, 8, i + 1)),
+            Some('?') => Ok((0, 1, i + 1)),
+            _ => Ok((1, 1, i)),
+        }
+    }
+
+    pub fn generate(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+        for piece in pieces {
+            let reps = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..reps {
+                match &piece.node {
+                    Node::Literal(c) => out.push(*c),
+                    Node::Dot => out.push((b' ' + rng.gen_range(0..95u8)) as char),
+                    Node::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+                    Node::Group(inner) => generate(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection / option / array / tuple strategies
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Acceptable size arguments for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// `Some` three times out of four, mirroring upstream's default weight.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    pub fn uniform32<S: Strategy>(element: S) -> Uniform<S, 32> {
+        Uniform { element }
+    }
+
+    pub struct Uniform<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for Uniform<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9)
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests. Each `#[test] fn name(x in strategy, ...) { .. }`
+/// becomes a standard test running [`cases()`] generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_rng(stringify!($name));
+                for _case in 0..$crate::cases() {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    { $body }
+                }
+            }
+        )+
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regex_strategies_generate_matching_shapes() {
+        let mut rng = test_rng("regex");
+        for _ in 0..200 {
+            let s = "[a-z]{1,10}".generate(&mut rng);
+            assert!((1..=10).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let words = "[a-z]{1,6}( [a-z]{1,6}){0,3}".generate(&mut rng);
+            assert!(words.split(' ').count() <= 4);
+            assert!(!words.is_empty());
+
+            let free = ".{0,200}".generate(&mut rng);
+            assert!(free.len() <= 200);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_strategy_respects_bounds(v in collection::vec(0u8..10, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuple_and_option_strategies(t in (any::<bool>(), 0u32..5), o in option::of(1u8..3)) {
+            prop_assert!(t.1 < 5);
+            if let Some(x) = o {
+                prop_assert!(x >= 1 && x < 3);
+            }
+        }
+    }
+}

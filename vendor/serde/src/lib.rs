@@ -1,0 +1,586 @@
+//! Offline vendored subset of `serde`.
+//!
+//! The build container has no crates.io access, so this crate provides a
+//! compact replacement for the serde surface the workspace uses. Instead of
+//! serde's visitor-based data model, types convert to and from a JSON-shaped
+//! [`Value`] tree:
+//!
+//! - [`Serialize`] — `fn serialize(&self) -> Value`
+//! - [`Deserialize`] — `fn deserialize(&Value) -> Result<Self, DeError>`
+//!
+//! The `derive` feature re-exports `#[derive(Serialize, Deserialize)]` proc
+//! macros (hand-written, no syn/quote) that follow serde's JSON conventions:
+//! structs → objects, newtype structs → their inner value, unit enum
+//! variants → strings, data-carrying variants → single-key objects.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped data model shared by the serializer and deserializer.
+///
+/// Objects preserve insertion order (serialization is deterministic given a
+/// deterministic field order, which the derive guarantees).
+#[derive(Clone, Debug)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Negative or small integers.
+    Int(i64),
+    /// Integers above `i64::MAX`.
+    UInt(u64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            Value::UInt(u) => Some(*u),
+            Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            Value::Float(f) if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 => {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Numbers compare numerically across the three numeric variants, so a value
+/// that round-trips through JSON text (where `1.0` may re-parse as `1`)
+/// still compares equal.
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (String(a), String(b)) => a == b,
+            (Array(a), Array(b)) => a == b,
+            (Object(a), Object(b)) => a == b,
+            (a, b) => match (a.numeric(), b.numeric()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+}
+
+/// Common numeric form used for cross-variant equality.
+#[derive(PartialEq)]
+enum Numeric {
+    Neg(i64),
+    Pos(u64),
+    Float(f64),
+}
+
+impl Value {
+    fn numeric(&self) -> Option<Numeric> {
+        match *self {
+            Value::Int(i) if i < 0 => Some(Numeric::Neg(i)),
+            Value::Int(i) => Some(Numeric::Pos(i as u64)),
+            Value::UInt(u) => Some(Numeric::Pos(u)),
+            Value::Float(f) if f.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&f) => {
+                Some(Numeric::Pos(f as u64))
+            }
+            Value::Float(f) if f.fract() == 0.0 && (i64::MIN as f64..0.0).contains(&f) => {
+                Some(Numeric::Neg(f as i64))
+            }
+            Value::Float(f) => Some(Numeric::Float(f)),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable path-less message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {}", got.kind()))
+    }
+
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", v))
+    }
+}
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i128;
+                if v >= 0 && v > i64::MAX as i128 {
+                    Value::UInt(*self as u64)
+                } else {
+                    Value::Int(*self as i64)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                // String fallback lets integer types act as JSON object keys.
+                if let Value::String(s) = v {
+                    return s.parse::<$t>().map_err(|_| DeError::expected(stringify!($t), v));
+                }
+                let wide: i128 = match *v {
+                    Value::Int(i) => i as i128,
+                    Value::UInt(u) => u as i128,
+                    Value::Float(f) if f.fract() == 0.0 => f as i128,
+                    _ => return Err(DeError::expected(stringify!($t), v)),
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::custom(format!("{} out of range for {}", wide, stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_ser_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                v.as_f64().map(|f| f as $t).ok_or_else(|| DeError::expected("number", v))
+            }
+        }
+    )*};
+}
+impl_ser_de_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("single-char string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-char string", v)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(t) => t.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", v))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        if items.len() != N {
+            return Err(DeError::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::custom(format!("array length mismatch (wanted {N})")))
+    }
+}
+
+macro_rules! impl_ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::expected("tuple array", v))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {expected}, got array of {}", items.len())));
+                }
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn serialize(&self) -> Value {
+        match self {
+            Ok(t) => Value::Object(vec![("Ok".to_string(), t.serialize())]),
+            Err(e) => Value::Object(vec![("Err".to_string(), e.serialize())]),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let fields = v.as_object().ok_or_else(|| DeError::expected("Ok/Err object", v))?;
+        match fields {
+            [(k, inner)] if k == "Ok" => T::deserialize(inner).map(Ok),
+            [(k, inner)] if k == "Err" => E::deserialize(inner).map(Err),
+            _ => Err(DeError::expected("object with single Ok or Err key", v)),
+        }
+    }
+}
+
+/// JSON object keys must be strings; string and integer keys (and unit enum
+/// variants, which serialize as strings) are accepted.
+fn key_to_string(key: Value) -> Result<String, DeError> {
+    match key {
+        Value::String(s) => Ok(s),
+        Value::Int(i) => Ok(i.to_string()),
+        Value::UInt(u) => Ok(u.to_string()),
+        other => Err(DeError::custom(format!(
+            "map key must serialize to a string or integer, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    (key_to_string(k.serialize()).expect("unserializable map key"), v.serialize())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let fields = v.as_object().ok_or_else(|| DeError::expected("object", v))?;
+        fields
+            .iter()
+            .map(|(k, val)| {
+                Ok((K::deserialize(&Value::String(k.clone()))?, V::deserialize(val)?))
+            })
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        // Deterministic output: sort by rendered key.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                (key_to_string(k.serialize()).expect("unserializable map key"), v.serialize())
+            })
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let fields = v.as_object().ok_or_else(|| DeError::expected("object", v))?;
+        fields
+            .iter()
+            .map(|(k, val)| {
+                Ok((K::deserialize(&Value::String(k.clone()))?, V::deserialize(val)?))
+            })
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", v)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive support (called from generated code)
+// ---------------------------------------------------------------------------
+
+/// Named-field lookup used by derived `Deserialize` impls. A missing key is
+/// deserialized from `Null`, which makes `Option` fields optional (matching
+/// serde's behavior) while other types produce a "missing field" error.
+pub fn field<T: Deserialize>(
+    fields: &[(String, Value)],
+    key: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match fields.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::deserialize(v)
+            .map_err(|e| DeError::custom(format!("{ty}.{key}: {e}"))),
+        None => T::deserialize(&Value::Null)
+            .map_err(|_| DeError::custom(format!("missing field `{key}` in {ty}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_fields_round_trip() {
+        assert_eq!(Option::<u64>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::deserialize(&Value::Int(3)).unwrap(), Some(3));
+        assert_eq!(Some(7u64).serialize(), Value::Int(7));
+    }
+
+    #[test]
+    fn numeric_equality_spans_variants() {
+        assert_eq!(Value::Int(5), Value::UInt(5));
+        assert_eq!(Value::Float(5.0), Value::Int(5));
+        assert_ne!(Value::Float(5.5), Value::Int(5));
+        assert_eq!(Value::Int(-3), Value::Float(-3.0));
+    }
+
+    #[test]
+    fn arrays_and_maps_round_trip() {
+        let arr = [1u8, 2, 3];
+        let v = arr.serialize();
+        assert_eq!(<[u8; 3]>::deserialize(&v).unwrap(), arr);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        let back: BTreeMap<String, u32> = Deserialize::deserialize(&m.serialize()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn result_round_trips() {
+        let ok: Result<u32, String> = Ok(7);
+        let err: Result<u32, String> = Err("boom".into());
+        assert_eq!(Result::<u32, String>::deserialize(&ok.serialize()).unwrap(), ok);
+        assert_eq!(Result::<u32, String>::deserialize(&err.serialize()).unwrap(), err);
+    }
+}

@@ -1,0 +1,395 @@
+//! Hand-written `#[derive(Serialize, Deserialize)]` for the vendored serde.
+//!
+//! Built directly on `proc_macro` token trees (the offline container has no
+//! syn/quote). Supports the shapes this workspace uses, following serde's
+//! JSON conventions:
+//!
+//! - named-field structs → objects keyed by field name
+//! - newtype structs → the inner value, transparently
+//! - multi-field tuple structs → arrays
+//! - enums: unit variants → `"Variant"`, newtype variants →
+//!   `{"Variant": value}`, tuple variants → `{"Variant": [..]}`, struct
+//!   variants → `{"Variant": {..}}`
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported and
+//! produce a compile error rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named-field struct with field identifiers.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    /// Tuple variant with N fields (N == 1 is the newtype form).
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Consume leading `#[...]` attribute groups.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Consume a `pub` / `pub(...)` visibility prefix.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split a delimited group body on top-level commas. Nested groups are
+/// opaque token trees, so only `<...>` angle depth needs tracking.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Extract field names from a named-field body (struct or struct variant).
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for field in split_top_level_commas(body) {
+        let mut i = skip_attributes(&field, 0);
+        i = skip_visibility(&field, i);
+        match field.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            Some(other) => return Err(format!("unexpected token in field list: {other}")),
+            None => {} // trailing comma
+        }
+    }
+    Ok(names)
+}
+
+/// Count the fields of a tuple body (tuple struct or tuple variant).
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    split_top_level_commas(body)
+        .into_iter()
+        .filter(|f| !f.is_empty())
+        .count()
+}
+
+fn parse_variants(body: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for var in split_top_level_commas(body) {
+        let i = skip_attributes(&var, 0);
+        let Some(TokenTree::Ident(id)) = var.get(i) else {
+            if var.is_empty() {
+                continue; // trailing comma
+            }
+            return Err("expected enum variant identifier".to_string());
+        };
+        let name = id.to_string();
+        let kind = match var.get(i + 1) {
+            None => VariantKind::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Struct(parse_named_fields(&inner)?)
+            }
+            // `Variant = 3` discriminant.
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit,
+            Some(other) => return Err(format!("unexpected token after variant {name}: {other}")),
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".to_string()),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde derive does not support generics (type {name})"
+            ));
+        }
+    }
+
+    let shape = match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::Struct(parse_named_fields(&body)?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::Tuple(count_tuple_fields(&body))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::Tuple(0),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::Enum(parse_variants(&body)?)
+        }
+        _ => return Err(format!("unsupported item shape for {name}")),
+    };
+
+    Ok(Parsed { name, shape })
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::serialize(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: Vec<(String, ::serde::Value)> = Vec::new(); \
+                 {pushes} ::serde::Value::Object(fields)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                             ::serde::Serialize::serialize(x0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "inner.push(({f:?}.to_string(), \
+                                         ::serde::Serialize::serialize({f})));"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{ \
+                                 let mut inner: Vec<(String, ::serde::Value)> = Vec::new(); \
+                                 {pushes} \
+                                 ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Object(inner))]) }},"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+         fn serialize(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(fields, {f:?}, {name:?})?"))
+                .collect();
+            format!(
+                "let fields = value.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", value))?; \
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::deserialize(value)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", value))?; \
+                 if items.len() != {n} {{ return Err(::serde::DeError::custom(format!( \
+                 \"expected array of {n} for {name}, got {{}}\", items.len()))); }} \
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => return Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let keyed_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => return Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ \
+                                 let items = inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"array\", inner))?; \
+                                 if items.len() != {n} {{ return Err(::serde::DeError::custom( \
+                                 format!(\"wrong arity for {name}::{vn}\"))); }} \
+                                 return Ok({name}::{vn}({})); }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(vf, {f:?}, {name:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ \
+                                 let vf = inner.as_object().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"object\", inner))?; \
+                                 return Ok({name}::{vn} {{ {} }}); }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::String(s) = value {{ \
+                   match s.as_str() {{ {unit_arms} \
+                     other => return Err(::serde::DeError::custom(format!( \
+                       \"unknown variant {{other}} for {name}\"))), }} \
+                 }} \
+                 if let Some([(key, inner)]) = value.as_object() {{ \
+                   match key.as_str() {{ {keyed_arms} \
+                     other => return Err(::serde::DeError::custom(format!( \
+                       \"unknown variant {{other}} for {name}\"))), }} \
+                 }} \
+                 Err(::serde::DeError::expected(\"enum representation\", value))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+         fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> \
+         {{ {body} }} }}"
+    )
+    .parse()
+    .unwrap()
+}
