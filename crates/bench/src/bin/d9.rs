@@ -1,0 +1,19 @@
+//! Printable harness for D9 (fault-storm survival with self-healing repair).
+use itrust_bench::report::Emitter;
+
+fn main() {
+    let mut em = Emitter::begin("d9");
+    let (rows, report) = itrust_bench::harness::d9::run();
+    println!("{report}");
+    em.metric("d9.corrupted_copies_total", rows.iter().map(|r| r.corrupted_copies).sum::<usize>() as f64)
+        .metric("d9.repaired_total", rows.iter().map(|r| r.repaired).sum::<usize>() as f64)
+        .metric("d9.lost_total", rows.iter().map(|r| r.unrecoverable).sum::<usize>() as f64)
+        .metric(
+            "d9.survival_min_3_replicas",
+            rows.iter()
+                .filter(|r| r.replicas == 3)
+                .map(|r| r.survival)
+                .fold(1.0, f64::min),
+        );
+    em.finish(rows.len() as u64, &report).expect("write results");
+}

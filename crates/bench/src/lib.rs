@@ -19,6 +19,7 @@
 //! | [`harness::d6`] | access index + record linking |
 //! | [`harness::d7`] | continuous learning vs annotator error |
 //! | [`harness::d8`] | privacy redaction throughput + leakage |
+//! | [`harness::d9`] | fault-storm survival with self-healing repair |
 
 pub mod harness;
 pub mod report;

@@ -37,6 +37,9 @@ pub enum AuditAction {
     HumanReview,
     /// Administrative/configuration change.
     Admin,
+    /// A corrupt or unreadable replica copy was rewritten from a healthy
+    /// one (self-healing fixity, see `fixity::FixityAuditor::sweep_and_repair`).
+    Repair,
 }
 
 /// One immutable entry in the audit chain.
@@ -110,6 +113,7 @@ fn action_tag(a: AuditAction) -> u8 {
         AuditAction::AiDecision => 6,
         AuditAction::HumanReview => 7,
         AuditAction::Admin => 8,
+        AuditAction::Repair => 9,
     }
 }
 

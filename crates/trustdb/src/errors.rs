@@ -36,6 +36,10 @@ pub enum Error {
     /// An operation was rejected because it would violate an invariant
     /// (e.g. overwriting an immutable object with different content).
     InvariantViolation(String),
+    /// A replicated write could not reach its quorum.
+    QuorumFailed { required: usize, achieved: usize },
+    /// A replica is (possibly permanently) refusing operations.
+    ReplicaUnavailable { replica: usize, detail: String },
 }
 
 impl fmt::Display for Error {
@@ -58,6 +62,12 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "I/O error: {e}"),
             Error::Codec(d) => write!(f, "codec error: {d}"),
             Error::InvariantViolation(d) => write!(f, "invariant violation: {d}"),
+            Error::QuorumFailed { required, achieved } => {
+                write!(f, "write quorum failed: {achieved} of {required} required replicas")
+            }
+            Error::ReplicaUnavailable { replica, detail } => {
+                write!(f, "replica {replica} unavailable: {detail}")
+            }
         }
     }
 }
@@ -90,6 +100,28 @@ impl Error {
                 | Error::WalCorrupt { .. }
         )
     }
+
+    /// True when the failure is plausibly momentary (a flaky disk, an
+    /// interrupted syscall, a saturated device) and the same operation may
+    /// succeed if simply retried. Drives the replica retry policy: transient
+    /// errors are retried with backoff, everything else fails over
+    /// immediately. Integrity incidents are *never* transient — retrying
+    /// cannot un-corrupt data.
+    pub fn is_transient(&self) -> bool {
+        use std::io::ErrorKind;
+        match self {
+            Error::Io(e) => matches!(
+                e.kind(),
+                ErrorKind::Interrupted
+                    | ErrorKind::WouldBlock
+                    | ErrorKind::TimedOut
+                    | ErrorKind::ConnectionReset
+                    | ErrorKind::ConnectionAborted
+                    | ErrorKind::BrokenPipe
+            ),
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +136,28 @@ mod tests {
         assert!(Error::ChainBroken { index: 3, detail: "d".into() }.is_integrity_incident());
         assert!(!Error::NotFound("k".into()).is_integrity_incident());
         assert!(!Error::Codec("bad".into()).is_integrity_incident());
+    }
+
+    #[test]
+    fn transient_classification() {
+        use std::io::{Error as IoError, ErrorKind};
+        assert!(Error::Io(IoError::new(ErrorKind::TimedOut, "slow disk")).is_transient());
+        assert!(Error::Io(IoError::new(ErrorKind::Interrupted, "signal")).is_transient());
+        // Permanent I/O failures are not retried.
+        assert!(!Error::Io(IoError::new(ErrorKind::PermissionDenied, "dead")).is_transient());
+        assert!(!Error::NotFound("k".into()).is_transient());
+        // Corruption is never transient: a retry cannot un-rot bytes.
+        assert!(!Error::DigestMismatch { expected: "a".into(), actual: "b".into() }
+            .is_transient());
+        assert!(!Error::QuorumFailed { required: 2, achieved: 1 }.is_transient());
+    }
+
+    #[test]
+    fn replication_errors_display() {
+        let e = Error::QuorumFailed { required: 2, achieved: 1 };
+        assert!(e.to_string().contains("quorum"));
+        let e = Error::ReplicaUnavailable { replica: 1, detail: "circuit open".into() };
+        assert!(e.to_string().contains("replica 1"));
     }
 
     #[test]

@@ -5,10 +5,17 @@
 //! [`FixityAuditor`] re-hashes holdings, produces a [`FixityReport`], and
 //! writes a `FixityCheck` entry into the audit chain for every sweep, so the
 //! *act of verification* is itself part of the verifiable history.
+//!
+//! Over a replicated backend (`replica::ReplicatedBackend`), the auditor
+//! also *heals*: [`FixityAuditor::sweep_and_repair`] rewrites corrupt or
+//! missing replica copies from a verified one and logs an
+//! `AuditAction::Repair` per restored object, turning detection into
+//! recovery.
 
 use crate::audit::{AuditAction, AuditLog};
 use crate::errors::Result;
 use crate::hash::Digest;
+use crate::replica::SelfHealing;
 use crate::store::{Backend, ObjectStore};
 use serde::{Deserialize, Serialize};
 
@@ -122,6 +129,109 @@ impl<'a, B: Backend> FixityAuditor<'a, B> {
     }
 }
 
+/// Result of one self-healing sweep ([`FixityAuditor::sweep_and_repair`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepairReport {
+    /// Caller-supplied timestamp of the sweep (milliseconds).
+    pub timestamp_ms: u64,
+    /// Logical objects examined (union across replicas).
+    pub checked: usize,
+    /// Objects whose every replica copy already verified.
+    pub intact: usize,
+    /// Objects restored, with the number of replica copies patched for each.
+    pub repaired: Vec<(Digest, usize)>,
+    /// Objects that still have a verified copy but where at least one
+    /// damaged replica copy could not be rewritten (e.g. the replica is
+    /// dead); redundancy is reduced until a later sweep succeeds.
+    pub degraded: Vec<Digest>,
+    /// Objects with no verifiable copy on any replica — data loss.
+    pub unrecoverable: Vec<Digest>,
+}
+
+impl RepairReport {
+    /// Fraction of objects that exist with at least one verified copy after
+    /// the sweep (1.0 for an empty store).
+    pub fn survival_ratio(&self) -> f64 {
+        if self.checked == 0 {
+            1.0
+        } else {
+            (self.checked - self.unrecoverable.len()) as f64 / self.checked as f64
+        }
+    }
+
+    /// True when every object survived (possibly after repair).
+    pub fn is_fully_recovered(&self) -> bool {
+        self.unrecoverable.is_empty()
+    }
+}
+
+impl<'a, B: SelfHealing> FixityAuditor<'a, B> {
+    /// Self-healing sweep: for every object, locate a replica copy that
+    /// re-hashes to its digest and rewrite every copy that doesn't. Each
+    /// restored object gets an [`AuditAction::Repair`] entry; the sweep
+    /// itself is closed with a `FixityCheck` summary entry, so the repair
+    /// history is part of the tamper-evident chain.
+    pub fn sweep_and_repair(&self, timestamp_ms: u64) -> Result<RepairReport> {
+        let _span = itrust_obs::span!("trustdb.fixity.sweep_and_repair");
+        let digests = self.store.list();
+        itrust_obs::counter_add!("trustdb.fixity.objects_checked", digests.len() as u64);
+        let mut report = RepairReport {
+            timestamp_ms,
+            checked: digests.len(),
+            intact: 0,
+            repaired: Vec::new(),
+            degraded: Vec::new(),
+            unrecoverable: Vec::new(),
+        };
+        let backend = self.store.backend();
+        for d in &digests {
+            match backend.fetch_verified(d) {
+                Ok(bytes) => {
+                    let outcome = backend.heal(d, &bytes);
+                    if outcome.failed > 0 {
+                        report.degraded.push(*d);
+                    }
+                    if outcome.patched > 0 {
+                        self.audit.append(
+                            timestamp_ms,
+                            self.actor.clone(),
+                            AuditAction::Repair,
+                            d.to_hex(),
+                            format!(
+                                "rewrote {} replica copies from a verified copy",
+                                outcome.patched
+                            ),
+                        )?;
+                        report.repaired.push((*d, outcome.patched));
+                    } else if outcome.failed == 0 {
+                        report.intact += 1;
+                    }
+                }
+                Err(_) => report.unrecoverable.push(*d),
+            }
+        }
+        itrust_obs::counter_add!("trustdb.fixity.objects_repaired", report.repaired.len() as u64);
+        itrust_obs::counter_add!(
+            "trustdb.fixity.objects_unrecoverable",
+            report.unrecoverable.len() as u64
+        );
+        self.audit.append(
+            timestamp_ms,
+            self.actor.clone(),
+            AuditAction::FixityCheck,
+            "object-store",
+            format!(
+                "repair sweep: {} checked, {} repaired, {} degraded, {} unrecoverable",
+                report.checked,
+                report.repaired.len(),
+                report.degraded.len(),
+                report.unrecoverable.len()
+            ),
+        )?;
+        Ok(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,5 +318,121 @@ mod tests {
         let report = auditor.sweep(1).unwrap();
         assert!(report.is_clean());
         assert_eq!(report.intact_ratio(), 1.0);
+    }
+
+    mod repair {
+        use super::*;
+        use crate::fault::{FaultPlan, FaultyBackend};
+        use crate::replica::{ManualClock, ReplicatedBackend};
+        use crate::store::Backend;
+        use std::sync::Arc;
+
+        fn replicated_store(
+            n_replicas: usize,
+            objects: usize,
+        ) -> (
+            ObjectStore<ReplicatedBackend>,
+            Vec<Arc<FaultyBackend<MemoryBackend>>>,
+            Vec<Digest>,
+        ) {
+            let faulty: Vec<Arc<FaultyBackend<MemoryBackend>>> = (0..n_replicas)
+                .map(|i| {
+                    Arc::new(FaultyBackend::new(MemoryBackend::new(), FaultPlan::new(40 + i as u64)))
+                })
+                .collect();
+            let dyns: Vec<Arc<dyn Backend>> =
+                faulty.iter().map(|f| f.clone() as Arc<dyn Backend>).collect();
+            let backend = ReplicatedBackend::new(dyns)
+                .with_clock(Arc::new(ManualClock::new()))
+                .with_seed(5);
+            let store = ObjectStore::new(backend);
+            let ids = (0..objects)
+                .map(|i| store.put(format!("holding-{i}").into_bytes()).unwrap())
+                .collect();
+            (store, faulty, ids)
+        }
+
+        #[test]
+        fn repairs_every_object_corrupted_on_one_replica_of_three() {
+            // The PR's acceptance scenario: ≥10% of objects corrupted on one
+            // replica of three must be fully restored, with Repair entries in
+            // a verifying audit chain, deterministically per seed.
+            let run = || {
+                let (store, replicas, ids) = replicated_store(3, 100);
+                let victims = replicas[1].corrupt_fraction(0.15);
+                assert!(victims.len() >= 10);
+                let audit = AuditLog::new();
+                let auditor = FixityAuditor::new(&store, &audit, "repair-daemon");
+                let report = auditor.sweep_and_repair(2_000).unwrap();
+                assert!(report.is_fully_recovered());
+                assert_eq!(report.survival_ratio(), 1.0);
+                assert_eq!(report.checked, 100);
+                let repaired: Vec<Digest> = report.repaired.iter().map(|(d, _)| *d).collect();
+                assert_eq!(repaired, victims, "exactly the storm victims get repaired");
+                // Every copy on every replica verifies again.
+                for id in &ids {
+                    for r in &replicas {
+                        let copy = r.inner().get_raw(id).unwrap();
+                        assert_eq!(crate::hash::sha256(&copy), *id);
+                    }
+                }
+                // The repair history is chained and queryable.
+                audit.verify_chain().unwrap();
+                let repairs = audit.query(|e| e.action == AuditAction::Repair);
+                assert_eq!(repairs.len(), victims.len());
+                (victims, audit.head())
+            };
+            let (victims_a, head_a) = run();
+            let (victims_b, head_b) = run();
+            assert_eq!(victims_a, victims_b, "storm must be deterministic per seed");
+            assert_eq!(head_a, head_b, "identical runs produce identical audit chains");
+        }
+
+        #[test]
+        fn object_lost_on_every_replica_is_unrecoverable() {
+            let (store, replicas, ids) = replicated_store(2, 10);
+            for r in &replicas {
+                r.corrupt_object(&ids[4]);
+            }
+            let audit = AuditLog::new();
+            let auditor = FixityAuditor::new(&store, &audit, "repair-daemon");
+            let report = auditor.sweep_and_repair(3_000).unwrap();
+            assert_eq!(report.unrecoverable, vec![ids[4]]);
+            assert!((report.survival_ratio() - 0.9).abs() < 1e-9);
+            assert_eq!(report.intact, 9);
+            audit.verify_chain().unwrap();
+        }
+
+        #[test]
+        fn repair_restores_copies_missing_from_a_replica() {
+            let (store, replicas, ids) = replicated_store(3, 8);
+            // Replica 2 lost three objects entirely (e.g. partial disk loss).
+            for id in &ids[..3] {
+                replicas[2].inner().delete_raw(id).unwrap();
+            }
+            let audit = AuditLog::new();
+            let auditor = FixityAuditor::new(&store, &audit, "repair-daemon");
+            let report = auditor.sweep_and_repair(4_000).unwrap();
+            assert!(report.is_fully_recovered());
+            assert_eq!(report.repaired.len(), 3);
+            for (_, patched) in &report.repaired {
+                assert_eq!(*patched, 1);
+            }
+            for id in &ids {
+                assert!(replicas[2].inner().contains(id));
+            }
+        }
+
+        #[test]
+        fn clean_replicated_store_needs_no_repairs() {
+            let (store, _, _) = replicated_store(3, 20);
+            let audit = AuditLog::new();
+            let auditor = FixityAuditor::new(&store, &audit, "repair-daemon");
+            let report = auditor.sweep_and_repair(5_000).unwrap();
+            assert_eq!(report.intact, 20);
+            assert!(report.repaired.is_empty());
+            // Only the summary FixityCheck entry, no Repair entries.
+            assert_eq!(audit.len(), 1);
+        }
     }
 }

@@ -14,6 +14,13 @@
 //! * **Verifiable batches** — Merkle trees ([`merkle::MerkleTree`]) provide
 //!   logarithmic inclusion proofs over ingest batches, so a third party can
 //!   verify that a single record belongs to an attested accession.
+//! * **Survivability** — holdings replicate across N backends
+//!   ([`replica::ReplicatedBackend`]: quorum writes, digest-verified
+//!   fallback reads, per-replica circuit breakers), and
+//!   [`fixity::FixityAuditor::sweep_and_repair`] rewrites corrupt or lost
+//!   copies from a healthy replica, logging each repair into the audit
+//!   chain. The whole failure model is testable deterministically via
+//!   seeded fault injection ([`fault::FaultyBackend`]).
 //!
 //! All cryptographic primitives (SHA-256, CRC32C) are implemented in this
 //! crate from scratch — no external crypto dependencies — and validated
@@ -33,12 +40,19 @@
 pub mod audit;
 pub mod catalog;
 pub mod errors;
+pub mod fault;
 pub mod fixity;
 pub mod hash;
 pub mod merkle;
+pub mod replica;
 pub mod store;
 pub mod wal;
 
 pub use errors::{Error, Result};
+pub use fault::{FaultPlan, FaultyBackend};
 pub use hash::{crc32c, sha256, Digest};
+pub use replica::{
+    BreakerConfig, BreakerState, Clock, HealOutcome, ManualClock, ReplicatedBackend, RetryPolicy,
+    SelfHealing, SystemClock,
+};
 pub use store::{MemoryBackend, ObjectStore};

@@ -1,0 +1,747 @@
+//! Replicated backend: quorum writes, digest-verified fallback reads,
+//! bounded retry with backoff, and per-replica circuit breakers.
+//!
+//! A single backend that detects corruption (fixity, CRC frames) still
+//! loses data when the only copy decays. [`ReplicatedBackend`] keeps N
+//! copies and makes the *combination* behave like one `Backend`:
+//!
+//! * **writes** go to every replica and succeed iff a majority quorum
+//!   acknowledges;
+//! * **reads** try replicas in rotation, re-hash what they get, and fall
+//!   back past both errors and silently corrupted copies — a read succeeds
+//!   as long as one replica still holds verifiable bytes;
+//! * **transient faults** are retried with exponential backoff + jitter;
+//!   the clock is injectable ([`Clock`]) so tests run instantly and a
+//!   seeded PRNG makes jitter deterministic;
+//! * **persistently failing replicas** trip a per-replica circuit breaker
+//!   (Closed → Open → HalfOpen), so a dead disk stops eating retry budget
+//!   until its cooldown expires.
+//!
+//! Repair lives one level up: [`SelfHealing`] exposes per-replica healing
+//! primitives which `fixity::FixityAuditor::sweep_and_repair` drives,
+//! rewriting corrupt or missing copies from a healthy one and logging an
+//! `AuditAction::Repair` per restored object.
+//!
+//! Telemetry lands under `trustdb.replica.*` (quorum writes, fallback
+//! reads, retries, breaker transitions, heals).
+
+use crate::errors::{Error, Result};
+use crate::hash::{sha256, Digest};
+use crate::store::Backend;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Time source for backoff and breaker cooldowns. Injectable so tests (and
+/// the D9 harness) run fault storms in microseconds with fully
+/// deterministic timing.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since an arbitrary epoch (monotonic).
+    fn now_ms(&self) -> u64;
+    /// Block for `ms` milliseconds (or advance virtual time).
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// Real wall-clock time; used in production.
+pub struct SystemClock {
+    start: Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock { start: Instant::now() }
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+}
+
+/// Virtual clock: `sleep_ms` advances a counter instead of blocking.
+/// Deterministic and instant — the default for tests and D9.
+#[derive(Default)]
+pub struct ManualClock {
+    ms: AtomicUsize,
+}
+
+impl ManualClock {
+    /// A virtual clock starting at 0 ms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance virtual time without a sleeper (e.g. to expire a breaker
+    /// cooldown from a test).
+    pub fn advance_ms(&self, ms: u64) {
+        self.ms.fetch_add(ms as usize, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::Relaxed) as u64
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        self.advance_ms(ms);
+    }
+}
+
+/// Bounded-retry policy for transient faults (see [`Error::is_transient`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per replica per operation (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before retry k is `base_backoff_ms << (k-1)`, capped…
+    pub base_backoff_ms: u64,
+    /// …at this ceiling, then multiplied by a uniform jitter in `[0.5, 1]`.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, base_backoff_ms: 5, max_backoff_ms: 100 }
+    }
+}
+
+/// Circuit-breaker tuning shared by all replicas of a [`ReplicatedBackend`].
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// How long an Open breaker rejects ops before allowing a HalfOpen probe.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 5, cooldown_ms: 1_000 }
+    }
+}
+
+/// Observable breaker state for one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: ops flow normally.
+    Closed,
+    /// Tripped: ops are rejected until the cooldown expires.
+    Open,
+    /// Cooldown expired: one probe op is in flight; success re-closes,
+    /// failure re-opens.
+    HalfOpen,
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at_ms: u64,
+}
+
+struct Breaker {
+    inner: Mutex<BreakerInner>,
+    config: BreakerConfig,
+}
+
+impl Breaker {
+    fn new(config: BreakerConfig) -> Self {
+        Breaker {
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at_ms: 0,
+            }),
+            config,
+        }
+    }
+
+    fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    /// Whether an op may proceed now; moves Open → HalfOpen when the
+    /// cooldown has expired (the caller becomes the probe).
+    fn allow(&self, now_ms: u64) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now_ms.saturating_sub(inner.opened_at_ms) >= self.config.cooldown_ms {
+                    inner.state = BreakerState::HalfOpen;
+                    itrust_obs::counter_inc!("trustdb.replica.breaker_half_open");
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn on_success(&self) {
+        let mut inner = self.inner.lock();
+        if inner.state != BreakerState::Closed {
+            itrust_obs::counter_inc!("trustdb.replica.breaker_closed");
+        }
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+    }
+
+    fn on_failure(&self, now_ms: u64) {
+        let mut inner = self.inner.lock();
+        inner.consecutive_failures += 1;
+        let trip = match inner.state {
+            // A failed HalfOpen probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => inner.consecutive_failures >= self.config.failure_threshold,
+            BreakerState::Open => false,
+        };
+        if trip {
+            inner.state = BreakerState::Open;
+            inner.opened_at_ms = now_ms;
+            itrust_obs::counter_inc!("trustdb.replica.breaker_opened");
+        }
+    }
+}
+
+/// Outcome of healing one object across replicas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealOutcome {
+    /// Replica copies rewritten from the verified bytes.
+    pub patched: usize,
+    /// Replica copies that needed a rewrite but could not be written (e.g.
+    /// a dead replica); the object survives elsewhere but redundancy is
+    /// reduced until a later sweep succeeds.
+    pub failed: usize,
+}
+
+/// Self-healing surface a repairing fixity sweep needs beyond [`Backend`]:
+/// fetch a copy that provably matches its digest, and overwrite copies that
+/// don't.
+pub trait SelfHealing: Backend {
+    /// Bytes for `digest` from any replica whose copy re-hashes to `digest`.
+    /// Errors with an integrity incident if every surviving copy is corrupt,
+    /// `NotFound` if no replica holds the object at all.
+    fn fetch_verified(&self, digest: &Digest) -> Result<Bytes>;
+
+    /// Rewrite every replica whose copy of `digest` is missing, unreadable,
+    /// or fails verification with `bytes` (which the caller has verified).
+    fn heal(&self, digest: &Digest, bytes: &Bytes) -> HealOutcome;
+}
+
+/// N-way replicated [`Backend`] with quorum writes and verified reads.
+pub struct ReplicatedBackend {
+    replicas: Vec<Arc<dyn Backend>>,
+    breakers: Vec<Breaker>,
+    clock: Arc<dyn Clock>,
+    retry: RetryPolicy,
+    rng: Mutex<StdRng>,
+    /// Successful replica writes required for a put to succeed (majority).
+    write_quorum: usize,
+    /// Rotates the replica a read tries first, spreading load.
+    read_cursor: AtomicUsize,
+}
+
+impl ReplicatedBackend {
+    /// Replicate over `replicas` (at least one) with default policy: a
+    /// majority write quorum, default retry/breaker settings, and the
+    /// system clock. Use the `with_*` builders to customize.
+    pub fn new(replicas: Vec<Arc<dyn Backend>>) -> Self {
+        assert!(!replicas.is_empty(), "replication requires at least one backend");
+        let quorum = replicas.len() / 2 + 1;
+        let breakers =
+            replicas.iter().map(|_| Breaker::new(BreakerConfig::default())).collect();
+        ReplicatedBackend {
+            breakers,
+            replicas,
+            clock: Arc::new(SystemClock::default()),
+            retry: RetryPolicy::default(),
+            rng: Mutex::new(StdRng::seed_from_u64(0)),
+            write_quorum: quorum,
+            read_cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Replace the clock (tests: [`ManualClock`] makes backoff instant).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Replace the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Replace the breaker config on every replica.
+    pub fn with_breaker(mut self, config: BreakerConfig) -> Self {
+        self.breakers = self.replicas.iter().map(|_| Breaker::new(config)).collect();
+        self
+    }
+
+    /// Seed the jitter PRNG (deterministic backoff schedules).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = Mutex::new(StdRng::seed_from_u64(seed));
+        self
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Successful writes required for a put to succeed.
+    pub fn write_quorum(&self) -> usize {
+        self.write_quorum
+    }
+
+    /// Breaker state of replica `i`.
+    pub fn breaker_state(&self, i: usize) -> BreakerState {
+        self.breakers[i].state()
+    }
+
+    /// Direct access to replica `i` (repair sweeps, tests).
+    pub fn replica(&self, i: usize) -> &Arc<dyn Backend> {
+        &self.replicas[i]
+    }
+
+    fn update_breaker_gauge(&self) {
+        let open = self
+            .breakers
+            .iter()
+            .filter(|b| b.state() != BreakerState::Closed)
+            .count();
+        itrust_obs::gauge_set!("trustdb.replica.breakers_not_closed", open as i64);
+    }
+
+    /// Backoff before retry `attempt` (1-based): exponential, capped,
+    /// jittered to `[0.5, 1]×` by the seeded PRNG.
+    fn backoff_ms(&self, attempt: u32) -> u64 {
+        let exp = self
+            .retry
+            .base_backoff_ms
+            .saturating_mul(1u64 << (attempt - 1).min(16))
+            .min(self.retry.max_backoff_ms);
+        let jitter: f64 = {
+            let mut rng = self.rng.lock();
+            rng.gen::<f64>()
+        };
+        ((exp as f64) * (0.5 + jitter / 2.0)).round() as u64
+    }
+
+    /// Bounded retry on transient errors only — no breaker involvement.
+    /// Used by the repair path, which must see through open breakers.
+    fn retry_transient<T>(&self, op: impl Fn() -> Result<T>) -> Result<T> {
+        let mut attempt = 1u32;
+        loop {
+            match op() {
+                Err(e) if e.is_transient() && attempt < self.retry.max_attempts => {
+                    itrust_obs::counter_inc!("trustdb.replica.retries");
+                    self.clock.sleep_ms(self.backoff_ms(attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Run `op` against replica `i` with bounded retry on transient errors,
+    /// feeding the breaker. Returns `ReplicaUnavailable` without touching
+    /// the replica when its breaker is open.
+    fn with_replica<T>(
+        &self,
+        i: usize,
+        op: impl Fn(&dyn Backend) -> Result<T>,
+    ) -> Result<T> {
+        if !self.breakers[i].allow(self.clock.now_ms()) {
+            itrust_obs::counter_inc!("trustdb.replica.breaker_rejections");
+            return Err(Error::ReplicaUnavailable {
+                replica: i,
+                detail: "circuit breaker open".into(),
+            });
+        }
+        let mut attempt = 1u32;
+        loop {
+            match op(self.replicas[i].as_ref()) {
+                Ok(v) => {
+                    self.breakers[i].on_success();
+                    self.update_breaker_gauge();
+                    return Ok(v);
+                }
+                Err(e) if e.is_transient() && attempt < self.retry.max_attempts => {
+                    itrust_obs::counter_inc!("trustdb.replica.retries");
+                    self.clock.sleep_ms(self.backoff_ms(attempt));
+                    attempt += 1;
+                }
+                Err(e) => {
+                    // NotFound is an answer, not a replica health signal: a
+                    // replica that never received a write is not failing.
+                    if !matches!(e, Error::NotFound(_)) {
+                        self.breakers[i].on_failure(self.clock.now_ms());
+                        self.update_breaker_gauge();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+impl Backend for ReplicatedBackend {
+    /// Write to every replica; succeed iff a majority acknowledged.
+    fn put_raw(&self, digest: &Digest, bytes: Bytes) -> Result<()> {
+        let _span = itrust_obs::span!("trustdb.replica.put");
+        let mut acks = 0usize;
+        let mut last_err = None;
+        for i in 0..self.replicas.len() {
+            match self.with_replica(i, |r| r.put_raw(digest, bytes.clone())) {
+                Ok(()) => acks += 1,
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if acks >= self.write_quorum {
+            itrust_obs::counter_inc!("trustdb.replica.quorum_writes");
+            if acks < self.replicas.len() {
+                itrust_obs::counter_inc!("trustdb.replica.degraded_writes");
+            }
+            Ok(())
+        } else {
+            itrust_obs::counter_inc!("trustdb.replica.quorum_failures");
+            Err(match last_err {
+                Some(e) if e.is_integrity_incident() => e,
+                _ => Error::QuorumFailed { required: self.write_quorum, achieved: acks },
+            })
+        }
+    }
+
+    /// Read from replicas in rotation, verifying the digest of whatever
+    /// comes back; fall back on error *or* corruption.
+    fn get_raw(&self, digest: &Digest) -> Result<Bytes> {
+        let _span = itrust_obs::span!("trustdb.replica.get");
+        let n = self.replicas.len();
+        let start = self.read_cursor.fetch_add(1, Ordering::Relaxed) % n;
+        let mut saw_corrupt = false;
+        let mut saw_missing = 0usize;
+        let mut last_err = None;
+        for k in 0..n {
+            let i = (start + k) % n;
+            if k > 0 {
+                itrust_obs::counter_inc!("trustdb.replica.read_fallbacks");
+            }
+            match self.with_replica(i, |r| r.get_raw(digest)) {
+                Ok(bytes) => {
+                    if sha256(&bytes) == *digest {
+                        return Ok(bytes);
+                    }
+                    // This replica's copy is rotten (or the read flipped);
+                    // that is a failure for breaker purposes too — but only
+                    // a *verified* failure, so record it directly.
+                    saw_corrupt = true;
+                    itrust_obs::counter_inc!("trustdb.replica.corrupt_reads");
+                    self.breakers[i].on_failure(self.clock.now_ms());
+                }
+                Err(Error::NotFound(_)) => saw_missing += 1,
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if saw_corrupt {
+            Err(Error::DigestMismatch {
+                expected: digest.to_hex(),
+                actual: "no replica returned verifiable bytes".into(),
+            })
+        } else if saw_missing == n {
+            Err(Error::NotFound(digest.to_hex()))
+        } else {
+            Err(last_err.unwrap_or_else(|| Error::NotFound(digest.to_hex())))
+        }
+    }
+
+    fn contains(&self, digest: &Digest) -> bool {
+        self.replicas.iter().any(|r| r.contains(digest))
+    }
+
+    /// Delete everywhere; `Ok(true)` if any replica held the object.
+    /// Replica errors are tolerated as long as at least one delete
+    /// succeeded (a later repair sweep will not resurrect the object
+    /// because no verified copy remains… unless a failed replica still
+    /// holds one, which `sweep_and_repair` treats as authoritative — so
+    /// disposition should be retried until fully clean).
+    fn delete_raw(&self, digest: &Digest) -> Result<bool> {
+        let mut existed = false;
+        let mut ok = 0usize;
+        let mut last_err = None;
+        for i in 0..self.replicas.len() {
+            match self.with_replica(i, |r| r.delete_raw(digest)) {
+                Ok(e) => {
+                    existed |= e;
+                    ok += 1;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if ok == 0 {
+            Err(last_err.unwrap_or_else(|| Error::NotFound(digest.to_hex())))
+        } else {
+            Ok(existed)
+        }
+    }
+
+    /// Union of every replica's holdings, sorted.
+    fn list(&self) -> Vec<Digest> {
+        let mut all = BTreeSet::new();
+        for r in &self.replicas {
+            all.extend(r.list());
+        }
+        all.into_iter().collect()
+    }
+
+    fn object_count(&self) -> usize {
+        self.list().len()
+    }
+
+    /// Logical payload size: the maximum over replicas (each healthy
+    /// replica holds one copy of everything).
+    fn payload_bytes(&self) -> u64 {
+        self.replicas.iter().map(|r| r.payload_bytes()).max().unwrap_or(0)
+    }
+}
+
+impl SelfHealing for ReplicatedBackend {
+    /// Scan replicas *directly* (breakers bypassed: a repair sweep is
+    /// patient background work and must see through an open breaker).
+    fn fetch_verified(&self, digest: &Digest) -> Result<Bytes> {
+        let mut saw_copy = false;
+        for r in &self.replicas {
+            if let Ok(bytes) = self.retry_transient(|| r.get_raw(digest)) {
+                saw_copy = true;
+                if sha256(&bytes) == *digest {
+                    return Ok(bytes);
+                }
+            }
+        }
+        if saw_copy {
+            Err(Error::DigestMismatch {
+                expected: digest.to_hex(),
+                actual: "every surviving replica copy is corrupt".into(),
+            })
+        } else {
+            Err(Error::NotFound(digest.to_hex()))
+        }
+    }
+
+    fn heal(&self, digest: &Digest, bytes: &Bytes) -> HealOutcome {
+        let mut outcome = HealOutcome::default();
+        for r in &self.replicas {
+            let (intact, present) = match self.retry_transient(|| r.get_raw(digest)) {
+                Ok(copy) => (sha256(&copy) == *digest, true),
+                Err(Error::NotFound(_)) => (false, false),
+                Err(_) => (false, true),
+            };
+            if intact {
+                continue;
+            }
+            // Delete-then-put because deduplicating backends skip puts for
+            // digests already in their index (the corrupt copy included).
+            if present {
+                let _ = self.retry_transient(|| r.delete_raw(digest));
+            }
+            if self.retry_transient(|| r.put_raw(digest, bytes.clone())).is_ok() {
+                outcome.patched += 1;
+                itrust_obs::counter_inc!("trustdb.replica.heals");
+            } else {
+                outcome.failed += 1;
+                itrust_obs::counter_inc!("trustdb.replica.heal_failures");
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultyBackend};
+    use crate::store::{MemoryBackend, ObjectStore};
+
+    fn replicated(n: usize) -> (ReplicatedBackend, Vec<Arc<FaultyBackend<MemoryBackend>>>) {
+        let faulty: Vec<Arc<FaultyBackend<MemoryBackend>>> = (0..n)
+            .map(|i| Arc::new(FaultyBackend::new(MemoryBackend::new(), FaultPlan::new(100 + i as u64))))
+            .collect();
+        let dyns: Vec<Arc<dyn Backend>> =
+            faulty.iter().map(|f| f.clone() as Arc<dyn Backend>).collect();
+        let backend = ReplicatedBackend::new(dyns)
+            .with_clock(Arc::new(ManualClock::new()))
+            .with_seed(1);
+        (backend, faulty)
+    }
+
+    #[test]
+    fn writes_land_on_every_replica() {
+        let (backend, replicas) = replicated(3);
+        let store = ObjectStore::new(backend);
+        let id = store.put(b"replicated thrice".as_slice()).unwrap();
+        for r in &replicas {
+            assert!(r.inner().contains(&id));
+        }
+        assert_eq!(store.object_count(), 1);
+    }
+
+    #[test]
+    fn read_falls_back_past_a_corrupt_copy() {
+        let (backend, replicas) = replicated(2);
+        let store = ObjectStore::new(backend);
+        let id = store.put(b"two copies".as_slice()).unwrap();
+        replicas[0].corrupt_object(&id);
+        // Whichever replica the rotation starts with, the digest check
+        // routes the read to the intact copy.
+        for _ in 0..4 {
+            assert_eq!(&store.get(&id).unwrap()[..], b"two copies");
+        }
+    }
+
+    #[test]
+    fn read_with_all_copies_corrupt_is_an_integrity_incident() {
+        let (backend, replicas) = replicated(2);
+        let store = ObjectStore::new(backend);
+        let id = store.put(b"doomed".as_slice()).unwrap();
+        for r in &replicas {
+            r.corrupt_object(&id);
+        }
+        assert!(matches!(store.get(&id), Err(Error::DigestMismatch { .. })));
+    }
+
+    #[test]
+    fn quorum_survives_minority_death_but_not_majority() {
+        let (backend, replicas) = replicated(3);
+        replicas[0].kill();
+        backend.put_raw(&sha256(b"x"), Bytes::from_static(b"x")).unwrap();
+        replicas[1].kill();
+        let err = backend.put_raw(&sha256(b"y"), Bytes::from_static(b"y")).unwrap_err();
+        assert!(matches!(err, Error::QuorumFailed { required: 2, achieved: 1 }));
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_success() {
+        // p=0.4 transient failures with 5 attempts: a put to one replica
+        // fails all 5 attempts with p≈1%, and the second replica provides
+        // quorum slack; 50 puts through this pair virtually always land.
+        let faulty: Vec<Arc<dyn Backend>> = (0..2u64)
+            .map(|i| {
+                Arc::new(FaultyBackend::new(
+                    MemoryBackend::new(),
+                    FaultPlan::new(7 + i).transient_io(0.4),
+                )) as Arc<dyn Backend>
+            })
+            .collect();
+        let clock = Arc::new(ManualClock::new());
+        let backend = ReplicatedBackend::new(faulty)
+            .with_clock(clock.clone())
+            .with_retry(RetryPolicy { max_attempts: 10, base_backoff_ms: 2, max_backoff_ms: 50 })
+            .with_breaker(BreakerConfig { failure_threshold: 50, cooldown_ms: 10 })
+            .with_seed(3);
+        let store = ObjectStore::new(backend);
+        let ids: Vec<Digest> =
+            (0..50).map(|i| store.put(format!("flaky-{i}").into_bytes()).unwrap()).collect();
+        for id in &ids {
+            assert!(store.get(id).unwrap().len() >= 7);
+        }
+        // Backoff slept on the virtual clock, not the wall clock.
+        assert!(clock.now_ms() > 0, "retries must have backed off");
+    }
+
+    #[test]
+    fn breaker_opens_on_dead_replica_and_half_opens_after_cooldown() {
+        let (_, replicas) = replicated(3);
+        let dyns: Vec<Arc<dyn Backend>> =
+            replicas.iter().map(|f| f.clone() as Arc<dyn Backend>).collect();
+        let clock = Arc::new(ManualClock::new());
+        let backend = ReplicatedBackend::new(dyns)
+            .with_clock(clock.clone())
+            .with_breaker(BreakerConfig { failure_threshold: 3, cooldown_ms: 500 })
+            .with_seed(2);
+        let store = ObjectStore::new(backend);
+        replicas[1].kill();
+        for i in 0..3 {
+            store.put(format!("obj-{i}").into_bytes()).unwrap();
+        }
+        assert_eq!(store.backend().breaker_state(1), BreakerState::Open);
+        // While open, the dead replica is skipped without being touched.
+        let before = replicas[1].fault_counts();
+        store.put(b"skips replica 1".as_slice()).unwrap();
+        assert_eq!(replicas[1].fault_counts(), before);
+        // Cooldown elapses on the virtual clock → next op probes (HalfOpen),
+        // fails (still dead), and re-opens.
+        clock.advance_ms(500);
+        store.put(b"probe".as_slice()).unwrap();
+        assert_eq!(store.backend().breaker_state(1), BreakerState::Open);
+        // Revive, wait out the cooldown: the probe succeeds and the breaker
+        // closes again.
+        replicas[1].revive();
+        clock.advance_ms(500);
+        store.put(b"recovered".as_slice()).unwrap();
+        assert_eq!(store.backend().breaker_state(1), BreakerState::Closed);
+    }
+
+    #[test]
+    fn heal_rewrites_only_damaged_copies() {
+        let (backend, replicas) = replicated(3);
+        let store = ObjectStore::new(backend);
+        let id = store.put(b"precious".as_slice()).unwrap();
+        replicas[0].corrupt_object(&id);
+        replicas[2].inner().delete_raw(&id).unwrap();
+        let good = store.backend().fetch_verified(&id).unwrap();
+        let outcome = store.backend().heal(&id, &good);
+        assert_eq!(outcome, HealOutcome { patched: 2, failed: 0 });
+        for r in &replicas {
+            let copy = r.inner().get_raw(&id).unwrap();
+            assert_eq!(sha256(&copy), id);
+        }
+        // A second heal is a no-op.
+        assert_eq!(store.backend().heal(&id, &good), HealOutcome::default());
+    }
+
+    #[test]
+    fn list_is_the_union_of_replicas() {
+        let (backend, replicas) = replicated(2);
+        let a = sha256(b"only on 0");
+        let b = sha256(b"only on 1");
+        replicas[0].put_raw(&a, Bytes::from_static(b"only on 0")).unwrap();
+        replicas[1].put_raw(&b, Bytes::from_static(b"only on 1")).unwrap();
+        let mut want = vec![a, b];
+        want.sort();
+        assert_eq!(backend.list(), want);
+        assert_eq!(backend.object_count(), 2);
+        assert!(backend.contains(&a) && backend.contains(&b));
+    }
+
+    #[test]
+    fn delete_clears_every_replica() {
+        let (backend, replicas) = replicated(3);
+        let store = ObjectStore::new(backend);
+        let id = store.put(b"disposable".as_slice()).unwrap();
+        assert!(store.delete(&id).unwrap());
+        for r in &replicas {
+            assert!(!r.inner().contains(&id));
+        }
+        assert!(!store.delete(&id).unwrap());
+    }
+
+    #[test]
+    fn single_replica_degenerates_to_plain_backend() {
+        let (backend, _) = replicated(1);
+        assert_eq!(backend.write_quorum(), 1);
+        let store = ObjectStore::new(backend);
+        let id = store.put(b"solo".as_slice()).unwrap();
+        assert!(store.verify(&id).unwrap());
+    }
+}

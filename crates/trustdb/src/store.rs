@@ -134,9 +134,16 @@ pub struct FileBackend {
     index: RwLock<BTreeMap<Digest, u64>>,
 }
 
+/// Monotonic discriminator for temp-file names: two concurrent `put_raw`
+/// calls for the same digest must never share a temp path, or one writer's
+/// rename could publish the other's half-written file.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
 impl FileBackend {
     /// Open (or create) a file backend rooted at `root`, scanning existing
-    /// objects into the in-memory index.
+    /// objects into the in-memory index. Stale `*.tmp` files left behind by
+    /// a crash mid-`put_raw` are swept (they were never renamed into place,
+    /// so they hold no committed data).
     pub fn open(root: impl AsRef<Path>) -> Result<Self> {
         let root = root.as_ref().to_path_buf();
         std::fs::create_dir_all(&root)?;
@@ -150,9 +157,14 @@ impl FileBackend {
                 let l2 = l2?;
                 for obj in std::fs::read_dir(l2.path())? {
                     let obj = obj?;
-                    if let Some(d) =
-                        obj.file_name().to_str().and_then(Digest::from_hex)
-                    {
+                    let name = obj.file_name();
+                    let Some(name) = name.to_str() else { continue };
+                    if name.ends_with(".tmp") {
+                        let _ = std::fs::remove_file(obj.path());
+                        itrust_obs::counter_inc!("trustdb.store.stale_tmp_swept");
+                        continue;
+                    }
+                    if let Some(d) = Digest::from_hex(name) {
                         index.insert(d, obj.metadata()?.len());
                     }
                 }
@@ -174,11 +186,19 @@ impl Backend for FileBackend {
         }
         let path = self.path_for(digest);
         std::fs::create_dir_all(path.parent().unwrap())?;
-        // Write to a temp name then rename: readers never observe a torn
-        // object file.
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &bytes)?;
-        std::fs::rename(&tmp, &path)?;
+        // Write to a unique temp name then rename: readers never observe a
+        // torn object file, and concurrent puts of the same digest cannot
+        // rename each other's half-written temp into place. The `.tmp`
+        // suffix is what `open`'s stale-file sweep keys on.
+        let tmp = path.with_extension(format!(
+            "{}-{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if let Err(e) = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, &path)) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
         self.index.write().insert(*digest, bytes.len() as u64);
         Ok(())
     }
@@ -406,6 +426,61 @@ mod tests {
         bytes[5] ^= 0x01;
         std::fs::write(&path, bytes).unwrap();
         assert!(!store.verify(&id).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_backend_sweeps_stale_tmp_on_open() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("trustdb-tmp-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let id;
+        {
+            let store = ObjectStore::new(FileBackend::open(&dir).unwrap());
+            id = store.put(b"real object".as_slice()).unwrap();
+        }
+        // Simulate a crash mid-put: a .tmp orphan next to the real object.
+        let hex = id.to_hex();
+        let leaf = dir.join(&hex[0..2]).join(&hex[2..4]);
+        let orphan = leaf.join(format!("{hex}.999-7.tmp"));
+        std::fs::write(&orphan, b"half-written junk").unwrap();
+        let store = ObjectStore::new(FileBackend::open(&dir).unwrap());
+        assert!(!orphan.exists(), "stale tmp must be swept at open");
+        assert_eq!(store.object_count(), 1, "orphan must not be indexed");
+        assert!(store.verify(&id).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_backend_concurrent_same_digest_puts() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("trustdb-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let backend = std::sync::Arc::new(FileBackend::open(&dir).unwrap());
+        let payload = Bytes::from(vec![0x5Au8; 4096]);
+        let digest = sha256(&payload);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let backend = backend.clone();
+            let payload = payload.clone();
+            handles.push(std::thread::spawn(move || {
+                backend.put_raw(&digest, payload).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(backend.get_raw(&digest).unwrap(), payload);
+        assert_eq!(backend.object_count(), 1);
+        // No temp droppings survive the racing writers.
+        let hex = digest.to_hex();
+        let leaf = dir.join(&hex[0..2]).join(&hex[2..4]);
+        let leftovers: Vec<_> = std::fs::read_dir(&leaf)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "unique temp names must all be renamed or removed");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

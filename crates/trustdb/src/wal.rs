@@ -21,7 +21,7 @@ use crate::errors::{Error, Result};
 use crate::hash::crc32c;
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Maximum accepted frame payload (64 MiB). Anything larger is assumed to be
@@ -42,11 +42,48 @@ pub enum SyncPolicy {
     Never,
 }
 
+/// Minimal file surface the log writes through. Abstracted so tests can
+/// inject mid-write failures and verify the partial-write recovery path;
+/// production always uses a real [`File`].
+trait WalFile: Send {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Cut the file back to `len` bytes (drops a torn tail). Subsequent
+    /// appends continue from the new end.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+}
+
+impl WalFile for File {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        Write::write_all(self, buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        File::sync_data(self)
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.set_len(len)?;
+        // The file is opened in append mode, so writes always land at the
+        // (now shorter) end; the seek just keeps the cursor honest.
+        self.seek(SeekFrom::End(0))?;
+        Ok(())
+    }
+}
+
 struct WalInner {
-    writer: BufWriter<File>,
+    file: Box<dyn WalFile>,
+    /// Reusable batch encode buffer; frames are staged here and written
+    /// with a single `write_all`, so a failed append leaves at most one
+    /// torn region that `truncate` removes.
+    batch: Vec<u8>,
     /// Byte offset of the end of the last durable frame.
     len: u64,
     frames: u64,
+    /// Set when a failed append may have left torn bytes past `len` AND the
+    /// recovery truncate also failed; the next append must re-truncate
+    /// before writing or its frames would land after junk.
+    torn: bool,
 }
 
 /// An append-only write-ahead log backed by a single file.
@@ -92,9 +129,11 @@ impl Wal {
             path,
             policy,
             inner: Mutex::new(WalInner {
-                writer: BufWriter::new(file),
+                file: Box::new(file),
+                batch: Vec::new(),
                 len: durable_len,
                 frames,
+                torn: false,
             }),
         })
     }
@@ -130,11 +169,22 @@ impl Wal {
         I: IntoIterator<Item = &'a [u8]>,
     {
         let _span = itrust_obs::span!("trustdb.wal.append");
-        let mut inner = self.inner.lock();
-        let mut appended = 0u64;
+        let inner = &mut *self.inner.lock();
+        if inner.torn {
+            // A previous append failed AND its recovery truncate failed;
+            // retry the truncate before writing anything new.
+            let durable = inner.len;
+            inner.file.truncate(durable)?;
+            inner.torn = false;
+        }
+        // Stage the whole batch in memory first: frame-size validation
+        // happens before a single byte touches the file, and the file sees
+        // exactly one write per batch.
+        inner.batch.clear();
         let mut n = 0u64;
         for payload in payloads {
             if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+                inner.batch.clear();
                 return Err(Error::InvariantViolation(format!(
                     "frame of {} bytes exceeds MAX_FRAME_LEN",
                     payload.len()
@@ -142,34 +192,44 @@ impl Wal {
             }
             let len = payload.len() as u32;
             let crc = crc32c(payload);
-            inner.writer.write_all(&len.to_le_bytes())?;
-            inner.writer.write_all(&crc.to_le_bytes())?;
-            inner.writer.write_all(payload)?;
-            appended += 8 + payload.len() as u64;
+            inner.batch.extend_from_slice(&len.to_le_bytes());
+            inner.batch.extend_from_slice(&crc.to_le_bytes());
+            inner.batch.extend_from_slice(payload);
             n += 1;
         }
-        inner.writer.flush()?;
-        match self.policy {
-            SyncPolicy::Always | SyncPolicy::GroupCommit => {
-                inner.writer.get_ref().sync_data()?;
+        let sync = matches!(self.policy, SyncPolicy::Always | SyncPolicy::GroupCommit);
+        let written = inner.file.write_all(&inner.batch).and_then(|()| {
+            if sync {
+                inner.file.sync_data()
+            } else {
+                Ok(())
             }
-            SyncPolicy::Never => {}
+        });
+        if let Err(e) = written {
+            // The file may hold a torn frame beyond the durable prefix. Cut
+            // it back so the next append does not land after junk (which
+            // would orphan every later frame at replay). If the truncate
+            // itself fails, remember that so the next append retries it;
+            // open-time recovery covers the crash case either way.
+            let durable = inner.len;
+            inner.torn = inner.file.truncate(durable).is_err();
+            itrust_obs::counter_inc!("trustdb.wal.append_failures");
+            return Err(e.into());
         }
-        inner.len += appended;
+        inner.len += inner.batch.len() as u64;
         inner.frames += n;
         itrust_obs::counter_add!("trustdb.wal.frames_appended", n);
-        itrust_obs::counter_add!("trustdb.wal.bytes_appended", appended);
+        itrust_obs::counter_add!("trustdb.wal.bytes_appended", inner.batch.len() as u64);
         Ok(inner.len)
     }
 
     /// Read back every intact frame from the start of the log.
     pub fn replay(&self) -> Result<Replay> {
         let _span = itrust_obs::span!("trustdb.wal.replay");
-        // Flush buffered bytes so the reader sees them.
-        {
-            let mut inner = self.inner.lock();
-            inner.writer.flush()?;
-        }
+        // Hold the lock so a concurrent append cannot interleave with the
+        // read (appends write whole batches, but a half-written batch would
+        // otherwise show up as a torn tail).
+        let _inner = self.inner.lock();
         let mut file = File::open(&self.path)?;
         Self::replay_file(&mut file)
     }
@@ -208,10 +268,66 @@ impl Wal {
     }
 }
 
+/// Test-only writer that forwards to the real file but fails once after
+/// writing `budget` bytes of the offending call — leaving a genuinely torn
+/// frame on disk, exactly what a mid-write power cut or ENOSPC produces.
+#[cfg(test)]
+struct FailingFile {
+    inner: Box<dyn WalFile>,
+    budget: usize,
+    tripped: bool,
+}
+
+#[cfg(test)]
+impl WalFile for FailingFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        if self.tripped {
+            return self.inner.write_all(buf);
+        }
+        if buf.len() <= self.budget {
+            self.budget -= buf.len();
+            return self.inner.write_all(buf);
+        }
+        // Partial write, then fail.
+        self.inner.write_all(&buf[..self.budget])?;
+        self.tripped = true;
+        Err(io::Error::new(io::ErrorKind::WriteZero, "injected write failure"))
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.inner.sync_data()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.inner.truncate(len)
+    }
+}
+
+#[cfg(test)]
+impl Wal {
+    /// Wrap the current file so the next write fails after `budget` bytes.
+    fn inject_failing_writes(&self, budget: usize) {
+        struct NullFile;
+        impl WalFile for NullFile {
+            fn write_all(&mut self, _: &[u8]) -> io::Result<()> {
+                unreachable!("placeholder file must never be used")
+            }
+            fn sync_data(&mut self) -> io::Result<()> {
+                unreachable!("placeholder file must never be used")
+            }
+            fn truncate(&mut self, _: u64) -> io::Result<()> {
+                unreachable!("placeholder file must never be used")
+            }
+        }
+        let mut inner = self.inner.lock();
+        let real = std::mem::replace(&mut inner.file, Box::new(NullFile));
+        inner.file = Box::new(FailingFile { inner: real, budget, tripped: false });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Write as _;
 
     fn tmp(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
@@ -271,7 +387,7 @@ mod tests {
         // Simulate a torn write: append half a header.
         {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-            f.write_all(&[0xde, 0xad, 0xbe]).unwrap();
+            std::io::Write::write_all(&mut f, &[0xde, 0xad, 0xbe]).unwrap();
         }
         let wal = Wal::open(&path, SyncPolicy::Always).unwrap();
         assert_eq!(wal.frame_count(), 1);
@@ -307,8 +423,8 @@ mod tests {
         let path = tmp("len");
         {
             let mut f = File::create(&path).unwrap();
-            f.write_all(&u32::MAX.to_le_bytes()).unwrap();
-            f.write_all(&0u32.to_le_bytes()).unwrap();
+            std::io::Write::write_all(&mut f, &u32::MAX.to_le_bytes()).unwrap();
+            std::io::Write::write_all(&mut f, &0u32.to_le_bytes()).unwrap();
         }
         let wal = Wal::open(&path, SyncPolicy::Never).unwrap();
         assert_eq!(wal.frame_count(), 0);
@@ -324,6 +440,50 @@ mod tests {
             wal.append(&huge),
             Err(Error::InvariantViolation(_))
         ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_append_truncates_torn_frame_and_recovers() {
+        let path = tmp("failwrite");
+        let wal = Wal::open(&path, SyncPolicy::Never).unwrap();
+        wal.append(b"durable frame").unwrap();
+        let durable = wal.len_bytes();
+
+        // Fail mid-frame: 5 bytes of the new frame reach the file, then the
+        // device errors.
+        wal.inject_failing_writes(5);
+        let err = wal.append(b"this frame tears").unwrap_err();
+        assert!(matches!(err, Error::Io(_)));
+
+        // The torn bytes were cut back to the durable prefix immediately:
+        // the on-disk file ends exactly at the last durable frame.
+        assert_eq!(wal.len_bytes(), durable);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), durable);
+
+        // Subsequent appends land at the durable offset and replay cleanly —
+        // nothing is orphaned behind junk.
+        wal.append(b"after recovery").unwrap();
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.frames, vec![b"durable frame".to_vec(), b"after recovery".to_vec()]);
+        assert!(replay.corrupt_tail_at.is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_batch_is_all_or_nothing() {
+        let path = tmp("failbatch");
+        let wal = Wal::open(&path, SyncPolicy::Never).unwrap();
+        wal.append(b"base").unwrap();
+        // Budget admits the first frame of the batch but tears the second:
+        // the whole batch must be rolled back, not half-committed.
+        wal.inject_failing_writes(8 + 5 + 3);
+        let batch: Vec<&[u8]> = vec![b"five5", b"seven77"];
+        assert!(wal.append_batch(batch).is_err());
+        assert_eq!(wal.frame_count(), 1);
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.frames, vec![b"base".to_vec()]);
+        assert!(replay.corrupt_tail_at.is_none());
         std::fs::remove_file(&path).unwrap();
     }
 

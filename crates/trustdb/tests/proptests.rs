@@ -98,6 +98,58 @@ proptest! {
         std::fs::remove_file(&path).ok();
     }
 
+    /// Replay over arbitrary single-byte corruption at any offset never
+    /// panics, returns an intact prefix of the original frames, and
+    /// truncates exactly at a frame boundary (never mid-frame, never after
+    /// the damage).
+    #[test]
+    fn wal_single_byte_corruption_truncates_at_frame_boundary(
+        frames in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..8),
+        pos in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let mut path = std::env::temp_dir();
+        path.push(format!("trustdb-prop-flip-{}-{:x}", std::process::id(),
+            rand::random::<u64>()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::open(&path, SyncPolicy::Always).unwrap();
+            for f in &frames {
+                wal.append(f).unwrap();
+            }
+        }
+        // Frame boundaries: byte offset where frame i ends.
+        let mut boundaries = vec![0u64];
+        for f in &frames {
+            boundaries.push(boundaries.last().unwrap() + 8 + f.len() as u64);
+        }
+        let total = *boundaries.last().unwrap() as usize;
+        // Corrupt one byte anywhere in the file (xor != 0 guarantees a
+        // real change).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = pos % total;
+        bytes[idx] ^= xor;
+        std::fs::write(&path, &bytes).unwrap();
+        // Open exercises detection + recovery truncation.
+        let wal = Wal::open(&path, SyncPolicy::Never).unwrap();
+        let replay = wal.replay().unwrap();
+        // The survivors are exactly the frames before the damaged one.
+        let k = replay.frames.len();
+        let damaged_frame = boundaries.iter().position(|b| idx < *b as usize).unwrap() - 1;
+        prop_assert_eq!(k, damaged_frame);
+        for (got, want) in replay.frames.iter().zip(&frames) {
+            prop_assert_eq!(got, want);
+        }
+        // Recovery cut the file exactly at the last intact frame boundary.
+        prop_assert_eq!(std::fs::metadata(&path).unwrap().len(), boundaries[k]);
+        prop_assert!(replay.corrupt_tail_at.is_none());
+        // The log is usable again: appends after recovery replay cleanly.
+        wal.append(b"post-recovery").unwrap();
+        let replay = wal.replay().unwrap();
+        prop_assert_eq!(replay.frames.len(), k + 1);
+        std::fs::remove_file(&path).ok();
+    }
+
     /// Appending arbitrary garbage bytes after valid frames never corrupts
     /// the valid prefix: replay recovers every intact frame.
     #[test]

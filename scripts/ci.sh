@@ -6,3 +6,12 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+# D9 smoke: a tiny deterministic fault storm must run clean end to end
+# (scratch results dir so committed results/ artifacts stay untouched).
+D9_SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$D9_SMOKE_DIR"' EXIT
+D9_OBJECTS=60 D9_RATES=0.1,0.5 D9_SEED=42 ITRUST_RESULTS_DIR="$D9_SMOKE_DIR" \
+    cargo run --release -q -p itrust-bench --bin d9
+test -s "$D9_SMOKE_DIR/d9.json"
+test -s "$D9_SMOKE_DIR/d9.telemetry.json"
