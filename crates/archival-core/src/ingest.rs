@@ -93,11 +93,17 @@ impl<B: Backend> Repository<B> {
         }
         let aip_id = format!("aip-{:06}", self.next_aip.fetch_add(1, Ordering::SeqCst));
         let payload_bytes = sip.payload_bytes();
-        // Persist contents (content addressing dedups automatically).
+        // Persist contents (content addressing dedups automatically). The
+        // whole batch is handed to the store at once so item digests are
+        // computed in parallel while writes proceed in submission order
+        // (hash-while-copy).
         let persist_span = itrust_obs::span!("archival.ingest.persist");
-        let mut entries = Vec::with_capacity(sip.items.len());
-        for mut item in sip.items {
-            let stored = self.store.put(item.content)?;
+        let mut items = sip.items;
+        let contents: Vec<Vec<u8>> =
+            items.iter_mut().map(|item| std::mem::take(&mut item.content)).collect();
+        let stored_digests = self.store.put_many(contents)?;
+        let mut entries = Vec::with_capacity(items.len());
+        for (mut item, stored) in items.into_iter().zip(stored_digests) {
             debug_assert_eq!(stored, item.record.content_digest);
             item.provenance.append(
                 timestamp_ms,

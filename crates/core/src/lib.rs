@@ -36,6 +36,8 @@
 //! * [`platform`] — the [`platform::ITrustPlatform`] facade wiring the
 //!   repository, the guard, and the capabilities together end-to-end.
 
+pub use itrust_par as par;
+
 pub mod access;
 pub mod ai_task;
 pub mod describe;

@@ -6,6 +6,14 @@
 //! pools (finite units, dispatch queues). Runs are bit-deterministic in
 //! `(config, seed)` — the property the preservation/replay experiment
 //! depends on.
+//!
+//! Arrival generation is parallel and the event loop is RNG-free: each
+//! region's candidate stream is sampled up front in its own seeded
+//! sub-stream (split from the run seed via `SeedableRng::seed_from_stream`),
+//! every random quantity a call will ever need is drawn at acceptance time,
+//! and the per-region streams are merged by `(time, region)`. The event
+//! loop then only consumes pre-sampled values, so [`SimOutput`] is
+//! byte-identical for every `ITRUST_THREADS` setting.
 
 use crate::call::{CallCategory, CallOutcome, CallRecord, CallStats};
 use crate::event::{EventQueue, SimTime};
@@ -93,8 +101,6 @@ pub struct SimOutput {
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    /// Candidate arrival in a region (thinning decides acceptance).
-    Arrival { region: usize },
     /// Call taker finished handling a call at a PSAP.
     AnswerComplete { psap: usize, call: usize },
     /// A queued caller's patience expires.
@@ -103,6 +109,75 @@ enum Event {
     UnitArrive { call: usize, region: usize, kind: ResponderKind, unit: usize },
     /// A unit clears the scene and becomes available.
     UnitClear { region: usize, kind: ResponderKind, unit: usize },
+}
+
+/// One accepted call with every random quantity it will ever need,
+/// pre-sampled at generation time from its region's dedicated RNG stream.
+/// Pre-sampling unconditionally (even `patience_ms` for calls that are
+/// never queued, or `travel_ms` for calls that are never dispatched) is
+/// what decouples the region streams from queueing dynamics: the values a
+/// call draws can never depend on what happened to earlier calls.
+#[derive(Debug, Clone)]
+struct ArrivalDraw {
+    at: SimTime,
+    region: usize,
+    category: CallCategory,
+    phone_suffix: u32,
+    gps: (f64, f64),
+    handling_ms: SimTime,
+    patience_ms: SimTime,
+    travel_ms: SimTime,
+    on_scene_ms: SimTime,
+}
+
+/// Generate one region's accepted arrivals for `[0, duration_ms)`.
+///
+/// The stream index is `region + 1`: stream 0 of a seed is the base
+/// `seed_from_u64` stream, which other (non-regional) consumers of the run
+/// seed may already be using.
+fn region_arrivals(config: &SimConfig, region: usize, max_multiplier: f64) -> Vec<ArrivalDraw> {
+    let mut rng = StdRng::seed_from_stream(config.seed, region as u64 + 1);
+    let region_cfg = &config.topology.regions[region];
+    let envelope = region_cfg.base_rate_per_min * max_multiplier / 60_000.0; // per ms
+    let (clat, clon) = region_cfg.centroid;
+    let mut draws = Vec::new();
+    let mut t = exponential(&mut rng, envelope).ceil() as SimTime;
+    while t < config.duration_ms {
+        // Thinning: accept with probability rate(t)/envelope-rate.
+        let actual =
+            region_cfg.base_rate_per_min * config.timeline.multiplier(t, region) / 60_000.0;
+        if rng.gen::<f64>() < actual / envelope {
+            let category = sample_category(&mut rng);
+            let phone_suffix = rng.gen_range(0..10_000u32);
+            let gps = (clat + 0.02 * gaussian(&mut rng), clon + 0.02 * gaussian(&mut rng));
+            let handling_ms =
+                log_normal(&mut rng, config.handling_lognormal.0, config.handling_lognormal.1)
+                    .ceil() as SimTime;
+            let patience_ms =
+                exponential(&mut rng, 1.0 / config.mean_patience_ms).ceil().max(1.0) as SimTime;
+            let travel_ms =
+                log_normal(&mut rng, config.travel_lognormal.0, config.travel_lognormal.1).ceil()
+                    as SimTime;
+            let on_scene_ms =
+                log_normal(&mut rng, config.on_scene_lognormal.0, config.on_scene_lognormal.1)
+                    .ceil() as SimTime;
+            draws.push(ArrivalDraw {
+                at: t,
+                region,
+                category,
+                phone_suffix,
+                gps,
+                handling_ms,
+                patience_ms,
+                travel_ms,
+                on_scene_ms,
+            });
+        }
+        // Inter-arrival times are ≥ 1 ms, so within a region arrival times
+        // are strictly increasing — (at, region) totally orders the merge.
+        t += exponential(&mut rng, envelope).ceil().max(1.0) as SimTime;
+    }
+    draws
 }
 
 struct PsapState {
@@ -121,7 +196,6 @@ pub fn run(config: &SimConfig) -> SimOutput {
     let _span = itrust_obs::span!("escs.sim.run");
     let problems = config.topology.validate();
     assert!(problems.is_empty(), "invalid topology: {problems:?}");
-    let mut rng = StdRng::seed_from_u64(config.seed);
     let mut queue: EventQueue<Event> = EventQueue::new();
     let n_regions = config.topology.regions.len();
 
@@ -135,14 +209,15 @@ pub fn run(config: &SimConfig) -> SimOutput {
         .product::<f64>()
         .max(1.0);
 
-    // Seed one candidate arrival per region.
-    for (ri, region) in config.topology.regions.iter().enumerate() {
-        let envelope = region.base_rate_per_min * max_multiplier / 60_000.0; // per ms
-        let dt = exponential(&mut rng, envelope).ceil() as SimTime;
-        if dt < config.duration_ms {
-            queue.schedule(dt, Event::Arrival { region: ri });
-        }
-    }
+    // Generate every region's arrival stream (parallel — each region has
+    // its own RNG stream), then merge deterministically by (time, region).
+    let arrivals: Vec<ArrivalDraw> = itrust_obs::time("escs.sim.generate_arrivals", || {
+        let per_region: Vec<Vec<ArrivalDraw>> =
+            itrust_par::par_map_indices(n_regions, |ri| region_arrivals(config, ri, max_multiplier));
+        let mut all: Vec<ArrivalDraw> = per_region.into_iter().flatten().collect();
+        all.sort_by_key(|d| (d.at, d.region));
+        all
+    });
 
     let mut psaps: Vec<PsapState> = config
         .topology
@@ -184,86 +259,75 @@ pub fn run(config: &SimConfig) -> SimOutput {
     let depth_high_water = itrust_obs::gauge("escs.sim.queue_depth_max");
 
     // Helper closures are avoided where they would need &mut captures;
-    // the match below is explicit instead.
-    while let Some((now, event)) = queue.pop() {
+    // the match below is explicit instead. The pre-generated arrival stream
+    // is merged with the scheduled-event queue in time order; an arrival
+    // wins ties (any fixed rule works — it just must not depend on the
+    // thread count).
+    let mut next_arrival = 0usize;
+    while next_arrival < arrivals.len() || !queue.is_empty() {
+        let take_arrival = match queue.peek_time() {
+            Some(t) => next_arrival < arrivals.len() && arrivals[next_arrival].at <= t,
+            None => next_arrival < arrivals.len(),
+        };
+        if take_arrival {
+            let draw = &arrivals[next_arrival];
+            next_arrival += 1;
+            dispatched.inc();
+            let now = draw.at;
+            let region = draw.region;
+            let region_cfg = &config.topology.regions[region];
+            // Create the call. Every accepted draw becomes exactly one call,
+            // so call_id indexes both `calls` and `arrivals`.
+            let call_id = calls.len();
+            let call = CallRecord {
+                call_id: call_id as u64,
+                region: RegionId(region),
+                answered_by: None,
+                transferred: false,
+                caller_phone: format!("206-555-{:04}", draw.phone_suffix),
+                gps: draw.gps,
+                category: draw.category,
+                arrived_ms: now,
+                answered_ms: None,
+                handling_ms: None,
+                dispatched: None,
+                responder_unit: None,
+                on_scene_ms: None,
+                outcome: CallOutcome::Abandoned, // until proven otherwise
+            };
+            calls.push(call);
+            waiting.push(false);
+            // Route: primary PSAP, with overflow transfer when congested.
+            let primary = region_cfg.primary_psap.0;
+            let mut target = primary;
+            let pcfg = &config.topology.psaps[primary];
+            if psaps[primary].queue.len() >= pcfg.overflow_threshold {
+                if let Some(partner) = pcfg.overflow_to {
+                    target = partner.0;
+                    calls[call_id].transferred = true;
+                }
+            }
+            calls[call_id].answered_by = Some(PsapId(target));
+            let tcfg = &config.topology.psaps[target];
+            if psaps[target].busy_trunks < tcfg.trunks {
+                psaps[target].busy_trunks += 1;
+                calls[call_id].answered_ms = Some(now);
+                calls[call_id].handling_ms = Some(draw.handling_ms);
+                queue.schedule(
+                    now + draw.handling_ms,
+                    Event::AnswerComplete { psap: target, call: call_id },
+                );
+            } else {
+                psaps[target].queue.push_back(call_id);
+                waiting[call_id] = true;
+                queue.schedule(now + draw.patience_ms, Event::Abandon { call: call_id });
+            }
+            continue;
+        }
+        let (now, event) = queue.pop().expect("loop condition guarantees a pending event");
         dispatched.inc();
         depth_high_water.max_of(queue.len() as i64);
         match event {
-            Event::Arrival { region } => {
-                // Schedule the next candidate for this region first.
-                let region_cfg = &config.topology.regions[region];
-                let envelope = region_cfg.base_rate_per_min * max_multiplier / 60_000.0;
-                let dt = exponential(&mut rng, envelope).ceil().max(1.0) as SimTime;
-                if now + dt < config.duration_ms {
-                    queue.schedule(now + dt, Event::Arrival { region });
-                }
-                // Thinning: accept with probability rate(t)/envelope-rate.
-                let actual = region_cfg.base_rate_per_min
-                    * config.timeline.multiplier(now, region)
-                    / 60_000.0;
-                if rng.gen::<f64>() >= actual / envelope {
-                    continue;
-                }
-                // Accepted: create the call.
-                let call_id = calls.len();
-                let category = sample_category(&mut rng);
-                let (clat, clon) = region_cfg.centroid;
-                let call = CallRecord {
-                    call_id: call_id as u64,
-                    region: RegionId(region),
-                    answered_by: None,
-                    transferred: false,
-                    caller_phone: format!(
-                        "206-555-{:04}",
-                        rng.gen_range(0..10_000u32)
-                    ),
-                    gps: (
-                        clat + 0.02 * gaussian(&mut rng),
-                        clon + 0.02 * gaussian(&mut rng),
-                    ),
-                    category,
-                    arrived_ms: now,
-                    answered_ms: None,
-                    handling_ms: None,
-                    dispatched: None,
-                    responder_unit: None,
-                    on_scene_ms: None,
-                    outcome: CallOutcome::Abandoned, // until proven otherwise
-                };
-                calls.push(call);
-                waiting.push(false);
-                // Route: primary PSAP, with overflow transfer when congested.
-                let primary = region_cfg.primary_psap.0;
-                let mut target = primary;
-                let pcfg = &config.topology.psaps[primary];
-                if psaps[primary].queue.len() >= pcfg.overflow_threshold {
-                    if let Some(partner) = pcfg.overflow_to {
-                        target = partner.0;
-                        calls[call_id].transferred = true;
-                    }
-                }
-                calls[call_id].answered_by = Some(PsapId(target));
-                let tcfg = &config.topology.psaps[target];
-                if psaps[target].busy_trunks < tcfg.trunks {
-                    psaps[target].busy_trunks += 1;
-                    calls[call_id].answered_ms = Some(now);
-                    let handling = log_normal(
-                        &mut rng,
-                        config.handling_lognormal.0,
-                        config.handling_lognormal.1,
-                    )
-                    .ceil() as SimTime;
-                    calls[call_id].handling_ms = Some(handling);
-                    queue.schedule(now + handling, Event::AnswerComplete { psap: target, call: call_id });
-                } else {
-                    psaps[target].queue.push_back(call_id);
-                    waiting[call_id] = true;
-                    let patience = exponential(&mut rng, 1.0 / config.mean_patience_ms)
-                        .ceil()
-                        .max(1.0) as SimTime;
-                    queue.schedule(now + patience, Event::Abandon { call: call_id });
-                }
-            }
             Event::Abandon { call } => {
                 if waiting[call] {
                     waiting[call] = false;
@@ -287,7 +351,7 @@ pub fn run(config: &SimConfig) -> SimOutput {
                         {
                             pools[pi].units_busy[unit] = true;
                             dispatch_unit(
-                                &mut queue, &mut rng, config, &mut calls, call, region, kind, unit, now,
+                                &mut queue, &mut calls, &arrivals, call, region, kind, unit, now,
                             );
                         } else {
                             pools[pi].pending.push_back(call);
@@ -303,12 +367,7 @@ pub fn run(config: &SimConfig) -> SimOutput {
                     waiting[next] = false;
                     psaps[psap].busy_trunks += 1;
                     calls[next].answered_ms = Some(now);
-                    let handling = log_normal(
-                        &mut rng,
-                        config.handling_lognormal.0,
-                        config.handling_lognormal.1,
-                    )
-                    .ceil() as SimTime;
+                    let handling = arrivals[next].handling_ms;
                     calls[next].handling_ms = Some(handling);
                     queue.schedule(now + handling, Event::AnswerComplete { psap, call: next });
                     break;
@@ -317,19 +376,14 @@ pub fn run(config: &SimConfig) -> SimOutput {
             Event::UnitArrive { call, region, kind, unit } => {
                 calls[call].on_scene_ms = Some(now);
                 calls[call].outcome = CallOutcome::Completed;
-                let on_scene = log_normal(
-                    &mut rng,
-                    config.on_scene_lognormal.0,
-                    config.on_scene_lognormal.1,
-                )
-                .ceil() as SimTime;
+                let on_scene = arrivals[call].on_scene_ms;
                 queue.schedule(now + on_scene, Event::UnitClear { region, kind, unit });
             }
             Event::UnitClear { region, kind, unit } => {
                 let pi = pool_at(region, kind);
                 if let Some(next) = pools[pi].pending.pop_front() {
                     dispatch_unit(
-                        &mut queue, &mut rng, config, &mut calls, next, region, kind, unit, now,
+                        &mut queue, &mut calls, &arrivals, next, region, kind, unit, now,
                     );
                 } else {
                     pools[pi].units_busy[unit] = false;
@@ -343,7 +397,7 @@ pub fn run(config: &SimConfig) -> SimOutput {
         engine: ENGINE_VERSION.to_string(),
         config_digest: config.digest().to_hex(),
         seed: config.seed,
-        events_processed: queue.processed(),
+        events_processed: queue.processed() + arrivals.len() as u64,
         calls_generated: calls.len() as u64,
     };
     SimOutput { calls, stats, provenance }
@@ -352,9 +406,8 @@ pub fn run(config: &SimConfig) -> SimOutput {
 #[allow(clippy::too_many_arguments)]
 fn dispatch_unit(
     queue: &mut EventQueue<Event>,
-    rng: &mut StdRng,
-    config: &SimConfig,
     calls: &mut [CallRecord],
+    arrivals: &[ArrivalDraw],
     call: usize,
     region: usize,
     kind: ResponderKind,
@@ -362,9 +415,7 @@ fn dispatch_unit(
     now: SimTime,
 ) {
     calls[call].responder_unit = Some(format!("{kind:?}-{region}-{unit}"));
-    let travel =
-        log_normal(rng, config.travel_lognormal.0, config.travel_lognormal.1).ceil() as SimTime;
-    queue.schedule(now + travel, Event::UnitArrive { call, region, kind, unit });
+    queue.schedule(now + arrivals[call].travel_ms, Event::UnitArrive { call, region, kind, unit });
 }
 
 fn sample_category(rng: &mut StdRng) -> CallCategory {
@@ -417,6 +468,19 @@ mod tests {
         assert_eq!(a.calls, b.calls);
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.provenance, b.provenance);
+    }
+
+    #[test]
+    fn output_is_byte_identical_across_thread_counts() {
+        let serial = itrust_par::with_threads(1, || hour_run(42));
+        for threads in [2, 4] {
+            let par = itrust_par::with_threads(threads, || hour_run(42));
+            assert_eq!(
+                serde_json::to_vec(&par).unwrap(),
+                serde_json::to_vec(&serial).unwrap(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

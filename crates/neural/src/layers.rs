@@ -212,10 +212,164 @@ impl Layer for Tanh {
     }
 }
 
+/// Reference direct convolution — the pre-blocked implementation, retained
+/// as the oracle for the serial-equivalence and property tests. Accumulates
+/// over `(ic, ky, kx)` ascending starting from the bias, skipping
+/// out-of-bounds (padding) taps.
+pub fn conv2d_forward_naive(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    kernel: usize,
+    padding: usize,
+) -> Tensor {
+    let [n, in_c, h, w] = [input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]];
+    let out_c = weight.shape()[0];
+    let k = kernel;
+    let p = padding as isize;
+    let (oh, ow) = (h + 2 * padding + 1 - k, w + 2 * padding + 1 - k);
+    let mut out = Tensor::zeros(&[n, out_c, oh, ow]);
+    for b in 0..n {
+        for oc in 0..out_c {
+            let bias_v = bias.data()[oc];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias_v;
+                    for ic in 0..in_c {
+                        for ky in 0..k {
+                            let iy = oy as isize + ky as isize - p;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ox as isize + kx as isize - p;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += input.at4(b, ic, iy as usize, ix as usize)
+                                    * weight.at4(oc, ic, ky, kx);
+                            }
+                        }
+                    }
+                    *out.at4_mut(b, oc, oy, ox) = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reference direct backward pass; returns `(grad_in, grad_weight,
+/// grad_bias)` as fresh tensors (the `Layer` impl accumulates, so compare
+/// against grads that started from zero).
+pub fn conv2d_backward_naive(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    kernel: usize,
+    padding: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let [n, in_c, h, w] = [input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]];
+    let out_c = weight.shape()[0];
+    let k = kernel;
+    let p = padding as isize;
+    let (oh, ow) = (grad_out.shape()[2], grad_out.shape()[3]);
+    let mut grad_in = Tensor::zeros(input.shape());
+    let mut grad_w = Tensor::zeros(weight.shape());
+    let mut grad_b = Tensor::zeros(&[out_c]);
+    for b in 0..n {
+        for oc in 0..out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad_out.at4(b, oc, oy, ox);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    grad_b.data_mut()[oc] += g;
+                    for ic in 0..in_c {
+                        for ky in 0..k {
+                            let iy = oy as isize + ky as isize - p;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ox as isize + kx as isize - p;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let x = input.at4(b, ic, iy as usize, ix as usize);
+                                *grad_w.at4_mut(oc, ic, ky, kx) += g * x;
+                                *grad_in.at4_mut(b, ic, iy as usize, ix as usize) +=
+                                    g * weight.at4(oc, ic, ky, kx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (grad_in, grad_w, grad_b)
+}
+
+/// Transposed im2col for one batch item: a `[in_c·k·k, oh·ow]` row-major
+/// matrix whose row `kk = (ic·k + ky)·k + kx` holds the input tap for every
+/// output position (zero where the tap falls in the padding). Keeping `kk`
+/// as the row index makes each output row a dot of a weight row with
+/// contiguous patch rows, and makes the `kk`-ascending accumulation order
+/// explicit — that order is what lets the blocked forward match the naive
+/// one bit-for-bit.
+fn im2col_t(input: &Tensor, b: usize, kernel: usize, padding: usize, oh: usize, ow: usize) -> Vec<f32> {
+    let [in_c, h, w] = [input.shape()[1], input.shape()[2], input.shape()[3]];
+    let p = padding as isize;
+    let ohw = oh * ow;
+    let data = input.data();
+    let mut patch = vec![0.0f32; in_c * kernel * kernel * ohw];
+    let mut kk = 0;
+    for ic in 0..in_c {
+        for ky in 0..kernel {
+            for kx in 0..kernel {
+                let dst = &mut patch[kk * ohw..(kk + 1) * ohw];
+                // ox bounds keeping ix = ox + kx - p inside [0, w).
+                let ox_lo = (p - kx as isize).max(0) as usize;
+                let ox_hi = (w as isize + p - kx as isize).clamp(0, ow as isize) as usize;
+                for oy in 0..oh {
+                    let iy = oy as isize + ky as isize - p;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src = ((b * in_c + ic) * h + iy as usize) * w;
+                    for ox in ox_lo..ox_hi {
+                        let ix = (ox as isize + kx as isize - p) as usize;
+                        dst[oy * ow + ox] = data[src + ix];
+                    }
+                }
+                kk += 1;
+            }
+        }
+    }
+    patch
+}
+
+/// Forward-pass state kept for `backward`.
+struct ConvCache {
+    input_shape: Vec<usize>,
+    /// Per-item transposed im2col matrices (see [`im2col_t`]).
+    patches: Vec<Vec<f32>>,
+    oh: usize,
+    ow: usize,
+}
+
 /// 2-D convolution over `[N, C, H, W]` inputs, square kernel, stride 1,
-/// symmetric zero padding. Direct (non-im2col) implementation — at the
-/// tens-of-units scale of this workspace, cache behaviour is fine and the
-/// code stays auditable.
+/// symmetric zero padding. Blocked im2col implementation parallelized over
+/// `itrust_par`: each batch item's patch matrix is built independently, and
+/// each `(item, out-channel)` output row is a dot of a weight row with the
+/// patch rows. Accumulation runs `kk`-ascending from the bias, so forward
+/// outputs equal the retained [`conv2d_forward_naive`] under `f32` equality
+/// and are bit-identical for every thread count (padding taps contribute
+/// exact `±0.0` adds, which cannot change a sum). Backward computes per-item
+/// gradient partials in parallel and merges them serially in batch order —
+/// bit-stable across thread counts, within rounding of the naive reference
+/// (per-item merge reassociates the cross-batch sum).
 pub struct Conv2d {
     /// Weights `[out_c, in_c, k, k]`.
     weight: Param,
@@ -223,7 +377,7 @@ pub struct Conv2d {
     bias: Param,
     kernel: usize,
     padding: usize,
-    cached_input: Option<Tensor>,
+    cache: Option<ConvCache>,
 }
 
 impl Conv2d {
@@ -245,7 +399,7 @@ impl Conv2d {
             bias: Param::new(Tensor::zeros(&[out_channels])),
             kernel,
             padding,
-            cached_input: None,
+            cache: None,
         }
     }
 
@@ -261,81 +415,130 @@ impl Layer for Conv2d {
         let [n, in_c, h, w] = [input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]];
         let out_c = self.weight.value.shape()[0];
         assert_eq!(self.weight.value.shape()[1], in_c, "channel mismatch");
-        let k = self.kernel;
-        let p = self.padding as isize;
         let (oh, ow) = self.out_size(h, w);
-        let mut out = Tensor::zeros(&[n, out_c, oh, ow]);
-        for b in 0..n {
-            for oc in 0..out_c {
-                let bias = self.bias.value.data()[oc];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = bias;
-                        for ic in 0..in_c {
-                            for ky in 0..k {
-                                let iy = oy as isize + ky as isize - p;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let ix = ox as isize + kx as isize - p;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    acc += input.at4(b, ic, iy as usize, ix as usize)
-                                        * self.weight.value.at4(oc, ic, ky, kx);
-                                }
-                            }
-                        }
-                        *out.at4_mut(b, oc, oy, ox) = acc;
-                    }
+        let ohw = oh * ow;
+        let kk_total = in_c * self.kernel * self.kernel;
+        let (kernel, padding) = (self.kernel, self.padding);
+        let patches: Vec<Vec<f32>> =
+            itrust_par::par_map_indices(n, |b| im2col_t(input, b, kernel, padding, oh, ow));
+        let wdata = self.weight.value.data();
+        let bdata = self.bias.value.data();
+        let rows: Vec<Vec<f32>> = itrust_par::par_map_indices(n * out_c, |i| {
+            let (b, oc) = (i / out_c, i % out_c);
+            let patch = &patches[b];
+            let mut row = vec![bdata[oc]; ohw];
+            for (kk, &wv) in wdata[oc * kk_total..(oc + 1) * kk_total].iter().enumerate() {
+                // A zero weight contributes exact ±0.0 to every position —
+                // skipping it cannot change any sum.
+                if wv == 0.0 {
+                    continue;
+                }
+                for (o, &x) in row.iter_mut().zip(&patch[kk * ohw..(kk + 1) * ohw]) {
+                    *o += wv * x;
                 }
             }
+            row
+        });
+        let mut out = Vec::with_capacity(n * out_c * ohw);
+        for r in &rows {
+            out.extend_from_slice(r);
         }
-        self.cached_input = Some(input.clone());
-        out
+        self.cache = Some(ConvCache { input_shape: input.shape().to_vec(), patches, oh, ow });
+        Tensor::from_vec(&[n, out_c, oh, ow], out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("backward before forward");
-        let [n, in_c, h, w] = [input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]];
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let [n, in_c, h, w] = [
+            cache.input_shape[0],
+            cache.input_shape[1],
+            cache.input_shape[2],
+            cache.input_shape[3],
+        ];
         let out_c = self.weight.value.shape()[0];
-        let k = self.kernel;
-        let p = self.padding as isize;
-        let (oh, ow) = (grad_out.shape()[2], grad_out.shape()[3]);
-        let mut grad_in = Tensor::zeros(input.shape());
-        for b in 0..n {
+        let (oh, ow) = (cache.oh, cache.ow);
+        assert_eq!(grad_out.shape(), &[n, out_c, oh, ow], "grad_out shape mismatch");
+        let ohw = oh * ow;
+        let kk_total = in_c * self.kernel * self.kernel;
+        let (kernel, padding) = (self.kernel, self.padding);
+        let go = grad_out.data();
+        let wdata = self.weight.value.data();
+        // Per-item partials (dW, db, dx) computed independently; each is a
+        // pure function of that item's patch matrix and gradient slice.
+        let parts: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = itrust_par::par_map_indices(n, |b| {
+            let patch = &cache.patches[b];
+            let mut dw = vec![0.0f32; out_c * kk_total];
+            let mut db = vec![0.0f32; out_c];
+            let mut dpatch = vec![0.0f32; kk_total * ohw];
             for oc in 0..out_c {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let g = grad_out.at4(b, oc, oy, ox);
-                        if g == 0.0 {
-                            continue;
-                        }
-                        self.bias.grad.data_mut()[oc] += g;
-                        for ic in 0..in_c {
-                            for ky in 0..k {
-                                let iy = oy as isize + ky as isize - p;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let ix = ox as isize + kx as isize - p;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let x = input.at4(b, ic, iy as usize, ix as usize);
-                                    *self.weight.grad.at4_mut(oc, ic, ky, kx) += g * x;
-                                    *grad_in.at4_mut(b, ic, iy as usize, ix as usize) +=
-                                        g * self.weight.value.at4(oc, ic, ky, kx);
-                                }
-                            }
-                        }
+                let g = &go[(b * out_c + oc) * ohw..(b * out_c + oc + 1) * ohw];
+                let mut s = 0.0f32;
+                for &gv in g {
+                    s += gv;
+                }
+                db[oc] = s;
+                for kk in 0..kk_total {
+                    let prow = &patch[kk * ohw..(kk + 1) * ohw];
+                    let mut acc = 0.0f32;
+                    for (&gv, &pv) in g.iter().zip(prow) {
+                        acc += gv * pv;
+                    }
+                    dw[oc * kk_total + kk] = acc;
+                    let wv = wdata[oc * kk_total + kk];
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    for (d, &gv) in dpatch[kk * ohw..(kk + 1) * ohw].iter_mut().zip(g) {
+                        *d += wv * gv;
                     }
                 }
             }
+            // col2im: scatter ∂L/∂patch back onto the overlapping input taps.
+            let mut dx = vec![0.0f32; in_c * h * w];
+            let p = padding as isize;
+            let mut kk = 0;
+            for ic in 0..in_c {
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        let src = &dpatch[kk * ohw..(kk + 1) * ohw];
+                        let ox_lo = (p - kx as isize).max(0) as usize;
+                        let ox_hi = (w as isize + p - kx as isize).clamp(0, ow as isize) as usize;
+                        for oy in 0..oh {
+                            let iy = oy as isize + ky as isize - p;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let dst = (ic * h + iy as usize) * w;
+                            for ox in ox_lo..ox_hi {
+                                let ix = (ox as isize + kx as isize - p) as usize;
+                                dx[dst + ix] += src[oy * ow + ox];
+                            }
+                        }
+                        kk += 1;
+                    }
+                }
+            }
+            (dw, db, dx)
+        });
+        // Serial merge in batch order: f32 addition is non-associative, so
+        // the merge order must be fixed for thread-count invariance.
+        let wg = self.weight.grad.data_mut();
+        for (dw, _, _) in &parts {
+            for (a, &v) in wg.iter_mut().zip(dw) {
+                *a += v;
+            }
         }
-        grad_in
+        let bg = self.bias.grad.data_mut();
+        for (_, db, _) in &parts {
+            for (a, &v) in bg.iter_mut().zip(db) {
+                *a += v;
+            }
+        }
+        let mut gi = Vec::with_capacity(n * in_c * h * w);
+        for (_, _, dx) in &parts {
+            gi.extend_from_slice(dx);
+        }
+        Tensor::from_vec(&cache.input_shape, gi)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -696,6 +899,78 @@ mod tests {
                 (analytic - numeric).abs() < 0.05,
                 "conv input[{idx}] analytic {analytic} vs numeric {numeric}"
             );
+        }
+    }
+
+    /// The blocked forward must equal the retained naive reference under
+    /// `f32` equality — the accumulation order is identical by construction.
+    #[test]
+    fn conv_blocked_forward_matches_naive_exactly() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for &(in_c, out_c, k, pad, h, w, n) in
+            &[(1, 1, 1, 0, 3, 3, 1), (2, 3, 3, 1, 5, 4, 2), (3, 2, 2, 0, 4, 6, 3), (1, 4, 5, 2, 7, 7, 2)]
+        {
+            let mut conv = Conv2d::new(in_c, out_c, k, pad, &mut rng);
+            let x = Tensor::rand_uniform(&[n, in_c, h, w], -1.0, 1.0, &mut rng);
+            let got = conv.forward(&x, false);
+            let (wt, bt) = {
+                let params = conv.params_mut();
+                (params[0].value.clone(), params[1].value.clone())
+            };
+            let want = conv2d_forward_naive(&x, &wt, &bt, k, pad);
+            assert_eq!(got.shape(), want.shape());
+            for (i, (a, b)) in got.data().iter().zip(want.data()).enumerate() {
+                assert!(a == b, "shape {in_c}x{out_c} k{k} p{pad}: elem {i}: {a} != {b}");
+            }
+        }
+    }
+
+    /// Backward merges per-item partials, which reassociates the cross-batch
+    /// sum — equal to the naive reference within rounding.
+    #[test]
+    fn conv_blocked_backward_matches_naive_within_tolerance() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let (in_c, out_c, k, pad) = (2, 3, 3, 1);
+        let mut conv = Conv2d::new(in_c, out_c, k, pad, &mut rng);
+        let x = Tensor::rand_uniform(&[3, in_c, 5, 5], -1.0, 1.0, &mut rng);
+        let y = conv.forward(&x, false);
+        let g = Tensor::rand_uniform(y.shape(), -1.0, 1.0, &mut rng);
+        let grad_in = conv.backward(&g);
+        let weight = conv.params_mut()[0].value.clone();
+        let (want_in, want_w, want_b) = conv2d_backward_naive(&x, &weight, &g, k, pad);
+        let close = |a: &[f32], b: &[f32], what: &str| {
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                assert!((x - y).abs() < 1e-4, "{what}[{i}]: {x} vs {y}");
+            }
+        };
+        close(grad_in.data(), want_in.data(), "grad_in");
+        close(conv.params_mut()[0].grad.data(), want_w.data(), "grad_w");
+        close(conv.params_mut()[1].grad.data(), want_b.data(), "grad_b");
+    }
+
+    /// Forward and backward outputs must be bit-identical for every thread
+    /// count — the substrate's core guarantee on this hot path.
+    #[test]
+    fn conv_forward_backward_bit_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            itrust_par::with_threads(threads, || {
+                let mut rng = StdRng::seed_from_u64(79);
+                let mut conv = Conv2d::new(2, 4, 3, 1, &mut rng);
+                let x = Tensor::rand_uniform(&[3, 2, 6, 6], -1.0, 1.0, &mut rng);
+                let y = conv.forward(&x, false);
+                let g = Tensor::rand_uniform(y.shape(), -1.0, 1.0, &mut rng);
+                let gi = conv.backward(&g);
+                let (wg, bg) = {
+                    let params = conv.params_mut();
+                    (params[0].grad.clone(), params[1].grad.clone())
+                };
+                let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+                (bits(&y), bits(&gi), bits(&wg), bits(&bg))
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), serial, "threads={threads}");
         }
     }
 

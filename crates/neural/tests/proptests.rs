@@ -1,5 +1,6 @@
 //! Property-based tests over tensor algebra and detection metrics.
 
+use neural::layers::{conv2d_backward_naive, conv2d_forward_naive, Conv2d, Layer};
 use neural::loss::softmax;
 use neural::metrics::BBox;
 use neural::tensor::Tensor;
@@ -74,6 +75,65 @@ proptest! {
         prop_assert!((ab - ba).abs() < 1e-6);
         prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
         prop_assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+    }
+
+    /// Blocked conv forward equals the naive reference for arbitrary
+    /// shapes. The bound is 1e-9, but by construction the match is exact:
+    /// both accumulate taps in the same order.
+    #[test]
+    fn conv_blocked_forward_matches_naive(
+        n in 1usize..3, in_c in 1usize..3, out_c in 1usize..4,
+        k in 1usize..4, pad in 0usize..3, dh in 0usize..4, dw in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let (h, w) = (k + dh, k + dw);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut conv = Conv2d::new(in_c, out_c, k, pad, &mut rng);
+        let x = Tensor::rand_uniform(&[n, in_c, h, w], -1.0, 1.0, &mut rng);
+        let got = conv.forward(&x, false);
+        let (wt, bt) = {
+            let params = conv.params_mut();
+            (params[0].value.clone(), params[1].value.clone())
+        };
+        let want = conv2d_forward_naive(&x, &wt, &bt, k, pad);
+        prop_assert_eq!(got.shape(), want.shape());
+        for (a, b) in got.data().iter().zip(want.data()) {
+            prop_assert!((a - b).abs() <= 1e-9, "{} vs {}", a, b);
+        }
+    }
+
+    /// Blocked conv backward matches the naive reference within rounding
+    /// for arbitrary shapes (per-item partial merge reassociates sums).
+    #[test]
+    fn conv_blocked_backward_matches_naive(
+        n in 1usize..3, in_c in 1usize..3, out_c in 1usize..4,
+        k in 1usize..4, pad in 0usize..3, dh in 0usize..4, dw in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let (h, w) = (k + dh, k + dw);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut conv = Conv2d::new(in_c, out_c, k, pad, &mut rng);
+        let x = Tensor::rand_uniform(&[n, in_c, h, w], -1.0, 1.0, &mut rng);
+        let y = conv.forward(&x, false);
+        let g = Tensor::rand_uniform(y.shape(), -1.0, 1.0, &mut rng);
+        let grad_in = conv.backward(&g);
+        let wt = conv.params_mut()[0].value.clone();
+        let (want_in, want_w, want_b) = conv2d_backward_naive(&x, &wt, &g, k, pad);
+        for (a, b) in grad_in.data().iter().zip(want_in.data()) {
+            prop_assert!((a - b).abs() < 1e-3, "grad_in {} vs {}", a, b);
+        }
+        let (wg, bg) = {
+            let params = conv.params_mut();
+            (params[0].grad.clone(), params[1].grad.clone())
+        };
+        for (a, b) in wg.data().iter().zip(want_w.data()) {
+            prop_assert!((a - b).abs() < 1e-3, "grad_w {} vs {}", a, b);
+        }
+        for (a, b) in bg.data().iter().zip(want_b.data()) {
+            prop_assert!((a - b).abs() < 1e-3, "grad_b {} vs {}", a, b);
+        }
     }
 
     /// Dataset shuffle/subset preserve feature-label pairing.

@@ -15,7 +15,7 @@
 //! [`FileBackend`] (a fanned-out directory layout, one file per object).
 
 use crate::errors::{Error, Result};
-use crate::hash::{sha256, Digest};
+use crate::hash::{par_sha256, sha256, Digest};
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -241,6 +241,19 @@ impl Backend for FileBackend {
     }
 }
 
+/// Objects at or above this size are hashed with the parallel
+/// schedule-expansion path; below it, chunk bookkeeping costs more than it
+/// saves.
+pub const PAR_HASH_MIN_BYTES: usize = 64 * 1024;
+
+fn content_digest(bytes: &[u8]) -> Digest {
+    if bytes.len() >= PAR_HASH_MIN_BYTES && itrust_par::current_threads() > 1 {
+        par_sha256(bytes)
+    } else {
+        sha256(bytes)
+    }
+}
+
 /// Content-addressed object store over any [`Backend`].
 pub struct ObjectStore<B: Backend> {
     backend: B,
@@ -262,14 +275,34 @@ impl<B: Backend> ObjectStore<B> {
         self
     }
 
-    /// Store `bytes`, returning the content address. Idempotent.
+    /// Store `bytes`, returning the content address. Idempotent. Objects of
+    /// [`PAR_HASH_MIN_BYTES`] or more are hashed with the parallel
+    /// schedule-expansion path ([`par_sha256`]) — bit-identical to the
+    /// serial digest, so the content address never depends on thread count.
     pub fn put(&self, bytes: impl Into<Bytes>) -> Result<Digest> {
         let _span = itrust_obs::span!("trustdb.store.put");
         let bytes = bytes.into();
         itrust_obs::counter_add!("trustdb.store.put_bytes", bytes.len() as u64);
-        let digest = sha256(&bytes);
+        let digest = content_digest(&bytes);
         self.backend.put_raw(&digest, bytes)?;
         Ok(digest)
+    }
+
+    /// Store a batch of objects, returning their content addresses in input
+    /// order. Digests are computed in parallel over the batch while the
+    /// backend writes proceed serially in submission order (hash-while-copy:
+    /// on ingest the expensive hashing overlaps across items instead of
+    /// alternating hash/write per item). Idempotent per item; stops at the
+    /// first backend error.
+    pub fn put_many(&self, items: Vec<impl Into<Bytes>>) -> Result<Vec<Digest>> {
+        let _span = itrust_obs::span!("trustdb.store.put_many");
+        let items: Vec<Bytes> = items.into_iter().map(Into::into).collect();
+        let digests: Vec<Digest> = itrust_par::par_map(&items, |b| content_digest(b));
+        for (digest, bytes) in digests.iter().zip(items) {
+            itrust_obs::counter_add!("trustdb.store.put_bytes", bytes.len() as u64);
+            self.backend.put_raw(digest, bytes)?;
+        }
+        Ok(digests)
     }
 
     /// Fetch the object at `digest`.
@@ -347,6 +380,37 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(store.object_count(), 1);
         assert_eq!(store.payload_bytes(), 4);
+    }
+
+    #[test]
+    fn put_many_matches_individual_puts_in_order() {
+        let batch = ObjectStore::new(MemoryBackend::new());
+        let single = ObjectStore::new(MemoryBackend::new());
+        let items: Vec<Bytes> =
+            (0..10u8).map(|i| Bytes::from(vec![i; 100 * (i as usize + 1)])).collect();
+        let got = batch.put_many(items.clone()).unwrap();
+        let want: Vec<Digest> =
+            items.iter().map(|b| single.put(b.clone()).unwrap()).collect();
+        assert_eq!(got, want);
+        assert_eq!(batch.object_count(), 10);
+        for (d, b) in got.iter().zip(&items) {
+            assert_eq!(&batch.get(d).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn large_object_digest_invariant_across_thread_counts() {
+        // Above PAR_HASH_MIN_BYTES the parallel hash path engages; the
+        // content address must not depend on the thread count.
+        let payload: Vec<u8> = (0..PAR_HASH_MIN_BYTES + 12_345).map(|i| (i % 251) as u8).collect();
+        let want = sha256(&payload);
+        for threads in [1, 2, 4] {
+            let digest = itrust_par::with_threads(threads, || {
+                let store = ObjectStore::new(MemoryBackend::new());
+                store.put(payload.clone()).unwrap()
+            });
+            assert_eq!(digest, want, "threads={threads}");
+        }
     }
 
     #[test]

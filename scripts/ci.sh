@@ -4,14 +4,32 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+
+# Serial-equivalence gate, part 1: the full test suite must pass both
+# single-threaded and multi-threaded. The suites contain byte-identity
+# assertions, so this catches any path whose output depends on the
+# thread count.
+ITRUST_THREADS=1 cargo test -q
+ITRUST_THREADS=4 cargo test -q
+
 cargo clippy --workspace -- -D warnings
+
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+# Serial-equivalence gate, part 2: detcheck writes content digests of every
+# parallelized hot path (sim output, conv tensors, store digests) with no
+# timing or host info. The two runs must produce byte-identical JSON.
+mkdir -p "$SCRATCH/t1" "$SCRATCH/t4"
+ITRUST_THREADS=1 ITRUST_RESULTS_DIR="$SCRATCH/t1" \
+    cargo run --release -q -p itrust-bench --bin detcheck
+ITRUST_THREADS=4 ITRUST_RESULTS_DIR="$SCRATCH/t4" \
+    cargo run --release -q -p itrust-bench --bin detcheck
+diff -u "$SCRATCH/t1/detcheck.json" "$SCRATCH/t4/detcheck.json"
 
 # D9 smoke: a tiny deterministic fault storm must run clean end to end
 # (scratch results dir so committed results/ artifacts stay untouched).
-D9_SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$D9_SMOKE_DIR"' EXIT
-D9_OBJECTS=60 D9_RATES=0.1,0.5 D9_SEED=42 ITRUST_RESULTS_DIR="$D9_SMOKE_DIR" \
+D9_OBJECTS=60 D9_RATES=0.1,0.5 D9_SEED=42 ITRUST_RESULTS_DIR="$SCRATCH/d9" \
     cargo run --release -q -p itrust-bench --bin d9
-test -s "$D9_SMOKE_DIR/d9.json"
-test -s "$D9_SMOKE_DIR/d9.telemetry.json"
+test -s "$SCRATCH/d9/d9.json"
+test -s "$SCRATCH/d9/d9.telemetry.json"

@@ -1,0 +1,103 @@
+//! Serial-equivalence suite for the deterministic parallel substrate.
+//!
+//! Contract under test: every hot path that runs over `itrust_core::par`
+//! produces **byte-identical** output with 1 thread and with 4 — the thread
+//! count is a performance knob, never a semantic one. This is the property
+//! that lets fixed-seed experiment artifacts stay reproducible on any
+//! machine regardless of its core count.
+
+use itrust_core::par;
+use neural::layers::{conv2d_forward_naive, Conv2d, Layer};
+use neural::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fixed-seed simulation → serialized SimOutput bytes must be identical.
+#[test]
+fn sim_output_bytes_identical_across_thread_counts() {
+    use escs::external::ExternalTimeline;
+    use escs::graph::Topology;
+    use escs::sim::{run, SimConfig};
+    let bytes = |threads: usize| {
+        par::with_threads(threads, || {
+            let duration = 1_800_000; // 30 min under surge: queues + overflow
+            let config = SimConfig::with_defaults(
+                Topology::metro(3),
+                ExternalTimeline::disaster(duration),
+                duration,
+                2024,
+            );
+            serde_json::to_vec(&run(&config)).unwrap()
+        })
+    };
+    let serial = bytes(1);
+    assert_eq!(bytes(4), serial);
+    assert_eq!(bytes(2), serial);
+}
+
+fn conv_bits(threads: usize) -> Vec<Vec<u32>> {
+    par::with_threads(threads, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut conv = Conv2d::new(3, 5, 3, 1, &mut rng);
+        let x = Tensor::rand_uniform(&[4, 3, 8, 8], -1.0, 1.0, &mut rng);
+        let y = conv.forward(&x, true);
+        let g = Tensor::rand_uniform(y.shape(), -1.0, 1.0, &mut rng);
+        let gi = conv.backward(&g);
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+        let (wg, bg) = {
+            let params = conv.params_mut();
+            (params[0].grad.clone(), params[1].grad.clone())
+        };
+        vec![bits(&y), bits(&gi), bits(&wg), bits(&bg)]
+    })
+}
+
+/// Conv2d forward + backward (output, grad_in, grad_w, grad_b) must be
+/// bit-identical across thread counts.
+#[test]
+fn conv2d_tensors_bit_identical_across_thread_counts() {
+    let serial = conv_bits(1);
+    assert_eq!(conv_bits(4), serial);
+    assert_eq!(conv_bits(2), serial);
+}
+
+/// The blocked Conv2d forward also equals the retained naive reference
+/// (the pre-parallel implementation) under f32 equality.
+#[test]
+fn conv2d_forward_equals_retained_naive_reference() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut conv = Conv2d::new(2, 4, 3, 1, &mut rng);
+    let x = Tensor::rand_uniform(&[3, 2, 7, 7], -1.0, 1.0, &mut rng);
+    let got = conv.forward(&x, false);
+    let (wt, bt) = {
+        let params = conv.params_mut();
+        (params[0].value.clone(), params[1].value.clone())
+    };
+    let want = conv2d_forward_naive(&x, &wt, &bt, 3, 1);
+    assert_eq!(got.shape(), want.shape());
+    for (a, b) in got.data().iter().zip(want.data()) {
+        assert!(a == b, "{a} != {b}");
+    }
+}
+
+/// Multi-block store puts (large enough to engage the parallel hash path)
+/// must produce identical digests at every thread count, all equal to the
+/// serial one-shot SHA-256.
+#[test]
+fn store_digests_identical_across_thread_counts() {
+    use trustdb::store::{MemoryBackend, ObjectStore, PAR_HASH_MIN_BYTES};
+    let payloads: Vec<Vec<u8>> = (0..4usize)
+        .map(|i| (0..PAR_HASH_MIN_BYTES + i * 31 + 5).map(|j| ((i + j) % 251) as u8).collect())
+        .collect();
+    let digests = |threads: usize| {
+        par::with_threads(threads, || {
+            let store = ObjectStore::new(MemoryBackend::new());
+            store.put_many(payloads.clone()).unwrap()
+        })
+    };
+    let serial = digests(1);
+    assert_eq!(digests(4), serial);
+    for (d, p) in serial.iter().zip(&payloads) {
+        assert_eq!(*d, trustdb::hash::sha256(p));
+    }
+}
