@@ -68,6 +68,11 @@ impl<B: Backend> Repository<B> {
         &self.audit
     }
 
+    /// The telemetry context (inherited from the wrapped store).
+    pub fn obs(&self) -> &itrust_obs::ObsCtx {
+        self.store.obs()
+    }
+
     /// Ids of all AIPs, sorted.
     pub fn list_aips(&self) -> Vec<String> {
         self.aips.read().keys().cloned().collect()
@@ -75,8 +80,9 @@ impl<B: Backend> Repository<B> {
 
     /// Ingest a SIP: validate, persist contents, form and persist the AIP.
     pub fn ingest(&self, sip: Sip, timestamp_ms: u64, archivist: &str) -> Result<AccessionReceipt> {
-        let _span = itrust_obs::span!("archival.ingest");
-        let problems = itrust_obs::time("archival.ingest.validate", || sip.validate());
+        let obs = self.store.obs();
+        let _span = itrust_obs::span!(obs, "archival.ingest");
+        let problems = obs.time("archival.ingest.validate", || sip.validate());
         if !problems.is_empty() {
             self.audit.append(
                 timestamp_ms,
@@ -85,7 +91,7 @@ impl<B: Backend> Repository<B> {
                 format!("sip from {}", sip.producer),
                 format!("REJECTED: {} validation problems", problems.len()),
             )?;
-            itrust_obs::counter_inc!("archival.ingest.rejected");
+            itrust_obs::counter_inc!(obs, "archival.ingest.rejected");
             return Err(ArchivalError::ValidationFailed(problems));
         }
         if sip.items.is_empty() {
@@ -97,7 +103,7 @@ impl<B: Backend> Repository<B> {
         // whole batch is handed to the store at once so item digests are
         // computed in parallel while writes proceed in submission order
         // (hash-while-copy).
-        let persist_span = itrust_obs::span!("archival.ingest.persist");
+        let persist_span = itrust_obs::span!(obs, "archival.ingest.persist");
         let mut items = sip.items;
         let contents: Vec<Vec<u8>> =
             items.iter_mut().map(|item| std::mem::take(&mut item.content)).collect();
@@ -119,9 +125,10 @@ impl<B: Backend> Repository<B> {
             });
         }
         drop(persist_span);
-        let _seal_span = itrust_obs::span!("archival.ingest.seal");
-        let tree = MerkleTree::from_leaves(
+        let _seal_span = itrust_obs::span!(obs, "archival.ingest.seal");
+        let tree = MerkleTree::from_leaves_with_obs(
             entries.iter().map(|e| e.record.content_digest.0.to_vec()),
+            obs,
         )
         .expect("non-empty accession");
         let merkle_root = tree.root();
@@ -152,9 +159,9 @@ impl<B: Backend> Repository<B> {
         let manifest_digest = self.store.put(manifest.to_bytes()?)?;
         let record_count = manifest.records.len();
         self.aips.write().insert(aip_id.clone(), manifest_digest);
-        itrust_obs::counter_inc!("archival.ingest.aips");
-        itrust_obs::counter_add!("archival.ingest.records", record_count as u64);
-        itrust_obs::counter_add!("archival.ingest.payload_bytes", payload_bytes);
+        itrust_obs::counter_inc!(obs, "archival.ingest.aips");
+        itrust_obs::counter_add!(obs, "archival.ingest.records", record_count as u64);
+        itrust_obs::counter_add!(obs, "archival.ingest.payload_bytes", payload_bytes);
         Ok(AccessionReceipt {
             aip_id,
             manifest_digest,

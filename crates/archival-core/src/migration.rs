@@ -98,7 +98,7 @@ impl<'a, B: Backend> MigrationEngine<'a, B> {
         timestamp_ms: u64,
         operator: &str,
     ) -> Result<MigrationRecord> {
-        let _span = itrust_obs::span!("archival.migration.migrate");
+        let _span = itrust_obs::span!(self.store.obs(), "archival.migration.migrate");
         if record.form.format != converter.from_format() {
             return Err(ArchivalError::InvariantViolation(format!(
                 "record {} is {}, converter expects {}",
@@ -123,7 +123,7 @@ impl<'a, B: Backend> MigrationEngine<'a, B> {
             ))
         })?;
         let migrated_digest = self.store.put(converted)?;
-        itrust_obs::counter_inc!("archival.migration.migrations");
+        itrust_obs::counter_inc!(self.store.obs(), "archival.migration.migrations");
         provenance.append(
             timestamp_ms,
             converter.tool_id(),

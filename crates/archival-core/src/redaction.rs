@@ -69,6 +69,7 @@ impl RedactionOutcome {
 #[derive(Debug, Clone)]
 pub struct Redactor {
     categories: Vec<SensitiveCategory>,
+    obs: itrust_obs::ObsCtx,
 }
 
 impl Default for Redactor {
@@ -87,18 +88,25 @@ impl Redactor {
                 SensitiveCategory::NationalId,
                 SensitiveCategory::Gps,
             ],
+            obs: itrust_obs::ObsCtx::null(),
         }
     }
 
     /// Redact only the listed categories.
     pub fn for_categories(categories: Vec<SensitiveCategory>) -> Self {
-        Redactor { categories }
+        Redactor { categories, obs: itrust_obs::ObsCtx::null() }
+    }
+
+    /// Attach a telemetry context for redaction spans and counters.
+    pub fn with_obs(mut self, obs: itrust_obs::ObsCtx) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Redact `text`, replacing each matched span with a `[REDACTED:…]`
     /// marker.
     pub fn redact(&self, text: &str) -> RedactionOutcome {
-        let _span = itrust_obs::span!("archival.redaction.redact");
+        let _span = itrust_obs::span!(self.obs, "archival.redaction.redact");
         // Collect candidate spans from every enabled scanner, then resolve
         // overlaps preferring earlier starts / longer spans.
         let mut candidates: Vec<RedactedSpan> = Vec::new();
@@ -135,7 +143,7 @@ impl Redactor {
             pos = s.start + s.len;
         }
         out.push_str(&text[pos..]);
-        itrust_obs::counter_add!("archival.redaction.spans_redacted", spans.len() as u64);
+        itrust_obs::counter_add!(self.obs, "archival.redaction.spans_redacted", spans.len() as u64);
         RedactionOutcome { text: out, spans }
     }
 

@@ -2,8 +2,10 @@
 use itrust_bench::report::Emitter;
 
 fn main() {
-    let mut em = Emitter::begin("d1");
-    let (rows, report) = itrust_bench::harness::d1::run();
+    let mut em = Emitter::begin("d1")
+        .with_trace(itrust_bench::report::trace_path("d1"))
+        .expect("create trace sink");
+    let (rows, report) = itrust_bench::harness::d1::run(em.obs());
     println!("{report}");
     let calls: usize = rows.iter().map(|r| r.calls).sum();
     em.metric("d1.calls_total", calls as f64)

@@ -2,8 +2,10 @@
 use itrust_bench::report::Emitter;
 
 fn main() {
-    let mut em = Emitter::begin("d3");
-    let (rows, report) = itrust_bench::harness::d3::run();
+    let mut em = Emitter::begin("d3")
+        .with_trace(itrust_bench::report::trace_path("d3"))
+        .expect("create trace sink");
+    let (rows, report) = itrust_bench::harness::d3::run(em.obs());
     println!("{report}");
     let (ablation_rows, ablation) = itrust_bench::harness::d3::seed_batch_ablation();
     println!("{ablation}");

@@ -2,8 +2,10 @@
 use itrust_bench::report::Emitter;
 
 fn main() {
-    let mut em = Emitter::begin("d4");
-    let (rows, report) = itrust_bench::harness::d4::run();
+    let mut em = Emitter::begin("d4")
+        .with_trace(itrust_bench::report::trace_path("d4"))
+        .expect("create trace sink");
+    let (rows, report) = itrust_bench::harness::d4::run(em.obs());
     println!("{report}");
     em.metric("d4.readings_total", rows.iter().map(|r| r.readings).sum::<usize>() as f64)
         .metric("d4.aip_bytes_total", rows.iter().map(|r| r.aip_bytes).sum::<u64>() as f64)

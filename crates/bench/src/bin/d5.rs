@@ -2,8 +2,10 @@
 use itrust_bench::report::Emitter;
 
 fn main() {
-    let mut em = Emitter::begin("d5");
-    let (rows, report) = itrust_bench::harness::d5::run();
+    let mut em = Emitter::begin("d5")
+        .with_trace(itrust_bench::report::trace_path("d5"))
+        .expect("create trace sink");
+    let (rows, report) = itrust_bench::harness::d5::run(em.obs());
     println!("{report}");
     em.metric("d5.injected_total", rows.iter().map(|r| r.injected).sum::<usize>() as f64)
         .metric("d5.detected_total", rows.iter().map(|r| r.detected).sum::<usize>() as f64)

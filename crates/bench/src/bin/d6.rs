@@ -2,10 +2,12 @@
 use itrust_bench::report::Emitter;
 
 fn main() {
-    let mut em = Emitter::begin("d6");
-    let (index_rows, index_report) = itrust_bench::harness::d6::run_index();
+    let mut em = Emitter::begin("d6")
+        .with_trace(itrust_bench::report::trace_path("d6"))
+        .expect("create trace sink");
+    let (index_rows, index_report) = itrust_bench::harness::d6::run_index(em.obs());
     println!("{index_report}");
-    let (linking, linking_report) = itrust_bench::harness::d6::run_linking();
+    let (linking, linking_report) = itrust_bench::harness::d6::run_linking(em.obs());
     println!("{linking_report}");
     em.metric(
         "d6.build_docs_s_max",

@@ -2,8 +2,10 @@
 use itrust_bench::report::Emitter;
 
 fn main() {
-    let mut em = Emitter::begin("d7");
-    let (trajectories, report) = itrust_bench::harness::d7::run();
+    let mut em = Emitter::begin("d7")
+        .with_trace(itrust_bench::report::trace_path("d7"))
+        .expect("create trace sink");
+    let (trajectories, report) = itrust_bench::harness::d7::run(em.obs());
     println!("{report}");
     for t in &trajectories {
         if let Some(last) = t.rounds.last() {

@@ -2,10 +2,12 @@
 use itrust_bench::report::Emitter;
 
 fn main() {
-    let mut em = Emitter::begin("d8");
-    let (calls, calls_report) = itrust_bench::harness::d8::run_calls();
+    let mut em = Emitter::begin("d8")
+        .with_trace(itrust_bench::report::trace_path("d8"))
+        .expect("create trace sink");
+    let (calls, calls_report) = itrust_bench::harness::d8::run_calls(em.obs());
     println!("{calls_report}");
-    let (text, text_report) = itrust_bench::harness::d8::run_text();
+    let (text, text_report) = itrust_bench::harness::d8::run_text(em.obs());
     println!("{text_report}");
     em.metric("d8.call_records_per_sec", calls.records_per_sec)
         .metric("d8.call_no_leakage", calls.no_leakage as u64 as f64)

@@ -2,8 +2,10 @@
 use itrust_bench::report::Emitter;
 
 fn main() {
-    let mut em = Emitter::begin("d9");
-    let (rows, report) = itrust_bench::harness::d9::run();
+    let mut em = Emitter::begin("d9")
+        .with_trace(itrust_bench::report::trace_path("d9"))
+        .expect("create trace sink");
+    let (rows, report) = itrust_bench::harness::d9::run(em.obs());
     println!("{report}");
     em.metric("d9.corrupted_copies_total", rows.iter().map(|r| r.corrupted_copies).sum::<usize>() as f64)
         .metric("d9.repaired_total", rows.iter().map(|r| r.repaired).sum::<usize>() as f64)

@@ -2,8 +2,10 @@
 use itrust_bench::report::Emitter;
 
 fn main() {
-    let mut em = Emitter::begin("fig1");
-    let (rows, report) = itrust_bench::harness::fig1::run();
+    let mut em = Emitter::begin("fig1")
+        .with_trace(itrust_bench::report::trace_path("fig1"))
+        .expect("create trace sink");
+    let (rows, report) = itrust_bench::harness::fig1::run(em.obs());
     println!("{report}");
     for r in &rows {
         em.metric(&format!("fig1.side_acc_damage{}", r.damage), r.eval.side_accuracy)

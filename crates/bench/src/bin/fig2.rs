@@ -2,8 +2,10 @@
 use itrust_bench::report::Emitter;
 
 fn main() {
-    let mut em = Emitter::begin("fig2");
-    let (rows, report) = itrust_bench::harness::fig2::run();
+    let mut em = Emitter::begin("fig2")
+        .with_trace(itrust_bench::report::trace_path("fig2"))
+        .expect("create trace sink");
+    let (rows, report) = itrust_bench::harness::fig2::run(em.obs());
     println!("{report}");
     em.metric("fig2.records_in_total", rows.iter().map(|r| r.records_in).sum::<usize>() as f64)
         .metric("fig2.integrated_total", rows.iter().map(|r| r.integrated).sum::<usize>() as f64)

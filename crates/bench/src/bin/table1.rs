@@ -2,8 +2,10 @@
 use itrust_bench::report::Emitter;
 
 fn main() {
-    let mut em = Emitter::begin("table1");
-    let (rows, report) = itrust_bench::harness::table1::run();
+    let mut em = Emitter::begin("table1")
+        .with_trace(itrust_bench::report::trace_path("table1"))
+        .expect("create trace sink");
+    let (rows, report) = itrust_bench::harness::table1::run(em.obs());
     println!("{report}");
     em.metric("table1.bytes_total", rows.iter().map(|r| r.bytes).sum::<u64>() as f64)
         .metric("table1.records_total", rows.iter().map(|r| r.records).sum::<usize>() as f64)

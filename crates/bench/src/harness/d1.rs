@@ -4,7 +4,7 @@
 use escs::external::ExternalTimeline;
 use escs::graph::Topology;
 use escs::replay::divergence;
-use escs::sim::{run as simulate, SimConfig};
+use escs::sim::{run_with_obs as simulate, SimConfig};
 
 /// Result row for one (size, load) cell.
 #[derive(Debug, Clone)]
@@ -26,7 +26,7 @@ pub struct SimRow {
 }
 
 /// Sweep {3, 10, 25} PSAPs × {quiet, disaster} over a 2-hour day.
-pub fn run() -> (Vec<SimRow>, String) {
+pub fn run(obs: &itrust_obs::ObsCtx) -> (Vec<SimRow>, String) {
     let duration = 2 * 3_600_000u64;
     let mut rows = Vec::new();
     for &n in &[3usize, 10, 25] {
@@ -36,8 +36,8 @@ pub fn run() -> (Vec<SimRow>, String) {
         ] {
             let config =
                 SimConfig::with_defaults(Topology::metro(n), timeline, duration, 7_000 + n as u64);
-            let (output, secs) = super::timed(|| simulate(&config));
-            let replay = simulate(&config);
+            let (output, secs) = super::timed(|| simulate(&config, obs));
+            let replay = simulate(&config, obs);
             rows.push(SimRow {
                 psaps: n,
                 scenario,
@@ -72,7 +72,7 @@ pub fn run() -> (Vec<SimRow>, String) {
 mod tests {
     #[test]
     fn disaster_stresses_and_replay_is_exact() {
-        let (rows, _) = super::run();
+        let (rows, _) = super::run(&itrust_obs::ObsCtx::null());
         for pair in rows.chunks(2) {
             let quiet = &pair[0];
             let disaster = &pair[1];

@@ -31,16 +31,16 @@ fn split(pool: &[LabeledDoc], fraction: f64, seed: u64) -> (Vec<LabeledDoc>, Vec
 }
 
 /// Sweep labeled fraction ∈ {1%, 2%, 5%, 10%} on an 800-document pool.
-pub fn run() -> (Vec<FractionRow>, String) {
+pub fn run(obs: &itrust_obs::ObsCtx) -> (Vec<FractionRow>, String) {
     let pool = generate_corpus(800, 0.3, 0.2, 1);
     let test = generate_corpus(400, 0.3, 0.2, 2);
-    let full = SensitivityModel::fit(&pool, &[], FitMode::Supervised);
+    let full = SensitivityModel::fit_with_obs(&pool, &[], FitMode::Supervised, obs);
     let full_acc = full.accuracy(&test);
     let mut rows = Vec::new();
     for &fraction in &[0.01, 0.02, 0.05, 0.10] {
         let (labeled, unlabeled) = split(&pool, fraction, 42);
-        let supervised = SensitivityModel::fit(&labeled, &[], FitMode::Supervised);
-        let semi = SensitivityModel::fit(&labeled, &unlabeled, FitMode::SemiSupervised);
+        let supervised = SensitivityModel::fit_with_obs(&labeled, &[], FitMode::Supervised, obs);
+        let semi = SensitivityModel::fit_with_obs(&labeled, &unlabeled, FitMode::SemiSupervised, obs);
         rows.push(FractionRow {
             labeled_fraction: fraction,
             labeled: labeled.len(),
@@ -104,7 +104,7 @@ pub fn threshold_ablation() -> (Vec<(f32, f64)>, String) {
 mod tests {
     #[test]
     fn semi_supervised_helps_at_low_fractions() {
-        let (rows, _) = super::run();
+        let (rows, _) = super::run(&itrust_obs::ObsCtx::null());
         // At every fraction, self-training must not be materially worse.
         for r in &rows {
             assert!(

@@ -2,7 +2,7 @@
 //! recall across positive-prevalence levels, plus the seed/batch ablation.
 
 use itrust_core::sensitivity::generate_corpus;
-use itrust_core::tar::{linear_review, tar_review, TarConfig};
+use itrust_core::tar::{linear_review_with_obs, tar_review, tar_review_with_obs, TarConfig};
 
 /// Result row for one prevalence level.
 #[derive(Debug, Clone)]
@@ -24,12 +24,12 @@ pub struct PrevalenceRow {
 }
 
 /// Sweep prevalence ∈ {2%, 5%, 10%} on 1000-document corpora.
-pub fn run() -> (Vec<PrevalenceRow>, String) {
+pub fn run(obs: &itrust_obs::ObsCtx) -> (Vec<PrevalenceRow>, String) {
     let mut rows = Vec::new();
     for &prevalence in &[0.02, 0.05, 0.10] {
         let corpus = generate_corpus(1000, prevalence, 0.1, 5_000 + (prevalence * 100.0) as u64);
-        let linear = linear_review(&corpus);
-        let tar = tar_review(&corpus, TarConfig::default());
+        let linear = linear_review_with_obs(&corpus, obs);
+        let tar = tar_review_with_obs(&corpus, TarConfig::default(), obs);
         rows.push(PrevalenceRow {
             prevalence,
             corpus: corpus.len(),
@@ -79,7 +79,7 @@ pub fn seed_batch_ablation() -> (Vec<(usize, usize, usize)>, String) {
 mod tests {
     #[test]
     fn tar_wins_at_every_prevalence() {
-        let (rows, _) = super::run();
+        let (rows, _) = super::run(&itrust_obs::ObsCtx::null());
         for r in &rows {
             assert!(
                 r.tar_95 < r.linear_95,

@@ -28,11 +28,12 @@ pub struct TwinRow {
 }
 
 /// Sweep twin complexity: buildings × sensor density.
-pub fn run() -> (Vec<TwinRow>, String) {
+pub fn run(obs: &itrust_obs::ObsCtx) -> (Vec<TwinRow>, String) {
     let mut rows = Vec::new();
     for &(buildings, sensors) in &[(1usize, 1usize), (7, 1), (7, 2), (20, 2)] {
-        let twin = DigitalTwin::synthetic("Campus", buildings, sensors, 3_600_000, 11);
-        let repo = Repository::new(ObjectStore::new(MemoryBackend::new()));
+        let twin = DigitalTwin::synthetic_with_obs("Campus", buildings, sensors, 3_600_000, 11, obs);
+        let repo =
+            Repository::new(ObjectStore::new(MemoryBackend::new()).with_obs(obs.clone()));
         let (receipt, archive_s) =
             super::timed(|| archive_twin(&repo, &twin, 1_000, "archivist").expect("ready twin"));
         let ((rehydrated, fidelity), rehydrate_s) = super::timed(|| {
@@ -76,7 +77,7 @@ pub fn run() -> (Vec<TwinRow>, String) {
 mod tests {
     #[test]
     fn fidelity_is_perfect_and_size_scales() {
-        let (rows, _) = super::run();
+        let (rows, _) = super::run(&itrust_obs::ObsCtx::null());
         assert!(rows.iter().all(|r| r.perfect));
         assert!(rows.last().unwrap().aip_bytes > rows.first().unwrap().aip_bytes);
     }

@@ -25,9 +25,14 @@ pub struct TamperResult {
 
 /// Store `objects` blobs, corrupt `injected` of them (bit flips,
 /// truncations, extensions), sweep, count detections.
-pub fn tamper_run(objects: usize, injected: usize, seed: u64) -> TamperResult {
+pub fn tamper_run(
+    objects: usize,
+    injected: usize,
+    seed: u64,
+    obs: &itrust_obs::ObsCtx,
+) -> TamperResult {
     assert!(injected <= objects);
-    let store = ObjectStore::new(MemoryBackend::new());
+    let store = ObjectStore::new(MemoryBackend::new()).with_obs(obs.clone());
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ids: Vec<Digest> = Vec::with_capacity(objects);
     let mut bytes_total = 0u64;
@@ -107,10 +112,10 @@ pub fn verify_ablation(n: usize) -> VerifyAblation {
 }
 
 /// Full experiment: detection sweep + ablation table.
-pub fn run() -> (Vec<TamperResult>, String) {
+pub fn run(obs: &itrust_obs::ObsCtx) -> (Vec<TamperResult>, String) {
     let mut rows = Vec::new();
     for &(objects, injected) in &[(2_000usize, 0usize), (2_000, 20), (2_000, 200), (10_000, 100)] {
-        rows.push(tamper_run(objects, injected, 77));
+        rows.push(tamper_run(objects, injected, 77, obs));
     }
     let mut out = String::from(
         "D5 — tamper detection (bit flips / truncations / extensions)\n\
@@ -147,9 +152,9 @@ pub fn run() -> (Vec<TamperResult>, String) {
 mod tests {
     #[test]
     fn detection_rate_is_exactly_one() {
-        let r = super::tamper_run(500, 25, 3);
+        let r = super::tamper_run(500, 25, 3, &itrust_obs::ObsCtx::null());
         assert_eq!(r.detected, r.injected, "every corruption must be found");
-        let clean = super::tamper_run(500, 0, 4);
+        let clean = super::tamper_run(500, 0, 4, &itrust_obs::ObsCtx::null());
         assert_eq!(clean.detected, 0, "no false positives");
     }
 

@@ -54,12 +54,12 @@ pub struct LinkingResult {
 }
 
 /// BM25 build/query sweep.
-pub fn run_index() -> (Vec<IndexRow>, String) {
+pub fn run_index(obs: &itrust_obs::ObsCtx) -> (Vec<IndexRow>, String) {
     let mut rows = Vec::new();
     for &n in &[1_000usize, 10_000, 50_000] {
         let docs = descriptions(n, 5);
         let (index, build_s) = super::timed(|| {
-            let mut idx = AccessIndex::default();
+            let mut idx = AccessIndex::default().with_obs(obs.clone());
             for (id, text) in &docs {
                 idx.add(id.clone(), text);
             }
@@ -101,7 +101,7 @@ pub fn run_index() -> (Vec<IndexRow>, String) {
 }
 
 /// Plant duplicate pairs among distinct descriptions; measure recovery.
-pub fn run_linking() -> (LinkingResult, String) {
+pub fn run_linking(obs: &itrust_obs::ObsCtx) -> (LinkingResult, String) {
     let mut records = descriptions(400, 9);
     // Plant 40 exact-duplicate pairs.
     let planted = 40;
@@ -109,7 +109,7 @@ pub fn run_linking() -> (LinkingResult, String) {
         let (_, text) = records[i].clone();
         records.push((format!("dup-{i:03}"), text));
     }
-    let linker = RecordLinker::build(&records).expect("unique ids");
+    let linker = RecordLinker::build_with_obs(&records, obs.clone()).expect("unique ids");
     let clusters = linker.duplicate_clusters(0.95);
     let mut recovered = 0usize;
     let mut false_merges = 0usize;
@@ -145,7 +145,7 @@ pub fn run_linking() -> (LinkingResult, String) {
 mod tests {
     #[test]
     fn linking_recovers_most_planted_duplicates() {
-        let (result, _) = super::run_linking();
+        let (result, _) = super::run_linking(&itrust_obs::ObsCtx::null());
         assert!(
             result.recovered as f64 >= result.planted as f64 * 0.9,
             "{}/{}",

@@ -3,7 +3,7 @@
 //! annotator's error rate varies (§3.2's "manual annotations as a form of
 //! continuous learning").
 
-use perganet::continuous::{continuous_learning, RoundOutcome, SimulatedAnnotator};
+use perganet::continuous::{continuous_learning_with_obs, RoundOutcome, SimulatedAnnotator};
 use perganet::corpus::{generate, CorpusConfig};
 
 /// Trajectory for one annotator error rate.
@@ -16,7 +16,7 @@ pub struct Trajectory {
 }
 
 /// Sweep annotator error ∈ {0%, 5%, 20%} over 3 feedback rounds.
-pub fn run() -> (Vec<Trajectory>, String) {
+pub fn run(obs: &itrust_obs::ObsCtx) -> (Vec<Trajectory>, String) {
     let seed_set = generate(CorpusConfig { count: 30, damage: 0, seed: 1 });
     let batches: Vec<_> = (0..3)
         .map(|i| generate(CorpusConfig { count: 50, damage: 0, seed: 2 + i }))
@@ -25,8 +25,9 @@ pub fn run() -> (Vec<Trajectory>, String) {
     let mut trajectories = Vec::new();
     for &error_rate in &[0.0, 0.05, 0.20] {
         let mut annotator = SimulatedAnnotator::new(error_rate, 42);
-        let rounds =
-            continuous_learning(7, &seed_set, &batches, &held_out, &mut annotator, 6, 0.005);
+        let rounds = continuous_learning_with_obs(
+            7, &seed_set, &batches, &held_out, &mut annotator, 6, 0.005, obs,
+        );
         trajectories.push(Trajectory { error_rate, rounds });
     }
     let mut out = String::from(
@@ -45,7 +46,7 @@ pub fn run() -> (Vec<Trajectory>, String) {
 mod tests {
     #[test]
     fn clean_annotator_ends_at_least_as_high_as_noisy() {
-        let (trajectories, _) = super::run();
+        let (trajectories, _) = super::run(&itrust_obs::ObsCtx::null());
         let final_acc =
             |t: &super::Trajectory| t.rounds.last().unwrap().held_out_accuracy;
         let clean = final_acc(&trajectories[0]);

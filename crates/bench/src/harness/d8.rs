@@ -62,7 +62,8 @@ pub struct TextRedactionRow {
 }
 
 /// Sanitize 100k call records; verify zero leakage; measure throughput.
-pub fn run_calls() -> (CallRedactionRow, String) {
+pub fn run_calls(obs: &itrust_obs::ObsCtx) -> (CallRedactionRow, String) {
+    let _span = itrust_obs::span!(obs, "bench.d8.sanitize_calls");
     let calls = raw_calls(100_000, 3);
     let profile = PrivacyProfile::research_default();
     let (sanitized, secs) = super::timed(|| profile.apply_batch(&calls));
@@ -81,7 +82,7 @@ pub fn run_calls() -> (CallRedactionRow, String) {
 
 /// Redact synthetic incident narratives (every one seeded with a phone, an
 /// email, and a GPS pair).
-pub fn run_text() -> (TextRedactionRow, String) {
+pub fn run_text(obs: &itrust_obs::ObsCtx) -> (TextRedactionRow, String) {
     let mut rng = StdRng::seed_from_u64(9);
     let texts: Vec<String> = (0..20_000)
         .map(|i| {
@@ -99,7 +100,7 @@ pub fn run_text() -> (TextRedactionRow, String) {
         })
         .collect();
     let bytes: usize = texts.iter().map(|t| t.len()).sum();
-    let redactor = Redactor::all();
+    let redactor = Redactor::all().with_obs(obs.clone());
     let (spans, secs) = super::timed(|| {
         let mut spans = 0usize;
         for t in &texts {
@@ -128,13 +129,13 @@ pub fn run_text() -> (TextRedactionRow, String) {
 mod tests {
     #[test]
     fn sanitization_never_leaks() {
-        let (row, _) = super::run_calls();
+        let (row, _) = super::run_calls(&itrust_obs::ObsCtx::null());
         assert!(row.no_leakage);
     }
 
     #[test]
     fn every_narrative_has_redactable_content() {
-        let (row, _) = super::run_text();
+        let (row, _) = super::run_text(&itrust_obs::ObsCtx::null());
         // ≥ 3 spans per narrative (phone, email, gps).
         assert!(
             row.spans >= row.texts * 3,

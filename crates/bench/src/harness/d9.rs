@@ -42,18 +42,28 @@ pub struct StormCell {
 }
 
 /// Run one fault storm: ingest, corrupt, repair, measure survival.
-pub fn storm_run(replicas: usize, objects: usize, fault_rate: f64, seed: u64) -> StormCell {
+pub fn storm_run(
+    replicas: usize,
+    objects: usize,
+    fault_rate: f64,
+    seed: u64,
+    obs: &itrust_obs::ObsCtx,
+) -> StormCell {
     let faulty: Vec<Arc<FaultyBackend<MemoryBackend>>> = (0..replicas)
         .map(|i| {
-            Arc::new(FaultyBackend::new(MemoryBackend::new(), FaultPlan::new(seed + i as u64)))
+            Arc::new(
+                FaultyBackend::new(MemoryBackend::new(), FaultPlan::new(seed + i as u64))
+                    .with_obs(obs.clone()),
+            )
         })
         .collect();
     let dyns: Vec<Arc<dyn Backend>> = faulty.iter().map(|f| f.clone() as Arc<dyn Backend>).collect();
     let backend = ReplicatedBackend::new(dyns)
         .with_clock(Arc::new(ManualClock::new()))
         .with_retry(RetryPolicy { max_attempts: 3, base_backoff_ms: 1, max_backoff_ms: 8 })
-        .with_seed(seed);
-    let store = ObjectStore::new(backend);
+        .with_seed(seed)
+        .with_obs(obs.clone());
+    let store = ObjectStore::new(backend).with_obs(obs.clone());
     for i in 0..objects {
         store
             .put(format!("d9 archival holding {seed}/{i} payload {}", "x".repeat(i % 97)).into_bytes())
@@ -100,7 +110,7 @@ fn env_rates(key: &str, default: &[f64]) -> Vec<f64> {
 }
 
 /// Full experiment: survival vs fault rate for 1–3 replicas.
-pub fn run() -> (Vec<StormCell>, String) {
+pub fn run(obs: &itrust_obs::ObsCtx) -> (Vec<StormCell>, String) {
     let objects = env_usize("D9_OBJECTS", 400);
     let seed = env_u64("D9_SEED", 42);
     let rates = env_rates("D9_RATES", &[0.05, 0.10, 0.20, 0.40, 0.60, 0.80]);
@@ -108,7 +118,7 @@ pub fn run() -> (Vec<StormCell>, String) {
     let mut rows = Vec::new();
     for replicas in 1..=3usize {
         for &rate in &rates {
-            rows.push(storm_run(replicas, objects, rate, seed + replicas as u64 * 1_000));
+            rows.push(storm_run(replicas, objects, rate, seed + replicas as u64 * 1_000, obs));
         }
     }
 
@@ -139,7 +149,7 @@ pub fn run() -> (Vec<StormCell>, String) {
 mod tests {
     #[test]
     fn single_replica_loses_exactly_the_storm_fraction() {
-        let cell = super::storm_run(1, 100, 0.2, 7);
+        let cell = super::storm_run(1, 100, 0.2, 7, &itrust_obs::ObsCtx::null());
         assert_eq!(cell.corrupted_copies, 20);
         assert_eq!(cell.unrecoverable, 20, "one replica has nothing to heal from");
         assert!((cell.survival - 0.8).abs() < 1e-9);
@@ -148,7 +158,7 @@ mod tests {
 
     #[test]
     fn three_replicas_survive_a_heavy_storm() {
-        let cell = super::storm_run(3, 100, 0.2, 7);
+        let cell = super::storm_run(3, 100, 0.2, 7, &itrust_obs::ObsCtx::null());
         // Loss needs the same victim on all three independent 20% slices:
         // expected ~0.8% of objects; with 100 objects usually zero.
         assert!(cell.survival >= 0.97);
@@ -157,8 +167,8 @@ mod tests {
 
     #[test]
     fn storm_is_deterministic_per_seed() {
-        let a = super::storm_run(2, 120, 0.3, 11);
-        let b = super::storm_run(2, 120, 0.3, 11);
+        let a = super::storm_run(2, 120, 0.3, 11, &itrust_obs::ObsCtx::null());
+        let b = super::storm_run(2, 120, 0.3, 11, &itrust_obs::ObsCtx::null());
         assert_eq!(a.corrupted_copies, b.corrupted_copies);
         assert_eq!(a.repaired, b.repaired);
         assert_eq!(a.unrecoverable, b.unrecoverable);

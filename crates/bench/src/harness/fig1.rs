@@ -18,11 +18,11 @@ pub struct DamageRow {
 }
 
 /// Train once on a mixed corpus; evaluate at every damage level.
-pub fn run() -> (Vec<DamageRow>, String) {
+pub fn run(obs: &itrust_obs::ObsCtx) -> (Vec<DamageRow>, String) {
     let mut train = generate(CorpusConfig { count: 150, damage: 0, seed: 1 });
     train.extend(generate(CorpusConfig { count: 100, damage: 1, seed: 2 }));
     train.extend(generate(CorpusConfig { count: 50, damage: 2, seed: 3 }));
-    let mut net = PergaNet::new(7);
+    let mut net = PergaNet::new(7).with_obs(obs.clone());
     // The harness trains the signum stage longer than the library default:
     // the mixed-damage corpus is harder, and F1's headline is stage quality.
     let config = TrainConfig { signum_epochs: 40, ..TrainConfig::default() };

@@ -3,7 +3,7 @@
 //! swept over model scale.
 
 use digital_twin::bim::BimModel;
-use digital_twin::integration::{integrate_all, synthetic_source, SourceKind};
+use digital_twin::integration::{integrate_all_with_obs, synthetic_source, SourceKind};
 
 /// Result row for one model scale.
 #[derive(Debug, Clone)]
@@ -23,7 +23,7 @@ pub struct ScaleRow {
 }
 
 /// Integrate six synthetic sources into campuses of increasing size.
-pub fn run() -> (Vec<ScaleRow>, String) {
+pub fn run(obs: &itrust_obs::ObsCtx) -> (Vec<ScaleRow>, String) {
     let mut rows = Vec::new();
     for &buildings in &[2usize, 7, 20] {
         let mut model = BimModel::synthetic_campus("Campus", buildings, 3, 10);
@@ -33,7 +33,7 @@ pub fn run() -> (Vec<ScaleRow>, String) {
             .map(|(i, &k)| synthetic_source(&model, k, 0.85, 5, 3, 100 + i as u64))
             .collect();
         let records_in: usize = sources.iter().map(|s| s.records.len()).sum();
-        let (reports, secs) = super::timed(|| integrate_all(&mut model, &sources));
+        let (reports, secs) = super::timed(|| integrate_all_with_obs(&mut model, &sources, obs));
         rows.push(ScaleRow {
             elements: model.element_count(),
             records_in,
@@ -60,7 +60,7 @@ pub fn run() -> (Vec<ScaleRow>, String) {
 mod tests {
     #[test]
     fn accounting_is_consistent() {
-        let (rows, _) = super::run();
+        let (rows, _) = super::run(&itrust_obs::ObsCtx::null());
         for r in &rows {
             assert_eq!(r.integrated + r.unmatched, r.records_in);
             // 5 orphans + 3 blanks per source × 6 sources.

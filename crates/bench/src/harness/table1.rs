@@ -81,10 +81,11 @@ pub fn fond_sip(fond: &'static str, tb: f64, seed: u64) -> Sip {
 }
 
 /// Ingest every fond into a fresh repository; measure per-fond throughput.
-pub fn run() -> (Vec<FondResult>, String) {
+pub fn run(obs: &itrust_obs::ObsCtx) -> (Vec<FondResult>, String) {
     let mut rows = Vec::with_capacity(FONDS.len());
     for (i, &(fond, tb)) in FONDS.iter().enumerate() {
-        let repo = Repository::new(ObjectStore::new(MemoryBackend::new()));
+        let repo =
+            Repository::new(ObjectStore::new(MemoryBackend::new()).with_obs(obs.clone()));
         let sip = fond_sip(fond, tb, 42 + i as u64);
         let bytes = sip.payload_bytes();
         let records = sip.items.len();

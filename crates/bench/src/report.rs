@@ -6,13 +6,18 @@
 //! - `<name>.txt` — the human-readable report (same text the bin prints),
 //! - `<name>.json` — a [`RunSummary`] with wall time and derived metrics,
 //!   so future PRs can diff performance numerically,
-//! - `<name>.telemetry.json` — the workspace-wide `itrust-obs` snapshot
-//!   covering exactly this run (the registry is reset at `begin`).
+//! - `<name>.telemetry.json` — the snapshot of the run's own
+//!   [`itrust_obs::ObsCtx`], created fresh at [`Emitter::begin`] so it
+//!   covers exactly this run,
+//! - `<name>.trace.jsonl` — optionally (see [`Emitter::with_trace`]), one
+//!   JSON line per completed span, streamed through a
+//!   [`itrust_obs::JsonlTraceSink`].
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Machine-readable summary of one harness run.
@@ -39,19 +44,53 @@ pub fn results_dir() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
 }
 
+/// The default trace path for a run: `results/<name>.trace.jsonl`.
+pub fn trace_path(name: &str) -> PathBuf {
+    results_dir().join(format!("{name}.trace.jsonl"))
+}
+
 /// Collects one run's timing and metrics, then writes the artifact trio.
+///
+/// The emitter owns the run's [`itrust_obs::ObsCtx`]: harnesses receive it
+/// via [`Emitter::obs`], so two runs (even in one process) never share
+/// telemetry state.
 pub struct Emitter {
     name: &'static str,
     start: Instant,
     metrics: BTreeMap<String, f64>,
+    obs: itrust_obs::ObsCtx,
+    trace: Option<Arc<itrust_obs::JsonlTraceSink>>,
 }
 
 impl Emitter {
-    /// Start a run: resets the metrics registry so the telemetry snapshot
-    /// covers exactly this run.
+    /// Start a run with a fresh telemetry context, so the snapshot covers
+    /// exactly this run.
     pub fn begin(name: &'static str) -> Self {
-        itrust_obs::reset();
-        Emitter { name, start: Instant::now(), metrics: BTreeMap::new() }
+        Emitter {
+            name,
+            start: Instant::now(),
+            metrics: BTreeMap::new(),
+            obs: itrust_obs::ObsCtx::new(),
+            trace: None,
+        }
+    }
+
+    /// Stream completed spans to a `.trace.jsonl` file at `path` (created
+    /// eagerly; flushed by [`Emitter::finish`]). Call before handing out
+    /// [`Emitter::obs`]: the run's context is rebuilt around the sink.
+    pub fn with_trace(mut self, path: impl AsRef<Path>) -> io::Result<Self> {
+        if let Some(dir) = path.as_ref().parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let sink = Arc::new(itrust_obs::JsonlTraceSink::create(path)?);
+        self.obs = itrust_obs::ObsCtx::with_sink(sink.clone());
+        self.trace = Some(sink);
+        Ok(self)
+    }
+
+    /// The run's telemetry context; pass to the harness under measurement.
+    pub fn obs(&self) -> &itrust_obs::ObsCtx {
+        &self.obs
     }
 
     /// Record one derived metric.
@@ -60,8 +99,9 @@ impl Emitter {
         self
     }
 
-    /// Stop the clock and write `<name>.txt`, `<name>.json`, and
-    /// `<name>.telemetry.json` into [`results_dir`].
+    /// Stop the clock, flush the trace sink (if any), and write
+    /// `<name>.txt`, `<name>.json`, and `<name>.telemetry.json` into
+    /// [`results_dir`].
     pub fn finish(self, iters: u64, report: &str) -> io::Result<RunSummary> {
         let wall_secs = self.start.elapsed().as_secs_f64();
         let summary = RunSummary {
@@ -78,8 +118,11 @@ impl Emitter {
         std::fs::write(dir.join(format!("{}.json", self.name)), summary_json + "\n")?;
         std::fs::write(
             dir.join(format!("{}.telemetry.json", self.name)),
-            itrust_obs::snapshot().to_json_pretty() + "\n",
+            self.obs.snapshot().to_json_pretty() + "\n",
         )?;
+        if let Some(trace) = &self.trace {
+            trace.flush()?;
+        }
         Ok(summary)
     }
 }

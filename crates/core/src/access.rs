@@ -39,6 +39,7 @@ pub struct AccessIndex {
     doc_ids: Vec<String>,
     doc_len: Vec<u32>,
     total_len: u64,
+    obs: itrust_obs::ObsCtx,
 }
 
 impl Default for AccessIndex {
@@ -58,7 +59,14 @@ impl AccessIndex {
             doc_ids: Vec::new(),
             doc_len: Vec::new(),
             total_len: 0,
+            obs: itrust_obs::ObsCtx::null(),
         }
+    }
+
+    /// Attach a telemetry context for indexing/search spans and counters.
+    pub fn with_obs(mut self, obs: itrust_obs::ObsCtx) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Number of indexed documents.
@@ -79,7 +87,7 @@ impl AccessIndex {
     /// Add a document. Duplicate ids are allowed (e.g. versions) but each
     /// call indexes a distinct document instance.
     pub fn add(&mut self, doc_id: impl Into<String>, text: &str) {
-        let _span = itrust_obs::span!("core.access.index_add");
+        let _span = itrust_obs::span!(self.obs, "core.access.index_add");
         let idx = self.doc_ids.len() as u32;
         self.doc_ids.push(doc_id.into());
         let tokens = tokenize(text);
@@ -98,8 +106,8 @@ impl AccessIndex {
     /// Ties break toward the earlier-indexed document (stable archival
     /// ordering).
     pub fn search(&self, query: &str, k: usize) -> Vec<Hit> {
-        let _span = itrust_obs::span!("core.access.search");
-        itrust_obs::counter_inc!("core.access.queries");
+        let _span = itrust_obs::span!(self.obs, "core.access.search");
+        itrust_obs::counter_inc!(self.obs, "core.access.queries");
         if self.is_empty() || k == 0 {
             return Vec::new();
         }

@@ -16,13 +16,23 @@ pub struct RecordLinker {
     ids: Vec<String>,
     vectors: Tensor,
     by_id: BTreeMap<String, usize>,
+    obs: itrust_obs::ObsCtx,
 }
 
 impl RecordLinker {
     /// Build from `(record id, descriptive text)` pairs. Duplicate ids are
     /// rejected.
     pub fn build(records: &[(String, String)]) -> Result<RecordLinker, String> {
-        let _span = itrust_obs::span!("core.linking.build");
+        Self::build_with_obs(records, itrust_obs::ObsCtx::null())
+    }
+
+    /// [`RecordLinker::build`], recording build/cluster spans into `obs`
+    /// (the linker keeps the context for later clustering calls).
+    pub fn build_with_obs(
+        records: &[(String, String)],
+        obs: itrust_obs::ObsCtx,
+    ) -> Result<RecordLinker, String> {
+        let _span = itrust_obs::span!(obs, "core.linking.build");
         let mut by_id = BTreeMap::new();
         for (i, (id, _)) in records.iter().enumerate() {
             if by_id.insert(id.clone(), i).is_some() {
@@ -36,6 +46,7 @@ impl RecordLinker {
             ids: records.iter().map(|(id, _)| id.clone()).collect(),
             vectors,
             by_id,
+            obs,
         })
     }
 
@@ -77,7 +88,7 @@ impl RecordLinker {
     /// whole set. Cluster members are sorted; clusters are sorted by their
     /// first member.
     pub fn duplicate_clusters(&self, threshold: f32) -> Vec<Vec<String>> {
-        let _span = itrust_obs::span!("core.linking.cluster");
+        let _span = itrust_obs::span!(self.obs, "core.linking.cluster");
         let n = self.ids.len();
         let mut parent: Vec<usize> = (0..n).collect();
         fn find(parent: &mut Vec<usize>, x: usize) -> usize {

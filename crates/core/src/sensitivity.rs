@@ -99,7 +99,17 @@ impl SensitivityModel {
     /// Fit on labeled docs, optionally exploiting an unlabeled pool via
     /// self-training (confidence 0.9, ≤ 10 rounds).
     pub fn fit(labeled: &[LabeledDoc], unlabeled: &[String], mode: FitMode) -> SensitivityModel {
-        let _span = itrust_obs::span!("core.sensitivity.fit");
+        Self::fit_with_obs(labeled, unlabeled, mode, &itrust_obs::ObsCtx::null())
+    }
+
+    /// [`SensitivityModel::fit`], timed into `obs`.
+    pub fn fit_with_obs(
+        labeled: &[LabeledDoc],
+        unlabeled: &[String],
+        mode: FitMode,
+        obs: &itrust_obs::ObsCtx,
+    ) -> SensitivityModel {
+        let _span = itrust_obs::span!(obs, "core.sensitivity.fit");
         assert!(!labeled.is_empty(), "need labeled documents");
         let mut all_texts: Vec<&str> = labeled.iter().map(|d| d.text.as_str()).collect();
         all_texts.extend(unlabeled.iter().map(|s| s.as_str()));

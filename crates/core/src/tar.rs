@@ -83,7 +83,12 @@ fn recall_curve(corpus: &[LabeledDoc], order: &[usize]) -> (Vec<f64>, usize) {
 
 /// Baseline: review in corpus (shelf) order.
 pub fn linear_review(corpus: &[LabeledDoc]) -> ReviewOutcome {
-    let _span = itrust_obs::span!("core.tar.linear_review");
+    linear_review_with_obs(corpus, &itrust_obs::ObsCtx::null())
+}
+
+/// [`linear_review`], timed into `obs`.
+pub fn linear_review_with_obs(corpus: &[LabeledDoc], obs: &itrust_obs::ObsCtx) -> ReviewOutcome {
+    let _span = itrust_obs::span!(obs, "core.tar.linear_review");
     let order: Vec<usize> = (0..corpus.len()).collect();
     let (recall_curve, total_positives) = recall_curve(corpus, &order);
     ReviewOutcome { review_order: order, recall_curve, total_positives }
@@ -94,8 +99,18 @@ pub fn linear_review(corpus: &[LabeledDoc]) -> ReviewOutcome {
 /// The oracle is the corpus's own labels — each "review" reveals one true
 /// label, exactly as a human reviewer would.
 pub fn tar_review(corpus: &[LabeledDoc], config: TarConfig) -> ReviewOutcome {
-    let _span = itrust_obs::span!("core.tar.review");
-    itrust_obs::counter_add!("core.tar.docs_reviewed", corpus.len() as u64);
+    tar_review_with_obs(corpus, config, &itrust_obs::ObsCtx::null())
+}
+
+/// [`tar_review`], recording the review span and document counter into
+/// `obs`.
+pub fn tar_review_with_obs(
+    corpus: &[LabeledDoc],
+    config: TarConfig,
+    obs: &itrust_obs::ObsCtx,
+) -> ReviewOutcome {
+    let _span = itrust_obs::span!(obs, "core.tar.review");
+    itrust_obs::counter_add!(obs, "core.tar.docs_reviewed", corpus.len() as u64);
     assert!(config.seed_size >= 2 && config.batch_size >= 1);
     let n = corpus.len();
     assert!(n > config.seed_size, "corpus smaller than the seed set");

@@ -10,7 +10,7 @@
 
 use crate::ams::AssetManagement;
 use crate::bim::BimModel;
-use crate::integration::{integrate_all, synthetic_source, IntegrationReport, SourceKind};
+use crate::integration::{integrate_all_with_obs, synthetic_source, IntegrationReport, SourceKind};
 use crate::paradata::{ParadataRegistry, ToolDescription, ToolKind};
 use crate::sensors::SensorNetwork;
 use crate::sync::{Direction, SyncLog};
@@ -57,6 +57,19 @@ impl DigitalTwin {
         telemetry_ms: u64,
         seed: u64,
     ) -> DigitalTwin {
+        Self::synthetic_with_obs(name, buildings, sensors_per_element, telemetry_ms, seed, &itrust_obs::ObsCtx::null())
+    }
+
+    /// [`DigitalTwin::synthetic`], recording integration and sync telemetry
+    /// into `obs`.
+    pub fn synthetic_with_obs(
+        name: &str,
+        buildings: usize,
+        sensors_per_element: usize,
+        telemetry_ms: u64,
+        seed: u64,
+        obs: &itrust_obs::ObsCtx,
+    ) -> DigitalTwin {
         let mut bim = BimModel::synthetic_campus(name, buildings, 3, 8);
         // Five synthetic sources plus a *real* BPS-derived source: the
         // building-performance results come from the 1R1C thermal model run
@@ -100,7 +113,7 @@ impl DigitalTwin {
             .map(|(i, &k)| synthetic_source(&bim, k, 0.8, 1, 1, seed.wrapping_add(i as u64)))
             .collect();
         sources.push(bps_source);
-        let integration_reports = integrate_all(&mut bim, &sources);
+        let integration_reports = integrate_all_with_obs(&mut bim, &sources, obs);
 
         let mut sensors = SensorNetwork::deploy(&bim.element_ids(), sensors_per_element);
         sensors.simulate(telemetry_ms, seed.wrapping_add(100));
@@ -108,14 +121,14 @@ impl DigitalTwin {
         let mut sync_log = SyncLog::new();
         let telemetry_blob =
             serde_json::to_vec(&sensors.history).expect("history serializable");
-        sync_log.record(telemetry_ms, Direction::Inbound, "telemetry", &telemetry_blob);
+        sync_log.record_with_obs(telemetry_ms, Direction::Inbound, "telemetry", &telemetry_blob, obs);
 
         let mut ams = AssetManagement::new();
         let actions = ams.run_comfort_rules(&sensors, telemetry_ms, 19.0, 24.0);
         if actions > 0 {
             let control_blob =
                 serde_json::to_vec(&ams.control_log).expect("control log serializable");
-            sync_log.record(telemetry_ms, Direction::Outbound, "control", &control_blob);
+            sync_log.record_with_obs(telemetry_ms, Direction::Outbound, "control", &control_blob, obs);
         }
 
         let mut paradata = ParadataRegistry::new();

@@ -108,7 +108,17 @@ pub struct IntegrationReport {
 /// (the BIM is authoritative; conflicts are reported for human review —
 /// the archival stance on contradictory evidence).
 pub fn integrate(model: &mut BimModel, source: &SourceDatabase) -> IntegrationReport {
-    let _span = itrust_obs::span!("twin.integration.integrate");
+    integrate_with_obs(model, source, &itrust_obs::ObsCtx::null())
+}
+
+/// [`integrate`], recording the merge span and record/conflict counters
+/// into `obs`.
+pub fn integrate_with_obs(
+    model: &mut BimModel,
+    source: &SourceDatabase,
+    obs: &itrust_obs::ObsCtx,
+) -> IntegrationReport {
+    let _span = itrust_obs::span!(obs, "twin.integration.integrate");
     let mut report = IntegrationReport {
         source: source.name.clone(),
         integrated: 0,
@@ -158,14 +168,23 @@ pub fn integrate(model: &mut BimModel, source: &SourceDatabase) -> IntegrationRe
             conflicts,
         });
     }
-    itrust_obs::counter_add!("twin.integration.records_integrated", report.integrated as u64);
-    itrust_obs::counter_add!("twin.integration.conflicts", report.conflicts as u64);
+    itrust_obs::counter_add!(obs, "twin.integration.records_integrated", report.integrated as u64);
+    itrust_obs::counter_add!(obs, "twin.integration.conflicts", report.conflicts as u64);
     report
 }
 
 /// Integrate several sources in order; returns one report per source.
 pub fn integrate_all(model: &mut BimModel, sources: &[SourceDatabase]) -> Vec<IntegrationReport> {
     sources.iter().map(|s| integrate(model, s)).collect()
+}
+
+/// [`integrate_all`] with telemetry recorded into `obs`.
+pub fn integrate_all_with_obs(
+    model: &mut BimModel,
+    sources: &[SourceDatabase],
+    obs: &itrust_obs::ObsCtx,
+) -> Vec<IntegrationReport> {
+    sources.iter().map(|s| integrate_with_obs(model, s, obs)).collect()
 }
 
 /// Generate a synthetic source database over a model: `coverage` of the

@@ -56,8 +56,21 @@ impl SyncLog {
         channel: impl Into<String>,
         payload: &[u8],
     ) -> &SyncEvent {
-        let _span = itrust_obs::span!("twin.sync.record");
-        itrust_obs::counter_add!("twin.sync.payload_bytes", payload.len() as u64);
+        self.record_with_obs(timestamp_ms, direction, channel, payload, &itrust_obs::ObsCtx::null())
+    }
+
+    /// [`SyncLog::record`], timed into `obs` (the log itself is a plain
+    /// serializable value, so it does not carry a context).
+    pub fn record_with_obs(
+        &mut self,
+        timestamp_ms: u64,
+        direction: Direction,
+        channel: impl Into<String>,
+        payload: &[u8],
+        obs: &itrust_obs::ObsCtx,
+    ) -> &SyncEvent {
+        let _span = itrust_obs::span!(obs, "twin.sync.record");
+        itrust_obs::counter_add!(obs, "twin.sync.payload_bytes", payload.len() as u64);
         let seq = self.events.len() as u64;
         self.events.push(SyncEvent {
             seq,

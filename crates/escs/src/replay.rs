@@ -15,7 +15,7 @@
 use crate::call::{CallRecord, CallStats};
 use crate::graph::Topology;
 use crate::preserve::{load_run, PreserveError, PreservedRun};
-use crate::sim::{run, SimConfig, SimOutput};
+use crate::sim::{run, run_with_obs, SimConfig, SimOutput};
 use archival_core::ingest::Repository;
 use trustdb::store::Backend;
 
@@ -66,20 +66,29 @@ pub fn replay_from_archive<B: Backend>(
     aip_id: &str,
 ) -> Result<ReplayReport, PreserveError> {
     let preserved = load_run(repo, aip_id)?;
-    Ok(replay_preserved(&preserved))
+    Ok(replay_preserved_with_obs(&preserved, repo.obs()))
 }
 
 /// Replay an already-loaded preserved run.
 pub fn replay_preserved(preserved: &PreservedRun) -> ReplayReport {
-    let _span = itrust_obs::span!("escs.replay.preserved");
-    let replayed = run(&preserved.config);
+    replay_preserved_with_obs(preserved, &itrust_obs::ObsCtx::null())
+}
+
+/// [`replay_preserved`], recording telemetry (including the inner
+/// simulation's) into `obs`.
+pub fn replay_preserved_with_obs(
+    preserved: &PreservedRun,
+    obs: &itrust_obs::ObsCtx,
+) -> ReplayReport {
+    let _span = itrust_obs::span!(obs, "escs.replay.preserved");
+    let replayed = run_with_obs(&preserved.config, obs);
     let report = ReplayReport {
         original_stats: preserved.stats.clone(),
         replayed_stats: replayed.stats.clone(),
         divergence: divergence(&preserved.calls, &replayed.calls),
     };
     if !report.is_faithful() {
-        itrust_obs::counter_inc!("escs.replay.divergent_runs");
+        itrust_obs::counter_inc!(obs, "escs.replay.divergent_runs");
     }
     report
 }

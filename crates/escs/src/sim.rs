@@ -193,7 +193,13 @@ struct PoolState {
 /// Run the simulation to completion (arrivals stop at `duration_ms`; the
 /// event list then drains so every accepted call reaches a terminal state).
 pub fn run(config: &SimConfig) -> SimOutput {
-    let _span = itrust_obs::span!("escs.sim.run");
+    run_with_obs(config, &itrust_obs::ObsCtx::null())
+}
+
+/// [`run`], recording telemetry (spans, dispatch counters, queue-depth
+/// high-water gauge) into `obs`.
+pub fn run_with_obs(config: &SimConfig, obs: &itrust_obs::ObsCtx) -> SimOutput {
+    let _span = itrust_obs::span!(obs, "escs.sim.run");
     let problems = config.topology.validate();
     assert!(problems.is_empty(), "invalid topology: {problems:?}");
     let mut queue: EventQueue<Event> = EventQueue::new();
@@ -211,7 +217,7 @@ pub fn run(config: &SimConfig) -> SimOutput {
 
     // Generate every region's arrival stream (parallel — each region has
     // its own RNG stream), then merge deterministically by (time, region).
-    let arrivals: Vec<ArrivalDraw> = itrust_obs::time("escs.sim.generate_arrivals", || {
+    let arrivals: Vec<ArrivalDraw> = obs.time("escs.sim.generate_arrivals", || {
         let per_region: Vec<Vec<ArrivalDraw>> =
             itrust_par::par_map_indices(n_regions, |ri| region_arrivals(config, ri, max_multiplier));
         let mut all: Vec<ArrivalDraw> = per_region.into_iter().flatten().collect();
@@ -255,8 +261,8 @@ pub fn run(config: &SimConfig) -> SimOutput {
 
     // Handles hoisted out of the event loop: the loop body must stay pure
     // atomics, not per-iteration registry lookups.
-    let dispatched = itrust_obs::counter("escs.sim.events_dispatched");
-    let depth_high_water = itrust_obs::gauge("escs.sim.queue_depth_max");
+    let dispatched = obs.counter("escs.sim.events_dispatched");
+    let depth_high_water = obs.gauge("escs.sim.queue_depth_max");
 
     // Helper closures are avoided where they would need &mut captures;
     // the match below is explicit instead. The pre-generated arrival stream

@@ -318,12 +318,24 @@ pub fn conv2d_backward_naive(
 /// contiguous patch rows, and makes the `kk`-ascending accumulation order
 /// explicit — that order is what lets the blocked forward match the naive
 /// one bit-for-bit.
-fn im2col_t(input: &Tensor, b: usize, kernel: usize, padding: usize, oh: usize, ow: usize) -> Vec<f32> {
+/// The matrix is written into `patch`, a scratch buffer recycled across
+/// forward calls: it is cleared and re-zeroed to the exact length first, so
+/// the contents are bit-identical to a freshly allocated buffer.
+fn im2col_t_into(
+    input: &Tensor,
+    b: usize,
+    kernel: usize,
+    padding: usize,
+    oh: usize,
+    ow: usize,
+    patch: &mut Vec<f32>,
+) {
     let [in_c, h, w] = [input.shape()[1], input.shape()[2], input.shape()[3]];
     let p = padding as isize;
     let ohw = oh * ow;
     let data = input.data();
-    let mut patch = vec![0.0f32; in_c * kernel * kernel * ohw];
+    patch.clear();
+    patch.resize(in_c * kernel * kernel * ohw, 0.0);
     let mut kk = 0;
     for ic in 0..in_c {
         for ky in 0..kernel {
@@ -347,7 +359,6 @@ fn im2col_t(input: &Tensor, b: usize, kernel: usize, padding: usize, oh: usize, 
             }
         }
     }
-    patch
 }
 
 /// Forward-pass state kept for `backward`.
@@ -378,6 +389,9 @@ pub struct Conv2d {
     kernel: usize,
     padding: usize,
     cache: Option<ConvCache>,
+    /// Retired patch buffers, recycled by the next forward to avoid
+    /// re-allocating `[kk_total, oh·ow]` matrices every call.
+    patch_pool: Vec<Vec<f32>>,
 }
 
 impl Conv2d {
@@ -400,6 +414,7 @@ impl Conv2d {
             kernel,
             padding,
             cache: None,
+            patch_pool: Vec::new(),
         }
     }
 
@@ -419,8 +434,21 @@ impl Layer for Conv2d {
         let ohw = oh * ow;
         let kk_total = in_c * self.kernel * self.kernel;
         let (kernel, padding) = (self.kernel, self.padding);
-        let patches: Vec<Vec<f32>> =
-            itrust_par::par_map_indices(n, |b| im2col_t(input, b, kernel, padding, oh, ow));
+        // Recycle the previous forward's patch buffers: each worker grabs
+        // any retired buffer (the pool is value-agnostic — buffers are
+        // re-zeroed to exact length, so outputs are bit-identical whichever
+        // buffer an item gets).
+        if let Some(cache) = self.cache.take() {
+            let mut retired = cache.patches;
+            self.patch_pool.append(&mut retired);
+        }
+        let pool = std::sync::Mutex::new(std::mem::take(&mut self.patch_pool));
+        let patches: Vec<Vec<f32>> = itrust_par::par_map_indices(n, |b| {
+            let mut buf = pool.lock().expect("patch pool poisoned").pop().unwrap_or_default();
+            im2col_t_into(input, b, kernel, padding, oh, ow, &mut buf);
+            buf
+        });
+        self.patch_pool = pool.into_inner().expect("patch pool poisoned");
         let wdata = self.weight.value.data();
         let bdata = self.bias.value.data();
         let rows: Vec<Vec<f32>> = itrust_par::par_map_indices(n * out_c, |i| {
@@ -763,6 +791,32 @@ mod tests {
         let g = f.backward(&y);
         assert_eq!(g.shape(), x.shape());
         assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn conv_recycled_patch_buffers_are_byte_identical() {
+        // The second and later forward calls reuse retired patch buffers;
+        // outputs must be bit-identical to the first (fresh-allocation)
+        // call and to the naive reference, whatever buffer each item gets.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut conv = Conv2d::new(3, 4, 3, 1, &mut rng);
+        let x = Tensor::randn(&[4, 3, 9, 9], 27, &mut rng);
+        let first = conv.forward(&x, true);
+        let naive = conv2d_forward_naive(&x, &conv.weight.value, &conv.bias.value, 3, 1);
+        assert_eq!(first.data(), naive.data(), "blocked forward must match naive");
+        for round in 0..3 {
+            let again = conv.forward(&x, true);
+            assert_eq!(
+                first.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                again.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "recycled-buffer forward diverged on round {round}"
+            );
+        }
+        // A different input shape forces re-zeroed buffers of a new length.
+        let y = Tensor::randn(&[2, 3, 5, 5], 27, &mut rng);
+        let small = conv.forward(&y, true);
+        let small_naive = conv2d_forward_naive(&y, &conv.weight.value, &conv.bias.value, 3, 1);
+        assert_eq!(small.data(), small_naive.data());
     }
 
     #[test]

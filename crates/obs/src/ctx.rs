@@ -1,0 +1,222 @@
+//! `ObsCtx`: the per-run telemetry context that owns a metrics registry, a
+//! span recorder, and an optional trace sink.
+//!
+//! There is no process-global registry or sink — every instrumented
+//! component holds (or is handed) an `ObsCtx`, and two contexts with
+//! identical metric names record into disjoint storage. The **null
+//! context** ([`ObsCtx::null`], also the `Default`) carries no storage at
+//! all: every record through it is a single `Option` check, which keeps
+//! un-instrumented library use (and the ~650 unit tests) at effectively
+//! zero telemetry overhead.
+
+use crate::registry::{CounterHandle, GaugeHandle, HistogramHandle, Registry};
+use crate::snapshot::Snapshot;
+use crate::span::{current_span_path, SpanGuard, SpanSink};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Allocates a unique id per active context. The id keys the per-thread
+/// span stacks so nested spans from different contexts on the same thread
+/// never interleave; it carries no telemetry data.
+static NEXT_CTX_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) struct CtxInner {
+    pub(crate) id: u64,
+    pub(crate) registry: Registry,
+    pub(crate) sink: Option<Arc<dyn SpanSink>>,
+}
+
+/// Handle to one run's telemetry: metrics registry + span recorder +
+/// optional trace sink. Cheap to `Clone` (an `Arc` bump) and `Send + Sync`,
+/// so one context can be shared across the threads of a single run while a
+/// concurrent run records into a different context entirely.
+#[derive(Clone, Default)]
+pub struct ObsCtx {
+    inner: Option<Arc<CtxInner>>,
+}
+
+impl fmt::Debug for ObsCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "ObsCtx(null)"),
+            Some(inner) => write!(f, "ObsCtx(#{})", inner.id),
+        }
+    }
+}
+
+impl ObsCtx {
+    /// An active context with a fresh, empty registry and no span sink.
+    pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// An active context whose completed spans are also streamed to `sink`
+    /// (e.g. a [`crate::JsonlTraceSink`]).
+    pub fn with_sink(sink: Arc<dyn SpanSink>) -> Self {
+        Self::build(Some(sink))
+    }
+
+    fn build(sink: Option<Arc<dyn SpanSink>>) -> Self {
+        ObsCtx {
+            inner: Some(Arc::new(CtxInner {
+                id: NEXT_CTX_ID.fetch_add(1, Ordering::Relaxed),
+                registry: Registry::default(),
+                sink,
+            })),
+        }
+    }
+
+    /// The null context: records nothing, allocates nothing. This is the
+    /// `Default`, so structs embedding an `ObsCtx` stay telemetry-free
+    /// until a caller opts in with an active context.
+    pub fn null() -> Self {
+        ObsCtx { inner: None }
+    }
+
+    /// `true` for the null context.
+    pub fn is_null(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Look up or create the counter `name`, returning a cloneable handle
+    /// whose updates are pure atomics. Hoist the handle out of hot loops;
+    /// each `counter()` call takes the registry mutex briefly.
+    pub fn counter(&self, name: &'static str) -> CounterHandle {
+        CounterHandle(self.inner.as_ref().map(|i| i.registry.counter(name)))
+    }
+
+    /// Look up or create the gauge `name`. Panics on kind collision.
+    pub fn gauge(&self, name: &'static str) -> GaugeHandle {
+        GaugeHandle(self.inner.as_ref().map(|i| i.registry.gauge(name)))
+    }
+
+    /// Look up or create the histogram `name`. Panics on kind collision.
+    pub fn histogram(&self, name: &'static str) -> HistogramHandle {
+        HistogramHandle(self.inner.as_ref().map(|i| i.registry.histogram(name)))
+    }
+
+    /// Increment the counter `name` by one.
+    pub fn counter_inc(&self, name: &'static str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Add `delta` to the counter `name`.
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.counter(name).add(delta);
+        }
+    }
+
+    /// Set the gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &'static str, value: i64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge(name).set(value);
+        }
+    }
+
+    /// Record `value` into the histogram `name`.
+    pub fn hist_record(&self, name: &'static str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.histogram(name).record(value);
+        }
+    }
+
+    /// Open an RAII span: times from construction to drop, records the
+    /// elapsed nanoseconds into this context's histogram `name`, and (if
+    /// the context carries a sink) emits a [`crate::SpanEvent`] on drop.
+    /// On the null context this is a no-op guard — not even a clock read.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        match &self.inner {
+            Some(inner) => SpanGuard::enter(inner, name),
+            None => SpanGuard::noop(),
+        }
+    }
+
+    /// Time a closure into the histogram `name` (nanoseconds) and return
+    /// its output. Equivalent to holding a [`ObsCtx::span`] guard for the
+    /// duration of `f`.
+    pub fn time<T>(&self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let _guard = self.span(name);
+        f()
+    }
+
+    /// This thread's span path in this context (slash-joined), or empty
+    /// when no span is open.
+    pub fn span_path(&self) -> String {
+        match &self.inner {
+            Some(inner) => current_span_path(inner.id),
+            None => String::new(),
+        }
+    }
+
+    /// Names of all registered metrics, sorted. Empty for the null context.
+    pub fn metric_names(&self) -> Vec<&'static str> {
+        self.inner.as_ref().map(|i| i.registry.metric_names()).unwrap_or_default()
+    }
+
+    /// Zero every registered metric (registrations are kept). Benches call
+    /// this when reusing one context across warmup and measured runs.
+    pub fn reset(&self) {
+        if let Some(inner) = &self.inner {
+            inner.registry.reset();
+        }
+    }
+
+    /// Capture the current state of every metric in this context. The null
+    /// context snapshots empty.
+    pub fn snapshot(&self) -> Snapshot {
+        match &self.inner {
+            Some(inner) => crate::snapshot::snapshot_registry(&inner.registry),
+            None => Snapshot::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_ctx_records_nothing_and_allocates_nothing() {
+        let ctx = ObsCtx::null();
+        assert!(ctx.is_null());
+        ctx.counter_add("test.ctx.null.events", 9);
+        ctx.gauge_set("test.ctx.null.level", 4);
+        ctx.hist_record("test.ctx.null.latency", 123);
+        ctx.time("test.ctx.null.work", || ());
+        {
+            let _span = ctx.span("test.ctx.null.span");
+            assert_eq!(ctx.span_path(), "");
+        }
+        assert!(ctx.metric_names().is_empty());
+        assert_eq!(ctx.snapshot(), Snapshot::default());
+        assert_eq!(ctx.counter("test.ctx.null.events").get(), 0);
+    }
+
+    #[test]
+    fn default_is_null() {
+        assert!(ObsCtx::default().is_null());
+    }
+
+    #[test]
+    fn two_contexts_record_disjointly() {
+        let a = ObsCtx::new();
+        let b = ObsCtx::new();
+        a.counter_add("test.ctx.shared", 5);
+        b.counter_add("test.ctx.shared", 11);
+        b.counter_add("test.ctx.only_b", 1);
+        assert_eq!(a.snapshot().counters["test.ctx.shared"], 5);
+        assert_eq!(b.snapshot().counters["test.ctx.shared"], 11);
+        assert!(!a.snapshot().counters.contains_key("test.ctx.only_b"));
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let a = ObsCtx::new();
+        let b = a.clone();
+        a.counter_add("test.ctx.cloned", 2);
+        b.counter_add("test.ctx.cloned", 3);
+        assert_eq!(a.counter("test.ctx.cloned").get(), 5);
+    }
+}

@@ -1,30 +1,35 @@
-//! # itrust-obs — workspace-wide telemetry substrate
+//! # itrust-obs — per-run telemetry contexts
 //!
 //! The paper's position (and ARCHANGEL's before it) is that archival trust
 //! requires *demonstrable*, machine-checkable evidence of what the system
 //! did. This crate is the workspace's evidence plane for performance and
-//! behavior: every hot path records into a global, lock-cheap metrics
-//! registry, and every experiment exports a deterministic snapshot that can
-//! be diffed PR-over-PR.
+//! behavior — and evidence must be **attributable**: every run records into
+//! its own [`ObsCtx`], never into process-global state, so two concurrent
+//! experiments produce disjoint, per-run snapshots and traces.
 //!
-//! Three layers:
+//! Three layers, all hanging off an [`ObsCtx`] handle:
 //!
-//! - **Metrics registry** ([`counter`], [`gauge`], [`histogram`]): atomic
-//!   counters, gauges, and fixed-bucket exponential histograms with
-//!   p50/p90/p99 extraction, keyed by `&'static str` names. Handles are
-//!   `&'static` and registration is once-per-name; the hot path is pure
-//!   atomics. The [`counter_inc!`], [`counter_add!`], [`gauge_set!`],
-//!   [`hist_record!`] macros cache the handle in a per-call-site static so
-//!   steady-state cost is one atomic load plus the update.
-//! - **Spans** ([`span`], [`span!`]): RAII guards that time a scope into the
-//!   histogram of the same name and maintain a thread-local span stack
-//!   (`a/b/c` paths). When a [`SpanSink`] is installed each completed span
-//!   also emits a structured [`SpanEvent`]; with no sink the overhead is two
-//!   `Instant::now()` calls and a few atomics.
-//! - **Snapshot** ([`snapshot`], [`Snapshot`]): serializes the whole
-//!   registry to deterministic JSON (sorted names, stable field order) and
-//!   renders a human-readable table. Benches write these next to their
-//!   `.txt` reports as `results/<name>.telemetry.json`.
+//! - **Metrics registry** ([`ObsCtx::counter`], [`ObsCtx::gauge`],
+//!   [`ObsCtx::histogram`]): atomic counters, gauges, and fixed-bucket
+//!   exponential histograms with p50/p90/p99 extraction, keyed by
+//!   `&'static str` names. Handles are `Arc`-backed and cloneable;
+//!   registration takes a short per-context mutex, every update after that
+//!   is pure atomics — hoist handles out of hot loops.
+//! - **Spans** ([`ObsCtx::span`], [`span!`]): RAII guards that time a scope
+//!   into the context's histogram of the same name and maintain a
+//!   per-(thread, context) span stack (`a/b/c` paths). When the context was
+//!   built with [`ObsCtx::with_sink`] each completed span also emits a
+//!   structured [`SpanEvent`] — e.g. into a [`JsonlTraceSink`] writing
+//!   `results/<name>.trace.jsonl`.
+//! - **Snapshot** ([`ObsCtx::snapshot`], [`Snapshot`]): serializes the
+//!   context's registry to deterministic JSON (sorted names, stable field
+//!   order) and renders a human-readable table. Benches write these next to
+//!   their `.txt` reports as `results/<name>.telemetry.json`.
+//!
+//! The **null context** ([`ObsCtx::null`], also `Default`) records nothing
+//! and allocates nothing: every operation through it is one `Option` check,
+//! so library types default to it and pay effectively zero overhead until a
+//! caller attaches a real context (`with_obs(...)` builders by convention).
 //!
 //! ## Naming convention
 //!
@@ -33,70 +38,59 @@
 //! nanoseconds. Counters of discrete events end in a plural noun
 //! (`trustdb.store.puts`); gauges describe a level (`escs.sim.queue_depth`).
 
+mod ctx;
 mod registry;
 mod snapshot;
 mod span;
+mod trace;
 
+pub use ctx::ObsCtx;
 pub use registry::{
-    counter, gauge, histogram, metric_names, reset, Counter, Gauge, Histogram, BUCKET_COUNT,
+    Counter, CounterHandle, Gauge, GaugeHandle, Histogram, HistogramHandle, BUCKET_COUNT,
 };
-pub use snapshot::{snapshot, HistogramSnapshot, Snapshot, SnapshotBucket};
-pub use span::{
-    clear_sink, set_sink, span, span_path, CollectingSink, SpanEvent, SpanGuard, SpanSink,
-};
+pub use snapshot::{HistogramSnapshot, Snapshot, SnapshotBucket};
+pub use span::{CollectingSink, SpanEvent, SpanGuard, SpanSink};
+pub use trace::JsonlTraceSink;
 
-/// Time a closure into the named histogram (nanoseconds) and return its
-/// output. Equivalent to holding a [`span`] guard for the duration of `f`.
-pub fn time<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
-    let _guard = span(name);
-    f()
-}
-
-/// Increment a counter through a per-call-site cached handle.
+/// Increment a counter on a context: `counter_inc!(obs, "trustdb.store.puts")`.
 #[macro_export]
 macro_rules! counter_inc {
-    ($name:literal) => {
-        $crate::counter_add!($name, 1)
+    ($ctx:expr, $name:literal) => {
+        ($ctx).counter_add($name, 1)
     };
 }
 
-/// Add to a counter through a per-call-site cached handle.
+/// Add to a counter on a context:
+/// `counter_add!(obs, "trustdb.wal.bytes_appended", n)`.
 #[macro_export]
 macro_rules! counter_add {
-    ($name:literal, $delta:expr) => {{
-        static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
-            ::std::sync::OnceLock::new();
-        HANDLE.get_or_init(|| $crate::counter($name)).add($delta);
-    }};
+    ($ctx:expr, $name:literal, $delta:expr) => {
+        ($ctx).counter_add($name, $delta)
+    };
 }
 
-/// Set a gauge through a per-call-site cached handle.
+/// Set a gauge on a context: `gauge_set!(obs, "escs.sim.queue_depth", d)`.
 #[macro_export]
 macro_rules! gauge_set {
-    ($name:literal, $value:expr) => {{
-        static HANDLE: ::std::sync::OnceLock<&'static $crate::Gauge> =
-            ::std::sync::OnceLock::new();
-        HANDLE.get_or_init(|| $crate::gauge($name)).set($value);
-    }};
+    ($ctx:expr, $name:literal, $value:expr) => {
+        ($ctx).gauge_set($name, $value)
+    };
 }
 
-/// Record a value into a histogram through a per-call-site cached handle.
+/// Record a value into a histogram on a context:
+/// `hist_record!(obs, "trustdb.store.object_bytes", len)`.
 #[macro_export]
 macro_rules! hist_record {
-    ($name:literal, $value:expr) => {{
-        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
-            ::std::sync::OnceLock::new();
-        HANDLE.get_or_init(|| $crate::histogram($name)).record($value);
-    }};
+    ($ctx:expr, $name:literal, $value:expr) => {
+        ($ctx).hist_record($name, $value)
+    };
 }
 
-/// Open a span guard bound to a local, with the histogram handle cached at
-/// the call site: `let _span = span!("trustdb.wal.append");`
+/// Open a span guard on a context, bound to a local:
+/// `let _span = span!(obs, "trustdb.wal.append");`
 #[macro_export]
 macro_rules! span {
-    ($name:literal) => {{
-        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
-            ::std::sync::OnceLock::new();
-        $crate::SpanGuard::with_histogram($name, HANDLE.get_or_init(|| $crate::histogram($name)))
-    }};
+    ($ctx:expr, $name:literal) => {
+        ($ctx).span($name)
+    };
 }

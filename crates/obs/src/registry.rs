@@ -1,14 +1,15 @@
-//! Global metrics registry: atomic counters, gauges, and fixed-bucket
+//! Per-context metrics registry: atomic counters, gauges, and fixed-bucket
 //! exponential histograms, keyed by static names.
 //!
-//! Registration takes a short mutex on first use of a name; every
-//! subsequent operation on the returned `&'static` handle is lock-free
-//! atomics. Metrics live for the process lifetime (entries are leaked
-//! intentionally — the registry IS the process-global table).
+//! Each [`crate::ObsCtx`] owns one [`Registry`]. Registration takes a short
+//! mutex on first use of a name; every subsequent operation on the returned
+//! `Arc`-backed handle is lock-free atomics. There is no process-global
+//! table — two contexts with the same metric names record into disjoint
+//! storage.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Number of histogram buckets. Bucket `i < BUCKET_COUNT - 1` covers
@@ -213,84 +214,220 @@ impl Histogram {
     }
 }
 
-/// One registered metric. Variants differ greatly in size (a histogram is
-/// ~37 atomics), but entries are registered once and leaked — boxing the
-/// histogram would only add an indirection on the hot path.
-#[allow(clippy::large_enum_variant)]
-pub(crate) enum Metric {
-    Counter(Counter),
-    Gauge(Gauge),
-    Histogram(Histogram),
+/// Cloneable handle to one counter in one context's registry. The null
+/// handle (from a null [`crate::ObsCtx`], or `Default`) drops every update.
+#[derive(Clone, Default)]
+pub struct CounterHandle(pub(crate) Option<Arc<Counter>>);
+
+impl CounterHandle {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, delta: u64) {
+        if let Some(c) = &self.0 {
+            c.add(delta);
+        }
+    }
+
+    /// Current value; `0` for the null handle.
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.get())
+    }
 }
 
-impl Metric {
-    fn kind(&self) -> &'static str {
-        match self {
-            Metric::Counter(_) => "counter",
-            Metric::Gauge(_) => "gauge",
-            Metric::Histogram(_) => "histogram",
+/// Cloneable handle to one gauge in one context's registry.
+#[derive(Clone, Default)]
+pub struct GaugeHandle(pub(crate) Option<Arc<Gauge>>);
+
+impl GaugeHandle {
+    pub fn set(&self, value: i64) {
+        if let Some(g) = &self.0 {
+            g.set(value);
+        }
+    }
+
+    pub fn add(&self, delta: i64) {
+        if let Some(g) = &self.0 {
+            g.add(delta);
+        }
+    }
+
+    /// Set to `value` if it exceeds the current reading (high-water mark).
+    pub fn max_of(&self, value: i64) {
+        if let Some(g) = &self.0 {
+            g.max_of(value);
+        }
+    }
+
+    /// Current value; `0` for the null handle.
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.get())
+    }
+}
+
+/// Cloneable handle to one histogram in one context's registry.
+#[derive(Clone, Default)]
+pub struct HistogramHandle(pub(crate) Option<Arc<Histogram>>);
+
+impl HistogramHandle {
+    pub fn record(&self, value: u64) {
+        if let Some(h) = &self.0 {
+            h.record(value);
+        }
+    }
+
+    pub fn record_duration(&self, d: Duration) {
+        if let Some(h) = &self.0 {
+            h.record_duration(d);
+        }
+    }
+
+    /// Observation count; `0` for the null handle.
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.count())
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.sum())
+    }
+
+    pub fn min(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.min())
+    }
+
+    pub fn max(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.max())
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |h| h.mean())
+    }
+
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.quantile(q))
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// One context's metric table. Names are partitioned by kind; a name used
+/// as two different kinds is an instrumentation bug and panics.
+#[derive(Default)]
+pub(crate) struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Default)]
+pub(crate) struct RegistryInner {
+    pub(crate) counters: BTreeMap<&'static str, Arc<Counter>>,
+    pub(crate) gauges: BTreeMap<&'static str, Arc<Gauge>>,
+    pub(crate) histograms: BTreeMap<&'static str, Arc<Histogram>>,
+}
+
+impl RegistryInner {
+    fn kind_of(&self, name: &str) -> Option<&'static str> {
+        if self.counters.contains_key(name) {
+            Some("counter")
+        } else if self.gauges.contains_key(name) {
+            Some("gauge")
+        } else if self.histograms.contains_key(name) {
+            Some("histogram")
+        } else {
+            None
         }
     }
 }
 
-static REGISTRY: Mutex<BTreeMap<&'static str, &'static Metric>> = Mutex::new(BTreeMap::new());
-
-fn register(name: &'static str, make: fn() -> Metric) -> &'static Metric {
-    let mut map = REGISTRY.lock().expect("metrics registry poisoned");
-    map.entry(name).or_insert_with(|| Box::leak(Box::new(make())))
-}
-
-/// Look up or create the counter `name`.
-///
-/// Panics if `name` is already registered as a different metric kind — a
-/// name collision is a bug at the instrumentation site, not a runtime
-/// condition to tolerate silently.
-pub fn counter(name: &'static str) -> &'static Counter {
-    match register(name, || Metric::Counter(Counter::default())) {
-        Metric::Counter(c) => c,
-        other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+impl Registry {
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().expect("metrics registry poisoned")
     }
-}
 
-/// Look up or create the gauge `name`. Panics on kind collision.
-pub fn gauge(name: &'static str) -> &'static Gauge {
-    match register(name, || Metric::Gauge(Gauge::default())) {
-        Metric::Gauge(g) => g,
-        other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+    /// Look up or create the counter `name`.
+    ///
+    /// Panics if `name` is already registered as a different metric kind — a
+    /// name collision is a bug at the instrumentation site, not a runtime
+    /// condition to tolerate silently.
+    pub(crate) fn counter(&self, name: &'static str) -> Arc<Counter> {
+        let mut map = self.lock();
+        if let Some(c) = map.counters.get(name) {
+            return c.clone();
+        }
+        if let Some(kind) = map.kind_of(name) {
+            drop(map); // release (don't poison) the registry before panicking
+            panic!("metric {name:?} is a {kind}, not a counter");
+        }
+        map.counters.entry(name).or_default().clone()
     }
-}
 
-/// Look up or create the histogram `name`. Panics on kind collision.
-pub fn histogram(name: &'static str) -> &'static Histogram {
-    match register(name, || Metric::Histogram(Histogram::default())) {
-        Metric::Histogram(h) => h,
-        other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+    /// Look up or create the gauge `name`. Panics on kind collision.
+    pub(crate) fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        let mut map = self.lock();
+        if let Some(g) = map.gauges.get(name) {
+            return g.clone();
+        }
+        if let Some(kind) = map.kind_of(name) {
+            drop(map);
+            panic!("metric {name:?} is a {kind}, not a gauge");
+        }
+        map.gauges.entry(name).or_default().clone()
     }
-}
 
-/// Names of all registered metrics, sorted.
-pub fn metric_names() -> Vec<&'static str> {
-    REGISTRY.lock().expect("metrics registry poisoned").keys().copied().collect()
-}
+    /// Look up or create the histogram `name`. Panics on kind collision.
+    pub(crate) fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut map = self.lock();
+        if let Some(h) = map.histograms.get(name) {
+            return h.clone();
+        }
+        if let Some(kind) = map.kind_of(name) {
+            drop(map);
+            panic!("metric {name:?} is a {kind}, not a histogram");
+        }
+        map.histograms.entry(name).or_default().clone()
+    }
 
-/// Zero every registered metric (registrations are kept). Benches call this
-/// between runs so each telemetry snapshot covers exactly one run.
-pub fn reset() {
-    let map = REGISTRY.lock().expect("metrics registry poisoned");
-    for metric in map.values() {
-        match metric {
-            Metric::Counter(c) => c.reset(),
-            Metric::Gauge(g) => g.reset(),
-            Metric::Histogram(h) => h.reset(),
+    /// Names of all registered metrics, sorted.
+    pub(crate) fn metric_names(&self) -> Vec<&'static str> {
+        let map = self.lock();
+        let mut names: Vec<&'static str> = map
+            .counters
+            .keys()
+            .chain(map.gauges.keys())
+            .chain(map.histograms.keys())
+            .copied()
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Zero every registered metric (registrations are kept).
+    pub(crate) fn reset(&self) {
+        let map = self.lock();
+        for c in map.counters.values() {
+            c.reset();
+        }
+        for g in map.gauges.values() {
+            g.reset();
+        }
+        for h in map.histograms.values() {
+            h.reset();
         }
     }
-}
 
-/// Iterate all metrics under the registry lock.
-pub(crate) fn for_each(mut f: impl FnMut(&'static str, &'static Metric)) {
-    let map = REGISTRY.lock().expect("metrics registry poisoned");
-    for (name, metric) in map.iter() {
-        f(name, metric);
+    /// Run `f` over the registry contents under the lock.
+    pub(crate) fn with_inner<T>(&self, f: impl FnOnce(&RegistryInner) -> T) -> T {
+        f(&self.lock())
     }
 }
 
@@ -323,8 +460,21 @@ mod tests {
 
     #[test]
     fn kind_collision_panics() {
-        counter("test.registry.collision");
-        let err = std::panic::catch_unwind(|| gauge("test.registry.collision"));
+        let reg = Registry::default();
+        reg.counter("test.registry.collision");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reg.gauge("test.registry.collision")
+        }));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn same_name_same_storage_different_registries_disjoint() {
+        let a = Registry::default();
+        let b = Registry::default();
+        a.counter("test.registry.shared").add(3);
+        a.counter("test.registry.shared").add(4);
+        assert_eq!(a.counter("test.registry.shared").get(), 7);
+        assert_eq!(b.counter("test.registry.shared").get(), 0);
     }
 }

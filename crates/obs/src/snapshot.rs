@@ -1,7 +1,7 @@
 //! Registry snapshots: deterministic JSON export and a human-readable
 //! table.
 
-use crate::registry::{bucket_hi, bucket_lo, for_each, Metric};
+use crate::registry::{bucket_hi, bucket_lo, Registry};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -30,8 +30,8 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<SnapshotBucket>,
 }
 
-/// Point-in-time state of the whole registry. `BTreeMap` keys make the JSON
-/// rendering deterministic.
+/// Point-in-time state of one context's whole registry. `BTreeMap` keys
+/// make the JSON rendering deterministic.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
@@ -112,17 +112,17 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
-/// Capture the current state of every registered metric.
-pub fn snapshot() -> Snapshot {
+/// Capture the current state of every metric in `registry`.
+pub(crate) fn snapshot_registry(registry: &Registry) -> Snapshot {
     let mut snap = Snapshot::default();
-    for_each(|name, metric| match metric {
-        Metric::Counter(c) => {
+    registry.with_inner(|inner| {
+        for (name, c) in &inner.counters {
             snap.counters.insert(name.to_string(), c.get());
         }
-        Metric::Gauge(g) => {
+        for (name, g) in &inner.gauges {
             snap.gauges.insert(name.to_string(), g.get());
         }
-        Metric::Histogram(h) => {
+        for (name, h) in &inner.histograms {
             let buckets = h
                 .bucket_counts()
                 .into_iter()
@@ -152,28 +152,39 @@ pub fn snapshot() -> Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ObsCtx;
 
     #[test]
     fn snapshot_json_round_trips_and_is_deterministic() {
-        crate::counter("test.snapshot.events").add(3);
-        crate::gauge("test.snapshot.level").set(-7);
-        let h = crate::histogram("test.snapshot.latency");
+        let ctx = ObsCtx::new();
+        ctx.counter("test.snapshot.events").add(3);
+        ctx.gauge("test.snapshot.level").set(-7);
+        let h = ctx.histogram("test.snapshot.latency");
         for v in [10, 100, 1_000, 10_000] {
             h.record(v);
         }
 
-        let a = snapshot();
-        let b = snapshot();
+        let a = ctx.snapshot();
+        let b = ctx.snapshot();
         assert_eq!(a.to_json(), b.to_json(), "snapshot must be deterministic");
 
         let back = Snapshot::from_json(&a.to_json()).unwrap();
         assert_eq!(back, a);
         assert_eq!(back.counters["test.snapshot.events"], 3);
         assert_eq!(back.gauges["test.snapshot.level"], -7);
-        assert!(back.histograms["test.snapshot.latency"].count >= 4);
+        assert_eq!(back.histograms["test.snapshot.latency"].count, 4);
 
         let table = a.render_table();
         assert!(table.contains("test.snapshot.events"));
         assert!(table.contains("histograms"));
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_registrations() {
+        let ctx = ObsCtx::new();
+        ctx.counter_add("test.snapshot.reset", 5);
+        ctx.reset();
+        let snap = ctx.snapshot();
+        assert_eq!(snap.counters["test.snapshot.reset"], 0);
     }
 }

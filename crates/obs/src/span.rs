@@ -1,15 +1,43 @@
-//! Structured spans: RAII scope timers recording into histograms, with a
-//! thread-local span stack and an optional event sink.
+//! Structured spans: RAII scope timers recording into a context's
+//! histograms, with per-(thread, context) span stacks and an optional
+//! per-context event sink.
 
-use crate::registry::{histogram, Histogram};
+use crate::ctx::CtxInner;
+use crate::registry::Histogram;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 thread_local! {
-    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    // One stack per context active on this thread, keyed by context id.
+    // Entries are removed when their stack empties, so short-lived contexts
+    // don't accumulate. Linear scan is fine: a thread rarely interleaves
+    // more than a couple of contexts.
+    static SPAN_STACKS: RefCell<Vec<(u64, Vec<&'static str>)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_stack<T>(ctx_id: u64, f: impl FnOnce(&mut Vec<&'static str>) -> T) -> T {
+    SPAN_STACKS.with(|stacks| {
+        let mut stacks = stacks.borrow_mut();
+        let idx = match stacks.iter().position(|(id, _)| *id == ctx_id) {
+            Some(i) => i,
+            None => {
+                stacks.push((ctx_id, Vec::new()));
+                stacks.len() - 1
+            }
+        };
+        let out = f(&mut stacks[idx].1);
+        if stacks[idx].1.is_empty() {
+            stacks.swap_remove(idx);
+        }
+        out
+    })
+}
+
+/// The span path (slash-joined) of context `ctx_id` on the current thread.
+pub(crate) fn current_span_path(ctx_id: u64) -> String {
+    with_stack(ctx_id, |stack| stack.join("/"))
 }
 
 /// One completed span, as delivered to a [`SpanSink`].
@@ -17,16 +45,17 @@ thread_local! {
 pub struct SpanEvent {
     /// Span (and histogram) name, e.g. `trustdb.wal.append`.
     pub name: String,
-    /// Slash-joined path of enclosing spans on this thread, ending with
-    /// this span: `bench.d5/trustdb.store.put`.
+    /// Slash-joined path of enclosing spans in the same context on this
+    /// thread, ending with this span: `bench.d5/trustdb.store.put`.
     pub path: String,
     /// Wall-clock duration in nanoseconds.
     pub duration_ns: u64,
-    /// Nesting depth (0 = root span on its thread).
+    /// Nesting depth (0 = root span of its context on its thread).
     pub depth: u32,
 }
 
-/// Receives completed spans when installed via [`set_sink`].
+/// Receives completed spans from every context it is attached to (via
+/// [`crate::ObsCtx::with_sink`]).
 pub trait SpanSink: Send + Sync {
     fn record(&self, event: &SpanEvent);
 }
@@ -51,80 +80,60 @@ impl SpanSink for CollectingSink {
     }
 }
 
-/// `SINK_INSTALLED` lets the span drop path skip the sink mutex entirely in
-/// the common no-sink configuration.
-static SINK_INSTALLED: AtomicBool = AtomicBool::new(false);
-static SINK: Mutex<Option<std::sync::Arc<dyn SpanSink>>> = Mutex::new(None);
-
-/// Install a global span sink (replacing any previous one).
-pub fn set_sink(sink: std::sync::Arc<dyn SpanSink>) {
-    *SINK.lock().expect("span sink poisoned") = Some(sink);
-    SINK_INSTALLED.store(true, Ordering::Release);
-}
-
-/// Remove the global span sink.
-pub fn clear_sink() {
-    SINK_INSTALLED.store(false, Ordering::Release);
-    *SINK.lock().expect("span sink poisoned") = None;
-}
-
-/// The current thread's span path (slash-joined), or empty when no span is
-/// open.
-pub fn span_path() -> String {
-    SPAN_STACK.with(|stack| stack.borrow().join("/"))
-}
-
-/// RAII span: times from construction to drop, records the elapsed
-/// nanoseconds into the histogram named after the span, and (if a sink is
-/// installed) emits a [`SpanEvent`].
-pub struct SpanGuard {
+struct ActiveSpan {
     name: &'static str,
-    histogram: &'static Histogram,
+    histogram: Arc<Histogram>,
+    ctx: Arc<CtxInner>,
     start: Instant,
 }
 
-impl SpanGuard {
-    /// Used by the `span!` macro, which caches the histogram handle.
-    pub fn with_histogram(name: &'static str, histogram: &'static Histogram) -> Self {
-        SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
-        SpanGuard { name, histogram, start: Instant::now() }
-    }
+/// RAII span from [`crate::ObsCtx::span`]: times from construction to drop,
+/// records the elapsed nanoseconds into the context's histogram of the same
+/// name, and (if the context carries a sink) emits a [`SpanEvent`]. The
+/// guard from a null context does nothing at all.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
 }
 
-/// Open a span. Prefer the [`span!`](crate::span!) macro on hot paths — it
-/// caches the histogram lookup per call site.
-pub fn span(name: &'static str) -> SpanGuard {
-    SpanGuard::with_histogram(name, histogram(name))
+impl SpanGuard {
+    pub(crate) fn noop() -> Self {
+        SpanGuard { active: None }
+    }
+
+    pub(crate) fn enter(ctx: &Arc<CtxInner>, name: &'static str) -> Self {
+        let histogram = ctx.registry.histogram(name);
+        with_stack(ctx.id, |stack| stack.push(name));
+        SpanGuard {
+            active: Some(ActiveSpan { name, histogram, ctx: ctx.clone(), start: Instant::now() }),
+        }
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let elapsed = self.start.elapsed();
-        self.histogram.record_duration(elapsed);
-        let depth = SPAN_STACK.with(|stack| {
-            let mut stack = stack.borrow_mut();
+        let Some(span) = self.active.take() else { return };
+        let elapsed = span.start.elapsed();
+        span.histogram.record_duration(elapsed);
+        let (depth, parent_path) = with_stack(span.ctx.id, |stack| {
             // Pop our own entry. Guards are scope-bound so LIFO order holds;
             // defend anyway against a mem::forget-ed sibling.
-            if let Some(pos) = stack.iter().rposition(|&n| std::ptr::eq(n, self.name)) {
+            if let Some(pos) = stack.iter().rposition(|&n| std::ptr::eq(n, span.name)) {
                 stack.truncate(pos);
             }
-            stack.len() as u32
+            (stack.len() as u32, if span.ctx.sink.is_some() { stack.join("/") } else { String::new() })
         });
-        if SINK_INSTALLED.load(Ordering::Acquire) {
-            let sink = SINK.lock().expect("span sink poisoned").clone();
-            if let Some(sink) = sink {
-                let mut path = span_path();
-                if !path.is_empty() {
-                    path.push('/');
-                }
-                path.push_str(self.name);
-                sink.record(&SpanEvent {
-                    name: self.name.to_string(),
-                    path,
-                    duration_ns: elapsed.as_nanos().min(u64::MAX as u128) as u64,
-                    depth,
-                });
+        if let Some(sink) = &span.ctx.sink {
+            let mut path = parent_path;
+            if !path.is_empty() {
+                path.push('/');
             }
+            path.push_str(span.name);
+            sink.record(&SpanEvent {
+                name: span.name.to_string(),
+                path,
+                duration_ns: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+                depth,
+            });
         }
     }
 }
@@ -132,22 +141,21 @@ impl Drop for SpanGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use crate::ObsCtx;
 
     #[test]
     fn spans_record_into_histograms_and_nest() {
         let sink = Arc::new(CollectingSink::default());
-        set_sink(sink.clone());
+        let ctx = ObsCtx::with_sink(sink.clone());
         {
-            let _outer = crate::span("test.span.outer");
+            let _outer = ctx.span("test.span.outer");
             std::thread::sleep(std::time::Duration::from_millis(1));
             {
-                let _inner = crate::span("test.span.inner");
+                let _inner = ctx.span("test.span.inner");
                 std::thread::sleep(std::time::Duration::from_millis(1));
-                assert_eq!(span_path(), "test.span.outer/test.span.inner");
+                assert_eq!(ctx.span_path(), "test.span.outer/test.span.inner");
             }
         }
-        clear_sink();
 
         let events = sink.take();
         assert_eq!(events.len(), 2);
@@ -159,9 +167,20 @@ mod tests {
         assert_eq!(events[1].depth, 0);
         assert!(events.iter().all(|e| e.duration_ns >= 1_000_000));
 
-        let h = crate::histogram("test.span.inner");
+        let h = ctx.histogram("test.span.inner");
         assert_eq!(h.count(), 1);
         assert!(h.p50() >= 1_000_000);
-        assert!(span_path().is_empty());
+        assert!(ctx.span_path().is_empty());
+    }
+
+    #[test]
+    fn interleaved_contexts_keep_separate_stacks() {
+        let a = ObsCtx::new();
+        let b = ObsCtx::new();
+        let _sa = a.span("test.span.a_outer");
+        let _sb = b.span("test.span.b_outer");
+        let _sa2 = a.span("test.span.a_inner");
+        assert_eq!(a.span_path(), "test.span.a_outer/test.span.a_inner");
+        assert_eq!(b.span_path(), "test.span.b_outer");
     }
 }

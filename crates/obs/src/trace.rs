@@ -1,0 +1,133 @@
+//! `JsonlTraceSink`: streams completed spans to a per-run
+//! `results/<name>.trace.jsonl` file, one JSON object per line.
+//!
+//! Each line carries the span name, its slash-joined path, depth, duration,
+//! and `start_ns`/`end_ns` offsets relative to the sink's creation instant.
+//! `end_ns` is stamped by the sink itself, under the writer lock, from the
+//! sink's own clock — so end times are **monotonically non-decreasing in
+//! file order** even when spans finish concurrently on several threads
+//! (CI validates this invariant on emitted traces).
+
+use crate::span::{SpanEvent, SpanSink};
+use serde::Serialize;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One line of a `.trace.jsonl` file.
+#[derive(Serialize)]
+struct TraceLine {
+    name: String,
+    path: String,
+    depth: u32,
+    start_ns: u64,
+    end_ns: u64,
+    duration_ns: u64,
+}
+
+struct TraceInner {
+    writer: BufWriter<File>,
+    last_end_ns: u64,
+    errored: bool,
+}
+
+/// Span sink writing JSON Lines to a file. Attach with
+/// [`crate::ObsCtx::with_sink`]; call [`JsonlTraceSink::flush`] (the bench
+/// `Emitter` does) before reading the file.
+pub struct JsonlTraceSink {
+    epoch: Instant,
+    inner: Mutex<TraceInner>,
+}
+
+impl JsonlTraceSink {
+    /// Create (truncate) the trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let writer = BufWriter::new(File::create(path)?);
+        Ok(JsonlTraceSink {
+            epoch: Instant::now(),
+            inner: Mutex::new(TraceInner { writer, last_end_ns: 0, errored: false }),
+        })
+    }
+
+    /// Flush buffered lines to disk. Also reports (once) any write error
+    /// swallowed on the record path — span recording must never fail the
+    /// instrumented workload, so errors are deferred to here.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("trace sink poisoned");
+        if inner.errored {
+            inner.errored = false;
+            return Err(io::Error::other("trace sink dropped lines on a write error"));
+        }
+        inner.writer.flush()
+    }
+}
+
+impl SpanSink for JsonlTraceSink {
+    fn record(&self, event: &SpanEvent) {
+        let mut inner = self.inner.lock().expect("trace sink poisoned");
+        // Stamp the end time under the lock from the sink's own clock: file
+        // order then equals stamp order, making end_ns non-decreasing.
+        let end_ns = (self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+            .max(inner.last_end_ns);
+        inner.last_end_ns = end_ns;
+        let line = TraceLine {
+            name: event.name.clone(),
+            path: event.path.clone(),
+            depth: event.depth,
+            start_ns: end_ns.saturating_sub(event.duration_ns),
+            end_ns,
+            duration_ns: event.duration_ns,
+        };
+        let json = serde_json::to_string(&line).expect("trace line serialization cannot fail");
+        if writeln!(inner.writer, "{json}").is_err() {
+            inner.errored = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsCtx;
+    use std::sync::Arc;
+
+    #[test]
+    fn trace_lines_parse_and_end_times_are_monotone() {
+        let dir = std::env::temp_dir().join("itrust-obs-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spans.trace.jsonl");
+        let sink = Arc::new(JsonlTraceSink::create(&path).unwrap());
+        let ctx = ObsCtx::with_sink(sink.clone());
+
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let ctx = ctx.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let _outer = ctx.span("test.trace.outer");
+                        let _inner = ctx.span("test.trace.inner");
+                    }
+                });
+            }
+        });
+        sink.flush().unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut last_end = 0u64;
+        let mut lines = 0usize;
+        for line in text.lines() {
+            let v = serde_json::parse_value(line.as_bytes()).unwrap();
+            let end = v.get("end_ns").and_then(|x| x.as_u64()).unwrap();
+            let start = v.get("start_ns").and_then(|x| x.as_u64()).unwrap();
+            assert!(end >= last_end, "end_ns regressed: {end} < {last_end}");
+            assert!(start <= end);
+            assert!(!v.get("name").and_then(|x| x.as_str()).unwrap().is_empty());
+            last_end = end;
+            lines += 1;
+        }
+        assert_eq!(lines, 4 * 50 * 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

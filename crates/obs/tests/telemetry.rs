@@ -1,14 +1,15 @@
 //! Integration tests for itrust-obs: concurrency, percentile accuracy, and
 //! snapshot JSON round-trips.
 
-use itrust_obs::{counter, histogram, snapshot, HistogramSnapshot, Snapshot, SnapshotBucket};
+use itrust_obs::{HistogramSnapshot, ObsCtx, Snapshot, SnapshotBucket};
 use proptest::prelude::*;
 
 #[test]
 fn concurrent_counter_increments_are_exact() {
     const THREADS: usize = 8;
     const PER_THREAD: u64 = 10_000;
-    let handle = counter("test.concurrent.hits");
+    let ctx = ObsCtx::new();
+    let handle = ctx.counter("test.concurrent.hits");
     std::thread::scope(|scope| {
         for _ in 0..THREADS {
             scope.spawn(|| {
@@ -25,9 +26,11 @@ fn concurrent_counter_increments_are_exact() {
 fn concurrent_histogram_records_lose_nothing() {
     const THREADS: u64 = 4;
     const PER_THREAD: u64 = 5_000;
-    let handle = histogram("test.concurrent.latency");
+    let ctx = ObsCtx::new();
+    let handle = ctx.histogram("test.concurrent.latency");
     std::thread::scope(|scope| {
         for t in 0..THREADS {
+            let handle = handle.clone();
             scope.spawn(move || {
                 for i in 0..PER_THREAD {
                     handle.record(t * PER_THREAD + i);
@@ -44,7 +47,8 @@ fn concurrent_histogram_records_lose_nothing() {
 
 #[test]
 fn percentiles_track_uniform_data_within_bucket_resolution() {
-    let handle = histogram("test.percentiles.uniform");
+    let ctx = ObsCtx::new();
+    let handle = ctx.histogram("test.percentiles.uniform");
     for v in 1..=10_000u64 {
         handle.record(v);
     }
@@ -117,9 +121,10 @@ proptest! {
 
 #[test]
 fn snapshot_reflects_live_registry() {
-    counter("test.live.events").add(42);
-    itrust_obs::time("test.live.work", || std::thread::sleep(std::time::Duration::from_micros(50)));
-    let snap = snapshot();
+    let ctx = ObsCtx::new();
+    ctx.counter("test.live.events").add(42);
+    ctx.time("test.live.work", || std::thread::sleep(std::time::Duration::from_micros(50)));
+    let snap = ctx.snapshot();
     assert_eq!(snap.counters["test.live.events"], 42);
     let h = &snap.histograms["test.live.work"];
     assert_eq!(h.count, 1);

@@ -70,8 +70,34 @@ pub fn continuous_learning(
     epochs: usize,
     lr: f32,
 ) -> Vec<RoundOutcome> {
-    let _span = itrust_obs::span!("perganet.continuous.learn");
+    continuous_learning_with_obs(
+        seed,
+        initial,
+        incoming_batches,
+        held_out,
+        annotator,
+        epochs,
+        lr,
+        &itrust_obs::ObsCtx::null(),
+    )
+}
+
+/// [`continuous_learning`], recording round counters and the loop span into
+/// `obs`.
+#[allow(clippy::too_many_arguments)]
+pub fn continuous_learning_with_obs(
+    seed: u64,
+    initial: &[Parchment],
+    incoming_batches: &[Vec<Parchment>],
+    held_out: &[Parchment],
+    annotator: &mut SimulatedAnnotator,
+    epochs: usize,
+    lr: f32,
+    obs: &itrust_obs::ObsCtx,
+) -> Vec<RoundOutcome> {
+    let _span = itrust_obs::span!(obs, "perganet.continuous.learn");
     itrust_obs::counter_add!(
+        obs,
         "perganet.continuous.rounds",
         incoming_batches.len() as u64 + 1
     );

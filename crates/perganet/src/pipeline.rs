@@ -69,6 +69,7 @@ pub struct PergaNet {
     pub text_detector: EastLite,
     /// Stage 3 model.
     pub signum_detector: YoloLite,
+    obs: itrust_obs::ObsCtx,
 }
 
 impl PergaNet {
@@ -78,7 +79,14 @@ impl PergaNet {
             classifier: VggLite::new(seed),
             text_detector: EastLite::new(seed.wrapping_add(1)),
             signum_detector: YoloLite::new(seed.wrapping_add(2)),
+            obs: itrust_obs::ObsCtx::null(),
         }
+    }
+
+    /// Attach a telemetry context for per-stage spans and counters.
+    pub fn with_obs(mut self, obs: itrust_obs::ObsCtx) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Train all three stages on a corpus.
@@ -90,12 +98,12 @@ impl PergaNet {
 
     /// Run the full pipeline on one image.
     pub fn analyze(&mut self, image: &GrayImage) -> Analysis {
-        let _span = itrust_obs::span!("perganet.pipeline.analyze");
-        itrust_obs::counter_inc!("perganet.pipeline.images");
+        let _span = itrust_obs::span!(self.obs, "perganet.pipeline.analyze");
+        itrust_obs::counter_inc!(self.obs, "perganet.pipeline.images");
         let mut paradata = Vec::with_capacity(3);
         // Stage 1: recto/verso.
         let (side, side_confidence) =
-            itrust_obs::time("perganet.stage1.classify", || self.classifier.predict(image));
+            self.obs.time("perganet.stage1.classify", || self.classifier.predict(image));
         paradata.push(AiDecision {
             model_id: classifier::MODEL_ID.into(),
             stage: "classify".into(),
@@ -104,7 +112,7 @@ impl PergaNet {
         });
         // Stage 2: text detection.
         let text_boxes =
-            itrust_obs::time("perganet.stage2.detect_text", || self.text_detector.detect(image));
+            self.obs.time("perganet.stage2.detect_text", || self.text_detector.detect(image));
         paradata.push(AiDecision {
             model_id: text_detect::MODEL_ID.into(),
             stage: "detect-text".into(),
@@ -112,7 +120,7 @@ impl PergaNet {
             confidence: if text_boxes.is_empty() { 1.0 } else { 0.9 },
         });
         // Stage 3: mask text, then detect signa on the masked image.
-        let stage3 = itrust_obs::span!("perganet.stage3.detect_signum");
+        let stage3 = itrust_obs::span!(self.obs, "perganet.stage3.detect_signum");
         let mut masked = image.clone();
         for b in &text_boxes {
             masked.mask_rect(

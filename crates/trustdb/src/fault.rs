@@ -103,6 +103,7 @@ pub struct FaultyBackend<B: Backend> {
     rng: Mutex<StdRng>,
     dead: AtomicBool,
     counts: FaultCounters,
+    obs: itrust_obs::ObsCtx,
 }
 
 impl<B: Backend> FaultyBackend<B> {
@@ -114,7 +115,14 @@ impl<B: Backend> FaultyBackend<B> {
             plan,
             dead: AtomicBool::new(false),
             counts: FaultCounters::default(),
+            obs: itrust_obs::ObsCtx::null(),
         }
+    }
+
+    /// Attach a telemetry context for fault-injection counters.
+    pub fn with_obs(mut self, obs: itrust_obs::ObsCtx) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Borrow the wrapped backend (bypasses fault injection).
@@ -126,7 +134,7 @@ impl<B: Backend> FaultyBackend<B> {
     /// non-transient error until [`FaultyBackend::revive`].
     pub fn kill(&self) {
         if !self.dead.swap(true, Ordering::Relaxed) {
-            itrust_obs::counter_inc!("trustdb.fault.deaths");
+            itrust_obs::counter_inc!(self.obs, "trustdb.fault.deaths");
         }
     }
 
@@ -220,7 +228,7 @@ impl<B: Backend> FaultyBackend<B> {
         }
         if self.plan.transient_io > 0.0 && rng.gen_bool(self.plan.transient_io) {
             self.counts.transient.fetch_add(1, Ordering::Relaxed);
-            itrust_obs::counter_inc!("trustdb.fault.transient_errors");
+            itrust_obs::counter_inc!(self.obs, "trustdb.fault.transient_errors");
             return Err(Error::Io(std::io::Error::new(
                 std::io::ErrorKind::TimedOut,
                 format!("injected transient fault ({op})"),
@@ -257,7 +265,7 @@ impl<B: Backend> Backend for FaultyBackend<B> {
                 }
             }
             self.counts.rot_writes.fetch_add(1, Ordering::Relaxed);
-            itrust_obs::counter_inc!("trustdb.fault.rot_writes");
+            itrust_obs::counter_inc!(self.obs, "trustdb.fault.rot_writes");
             // Deduplicating backends would silently skip the rotted bytes if
             // the digest is already present; that is fine — rot only lands
             // on first write, exactly like real media decay at ingest.
@@ -284,7 +292,7 @@ impl<B: Backend> Backend for FaultyBackend<B> {
                 }
             }
             self.counts.read_flips.fetch_add(1, Ordering::Relaxed);
-            itrust_obs::counter_inc!("trustdb.fault.read_flips");
+            itrust_obs::counter_inc!(self.obs, "trustdb.fault.read_flips");
             return Ok(Bytes::from(v));
         }
         Ok(bytes)

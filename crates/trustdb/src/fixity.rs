@@ -63,6 +63,7 @@ impl FixityReport {
 }
 
 /// Sweeps an [`ObjectStore`] and records the result in an [`AuditLog`].
+/// Telemetry records into the store's [`itrust_obs::ObsCtx`].
 pub struct FixityAuditor<'a, B: Backend> {
     store: &'a ObjectStore<B>,
     audit: &'a AuditLog,
@@ -82,8 +83,8 @@ impl<'a, B: Backend> FixityAuditor<'a, B> {
 
     /// Verify a specific subset of digests (sampled or incremental sweeps).
     pub fn sweep_subset(&self, timestamp_ms: u64, digests: &[Digest]) -> Result<FixityReport> {
-        let _span = itrust_obs::span!("trustdb.fixity.sweep");
-        itrust_obs::counter_add!("trustdb.fixity.objects_checked", digests.len() as u64);
+        let _span = itrust_obs::span!(self.store.obs(), "trustdb.fixity.sweep");
+        itrust_obs::counter_add!(self.store.obs(), "trustdb.fixity.objects_checked", digests.len() as u64);
         let mut report = FixityReport {
             timestamp_ms,
             checked: 0,
@@ -172,9 +173,9 @@ impl<'a, B: SelfHealing> FixityAuditor<'a, B> {
     /// itself is closed with a `FixityCheck` summary entry, so the repair
     /// history is part of the tamper-evident chain.
     pub fn sweep_and_repair(&self, timestamp_ms: u64) -> Result<RepairReport> {
-        let _span = itrust_obs::span!("trustdb.fixity.sweep_and_repair");
+        let _span = itrust_obs::span!(self.store.obs(), "trustdb.fixity.sweep_and_repair");
         let digests = self.store.list();
-        itrust_obs::counter_add!("trustdb.fixity.objects_checked", digests.len() as u64);
+        itrust_obs::counter_add!(self.store.obs(), "trustdb.fixity.objects_checked", digests.len() as u64);
         let mut report = RepairReport {
             timestamp_ms,
             checked: digests.len(),
@@ -210,8 +211,9 @@ impl<'a, B: SelfHealing> FixityAuditor<'a, B> {
                 Err(_) => report.unrecoverable.push(*d),
             }
         }
-        itrust_obs::counter_add!("trustdb.fixity.objects_repaired", report.repaired.len() as u64);
+        itrust_obs::counter_add!(self.store.obs(), "trustdb.fixity.objects_repaired", report.repaired.len() as u64);
         itrust_obs::counter_add!(
+            self.store.obs(),
             "trustdb.fixity.objects_unrecoverable",
             report.unrecoverable.len() as u64
         );

@@ -171,14 +171,14 @@ impl Breaker {
 
     /// Whether an op may proceed now; moves Open → HalfOpen when the
     /// cooldown has expired (the caller becomes the probe).
-    fn allow(&self, now_ms: u64) -> bool {
+    fn allow(&self, now_ms: u64, obs: &itrust_obs::ObsCtx) -> bool {
         let mut inner = self.inner.lock();
         match inner.state {
             BreakerState::Closed | BreakerState::HalfOpen => true,
             BreakerState::Open => {
                 if now_ms.saturating_sub(inner.opened_at_ms) >= self.config.cooldown_ms {
                     inner.state = BreakerState::HalfOpen;
-                    itrust_obs::counter_inc!("trustdb.replica.breaker_half_open");
+                    itrust_obs::counter_inc!(obs, "trustdb.replica.breaker_half_open");
                     true
                 } else {
                     false
@@ -187,16 +187,16 @@ impl Breaker {
         }
     }
 
-    fn on_success(&self) {
+    fn on_success(&self, obs: &itrust_obs::ObsCtx) {
         let mut inner = self.inner.lock();
         if inner.state != BreakerState::Closed {
-            itrust_obs::counter_inc!("trustdb.replica.breaker_closed");
+            itrust_obs::counter_inc!(obs, "trustdb.replica.breaker_closed");
         }
         inner.state = BreakerState::Closed;
         inner.consecutive_failures = 0;
     }
 
-    fn on_failure(&self, now_ms: u64) {
+    fn on_failure(&self, now_ms: u64, obs: &itrust_obs::ObsCtx) {
         let mut inner = self.inner.lock();
         inner.consecutive_failures += 1;
         let trip = match inner.state {
@@ -208,7 +208,7 @@ impl Breaker {
         if trip {
             inner.state = BreakerState::Open;
             inner.opened_at_ms = now_ms;
-            itrust_obs::counter_inc!("trustdb.replica.breaker_opened");
+            itrust_obs::counter_inc!(obs, "trustdb.replica.breaker_opened");
         }
     }
 }
@@ -249,6 +249,7 @@ pub struct ReplicatedBackend {
     write_quorum: usize,
     /// Rotates the replica a read tries first, spreading load.
     read_cursor: AtomicUsize,
+    obs: itrust_obs::ObsCtx,
 }
 
 impl ReplicatedBackend {
@@ -268,7 +269,14 @@ impl ReplicatedBackend {
             rng: Mutex::new(StdRng::seed_from_u64(0)),
             write_quorum: quorum,
             read_cursor: AtomicUsize::new(0),
+            obs: itrust_obs::ObsCtx::null(),
         }
+    }
+
+    /// Attach a telemetry context for replica/breaker/heal metrics.
+    pub fn with_obs(mut self, obs: itrust_obs::ObsCtx) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Replace the clock (tests: [`ManualClock`] makes backoff instant).
@@ -321,7 +329,7 @@ impl ReplicatedBackend {
             .iter()
             .filter(|b| b.state() != BreakerState::Closed)
             .count();
-        itrust_obs::gauge_set!("trustdb.replica.breakers_not_closed", open as i64);
+        itrust_obs::gauge_set!(self.obs, "trustdb.replica.breakers_not_closed", open as i64);
     }
 
     /// Backoff before retry `attempt` (1-based): exponential, capped,
@@ -346,7 +354,7 @@ impl ReplicatedBackend {
         loop {
             match op() {
                 Err(e) if e.is_transient() && attempt < self.retry.max_attempts => {
-                    itrust_obs::counter_inc!("trustdb.replica.retries");
+                    itrust_obs::counter_inc!(self.obs, "trustdb.replica.retries");
                     self.clock.sleep_ms(self.backoff_ms(attempt));
                     attempt += 1;
                 }
@@ -363,8 +371,8 @@ impl ReplicatedBackend {
         i: usize,
         op: impl Fn(&dyn Backend) -> Result<T>,
     ) -> Result<T> {
-        if !self.breakers[i].allow(self.clock.now_ms()) {
-            itrust_obs::counter_inc!("trustdb.replica.breaker_rejections");
+        if !self.breakers[i].allow(self.clock.now_ms(), &self.obs) {
+            itrust_obs::counter_inc!(self.obs, "trustdb.replica.breaker_rejections");
             return Err(Error::ReplicaUnavailable {
                 replica: i,
                 detail: "circuit breaker open".into(),
@@ -374,12 +382,12 @@ impl ReplicatedBackend {
         loop {
             match op(self.replicas[i].as_ref()) {
                 Ok(v) => {
-                    self.breakers[i].on_success();
+                    self.breakers[i].on_success(&self.obs);
                     self.update_breaker_gauge();
                     return Ok(v);
                 }
                 Err(e) if e.is_transient() && attempt < self.retry.max_attempts => {
-                    itrust_obs::counter_inc!("trustdb.replica.retries");
+                    itrust_obs::counter_inc!(self.obs, "trustdb.replica.retries");
                     self.clock.sleep_ms(self.backoff_ms(attempt));
                     attempt += 1;
                 }
@@ -387,7 +395,7 @@ impl ReplicatedBackend {
                     // NotFound is an answer, not a replica health signal: a
                     // replica that never received a write is not failing.
                     if !matches!(e, Error::NotFound(_)) {
-                        self.breakers[i].on_failure(self.clock.now_ms());
+                        self.breakers[i].on_failure(self.clock.now_ms(), &self.obs);
                         self.update_breaker_gauge();
                     }
                     return Err(e);
@@ -400,7 +408,7 @@ impl ReplicatedBackend {
 impl Backend for ReplicatedBackend {
     /// Write to every replica; succeed iff a majority acknowledged.
     fn put_raw(&self, digest: &Digest, bytes: Bytes) -> Result<()> {
-        let _span = itrust_obs::span!("trustdb.replica.put");
+        let _span = itrust_obs::span!(self.obs, "trustdb.replica.put");
         let mut acks = 0usize;
         let mut last_err = None;
         for i in 0..self.replicas.len() {
@@ -410,13 +418,13 @@ impl Backend for ReplicatedBackend {
             }
         }
         if acks >= self.write_quorum {
-            itrust_obs::counter_inc!("trustdb.replica.quorum_writes");
+            itrust_obs::counter_inc!(self.obs, "trustdb.replica.quorum_writes");
             if acks < self.replicas.len() {
-                itrust_obs::counter_inc!("trustdb.replica.degraded_writes");
+                itrust_obs::counter_inc!(self.obs, "trustdb.replica.degraded_writes");
             }
             Ok(())
         } else {
-            itrust_obs::counter_inc!("trustdb.replica.quorum_failures");
+            itrust_obs::counter_inc!(self.obs, "trustdb.replica.quorum_failures");
             Err(match last_err {
                 Some(e) if e.is_integrity_incident() => e,
                 _ => Error::QuorumFailed { required: self.write_quorum, achieved: acks },
@@ -427,7 +435,7 @@ impl Backend for ReplicatedBackend {
     /// Read from replicas in rotation, verifying the digest of whatever
     /// comes back; fall back on error *or* corruption.
     fn get_raw(&self, digest: &Digest) -> Result<Bytes> {
-        let _span = itrust_obs::span!("trustdb.replica.get");
+        let _span = itrust_obs::span!(self.obs, "trustdb.replica.get");
         let n = self.replicas.len();
         let start = self.read_cursor.fetch_add(1, Ordering::Relaxed) % n;
         let mut saw_corrupt = false;
@@ -436,7 +444,7 @@ impl Backend for ReplicatedBackend {
         for k in 0..n {
             let i = (start + k) % n;
             if k > 0 {
-                itrust_obs::counter_inc!("trustdb.replica.read_fallbacks");
+                itrust_obs::counter_inc!(self.obs, "trustdb.replica.read_fallbacks");
             }
             match self.with_replica(i, |r| r.get_raw(digest)) {
                 Ok(bytes) => {
@@ -447,8 +455,8 @@ impl Backend for ReplicatedBackend {
                     // that is a failure for breaker purposes too — but only
                     // a *verified* failure, so record it directly.
                     saw_corrupt = true;
-                    itrust_obs::counter_inc!("trustdb.replica.corrupt_reads");
-                    self.breakers[i].on_failure(self.clock.now_ms());
+                    itrust_obs::counter_inc!(self.obs, "trustdb.replica.corrupt_reads");
+                    self.breakers[i].on_failure(self.clock.now_ms(), &self.obs);
                 }
                 Err(Error::NotFound(_)) => saw_missing += 1,
                 Err(e) => last_err = Some(e),
@@ -557,10 +565,10 @@ impl SelfHealing for ReplicatedBackend {
             }
             if self.retry_transient(|| r.put_raw(digest, bytes.clone())).is_ok() {
                 outcome.patched += 1;
-                itrust_obs::counter_inc!("trustdb.replica.heals");
+                itrust_obs::counter_inc!(self.obs, "trustdb.replica.heals");
             } else {
                 outcome.failed += 1;
-                itrust_obs::counter_inc!("trustdb.replica.heal_failures");
+                itrust_obs::counter_inc!(self.obs, "trustdb.replica.heal_failures");
             }
         }
         outcome

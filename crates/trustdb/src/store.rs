@@ -17,6 +17,7 @@
 use crate::errors::{Error, Result};
 use crate::hash::{par_sha256, sha256, Digest};
 use bytes::Bytes;
+use itrust_obs::ObsCtx;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -145,6 +146,11 @@ impl FileBackend {
     /// a crash mid-`put_raw` are swept (they were never renamed into place,
     /// so they hold no committed data).
     pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with_obs(root, &ObsCtx::null())
+    }
+
+    /// [`FileBackend::open`] recording the stale-tmp sweep into `obs`.
+    pub fn open_with_obs(root: impl AsRef<Path>, obs: &ObsCtx) -> Result<Self> {
         let root = root.as_ref().to_path_buf();
         std::fs::create_dir_all(&root)?;
         let mut index = BTreeMap::new();
@@ -161,7 +167,7 @@ impl FileBackend {
                     let Some(name) = name.to_str() else { continue };
                     if name.ends_with(".tmp") {
                         let _ = std::fs::remove_file(obj.path());
-                        itrust_obs::counter_inc!("trustdb.store.stale_tmp_swept");
+                        itrust_obs::counter_inc!(obs, "trustdb.store.stale_tmp_swept");
                         continue;
                     }
                     if let Some(d) = Digest::from_hex(name) {
@@ -258,6 +264,7 @@ fn content_digest(bytes: &[u8]) -> Digest {
 pub struct ObjectStore<B: Backend> {
     backend: B,
     verify_on_read: bool,
+    obs: ObsCtx,
 }
 
 impl<B: Backend> ObjectStore<B> {
@@ -265,7 +272,20 @@ impl<B: Backend> ObjectStore<B> {
     /// cover that); enable [`ObjectStore::with_verify_on_read`] for paranoid
     /// deployments.
     pub fn new(backend: B) -> Self {
-        ObjectStore { backend, verify_on_read: false }
+        ObjectStore { backend, verify_on_read: false, obs: ObsCtx::null() }
+    }
+
+    /// Attach a telemetry context; store operations (and components built
+    /// on this store, e.g. `FixityAuditor` and `archival-core`'s
+    /// `Repository`) record into it.
+    pub fn with_obs(mut self, obs: ObsCtx) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The store's telemetry context (null unless attached).
+    pub fn obs(&self) -> &ObsCtx {
+        &self.obs
     }
 
     /// Verify the digest of every object as it is read, turning silent
@@ -280,9 +300,9 @@ impl<B: Backend> ObjectStore<B> {
     /// schedule-expansion path ([`par_sha256`]) — bit-identical to the
     /// serial digest, so the content address never depends on thread count.
     pub fn put(&self, bytes: impl Into<Bytes>) -> Result<Digest> {
-        let _span = itrust_obs::span!("trustdb.store.put");
+        let _span = itrust_obs::span!(self.obs, "trustdb.store.put");
         let bytes = bytes.into();
-        itrust_obs::counter_add!("trustdb.store.put_bytes", bytes.len() as u64);
+        itrust_obs::counter_add!(self.obs, "trustdb.store.put_bytes", bytes.len() as u64);
         let digest = content_digest(&bytes);
         self.backend.put_raw(&digest, bytes)?;
         Ok(digest)
@@ -295,11 +315,11 @@ impl<B: Backend> ObjectStore<B> {
     /// alternating hash/write per item). Idempotent per item; stops at the
     /// first backend error.
     pub fn put_many(&self, items: Vec<impl Into<Bytes>>) -> Result<Vec<Digest>> {
-        let _span = itrust_obs::span!("trustdb.store.put_many");
+        let _span = itrust_obs::span!(self.obs, "trustdb.store.put_many");
         let items: Vec<Bytes> = items.into_iter().map(Into::into).collect();
         let digests: Vec<Digest> = itrust_par::par_map(&items, |b| content_digest(b));
         for (digest, bytes) in digests.iter().zip(items) {
-            itrust_obs::counter_add!("trustdb.store.put_bytes", bytes.len() as u64);
+            itrust_obs::counter_add!(self.obs, "trustdb.store.put_bytes", bytes.len() as u64);
             self.backend.put_raw(digest, bytes)?;
         }
         Ok(digests)
@@ -307,7 +327,7 @@ impl<B: Backend> ObjectStore<B> {
 
     /// Fetch the object at `digest`.
     pub fn get(&self, digest: &Digest) -> Result<Bytes> {
-        let _span = itrust_obs::span!("trustdb.store.get");
+        let _span = itrust_obs::span!(self.obs, "trustdb.store.get");
         let bytes = self.backend.get_raw(digest)?;
         if self.verify_on_read {
             let actual = sha256(&bytes);

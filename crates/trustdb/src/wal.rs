@@ -90,6 +90,7 @@ struct WalInner {
 pub struct Wal {
     path: PathBuf,
     policy: SyncPolicy,
+    obs: itrust_obs::ObsCtx,
     inner: Mutex<WalInner>,
 }
 
@@ -108,6 +109,15 @@ impl Wal {
     /// Open (or create) the log at `path`, positioning new appends after the
     /// last intact frame.
     pub fn open(path: impl AsRef<Path>, policy: SyncPolicy) -> Result<Self> {
+        Self::open_with_obs(path, policy, itrust_obs::ObsCtx::null())
+    }
+
+    /// [`Wal::open`] with a telemetry context for append/replay metrics.
+    pub fn open_with_obs(
+        path: impl AsRef<Path>,
+        policy: SyncPolicy,
+        obs: itrust_obs::ObsCtx,
+    ) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
             .create(true)
@@ -128,6 +138,7 @@ impl Wal {
         Ok(Wal {
             path,
             policy,
+            obs,
             inner: Mutex::new(WalInner {
                 file: Box::new(file),
                 batch: Vec::new(),
@@ -168,7 +179,7 @@ impl Wal {
     where
         I: IntoIterator<Item = &'a [u8]>,
     {
-        let _span = itrust_obs::span!("trustdb.wal.append");
+        let _span = itrust_obs::span!(self.obs, "trustdb.wal.append");
         let inner = &mut *self.inner.lock();
         if inner.torn {
             // A previous append failed AND its recovery truncate failed;
@@ -213,19 +224,19 @@ impl Wal {
             // open-time recovery covers the crash case either way.
             let durable = inner.len;
             inner.torn = inner.file.truncate(durable).is_err();
-            itrust_obs::counter_inc!("trustdb.wal.append_failures");
+            itrust_obs::counter_inc!(self.obs, "trustdb.wal.append_failures");
             return Err(e.into());
         }
         inner.len += inner.batch.len() as u64;
         inner.frames += n;
-        itrust_obs::counter_add!("trustdb.wal.frames_appended", n);
-        itrust_obs::counter_add!("trustdb.wal.bytes_appended", inner.batch.len() as u64);
+        itrust_obs::counter_add!(self.obs, "trustdb.wal.frames_appended", n);
+        itrust_obs::counter_add!(self.obs, "trustdb.wal.bytes_appended", inner.batch.len() as u64);
         Ok(inner.len)
     }
 
     /// Read back every intact frame from the start of the log.
     pub fn replay(&self) -> Result<Replay> {
-        let _span = itrust_obs::span!("trustdb.wal.replay");
+        let _span = itrust_obs::span!(self.obs, "trustdb.wal.replay");
         // Hold the lock so a concurrent append cannot interleave with the
         // read (appends write whole batches, but a half-written batch would
         // otherwise show up as a torn tail).

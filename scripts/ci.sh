@@ -27,9 +27,41 @@ ITRUST_THREADS=4 ITRUST_RESULTS_DIR="$SCRATCH/t4" \
     cargo run --release -q -p itrust-bench --bin detcheck
 diff -u "$SCRATCH/t1/detcheck.json" "$SCRATCH/t4/detcheck.json"
 
+# API gate: telemetry is handle-based. No process-global sink or registry
+# symbol may survive outside crates/obs (and crates/obs itself no longer
+# exports one, but the gate scopes to callers so obs can keep the words in
+# docs/comments).
+if grep -rn --include='*.rs' -E 'set_sink|clear_sink|itrust_obs::(reset|registry|snapshot)\b' \
+    crates --exclude-dir=obs --exclude-dir=target; then
+    echo "ERROR: global telemetry API usage found outside crates/obs" >&2
+    exit 1
+fi
+
 # D9 smoke: a tiny deterministic fault storm must run clean end to end
 # (scratch results dir so committed results/ artifacts stay untouched).
 D9_OBJECTS=60 D9_RATES=0.1,0.5 D9_SEED=42 ITRUST_RESULTS_DIR="$SCRATCH/d9" \
     cargo run --release -q -p itrust-bench --bin d9
 test -s "$SCRATCH/d9/d9.json"
 test -s "$SCRATCH/d9/d9.telemetry.json"
+
+# Trace smoke: the same run must have streamed a JSONL span trace where
+# every line parses as JSON and span end times never go backwards.
+python3 - "$SCRATCH/d9/d9.trace.jsonl" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+last_end = -1
+lines = 0
+with open(path) as f:
+    for i, line in enumerate(f, 1):
+        event = json.loads(line)
+        for key in ("name", "path", "depth", "start_ns", "end_ns"):
+            assert key in event, f"{path}:{i}: missing {key!r}"
+        end = event["end_ns"]
+        assert end >= event["start_ns"], f"{path}:{i}: end_ns < start_ns"
+        assert end >= last_end, f"{path}:{i}: end_ns went backwards"
+        last_end = end
+        lines += 1
+assert lines > 0, f"{path}: empty trace"
+print(f"trace ok: {lines} spans, monotone end_ns")
+EOF

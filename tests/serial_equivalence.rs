@@ -101,3 +101,41 @@ fn store_digests_identical_across_thread_counts() {
         assert_eq!(*d, trustdb::hash::sha256(p));
     }
 }
+
+/// Telemetry counters and gauges are part of the deterministic surface:
+/// the same fixed-seed workload must record identical counter values and
+/// gauge high-water marks at every thread count. (Histograms time wall
+/// clock, so only their observation *counts* are compared.)
+#[test]
+fn telemetry_counters_identical_across_thread_counts() {
+    use escs::external::ExternalTimeline;
+    use escs::graph::Topology;
+    use escs::sim::{run_with_obs, SimConfig};
+    use itrust_obs::ObsCtx;
+    use trustdb::store::{MemoryBackend, ObjectStore};
+
+    let telemetry = |threads: usize| {
+        par::with_threads(threads, || {
+            let ctx = ObsCtx::new();
+            let config = SimConfig::with_defaults(
+                Topology::metro(3),
+                ExternalTimeline::disaster(900_000),
+                900_000,
+                77,
+            );
+            run_with_obs(&config, &ctx);
+            let store = ObjectStore::new(MemoryBackend::new()).with_obs(ctx.clone());
+            store
+                .put_many((0..32usize).map(|i| vec![i as u8; 1024 + i]).collect::<Vec<_>>())
+                .unwrap();
+            let snap = ctx.snapshot();
+            let hist_counts: Vec<(String, u64)> =
+                snap.histograms.iter().map(|(k, h)| (k.clone(), h.count)).collect();
+            (snap.counters, snap.gauges, hist_counts)
+        })
+    };
+    let serial = telemetry(1);
+    assert!(!serial.0.is_empty() && !serial.1.is_empty());
+    assert_eq!(telemetry(4), serial);
+    assert_eq!(telemetry(2), serial);
+}
