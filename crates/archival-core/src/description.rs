@@ -112,7 +112,9 @@ impl DescriptionUnit {
             )));
         }
         self.children.push(child);
-        Ok(self.children.last_mut().unwrap())
+        self.children
+            .last_mut()
+            .ok_or_else(|| ArchivalError::InvariantViolation("child vanished after push".into()))
     }
 
     /// Attach a record to this unit.

@@ -130,7 +130,7 @@ impl<B: Backend> Repository<B> {
             entries.iter().map(|e| e.record.content_digest.0.to_vec()),
             obs,
         )
-        .expect("non-empty accession");
+        .ok_or_else(|| ArchivalError::InvariantViolation("cannot seal an empty accession".into()))?;
         let merkle_root = tree.root();
         // Commit point: audit first, then embed the head into the manifest.
         let audit_head = self.audit.append(
@@ -242,26 +242,36 @@ impl<B: Backend> Repository<B> {
                 _ => {}
             }
             let raw = self.content(&entry.record.content_digest)?;
-            let released = if entry.record.classification == Classification::Restricted {
-                let redactor = redactor.unwrap();
-                match String::from_utf8(raw.clone()) {
-                    Ok(text) => {
-                        let outcome = redactor.redact(&text);
-                        notes.push(DipRedactionNote {
-                            record_id: id.clone(),
-                            spans_redacted: outcome.spans.len(),
-                            categories: outcome.categories(),
-                        });
-                        outcome.text.into_bytes()
-                    }
-                    Err(_) => {
-                        return Err(ArchivalError::InvariantViolation(format!(
-                            "restricted record {id} is not textual; cannot redact"
-                        )))
+            let released = match (&entry.record.classification, redactor) {
+                (Classification::Restricted, Some(redactor)) => {
+                    match String::from_utf8(raw.clone()) {
+                        Ok(text) => {
+                            let outcome = redactor.redact(&text);
+                            notes.push(DipRedactionNote {
+                                record_id: id.clone(),
+                                spans_redacted: outcome.spans.len(),
+                                categories: outcome.categories(),
+                            });
+                            outcome.text.into_bytes()
+                        }
+                        Err(_) => {
+                            return Err(ArchivalError::InvariantViolation(format!(
+                                "restricted record {id} is not textual; cannot redact"
+                            )))
+                        }
                     }
                 }
-            } else {
-                raw
+                // The gate above already rejects this pairing; the arm stays
+                // so that removing the gate can never release unredacted
+                // restricted content.
+                (Classification::Restricted, None) => {
+                    return Err(ArchivalError::AccessDenied {
+                        actor: consumer.to_string(),
+                        resource: id.to_string(),
+                        reason: "restricted record requires redaction".into(),
+                    });
+                }
+                _ => raw,
             };
             proofs.push(manifest.prove_inclusion(id)?);
             items.push((entry.record.clone(), released));

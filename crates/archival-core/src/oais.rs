@@ -184,7 +184,9 @@ impl AipManifest {
         if self.records.is_empty() {
             return Err(ArchivalError::InvariantViolation("AIP has no records".into()));
         }
-        let tree = self.merkle_tree().unwrap();
+        let tree = self
+            .merkle_tree()
+            .ok_or_else(|| ArchivalError::InvariantViolation("empty AIP".into()))?;
         if tree.root() != self.merkle_root {
             return Err(ArchivalError::InvariantViolation(format!(
                 "AIP {} merkle root mismatch",

@@ -132,7 +132,9 @@ impl ProvenanceChain {
         };
         event.hash = event.compute_hash();
         self.events.push(event);
-        Ok(self.events.last().unwrap())
+        self.events
+            .last()
+            .ok_or_else(|| ArchivalError::InvariantViolation("event vanished after push".into()))
     }
 
     /// Events in order.

@@ -113,7 +113,9 @@ impl AccessIndex {
         }
         let n = self.doc_ids.len() as f64;
         let avg_len = self.total_len as f64 / n;
-        let mut scores: HashMap<u32, f64> = HashMap::new();
+        // BTreeMap, not HashMap: the final ranking iterates this map, and
+        // score ties must break by insertion-ordered doc id on every run.
+        let mut scores: BTreeMap<u32, f64> = BTreeMap::new();
         let mut terms = tokenize(query);
         terms.sort_unstable();
         terms.dedup();

@@ -82,6 +82,7 @@ impl ITrustPlatform {
                         risk_assessed: true,
                     },
                 )
+                // itrust-lint: allow(panic-in-lib) — fresh registry with distinct hard-coded ids; register cannot collide
                 .expect("fresh registry");
         };
         register(

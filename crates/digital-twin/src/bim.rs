@@ -176,6 +176,7 @@ impl BimModel {
     /// Content digest of the canonical encoding — the identity the archival
     /// package binds to.
     pub fn digest(&self) -> trustdb::hash::Digest {
+        // itrust-lint: allow(panic-in-lib) — plain struct/Vec model serializes infallibly; digest() is an identity, not an I/O path
         trustdb::hash::sha256(&serde_json::to_vec(self).expect("model serializable"))
     }
 

@@ -140,24 +140,29 @@ pub fn integrate_with_obs(
         };
         let mut conflicts = Vec::new();
         match &outcome {
-            Ok(id) => {
-                let element = model.element_mut(id).expect("checked above");
-                for (k, v) in &record.fields {
-                    match element.attributes.get(k) {
-                        Some(existing) if existing != v => {
-                            conflicts.push((k.clone(), existing.clone(), v.clone()));
-                        }
-                        Some(_) => {}
-                        None => {
-                            element.attributes.insert(k.clone(), v.clone());
+            Ok(id) => match model.element_mut(id) {
+                Some(element) => {
+                    for (k, v) in &record.fields {
+                        match element.attributes.get(k) {
+                            Some(existing) if existing != v => {
+                                conflicts.push((k.clone(), existing.clone(), v.clone()));
+                            }
+                            Some(_) => {}
+                            None => {
+                                element.attributes.insert(k.clone(), v.clone());
+                            }
                         }
                     }
+                    element
+                        .external_refs
+                        .push((source.name.clone(), record.key.clone()));
+                    report.integrated += 1;
                 }
-                element
-                    .external_refs
-                    .push((source.name.clone(), record.key.clone()));
-                report.integrated += 1;
-            }
+                // `outcome` is only Ok when the element resolved above; a
+                // miss here means the model changed under us — count it as
+                // unmatched rather than aborting the whole integration.
+                None => report.unmatched += 1,
+            },
             Err(_) => report.unmatched += 1,
         }
         report.conflicts += conflicts.len();

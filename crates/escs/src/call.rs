@@ -103,8 +103,8 @@ impl CallRecord {
     }
 
     /// Serialize to the line format used in preserved call logs.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("CallRecord is always serializable")
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
     }
 
     /// Parse from the preserved line format.
@@ -228,7 +228,7 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let r = sample(7);
-        let line = r.to_json();
+        let line = r.to_json().unwrap();
         let back = CallRecord::from_json(&line).unwrap();
         assert_eq!(back, r);
         assert!(CallRecord::from_json("{broken").is_none());

@@ -68,6 +68,7 @@ impl SimConfig {
     /// Content digest of the canonical config encoding — identifies the
     /// scenario in provenance records.
     pub fn digest(&self) -> trustdb::hash::Digest {
+        // itrust-lint: allow(panic-in-lib) — plain numeric config serializes infallibly; digest() is an identity, not an I/O path
         trustdb::hash::sha256(&serde_json::to_vec(self).expect("config serializable"))
     }
 }
@@ -330,7 +331,12 @@ pub fn run_with_obs(config: &SimConfig, obs: &itrust_obs::ObsCtx) -> SimOutput {
             }
             continue;
         }
-        let (now, event) = queue.pop().expect("loop condition guarantees a pending event");
+        let Some((now, event)) = queue.pop() else {
+            // `take_arrival` was false with an empty queue, which the loop
+            // condition excludes; treat defensively as a drained simulation
+            // instead of panicking mid-run.
+            break;
+        };
         dispatched.inc();
         depth_high_water.max_of(queue.len() as i64);
         match event {

@@ -72,7 +72,7 @@ proptest! {
     /// Call-record JSON round trip is lossless.
     #[test]
     fn call_record_json_round_trip(call in arb_call()) {
-        let json = call.to_json();
+        let json = call.to_json().unwrap();
         let back = CallRecord::from_json(&json).unwrap();
         prop_assert_eq!(back, call);
     }

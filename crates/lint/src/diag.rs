@@ -1,0 +1,126 @@
+//! Diagnostics: stable ordering, human rendering, and a hand-rolled JSON
+//! emitter (the linter is zero-dependency by design, so it cannot lean on
+//! the vendored serde).
+
+/// One finding. `file` is the path as scanned, normalized to `/` separators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `file:line:col: rule: message` — the format ci log readers grep for.
+    pub fn render_human(&self) -> String {
+        format!("{}:{}:{}: {}: {}", self.file, self.line, self.col, self.rule, self.message)
+    }
+}
+
+/// Sort findings into the canonical order: path, then line, then column,
+/// then rule id. Byte-identical output across runs depends on this.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Deterministic JSON document for `--json`: findings in canonical order,
+/// no timestamps, no host info — two runs over the same tree must be
+/// byte-identical.
+pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"version\": 1,\n  \"files_scanned\": ");
+    out.push_str(&files_scanned.to_string());
+    out.push_str(",\n  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            d.col,
+            d.rule,
+            json_escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(file: &str, line: u32, col: u32, rule: &'static str) -> Diagnostic {
+        Diagnostic { file: file.into(), line, col, rule, message: "m".into() }
+    }
+
+    #[test]
+    fn sort_is_stable_and_canonical() {
+        let mut v = vec![
+            d("b.rs", 1, 1, "r"),
+            d("a.rs", 2, 1, "r"),
+            d("a.rs", 1, 5, "z"),
+            d("a.rs", 1, 5, "a"),
+        ];
+        sort_diagnostics(&mut v);
+        let order: Vec<_> = v.iter().map(|x| (x.file.clone(), x.line, x.col, x.rule)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs".to_string(), 1, 5, "a"),
+                ("a.rs".to_string(), 1, 5, "z"),
+                ("a.rs".to_string(), 2, 1, "r"),
+                ("b.rs".to_string(), 1, 1, "r"),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let diags = vec![Diagnostic {
+            file: "a\"b.rs".into(),
+            line: 1,
+            col: 2,
+            rule: "x",
+            message: "tab\there\nnewline".into(),
+        }];
+        let json = render_json(&diags, 1);
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("tab\\there\\nnewline"));
+    }
+
+    #[test]
+    fn empty_findings_render_empty_array() {
+        let json = render_json(&[], 3);
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"files_scanned\": 3"));
+    }
+}

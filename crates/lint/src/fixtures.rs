@@ -1,0 +1,223 @@
+//! Per-rule fixture snippets: one positive (must fire), one negative (must
+//! stay silent), one suppressed (must stay silent with the annotation
+//! consumed). Shared between the unit/integration tests and the runtime
+//! `--self-check` mode that ci.sh runs before anything else, so the gate
+//! fails fast if the analyzer itself regresses.
+
+/// Synthetic path fixtures are linted under: an ordinary library crate, so
+/// every library-scoped rule applies.
+pub const FIXTURE_PATH: &str = "crates/demo/src/lib.rs";
+
+/// One rule's fixture triple.
+pub struct Fixture {
+    pub rule: &'static str,
+    /// Must produce at least one finding of `rule`.
+    pub positive: &'static str,
+    /// Must produce no finding of `rule`.
+    pub negative: &'static str,
+    /// Positive variant with a valid suppression: must produce no findings
+    /// at all (the annotation is well-formed and consumed).
+    pub suppressed: &'static str,
+}
+
+/// The fixture table, one entry per enforceable rule.
+pub const FIXTURES: &[Fixture] = &[
+    Fixture {
+        rule: "global-telemetry",
+        positive: r#"
+pub fn install(sink: Sink) {
+    itrust_obs::set_sink(sink);
+    itrust_obs::registry().reset();
+}
+"#,
+        negative: r#"
+pub fn snap(obs: &itrust_obs::ObsCtx) -> String {
+    obs.snapshot().to_json()
+}
+"#,
+        suppressed: r#"
+pub fn install(sink: Sink) {
+    // itrust-lint: allow(global-telemetry) — migration shim kept for one release
+    legacy::set_sink(sink);
+}
+"#,
+    },
+    Fixture {
+        rule: "wallclock-in-core",
+        positive: r#"
+pub fn stamp() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_millis() as u64
+}
+"#,
+        negative: r#"
+pub fn stamp(clock: &dyn Clock) -> u64 {
+    clock.now_ms()
+}
+"#,
+        suppressed: r#"
+impl Default for SystemClock {
+    fn default() -> Self {
+        // itrust-lint: allow(wallclock-in-core) — the production Clock impl is the one sanctioned reader
+        SystemClock { start: Instant::now() }
+    }
+}
+"#,
+    },
+    Fixture {
+        rule: "panic-in-lib",
+        positive: r#"
+pub fn head(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}
+"#,
+        negative: r##"
+pub fn head(v: &[u8]) -> Option<u8> {
+    // a comment may say .unwrap() or panic!() freely
+    v.first().copied()
+}
+pub const DOC: &str = r#"strings may say .unwrap() and panic!() too"#;
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        super::head(&[1]).unwrap();
+    }
+}
+"##,
+        suppressed: r#"
+pub fn head(v: &[u8]) -> u8 {
+    // itrust-lint: allow(panic-in-lib) — caller verified v is non-empty
+    v.first().copied().unwrap()
+}
+"#,
+    },
+    Fixture {
+        rule: "unordered-iter",
+        positive: r#"
+use std::collections::HashMap;
+pub fn dump(m: &HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for pair in m {
+        out.push(pair.0.clone());
+    }
+    out.extend(m.keys().cloned());
+    out
+}
+"#,
+        negative: r#"
+use std::collections::{BTreeMap, HashMap};
+pub fn dump(m: &BTreeMap<String, u64>, lookup: &HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for pair in m {
+        out.push(pair.0.clone());
+    }
+    out.retain(|k| lookup.contains_key(k));
+    out
+}
+"#,
+        suppressed: r#"
+use std::collections::HashMap;
+pub fn total(m: &HashMap<String, u64>) -> u64 {
+    // itrust-lint: allow(unordered-iter) — summation is order-independent
+    m.values().sum()
+}
+"#,
+    },
+    Fixture {
+        rule: "ctx-first-macro",
+        positive: r#"
+pub fn stage() {
+    let _s = itrust_obs::span!("demo.stage");
+    itrust_obs::counter_inc!("demo.count");
+}
+"#,
+        negative: r#"
+pub fn stage(obs: &itrust_obs::ObsCtx) {
+    let _s = itrust_obs::span!(obs, "demo.stage");
+    itrust_obs::counter_inc!(obs, "demo.count");
+}
+"#,
+        suppressed: r#"
+pub fn stage() {
+    // itrust-lint: allow(ctx-first-macro) — doc example renders the legacy form on purpose
+    let _s = itrust_obs::span!("demo.stage");
+}
+"#,
+    },
+    Fixture {
+        rule: "raw-thread-spawn",
+        positive: r#"
+pub fn fan_out(xs: Vec<u8>) {
+    let handle = std::thread::spawn(move || xs.len());
+    let _ = handle.join();
+}
+"#,
+        negative: r#"
+pub fn fan_out(xs: &[u8]) -> Vec<usize> {
+    itrust_par::par_map(xs, |x| *x as usize)
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn_raw_threads() {
+        let h = std::thread::spawn(|| 1 + 1);
+        let _ = h.join();
+    }
+}
+"#,
+        suppressed: r#"
+pub fn watchdog() {
+    // itrust-lint: allow(raw-thread-spawn) — detached watchdog must outlive the scoped pool
+    std::thread::spawn(|| loop_forever());
+}
+"#,
+    },
+    Fixture {
+        rule: "env-read-outside-config",
+        positive: r#"
+pub fn results_dir() -> String {
+    std::env::var("ITRUST_RESULTS_DIR").unwrap_or_default()
+}
+"#,
+        negative: r#"
+pub fn results_dir(cfg: &Config) -> &str {
+    cfg.results_dir.as_str()
+}
+"#,
+        suppressed: r#"
+pub fn results_dir() -> String {
+    // itrust-lint: allow(env-read-outside-config) — demo of the one sanctioned pattern
+    std::env::var("ITRUST_RESULTS_DIR").unwrap_or_default()
+}
+"#,
+    },
+];
+
+/// Run every fixture through the analyzer and return human-readable
+/// failures (empty = all good). This is the `--self-check` body.
+pub fn self_check() -> Vec<String> {
+    let mut failures = Vec::new();
+    for f in FIXTURES {
+        let pos = crate::lint_source(FIXTURE_PATH, f.positive);
+        if !pos.iter().any(|d| d.rule == f.rule) {
+            failures.push(format!("rule `{}`: positive fixture produced no `{}` finding", f.rule, f.rule));
+        }
+        let neg = crate::lint_source(FIXTURE_PATH, f.negative);
+        if let Some(d) = neg.iter().find(|d| d.rule == f.rule) {
+            failures.push(format!(
+                "rule `{}`: negative fixture fired at {}:{}: {}",
+                f.rule, d.line, d.col, d.message
+            ));
+        }
+        let sup = crate::lint_source(FIXTURE_PATH, f.suppressed);
+        if !sup.is_empty() {
+            failures.push(format!(
+                "rule `{}`: suppressed fixture not clean: {:?}",
+                f.rule,
+                sup.iter().map(|d| d.render_human()).collect::<Vec<_>>()
+            ));
+        }
+    }
+    failures
+}

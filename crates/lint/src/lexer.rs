@@ -1,0 +1,558 @@
+//! Hand-rolled token-level lexer for Rust source.
+//!
+//! The linter deliberately avoids `syn`/`proc-macro2` (the workspace vendors
+//! every dependency, and the rules only need token shapes, not a full AST).
+//! The lexer's one job is to be *exactly right* about what is code and what
+//! is not: string literals, raw strings, byte strings, char literals,
+//! lifetimes, line comments, doc comments, and nested block comments. A
+//! naive regex scanner mis-fires on `r#"call .unwrap()"#` or
+//! `// panic!() is discouraged`; this lexer does not.
+
+/// Kind of a lexed token. Comments are not tokens — they are captured
+/// separately in [`Lexed::comments`] so suppression parsing can see them
+/// while rule matching never does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers `r#type`).
+    Ident,
+    /// String literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte-char literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// Lifetime: `'a`, `'static`.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// True if this token is the given identifier.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True if this token is the given punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+/// A `//` comment (regular, `///` doc, or `//!` inner doc), text excludes
+/// the leading slashes.
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    pub line: u32,
+    pub col: u32,
+    pub text: String,
+}
+
+/// Output of [`lex`]: the token stream plus the line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<LineComment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Cursor { chars: src.chars().collect(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and line comments. Never fails: unterminated
+/// literals simply run to end of input (the rules stay sound either way —
+/// an unterminated string swallows everything after it, exactly as rustc
+/// would refuse to compile it).
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                cur.bump();
+                cur.bump();
+                let mut text = String::new();
+                while let Some(ch) = cur.peek(0) {
+                    if ch == '\n' {
+                        break;
+                    }
+                    text.push(ch);
+                    cur.bump();
+                }
+                out.comments.push(LineComment { line, col, text });
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some('*'), Some('/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some('/'), Some('*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            '"' => {
+                let text = lex_plain_string(&mut cur);
+                out.toks.push(Tok { kind: TokKind::Str, text, line, col });
+            }
+            'r' | 'b' if starts_string_prefix(&cur) => {
+                let text = lex_prefixed_string(&mut cur);
+                out.toks.push(Tok { kind: TokKind::Str, text, line, col });
+            }
+            'b' if cur.peek(1) == Some('\'') => {
+                cur.bump(); // b
+                let text = lex_char_literal(&mut cur);
+                out.toks.push(Tok { kind: TokKind::Char, text, line, col });
+            }
+            'r' if cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) => {
+                // Raw identifier r#type
+                cur.bump();
+                cur.bump();
+                let mut text = String::new();
+                while let Some(ch) = cur.peek(0) {
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    text.push(ch);
+                    cur.bump();
+                }
+                out.toks.push(Tok { kind: TokKind::Ident, text, line, col });
+            }
+            '\'' => {
+                // Lifetime or char literal. `'a` followed by anything but a
+                // closing quote is a lifetime; `'a'` / `'\n'` are chars.
+                let next = cur.peek(1);
+                let after = cur.peek(2);
+                let is_lifetime =
+                    next.is_some_and(is_ident_start) && after != Some('\'');
+                if is_lifetime {
+                    cur.bump(); // '
+                    let mut text = String::from("'");
+                    while let Some(ch) = cur.peek(0) {
+                        if !is_ident_continue(ch) {
+                            break;
+                        }
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    out.toks.push(Tok { kind: TokKind::Lifetime, text, line, col });
+                } else {
+                    let text = lex_char_literal(&mut cur);
+                    out.toks.push(Tok { kind: TokKind::Char, text, line, col });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(ch) = cur.peek(0) {
+                    if !(is_ident_continue(ch)
+                        || (ch == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()) && !text.contains('.')))
+                    {
+                        break;
+                    }
+                    text.push(ch);
+                    cur.bump();
+                }
+                out.toks.push(Tok { kind: TokKind::Num, text, line, col });
+            }
+            c if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(ch) = cur.peek(0) {
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    text.push(ch);
+                    cur.bump();
+                }
+                out.toks.push(Tok { kind: TokKind::Ident, text, line, col });
+            }
+            other => {
+                cur.bump();
+                out.toks.push(Tok { kind: TokKind::Punct, text: other.to_string(), line, col });
+            }
+        }
+    }
+    out
+}
+
+/// True if the cursor sits on `r"`, `r#…"`, `b"`, `br"`, or `br#…"`.
+fn starts_string_prefix(cur: &Cursor) -> bool {
+    let mut i = 0;
+    if cur.peek(i) == Some('b') {
+        i += 1;
+    }
+    if cur.peek(i) == Some('r') {
+        i += 1;
+        let mut j = i;
+        while cur.peek(j) == Some('#') {
+            j += 1;
+        }
+        return cur.peek(j) == Some('"');
+    }
+    // bare b"…"
+    i >= 1 && cur.peek(i) == Some('"')
+}
+
+fn lex_plain_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    cur.bump(); // opening quote
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\\' {
+            cur.bump();
+            cur.bump(); // escaped char (covers \" \\ \n; \u{…} body is inert)
+            continue;
+        }
+        if ch == '"' {
+            cur.bump();
+            break;
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    text
+}
+
+/// Lex `b"…"`, `r"…"`, `r#"…"#`, `br##"…"##` — cursor sits on `b` or `r`.
+fn lex_prefixed_string(cur: &mut Cursor) -> String {
+    if cur.peek(0) == Some('b') {
+        cur.bump();
+    }
+    let raw = cur.peek(0) == Some('r');
+    if !raw {
+        return lex_plain_string(cur);
+    }
+    cur.bump(); // r
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    let mut text = String::new();
+    'outer: while let Some(ch) = cur.peek(0) {
+        if ch == '"' {
+            // Close only when followed by the same number of hashes.
+            for k in 0..hashes {
+                if cur.peek(1 + k) != Some('#') {
+                    text.push(ch);
+                    cur.bump();
+                    continue 'outer;
+                }
+            }
+            cur.bump();
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    text
+}
+
+/// Lex a char literal; cursor sits on the opening `'`.
+fn lex_char_literal(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    cur.bump(); // '
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\\' {
+            cur.bump();
+            if let Some(esc) = cur.peek(0) {
+                text.push(esc);
+                cur.bump();
+            }
+            continue;
+        }
+        if ch == '\'' {
+            cur.bump();
+            break;
+        }
+        if ch == '\n' {
+            break; // malformed; don't swallow the rest of the file
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    text
+}
+
+/// Per-token flag: is the token inside a `#[cfg(test)]`-gated item?
+///
+/// Recognizes the exact attribute form `#[cfg(test)]` (the only form the
+/// workspace uses). The gated item's extent runs to its matching close
+/// brace, or to the first top-level `;` for brace-less items. `#[cfg(not
+/// (test))]` and other cfg expressions are treated as non-test.
+pub fn test_regions(toks: &[Tok]) -> Vec<bool> {
+    let mut flags = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut is_test = false;
+        // Consume a run of consecutive attributes; any one of them being
+        // #[cfg(test)] gates the following item.
+        let mut k = i;
+        while toks.get(k).is_some_and(|t| t.is_punct('#'))
+            && toks.get(k + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let Some(end) = matching_close(toks, k + 1, '[', ']') else {
+                return flags;
+            };
+            let inner = &toks[k + 2..end];
+            if inner.len() == 4
+                && inner[0].is_ident("cfg")
+                && inner[1].is_punct('(')
+                && inner[2].is_ident("test")
+                && inner[3].is_punct(')')
+            {
+                is_test = true;
+            }
+            k = end + 1;
+        }
+        if !is_test {
+            i = k;
+            continue;
+        }
+        // Find the item extent: matching `}` of the first top-level brace,
+        // or the first `;` outside every bracket.
+        let mut depth_brace = 0i32;
+        let mut depth_other = 0i32;
+        let mut m = k;
+        let mut end = toks.len().saturating_sub(1);
+        while m < toks.len() {
+            let t = &toks[m];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => depth_brace += 1,
+                    "}" => {
+                        depth_brace -= 1;
+                        if depth_brace == 0 {
+                            end = m;
+                            break;
+                        }
+                    }
+                    "(" | "[" => depth_other += 1,
+                    ")" | "]" => depth_other -= 1,
+                    ";" if depth_brace == 0 && depth_other == 0 => {
+                        end = m;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            m += 1;
+        }
+        for flag in flags.iter_mut().take(end + 1).skip(attr_start) {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    flags
+}
+
+/// Index of the punct closing the group opened at `open_idx`.
+fn matching_close(toks: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_contents_are_not_tokens() {
+        let src = r##"let s = r#"x.unwrap() and panic!()"#;"##;
+        assert_eq!(idents(src), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_string_with_hashes_terminates_correctly() {
+        let lexed = lex(r###"let a = r##"inner "# quote"##; let b = 1;"###);
+        let strs: Vec<_> =
+            lexed.toks.iter().filter(|t| t.kind == TokKind::Str).map(|t| t.text.clone()).collect();
+        assert_eq!(strs, vec![r##"inner "# quote"##.to_string()]);
+        assert!(lexed.toks.iter().any(|t| t.is_ident("b")));
+    }
+
+    #[test]
+    fn line_and_block_comments_are_not_tokens() {
+        let src = "// a.unwrap()\n/* panic!() /* nested */ still comment */ fn ok() {}";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "ok"]);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// call .unwrap() to explode\n//! or panic!()\nfn f() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.toks.iter().all(|t| t.text != "unwrap" && t.text != "panic"));
+    }
+
+    #[test]
+    fn char_literal_with_quote_does_not_open_string() {
+        let src = "let q = '\"'; let x = 1;";
+        let lexed = lex(src);
+        assert!(lexed.toks.iter().any(|t| t.is_ident("x")));
+        assert_eq!(lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 0);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let lexed = lex(src);
+        let lifetimes = lexed.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(lifetimes, 3);
+        assert_eq!(lexed.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 0);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let src = r"let a = '\''; let b = '\\'; let c = '\n'; let d = 'x';";
+        let lexed = lex(src);
+        assert_eq!(lexed.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 4);
+        assert_eq!(lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 0);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = r#"let a = b"bytes"; let c = b'x'; let r = br#_"#;
+        // br# followed by non-quote is not a raw string; lexer must not hang.
+        let lexed = lex(src);
+        assert!(lexed.toks.iter().any(|t| t.kind == TokKind::Str && t.text == "bytes"));
+        assert!(lexed.toks.iter().any(|t| t.kind == TokKind::Char && t.text == "x"));
+    }
+
+    #[test]
+    fn positions_are_one_based_and_accurate() {
+        let src = "fn f() {\n    x.unwrap();\n}";
+        let lexed = lex(src);
+        let unwrap = lexed.toks.iter().find(|t| t.is_ident("unwrap")).expect("unwrap token");
+        assert_eq!((unwrap.line, unwrap.col), (2, 7));
+    }
+
+    #[test]
+    fn cfg_test_module_extent() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let lexed = lex(src);
+        let flags = test_regions(&lexed.toks);
+        let unwrap_idx = lexed.toks.iter().position(|t| t.is_ident("unwrap")).expect("idx");
+        let after_idx = lexed.toks.iter().position(|t| t.is_ident("after")).expect("idx");
+        let lib_idx = lexed.toks.iter().position(|t| t.is_ident("lib")).expect("idx");
+        assert!(flags[unwrap_idx]);
+        assert!(!flags[after_idx]);
+        assert!(!flags[lib_idx]);
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_and_stacked_attrs() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn only_in_tests() { x.unwrap(); }\nfn real() {}";
+        let lexed = lex(src);
+        let flags = test_regions(&lexed.toks);
+        let unwrap_idx = lexed.toks.iter().position(|t| t.is_ident("unwrap")).expect("idx");
+        let real_idx = lexed.toks.iter().position(|t| t.is_ident("real")).expect("idx");
+        assert!(flags[unwrap_idx]);
+        assert!(!flags[real_idx]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn prod() { x.unwrap(); }";
+        let lexed = lex(src);
+        let flags = test_regions(&lexed.toks);
+        let unwrap_idx = lexed.toks.iter().position(|t| t.is_ident("unwrap")).expect("idx");
+        assert!(!flags[unwrap_idx]);
+    }
+
+    #[test]
+    fn cfg_test_braceless_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn real() { m.unwrap(); }";
+        let lexed = lex(src);
+        let flags = test_regions(&lexed.toks);
+        let unwrap_idx = lexed.toks.iter().position(|t| t.is_ident("unwrap")).expect("idx");
+        assert!(!flags[unwrap_idx]);
+    }
+}

@@ -1,0 +1,335 @@
+//! `itrust-lint` — the workspace invariant checker.
+//!
+//! Replaces the brittle `grep` gates in `scripts/ci.sh` with a
+//! zero-dependency, token-level static analysis over every `.rs` file under
+//! `crates/`. Each rule guards one invariant the platform's guarantees rest
+//! on: determinism under any thread count, handle-based telemetry, no-panic
+//! library code, reproducible iteration order. See [`rules::RULES`] for the
+//! rule table and `--explain <rule>` for the long-form rationale.
+//!
+//! ## Suppressions
+//!
+//! A finding can be silenced inline, with a mandatory reason:
+//!
+//! ```text
+//! // itrust-lint: allow(panic-in-lib) — element pushed on the previous line
+//! ```
+//!
+//! A trailing comment covers its own line; a standalone comment covers the
+//! next line that carries code. A suppression without a reason is itself a
+//! finding (`malformed-suppression`, always denied), and a suppression that
+//! matches nothing is flagged `unused-suppression` so stale annotations rot
+//! loudly instead of silently.
+
+pub mod diag;
+pub mod fixtures;
+pub mod lexer;
+pub mod rules;
+
+use diag::{sort_diagnostics, Diagnostic};
+use lexer::{lex, test_regions, LineComment};
+use rules::{FileCtx, MALFORMED_SUPPRESSION, UNUSED_SUPPRESSION};
+use std::path::{Path, PathBuf};
+
+/// Result of linting a set of paths.
+pub struct LintOutcome {
+    /// All findings (denied and advisory), in canonical order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Exit-code contract: should this finding fail the run?
+///
+/// - `malformed-suppression` is always denied (it is a syntax error).
+/// - `unused-suppression` is denied only under `--deny-all`.
+/// - Every named rule is denied under `--deny-all`, advisory otherwise.
+pub fn is_denied(rule: &str, deny_all: bool) -> bool {
+    if rule == MALFORMED_SUPPRESSION {
+        return true;
+    }
+    deny_all
+}
+
+/// Lint one in-memory source file. `path` drives rule scoping (crate name,
+/// tests/ dirs, bin targets) and appears verbatim in diagnostics.
+pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let norm = path.replace('\\', "/");
+    let lexed = lex(src);
+    let in_test = test_regions(&lexed.toks);
+    let ctx = FileCtx {
+        path: &norm,
+        crate_name: crate_name(&norm),
+        in_test_dir: has_component(&norm, "tests") || has_component(&norm, "benches"),
+        is_bin: norm.contains("/src/bin/") || norm.ends_with("src/main.rs"),
+        toks: &lexed.toks,
+        in_test: &in_test,
+    };
+    let raw = rules::run_rules(&ctx);
+    let mut out = apply_suppressions(&norm, raw, &lexed.comments, &lexed.toks);
+    sort_diagnostics(&mut out);
+    out
+}
+
+/// Lint every `.rs` file under the given paths (files or directories).
+/// Directories are walked recursively in sorted order; `target/` and hidden
+/// directories are skipped.
+pub fn lint_paths(paths: &[String]) -> Result<LintOutcome, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in paths {
+        let path = Path::new(p);
+        if path.is_dir() {
+            collect_rs_files(path, &mut files)?;
+        } else if path.is_file() {
+            files.push(path.to_path_buf());
+        } else {
+            return Err(format!("path not found: {p}"));
+        }
+    }
+    files.sort_by_key(|p| p.to_string_lossy().replace('\\', "/"));
+    files.dedup();
+    let mut diagnostics = Vec::new();
+    for file in &files {
+        let display = file.to_string_lossy().replace('\\', "/");
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("failed to read {display}: {e}"))?;
+        diagnostics.extend(lint_source(&display, &src));
+    }
+    sort_diagnostics(&mut diagnostics);
+    Ok(LintOutcome { diagnostics, files_scanned: files.len() })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("failed to read dir {}: {e}", dir.display()))?;
+    let mut children: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("failed to read dir {}: {e}", dir.display()))?;
+        children.push(entry.path());
+    }
+    children.sort();
+    for child in children {
+        let name = child.file_name().map(|n| n.to_string_lossy().to_string()).unwrap_or_default();
+        if child.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&child, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(child);
+        }
+    }
+    Ok(())
+}
+
+/// Directory name under `crates/`, or "" when the path has no such prefix.
+fn crate_name(path: &str) -> &str {
+    let mut parts = path.split('/').peekable();
+    while let Some(part) = parts.next() {
+        if part == "crates" {
+            return parts.peek().copied().unwrap_or("");
+        }
+    }
+    ""
+}
+
+fn has_component(path: &str, component: &str) -> bool {
+    path.split('/').any(|p| p == component)
+}
+
+/// A parsed `// itrust-lint: allow(rule) — reason` comment.
+struct Suppression {
+    line: u32,
+    col: u32,
+    rule: &'static str,
+    /// Line(s) this suppression covers.
+    targets: Vec<u32>,
+    used: bool,
+}
+
+const SUPPRESSION_MARKER: &str = "itrust-lint";
+
+/// Parse suppression comments, drop the findings they cover, and emit the
+/// meta-findings (`malformed-suppression`, `unused-suppression`).
+fn apply_suppressions(
+    path: &str,
+    raw: Vec<Diagnostic>,
+    comments: &[LineComment],
+    toks: &[lexer::Tok],
+) -> Vec<Diagnostic> {
+    let mut suppressions: Vec<Suppression> = Vec::new();
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    for c in comments {
+        let text = c.text.trim_start();
+        if !text.starts_with(SUPPRESSION_MARKER) {
+            continue;
+        }
+        match parse_suppression(text) {
+            Ok(rule) => {
+                let trailing = toks.iter().any(|t| t.line == c.line);
+                let targets = if trailing {
+                    vec![c.line]
+                } else {
+                    // Standalone comment: covers the next line carrying code.
+                    match toks.iter().map(|t| t.line).filter(|&l| l > c.line).min() {
+                        Some(next) => vec![next],
+                        None => Vec::new(),
+                    }
+                };
+                suppressions.push(Suppression { line: c.line, col: c.col, rule, targets, used: false });
+            }
+            Err(msg) => out.push(Diagnostic {
+                file: path.to_string(),
+                line: c.line,
+                col: c.col,
+                rule: MALFORMED_SUPPRESSION,
+                message: msg,
+            }),
+        }
+    }
+
+    for d in raw {
+        let mut suppressed = false;
+        for s in suppressions.iter_mut() {
+            if s.rule == d.rule && s.targets.contains(&d.line) {
+                s.used = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(d);
+        }
+    }
+
+    for s in &suppressions {
+        if !s.used {
+            out.push(Diagnostic {
+                file: path.to_string(),
+                line: s.line,
+                col: s.col,
+                rule: UNUSED_SUPPRESSION,
+                message: format!("suppression for `{}` matched no finding; remove it", s.rule),
+            });
+        }
+    }
+    out
+}
+
+/// Parse the text of a suppression comment (already known to start with the
+/// marker). Returns the rule id, or a message for `malformed-suppression`.
+fn parse_suppression(text: &str) -> Result<&'static str, String> {
+    let rest = text[SUPPRESSION_MARKER.len()..].trim_start();
+    let rest = rest.strip_prefix(':').unwrap_or(rest).trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Err("expected `allow(<rule>)` after `itrust-lint:`".to_string());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `allow(` in suppression".to_string());
+    };
+    let rule_name = rest[..close].trim();
+    let Some(info) = rules::rule_by_id(rule_name) else {
+        return Err(format!("unknown rule `{rule_name}` in suppression"));
+    };
+    let reason = rest[close + 1..]
+        .trim_start_matches([' ', '\t', '-', '—', '–', ':', ','])
+        .trim();
+    if reason.is_empty() {
+        return Err(format!(
+            "suppression for `{}` has no reason; write `allow({}) — <why this is sound>`",
+            info.id, info.id
+        ));
+    }
+    Ok(info.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/demo/src/lib.rs";
+
+    #[test]
+    fn crate_name_extraction() {
+        assert_eq!(crate_name("crates/trustdb/src/wal.rs"), "trustdb");
+        assert_eq!(crate_name("/abs/repo/crates/obs/src/lib.rs"), "obs");
+        assert_eq!(crate_name("vendor/rand/src/lib.rs"), "");
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_own_line() {
+        let src = "pub fn f(v: &[u8]) -> u8 {\n    v[0].min(1).to_le_bytes().first().copied().unwrap() // itrust-lint: allow(panic-in-lib) — slice is non-empty by contract\n}\n";
+        let diags = lint_source(LIB, src);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn standalone_suppression_covers_next_code_line() {
+        let src = "pub fn f(v: &[u8]) -> u8 {\n    // itrust-lint: allow(panic-in-lib) — caller guarantees non-empty\n\n    v.first().copied().unwrap()\n}\n";
+        let diags = lint_source(LIB, src);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn suppression_for_wrong_rule_does_not_suppress_and_is_unused() {
+        let src = "pub fn f(v: &[u8]) -> u8 {\n    // itrust-lint: allow(wallclock-in-core) — wrong rule\n    v.first().copied().unwrap()\n}\n";
+        let diags = lint_source(LIB, src);
+        let rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"panic-in-lib"));
+        assert!(rules.contains(&"unused-suppression"));
+    }
+
+    #[test]
+    fn suppression_without_reason_is_malformed_and_inert() {
+        let src = "pub fn f(v: &[u8]) -> u8 {\n    // itrust-lint: allow(panic-in-lib)\n    v.first().copied().unwrap()\n}\n";
+        let diags = lint_source(LIB, src);
+        let rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"malformed-suppression"));
+        assert!(rules.contains(&"panic-in-lib"));
+    }
+
+    #[test]
+    fn suppression_with_unknown_rule_is_malformed() {
+        let src = "// itrust-lint: allow(no-such-rule) — because\npub fn f() {}\n";
+        let diags = lint_source(LIB, src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "malformed-suppression");
+    }
+
+    #[test]
+    fn unused_suppression_is_reported_at_comment_position() {
+        let src = "// itrust-lint: allow(panic-in-lib) — nothing here panics\npub fn f() {}\n";
+        let diags = lint_source(LIB, src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "unused-suppression");
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn tests_dir_files_skip_lib_rules() {
+        let src = "pub fn f(v: &[u8]) -> u8 { v.first().copied().unwrap() }\n";
+        let diags = lint_source("crates/demo/tests/integration.rs", src);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn bin_targets_skip_panic_rule_but_not_determinism_rules() {
+        let src = "fn main() {\n    let x: Option<u8> = None;\n    let _ = x.unwrap_or(0);\n    let _ = std::env::var(\"HOME\");\n}\n";
+        let diags = lint_source("crates/demo/src/bin/tool.rs", src);
+        let rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["env-read-outside-config"]);
+    }
+
+    #[test]
+    fn is_denied_contract() {
+        assert!(is_denied("malformed-suppression", false));
+        assert!(!is_denied("panic-in-lib", false));
+        assert!(is_denied("panic-in-lib", true));
+        assert!(!is_denied("unused-suppression", false));
+        assert!(is_denied("unused-suppression", true));
+    }
+}

@@ -1,0 +1,148 @@
+//! `itrust-lint` CLI.
+//!
+//! ```text
+//! itrust-lint [--deny-all] [--json] <paths…>   lint .rs files under paths
+//! itrust-lint --explain <rule>                 print a rule's rationale
+//! itrust-lint --self-check                     run the built-in fixtures
+//! ```
+//!
+//! Exit codes: `0` clean (or advisory findings without `--deny-all`),
+//! `1` denied findings (or self-check failure), `2` usage/IO error.
+
+use itrust_lint::{diag, fixtures, is_denied, lint_paths, rules};
+
+struct Options {
+    deny_all: bool,
+    json: bool,
+    explain: Option<String>,
+    self_check: bool,
+    paths: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: itrust-lint [--deny-all] [--json] <paths…>\n       itrust-lint --explain <rule>\n       itrust-lint --self-check\n\nexit codes: 0 clean, 1 denied findings, 2 usage/IO error"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        deny_all: false,
+        json: false,
+        explain: None,
+        self_check: false,
+        paths: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deny-all" => opts.deny_all = true,
+            "--json" => opts.json = true,
+            "--self-check" => opts.self_check = true,
+            "--explain" => {
+                i += 1;
+                match args.get(i) {
+                    Some(rule) => opts.explain = Some(rule.clone()),
+                    None => return Err("--explain requires a rule name".to_string()),
+                }
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag: {flag}"));
+            }
+            path => opts.paths.push(path.to_string()),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn explain(rule_name: &str) -> Result<String, String> {
+    let Some(info) = rules::rule_by_id(rule_name) else {
+        let known: Vec<&str> = rules::RULES.iter().map(|r| r.id).collect();
+        return Err(format!("unknown rule `{rule_name}`; known rules: {}", known.join(", ")));
+    };
+    Ok(format!(
+        "{id}: {summary}\n\n  invariant  {invariant}\n  detects    {detects}\n  skips      {skips}\n\n  suppress with a mandatory reason:\n    // itrust-lint: allow({id}) — <why this occurrence is sound>\n",
+        id = info.id,
+        summary = info.summary,
+        invariant = info.invariant,
+        detects = info.detects,
+        skips = info.skips,
+    ))
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) if msg.is_empty() => {
+            println!("{}", usage());
+            return 0;
+        }
+        Err(msg) => {
+            eprintln!("itrust-lint: {msg}\n{}", usage());
+            return 2;
+        }
+    };
+
+    if let Some(rule) = &opts.explain {
+        return match explain(rule) {
+            Ok(text) => {
+                println!("{text}");
+                0
+            }
+            Err(msg) => {
+                eprintln!("itrust-lint: {msg}");
+                2
+            }
+        };
+    }
+
+    if opts.self_check {
+        let failures = fixtures::self_check();
+        if failures.is_empty() {
+            println!("itrust-lint self-check ok: {} rules × (positive, negative, suppressed)", fixtures::FIXTURES.len());
+            return 0;
+        }
+        for f in &failures {
+            eprintln!("itrust-lint self-check FAILED: {f}");
+        }
+        return 1;
+    }
+
+    if opts.paths.is_empty() {
+        eprintln!("itrust-lint: no paths given\n{}", usage());
+        return 2;
+    }
+
+    let outcome = match lint_paths(&opts.paths) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("itrust-lint: {msg}");
+            return 2;
+        }
+    };
+
+    let denied = outcome.diagnostics.iter().filter(|d| is_denied(d.rule, opts.deny_all)).count();
+    if opts.json {
+        print!("{}", diag::render_json(&outcome.diagnostics, outcome.files_scanned));
+    } else {
+        for d in &outcome.diagnostics {
+            println!("{}", d.render_human());
+        }
+        println!(
+            "itrust-lint: {} finding(s), {} denied, {} file(s) scanned",
+            outcome.diagnostics.len(),
+            denied,
+            outcome.files_scanned
+        );
+    }
+    if denied > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+fn main() {
+    std::process::exit(run());
+}

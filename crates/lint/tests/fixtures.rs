@@ -1,0 +1,178 @@
+//! Integration suite: every rule's fixture triple, plus the lexer edge
+//! cases that break naive grep/regex scanners.
+
+use itrust_lint::fixtures::{FIXTURES, FIXTURE_PATH};
+use itrust_lint::lint_source;
+
+#[test]
+fn every_rule_has_a_fixture_triple() {
+    let rule_ids: Vec<&str> = itrust_lint::rules::RULES.iter().map(|r| r.id).collect();
+    let fixture_ids: Vec<&str> = FIXTURES.iter().map(|f| f.rule).collect();
+    assert_eq!(rule_ids, fixture_ids, "fixture table must cover every rule, in order");
+}
+
+#[test]
+fn positive_fixtures_fire_their_rule() {
+    for f in FIXTURES {
+        let diags = lint_source(FIXTURE_PATH, f.positive);
+        assert!(
+            diags.iter().any(|d| d.rule == f.rule),
+            "rule `{}` did not fire on its positive fixture; got {:?}",
+            f.rule,
+            diags
+        );
+    }
+}
+
+#[test]
+fn negative_fixtures_stay_silent() {
+    for f in FIXTURES {
+        let diags = lint_source(FIXTURE_PATH, f.negative);
+        assert!(
+            !diags.iter().any(|d| d.rule == f.rule),
+            "rule `{}` fired on its negative fixture: {:?}",
+            f.rule,
+            diags
+        );
+    }
+}
+
+#[test]
+fn suppressed_fixtures_are_fully_clean() {
+    for f in FIXTURES {
+        let diags = lint_source(FIXTURE_PATH, f.suppressed);
+        assert!(
+            diags.is_empty(),
+            "rule `{}` suppressed fixture not clean: {:?}",
+            f.rule,
+            diags
+        );
+    }
+}
+
+#[test]
+fn self_check_passes() {
+    assert_eq!(itrust_lint::fixtures::self_check(), Vec::<String>::new());
+}
+
+// ---- lexer edge cases that break naive scanners ----------------------------
+
+#[test]
+fn raw_string_containing_unwrap_is_not_a_finding() {
+    let src = r###"
+pub fn doc() -> &'static str {
+    r#"never call .unwrap() or panic!() in production"#
+}
+"###;
+    assert!(lint_source(FIXTURE_PATH, src).is_empty());
+}
+
+#[test]
+fn raw_string_with_embedded_quote_hash_still_terminates() {
+    // The `"#` inside the r##-string must not close it early, otherwise the
+    // trailing real unwrap would be hidden inside a phantom string.
+    let src = r####"
+pub const S: &str = r##"quote-hash "# inside"##;
+pub fn f(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}
+"####;
+    let diags = lint_source(FIXTURE_PATH, src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "panic-in-lib");
+}
+
+#[test]
+fn triggers_inside_line_and_block_comments_are_ignored() {
+    let src = "
+pub fn quiet() {}
+// std::thread::spawn(|| {}) and x.unwrap() and std::env::var(\"X\")
+/* Instant::now() inside a block comment
+   /* nested: itrust_obs::registry() */
+   still a comment */
+";
+    assert!(lint_source(FIXTURE_PATH, src).is_empty());
+}
+
+#[test]
+fn triggers_inside_doc_comments_are_ignored() {
+    let src = "
+/// Call site must never use `.unwrap()`; prefer `?`.
+//! Module docs mention panic!(\"boom\") safely.
+pub fn quiet() {}
+";
+    assert!(lint_source(FIXTURE_PATH, src).is_empty());
+}
+
+#[test]
+fn cfg_test_module_is_exempt_but_code_after_it_is_not() {
+    let src = "
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        vec![1].first().copied().unwrap();
+    }
+}
+
+pub fn after(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}
+";
+    let diags = lint_source(FIXTURE_PATH, src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "panic-in-lib");
+    assert_eq!(diags[0].line, 11);
+}
+
+#[test]
+fn suppression_without_reason_errors_and_does_not_suppress() {
+    let src = "
+pub fn f(v: &[u8]) -> u8 {
+    // itrust-lint: allow(panic-in-lib)
+    v.first().copied().unwrap()
+}
+";
+    let diags = lint_source(FIXTURE_PATH, src);
+    let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    assert!(rules.contains(&"malformed-suppression"), "{diags:?}");
+    assert!(rules.contains(&"panic-in-lib"), "{diags:?}");
+}
+
+#[test]
+fn char_literal_quote_does_not_open_a_string() {
+    // A naive scanner treats '"' as an opening quote and swallows the file.
+    let src = "
+pub fn quote() -> char { '\"' }
+pub fn f(v: &[u8]) -> u8 { v.first().copied().unwrap() }
+";
+    let diags = lint_source(FIXTURE_PATH, src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "panic-in-lib");
+}
+
+#[test]
+fn diagnostics_are_sorted_and_stable() {
+    let src = "
+pub fn b(v: &[u8]) -> u8 { v.first().copied().unwrap() }
+pub fn a() { let _ = std::time::Instant::now(); }
+";
+    let d1 = lint_source(FIXTURE_PATH, src);
+    let d2 = lint_source(FIXTURE_PATH, src);
+    assert_eq!(d1, d2);
+    let lines: Vec<u32> = d1.iter().map(|d| d.line).collect();
+    let mut sorted = lines.clone();
+    sorted.sort_unstable();
+    assert_eq!(lines, sorted);
+}
+
+#[test]
+fn json_output_is_deterministic() {
+    let src = "
+pub fn b(v: &[u8]) -> u8 { v.first().copied().unwrap() }
+";
+    let a = itrust_lint::diag::render_json(&lint_source(FIXTURE_PATH, src), 1);
+    let b = itrust_lint::diag::render_json(&lint_source(FIXTURE_PATH, src), 1);
+    assert_eq!(a, b);
+    assert!(a.contains("\"rule\": \"panic-in-lib\""));
+}

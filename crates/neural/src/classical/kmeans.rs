@@ -71,6 +71,7 @@ impl KMeans {
                             let db = sq_dist(x.row(b), &centroids[assignments[b] * d..], d);
                             da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
                         })
+                        // itrust-lint: allow(panic-in-lib) — fit() rejects empty datasets, so 0..n is never empty
                         .unwrap();
                     centroids[c * d..(c + 1) * d].copy_from_slice(x.row(far));
                 } else {

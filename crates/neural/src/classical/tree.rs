@@ -148,6 +148,7 @@ impl DecisionTree {
     }
 
     fn probs_for<'a>(&'a self, row: &[f32]) -> &'a [f32] {
+        // itrust-lint: allow(panic-in-lib) — documented precondition: predict before fit is caller error, not a recoverable state
         let mut node = self.root.as_ref().expect("model not fitted");
         loop {
             match node {

@@ -100,6 +100,7 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // itrust-lint: allow(panic-in-lib) — Layer contract: backward follows a forward in the same training step
         let x = self.cached_input.as_ref().expect("backward before forward");
         // dW += x^T g ; db += Σ_rows g ; dx = g W^T
         let dw = x.transpose2().matmul(grad_out);
@@ -137,6 +138,7 @@ impl Layer for ReLU {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // itrust-lint: allow(panic-in-lib) — Layer contract: backward follows a forward in the same training step
         let mask = self.mask.as_ref().expect("backward before forward");
         let data = grad_out
             .data()
@@ -173,6 +175,7 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // itrust-lint: allow(panic-in-lib) — Layer contract: backward follows a forward in the same training step
         let y = self.cached_output.as_ref().expect("backward before forward");
         grad_out.zip(y, |g, y| g * y * (1.0 - y))
     }
@@ -203,6 +206,7 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // itrust-lint: allow(panic-in-lib) — Layer contract: backward follows a forward in the same training step
         let y = self.cached_output.as_ref().expect("backward before forward");
         grad_out.zip(y, |g, y| g * (1.0 - y * y))
     }
@@ -444,10 +448,12 @@ impl Layer for Conv2d {
         }
         let pool = std::sync::Mutex::new(std::mem::take(&mut self.patch_pool));
         let patches: Vec<Vec<f32>> = itrust_par::par_map_indices(n, |b| {
+            // itrust-lint: allow(panic-in-lib) — a poisoned pool means a worker already panicked; re-panicking just propagates it
             let mut buf = pool.lock().expect("patch pool poisoned").pop().unwrap_or_default();
             im2col_t_into(input, b, kernel, padding, oh, ow, &mut buf);
             buf
         });
+        // itrust-lint: allow(panic-in-lib) — a poisoned pool means a worker already panicked; re-panicking just propagates it
         self.patch_pool = pool.into_inner().expect("patch pool poisoned");
         let wdata = self.weight.value.data();
         let bdata = self.bias.value.data();
@@ -476,6 +482,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // itrust-lint: allow(panic-in-lib) — Layer contract: backward follows a forward in the same training step
         let cache = self.cache.as_ref().expect("backward before forward");
         let [n, in_c, h, w] = [
             cache.input_shape[0],
@@ -632,6 +639,7 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // itrust-lint: allow(panic-in-lib) — Layer contract: backward follows a forward in the same training step
         let argmax = self.argmax.as_ref().expect("backward before forward");
         let mut grad_in = Tensor::zeros(&self.input_shape);
         for (g, &idx) in grad_out.data().iter().zip(argmax) {

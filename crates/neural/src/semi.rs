@@ -100,6 +100,7 @@ impl<C: Classifier> SelfTraining<C> {
                     .iter()
                     .enumerate()
                     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    // itrust-lint: allow(panic-in-lib) — probability rows always have n_classes ≥ 2 entries
                     .unwrap();
                 if conf >= self.confidence {
                     accepted.push((pos, class, conf));
@@ -219,6 +220,7 @@ impl<A: Classifier, B: Classifier> CoTraining<A, B> {
                         .enumerate()
                         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
                         .map(|(c, &p)| (c, p))
+                        // itrust-lint: allow(panic-in-lib) — probability rows always have n_classes ≥ 2 entries
                         .unwrap()
                 };
                 let (ca, fa) = best(&pa);

@@ -351,6 +351,7 @@ impl RegistryInner {
 
 impl Registry {
     fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        // itrust-lint: allow(panic-in-lib) — a poisoned registry means a holder already panicked; re-panicking just propagates it
         self.inner.lock().expect("metrics registry poisoned")
     }
 
@@ -366,6 +367,7 @@ impl Registry {
         }
         if let Some(kind) = map.kind_of(name) {
             drop(map); // release (don't poison) the registry before panicking
+            // itrust-lint: allow(panic-in-lib) — kind collision is an instrumentation-site bug, documented as panicking
             panic!("metric {name:?} is a {kind}, not a counter");
         }
         map.counters.entry(name).or_default().clone()
@@ -379,6 +381,7 @@ impl Registry {
         }
         if let Some(kind) = map.kind_of(name) {
             drop(map);
+            // itrust-lint: allow(panic-in-lib) — kind collision is an instrumentation-site bug, documented as panicking
             panic!("metric {name:?} is a {kind}, not a gauge");
         }
         map.gauges.entry(name).or_default().clone()
@@ -392,6 +395,7 @@ impl Registry {
         }
         if let Some(kind) = map.kind_of(name) {
             drop(map);
+            // itrust-lint: allow(panic-in-lib) — kind collision is an instrumentation-site bug, documented as panicking
             panic!("metric {name:?} is a {kind}, not a histogram");
         }
         map.histograms.entry(name).or_default().clone()

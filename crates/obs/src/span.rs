@@ -70,12 +70,14 @@ pub struct CollectingSink {
 
 impl CollectingSink {
     pub fn take(&self) -> Vec<SpanEvent> {
+        // itrust-lint: allow(panic-in-lib) — a poisoned sink means a holder already panicked; re-panicking just propagates it
         std::mem::take(&mut self.events.lock().expect("collecting sink poisoned"))
     }
 }
 
 impl SpanSink for CollectingSink {
     fn record(&self, event: &SpanEvent) {
+        // itrust-lint: allow(panic-in-lib) — a poisoned sink means a holder already panicked; re-panicking just propagates it
         self.events.lock().expect("collecting sink poisoned").push(event.clone());
     }
 }

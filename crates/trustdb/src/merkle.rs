@@ -118,8 +118,7 @@ impl MerkleTree {
         let _span = itrust_obs::span!(obs, "trustdb.merkle.build");
         itrust_obs::counter_add!(obs, "trustdb.merkle.leaves", leaf_hashes.len() as u64);
         let mut levels = vec![leaf_hashes];
-        while levels.last().unwrap().len() > 1 {
-            let prev = levels.last().unwrap();
+        while let Some(prev) = levels.last().filter(|l| l.len() > 1) {
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
             let mut chunks = prev.chunks_exact(2);
             for pair in &mut chunks {
@@ -135,6 +134,7 @@ impl MerkleTree {
 
     /// The attested root of the batch.
     pub fn root(&self) -> Digest {
+        // itrust-lint: allow(panic-in-lib) — construction rejects empty leaf sets and the build loop always leaves a single-entry top level
         self.levels.last().unwrap()[0]
     }
 

@@ -54,6 +54,7 @@ pub struct SystemClock {
 
 impl Default for SystemClock {
     fn default() -> Self {
+        // itrust-lint: allow(wallclock-in-core) — SystemClock IS the injectable Clock's production impl; all other code reads time through the trait
         SystemClock { start: Instant::now() }
     }
 }

@@ -5,6 +5,10 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 
+# Lint self-check first: if the analyzer's own fixtures fail, every later
+# lint verdict is meaningless, so fail fast before the long gates.
+cargo run --release -q -p itrust-lint -- --self-check
+
 # Serial-equivalence gate, part 1: the full test suite must pass both
 # single-threaded and multi-threaded. The suites contain byte-identity
 # assertions, so this catches any path whose output depends on the
@@ -27,15 +31,19 @@ ITRUST_THREADS=4 ITRUST_RESULTS_DIR="$SCRATCH/t4" \
     cargo run --release -q -p itrust-bench --bin detcheck
 diff -u "$SCRATCH/t1/detcheck.json" "$SCRATCH/t4/detcheck.json"
 
-# API gate: telemetry is handle-based. No process-global sink or registry
-# symbol may survive outside crates/obs (and crates/obs itself no longer
-# exports one, but the gate scopes to callers so obs can keep the words in
-# docs/comments).
-if grep -rn --include='*.rs' -E 'set_sink|clear_sink|itrust_obs::(reset|registry|snapshot)\b' \
-    crates --exclude-dir=obs --exclude-dir=target; then
-    echo "ERROR: global telemetry API usage found outside crates/obs" >&2
-    exit 1
-fi
+# Invariant gate: itrust-lint enforces the workspace rules token-wise
+# (handle-based telemetry, injected clocks, no panics in library paths,
+# ordered iteration, ctx-first macros, pooled threads, config-only env
+# reads). Replaces the old grep-based telemetry gate; --deny-all also
+# rejects stale suppression comments.
+cargo run --release -q -p itrust-lint -- --deny-all crates
+
+# Lint determinism smoke: --json must parse and be byte-identical across
+# runs (findings are sorted and carry no timestamps).
+cargo run --release -q -p itrust-lint -- --json crates > "$SCRATCH/lint1.json"
+cargo run --release -q -p itrust-lint -- --json crates > "$SCRATCH/lint2.json"
+diff "$SCRATCH/lint1.json" "$SCRATCH/lint2.json"
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$SCRATCH/lint1.json"
 
 # D9 smoke: a tiny deterministic fault storm must run clean end to end
 # (scratch results dir so committed results/ artifacts stay untouched).
