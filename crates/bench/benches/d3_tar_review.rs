@@ -10,7 +10,7 @@ fn tar_bench(c: &mut Criterion) {
     group.sample_size(10).measurement_time(Duration::from_secs(3));
     for &n in &[200usize, 500] {
         let corpus = generate_corpus(n, 0.1, 0.1, 2);
-        group.bench_function(format!("full_pass_{n}_docs"), |b| {
+        group.bench_function(&format!("full_pass_{n}_docs"), |b| {
             b.iter(|| tar_review(std::hint::black_box(&corpus), TarConfig::default()))
         });
     }

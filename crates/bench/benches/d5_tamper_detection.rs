@@ -8,8 +8,9 @@ use trustdb::audit::{AuditAction, AuditLog};
 fn sweep_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("d5/tamper");
     group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let obs = itrust_obs::ObsCtx::default();
     group.bench_function("sweep_1000_objects_1pct_corrupt", |b| {
-        b.iter(|| tamper_run(1_000, 10, 1))
+        b.iter(|| tamper_run(1_000, 10, 1, &obs))
     });
     group.finish();
 }

@@ -4,7 +4,9 @@ use itrust_bench::report::Emitter;
 fn main() {
     let mut em = Emitter::begin("d1")
         .with_trace(itrust_bench::report::trace_path("d1"))
-        .expect("create trace sink");
+        .expect("create trace sink")
+        .with_blackbox(4096);
+    em.meta("seed_base", 7_000); // SimConfig seeds are 7000 + psap count
     let (rows, report) = itrust_bench::harness::d1::run(em.obs());
     println!("{report}");
     let calls: usize = rows.iter().map(|r| r.calls).sum();

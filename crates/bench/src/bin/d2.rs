@@ -4,7 +4,8 @@ use itrust_bench::report::Emitter;
 fn main() {
     let mut em = Emitter::begin("d2")
         .with_trace(itrust_bench::report::trace_path("d2"))
-        .expect("create trace sink");
+        .expect("create trace sink")
+        .with_blackbox(4096);
     let (rows, report) = itrust_bench::harness::d2::run(em.obs());
     println!("{report}");
     let (thresholds, ablation) = itrust_bench::harness::d2::threshold_ablation();

@@ -4,7 +4,8 @@ use itrust_bench::report::Emitter;
 fn main() {
     let mut em = Emitter::begin("d3")
         .with_trace(itrust_bench::report::trace_path("d3"))
-        .expect("create trace sink");
+        .expect("create trace sink")
+        .with_blackbox(4096);
     let (rows, report) = itrust_bench::harness::d3::run(em.obs());
     println!("{report}");
     let (ablation_rows, ablation) = itrust_bench::harness::d3::seed_batch_ablation();

@@ -4,7 +4,8 @@ use itrust_bench::report::Emitter;
 fn main() {
     let mut em = Emitter::begin("d4")
         .with_trace(itrust_bench::report::trace_path("d4"))
-        .expect("create trace sink");
+        .expect("create trace sink")
+        .with_blackbox(4096);
     let (rows, report) = itrust_bench::harness::d4::run(em.obs());
     println!("{report}");
     em.metric("d4.readings_total", rows.iter().map(|r| r.readings).sum::<usize>() as f64)

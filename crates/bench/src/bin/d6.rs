@@ -4,7 +4,8 @@ use itrust_bench::report::Emitter;
 fn main() {
     let mut em = Emitter::begin("d6")
         .with_trace(itrust_bench::report::trace_path("d6"))
-        .expect("create trace sink");
+        .expect("create trace sink")
+        .with_blackbox(4096);
     let (index_rows, index_report) = itrust_bench::harness::d6::run_index(em.obs());
     println!("{index_report}");
     let (linking, linking_report) = itrust_bench::harness::d6::run_linking(em.obs());

@@ -4,7 +4,8 @@ use itrust_bench::report::Emitter;
 fn main() {
     let mut em = Emitter::begin("d7")
         .with_trace(itrust_bench::report::trace_path("d7"))
-        .expect("create trace sink");
+        .expect("create trace sink")
+        .with_blackbox(4096);
     let (trajectories, report) = itrust_bench::harness::d7::run(em.obs());
     println!("{report}");
     for t in &trajectories {

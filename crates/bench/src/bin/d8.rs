@@ -4,7 +4,8 @@ use itrust_bench::report::Emitter;
 fn main() {
     let mut em = Emitter::begin("d8")
         .with_trace(itrust_bench::report::trace_path("d8"))
-        .expect("create trace sink");
+        .expect("create trace sink")
+        .with_blackbox(4096);
     let (calls, calls_report) = itrust_bench::harness::d8::run_calls(em.obs());
     println!("{calls_report}");
     let (text, text_report) = itrust_bench::harness::d8::run_text(em.obs());

@@ -4,9 +4,15 @@ use itrust_bench::report::Emitter;
 fn main() {
     let mut em = Emitter::begin("d9")
         .with_trace(itrust_bench::report::trace_path("d9"))
-        .expect("create trace sink");
+        .expect("create trace sink")
+        .with_blackbox(4096);
     let (rows, report) = itrust_bench::harness::d9::run(em.obs());
     println!("{report}");
+    // CI knob: crash after the workload so the flight-recorder dump can be
+    // exercised end-to-end (`obstool blackbox results/d9.blackbox.json`).
+    if std::env::var("D9_FORCE_PANIC").is_ok_and(|v| v == "1") {
+        panic!("D9_FORCE_PANIC requested — dumping flight recorder");
+    }
     em.metric("d9.corrupted_copies_total", rows.iter().map(|r| r.corrupted_copies).sum::<usize>() as f64)
         .metric("d9.repaired_total", rows.iter().map(|r| r.repaired).sum::<usize>() as f64)
         .metric("d9.lost_total", rows.iter().map(|r| r.unrecoverable).sum::<usize>() as f64)

@@ -4,7 +4,9 @@ use itrust_bench::report::Emitter;
 fn main() {
     let mut em = Emitter::begin("fig1")
         .with_trace(itrust_bench::report::trace_path("fig1"))
-        .expect("create trace sink");
+        .expect("create trace sink")
+        .with_blackbox(4096);
+    em.meta("corpus_seeds", "train 1..3, test 10+damage");
     let (rows, report) = itrust_bench::harness::fig1::run(em.obs());
     println!("{report}");
     for r in &rows {

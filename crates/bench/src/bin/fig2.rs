@@ -4,7 +4,8 @@ use itrust_bench::report::Emitter;
 fn main() {
     let mut em = Emitter::begin("fig2")
         .with_trace(itrust_bench::report::trace_path("fig2"))
-        .expect("create trace sink");
+        .expect("create trace sink")
+        .with_blackbox(4096);
     let (rows, report) = itrust_bench::harness::fig2::run(em.obs());
     println!("{report}");
     em.metric("fig2.records_in_total", rows.iter().map(|r| r.records_in).sum::<usize>() as f64)

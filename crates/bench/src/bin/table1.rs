@@ -4,7 +4,8 @@ use itrust_bench::report::Emitter;
 fn main() {
     let mut em = Emitter::begin("table1")
         .with_trace(itrust_bench::report::trace_path("table1"))
-        .expect("create trace sink");
+        .expect("create trace sink")
+        .with_blackbox(4096);
     let (rows, report) = itrust_bench::harness::table1::run(em.obs());
     println!("{report}");
     em.metric("table1.bytes_total", rows.iter().map(|r| r.bytes).sum::<u64>() as f64)

@@ -11,12 +11,16 @@
 //!   covers exactly this run,
 //! - `<name>.trace.jsonl` — optionally (see [`Emitter::with_trace`]), one
 //!   JSON line per completed span, streamed through a
-//!   [`itrust_obs::JsonlTraceSink`].
+//!   [`itrust_obs::JsonlTraceSink`],
+//! - `<name>.blackbox.json` — only when the process panics mid-run (see
+//!   [`Emitter::with_blackbox`]): the flight recorder's last-N-events ring,
+//!   for post-mortem analysis with `obstool blackbox`.
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -49,6 +53,11 @@ pub fn trace_path(name: &str) -> PathBuf {
     results_dir().join(format!("{name}.trace.jsonl"))
 }
 
+/// The flight-recorder dump path for a run: `results/<name>.blackbox.json`.
+pub fn blackbox_path(name: &str) -> PathBuf {
+    results_dir().join(format!("{name}.blackbox.json"))
+}
+
 /// Collects one run's timing and metrics, then writes the artifact trio.
 ///
 /// The emitter owns the run's [`itrust_obs::ObsCtx`]: harnesses receive it
@@ -58,21 +67,49 @@ pub struct Emitter {
     name: &'static str,
     start: Instant,
     metrics: BTreeMap<String, f64>,
+    meta: BTreeMap<String, String>,
     obs: itrust_obs::ObsCtx,
     trace: Option<Arc<itrust_obs::JsonlTraceSink>>,
+    flight: Option<Arc<itrust_obs::FlightRecorder>>,
+    /// Set while the run is live; cleared by [`Emitter::finish`] so the
+    /// panic hook never dumps a blackbox for a run that completed cleanly.
+    armed: Arc<AtomicBool>,
 }
 
 impl Emitter {
     /// Start a run with a fresh telemetry context, so the snapshot covers
-    /// exactly this run.
+    /// exactly this run. The snapshot's meta block is pre-filled with the
+    /// run configuration (name, thread count, workspace version) —
+    /// deterministic values only, never wall-clock time.
     pub fn begin(name: &'static str) -> Self {
+        let mut meta = BTreeMap::new();
+        meta.insert("name".to_string(), name.to_string());
+        meta.insert("threads".to_string(), itrust_par::current_threads().to_string());
+        meta.insert(
+            "itrust_threads".to_string(),
+            std::env::var("ITRUST_THREADS").unwrap_or_else(|_| "unset".to_string()),
+        );
+        meta.insert("version".to_string(), env!("CARGO_PKG_VERSION").to_string());
         Emitter {
             name,
             start: Instant::now(),
             metrics: BTreeMap::new(),
+            meta,
             obs: itrust_obs::ObsCtx::new(),
             trace: None,
+            flight: None,
+            armed: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// Rebuild the run context from the configured sink and flight
+    /// recorder, so `with_trace`/`with_blackbox` compose in either order.
+    fn rebuild_ctx(&mut self) {
+        let sink = self
+            .trace
+            .as_ref()
+            .map(|s| s.clone() as Arc<dyn itrust_obs::SpanSink>);
+        self.obs = itrust_obs::ObsCtx::with_parts(sink, self.flight.clone());
     }
 
     /// Stream completed spans to a `.trace.jsonl` file at `path` (created
@@ -82,10 +119,36 @@ impl Emitter {
         if let Some(dir) = path.as_ref().parent() {
             std::fs::create_dir_all(dir)?;
         }
-        let sink = Arc::new(itrust_obs::JsonlTraceSink::create(path)?);
-        self.obs = itrust_obs::ObsCtx::with_sink(sink.clone());
-        self.trace = Some(sink);
+        self.trace = Some(Arc::new(itrust_obs::JsonlTraceSink::create(path)?));
+        self.rebuild_ctx();
         Ok(self)
+    }
+
+    /// Attach a flight recorder: a ring buffer of the last `capacity`
+    /// span/counter/gauge/hist events, dumped to
+    /// `results/<name>.blackbox.json` if the process panics before
+    /// [`Emitter::finish`]. A clean finish removes any stale dump. Call
+    /// before handing out [`Emitter::obs`].
+    pub fn with_blackbox(mut self, capacity: usize) -> Self {
+        let flight = Arc::new(itrust_obs::FlightRecorder::new(capacity));
+        self.flight = Some(flight.clone());
+        self.rebuild_ctx();
+        self.armed.store(true, Ordering::SeqCst);
+        let armed = self.armed.clone();
+        let path = blackbox_path(self.name);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if armed.swap(false, Ordering::SeqCst) {
+                let dump = flight.dump(Some(info.to_string()));
+                if let Some(dir) = path.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                let _ = std::fs::write(&path, dump.to_json_pretty() + "\n");
+                eprintln!("flight recorder dumped to {}", path.display());
+            }
+            prev(info);
+        }));
+        self
     }
 
     /// The run's telemetry context; pass to the harness under measurement.
@@ -96,6 +159,13 @@ impl Emitter {
     /// Record one derived metric.
     pub fn metric(&mut self, key: &str, value: f64) -> &mut Self {
         self.metrics.insert(key.to_string(), value);
+        self
+    }
+
+    /// Record one run-configuration entry for the telemetry meta block
+    /// (e.g. the RNG seed). Values must be deterministic for the run.
+    pub fn meta(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.meta.insert(key.to_string(), value.to_string());
         self
     }
 
@@ -116,12 +186,21 @@ impl Emitter {
         let summary_json =
             serde_json::to_string_pretty(&summary).expect("summary serialization cannot fail");
         std::fs::write(dir.join(format!("{}.json", self.name)), summary_json + "\n")?;
+        let mut snap = self.obs.snapshot();
+        snap.meta = self.meta.clone();
         std::fs::write(
             dir.join(format!("{}.telemetry.json", self.name)),
-            self.obs.snapshot().to_json_pretty() + "\n",
+            snap.to_json_pretty() + "\n",
         )?;
         if let Some(trace) = &self.trace {
             trace.flush()?;
+        }
+        // Disarm the panic hook and clear any dump left by an earlier
+        // crashed run: reaching this point means the run completed.
+        self.armed.store(false, Ordering::SeqCst);
+        let blackbox = blackbox_path(self.name);
+        if blackbox.exists() {
+            std::fs::remove_file(blackbox)?;
         }
         Ok(summary)
     }

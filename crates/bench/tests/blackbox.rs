@@ -1,0 +1,51 @@
+//! Flight-recorder end-to-end: a panic between `Emitter::begin` and
+//! `Emitter::finish` must leave a parseable `<name>.blackbox.json` behind,
+//! and a clean finish must remove it again.
+//!
+//! Runs in its own integration-test binary because it installs a global
+//! panic hook and sets `ITRUST_RESULTS_DIR` for the whole process.
+
+use itrust_bench::report::{blackbox_path, Emitter};
+use itrust_obs::FlightDump;
+
+#[test]
+fn panic_mid_run_dumps_a_blackbox_and_clean_finish_removes_it() {
+    let dir = std::env::temp_dir().join(format!("itrust-blackbox-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("ITRUST_RESULTS_DIR", &dir);
+
+    // Crash mid-run: the panic hook must write the dump.
+    let crash = std::panic::catch_unwind(|| {
+        let em = Emitter::begin("bbtest").with_blackbox(16);
+        let ctx = em.obs().clone();
+        for _ in 0..40 {
+            itrust_obs::counter_inc!(&ctx, "bbtest.steps");
+        }
+        {
+            let _span = itrust_obs::span!(&ctx, "bbtest.work");
+        }
+        panic!("synthetic failure at step 40");
+    });
+    assert!(crash.is_err());
+
+    let path = blackbox_path("bbtest");
+    let text = std::fs::read_to_string(&path).expect("panic hook wrote the blackbox dump");
+    let dump = FlightDump::from_json(&text).expect("dump parses back");
+    assert_eq!(dump.capacity, 16);
+    assert_eq!(dump.recorded, 41, "40 counter events + 1 span");
+    assert_eq!(dump.events.len(), 16, "ring keeps only the newest 16");
+    assert_eq!(dump.dropped, 41 - 16);
+    let panic_msg = dump.panic.as_deref().expect("panic message captured");
+    assert!(panic_msg.contains("synthetic failure at step 40"), "{panic_msg}");
+    assert!(dump.events.iter().any(|e| e.name == "bbtest.work"));
+
+    // A clean run of the same name must clear the stale dump.
+    let em = Emitter::begin("bbtest").with_blackbox(16);
+    let ctx = em.obs().clone();
+    itrust_obs::counter_add!(&ctx, "bbtest.steps", 1);
+    em.finish(1, "clean run").unwrap();
+    assert!(!path.exists(), "clean finish removes the stale blackbox");
+
+    std::env::remove_var("ITRUST_RESULTS_DIR");
+    let _ = std::fs::remove_dir_all(&dir);
+}

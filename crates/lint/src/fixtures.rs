@@ -194,10 +194,65 @@ pub fn results_dir() -> String {
     },
 ];
 
+/// Crate-scope probes: a source snippet linted under a real workspace
+/// path, plus the rule that must fire there. These pin the rule-scoping
+/// table in `rules::run_rules` — newly added crates are covered by default
+/// unless explicitly exempted, and `crates/obs-analyze` (the trace/diff
+/// analysis library) is NOT exempt from any core invariant even though it
+/// consumes obs artifacts.
+pub const SCOPE_PROBES: &[(&str, &str, &str)] = &[
+    (
+        "crates/obs-analyze/src/lib.rs",
+        "pub fn t() -> std::time::Instant { std::time::Instant::now() }\n",
+        "wallclock-in-core",
+    ),
+    (
+        "crates/obs-analyze/src/lib.rs",
+        "pub fn s() { let _g = itrust_obs::span!(\"analyze.parse\"); }\n",
+        "ctx-first-macro",
+    ),
+    (
+        "crates/obs-analyze/src/lib.rs",
+        "pub fn p(v: &[u8]) -> u8 { v.first().copied().unwrap() }\n",
+        "panic-in-lib",
+    ),
+    (
+        "crates/obs-analyze/src/lib.rs",
+        "pub fn e() -> String { std::env::var(\"ITRUST_RESULTS_DIR\").unwrap_or_default() }\n",
+        "env-read-outside-config",
+    ),
+    // The obstool binary target keeps the panic exemption every bin has…
+    (
+        "crates/obs-analyze/src/main.rs",
+        "pub fn p(v: &[u8]) -> u8 { v.first().copied().unwrap() }\n",
+        "",
+    ),
+    // …but stays subject to the env-read ban: obstool is configured by CLI
+    // flags only, never by environment variables.
+    (
+        "crates/obs-analyze/src/main.rs",
+        "pub fn e() -> String { std::env::var(\"OBSTOOL_MODE\").unwrap_or_default() }\n",
+        "env-read-outside-config",
+    ),
+];
+
 /// Run every fixture through the analyzer and return human-readable
 /// failures (empty = all good). This is the `--self-check` body.
 pub fn self_check() -> Vec<String> {
     let mut failures = Vec::new();
+    for (path, src, rule) in SCOPE_PROBES {
+        let diags = crate::lint_source(path, src);
+        if rule.is_empty() {
+            if let Some(d) = diags.first() {
+                failures.push(format!(
+                    "scope probe `{path}`: expected silence, got `{}` at {}:{}",
+                    d.rule, d.line, d.col
+                ));
+            }
+        } else if !diags.iter().any(|d| d.rule == *rule) {
+            failures.push(format!("scope probe `{path}`: expected a `{rule}` finding, got none"));
+        }
+    }
     for f in FIXTURES {
         let pos = crate::lint_source(FIXTURE_PATH, f.positive);
         if !pos.iter().any(|d| d.rule == f.rule) {

@@ -55,6 +55,23 @@ fn self_check_passes() {
     assert_eq!(itrust_lint::fixtures::self_check(), Vec::<String>::new());
 }
 
+#[test]
+fn scope_probes_pin_obs_analyze_coverage() {
+    // The analysis crate consumes obs artifacts but is NOT the obs crate:
+    // every core invariant must keep firing under its paths.
+    for (path, src, rule) in itrust_lint::fixtures::SCOPE_PROBES {
+        let diags = lint_source(path, src);
+        if rule.is_empty() {
+            assert!(diags.is_empty(), "probe `{path}` expected silence, got {diags:?}");
+        } else {
+            assert!(
+                diags.iter().any(|d| d.rule == *rule),
+                "probe `{path}` expected `{rule}`, got {diags:?}"
+            );
+        }
+    }
+}
+
 // ---- lexer edge cases that break naive scanners ----------------------------
 
 #[test]

@@ -1,0 +1,104 @@
+//! Reader for `*.blackbox.json` flight-recorder post-mortems.
+//!
+//! The dump format is `itrust_obs::FlightDump`; this module parses it and
+//! renders the crash-scene summary a human wants first: what panicked, how
+//! much history survived the ring, which metrics were hot at the end, and
+//! the final events in order.
+
+use crate::AnalyzeError;
+use itrust_obs::{FlightDump, FlightKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parse a blackbox document.
+pub fn parse_blackbox(text: &str) -> Result<FlightDump, AnalyzeError> {
+    FlightDump::from_json(text)
+        .map_err(|e| AnalyzeError::new(format!("invalid blackbox dump: {e}")))
+}
+
+fn kind_label(kind: FlightKind) -> &'static str {
+    match kind {
+        FlightKind::Span => "span",
+        FlightKind::Counter => "counter",
+        FlightKind::Gauge => "gauge",
+        FlightKind::Hist => "hist",
+    }
+}
+
+/// Render a dump: header, per-name event totals, and the last `tail`
+/// events. Deterministic for a given dump.
+pub fn render(dump: &FlightDump, tail: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "flight recorder: {} events recorded, {} in ring (capacity {}), {} overwritten",
+        dump.recorded,
+        dump.events.len(),
+        dump.capacity,
+        dump.dropped
+    );
+    match &dump.panic {
+        Some(msg) => {
+            let _ = writeln!(out, "panic: {msg}");
+        }
+        None => {
+            let _ = writeln!(out, "panic: (none — dump taken on demand)");
+        }
+    }
+
+    let mut by_name: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+    for event in &dump.events {
+        *by_name.entry((event.name.as_str(), kind_label(event.kind))).or_default() += 1;
+    }
+    if !by_name.is_empty() {
+        let _ = writeln!(out, "\nevents in ring by metric");
+        let width = by_name.keys().map(|(n, _)| n.len()).max().unwrap_or(4).max(4);
+        for ((name, kind), count) in &by_name {
+            let _ = writeln!(out, "  {name:<width$}  {kind:<7}  {count}");
+        }
+    }
+
+    let tail_events = dump.events.iter().rev().take(tail).rev();
+    let _ = writeln!(out, "\nlast {} events", tail.min(dump.events.len()));
+    for event in tail_events {
+        let _ = writeln!(
+            out,
+            "  #{:<8} {:<7} {:<40} {}",
+            event.seq,
+            kind_label(event.kind),
+            event.name,
+            event.value
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itrust_obs::{FlightKind, FlightRecorder};
+
+    #[test]
+    fn parse_and_render_a_dump() {
+        let fr = FlightRecorder::new(8);
+        for i in 0..12 {
+            fr.record(FlightKind::Counter, "demo.ticks", i);
+        }
+        fr.record(FlightKind::Span, "demo.work", 5_000);
+        let json = fr.dump(Some("index out of bounds".to_string())).to_json_pretty();
+        let dump = parse_blackbox(&json).unwrap();
+        assert_eq!(dump.recorded, 13);
+        let text = render(&dump, 5);
+        assert!(text.contains("panic: index out of bounds"));
+        assert!(text.contains("demo.ticks"));
+        assert!(text.contains("demo.work"));
+        assert!(text.contains("last 5 events"));
+        assert_eq!(text, render(&dump, 5));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(parse_blackbox("not json").is_err());
+        assert!(parse_blackbox("{\"wrong\": true}").is_err());
+    }
+}

@@ -1,0 +1,401 @@
+//! `benchdiff`: compare two telemetry snapshots with per-metric
+//! relative-delta thresholds and produce a machine-readable verdict.
+//!
+//! Two kinds of metric, two thresholds:
+//!
+//! - **Structural metrics** (counters, gauges, histogram counts) are
+//!   deterministic under the workspace's serial-equivalence guarantee, so
+//!   any drift beyond `count_threshold` (default 0) means the workload
+//!   itself changed — flagged as a regression so behavioral drift cannot
+//!   hide inside a perf gate.
+//! - **Latency metrics** (histogram p50/p99, recorded in nanoseconds by
+//!   spans) are timing and therefore noisy; they regress only beyond
+//!   `latency_threshold` (default 0.25 = +25%), and symmetric improvements
+//!   are reported as such. CI passes a wider threshold to tolerate shared
+//!   machines; the default is the local-dev gate.
+//!
+//! A metric present in the baseline but missing from the candidate is a
+//! regression (instrumentation was lost); a new metric is advisory.
+//! `meta` blocks are never compared — they are attached to the report so a
+//! human can see *why* two runs might differ (thread count, seed, version).
+
+use itrust_obs::{HistogramSnapshot, Snapshot};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Sentinel relative delta for a metric that appeared from (or collapsed
+/// to) a zero baseline — infinity does not survive JSON.
+pub const REL_DELTA_FROM_ZERO: f64 = 1e9;
+
+/// Thresholds for [`diff_snapshots`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiffPolicy {
+    /// Relative delta beyond which a latency metric (histogram p50/p99)
+    /// regresses or improves.
+    pub latency_threshold: f64,
+    /// Relative delta beyond which a structural metric (counter, gauge,
+    /// histogram count) counts as drift.
+    pub count_threshold: f64,
+}
+
+impl Default for DiffPolicy {
+    fn default() -> Self {
+        DiffPolicy { latency_threshold: 0.25, count_threshold: 0.0 }
+    }
+}
+
+/// Verdict for one compared metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiffStatus {
+    Unchanged,
+    Improved,
+    Regressed,
+    /// Only in the candidate (advisory).
+    Added,
+    /// Only in the baseline (a regression: instrumentation disappeared).
+    Removed,
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffEntry {
+    /// `counter:<name>`, `gauge:<name>`, or `hist:<name>.<stat>`.
+    pub metric: String,
+    pub base: f64,
+    pub cand: f64,
+    /// `(cand - base) / |base|`; [`REL_DELTA_FROM_ZERO`]-signed when the
+    /// baseline is zero and the candidate is not.
+    pub rel_delta: f64,
+    pub status: DiffStatus,
+}
+
+/// Machine-readable outcome of one snapshot comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffReport {
+    pub policy: DiffPolicy,
+    /// Baseline `meta` block, for attribution (never compared).
+    pub meta_base: BTreeMap<String, String>,
+    /// Candidate `meta` block.
+    pub meta_cand: BTreeMap<String, String>,
+    /// Every compared metric, in metric-name order.
+    pub entries: Vec<DiffEntry>,
+    pub regressions: u64,
+    pub improvements: u64,
+    /// `regressions == 0` — the `--check` exit criterion.
+    pub ok: bool,
+}
+
+fn rel_delta(base: f64, cand: f64) -> f64 {
+    if base == 0.0 {
+        if cand == 0.0 {
+            0.0
+        } else {
+            REL_DELTA_FROM_ZERO * cand.signum()
+        }
+    } else {
+        (cand - base) / base.abs()
+    }
+}
+
+/// Classify a structural metric: symmetric drift check.
+fn structural_status(rel: f64, threshold: f64) -> DiffStatus {
+    if rel.abs() > threshold {
+        DiffStatus::Regressed
+    } else {
+        DiffStatus::Unchanged
+    }
+}
+
+/// Classify a latency metric: up is bad, down is good.
+fn latency_status(rel: f64, threshold: f64) -> DiffStatus {
+    if rel > threshold {
+        DiffStatus::Regressed
+    } else if rel < -threshold {
+        DiffStatus::Improved
+    } else {
+        DiffStatus::Unchanged
+    }
+}
+
+/// The histogram stats benchdiff compares, with their classification.
+fn hist_stats(h: &HistogramSnapshot) -> [(&'static str, f64, bool); 3] {
+    [
+        ("count", h.count as f64, true),
+        ("p50", h.p50 as f64, false),
+        ("p99", h.p99 as f64, false),
+    ]
+}
+
+/// Compare `cand` against `base` under `policy`.
+pub fn diff_snapshots(base: &Snapshot, cand: &Snapshot, policy: &DiffPolicy) -> DiffReport {
+    let mut entries: Vec<DiffEntry> = Vec::new();
+
+    let mut push = |metric: String, base: Option<f64>, cand: Option<f64>, structural: bool| {
+        let entry = match (base, cand) {
+            (Some(b), Some(c)) => {
+                let rel = rel_delta(b, c);
+                let status = if structural {
+                    structural_status(rel, policy.count_threshold)
+                } else {
+                    latency_status(rel, policy.latency_threshold)
+                };
+                DiffEntry { metric, base: b, cand: c, rel_delta: rel, status }
+            }
+            (Some(b), None) => DiffEntry {
+                metric,
+                base: b,
+                cand: 0.0,
+                rel_delta: rel_delta(b, 0.0),
+                status: DiffStatus::Removed,
+            },
+            (None, Some(c)) => DiffEntry {
+                metric,
+                base: 0.0,
+                cand: c,
+                rel_delta: rel_delta(0.0, c),
+                status: DiffStatus::Added,
+            },
+            (None, None) => return,
+        };
+        entries.push(entry);
+    };
+
+    let counter_names: BTreeSet<&String> =
+        base.counters.keys().chain(cand.counters.keys()).collect();
+    for name in counter_names {
+        push(
+            format!("counter:{name}"),
+            base.counters.get(name).map(|&v| v as f64),
+            cand.counters.get(name).map(|&v| v as f64),
+            true,
+        );
+    }
+    let gauge_names: BTreeSet<&String> = base.gauges.keys().chain(cand.gauges.keys()).collect();
+    for name in gauge_names {
+        push(
+            format!("gauge:{name}"),
+            base.gauges.get(name).map(|&v| v as f64),
+            cand.gauges.get(name).map(|&v| v as f64),
+            true,
+        );
+    }
+    let hist_names: BTreeSet<&String> =
+        base.histograms.keys().chain(cand.histograms.keys()).collect();
+    for name in hist_names {
+        match (base.histograms.get(name), cand.histograms.get(name)) {
+            (Some(b), Some(c)) => {
+                for ((stat, bv, structural), (_, cv, _)) in
+                    hist_stats(b).into_iter().zip(hist_stats(c))
+                {
+                    push(format!("hist:{name}.{stat}"), Some(bv), Some(cv), structural);
+                }
+            }
+            (Some(b), None) => {
+                for (stat, bv, structural) in hist_stats(b) {
+                    push(format!("hist:{name}.{stat}"), Some(bv), None, structural);
+                }
+            }
+            (None, Some(c)) => {
+                for (stat, cv, structural) in hist_stats(c) {
+                    push(format!("hist:{name}.{stat}"), None, Some(cv), structural);
+                }
+            }
+            (None, None) => {}
+        }
+    }
+
+    entries.sort_by(|a, b| a.metric.cmp(&b.metric));
+    let regressions = entries
+        .iter()
+        .filter(|e| matches!(e.status, DiffStatus::Regressed | DiffStatus::Removed))
+        .count() as u64;
+    let improvements =
+        entries.iter().filter(|e| e.status == DiffStatus::Improved).count() as u64;
+    DiffReport {
+        policy: *policy,
+        meta_base: base.meta.clone(),
+        meta_cand: cand.meta.clone(),
+        entries,
+        regressions,
+        improvements,
+        ok: regressions == 0,
+    }
+}
+
+impl DiffReport {
+    /// Pretty deterministic JSON.
+    pub fn to_json_pretty(&self) -> String {
+        // itrust-lint: allow(panic-in-lib) — plain string/number reports serialize infallibly
+        serde_json::to_string_pretty(self).expect("diff report serialization cannot fail")
+    }
+
+    /// Human-readable rendering: changed metrics first, then a summary.
+    /// Unchanged metrics are elided.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let changed: Vec<&DiffEntry> =
+            self.entries.iter().filter(|e| e.status != DiffStatus::Unchanged).collect();
+        if changed.is_empty() {
+            let _ = writeln!(out, "no metric moved beyond thresholds");
+        } else {
+            let width = changed.iter().map(|e| e.metric.len()).max().unwrap_or(6).max(6);
+            let _ = writeln!(
+                out,
+                "{:<width$}  {:>12}  {:>12}  {:>9}  status",
+                "metric", "base", "cand", "delta"
+            );
+            for e in &changed {
+                let delta = if e.rel_delta.abs() >= REL_DELTA_FROM_ZERO {
+                    "from-0".to_string()
+                } else {
+                    format!("{:+.1}%", e.rel_delta * 100.0)
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<width$}  {:>12}  {:>12}  {:>9}  {:?}",
+                    e.metric, e.base, e.cand, delta, e.status
+                );
+            }
+        }
+        for (which, meta) in [("base", &self.meta_base), ("cand", &self.meta_cand)] {
+            if !meta.is_empty() {
+                let rendered: Vec<String> =
+                    meta.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                let _ = writeln!(out, "meta {which}: {}", rendered.join(" "));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} metrics compared: {} regressed, {} improved → {}",
+            self.entries.len(),
+            self.regressions,
+            self.improvements,
+            if self.ok { "OK" } else { "REGRESSION" }
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(p50: u64, p99: u64, count: u64) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count,
+            sum: p50 * count,
+            min: p50 / 2,
+            max: p99 * 2,
+            mean: p50 as f64,
+            p50,
+            p90: p99,
+            p99,
+            p999: p99,
+            buckets: Vec::new(),
+        }
+    }
+
+    fn snap(p50: u64, events: u64) -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counters.insert("demo.events".to_string(), events);
+        s.histograms.insert("demo.latency".to_string(), hist(p50, p50 * 3, 100));
+        s
+    }
+
+    #[test]
+    fn identical_snapshots_are_ok() {
+        let report = diff_snapshots(&snap(1000, 50), &snap(1000, 50), &DiffPolicy::default());
+        assert!(report.ok);
+        assert_eq!(report.regressions, 0);
+        assert!(report.entries.iter().all(|e| e.status == DiffStatus::Unchanged));
+    }
+
+    #[test]
+    fn injected_25_percent_latency_regression_fails_the_gate() {
+        // The acceptance criterion: a ≥25% latency regression must flip the
+        // verdict (and with it the `--check` exit code).
+        let report = diff_snapshots(&snap(1000, 50), &snap(1300, 50), &DiffPolicy::default());
+        assert!(!report.ok, "30 percent slower p50 must regress: {}", report.render());
+        let entry = report
+            .entries
+            .iter()
+            .find(|e| e.metric == "hist:demo.latency.p50")
+            .unwrap();
+        assert_eq!(entry.status, DiffStatus::Regressed);
+        assert!((entry.rel_delta - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_improvement_is_reported_not_failed() {
+        let report = diff_snapshots(&snap(1000, 50), &snap(600, 50), &DiffPolicy::default());
+        assert!(report.ok);
+        assert_eq!(report.improvements, 2, "{}", report.render());
+    }
+
+    #[test]
+    fn small_latency_noise_is_unchanged() {
+        let report = diff_snapshots(&snap(1000, 50), &snap(1100, 50), &DiffPolicy::default());
+        assert!(report.ok);
+        assert_eq!(report.improvements, 0);
+    }
+
+    #[test]
+    fn counter_drift_is_a_regression_even_when_it_shrinks() {
+        let report = diff_snapshots(&snap(1000, 50), &snap(1000, 49), &DiffPolicy::default());
+        assert!(!report.ok);
+        let entry =
+            report.entries.iter().find(|e| e.metric == "counter:demo.events").unwrap();
+        assert_eq!(entry.status, DiffStatus::Regressed);
+        // A loose count threshold tolerates it.
+        let loose = DiffPolicy { count_threshold: 0.05, ..DiffPolicy::default() };
+        assert!(diff_snapshots(&snap(1000, 50), &snap(1000, 49), &loose).ok);
+    }
+
+    #[test]
+    fn removed_metric_regresses_added_is_advisory() {
+        let base = snap(1000, 50);
+        let mut cand = snap(1000, 50);
+        cand.counters.remove("demo.events");
+        cand.gauges.insert("demo.new_gauge".to_string(), 7);
+        let report = diff_snapshots(&base, &cand, &DiffPolicy::default());
+        assert!(!report.ok);
+        let removed =
+            report.entries.iter().find(|e| e.metric == "counter:demo.events").unwrap();
+        assert_eq!(removed.status, DiffStatus::Removed);
+        let added =
+            report.entries.iter().find(|e| e.metric == "gauge:demo.new_gauge").unwrap();
+        assert_eq!(added.status, DiffStatus::Added);
+        // Added alone is not a failure.
+        let mut cand2 = snap(1000, 50);
+        cand2.gauges.insert("demo.new_gauge".to_string(), 7);
+        assert!(diff_snapshots(&base, &cand2, &DiffPolicy::default()).ok);
+    }
+
+    #[test]
+    fn zero_baseline_uses_the_sentinel_and_report_round_trips() {
+        let mut base = snap(1000, 50);
+        base.counters.insert("demo.zeros".to_string(), 0);
+        let mut cand = snap(1000, 50);
+        cand.counters.insert("demo.zeros".to_string(), 3);
+        let report = diff_snapshots(&base, &cand, &DiffPolicy::default());
+        let entry = report.entries.iter().find(|e| e.metric == "counter:demo.zeros").unwrap();
+        assert_eq!(entry.rel_delta, REL_DELTA_FROM_ZERO);
+        let json = report.to_json_pretty();
+        let back: DiffReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(json, report.to_json_pretty(), "report JSON must be deterministic");
+    }
+
+    #[test]
+    fn meta_differences_never_fail_the_gate() {
+        let mut base = snap(1000, 50);
+        base.meta.insert("threads".to_string(), "1".to_string());
+        let mut cand = snap(1000, 50);
+        cand.meta.insert("threads".to_string(), "4".to_string());
+        let report = diff_snapshots(&base, &cand, &DiffPolicy::default());
+        assert!(report.ok);
+        assert!(report.render().contains("threads=4"));
+    }
+}

@@ -1,0 +1,151 @@
+//! `obstool` — CLI over the itrust-obs artifact set.
+//!
+//! ```text
+//! obstool profile <trace.jsonl> [--collapsed] [--top N]
+//! obstool benchdiff <baseline.telemetry.json> <candidate.telemetry.json>
+//!         [--check] [--json] [--threshold X] [--count-threshold X]
+//! obstool blackbox <file.blackbox.json> [--tail N]
+//! ```
+//!
+//! Exit codes: 0 success, 1 regression found (`benchdiff --check`),
+//! 2 usage or artifact error.
+
+use itrust_obs::Snapshot;
+use itrust_obs_analyze::{blackbox, diff, profile, trace};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+obstool — analyze itrust-obs artifacts
+
+USAGE:
+  obstool profile <trace.jsonl> [--collapsed] [--top N]
+      Aggregate a span trace: self/child attribution, hot spans, critical
+      path. --collapsed emits flamegraph.pl-compatible `a;b;c N` lines.
+
+  obstool benchdiff <baseline.telemetry.json> <candidate.telemetry.json>
+          [--check] [--json] [--threshold X] [--count-threshold X]
+      Compare two telemetry snapshots. --check exits 1 on regression.
+      --threshold bounds latency drift (default 0.25 = +25%);
+      --count-threshold bounds counter/count drift (default 0).
+
+  obstool blackbox <file.blackbox.json> [--tail N]
+      Render a flight-recorder post-mortem dump.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("benchdiff") => cmd_benchdiff(&args[1..]),
+        Some("blackbox") => cmd_blackbox(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    };
+    match code {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("obstool: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Pull `--flag <value>` out of `args`, returning the parsed value.
+fn take_flag_value<T: std::str::FromStr>(
+    args: &mut Vec<&str>,
+    flag: &str,
+) -> Result<Option<T>, String> {
+    match args.iter().position(|a| *a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let raw = args.remove(i + 1);
+            args.remove(i);
+            raw.parse().map(Some).map_err(|_| format!("invalid value {raw:?} for {flag}"))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+    }
+}
+
+/// Pull a boolean `--flag` out of `args`.
+fn take_flag(args: &mut Vec<&str>, flag: &str) -> bool {
+    match args.iter().position(|a| *a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn one_path<'a>(args: &[&'a str], what: &str) -> Result<&'a str, String> {
+    match args {
+        [path] => Ok(path),
+        [] => Err(format!("missing {what}")),
+        extra => Err(format!("unexpected arguments: {extra:?}")),
+    }
+}
+
+fn cmd_profile(raw: &[String]) -> Result<ExitCode, String> {
+    let mut args: Vec<&str> = raw.iter().map(String::as_str).collect();
+    let collapsed = take_flag(&mut args, "--collapsed");
+    let top: usize = take_flag_value(&mut args, "--top")?.unwrap_or(20);
+    let path = one_path(&args, "trace file")?;
+    let text = read_file(path)?;
+    let spans = trace::parse_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    let profile = profile::build_profile(&spans);
+    if collapsed {
+        print!("{}", profile.collapsed());
+    } else {
+        print!("{}", profile.render(top));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_benchdiff(raw: &[String]) -> Result<ExitCode, String> {
+    let mut args: Vec<&str> = raw.iter().map(String::as_str).collect();
+    let check = take_flag(&mut args, "--check");
+    let json = take_flag(&mut args, "--json");
+    let mut policy = diff::DiffPolicy::default();
+    if let Some(t) = take_flag_value::<f64>(&mut args, "--threshold")? {
+        policy.latency_threshold = t;
+    }
+    if let Some(t) = take_flag_value::<f64>(&mut args, "--count-threshold")? {
+        policy.count_threshold = t;
+    }
+    let (base_path, cand_path) = match args.as_slice() {
+        [b, c] => (*b, *c),
+        _ => return Err("benchdiff needs <baseline> <candidate>".to_string()),
+    };
+    let base = Snapshot::from_json(&read_file(base_path)?)
+        .map_err(|e| format!("{base_path}: invalid telemetry snapshot: {e}"))?;
+    let cand = Snapshot::from_json(&read_file(cand_path)?)
+        .map_err(|e| format!("{cand_path}: invalid telemetry snapshot: {e}"))?;
+    let report = diff::diff_snapshots(&base, &cand, &policy);
+    if json {
+        println!("{}", report.to_json_pretty());
+    } else {
+        print!("{}", report.render());
+    }
+    if check && !report.ok {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_blackbox(raw: &[String]) -> Result<ExitCode, String> {
+    let mut args: Vec<&str> = raw.iter().map(String::as_str).collect();
+    let tail: usize = take_flag_value(&mut args, "--tail")?.unwrap_or(25);
+    let path = one_path(&args, "blackbox file")?;
+    let text = read_file(path)?;
+    let dump = blackbox::parse_blackbox(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", blackbox::render(&dump, tail));
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,337 @@
+//! Span-tree profiler: aggregate a trace into per-path statistics,
+//! attribute self-time vs. child-time, extract the critical path, and emit
+//! collapsed stacks.
+//!
+//! All ordering is total (`BTreeMap` keys, explicit tie-breaks), so every
+//! rendering is byte-deterministic for a given trace file — CI runs the
+//! profiler twice and diffs the output.
+
+use crate::trace::TraceSpan;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeStats {
+    /// Number of spans recorded with exactly this path.
+    pub count: u64,
+    /// Summed duration of those spans.
+    pub total_ns: u64,
+    /// Summed duration of direct children (paths one segment deeper).
+    pub child_ns: u64,
+    /// `total_ns - child_ns`, floored at zero (children running on other
+    /// threads can overlap their parent, making the naive difference
+    /// negative).
+    pub self_ns: u64,
+}
+
+/// The aggregated span tree of one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Per-path statistics; the key is the slash-joined span path.
+    pub nodes: BTreeMap<String, NodeStats>,
+    /// Total spans in the trace.
+    pub total_spans: u64,
+    /// Trace extent: maximum `end_ns` minus minimum `start_ns`.
+    pub wall_ns: u64,
+}
+
+/// The parent path of `path`, or `None` for roots.
+fn parent_of(path: &str) -> Option<&str> {
+    path.rsplit_once('/').map(|(parent, _)| parent)
+}
+
+/// Aggregate a validated trace into a [`Profile`].
+pub fn build_profile(spans: &[TraceSpan]) -> Profile {
+    let mut nodes: BTreeMap<String, NodeStats> = BTreeMap::new();
+    let mut min_start = u64::MAX;
+    let mut max_end = 0u64;
+    for span in spans {
+        let node = nodes.entry(span.path.clone()).or_default();
+        node.count += 1;
+        node.total_ns = node.total_ns.saturating_add(span.duration_ns);
+        min_start = min_start.min(span.start_ns);
+        max_end = max_end.max(span.end_ns);
+    }
+    // Attribute each node's total to its parent's child time. Collect
+    // first: we cannot mutate the map while iterating it.
+    let child_contributions: Vec<(String, u64)> = nodes
+        .iter()
+        .filter_map(|(path, stats)| {
+            parent_of(path).map(|parent| (parent.to_string(), stats.total_ns))
+        })
+        .collect();
+    for (parent, contribution) in child_contributions {
+        if let Some(node) = nodes.get_mut(&parent) {
+            node.child_ns = node.child_ns.saturating_add(contribution);
+        }
+    }
+    for stats in nodes.values_mut() {
+        stats.self_ns = stats.total_ns.saturating_sub(stats.child_ns);
+    }
+    Profile {
+        nodes,
+        total_spans: spans.len() as u64,
+        wall_ns: max_end.saturating_sub(if min_start == u64::MAX { 0 } else { min_start }),
+    }
+}
+
+impl Profile {
+    /// Paths ordered by self-time, hottest first (ties break on path so the
+    /// ordering is total).
+    pub fn hot_spans(&self) -> Vec<(&str, &NodeStats)> {
+        let mut out: Vec<(&str, &NodeStats)> =
+            self.nodes.iter().map(|(p, s)| (p.as_str(), s)).collect();
+        out.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then_with(|| a.0.cmp(b.0)));
+        out
+    }
+
+    /// Root paths (no parent in the tree), heaviest total first.
+    pub fn roots(&self) -> Vec<(&str, &NodeStats)> {
+        let mut out: Vec<(&str, &NodeStats)> = self
+            .nodes
+            .iter()
+            .filter(|(path, _)| {
+                parent_of(path).is_none_or(|parent| !self.nodes.contains_key(parent))
+            })
+            .map(|(p, s)| (p.as_str(), s))
+            .collect();
+        out.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then_with(|| a.0.cmp(b.0)));
+        out
+    }
+
+    /// Direct children of `path`, heaviest total first.
+    fn children_of(&self, path: &str) -> Vec<(&str, &NodeStats)> {
+        let mut out: Vec<(&str, &NodeStats)> = self
+            .nodes
+            .iter()
+            .filter(|(candidate, _)| parent_of(candidate) == Some(path))
+            .map(|(p, s)| (p.as_str(), s))
+            .collect();
+        out.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then_with(|| a.0.cmp(b.0)));
+        out
+    }
+
+    /// The critical path: from the heaviest root, repeatedly descend into
+    /// the heaviest child. This is the chain of spans an optimization has
+    /// to shorten before wall time can move.
+    pub fn critical_path(&self) -> Vec<(&str, &NodeStats)> {
+        let mut chain = Vec::new();
+        let Some(&(mut current, stats)) = self.roots().first() else {
+            return chain;
+        };
+        chain.push((current, stats));
+        loop {
+            let children = self.children_of(current);
+            match children.first() {
+                Some(&(child, stats)) => {
+                    chain.push((child, stats));
+                    current = child;
+                }
+                None => break,
+            }
+        }
+        chain
+    }
+
+    /// Collapsed-stack lines (`a;b;c <self_ns>`), one per path with nonzero
+    /// self-time, in lexicographic path order — the input format of
+    /// flamegraph.pl and every compatible viewer.
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        for (path, stats) in &self.nodes {
+            if stats.self_ns == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "{} {}", path.replace('/', ";"), stats.self_ns);
+        }
+        out
+    }
+
+    /// Human-readable profile report: summary line, top-`top` spans by
+    /// self-time, and the critical path.
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} spans over {} distinct paths, trace extent {}",
+            self.total_spans,
+            self.nodes.len(),
+            fmt_ns(self.wall_ns)
+        );
+        let self_total: u64 = self.nodes.values().map(|s| s.self_ns).sum();
+        let _ = writeln!(out);
+        let width = self
+            .hot_spans()
+            .iter()
+            .take(top)
+            .map(|(p, _)| p.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let _ = writeln!(
+            out,
+            "top {} by self-time\n  {:<width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>6}",
+            top.min(self.nodes.len()),
+            "path",
+            "count",
+            "total",
+            "self",
+            "child",
+            "self%"
+        );
+        for (path, stats) in self.hot_spans().iter().take(top) {
+            let pct = if self_total == 0 {
+                0.0
+            } else {
+                stats.self_ns as f64 * 100.0 / self_total as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {path:<width$}  {:>8}  {:>10}  {:>10}  {:>10}  {pct:>5.1}%",
+                stats.count,
+                fmt_ns(stats.total_ns),
+                fmt_ns(stats.self_ns),
+                fmt_ns(stats.child_ns),
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "critical path (heaviest chain)");
+        for (i, (path, stats)) in self.critical_path().iter().enumerate() {
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            let _ = writeln!(
+                out,
+                "  {:indent$}{} total {} self {} ({} calls)",
+                "",
+                leaf,
+                fmt_ns(stats.total_ns),
+                fmt_ns(stats.self_ns),
+                stats.count,
+                indent = i * 2
+            );
+        }
+        out
+    }
+}
+
+/// Format a nanosecond quantity with an adaptive unit (mirrors the
+/// snapshot table renderer in `itrust-obs`).
+pub(crate) fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::parse_trace;
+
+    fn span(path: &str, start: u64, end: u64) -> TraceSpan {
+        TraceSpan {
+            name: path.rsplit('/').next().unwrap_or(path).to_string(),
+            path: path.to_string(),
+            depth: path.matches('/').count() as u32,
+            start_ns: start,
+            end_ns: end,
+            duration_ns: end - start,
+        }
+    }
+
+    #[test]
+    fn self_time_is_total_minus_children() {
+        let spans = vec![
+            span("run/load", 0, 30),
+            span("run/hash", 30, 90),
+            span("run", 0, 100),
+        ];
+        let profile = build_profile(&spans);
+        let run = &profile.nodes["run"];
+        assert_eq!(run.total_ns, 100);
+        assert_eq!(run.child_ns, 90);
+        assert_eq!(run.self_ns, 10);
+        assert_eq!(profile.nodes["run/hash"].self_ns, 60);
+        assert_eq!(profile.wall_ns, 100);
+        assert_eq!(profile.total_spans, 3);
+    }
+
+    #[test]
+    fn overlapping_parallel_children_floor_self_time_at_zero() {
+        // Two children recorded on worker threads overlap in wall time, so
+        // their summed duration exceeds the parent's.
+        let spans = vec![
+            span("run/a", 0, 80),
+            span("run/b", 0, 80),
+            span("run", 0, 100),
+        ];
+        let profile = build_profile(&spans);
+        assert_eq!(profile.nodes["run"].child_ns, 160);
+        assert_eq!(profile.nodes["run"].self_ns, 0);
+    }
+
+    #[test]
+    fn hot_spans_order_is_total_and_deterministic() {
+        let spans = vec![
+            span("z", 0, 50),
+            span("a", 50, 100),
+            span("m", 100, 180),
+        ];
+        let profile = build_profile(&spans);
+        let order: Vec<&str> = profile.hot_spans().iter().map(|(p, _)| *p).collect();
+        assert_eq!(order, vec!["m", "a", "z"]);
+        // Equal self-times break ties on path.
+        let spans = vec![span("b", 0, 10), span("a", 10, 20)];
+        let profile = build_profile(&spans);
+        let order: Vec<&str> = profile.hot_spans().iter().map(|(p, _)| *p).collect();
+        assert_eq!(order, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn critical_path_follows_heaviest_children() {
+        let spans = vec![
+            span("run/fast", 0, 10),
+            span("run/slow/inner", 10, 60),
+            span("run/slow", 10, 80),
+            span("run", 0, 100),
+            span("other", 100, 120),
+        ];
+        let profile = build_profile(&spans);
+        let chain: Vec<&str> = profile.critical_path().iter().map(|(p, _)| *p).collect();
+        assert_eq!(chain, vec!["run", "run/slow", "run/slow/inner"]);
+    }
+
+    #[test]
+    fn collapsed_output_is_flamegraph_shaped_and_deterministic() {
+        let spans = vec![
+            span("run/hash", 0, 60),
+            span("run", 0, 100),
+            span("run/hash", 100, 160),
+        ];
+        let profile = build_profile(&spans);
+        let collapsed = profile.collapsed();
+        // `run` has 100ns total but 120ns of child time → zero self-time,
+        // so only the leaf survives.
+        assert_eq!(collapsed, "run;hash 120\n");
+        // Twice on the same input → byte-identical.
+        assert_eq!(collapsed, build_profile(&spans).collapsed());
+    }
+
+    #[test]
+    fn end_to_end_from_trace_text() {
+        let text = "\
+{\"name\":\"inner\",\"path\":\"outer/inner\",\"depth\":1,\"start_ns\":0,\"end_ns\":40,\"duration_ns\":40}\n\
+{\"name\":\"outer\",\"path\":\"outer\",\"depth\":0,\"start_ns\":0,\"end_ns\":100,\"duration_ns\":100}\n";
+        let spans = parse_trace(text).unwrap();
+        let profile = build_profile(&spans);
+        let report = profile.render(10);
+        assert!(report.contains("critical path"));
+        assert!(report.contains("outer"));
+        assert_eq!(report, build_profile(&spans).render(10));
+        let collapsed = profile.collapsed();
+        assert!(collapsed.contains("outer;inner 40"));
+        assert!(collapsed.contains("outer 60"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Parsing and validation of `*.trace.jsonl` span streams.
+//!
+//! The stream format is defined by `itrust_obs::JsonlTraceSink`: one JSON
+//! object per line with `name`, `path`, `depth`, `start_ns`, `end_ns`,
+//! `duration_ns`, where `end_ns` is stamped under the writer lock and is
+//! therefore monotonically non-decreasing in file order. [`parse_trace`]
+//! enforces all of that, so every consumer downstream (profiler, CI) can
+//! assume a well-formed trace.
+
+use crate::AnalyzeError;
+use serde::{Deserialize, Serialize};
+
+/// One completed span, as read back from a trace line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSpan {
+    pub name: String,
+    /// Slash-joined path of enclosing spans, ending with `name`.
+    pub path: String,
+    pub depth: u32,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    pub duration_ns: u64,
+}
+
+/// Parse a whole `.trace.jsonl` document and validate the sink's
+/// invariants: every line is JSON with the full field set, `start_ns <=
+/// end_ns`, `path` ends with `name`, and `end_ns` never goes backwards.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceSpan>, AnalyzeError> {
+    let mut spans = Vec::new();
+    let mut last_end = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let span: TraceSpan = serde_json::from_str(line)
+            .map_err(|e| AnalyzeError::at_line(lineno, format!("invalid trace line: {e}")))?;
+        if span.name.is_empty() {
+            return Err(AnalyzeError::at_line(lineno, "empty span name"));
+        }
+        if !span.path.ends_with(&span.name) {
+            return Err(AnalyzeError::at_line(
+                lineno,
+                format!("path {:?} does not end with name {:?}", span.path, span.name),
+            ));
+        }
+        if span.start_ns > span.end_ns {
+            return Err(AnalyzeError::at_line(
+                lineno,
+                format!("start_ns {} > end_ns {}", span.start_ns, span.end_ns),
+            ));
+        }
+        if span.end_ns < last_end {
+            return Err(AnalyzeError::at_line(
+                lineno,
+                format!("end_ns went backwards: {} after {}", span.end_ns, last_end),
+            ));
+        }
+        last_end = span.end_ns;
+        spans.push(span);
+    }
+    if spans.is_empty() {
+        return Err(AnalyzeError::new("empty trace: no spans to analyze"));
+    }
+    Ok(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(path: &str, start: u64, end: u64) -> String {
+        let name = path.rsplit('/').next().unwrap_or(path);
+        let depth = path.matches('/').count();
+        format!(
+            "{{\"name\":\"{name}\",\"path\":\"{path}\",\"depth\":{depth},\
+             \"start_ns\":{start},\"end_ns\":{end},\"duration_ns\":{}}}",
+            end - start
+        )
+    }
+
+    #[test]
+    fn well_formed_trace_parses() {
+        let text = [line("a/b", 5, 10), line("a", 0, 12), line("a", 13, 20)].join("\n");
+        let spans = parse_trace(&text).unwrap();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "b");
+        assert_eq!(spans[0].depth, 1);
+    }
+
+    #[test]
+    fn non_monotone_end_is_rejected() {
+        let text = [line("a", 0, 100), line("a", 0, 50)].join("\n");
+        let err = parse_trace(&text).unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.msg.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn garbage_line_is_rejected_with_its_line_number() {
+        let text = format!("{}\nnot json\n", line("a", 0, 1));
+        let err = parse_trace(&text).unwrap_err();
+        assert_eq!(err.line, Some(2));
+    }
+
+    #[test]
+    fn inverted_span_and_mismatched_path_are_rejected() {
+        let bad = "{\"name\":\"x\",\"path\":\"x\",\"depth\":0,\"start_ns\":9,\"end_ns\":3,\"duration_ns\":6}";
+        assert!(parse_trace(bad).unwrap_err().msg.contains("start_ns"));
+        let bad = "{\"name\":\"x\",\"path\":\"a/y\",\"depth\":1,\"start_ns\":0,\"end_ns\":3,\"duration_ns\":3}";
+        assert!(parse_trace(bad).unwrap_err().msg.contains("does not end with"));
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        assert!(parse_trace("").is_err());
+        assert!(parse_trace("\n\n").is_err());
+    }
+}

@@ -9,6 +9,7 @@
 //! un-instrumented library use (and the ~650 unit tests) at effectively
 //! zero telemetry overhead.
 
+use crate::flight::{FlightKind, FlightRecorder};
 use crate::registry::{CounterHandle, GaugeHandle, HistogramHandle, Registry};
 use crate::snapshot::Snapshot;
 use crate::span::{current_span_path, SpanGuard, SpanSink};
@@ -25,6 +26,7 @@ pub(crate) struct CtxInner {
     pub(crate) id: u64,
     pub(crate) registry: Registry,
     pub(crate) sink: Option<Arc<dyn SpanSink>>,
+    pub(crate) flight: Option<Arc<FlightRecorder>>,
 }
 
 /// Handle to one run's telemetry: metrics registry + span recorder +
@@ -48,23 +50,37 @@ impl fmt::Debug for ObsCtx {
 impl ObsCtx {
     /// An active context with a fresh, empty registry and no span sink.
     pub fn new() -> Self {
-        Self::build(None)
+        Self::with_parts(None, None)
     }
 
     /// An active context whose completed spans are also streamed to `sink`
     /// (e.g. a [`crate::JsonlTraceSink`]).
     pub fn with_sink(sink: Arc<dyn SpanSink>) -> Self {
-        Self::build(Some(sink))
+        Self::with_parts(Some(sink), None)
     }
 
-    fn build(sink: Option<Arc<dyn SpanSink>>) -> Self {
+    /// An active context assembled from optional parts: a span sink and a
+    /// [`FlightRecorder`] ring buffer. With a recorder attached, every
+    /// context-level record (counter add, gauge set, histogram observation,
+    /// completed span) also lands in the ring, so a crashing run can dump
+    /// its last moments as a post-mortem.
+    pub fn with_parts(
+        sink: Option<Arc<dyn SpanSink>>,
+        flight: Option<Arc<FlightRecorder>>,
+    ) -> Self {
         ObsCtx {
             inner: Some(Arc::new(CtxInner {
                 id: NEXT_CTX_ID.fetch_add(1, Ordering::Relaxed),
                 registry: Registry::default(),
                 sink,
+                flight,
             })),
         }
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.inner.as_ref().and_then(|i| i.flight.as_ref())
     }
 
     /// The null context: records nothing, allocates nothing. This is the
@@ -105,6 +121,9 @@ impl ObsCtx {
     pub fn counter_add(&self, name: &'static str, delta: u64) {
         if let Some(inner) = &self.inner {
             inner.registry.counter(name).add(delta);
+            if let Some(flight) = &inner.flight {
+                flight.record(FlightKind::Counter, name, delta.min(i64::MAX as u64) as i64);
+            }
         }
     }
 
@@ -112,6 +131,9 @@ impl ObsCtx {
     pub fn gauge_set(&self, name: &'static str, value: i64) {
         if let Some(inner) = &self.inner {
             inner.registry.gauge(name).set(value);
+            if let Some(flight) = &inner.flight {
+                flight.record(FlightKind::Gauge, name, value);
+            }
         }
     }
 
@@ -119,6 +141,9 @@ impl ObsCtx {
     pub fn hist_record(&self, name: &'static str, value: u64) {
         if let Some(inner) = &self.inner {
             inner.registry.histogram(name).record(value);
+            if let Some(flight) = &inner.flight {
+                flight.record(FlightKind::Hist, name, value.min(i64::MAX as u64) as i64);
+            }
         }
     }
 
@@ -209,6 +234,26 @@ mod tests {
         assert_eq!(a.snapshot().counters["test.ctx.shared"], 5);
         assert_eq!(b.snapshot().counters["test.ctx.shared"], 11);
         assert!(!a.snapshot().counters.contains_key("test.ctx.only_b"));
+    }
+
+    #[test]
+    fn flight_recorder_sees_ctx_level_records_and_spans() {
+        let flight = Arc::new(crate::FlightRecorder::new(16));
+        let ctx = ObsCtx::with_parts(None, Some(flight.clone()));
+        ctx.counter_add("test.ctx.flight.events", 2);
+        ctx.gauge_set("test.ctx.flight.level", -3);
+        ctx.hist_record("test.ctx.flight.bytes", 512);
+        ctx.time("test.ctx.flight.work", || ());
+        let dump = ctx.flight().unwrap().dump(None);
+        assert_eq!(dump.recorded, 4);
+        let kinds: Vec<crate::FlightKind> = dump.events.iter().map(|e| e.kind).collect();
+        use crate::FlightKind::*;
+        assert_eq!(kinds, vec![Counter, Gauge, Hist, Span]);
+        assert_eq!(dump.events[0].value, 2);
+        assert_eq!(dump.events[1].value, -3);
+        // The same work also landed in the registry.
+        assert_eq!(ctx.snapshot().counters["test.ctx.flight.events"], 2);
+        assert!(ObsCtx::new().flight().is_none());
     }
 
     #[test]

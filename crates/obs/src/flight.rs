@@ -1,0 +1,204 @@
+//! Flight recorder: a fixed-capacity ring buffer of the most recent
+//! telemetry events on a context, kept so a crashing run leaves a
+//! post-mortem.
+//!
+//! Attach one to an [`crate::ObsCtx`] via [`crate::ObsCtx::with_parts`] and
+//! every context-level record (counter add, gauge set, histogram record,
+//! completed span) is also appended here, overwriting the oldest entry once
+//! the buffer is full — exactly an aircraft black box. The bench `Emitter`
+//! installs a panic hook that dumps the ring to
+//! `results/<name>.blackbox.json` when a run dies, so failed D-experiments
+//! are debuggable from their last moments instead of from nothing.
+//!
+//! Recording takes one short mutex; the recorder is only ever attached to
+//! bench-run contexts, never to the null context library code defaults to,
+//! so the steady-state cost of this module is zero.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// What kind of telemetry event a [`FlightEvent`] captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlightKind {
+    /// A completed span; `value` is its duration in nanoseconds.
+    Span,
+    /// A counter update; `value` is the delta added.
+    Counter,
+    /// A gauge update; `value` is the level set.
+    Gauge,
+    /// A histogram observation; `value` is the recorded sample.
+    Hist,
+}
+
+/// One recorded telemetry event. `seq` numbers every event since the
+/// recorder was created, so gaps at the front of a dump reveal how much
+/// history the ring has already overwritten.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightEvent {
+    pub seq: u64,
+    pub kind: FlightKind,
+    pub name: String,
+    pub value: i64,
+}
+
+struct FlightInner {
+    /// Ring storage; grows up to `capacity`, then wraps.
+    slots: Vec<FlightEvent>,
+    /// Total events ever recorded; `seq` of the next event.
+    next_seq: u64,
+}
+
+/// Fixed-capacity ring buffer of recent [`FlightEvent`]s.
+pub struct FlightRecorder {
+    capacity: usize,
+    inner: Mutex<FlightInner>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            inner: Mutex::new(FlightInner { slots: Vec::new(), next_seq: 0 }),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FlightInner> {
+        // itrust-lint: allow(panic-in-lib) — a poisoned recorder means a holder already panicked; re-panicking just propagates it
+        self.inner.lock().expect("flight recorder poisoned")
+    }
+
+    /// Append one event, overwriting the oldest once the ring is full.
+    pub fn record(&self, kind: FlightKind, name: &str, value: i64) {
+        let mut inner = self.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let event = FlightEvent { seq, kind, name: name.to_string(), value };
+        if inner.slots.len() < self.capacity {
+            inner.slots.push(event);
+        } else {
+            let idx = (seq as usize) % self.capacity;
+            inner.slots[idx] = event;
+        }
+    }
+
+    /// Total events recorded since creation (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.lock().next_seq
+    }
+
+    /// Snapshot the ring in chronological order. `panic` annotates the dump
+    /// with the panic message when taken from a panic hook.
+    pub fn dump(&self, panic: Option<String>) -> FlightDump {
+        let inner = self.lock();
+        let mut events = inner.slots.clone();
+        events.sort_by_key(|e| e.seq);
+        let dropped = inner.next_seq.saturating_sub(events.len() as u64);
+        FlightDump {
+            capacity: self.capacity as u64,
+            recorded: inner.next_seq,
+            dropped,
+            panic,
+            events,
+        }
+    }
+}
+
+/// A chronological snapshot of a [`FlightRecorder`], serializable as the
+/// `*.blackbox.json` post-mortem artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightDump {
+    /// Ring capacity the recorder ran with.
+    pub capacity: u64,
+    /// Total events recorded over the recorder's lifetime.
+    pub recorded: u64,
+    /// Events lost to ring wraparound (`recorded - len(events)`).
+    pub dropped: u64,
+    /// Panic message, when the dump was taken by a panic hook.
+    pub panic: Option<String>,
+    /// Surviving events, oldest first, with their original `seq`.
+    pub events: Vec<FlightEvent>,
+}
+
+impl FlightDump {
+    /// Pretty deterministic JSON (stable field order, sorted events).
+    pub fn to_json_pretty(&self) -> String {
+        // itrust-lint: allow(panic-in-lib) — plain string/number dumps serialize infallibly
+        serde_json::to_string_pretty(self).expect("flight dump serialization cannot fail")
+    }
+
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_only_the_most_recent_events() {
+        let fr = FlightRecorder::new(4);
+        for i in 0..10 {
+            fr.record(FlightKind::Counter, "test.flight.ticks", i);
+        }
+        let dump = fr.dump(None);
+        assert_eq!(dump.capacity, 4);
+        assert_eq!(dump.recorded, 10);
+        assert_eq!(dump.dropped, 6);
+        let seqs: Vec<u64> = dump.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(dump.events[3].value, 9);
+    }
+
+    #[test]
+    fn dump_round_trips_through_json() {
+        let fr = FlightRecorder::new(8);
+        fr.record(FlightKind::Span, "test.flight.span", 1_234);
+        fr.record(FlightKind::Gauge, "test.flight.level", -5);
+        fr.record(FlightKind::Hist, "test.flight.bytes", 4_096);
+        let dump = fr.dump(Some("boom".to_string()));
+        let back = FlightDump::from_json(&dump.to_json_pretty()).unwrap();
+        assert_eq!(back, dump);
+        assert_eq!(back.panic.as_deref(), Some("boom"));
+        assert_eq!(back.events.len(), 3);
+        assert_eq!(back.events[0].kind, FlightKind::Span);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let fr = FlightRecorder::new(0);
+        fr.record(FlightKind::Counter, "test.flight.one", 1);
+        fr.record(FlightKind::Counter, "test.flight.two", 2);
+        let dump = fr.dump(None);
+        assert_eq!(dump.events.len(), 1);
+        assert_eq!(dump.events[0].name, "test.flight.two");
+    }
+
+    #[test]
+    fn concurrent_records_never_lose_the_count() {
+        let fr = std::sync::Arc::new(FlightRecorder::new(64));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let fr = fr.clone();
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        fr.record(FlightKind::Counter, "test.flight.race", i);
+                    }
+                });
+            }
+        });
+        let dump = fr.dump(None);
+        assert_eq!(dump.recorded, 400);
+        assert_eq!(dump.events.len(), 64);
+        // Sequence numbers are unique and sorted.
+        for pair in dump.events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
+        }
+    }
+}

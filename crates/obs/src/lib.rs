@@ -24,7 +24,14 @@
 //! - **Snapshot** ([`ObsCtx::snapshot`], [`Snapshot`]): serializes the
 //!   context's registry to deterministic JSON (sorted names, stable field
 //!   order) and renders a human-readable table. Benches write these next to
-//!   their `.txt` reports as `results/<name>.telemetry.json`.
+//!   their `.txt` reports as `results/<name>.telemetry.json`, with a `meta`
+//!   block (thread count, seed, workspace version) filled in by the writer
+//!   so cross-run diffs are attributable.
+//! - **Flight recorder** ([`FlightRecorder`], attached via
+//!   [`ObsCtx::with_parts`]): a fixed-capacity ring buffer of the most
+//!   recent context-level events. The bench bins dump it from a panic hook
+//!   as `results/<name>.blackbox.json`, so a crashed experiment leaves a
+//!   post-mortem of its last moments.
 //!
 //! The **null context** ([`ObsCtx::null`], also `Default`) records nothing
 //! and allocates nothing: every operation through it is one `Option` check,
@@ -39,12 +46,14 @@
 //! (`trustdb.store.puts`); gauges describe a level (`escs.sim.queue_depth`).
 
 mod ctx;
+mod flight;
 mod registry;
 mod snapshot;
 mod span;
 mod trace;
 
 pub use ctx::ObsCtx;
+pub use flight::{FlightDump, FlightEvent, FlightKind, FlightRecorder};
 pub use registry::{
     Counter, CounterHandle, Gauge, GaugeHandle, Histogram, HistogramHandle, BUCKET_COUNT,
 };

@@ -199,6 +199,10 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     pub(crate) fn bucket_counts(&self) -> Vec<u64> {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
     }
@@ -318,6 +322,10 @@ impl HistogramHandle {
 
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
+    }
+
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
     }
 }
 

@@ -26,14 +26,22 @@ pub struct HistogramSnapshot {
     pub p50: u64,
     pub p90: u64,
     pub p99: u64,
+    pub p999: u64,
     /// Only buckets with at least one observation, in ascending order.
     pub buckets: Vec<SnapshotBucket>,
 }
 
 /// Point-in-time state of one context's whole registry. `BTreeMap` keys
 /// make the JSON rendering deterministic.
+///
+/// `meta` carries run-attribution facts the registry itself cannot know —
+/// thread count, seed, workspace version — so cross-run diffs
+/// (`obstool benchdiff`) can explain *why* two snapshots differ. The
+/// context leaves it empty; artifact writers (the bench `Emitter`) fill it.
+/// Values must stay deterministic: no wallclock stamps, no hostnames.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Snapshot {
+    pub meta: BTreeMap<String, String>,
     pub counters: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, i64>,
     pub histograms: BTreeMap<String, HistogramSnapshot>,
@@ -83,17 +91,20 @@ impl Snapshot {
         if !self.histograms.is_empty() {
             let width = self.histograms.keys().map(|k| k.len()).max().unwrap_or(0).max(4);
             out.push_str(&format!(
-                "histograms\n  {:<width$}  {:>10}  {:>9}  {:>9}  {:>9}  {:>9}\n",
-                "name", "count", "mean", "p50", "p90", "p99"
+                "histograms\n  {:<width$}  {:>10}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+                "name", "count", "mean", "min", "p50", "p90", "p99", "p999", "max"
             ));
             for (name, h) in &self.histograms {
                 out.push_str(&format!(
-                    "  {name:<width$}  {:>10}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+                    "  {name:<width$}  {:>10}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
                     h.count,
                     fmt_ns(h.mean as u64),
+                    fmt_ns(h.min),
                     fmt_ns(h.p50),
                     fmt_ns(h.p90),
                     fmt_ns(h.p99),
+                    fmt_ns(h.p999),
+                    fmt_ns(h.max),
                 ));
             }
         }
@@ -143,6 +154,7 @@ pub(crate) fn snapshot_registry(registry: &Registry) -> Snapshot {
                     p50: h.p50(),
                     p90: h.p90(),
                     p99: h.p99(),
+                    p999: h.p999(),
                     buckets,
                 },
             );
@@ -166,19 +178,27 @@ mod tests {
             h.record(v);
         }
 
-        let a = ctx.snapshot();
-        let b = ctx.snapshot();
+        let mut a = ctx.snapshot();
+        a.meta.insert("threads".to_string(), "4".to_string());
+        let mut b = ctx.snapshot();
+        b.meta.insert("threads".to_string(), "4".to_string());
         assert_eq!(a.to_json(), b.to_json(), "snapshot must be deterministic");
 
         let back = Snapshot::from_json(&a.to_json()).unwrap();
         assert_eq!(back, a);
+        assert_eq!(back.meta["threads"], "4");
         assert_eq!(back.counters["test.snapshot.events"], 3);
         assert_eq!(back.gauges["test.snapshot.level"], -7);
-        assert_eq!(back.histograms["test.snapshot.latency"].count, 4);
+        let hist = &back.histograms["test.snapshot.latency"];
+        assert_eq!(hist.count, 4);
+        assert_eq!(hist.min, 10);
+        assert_eq!(hist.max, 10_000);
+        assert!(hist.p99 <= hist.p999 && hist.p999 <= hist.max);
 
         let table = a.render_table();
         assert!(table.contains("test.snapshot.events"));
         assert!(table.contains("histograms"));
+        assert!(table.contains("p999"));
     }
 
     #[test]

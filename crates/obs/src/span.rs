@@ -116,6 +116,10 @@ impl Drop for SpanGuard {
         let Some(span) = self.active.take() else { return };
         let elapsed = span.start.elapsed();
         span.histogram.record_duration(elapsed);
+        if let Some(flight) = &span.ctx.flight {
+            let ns = elapsed.as_nanos().min(i64::MAX as u128) as i64;
+            flight.record(crate::flight::FlightKind::Span, span.name, ns);
+        }
         let (depth, parent_path) = with_stack(span.ctx.id, |stack| {
             // Pop our own entry. Guards are scope-bound so LIFO order holds;
             // defend anyway against a mem::forget-ed sibling.

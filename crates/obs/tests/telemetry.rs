@@ -69,10 +69,10 @@ fn arb_histogram_snapshot() -> impl Strategy<Value = HistogramSnapshot> {
         1u64..100_000,
         any::<u64>(),
         (0u64..1 << 40, 0u64..1 << 40),
-        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
         proptest::collection::vec((0u64..1 << 40, 0u64..1 << 40, 1u64..1 << 30), 0..8),
     )
-        .prop_map(|(count, sum, (min, max), (p50, p90, p99), buckets)| HistogramSnapshot {
+        .prop_map(|(count, sum, (min, max), (p50, p90, p99, p999), buckets)| HistogramSnapshot {
             count,
             sum,
             min,
@@ -82,6 +82,7 @@ fn arb_histogram_snapshot() -> impl Strategy<Value = HistogramSnapshot> {
             p50,
             p90,
             p99,
+            p999,
             buckets: buckets
                 .into_iter()
                 .map(|(lo, hi, count)| SnapshotBucket { lo, hi, count })
@@ -91,12 +92,14 @@ fn arb_histogram_snapshot() -> impl Strategy<Value = HistogramSnapshot> {
 
 fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
     (
+        proptest::collection::vec(("[a-z.]{1,12}", "[a-z0-9]{0,8}"), 0..4),
         proptest::collection::vec(("[a-z.]{1,12}", any::<u64>()), 0..6),
         proptest::collection::vec(("[a-z.]{1,12}", any::<i64>()), 0..6),
         proptest::collection::vec(("[a-z.]{1,12}", arb_histogram_snapshot()), 0..4),
     )
-        .prop_map(|(counters, gauges, hists)| {
+        .prop_map(|(meta, counters, gauges, hists)| {
             let mut snap = Snapshot::default();
+            snap.meta.extend(meta);
             snap.counters.extend(counters);
             snap.gauges.extend(gauges);
             snap.histograms.extend(hists);

@@ -1,0 +1,87 @@
+//! Property test for `JsonlTraceSink`: under concurrent spans from several
+//! threads, every emitted line parses as JSON and `end_ns` is monotonically
+//! non-decreasing in file order. This is the invariant `obstool profile`
+//! (and every other trace consumer) builds on; it used to be spot-checked
+//! by an ad-hoc python validator in ci.sh.
+
+use itrust_obs::{JsonlTraceSink, ObsCtx};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Static span names, indexed by nesting level (names must be `'static`).
+const NAMES: [&str; 4] =
+    ["test.prop.outer", "test.prop.mid", "test.prop.inner", "test.prop.leaf"];
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// Run one generated workload: 4 threads, each opening the given sequence
+/// of nested span groups against one shared traced context. Returns the
+/// trace file contents and the total number of spans opened.
+fn run_workload(per_thread: &[Vec<u8>; 4]) -> (String, usize) {
+    let dir = std::env::temp_dir().join("itrust-obs-trace-prop");
+    std::fs::create_dir_all(&dir).unwrap();
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!("{}-{case}.trace.jsonl", std::process::id()));
+
+    let sink = Arc::new(JsonlTraceSink::create(&path).unwrap());
+    let ctx = ObsCtx::with_sink(sink.clone());
+    std::thread::scope(|scope| {
+        for ops in per_thread.iter() {
+            let ctx = ctx.clone();
+            scope.spawn(move || {
+                for &depth in ops {
+                    let depth = depth as usize % NAMES.len() + 1;
+                    let mut guards = Vec::with_capacity(depth);
+                    for name in NAMES.iter().take(depth) {
+                        guards.push(ctx.span(name));
+                    }
+                    drop(guards);
+                }
+            });
+        }
+    });
+    sink.flush().unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let total: usize =
+        per_thread.iter().flatten().map(|&d| d as usize % NAMES.len() + 1).sum();
+    (text, total)
+}
+
+proptest! {
+    /// Every line is valid JSON with the full field set, `start_ns <=
+    /// end_ns`, and file order never takes `end_ns` backwards — even with 4
+    /// threads finishing spans concurrently. No span is lost or duplicated.
+    #[test]
+    fn concurrent_trace_lines_parse_with_monotone_end_ns(
+        a in proptest::collection::vec(0u8..8, 1..24),
+        b in proptest::collection::vec(0u8..8, 1..24),
+        c in proptest::collection::vec(0u8..8, 1..24),
+        d in proptest::collection::vec(0u8..8, 1..24),
+    ) {
+        let (text, expected) = run_workload(&[a, b, c, d]);
+        let mut last_end = 0u64;
+        let mut lines = 0usize;
+        for line in text.lines() {
+            let v = serde_json::parse_value(line.as_bytes())
+                .unwrap_or_else(|e| panic!("line {} is not valid JSON: {e}", lines + 1));
+            let name = v.get("name").and_then(|x| x.as_str()).unwrap_or_default();
+            prop_assert!(NAMES.contains(&name), "unexpected span name {name:?}");
+            let path = v.get("path").and_then(|x| x.as_str()).unwrap_or_default();
+            prop_assert!(path.ends_with(name), "path {path:?} does not end with {name:?}");
+            let depth = v.get("depth").and_then(|x| x.as_u64()).unwrap();
+            prop_assert!(depth < NAMES.len() as u64);
+            let start = v.get("start_ns").and_then(|x| x.as_u64()).unwrap();
+            let end = v.get("end_ns").and_then(|x| x.as_u64()).unwrap();
+            let dur = v.get("duration_ns").and_then(|x| x.as_u64()).unwrap();
+            prop_assert!(start <= end, "start_ns {start} > end_ns {end}");
+            prop_assert_eq!(end - start, dur.min(end), "duration inconsistent");
+            prop_assert!(end >= last_end, "end_ns regressed: {} < {}", end, last_end);
+            last_end = end;
+            lines += 1;
+        }
+        prop_assert_eq!(lines, expected, "span count mismatch");
+    }
+}

@@ -52,24 +52,43 @@ D9_OBJECTS=60 D9_RATES=0.1,0.5 D9_SEED=42 ITRUST_RESULTS_DIR="$SCRATCH/d9" \
 test -s "$SCRATCH/d9/d9.json"
 test -s "$SCRATCH/d9/d9.telemetry.json"
 
-# Trace smoke: the same run must have streamed a JSONL span trace where
-# every line parses as JSON and span end times never go backwards.
-python3 - "$SCRATCH/d9/d9.trace.jsonl" <<'EOF'
-import json, sys
+OBSTOOL=(cargo run --release -q -p itrust-obs-analyze --bin obstool --)
 
-path = sys.argv[1]
-last_end = -1
-lines = 0
-with open(path) as f:
-    for i, line in enumerate(f, 1):
-        event = json.loads(line)
-        for key in ("name", "path", "depth", "start_ns", "end_ns"):
-            assert key in event, f"{path}:{i}: missing {key!r}"
-        end = event["end_ns"]
-        assert end >= event["start_ns"], f"{path}:{i}: end_ns < start_ns"
-        assert end >= last_end, f"{path}:{i}: end_ns went backwards"
-        last_end = end
-        lines += 1
-assert lines > 0, f"{path}: empty trace"
-print(f"trace ok: {lines} spans, monotone end_ns")
-EOF
+# Trace smoke: the same run must have streamed a JSONL span trace that the
+# profiler accepts — parse + schema + monotone end_ns are all enforced by
+# `obstool profile` (replaces the old inline python validator).
+"${OBSTOOL[@]}" profile "$SCRATCH/d9/d9.trace.jsonl" >/dev/null
+
+# Profiler determinism: two runs over the committed d1 trace must be
+# byte-identical, full report and collapsed stacks alike.
+"${OBSTOOL[@]}" profile results/d1.trace.jsonl --collapsed > "$SCRATCH/prof1"
+"${OBSTOOL[@]}" profile results/d1.trace.jsonl --collapsed > "$SCRATCH/prof2"
+diff "$SCRATCH/prof1" "$SCRATCH/prof2"
+"${OBSTOOL[@]}" profile results/d1.trace.jsonl > "$SCRATCH/prof3"
+"${OBSTOOL[@]}" profile results/d1.trace.jsonl > "$SCRATCH/prof4"
+diff "$SCRATCH/prof3" "$SCRATCH/prof4"
+
+# Perf-regression gate: re-run the gated experiments into scratch and
+# benchdiff against the committed baselines. Structural metrics (counters,
+# gauges, hist counts) must match exactly — they are deterministic.
+# Latency percentiles get a wide tolerance (3.5x slower fails) so the gate
+# catches order-of-magnitude regressions without flaking on shared
+# machines.
+for exp in d1 fig1; do
+    ITRUST_RESULTS_DIR="$SCRATCH/bench" \
+        cargo run --release -q -p itrust-bench --bin "$exp" > /dev/null
+    "${OBSTOOL[@]}" benchdiff --check --threshold 2.5 \
+        "results/baselines/$exp.telemetry.json" \
+        "$SCRATCH/bench/$exp.telemetry.json"
+done
+
+# Flight-recorder smoke: a forced panic in d9 must leave a parseable
+# blackbox dump behind, and obstool must render it.
+if D9_OBJECTS=60 D9_RATES=0.1 D9_SEED=42 D9_FORCE_PANIC=1 \
+    ITRUST_RESULTS_DIR="$SCRATCH/d9" \
+    cargo run --release -q -p itrust-bench --bin d9 >/dev/null 2>&1; then
+    echo "d9 was expected to panic under D9_FORCE_PANIC=1" >&2
+    exit 1
+fi
+test -s "$SCRATCH/d9/d9.blackbox.json"
+"${OBSTOOL[@]}" blackbox "$SCRATCH/d9/d9.blackbox.json" | grep -q "D9_FORCE_PANIC"
