@@ -123,7 +123,7 @@ proptest! {
         // Mutate one event via serde round trip (fields are private to the
         // chain's Vec but public on the event).
         let json = serde_json::to_string(&chain).unwrap();
-        let mut back: ProvenanceChain = serde_json::from_str(&json).unwrap();
+        let back: ProvenanceChain = serde_json::from_str(&json).unwrap();
         back.verify().unwrap();
         let idx = mutate_at % agents.len();
         // Forge the detail through JSON manipulation.

@@ -1,4 +1,6 @@
-//! Printable harness for D9 (fault-storm survival with self-healing repair).
+//! Printable harness for D9 (partition tolerance: availability + post-heal
+//! convergence, plain vs delay-tolerant ingest).
+use itrust_bench::harness::d9::IngestMode;
 use itrust_bench::report::Emitter;
 
 fn main() {
@@ -13,9 +15,21 @@ fn main() {
     if std::env::var("D9_FORCE_PANIC").is_ok_and(|v| v == "1") {
         panic!("D9_FORCE_PANIC requested — dumping flight recorder");
     }
-    em.metric("d9.corrupted_copies_total", rows.iter().map(|r| r.corrupted_copies).sum::<usize>() as f64)
+    let min_avail = |mode: IngestMode| {
+        rows.iter().filter(|r| r.mode == mode).map(|r| r.availability).fold(1.0, f64::min)
+    };
+    em.meta("seed", std::env::var("D9_SEED").unwrap_or_else(|_| "42".into()));
+    em.metric("d9.availability_min_dtn", min_avail(IngestMode::Dtn))
+        .metric("d9.availability_min_plain", min_avail(IngestMode::Plain))
+        .metric(
+            "d9.gossip_rounds_max",
+            rows.iter().map(|r| r.gossip_rounds).max().unwrap_or(0) as f64,
+        )
+        .metric("d9.transferred_total", rows.iter().map(|r| r.transferred).sum::<usize>() as f64)
+        .metric("d9.applied_total", rows.iter().map(|r| r.applied).sum::<usize>() as f64)
+        .metric("d9.rotted_copies_total", rows.iter().map(|r| r.rotted_copies).sum::<usize>() as f64)
         .metric("d9.repaired_total", rows.iter().map(|r| r.repaired).sum::<usize>() as f64)
-        .metric("d9.lost_total", rows.iter().map(|r| r.unrecoverable).sum::<usize>() as f64)
+        .metric("d9.lost_total", rows.iter().map(|r| r.lost).sum::<usize>() as f64)
         .metric(
             "d9.survival_min_3_replicas",
             rows.iter()

@@ -125,8 +125,7 @@ mod tests {
         let mut reg = ParadataRegistry::new();
         reg.register(rule_tool()).unwrap();
         let missing = reg.undescribed(
-            ["rule:comfort-band-v1", "model:load-forecast-v3", "model:load-forecast-v3"]
-                .into_iter(),
+            ["rule:comfort-band-v1", "model:load-forecast-v3", "model:load-forecast-v3"],
         );
         assert_eq!(missing, vec!["model:load-forecast-v3"]);
         assert!(reg.undescribed(["rule:comfort-band-v1"].into_iter()).is_empty());

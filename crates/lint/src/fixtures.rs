@@ -234,6 +234,25 @@ pub const SCOPE_PROBES: &[(&str, &str, &str)] = &[
         "pub fn e() -> String { std::env::var(\"OBSTOOL_MODE\").unwrap_or_default() }\n",
         "env-read-outside-config",
     ),
+    // The partition-tolerance layer is core library code: its epoch counters
+    // and gossip schedules must run on injected clocks, stay panic-free, and
+    // iterate holdings in digest order — pin all three invariants to its
+    // path so a future exemption of crates/trustdb can't silently widen.
+    (
+        "crates/trustdb/src/antientropy.rs",
+        "pub fn epoch_now() -> std::time::Instant { std::time::Instant::now() }\n",
+        "wallclock-in-core",
+    ),
+    (
+        "crates/trustdb/src/antientropy.rs",
+        "pub fn first_intent(v: &[u8]) -> u8 { v.first().copied().unwrap() }\n",
+        "panic-in-lib",
+    ),
+    (
+        "crates/trustdb/src/antientropy.rs",
+        "use std::collections::HashMap;\npub fn roots(m: &HashMap<String, u64>) -> Vec<String> { m.keys().cloned().collect() }\n",
+        "unordered-iter",
+    ),
 ];
 
 /// Run every fixture through the analyzer and return human-readable

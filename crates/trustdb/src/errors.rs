@@ -40,6 +40,12 @@ pub enum Error {
     QuorumFailed { required: usize, achieved: usize },
     /// A replica is (possibly permanently) refusing operations.
     ReplicaUnavailable { replica: usize, detail: String },
+    /// A replica is severed from the network by an active partition. Unlike
+    /// [`Error::ReplicaUnavailable`] (a health judgement made by the caller's
+    /// circuit breaker), this is a statement about connectivity: the replica
+    /// itself may be perfectly healthy and accepting local writes, which is
+    /// exactly what delay-tolerant ingest exploits.
+    Partitioned { replica: usize },
 }
 
 impl fmt::Display for Error {
@@ -67,6 +73,9 @@ impl fmt::Display for Error {
             }
             Error::ReplicaUnavailable { replica, detail } => {
                 write!(f, "replica {replica} unavailable: {detail}")
+            }
+            Error::Partitioned { replica } => {
+                write!(f, "replica {replica} is severed by a network partition")
             }
         }
     }
@@ -158,6 +167,18 @@ mod tests {
         assert!(e.to_string().contains("quorum"));
         let e = Error::ReplicaUnavailable { replica: 1, detail: "circuit open".into() };
         assert!(e.to_string().contains("replica 1"));
+        let e = Error::Partitioned { replica: 2 };
+        assert!(e.to_string().contains("replica 2") && e.to_string().contains("partition"));
+    }
+
+    #[test]
+    fn partitioned_is_neither_transient_nor_integrity() {
+        // A partition is not momentary at the operation timescale (retrying
+        // within the same virtual instant cannot heal the network), and it
+        // says nothing about the bytes on disk.
+        let e = Error::Partitioned { replica: 0 };
+        assert!(!e.is_transient());
+        assert!(!e.is_integrity_incident());
     }
 
     #[test]
@@ -171,7 +192,7 @@ mod tests {
 
     #[test]
     fn io_error_source_preserved() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let io = std::io::Error::other("disk on fire");
         let e: Error = io.into();
         assert!(std::error::Error::source(&e).is_some());
         assert!(e.to_string().contains("disk on fire"));

@@ -29,9 +29,28 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+/// A scheduled network-connectivity event on a replica's link, keyed by
+/// virtual clock milliseconds in [`FaultPlan::net_events`]. Unlike the
+/// probabilistic fault classes these are *deterministic by construction*:
+/// the schedule itself is data, so a partition storm replays identically
+/// regardless of thread count or op interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEvent {
+    /// Sever the replica's link: quorum-path ops fail with
+    /// [`Error::Partitioned`] until a [`NetEvent::Rejoin`].
+    Partition,
+    /// Restore the replica's link.
+    Rejoin,
+    /// A momentary flap: the link drops for exactly one operation and comes
+    /// straight back, bumping the epoch twice. This is the adversarial case
+    /// for half-open circuit breakers — the probe op lands exactly in the
+    /// gap.
+    Flap,
+}
+
 /// Per-operation fault probabilities, all default 0 (a [`FaultyBackend`]
 /// with the default plan behaves identically to its inner backend).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FaultPlan {
     /// PRNG seed; every probabilistic decision derives from it.
     pub seed: u64,
@@ -43,13 +62,25 @@ pub struct FaultPlan {
     pub write_rot: f64,
     /// Probability that a get returns a flipped copy (at-rest data intact).
     pub read_flip: f64,
+    /// Scheduled connectivity events as `(at_ms, event)` pairs against the
+    /// injected clock, consumed in timestamp order by
+    /// [`crate::antientropy::PartitionedBackend`]. Kept sorted by the
+    /// builders.
+    pub net_events: Vec<(u64, NetEvent)>,
 }
 
 impl FaultPlan {
     /// A plan with the given seed and no faults; chain the builder methods
     /// to arm individual fault classes.
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, transient_io: 0.0, death: 0.0, write_rot: 0.0, read_flip: 0.0 }
+        FaultPlan {
+            seed,
+            transient_io: 0.0,
+            death: 0.0,
+            write_rot: 0.0,
+            read_flip: 0.0,
+            net_events: Vec::new(),
+        }
     }
 
     /// Set the transient I/O error probability.
@@ -74,6 +105,25 @@ impl FaultPlan {
     pub fn read_flip(mut self, p: f64) -> Self {
         self.read_flip = p;
         self
+    }
+
+    /// Schedule one connectivity event at virtual time `at_ms`. Events are
+    /// kept sorted by timestamp; ties preserve insertion order.
+    pub fn net_event(mut self, at_ms: u64, event: NetEvent) -> Self {
+        let pos = self.net_events.partition_point(|(t, _)| *t <= at_ms);
+        self.net_events.insert(pos, (at_ms, event));
+        self
+    }
+
+    /// Schedule a partition window: sever the link at `from_ms` and restore
+    /// it at `to_ms`.
+    pub fn partition_between(self, from_ms: u64, to_ms: u64) -> Self {
+        self.net_event(from_ms, NetEvent::Partition).net_event(to_ms, NetEvent::Rejoin)
+    }
+
+    /// Schedule a one-op link flap at `at_ms`.
+    pub fn flap_at(self, at_ms: u64) -> Self {
+        self.net_event(at_ms, NetEvent::Flap)
     }
 }
 
@@ -415,6 +465,20 @@ mod tests {
         assert_eq!(store.object_count(), 0);
         store.backend().revive();
         assert!(store.verify(&ids[0]).unwrap(), "data survives a revive");
+    }
+
+    #[test]
+    fn net_event_schedule_stays_sorted() {
+        let plan = FaultPlan::new(1)
+            .flap_at(50)
+            .partition_between(10, 90)
+            .partition_between(10, 20);
+        let times: Vec<u64> = plan.net_events.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![10, 10, 20, 50, 90]);
+        // Ties preserve insertion order: the first window's Partition at 10
+        // was inserted before the second window's.
+        assert_eq!(plan.net_events[0], (10, NetEvent::Partition));
+        assert_eq!(plan.net_events[3], (50, NetEvent::Flap));
     }
 
     #[test]

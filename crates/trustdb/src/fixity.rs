@@ -234,6 +234,23 @@ impl<'a, B: SelfHealing> FixityAuditor<'a, B> {
     }
 }
 
+impl<'a> FixityAuditor<'a, crate::replica::ReplicatedBackend> {
+    /// Decentralized companion to [`FixityAuditor::sweep_and_repair`]: run
+    /// merkle-diff gossip sweeps (see [`crate::antientropy::AntiEntropy`])
+    /// until every replica summarizes to the same root or `max_rounds` is
+    /// exhausted. Membership divergence (objects missing from some replicas
+    /// after partitions or partial writes) is repaired pairwise in O(log n)
+    /// comparisons; byte-level corruption remains `sweep_and_repair`'s job.
+    pub fn anti_entropy(
+        &self,
+        timestamp_ms: u64,
+        max_rounds: usize,
+    ) -> Result<crate::antientropy::GossipReport> {
+        crate::antientropy::AntiEntropy::new(self.store, self.audit, self.actor.clone())
+            .run(timestamp_ms, max_rounds)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +440,26 @@ mod tests {
             for id in &ids {
                 assert!(replicas[2].inner().contains(id));
             }
+        }
+
+        #[test]
+        fn anti_entropy_reconverges_membership_through_the_auditor() {
+            let (store, replicas, ids) = replicated_store(3, 30);
+            // Replica 0 lost two objects entirely — membership divergence,
+            // the case sweep_and_repair also covers but in O(n) per sweep.
+            for id in &ids[..2] {
+                replicas[0].inner().delete_raw(id).unwrap();
+            }
+            let audit = AuditLog::new();
+            let auditor = FixityAuditor::new(&store, &audit, "gossip-bot");
+            let report = auditor.anti_entropy(6_000, 8).unwrap();
+            assert!(report.converged);
+            assert_eq!(report.transferred, 2);
+            for id in &ids {
+                assert!(replicas[0].inner().contains(id));
+            }
+            audit.verify_chain().unwrap();
+            assert_eq!(audit.query(|e| e.action == AuditAction::Repair).len(), 2);
         }
 
         #[test]

@@ -21,6 +21,12 @@
 //!   copies from a healthy replica, logging each repair into the audit
 //!   chain. The whole failure model is testable deterministically via
 //!   seeded fault injection ([`fault::FaultyBackend`]).
+//! * **Partition tolerance** — replicas keep accepting writes while severed
+//!   from quorum ([`antientropy::DelayTolerantIngest`] + durable intent
+//!   logs), reconcile deterministically on heal, and converge via
+//!   merkle-diff gossip sweeps ([`antientropy::AntiEntropy`]) whose every
+//!   transfer is audited. Partition/flap/rejoin schedules are part of the
+//!   deterministic fault model ([`fault::FaultPlan::net_events`]).
 //!
 //! All cryptographic primitives (SHA-256, CRC32C) are implemented in this
 //! crate from scratch — no external crypto dependencies — and validated
@@ -37,6 +43,7 @@
 //! assert!(store.verify(&id).unwrap());
 //! ```
 
+pub mod antientropy;
 pub mod audit;
 pub mod catalog;
 pub mod errors;
@@ -48,8 +55,12 @@ pub mod replica;
 pub mod store;
 pub mod wal;
 
+pub use antientropy::{
+    AntiEntropy, DelayTolerantIngest, GossipReport, IngestOutcome, IntentLog, IntentRecord,
+    PairOutcome, PartitionedBackend, ReconcileReport, SetSummary,
+};
 pub use errors::{Error, Result};
-pub use fault::{FaultPlan, FaultyBackend};
+pub use fault::{FaultPlan, FaultyBackend, NetEvent};
 pub use hash::{crc32c, sha256, Digest};
 pub use replica::{
     BreakerConfig, BreakerState, Clock, HealOutcome, ManualClock, ReplicatedBackend, RetryPolicy,

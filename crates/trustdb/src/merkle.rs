@@ -143,6 +143,65 @@ impl MerkleTree {
         self.levels[0].len()
     }
 
+    /// Number of levels, leaves included (`1` for a single-leaf tree).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The digests at `level` (`0` = leaves, `level_count() - 1` = root).
+    pub fn level(&self, level: usize) -> &[Digest] {
+        &self.levels[level]
+    }
+
+    /// Compare two same-shape trees top-down and return the indices of
+    /// differing leaves plus the number of node comparisons performed.
+    ///
+    /// Equal subtrees are pruned at their first shared interior node, so two
+    /// trees differing in `d` leaves are compared in O(d · log n) node visits
+    /// rather than a full O(n) leaf scan — this is the property the
+    /// anti-entropy sweep relies on to stay cheap between mostly-converged
+    /// replicas. Returns [`Error::InvariantViolation`] if the trees have
+    /// different leaf counts (callers align summaries to a fixed bucket
+    /// universe first).
+    pub fn diff_leaves(&self, other: &MerkleTree) -> Result<(Vec<usize>, usize)> {
+        if self.leaf_count() != other.leaf_count() {
+            return Err(Error::InvariantViolation(format!(
+                "cannot diff merkle trees of different shapes: {} vs {} leaves",
+                self.leaf_count(),
+                other.leaf_count()
+            )));
+        }
+        let top = self.levels.len() - 1;
+        let mut comparisons = 0usize;
+        let mut divergent = Vec::new();
+        // Stack of (level, index) pairs still to compare. Same leaf count and
+        // the same promotion rule give both trees identical shapes, so an
+        // index valid in one level of `self` is valid in `other` too.
+        let mut stack = vec![(top, 0usize)];
+        while let Some((level, idx)) = stack.pop() {
+            comparisons += 1;
+            if self.levels[level][idx] == other.levels[level][idx] {
+                continue; // identical subtree: prune
+            }
+            if level == 0 {
+                divergent.push(idx);
+                continue;
+            }
+            let below = &self.levels[level - 1];
+            let (left, right) = (2 * idx, 2 * idx + 1);
+            // A promoted odd node has no right child; its subtree is exactly
+            // the left child's subtree.
+            if right < below.len() {
+                stack.push((level - 1, right));
+            }
+            if left < below.len() {
+                stack.push((level - 1, left));
+            }
+        }
+        divergent.sort_unstable();
+        Ok((divergent, comparisons))
+    }
+
     /// Generate an inclusion proof for the leaf at `index`.
     pub fn prove(&self, index: usize) -> Result<InclusionProof> {
         let n = self.leaf_count();
@@ -256,6 +315,61 @@ mod tests {
         four.push(batch(3)[2].clone());
         let abcc = MerkleTree::from_leaves(four.iter()).unwrap().root();
         assert_ne!(abc, abcc);
+    }
+
+    #[test]
+    fn diff_identical_trees_is_empty_after_one_comparison() {
+        let t = MerkleTree::from_leaves(batch(33).iter()).unwrap();
+        let u = MerkleTree::from_leaves(batch(33).iter()).unwrap();
+        let (diverging, comparisons) = t.diff_leaves(&u).unwrap();
+        assert!(diverging.is_empty());
+        // Equal roots prune the whole comparison at the top node.
+        assert_eq!(comparisons, 1);
+    }
+
+    #[test]
+    fn diff_finds_exactly_the_mutated_leaves() {
+        for n in [1usize, 2, 3, 5, 8, 17, 64, 100] {
+            for mutated in 0..n {
+                let mut leaves = batch(n);
+                leaves[mutated].push(b'!');
+                let base = MerkleTree::from_leaves(batch(n).iter()).unwrap();
+                let other = MerkleTree::from_leaves(leaves.iter()).unwrap();
+                let (diverging, _) = base.diff_leaves(&other).unwrap();
+                assert_eq!(diverging, vec![mutated], "n={n} mutated={mutated}");
+            }
+        }
+    }
+
+    #[test]
+    fn diff_prunes_equal_subtrees() {
+        // One divergent leaf out of 256: the walk must visit one root-to-leaf
+        // path plus the pruned siblings along it — far fewer than 2n-1 nodes.
+        let n = 256;
+        let mut leaves = batch(n);
+        leaves[137].push(b'!');
+        let base = MerkleTree::from_leaves(batch(n).iter()).unwrap();
+        let other = MerkleTree::from_leaves(leaves.iter()).unwrap();
+        let (diverging, comparisons) = base.diff_leaves(&other).unwrap();
+        assert_eq!(diverging, vec![137]);
+        // Path of 9 levels, each expanding to at most 2 children: ≤ 1 + 2*8.
+        assert!(comparisons <= 17, "expected O(log n) comparisons, got {comparisons}");
+    }
+
+    #[test]
+    fn diff_rejects_shape_mismatch() {
+        let a = MerkleTree::from_leaves(batch(8).iter()).unwrap();
+        let b = MerkleTree::from_leaves(batch(9).iter()).unwrap();
+        assert!(a.diff_leaves(&b).is_err());
+    }
+
+    #[test]
+    fn level_accessors_expose_tree_shape() {
+        let t = MerkleTree::from_leaves(batch(5).iter()).unwrap();
+        // 5 -> 3 (2 pairs + promote) -> 2 -> 1
+        assert_eq!(t.level_count(), 4);
+        assert_eq!(t.level(0).len(), 5);
+        assert_eq!(t.level(3), &[t.root()]);
     }
 
     #[test]

@@ -746,6 +746,54 @@ mod tests {
     }
 
     #[test]
+    fn backoff_jitter_draws_from_the_backend_seeded_rng() {
+        // Retry schedules must be reproducible under a fixed seed: the
+        // jitter comes from the backend's own PRNG (set by `with_seed`),
+        // not a fresh source per call.
+        let retry = RetryPolicy { max_attempts: 8, base_backoff_ms: 4, max_backoff_ms: 64 };
+        let schedule = |seed: u64| -> Vec<u64> {
+            let backend = ReplicatedBackend::new(vec![
+                Arc::new(MemoryBackend::new()) as Arc<dyn Backend>
+            ])
+            .with_retry(retry)
+            .with_seed(seed);
+            (1..=7).map(|attempt| backend.backoff_ms(attempt)).collect()
+        };
+        assert_eq!(schedule(77), schedule(77), "same seed, same backoff schedule");
+        assert_ne!(schedule(77), schedule(78), "different seed, different jitter");
+        // Every delay respects the policy envelope: exponential growth from
+        // base, capped at max, then jittered into [0.5, 1]×.
+        for (i, ms) in schedule(77).into_iter().enumerate() {
+            let exp = (retry.base_backoff_ms << i).min(retry.max_backoff_ms);
+            assert!(ms >= exp / 2 && ms <= exp, "attempt {}: {ms} outside [{}, {exp}]", i + 1, exp / 2);
+        }
+    }
+
+    #[test]
+    fn retry_schedule_is_reproducible_end_to_end() {
+        // The same seeded storm must consume the same total virtual backoff
+        // time — the observable form of deterministic retry schedules.
+        let elapsed = |seed: u64| -> u64 {
+            let faulty: Vec<Arc<dyn Backend>> = vec![Arc::new(FaultyBackend::new(
+                MemoryBackend::new(),
+                FaultPlan::new(500).transient_io(0.6),
+            )) as Arc<dyn Backend>];
+            let clock = Arc::new(ManualClock::new());
+            let backend = ReplicatedBackend::new(faulty)
+                .with_clock(clock.clone())
+                .with_retry(RetryPolicy { max_attempts: 6, base_backoff_ms: 3, max_backoff_ms: 40 })
+                .with_seed(seed);
+            let store = ObjectStore::new(backend);
+            for i in 0..30 {
+                let _ = store.put(format!("jittered-{i}").into_bytes());
+            }
+            clock.now_ms()
+        };
+        assert_eq!(elapsed(21), elapsed(21));
+        assert!(elapsed(21) > 0, "transient faults must have caused backoff sleeps");
+    }
+
+    #[test]
     fn single_replica_degenerates_to_plain_backend() {
         let (backend, _) = replicated(1);
         assert_eq!(backend.write_quorum(), 1);

@@ -234,6 +234,21 @@ impl Wal {
         Ok(inner.len)
     }
 
+    /// Discard every frame and reset the log to empty. Used by intent logs
+    /// whose records have been fully reconciled into the quorum store: the
+    /// frames' content is now durable elsewhere, so keeping them would only
+    /// make the next replay re-apply (idempotent but wasteful) work.
+    pub fn reset(&self) -> Result<()> {
+        let _span = itrust_obs::span!(self.obs, "trustdb.wal.reset");
+        let inner = &mut *self.inner.lock();
+        inner.file.truncate(0)?;
+        inner.len = 0;
+        inner.frames = 0;
+        inner.torn = false;
+        itrust_obs::counter_inc!(self.obs, "trustdb.wal.resets");
+        Ok(())
+    }
+
     /// Read back every intact frame from the start of the log.
     pub fn replay(&self) -> Result<Replay> {
         let _span = itrust_obs::span!(self.obs, "trustdb.wal.replay");
@@ -497,6 +512,24 @@ mod tests {
         let replay = wal.replay().unwrap();
         assert_eq!(replay.frames, vec![b"base".to_vec()]);
         assert!(replay.corrupt_tail_at.is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_the_log_and_accepts_new_frames() {
+        let path = tmp("reset");
+        let wal = Wal::open(&path, SyncPolicy::GroupCommit).unwrap();
+        wal.append(b"stale intent one").unwrap();
+        wal.append(b"stale intent two").unwrap();
+        wal.reset().unwrap();
+        assert_eq!(wal.frame_count(), 0);
+        assert_eq!(wal.len_bytes(), 0);
+        assert!(wal.replay().unwrap().frames.is_empty());
+        // The log is fully usable after a reset, across reopen too.
+        wal.append(b"fresh").unwrap();
+        drop(wal);
+        let wal = Wal::open(&path, SyncPolicy::GroupCommit).unwrap();
+        assert_eq!(wal.replay().unwrap().frames, vec![b"fresh".to_vec()]);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -2,11 +2,14 @@
 //! concurrent load with injected faults.
 
 use std::sync::Arc;
+use trustdb::antientropy::PartitionedBackend;
 use trustdb::audit::{AuditAction, AuditLog};
 use trustdb::fault::{FaultPlan, FaultyBackend};
 use trustdb::fixity::FixityAuditor;
 use trustdb::hash::Digest;
-use trustdb::replica::{BreakerConfig, ManualClock, ReplicatedBackend, RetryPolicy};
+use trustdb::replica::{
+    BreakerConfig, BreakerState, Clock, ManualClock, ReplicatedBackend, RetryPolicy,
+};
 use trustdb::store::{Backend, MemoryBackend, ObjectStore};
 
 /// Three replicas; `plans[i]` configures replica i's faults.
@@ -107,6 +110,59 @@ fn concurrent_writers_reach_quorum_under_flaky_replicas() {
         assert_eq!(r.inner().object_count(), 128, "repair converges every replica");
     }
     audit.verify_chain().unwrap();
+}
+
+#[test]
+fn replica_flapping_at_the_probe_boundary_reopens_the_breaker() {
+    // A replica that comes back just long enough to be probed, then drops
+    // again exactly when the HalfOpen probe arrives, must be re-opened — a
+    // flapping link never earns its way back to Closed on a single probe.
+    let clock = Arc::new(ManualClock::new());
+    let flappy = Arc::new(
+        PartitionedBackend::new(MemoryBackend::new(), 1, clock.clone() as Arc<dyn Clock>)
+            .with_plan(
+                &FaultPlan::new(7)
+                    .partition_between(0, 100) // severed from t=0, heals at t=100
+                    .flap_at(500), // ...but drops exactly one op at the probe boundary
+            ),
+    );
+    let replicas: Vec<Arc<dyn Backend>> = vec![
+        Arc::new(MemoryBackend::new()),
+        flappy.clone() as Arc<dyn Backend>,
+        Arc::new(MemoryBackend::new()),
+    ];
+    let backend = ReplicatedBackend::new(replicas)
+        .with_clock(clock.clone())
+        .with_retry(RetryPolicy { max_attempts: 1, base_backoff_ms: 1, max_backoff_ms: 4 })
+        .with_breaker(BreakerConfig { failure_threshold: 3, cooldown_ms: 500 })
+        .with_seed(99);
+    let store = ObjectStore::new(backend);
+
+    // Three failed writes against the severed replica trip its breaker Open.
+    // Quorum still lands every write on the two healthy replicas.
+    for i in 0..3 {
+        store.put(format!("pre-flap-{i}").into_bytes()).unwrap();
+    }
+    assert_eq!(store.backend().breaker_state(1), BreakerState::Open);
+
+    // The cooldown elapses on the virtual clock; the next op is allowed
+    // through as a HalfOpen probe — and lands exactly on the scheduled flap,
+    // so the probe fails and the breaker re-opens immediately.
+    clock.advance_ms(500);
+    store.put(b"probe-hits-the-flap".to_vec()).unwrap();
+    assert_eq!(
+        store.backend().breaker_state(1),
+        BreakerState::Open,
+        "a failed HalfOpen probe must re-open the breaker"
+    );
+    assert_eq!(flappy.local().object_count(), 0, "no write reached the flapping replica yet");
+
+    // A second cooldown with a genuinely healed link: the probe succeeds and
+    // the breaker closes, so the replica starts receiving copies again.
+    clock.advance_ms(500);
+    let id = store.put(b"clean-probe".to_vec()).unwrap();
+    assert_eq!(store.backend().breaker_state(1), BreakerState::Closed);
+    assert!(flappy.local().contains(&id), "the successful probe write landed on the replica");
 }
 
 #[test]

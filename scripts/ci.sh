@@ -45,10 +45,18 @@ cargo run --release -q -p itrust-lint -- --json crates > "$SCRATCH/lint2.json"
 diff "$SCRATCH/lint1.json" "$SCRATCH/lint2.json"
 python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$SCRATCH/lint1.json"
 
-# D9 smoke: a tiny deterministic fault storm must run clean end to end
-# (scratch results dir so committed results/ artifacts stay untouched).
-D9_OBJECTS=60 D9_RATES=0.1,0.5 D9_SEED=42 ITRUST_RESULTS_DIR="$SCRATCH/d9" \
+# D9 partition smoke: a tiny deterministic partition storm must run clean
+# end to end at both thread counts, and the reports must be byte-identical —
+# availability, reconcile order, gossip rounds and merkle roots are all
+# virtual-clock deterministic (scratch results dir so committed results/
+# artifacts stay untouched).
+D9_OBJECTS=60 D9_RATES=0.0,0.5 D9_SEED=42 ITRUST_THREADS=1 \
+    ITRUST_RESULTS_DIR="$SCRATCH/d9" \
     cargo run --release -q -p itrust-bench --bin d9
+D9_OBJECTS=60 D9_RATES=0.0,0.5 D9_SEED=42 ITRUST_THREADS=4 \
+    ITRUST_RESULTS_DIR="$SCRATCH/d9t4" \
+    cargo run --release -q -p itrust-bench --bin d9 > /dev/null
+diff "$SCRATCH/d9/d9.txt" "$SCRATCH/d9t4/d9.txt"
 test -s "$SCRATCH/d9/d9.json"
 test -s "$SCRATCH/d9/d9.telemetry.json"
 
@@ -74,10 +82,17 @@ diff "$SCRATCH/prof3" "$SCRATCH/prof4"
 # Latency percentiles get a wide tolerance (3.5x slower fails) so the gate
 # catches order-of-magnitude regressions without flaking on shared
 # machines.
-for exp in d1 fig1; do
+# d9's spans are dominated by very short virtual-time operations, so its
+# wall-clock percentiles are noisier than d1/fig1 — it gets a wider band
+# (its counters and gauges still must match exactly).
+for exp in d1 fig1 d9; do
+    case "$exp" in
+        d9) threshold=4.0 ;;
+        *) threshold=2.5 ;;
+    esac
     ITRUST_RESULTS_DIR="$SCRATCH/bench" \
         cargo run --release -q -p itrust-bench --bin "$exp" > /dev/null
-    "${OBSTOOL[@]}" benchdiff --check --threshold 2.5 \
+    "${OBSTOOL[@]}" benchdiff --check --threshold "$threshold" \
         "results/baselines/$exp.telemetry.json" \
         "$SCRATCH/bench/$exp.telemetry.json"
 done

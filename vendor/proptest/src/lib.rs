@@ -581,7 +581,7 @@ mod tests {
         fn tuple_and_option_strategies(t in (any::<bool>(), 0u32..5), o in option::of(1u8..3)) {
             prop_assert!(t.1 < 5);
             if let Some(x) = o {
-                prop_assert!(x >= 1 && x < 3);
+                prop_assert!((1..3).contains(&x));
             }
         }
     }
