@@ -9,6 +9,7 @@ pub mod d6;
 pub mod d7;
 pub mod d8;
 pub mod d9;
+pub mod d10;
 pub mod fig1;
 pub mod fig2;
 pub mod table1;

@@ -20,6 +20,7 @@
 //! | [`harness::d7`] | continuous learning vs annotator error |
 //! | [`harness::d8`] | privacy redaction throughput + leakage |
 //! | [`harness::d9`] | fault-storm survival with self-healing repair |
+//! | [`harness::d10`] | multi-tenant service layer under closed-loop load |
 
 pub mod harness;
 pub mod report;

@@ -37,6 +37,7 @@
 //!   repository, the guard, and the capabilities together end-to-end.
 
 pub use itrust_par as par;
+pub use itrust_service as service;
 
 pub mod access;
 pub mod ai_task;

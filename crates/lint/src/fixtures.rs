@@ -253,6 +253,27 @@ pub const SCOPE_PROBES: &[(&str, &str, &str)] = &[
         "use std::collections::HashMap;\npub fn roots(m: &HashMap<String, u64>) -> Vec<String> { m.keys().cloned().collect() }\n",
         "unordered-iter",
     ),
+    // The multi-tenant service layer is core library code too: admission
+    // decisions must run on the injected clock (a wall-clock read would
+    // desynchronize the token bucket from the virtual timeline), executor
+    // paths must be panic-free, and shard catalogs must iterate in order —
+    // pin all three invariants under crates/service so a future exemption
+    // can't silently widen.
+    (
+        "crates/service/src/executor.rs",
+        "pub fn admit_now() -> std::time::Instant { std::time::Instant::now() }\n",
+        "wallclock-in-core",
+    ),
+    (
+        "crates/service/src/executor.rs",
+        "pub fn head_seq(q: &[u64]) -> u64 { q.first().copied().unwrap() }\n",
+        "panic-in-lib",
+    ),
+    (
+        "crates/service/src/shard.rs",
+        "use std::collections::HashMap;\npub fn keys(c: &HashMap<String, u64>) -> Vec<String> { c.keys().cloned().collect() }\n",
+        "unordered-iter",
+    ),
 ];
 
 /// Run every fixture through the analyzer and return human-readable

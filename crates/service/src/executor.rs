@@ -1,0 +1,401 @@
+//! Admission-controlled request executor on `itrust-par`.
+//!
+//! The executor is the service's front door. Requests flow through three
+//! gates and then into the sharded store:
+//!
+//! 1. **Load shedding** — a bounded queue; submissions beyond the capacity
+//!    are refused with the *transient* [`Error::Overloaded`] so clients
+//!    back off and retry.
+//! 2. **Quota reservation** — a put reserves its tenant's budget at submit
+//!    time (the *non-transient* [`Error::QuotaExceeded`] on breach), so
+//!    queued work can never overrun a budget no matter how it interleaves.
+//! 3. **Rate limiting** — each [`ServiceExecutor::tick`] drains at most as
+//!    many requests as the [`TokenBucket`] will grant.
+//!
+//! # Determinism
+//!
+//! A tick admits a batch in FIFO order, groups it by destination shard,
+//! and runs the shard groups in parallel over [`itrust_par::par_map`]
+//! while executing *within* each group sequentially in submission order.
+//! Shard routing is a pure hash, the batch is drained under one lock, and
+//! all time comes from the injected [`Clock`], so WAL frame order, audit
+//! chains, fixity roots, quota decisions, and every latency sample are
+//! identical at `ITRUST_THREADS=1` and `=64`. Completions are returned
+//! sorted by submission sequence number.
+
+use crate::admission::{BucketConfig, TokenBucket};
+use crate::shard::{PutOutcome, ShardedStore};
+use crate::tenant::Tenant;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use trustdb::errors::{Error, Result};
+use trustdb::replica::Clock;
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// Maximum requests waiting for admission before shedding starts.
+    pub queue_capacity: usize,
+    /// Token-bucket rate limit drained by [`ServiceExecutor::tick`].
+    pub bucket: BucketConfig,
+    /// Fixed virtual service time charged to every operation, in ms.
+    pub service_floor_ms: u64,
+    /// Payload bytes served per additional virtual millisecond
+    /// (0 disables the size-proportional term).
+    pub service_bytes_per_ms: u64,
+}
+
+impl ExecutorConfig {
+    /// Permissive defaults for tests: deep queue, no rate limit, 1 ms flat
+    /// service time.
+    pub fn unthrottled() -> Self {
+        ExecutorConfig {
+            queue_capacity: usize::MAX,
+            bucket: BucketConfig::unlimited(),
+            service_floor_ms: 1,
+            service_bytes_per_ms: 0,
+        }
+    }
+}
+
+/// A client request against a tenant namespace.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Store `payload` under `key` in `tenant`'s namespace.
+    Put { tenant: String, key: String, payload: Bytes },
+    /// Fetch `tenant`'s object at `key`.
+    Get { tenant: String, key: String },
+}
+
+impl Request {
+    /// The tenant this request addresses.
+    pub fn tenant(&self) -> &str {
+        match self {
+            Request::Put { tenant, .. } | Request::Get { tenant, .. } => tenant,
+        }
+    }
+
+    /// The key this request addresses.
+    pub fn key(&self) -> &str {
+        match self {
+            Request::Put { key, .. } | Request::Get { key, .. } => key,
+        }
+    }
+}
+
+/// Successful operation output.
+#[derive(Debug, Clone)]
+pub enum OpOutput {
+    /// Result of a put.
+    Put(PutOutcome),
+    /// Result of a get.
+    Get(Bytes),
+}
+
+/// One finished request, with its virtual timeline.
+#[derive(Debug)]
+pub struct Completion {
+    /// Submission sequence number (as returned by [`ServiceExecutor::submit`]).
+    pub seq: u64,
+    /// Addressed tenant.
+    pub tenant: String,
+    /// Addressed key.
+    pub key: String,
+    /// Virtual time the request entered the queue.
+    pub submitted_ms: u64,
+    /// Virtual time the request finished service.
+    pub completed_ms: u64,
+    /// What happened.
+    pub outcome: Result<OpOutput>,
+}
+
+impl Completion {
+    /// End-to-end virtual latency (queue wait + service time).
+    pub fn latency_ms(&self) -> u64 {
+        self.completed_ms.saturating_sub(self.submitted_ms)
+    }
+}
+
+struct Queued {
+    seq: u64,
+    tenant: Arc<Tenant>,
+    submitted_ms: u64,
+    request: Request,
+}
+
+/// The admission-controlled front end over a [`ShardedStore`].
+pub struct ServiceExecutor {
+    store: Arc<ShardedStore>,
+    clock: Arc<dyn Clock>,
+    config: ExecutorConfig,
+    bucket: TokenBucket,
+    queue: Mutex<VecDeque<Queued>>,
+    next_seq: Mutex<u64>,
+}
+
+impl ServiceExecutor {
+    /// Build an executor over `store`, timed by `clock`.
+    pub fn new(store: Arc<ShardedStore>, clock: Arc<dyn Clock>, config: ExecutorConfig) -> Self {
+        let bucket = TokenBucket::new(config.bucket, clock.clone());
+        ServiceExecutor {
+            store,
+            clock,
+            config,
+            bucket,
+            queue: Mutex::new(VecDeque::new()),
+            next_seq: Mutex::new(0),
+        }
+    }
+
+    /// The store behind this executor.
+    pub fn store(&self) -> &Arc<ShardedStore> {
+        &self.store
+    }
+
+    /// Requests currently waiting for admission.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Submit a request. Returns its sequence number, or:
+    ///
+    /// * [`Error::Overloaded`] (transient) when the queue is full,
+    /// * [`Error::QuotaExceeded`] (non-transient) when a put would overrun
+    ///   its tenant's budget,
+    /// * [`Error::NotFound`] for an unregistered tenant.
+    pub fn submit(&self, request: Request) -> Result<u64> {
+        let obs = self.store.obs();
+        let tenant = self.store.tenant(request.tenant())?;
+        let now = self.clock.now_ms();
+        let mut queue = self.queue.lock();
+        if queue.len() >= self.config.queue_capacity {
+            itrust_obs::counter_inc!(obs, "service.admission.shed");
+            itrust_obs::counter_inc!(tenant.obs(), "service.tenant.shed");
+            return Err(Error::Overloaded {
+                detail: format!("admission queue full ({} waiting)", queue.len()),
+            });
+        }
+        if let Request::Put { payload, .. } = &request {
+            // Reserve while holding the queue lock so the budget check and
+            // the enqueue are one atomic admission decision.
+            tenant.reserve(payload.len() as u64)?;
+        }
+        let seq = {
+            let mut next = self.next_seq.lock();
+            let seq = *next;
+            *next += 1;
+            seq
+        };
+        queue.push_back(Queued { seq, tenant, submitted_ms: now, request });
+        itrust_obs::counter_inc!(obs, "service.admission.submitted");
+        itrust_obs::gauge_set!(obs, "service.admission.queue_depth", queue.len() as i64);
+        Ok(seq)
+    }
+
+    /// Drain one admission batch: refill the bucket, pop as many queued
+    /// requests as it grants, execute them grouped by shard (groups in
+    /// parallel, each group in FIFO order), and return the completions
+    /// sorted by sequence number.
+    pub fn tick(&self) -> Vec<Completion> {
+        let obs = self.store.obs();
+        let _span = itrust_obs::span!(obs, "service.admission.tick");
+        let now = self.clock.now_ms();
+        let batch: Vec<Queued> = {
+            let mut queue = self.queue.lock();
+            let grant = self.bucket.take_up_to(queue.len() as u64) as usize;
+            let batch = queue.drain(..grant).collect();
+            itrust_obs::gauge_set!(obs, "service.admission.queue_depth", queue.len() as i64);
+            batch
+        };
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        itrust_obs::counter_add!(obs, "service.admission.admitted", batch.len() as u64);
+
+        let mut by_shard: BTreeMap<usize, Vec<Queued>> = BTreeMap::new();
+        for q in batch {
+            let shard = self.store.route(q.tenant.name(), q.request.key());
+            by_shard.entry(shard).or_default().push(q);
+        }
+        let groups: Vec<Vec<Queued>> = by_shard.into_values().collect();
+        let mut completions: Vec<Completion> = itrust_par::par_map(&groups, |group| {
+            group.iter().map(|q| self.execute(q, now)).collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        completions.sort_by_key(|c| c.seq);
+        completions
+    }
+
+    /// Execute one admitted request at virtual time `now`.
+    fn execute(&self, q: &Queued, now: u64) -> Completion {
+        let (outcome, served_bytes) = match &q.request {
+            Request::Put { key, payload, .. } => {
+                let bytes = payload.len() as u64;
+                let res = self.store.put_prereserved(&q.tenant, key, payload.clone(), now);
+                (res.map(OpOutput::Put), bytes)
+            }
+            Request::Get { tenant, key } => match self.store.get(tenant, key) {
+                Ok(payload) => {
+                    let bytes = payload.len() as u64;
+                    (Ok(OpOutput::Get(payload)), bytes)
+                }
+                Err(e) => (Err(e), 0),
+            },
+        };
+        let size_ms = match self.config.service_bytes_per_ms {
+            0 => 0,
+            per_ms => served_bytes / per_ms,
+        };
+        let completed_ms = now + self.config.service_floor_ms + size_ms;
+        let latency = completed_ms.saturating_sub(q.submitted_ms);
+        itrust_obs::hist_record!(q.tenant.obs(), "service.tenant.request_ms", latency);
+        itrust_obs::counter_inc!(q.tenant.obs(), "service.tenant.ops");
+        itrust_obs::hist_record!(
+            self.store.obs(),
+            "service.admission.queue_wait_ms",
+            now.saturating_sub(q.submitted_ms)
+        );
+        Completion {
+            seq: q.seq,
+            tenant: q.tenant.name().to_string(),
+            key: q.request.key().to_string(),
+            submitted_ms: q.submitted_ms,
+            completed_ms,
+            outcome,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::Quota;
+    use trustdb::replica::ManualClock;
+
+    fn service(
+        shards: usize,
+        config: ExecutorConfig,
+    ) -> (Arc<ManualClock>, Arc<ShardedStore>, ServiceExecutor) {
+        let clock = Arc::new(ManualClock::new());
+        let store = Arc::new(
+            ShardedStore::open(
+                &crate::shard::ShardedConfig::in_memory(shards),
+                itrust_obs::ObsCtx::new(),
+            )
+            .unwrap(),
+        );
+        store.register_tenant("alpha", Quota::unlimited()).unwrap();
+        store.register_tenant("beta", Quota { max_objects: 2, max_bytes: 1 << 20 }).unwrap();
+        let exec = ServiceExecutor::new(store.clone(), clock.clone(), config);
+        (clock, store, exec)
+    }
+
+    fn put(tenant: &str, key: &str, body: &str) -> Request {
+        Request::Put {
+            tenant: tenant.into(),
+            key: key.into(),
+            payload: Bytes::from(body.as_bytes().to_vec()),
+        }
+    }
+
+    #[test]
+    fn submit_tick_completes_in_seq_order() {
+        let (clock, store, exec) = service(4, ExecutorConfig::unthrottled());
+        for i in 0..20 {
+            exec.submit(put("alpha", &format!("k{i}"), "payload")).unwrap();
+        }
+        clock.advance_ms(5);
+        let done = exec.tick();
+        assert_eq!(done.len(), 20);
+        assert!(done.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(done.iter().all(|c| c.outcome.is_ok()));
+        // Queue wait 5 ms + service floor 1 ms.
+        assert!(done.iter().all(|c| c.latency_ms() == 6));
+        assert_eq!(store.object_count(), 20);
+        assert_eq!(exec.queue_depth(), 0);
+    }
+
+    #[test]
+    fn queue_full_sheds_with_transient_overloaded() {
+        let mut config = ExecutorConfig::unthrottled();
+        config.queue_capacity = 3;
+        let (_clock, store, exec) = service(2, config);
+        for i in 0..3 {
+            exec.submit(put("alpha", &format!("k{i}"), "x")).unwrap();
+        }
+        let err = exec.submit(put("alpha", "k3", "x")).unwrap_err();
+        assert!(matches!(err, Error::Overloaded { .. }));
+        assert!(err.is_transient(), "shedding must invite a retry");
+        // The shed was counted for both the service and the tenant.
+        let snap = store.obs().snapshot();
+        assert_eq!(snap.counters.get("service.admission.shed").copied(), Some(1));
+        let t = store.tenant("alpha").unwrap();
+        assert_eq!(t.obs().snapshot().counters.get("service.tenant.shed").copied(), Some(1));
+        // Draining the queue makes room again.
+        exec.tick();
+        exec.submit(put("alpha", "k3", "x")).unwrap();
+    }
+
+    #[test]
+    fn quota_breach_rejected_at_submit_not_at_tick() {
+        let (_clock, store, exec) = service(2, ExecutorConfig::unthrottled());
+        exec.submit(put("beta", "a", "1")).unwrap();
+        exec.submit(put("beta", "b", "2")).unwrap();
+        // Third put breaches beta's 2-object budget *at submit time*,
+        // before anything has even executed.
+        let err = exec.submit(put("beta", "c", "3")).unwrap_err();
+        assert!(matches!(err, Error::QuotaExceeded { .. }));
+        assert!(!err.is_transient());
+        exec.tick();
+        assert_eq!(store.tenant("beta").unwrap().usage().objects, 2);
+    }
+
+    #[test]
+    fn rate_limit_spreads_admission_over_ticks() {
+        let mut config = ExecutorConfig::unthrottled();
+        config.bucket = BucketConfig { capacity: 4, refill_per_ms: 2 };
+        let (clock, _store, exec) = service(4, config);
+        for i in 0..10 {
+            exec.submit(put("alpha", &format!("k{i}"), "x")).unwrap();
+        }
+        assert_eq!(exec.tick().len(), 4, "burst capacity");
+        assert_eq!(exec.tick().len(), 0, "no time elapsed, no tokens");
+        clock.advance_ms(2);
+        assert_eq!(exec.tick().len(), 4, "2 ms x 2 tokens/ms");
+        clock.advance_ms(1);
+        assert_eq!(exec.tick().len(), 2, "remainder");
+        assert_eq!(exec.queue_depth(), 0);
+    }
+
+    #[test]
+    fn size_proportional_service_time() {
+        let mut config = ExecutorConfig::unthrottled();
+        config.service_floor_ms = 2;
+        config.service_bytes_per_ms = 10;
+        let (_clock, _store, exec) = service(2, config);
+        exec.submit(put("alpha", "big", &"x".repeat(50))).unwrap();
+        let done = exec.tick();
+        // 2 ms floor + 50 bytes / 10 bytes-per-ms = 7 ms.
+        assert_eq!(done[0].completed_ms, 7);
+    }
+
+    #[test]
+    fn unknown_tenant_rejected_at_submit() {
+        let (_clock, _store, exec) = service(2, ExecutorConfig::unthrottled());
+        let err = exec.submit(put("nobody", "k", "x")).unwrap_err();
+        assert!(matches!(err, Error::NotFound(_)));
+    }
+
+    #[test]
+    fn get_of_missing_key_completes_with_not_found() {
+        let (_clock, _store, exec) = service(2, ExecutorConfig::unthrottled());
+        exec.submit(Request::Get { tenant: "alpha".into(), key: "ghost".into() }).unwrap();
+        let done = exec.tick();
+        assert_eq!(done.len(), 1);
+        assert!(matches!(done[0].outcome, Err(Error::NotFound(_))));
+    }
+}

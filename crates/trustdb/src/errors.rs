@@ -46,6 +46,16 @@ pub enum Error {
     /// itself may be perfectly healthy and accepting local writes, which is
     /// exactly what delay-tolerant ingest exploits.
     Partitioned { replica: usize },
+    /// A tenant's namespace budget (object count or byte budget) would be
+    /// exceeded by the operation. A policy decision, not a fault: retrying
+    /// cannot help until the custodian raises the quota or disposes
+    /// holdings, so this is never transient.
+    QuotaExceeded { tenant: String, detail: String },
+    /// The service front end is saturated (admission queue full or rate
+    /// limit exhausted) and shed the request to protect tail latency for
+    /// admitted work. Transient by definition: the same request may be
+    /// admitted a moment later once load drains.
+    Overloaded { detail: String },
 }
 
 impl fmt::Display for Error {
@@ -76,6 +86,12 @@ impl fmt::Display for Error {
             }
             Error::Partitioned { replica } => {
                 write!(f, "replica {replica} is severed by a network partition")
+            }
+            Error::QuotaExceeded { tenant, detail } => {
+                write!(f, "quota exceeded for tenant {tenant}: {detail}")
+            }
+            Error::Overloaded { detail } => {
+                write!(f, "service overloaded, request shed: {detail}")
             }
         }
     }
@@ -128,6 +144,9 @@ impl Error {
                     | ErrorKind::ConnectionAborted
                     | ErrorKind::BrokenPipe
             ),
+            // Load shedding clears as soon as the admission queue drains;
+            // clients should back off and retry.
+            Error::Overloaded { .. } => true,
             _ => false,
         }
     }
@@ -159,6 +178,21 @@ mod tests {
         assert!(!Error::DigestMismatch { expected: "a".into(), actual: "b".into() }
             .is_transient());
         assert!(!Error::QuorumFailed { required: 2, achieved: 1 }.is_transient());
+    }
+
+    #[test]
+    fn admission_errors_classify_and_display() {
+        // Shedding is transient (back off and retry); a quota breach is a
+        // policy decision that no retry can fix. Neither says anything
+        // about the integrity of stored bytes.
+        let shed = Error::Overloaded { detail: "queue full".into() };
+        assert!(shed.is_transient());
+        assert!(!shed.is_integrity_incident());
+        assert!(shed.to_string().contains("overloaded"));
+        let quota = Error::QuotaExceeded { tenant: "trademarks".into(), detail: "bytes".into() };
+        assert!(!quota.is_transient());
+        assert!(!quota.is_integrity_incident());
+        assert!(quota.to_string().contains("trademarks"));
     }
 
     #[test]

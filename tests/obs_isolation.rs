@@ -95,6 +95,52 @@ fn concurrent_sims_do_not_share_counters() {
     assert_eq!(fresh.snapshot().counters["escs.sim.events_dispatched"], count_a);
 }
 
+/// Two tenants on one sharded service share **no** telemetry state: each
+/// tenant's isolated ObsCtx sees exactly its own operation counts and
+/// latency samples, the service-level context sees the aggregate, and
+/// mutating one tenant's registry never moves the other's.
+#[test]
+fn service_tenants_have_isolated_obs_registries() {
+    use bytes::Bytes;
+    use itrust_core::service::{Quota, ShardedConfig, ShardedStore};
+
+    let service_ctx = ObsCtx::new();
+    let store = ShardedStore::open(&ShardedConfig::in_memory(4), service_ctx.clone()).unwrap();
+    let a = store.register_tenant("archive-a", Quota::unlimited()).unwrap();
+    let b = store.register_tenant("archive-b", Quota::unlimited()).unwrap();
+
+    for i in 0..10u32 {
+        store.put("archive-a", &format!("k{i}"), Bytes::from(vec![1u8; 64]), i as u64).unwrap();
+    }
+    for i in 0..3u32 {
+        store.put("archive-b", &format!("k{i}"), Bytes::from(vec![2u8; 64]), 100 + i as u64).unwrap();
+    }
+    store.get("archive-a", "k0").unwrap();
+
+    let snap_a = a.obs().snapshot();
+    let snap_b = b.obs().snapshot();
+    // Each tenant sees exactly its own work — not the sum, not a share.
+    assert_eq!(snap_a.counters["service.tenant.puts"], 10);
+    assert_eq!(snap_b.counters["service.tenant.puts"], 3);
+    assert_eq!(snap_a.counters["service.tenant.gets"], 1);
+    assert!(!snap_b.counters.contains_key("service.tenant.gets"));
+    // The service-level context aggregates across tenants but holds no
+    // per-tenant names; tenant registries hold no service-level names.
+    let service_snap = service_ctx.snapshot();
+    assert_eq!(service_snap.counters["service.store.puts"], 13);
+    for name in service_ctx.metric_names() {
+        assert!(!name.starts_with("service.tenant."), "{name} leaked into the service ctx");
+    }
+    for name in a.obs().metric_names() {
+        assert!(name.starts_with("service.tenant."), "unexpected {name} in a tenant ctx");
+    }
+    // Registries are live-isolated: more work for B must not move A.
+    let a_before = a.obs().snapshot().counters;
+    store.put("archive-b", "k99", Bytes::from(vec![3u8; 64]), 200).unwrap();
+    assert_eq!(a.obs().snapshot().counters, a_before);
+    assert_eq!(b.obs().snapshot().counters["service.tenant.puts"], 4);
+}
+
 /// The null context records nothing: no metrics register, snapshots stay
 /// empty, and the instrumented code paths still run to completion.
 #[test]
