@@ -8,7 +8,8 @@
 use crate::errors::{ArchivalError, Result};
 use crate::record::{Classification, Record};
 use serde::{Deserialize, Serialize};
-use trustdb::audit::{AuditAction, AuditLog};
+use trustdb::audit::AuditLog;
+use trustdb::event::EventKind;
 
 /// Caller roles, ordered by privilege.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -103,7 +104,7 @@ impl<'a> AccessController<'a> {
         self.audit.append(
             timestamp_ms,
             who.id.clone(),
-            AuditAction::Access,
+            EventKind::Access,
             record.id.as_str(),
             detail,
         )?;
@@ -133,7 +134,7 @@ impl<'a> AccessController<'a> {
             self.audit.append(
                 timestamp_ms,
                 who.id.clone(),
-                AuditAction::Admin,
+                EventKind::Admin,
                 "disposition",
                 format!("disposition authority confirmed for role {:?}", who.role),
             )?;
@@ -142,7 +143,7 @@ impl<'a> AccessController<'a> {
             self.audit.append(
                 timestamp_ms,
                 who.id.clone(),
-                AuditAction::Admin,
+                EventKind::Admin,
                 "disposition",
                 "disposition DENIED: insufficient role",
             )?;
@@ -233,7 +234,7 @@ mod tests {
         let anon = Principal::new("anon", Role::Public);
         let _ = gate.check_read(&anon, &record(Classification::Public), 1).unwrap();
         let _ = gate.check_read(&anon, &record(Classification::Confidential), 2).unwrap();
-        let entries = audit.query(|e| e.action == AuditAction::Access);
+        let entries = audit.query(|e| e.kind == EventKind::Access);
         assert_eq!(entries.len(), 2);
         assert!(entries[0].detail.contains("GRANTED"));
         assert!(entries[1].detail.contains("DENIED"));

@@ -144,7 +144,8 @@ mod tests {
     use super::*;
     use crate::ingest::Repository;
     use crate::oais::{Sip, SubmissionItem};
-    use crate::provenance::{EventType, ProvenanceChain};
+    use crate::provenance::ProvenanceChain;
+use trustdb::event::EventKind;
     use crate::record::{Classification, DocumentaryForm, Record, RecordId};
     use trustdb::store::{MemoryBackend, ObjectStore};
 
@@ -165,7 +166,7 @@ mod tests {
                 body.as_bytes(),
             );
             let mut provenance = ProvenanceChain::new(id);
-            provenance.append(0, "P", EventType::Creation, "success", "").unwrap();
+            provenance.append(0, "P", EventKind::Creation, "success", "").unwrap();
             sip = sip.with_item(SubmissionItem {
                 record,
                 content: body.into_bytes(),

@@ -6,13 +6,13 @@ use crate::errors::{ArchivalError, Result};
 use crate::oais::{
     AipManifest, AipRecordEntry, Dip, DipRedactionNote, Sip, MANIFEST_FORMAT_VERSION,
 };
-use crate::provenance::EventType;
 use crate::record::{Classification, RecordId};
 use crate::redaction::Redactor;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use trustdb::audit::{AuditAction, AuditLog};
+use trustdb::audit::AuditLog;
+use trustdb::event::EventKind;
 use trustdb::fixity::{FixityAuditor, FixityReport};
 use trustdb::hash::Digest;
 use trustdb::merkle::MerkleTree;
@@ -87,7 +87,7 @@ impl<B: Backend> Repository<B> {
             self.audit.append(
                 timestamp_ms,
                 archivist,
-                AuditAction::Ingest,
+                EventKind::Ingest,
                 format!("sip from {}", sip.producer),
                 format!("REJECTED: {} validation problems", problems.len()),
             )?;
@@ -114,7 +114,7 @@ impl<B: Backend> Repository<B> {
             item.provenance.append(
                 timestamp_ms,
                 archivist,
-                EventType::Ingestion,
+                EventKind::Ingest,
                 "success",
                 format!("accessioned into {aip_id}"),
             )?;
@@ -136,7 +136,7 @@ impl<B: Backend> Repository<B> {
         let audit_head = self.audit.append(
             timestamp_ms,
             archivist,
-            AuditAction::Ingest,
+            EventKind::Ingest,
             &aip_id,
             format!(
                 "accessioned {} records ({} bytes) from {}, merkle root {}",
@@ -280,7 +280,7 @@ impl<B: Backend> Repository<B> {
         self.audit.append(
             timestamp_ms,
             consumer,
-            AuditAction::Access,
+            EventKind::Access,
             aip_id,
             format!("disseminated {} record(s) as {dip_id}", items.len()),
         )?;
@@ -326,7 +326,7 @@ mod tests {
             body,
         );
         let mut provenance = ProvenanceChain::new(id);
-        provenance.append(50, "Producer", EventType::Creation, "success", "").unwrap();
+        provenance.append(50, "Producer", EventKind::Creation, "success", "").unwrap();
         SubmissionItem { record, content: body.to_vec(), provenance }
     }
 
@@ -417,7 +417,7 @@ mod tests {
             manifest.verify_inclusion(&record.content_digest, proof).unwrap();
         }
         // Access was audited.
-        let accesses = repo.audit().query(|e| e.action == AuditAction::Access);
+        let accesses = repo.audit().query(|e| e.kind == EventKind::Access);
         assert_eq!(accesses.len(), 1);
     }
 

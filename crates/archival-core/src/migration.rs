@@ -10,10 +10,11 @@
 //! three over a pluggable [`FormatConverter`].
 
 use crate::errors::{ArchivalError, Result};
-use crate::provenance::{EventType, ProvenanceChain};
+use crate::provenance::ProvenanceChain;
 use crate::record::Record;
 use serde::{Deserialize, Serialize};
-use trustdb::audit::{AuditAction, AuditLog};
+use trustdb::audit::AuditLog;
+use trustdb::event::EventKind;
 use trustdb::hash::Digest;
 use trustdb::store::{Backend, ObjectStore};
 
@@ -127,7 +128,7 @@ impl<'a, B: Backend> MigrationEngine<'a, B> {
         provenance.append(
             timestamp_ms,
             converter.tool_id(),
-            EventType::Migration,
+            EventKind::Migration,
             "success",
             format!(
                 "{} → {} (operator {operator}); new manifestation {}",
@@ -139,7 +140,7 @@ impl<'a, B: Backend> MigrationEngine<'a, B> {
         self.audit.append(
             timestamp_ms,
             operator,
-            AuditAction::Migration,
+            EventKind::Migration,
             record.id.as_str(),
             format!(
                 "migrated with {}: {} → {}",
@@ -213,7 +214,7 @@ mod tests {
             body,
         );
         let mut chain = ProvenanceChain::new("rec-1");
-        chain.append(50, "c", EventType::Creation, "success", "").unwrap();
+        chain.append(50, "c", EventKind::Creation, "success", "").unwrap();
         (store, AuditLog::new(), record, chain)
     }
 
@@ -232,10 +233,10 @@ mod tests {
         assert_eq!(&migrated[..], b"line one\nline two\n");
         // Provenance + audit capture the event with tool identity.
         let last = chain.events().last().unwrap();
-        assert_eq!(last.event_type, EventType::Migration);
-        assert_eq!(last.agent, "itrust/utf8-normalizer-v1");
+        assert_eq!(last.kind, EventKind::Migration);
+        assert_eq!(last.actor, "itrust/utf8-normalizer-v1");
         chain.verify().unwrap();
-        assert_eq!(audit.query(|e| e.action == AuditAction::Migration).len(), 1);
+        assert_eq!(audit.query(|e| e.kind == EventKind::Migration).len(), 1);
     }
 
     #[test]

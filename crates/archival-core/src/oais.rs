@@ -247,7 +247,7 @@ pub struct Dip {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::provenance::EventType;
+    use trustdb::event::EventKind;
     use crate::record::{Classification, DocumentaryForm};
 
     pub(crate) fn item(id: &str, body: &[u8]) -> SubmissionItem {
@@ -263,7 +263,7 @@ mod tests {
         );
         let mut provenance = ProvenanceChain::new(id);
         provenance
-            .append(500, "Producer Org", EventType::Creation, "success", "")
+            .append(500, "Producer Org", EventKind::Creation, "success", "")
             .unwrap();
         SubmissionItem { record, content: body.to_vec(), provenance }
     }
@@ -308,7 +308,7 @@ mod tests {
         alien.provenance = ProvenanceChain::new("other-record");
         alien
             .provenance
-            .append(1, "x", EventType::Creation, "success", "")
+            .append(1, "x", EventKind::Creation, "success", "")
             .unwrap();
         let sip = Sip::new("P", 1).with_item(alien);
         assert!(sip
@@ -322,7 +322,7 @@ mod tests {
             .into_iter()
             .map(|mut it| {
                 it.provenance
-                    .append(3_000, "archive", EventType::Ingestion, "success", "aip-1")
+                    .append(3_000, "archive", EventKind::Ingest, "success", "aip-1")
                     .unwrap();
                 AipRecordEntry {
                     identity_fingerprint: it.record.identity_fingerprint(),
@@ -403,7 +403,7 @@ mod tests {
             identity_fingerprint: it.record.identity_fingerprint(),
             provenance: {
                 let mut p = it.provenance.clone();
-                p.append(1, "archive", EventType::Ingestion, "success", "").unwrap();
+                p.append(1, "archive", EventKind::Ingest, "success", "").unwrap();
                 p
             },
             record: it.record,

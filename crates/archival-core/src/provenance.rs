@@ -6,94 +6,35 @@
 //! hash-linked per record, the same construction as the audit chain but
 //! scoped to one object, so a record's history travels with it inside an
 //! AIP and remains independently verifiable after dissemination.
+//!
+//! Events are canonical [`LedgerEvent`]s (see [`trustdb::event`]) with the
+//! record id as their `subject`, so a chain can be replayed into the
+//! provenance ledger (`itrust-ledger`) without translation. The old
+//! `EventType` / `ProvenanceEvent` names survive as deprecated aliases so
+//! existing call sites compile; new code should use
+//! [`EventKind`] / [`LedgerEvent`] directly (enforced by `itrust-lint`'s
+//! `legacy-event-type` rule).
 
 use crate::errors::{ArchivalError, Result};
 use crate::record::RecordId;
 use serde::{Deserialize, Serialize};
+use trustdb::event::{verify_events, EventKind, LedgerEvent, Verifiable};
 use trustdb::hash::{sha256, Digest};
 
-/// PREMIS-inspired event types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum EventType {
-    /// Record created by its author/system.
-    Creation,
-    /// Transferred to the archive's custody.
-    Transfer,
-    /// Ingested into the preservation system.
-    Ingestion,
-    /// Fixity verified.
-    FixityCheck,
-    /// Migrated between formats or storage.
-    Migration,
-    /// Annotated/described (including AI-generated description).
-    Description,
-    /// Redacted for dissemination.
-    Redaction,
-    /// Disseminated to a consumer.
-    Dissemination,
-    /// An AI model produced a decision about this record.
-    AiProcessing,
-    /// A human verified or overrode an AI decision.
-    HumanVerification,
-}
+/// Deprecated alias for [`EventKind`], kept so pre-ledger call sites
+/// compile. Do not use in new code.
+pub type EventType = EventKind;
 
-/// One provenance event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ProvenanceEvent {
-    /// Position in this record's chain.
-    pub seq: u64,
-    /// When it happened (ms).
-    pub timestamp_ms: u64,
-    /// Agent responsible (person, system, or model identifier).
-    pub agent: String,
-    /// What kind of event.
-    pub event_type: EventType,
-    /// Outcome ("success", "failure: …").
-    pub outcome: String,
-    /// Free-form detail, including AI paradata (model version, confidence).
-    pub detail: String,
-    /// Hash link to the previous event.
-    pub prev: Digest,
-    /// Hash of this event.
-    pub hash: Digest,
-}
-
-impl ProvenanceEvent {
-    fn compute_hash(&self) -> Digest {
-        let mut h = trustdb::hash::Sha256::new();
-        h.update(&self.seq.to_le_bytes());
-        h.update(&self.timestamp_ms.to_le_bytes());
-        for s in [&self.agent, &self.outcome, &self.detail] {
-            h.update(&(s.len() as u32).to_le_bytes());
-            h.update(s.as_bytes());
-        }
-        h.update(&[event_tag(self.event_type)]);
-        h.update(&self.prev.0);
-        h.finalize()
-    }
-}
-
-fn event_tag(e: EventType) -> u8 {
-    match e {
-        EventType::Creation => 0,
-        EventType::Transfer => 1,
-        EventType::Ingestion => 2,
-        EventType::FixityCheck => 3,
-        EventType::Migration => 4,
-        EventType::Description => 5,
-        EventType::Redaction => 6,
-        EventType::Dissemination => 7,
-        EventType::AiProcessing => 8,
-        EventType::HumanVerification => 9,
-    }
-}
+/// Deprecated alias for [`LedgerEvent`], kept so pre-ledger call sites
+/// compile. Do not use in new code.
+pub type ProvenanceEvent = LedgerEvent;
 
 /// A record's complete, hash-linked event history.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProvenanceChain {
     /// The record this chain belongs to.
     pub record_id: RecordId,
-    events: Vec<ProvenanceEvent>,
+    events: Vec<LedgerEvent>,
 }
 
 impl ProvenanceChain {
@@ -102,35 +43,33 @@ impl ProvenanceChain {
         ProvenanceChain { record_id: record_id.into(), events: Vec::new() }
     }
 
-    /// Append an event. Timestamps must be non-decreasing.
+    /// Append an event. Timestamps must be non-decreasing. The event's
+    /// `subject` is always the chain's record id.
     pub fn append(
         &mut self,
         timestamp_ms: u64,
         agent: impl Into<String>,
-        event_type: EventType,
+        kind: EventKind,
         outcome: impl Into<String>,
         detail: impl Into<String>,
-    ) -> Result<&ProvenanceEvent> {
+    ) -> Result<&LedgerEvent> {
         let (seq, prev, floor) = match self.events.last() {
             Some(e) => (e.seq + 1, e.hash, e.timestamp_ms),
             None => (0, Digest::zero(), 0),
         };
-        if timestamp_ms < floor {
-            return Err(ArchivalError::InvariantViolation(format!(
-                "provenance timestamps must be monotonic ({timestamp_ms} < {floor})"
-            )));
-        }
-        let mut event = ProvenanceEvent {
-            seq,
-            timestamp_ms,
-            agent: agent.into(),
-            event_type,
-            outcome: outcome.into(),
-            detail: detail.into(),
-            prev,
-            hash: Digest::zero(),
-        };
-        event.hash = event.compute_hash();
+        let event = LedgerEvent::builder(kind)
+            .at(timestamp_ms)
+            .actor(agent)
+            .subject(self.record_id.to_string())
+            .outcome(outcome)
+            .detail(detail)
+            .seal(seq, prev, floor)
+            .map_err(|e| {
+                ArchivalError::InvariantViolation(format!(
+                    "provenance of {}: {e}",
+                    self.record_id
+                ))
+            })?;
         self.events.push(event);
         self.events
             .last()
@@ -138,7 +77,7 @@ impl ProvenanceChain {
     }
 
     /// Events in order.
-    pub fn events(&self) -> &[ProvenanceEvent] {
+    pub fn events(&self) -> &[LedgerEvent] {
         &self.events
     }
 
@@ -157,38 +96,37 @@ impl ProvenanceChain {
         self.events.last().map(|e| e.hash)
     }
 
-    /// Verify every hash link; errors identify the first broken index.
+    /// Verify every hash link plus the record-id binding (every event's
+    /// subject must name this record); errors identify the first broken
+    /// index.
     pub fn verify(&self) -> Result<()> {
-        let mut prev = Digest::zero();
-        let mut last_ts = 0u64;
+        verify_events(&self.events).map_err(|e| {
+            ArchivalError::InvariantViolation(format!(
+                "provenance chain of {} broken: {e}",
+                self.record_id
+            ))
+        })?;
+        let id = self.record_id.to_string();
         for (i, e) in self.events.iter().enumerate() {
-            if e.seq != i as u64 || e.prev != prev || e.timestamp_ms < last_ts {
+            if e.subject != id {
                 return Err(ArchivalError::InvariantViolation(format!(
-                    "provenance chain of {} broken at event {i}",
-                    self.record_id
+                    "provenance event {i} of {} names foreign subject {}",
+                    self.record_id, e.subject
                 )));
             }
-            if e.compute_hash() != e.hash {
-                return Err(ArchivalError::InvariantViolation(format!(
-                    "provenance event {i} of {} has been altered",
-                    self.record_id
-                )));
-            }
-            prev = e.hash;
-            last_ts = e.timestamp_ms;
         }
         Ok(())
     }
 
     /// Does the chain contain an unbroken custody path: a `Creation` (or
-    /// `Transfer`) followed eventually by `Ingestion`? This is the minimal
+    /// `Transfer`) followed eventually by `Ingest`? This is the minimal
     /// custody criterion the authenticity assessment uses.
     pub fn has_custody_path(&self) -> bool {
         let mut origin_seen = false;
         for e in &self.events {
-            match e.event_type {
-                EventType::Creation | EventType::Transfer => origin_seen = true,
-                EventType::Ingestion if origin_seen => return true,
+            match e.kind {
+                EventKind::Creation | EventKind::Transfer => origin_seen = true,
+                EventKind::Ingest if origin_seen => return true,
                 _ => {}
             }
         }
@@ -196,14 +134,41 @@ impl ProvenanceChain {
     }
 
     /// All events by a given agent.
-    pub fn by_agent(&self, agent: &str) -> Vec<&ProvenanceEvent> {
-        self.events.iter().filter(|e| e.agent == agent).collect()
+    pub fn by_agent(&self, agent: &str) -> Vec<&LedgerEvent> {
+        self.events.iter().filter(|e| e.actor == agent).collect()
     }
 
     /// Digest of the serialized chain (stored in AIP manifests so chain and
     /// manifest cannot drift apart).
     pub fn content_digest(&self) -> Digest {
         sha256(&serde_json::to_vec(self).unwrap_or_default())
+    }
+
+    /// Replay this chain into a provenance ledger. Events keep their
+    /// timestamps, agents, kinds, outcomes, details, and record-id subject
+    /// — only the seq/prev chain is re-sealed under the ledger's own
+    /// history. The chain is verified first: a broken chain must never
+    /// launder itself into the ledger. Returns the number of events
+    /// appended.
+    pub fn export_to_ledger(&self, ledger: &itrust_ledger::Ledger) -> Result<u64> {
+        self.verify()?;
+        ledger.ingest(self.events.iter()).map_err(|e| {
+            ArchivalError::InvariantViolation(format!(
+                "exporting provenance of {}: {e}",
+                self.record_id
+            ))
+        })
+    }
+}
+
+impl Verifiable for ProvenanceChain {
+    fn verify(&self) -> trustdb::Result<()> {
+        ProvenanceChain::verify(self)
+            .map_err(|e| trustdb::Error::ChainBroken { index: 0, detail: e.to_string() })
+    }
+
+    fn head(&self) -> Digest {
+        ProvenanceChain::head(self).unwrap_or_else(Digest::zero)
     }
 }
 
@@ -214,7 +179,7 @@ mod tests {
     fn chain_with(n: u64) -> ProvenanceChain {
         let mut c = ProvenanceChain::new("rec-1");
         for i in 0..n {
-            c.append(i * 10, "agent", EventType::FixityCheck, "success", "").unwrap();
+            c.append(i * 10, "agent", EventKind::FixityCheck, "success", "").unwrap();
         }
         c
     }
@@ -222,11 +187,13 @@ mod tests {
     #[test]
     fn append_links_and_verifies() {
         let mut c = ProvenanceChain::new("rec-1");
-        c.append(1, "author", EventType::Creation, "success", "born digital").unwrap();
-        c.append(2, "archive", EventType::Ingestion, "success", "accession 7").unwrap();
+        c.append(1, "author", EventKind::Creation, "success", "born digital").unwrap();
+        c.append(2, "archive", EventKind::Ingest, "success", "accession 7").unwrap();
         assert_eq!(c.len(), 2);
         c.verify().unwrap();
         assert!(c.head().is_some());
+        // Every event is bound to the record id through its subject.
+        assert!(c.events().iter().all(|e| e.subject == "rec-1"));
     }
 
     #[test]
@@ -237,10 +204,24 @@ mod tests {
     }
 
     #[test]
-    fn tampering_with_event_type_detected() {
+    fn tampering_with_kind_detected() {
         let mut c = chain_with(5);
-        c.events[1].event_type = EventType::Dissemination;
+        c.events[1].kind = EventKind::Dissemination;
         assert!(c.verify().is_err());
+    }
+
+    #[test]
+    fn foreign_subject_detected() {
+        // A forged event re-hashed onto another record's chain is caught by
+        // the subject binding even though the hash links are consistent.
+        let mut c = ProvenanceChain::new("rec-1");
+        c.append(1, "a", EventKind::Creation, "success", "").unwrap();
+        let mut foreign = ProvenanceChain::new("rec-2");
+        foreign.record_id = "rec-1".into();
+        foreign.append(1, "a", EventKind::Creation, "success", "").unwrap();
+        foreign.record_id = "rec-2".into();
+        assert!(foreign.verify().is_err());
+        c.verify().unwrap();
     }
 
     #[test]
@@ -256,39 +237,39 @@ mod tests {
     #[test]
     fn monotonic_timestamps_required() {
         let mut c = ProvenanceChain::new("rec-1");
-        c.append(100, "a", EventType::Creation, "success", "").unwrap();
-        assert!(c.append(50, "a", EventType::Ingestion, "success", "").is_err());
+        c.append(100, "a", EventKind::Creation, "success", "").unwrap();
+        assert!(c.append(50, "a", EventKind::Ingest, "success", "").is_err());
     }
 
     #[test]
-    fn custody_path_requires_origin_then_ingestion() {
+    fn custody_path_requires_origin_then_ingest() {
         let mut c = ProvenanceChain::new("rec-1");
         assert!(!c.has_custody_path());
-        c.append(1, "archive", EventType::Ingestion, "success", "").unwrap();
-        // Ingestion without a preceding origin event is NOT custody.
+        c.append(1, "archive", EventKind::Ingest, "success", "").unwrap();
+        // Ingest without a preceding origin event is NOT custody.
         assert!(!c.has_custody_path());
 
         let mut c = ProvenanceChain::new("rec-2");
-        c.append(1, "author", EventType::Creation, "success", "").unwrap();
+        c.append(1, "author", EventKind::Creation, "success", "").unwrap();
         assert!(!c.has_custody_path());
-        c.append(2, "archive", EventType::Ingestion, "success", "").unwrap();
+        c.append(2, "archive", EventKind::Ingest, "success", "").unwrap();
         assert!(c.has_custody_path());
 
         // Transfer counts as an origin too (for legacy records).
         let mut c = ProvenanceChain::new("rec-3");
-        c.append(1, "donor", EventType::Transfer, "success", "").unwrap();
-        c.append(2, "archive", EventType::Ingestion, "success", "").unwrap();
+        c.append(1, "donor", EventKind::Transfer, "success", "").unwrap();
+        c.append(2, "archive", EventKind::Ingest, "success", "").unwrap();
         assert!(c.has_custody_path());
     }
 
     #[test]
     fn by_agent_filters() {
         let mut c = ProvenanceChain::new("rec-1");
-        c.append(1, "model:vgglite-v1", EventType::AiProcessing, "success", "recto p=0.93")
+        c.append(1, "model:vgglite-v1", EventKind::AiDecision, "success", "recto p=0.93")
             .unwrap();
-        c.append(2, "archivist-b", EventType::HumanVerification, "success", "confirmed")
+        c.append(2, "archivist-b", EventKind::HumanReview, "success", "confirmed")
             .unwrap();
-        c.append(3, "model:vgglite-v1", EventType::AiProcessing, "success", "verso p=0.88")
+        c.append(3, "model:vgglite-v1", EventKind::AiDecision, "success", "verso p=0.88")
             .unwrap();
         assert_eq!(c.by_agent("model:vgglite-v1").len(), 2);
         assert_eq!(c.by_agent("archivist-b").len(), 1);
@@ -310,5 +291,45 @@ mod tests {
         let a = chain_with(3);
         let b = chain_with(4);
         assert_ne!(a.content_digest(), b.content_digest());
+    }
+
+    #[test]
+    fn verifiable_impl_matches_inherent_api() {
+        let c = chain_with(4);
+        Verifiable::verify(&c).unwrap();
+        assert_eq!(Verifiable::head(&c), c.head().unwrap());
+        let empty = ProvenanceChain::new("rec-0");
+        assert_eq!(Verifiable::head(&empty), Digest::zero());
+    }
+
+    #[test]
+    fn export_to_ledger_round_trips_the_chain() {
+        use itrust_ledger::{Keyring, Ledger, SecretKey};
+
+        let mut c = ProvenanceChain::new("rec-1");
+        c.append(1, "author", EventKind::Creation, "success", "born digital").unwrap();
+        c.append(2, "archive", EventKind::Ingest, "success", "accession 7").unwrap();
+        c.append(3, "model:vgglite-v1", EventKind::AiDecision, "success", "recto p=0.93")
+            .unwrap();
+
+        let ledger =
+            Ledger::new("archive", "custodian", Keyring::new().with("custodian", SecretKey::derive("k")));
+        assert_eq!(c.export_to_ledger(&ledger).unwrap(), 3);
+        // Content survives re-sealing; the ledger's subject index serves
+        // the record's history back.
+        let history = ledger.events_for_subject("rec-1");
+        assert_eq!(history.len(), 3);
+        assert_eq!(history[2].actor, "model:vgglite-v1");
+        assert_eq!(history[2].kind, EventKind::AiDecision);
+        ledger.checkpoint(10).unwrap();
+        ledger.prove(1).unwrap().verify("archive", ledger.keyring(), 0).unwrap();
+
+        // A tampered chain is refused wholesale.
+        let mut bad = c.clone();
+        bad.events[1].detail = "rewritten".into();
+        let fresh =
+            Ledger::new("archive", "custodian", Keyring::new().with("custodian", SecretKey::derive("k")));
+        assert!(bad.export_to_ledger(&fresh).is_err());
+        assert!(fresh.is_empty());
     }
 }

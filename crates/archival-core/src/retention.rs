@@ -11,7 +11,8 @@ use crate::errors::{ArchivalError, Result};
 use crate::record::{Record, RecordId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
-use trustdb::audit::{AuditAction, AuditLog};
+use trustdb::audit::AuditLog;
+use trustdb::event::EventKind;
 use trustdb::store::{Backend, ObjectStore};
 
 /// What happens when a retention period lapses.
@@ -172,7 +173,7 @@ impl DispositionEngine {
             audit.append(
                 now_ms,
                 actor,
-                AuditAction::Disposition,
+                EventKind::Disposition,
                 record.id.as_str(),
                 format!("disposition due but blocked by legal hold(s): {matter}"),
             )?;
@@ -190,7 +191,7 @@ impl DispositionEngine {
                 audit.append(
                     now_ms,
                     actor,
-                    AuditAction::Disposition,
+                    EventKind::Disposition,
                     record.id.as_str(),
                     format!(
                         "destroyed under authority '{}' (class {})",
@@ -204,7 +205,7 @@ impl DispositionEngine {
                 audit.append(
                     now_ms,
                     actor,
-                    AuditAction::Disposition,
+                    EventKind::Disposition,
                     record.id.as_str(),
                     "queued for disposition review",
                 )?;
@@ -214,7 +215,7 @@ impl DispositionEngine {
                 audit.append(
                     now_ms,
                     actor,
-                    AuditAction::Disposition,
+                    EventKind::Disposition,
                     record.id.as_str(),
                     "marked for transfer to successor custodian",
                 )?;
@@ -314,7 +315,7 @@ mod tests {
         let out = engine.apply(&rec, 2_000, &store, &audit, "rm-bot").unwrap();
         assert_eq!(out, DispositionOutcome::Destroyed);
         assert!(!store.contains(&rec.content_digest));
-        let entries = audit.query(|e| e.action == AuditAction::Disposition);
+        let entries = audit.query(|e| e.kind == EventKind::Disposition);
         assert_eq!(entries.len(), 1);
         assert!(entries[0].detail.contains("GDA-7"));
     }

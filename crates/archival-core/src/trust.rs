@@ -117,10 +117,10 @@ impl<'a, B: Backend> TrustAssessor<'a, B> {
             .iter()
             .any(|e| {
                 matches!(
-                    e.event_type,
-                    crate::provenance::EventType::Creation
-                        | crate::provenance::EventType::Transfer
-                ) && !e.agent.is_empty()
+                    e.kind,
+                    trustdb::event::EventKind::Creation
+                        | trustdb::event::EventKind::Transfer
+                ) && !e.actor.is_empty()
             });
         let origin_score = if has_origin {
             1.0
@@ -175,7 +175,8 @@ mod tests {
     use super::*;
     use crate::ingest::Repository;
     use crate::oais::{Sip, SubmissionItem};
-    use crate::provenance::{EventType, ProvenanceChain};
+    use crate::provenance::ProvenanceChain;
+use trustdb::event::EventKind;
     use crate::record::{Classification, DocumentaryForm, Record};
     use trustdb::store::MemoryBackend;
 
@@ -195,7 +196,7 @@ mod tests {
         );
         let mut provenance = ProvenanceChain::new("rec-1");
         provenance
-            .append(50, "Known Creator", EventType::Creation, "success", "")
+            .append(50, "Known Creator", EventKind::Creation, "success", "")
             .unwrap();
         let sip = Sip::new("Producer", 200).with_item(SubmissionItem {
             record,
@@ -255,7 +256,7 @@ mod tests {
         // Tamper an event in place (breaks hash chain).
         let mut chain = entry.provenance.clone();
         let mut events = chain.events().to_vec();
-        events[0].agent = "intruder".into();
+        events[0].actor = "intruder".into();
         chain = serde_json::from_str(
             &serde_json::to_string(&chain).unwrap().replace("Known Creator", "Intruder Inc"),
         )

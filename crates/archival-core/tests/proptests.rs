@@ -1,7 +1,8 @@
 //! Property-based tests over the archival substrate.
 
 use archival_core::oais::{Sip, SubmissionItem};
-use archival_core::provenance::{EventType, ProvenanceChain};
+use archival_core::provenance::ProvenanceChain;
+use trustdb::event::EventKind;
 use archival_core::record::{Classification, DocumentaryForm, Record};
 use archival_core::redaction::Redactor;
 use archival_core::retention::{Disposition, RetentionRule, RetentionSchedule};
@@ -66,7 +67,7 @@ proptest! {
     fn sip_validation_soundness(content in proptest::collection::vec(any::<u8>(), 0..512)) {
         let record = record_over(&content, "Title", 10);
         let mut provenance = ProvenanceChain::new("rec-x");
-        provenance.append(5, "creator", EventType::Creation, "success", "").unwrap();
+        provenance.append(5, "creator", EventKind::Creation, "success", "").unwrap();
         let good = Sip::new("P", 100).with_item(SubmissionItem {
             record: record.clone(),
             content: content.clone(),
@@ -117,7 +118,7 @@ proptest! {
     ) {
         let mut chain = ProvenanceChain::new("rec");
         for (i, agent) in agents.iter().enumerate() {
-            chain.append(i as u64 * 10, agent.clone(), EventType::FixityCheck, "success", "d").unwrap();
+            chain.append(i as u64 * 10, agent.clone(), EventKind::FixityCheck, "success", "d").unwrap();
         }
         chain.verify().unwrap();
         // Mutate one event via serde round trip (fields are private to the

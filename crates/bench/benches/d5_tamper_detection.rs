@@ -3,7 +3,8 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use itrust_bench::harness::d5::{tamper_run, verify_ablation};
 use std::time::Duration;
-use trustdb::audit::{AuditAction, AuditLog};
+use trustdb::audit::AuditLog;
+use trustdb::event::EventKind;
 
 fn sweep_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("d5/tamper");
@@ -18,7 +19,7 @@ fn sweep_bench(c: &mut Criterion) {
 fn audit_bench(c: &mut Criterion) {
     let audit = AuditLog::new();
     for i in 0..10_000u64 {
-        audit.append(i, "agent", AuditAction::Ingest, format!("rec-{i}"), "x").unwrap();
+        audit.append(i, "agent", EventKind::Ingest, format!("rec-{i}"), "x").unwrap();
     }
     let mut group = c.benchmark_group("d5/audit_chain");
     group.sample_size(20).measurement_time(Duration::from_secs(3));

@@ -4,7 +4,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use trustdb::audit::{AuditAction, AuditLog};
+use trustdb::audit::AuditLog;
+use trustdb::event::EventKind;
 use trustdb::fixity::FixityAuditor;
 use trustdb::hash::Digest;
 use trustdb::merkle::MerkleTree;
@@ -91,7 +92,7 @@ pub fn verify_ablation(n: usize) -> VerifyAblation {
     let audit = AuditLog::new();
     for i in 0..n {
         audit
-            .append(i as u64, "agent", AuditAction::Ingest, format!("rec-{i}"), "x")
+            .append(i as u64, "agent", EventKind::Ingest, format!("rec-{i}"), "x")
             .unwrap();
     }
     let (_, chain_verify_s) = super::timed(|| audit.verify_chain().unwrap());

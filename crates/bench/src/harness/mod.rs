@@ -10,6 +10,7 @@ pub mod d7;
 pub mod d8;
 pub mod d9;
 pub mod d10;
+pub mod d11;
 pub mod fig1;
 pub mod fig2;
 pub mod table1;

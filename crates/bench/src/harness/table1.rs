@@ -9,7 +9,8 @@
 
 use archival_core::ingest::Repository;
 use archival_core::oais::{Sip, SubmissionItem};
-use archival_core::provenance::{EventType, ProvenanceChain};
+use archival_core::provenance::ProvenanceChain;
+use trustdb::event::EventKind;
 use archival_core::record::{Classification, DocumentaryForm, Record};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -73,7 +74,7 @@ pub fn fond_sip(fond: &'static str, tb: f64, seed: u64) -> Sip {
         );
         let mut provenance = ProvenanceChain::new(id);
         provenance
-            .append(400, "scanner-lab", EventType::Creation, "success", "digitised master")
+            .append(400, "scanner-lab", EventKind::Creation, "success", "digitised master")
             .expect("fresh chain");
         sip = sip.with_item(SubmissionItem { record, content: blob, provenance });
     }

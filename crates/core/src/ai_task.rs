@@ -14,11 +14,12 @@
 //! This is the "human-in-the-loop as an archival invariant" pattern the
 //! whole platform builds on.
 
-use archival_core::provenance::{EventType, ProvenanceChain};
+use archival_core::provenance::ProvenanceChain;
 use archival_core::Result;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use trustdb::audit::{AuditAction, AuditLog};
+use trustdb::audit::AuditLog;
+use trustdb::event::EventKind;
 
 /// A model decision submitted for vetting.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -92,14 +93,14 @@ impl<'a> TrustGuard<'a> {
         provenance.append(
             timestamp_ms,
             decision.model_id.clone(),
-            EventType::AiProcessing,
+            EventKind::AiDecision,
             "success",
             format!("{} (confidence {:.3})", decision.decision, decision.confidence),
         )?;
         self.audit.append(
             timestamp_ms,
             decision.model_id.clone(),
-            AuditAction::AiDecision,
+            EventKind::AiDecision,
             decision.subject.clone(),
             format!("{} (confidence {:.3})", decision.decision, decision.confidence),
         )?;
@@ -148,14 +149,14 @@ impl<'a> TrustGuard<'a> {
         provenance.append(
             timestamp_ms,
             reviewer,
-            EventType::HumanVerification,
+            EventKind::HumanReview,
             "success",
             format!("{outcome}: {}", decision.decision),
         )?;
         self.audit.append(
             timestamp_ms,
             reviewer,
-            AuditAction::HumanReview,
+            EventKind::HumanReview,
             decision.subject.clone(),
             format!("{outcome} from {}", decision.model_id),
         )?;
@@ -186,8 +187,8 @@ mod tests {
         assert_eq!(guard.pending_count(), 0);
         // Logged in both provenance and audit.
         assert_eq!(chain.len(), 1);
-        assert_eq!(chain.events()[0].event_type, EventType::AiProcessing);
-        assert_eq!(audit.query(|e| e.action == AuditAction::AiDecision).len(), 1);
+        assert_eq!(chain.events()[0].kind, EventKind::AiDecision);
+        assert_eq!(audit.query(|e| e.kind == EventKind::AiDecision).len(), 1);
     }
 
     #[test]
@@ -227,7 +228,7 @@ mod tests {
         assert_eq!(guard.pending_count(), 0);
         // Provenance now holds AiProcessing then HumanVerification.
         assert_eq!(chain.len(), 2);
-        assert_eq!(chain.events()[1].event_type, EventType::HumanVerification);
+        assert_eq!(chain.events()[1].kind, EventKind::HumanReview);
         assert!(chain.events()[1].detail.contains("overrode"));
         chain.verify().unwrap();
         audit.verify_chain().unwrap();

@@ -36,6 +36,7 @@
 //! * [`platform`] — the [`platform::ITrustPlatform`] facade wiring the
 //!   repository, the guard, and the capabilities together end-to-end.
 
+pub use itrust_ledger as ledger;
 pub use itrust_par as par;
 pub use itrust_service as service;
 

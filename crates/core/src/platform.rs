@@ -24,7 +24,8 @@ use crate::linking::RecordLinker;
 use crate::sensitivity::SensitivityModel;
 use archival_core::ingest::{AccessionReceipt, Repository};
 use archival_core::oais::{Sip, SubmissionItem};
-use archival_core::provenance::{EventType, ProvenanceChain};
+use archival_core::provenance::ProvenanceChain;
+use trustdb::event::EventKind;
 use archival_core::record::{Classification, DocumentaryForm, Record};
 use archival_core::Result;
 use trustdb::store::{MemoryBackend, ObjectStore};
@@ -154,7 +155,7 @@ impl ITrustPlatform {
                 text.as_bytes(),
             );
             let mut provenance = ProvenanceChain::new(id.clone());
-            provenance.append(now_ms, producer, EventType::Creation, "success", "")?;
+            provenance.append(now_ms, producer, EventKind::Creation, "success", "")?;
             sip = sip.with_item(SubmissionItem {
                 record,
                 content: text.as_bytes().to_vec(),
@@ -290,7 +291,7 @@ mod tests {
                 .provenance
                 .events()
                 .iter()
-                .any(|e| e.event_type == EventType::AiProcessing));
+                .any(|e| e.kind == EventKind::AiDecision));
             r.provenance.verify().unwrap();
             assert!((0.0..=1.0).contains(&r.score));
         }
@@ -298,7 +299,7 @@ mod tests {
         let decisions = platform
             .repo()
             .audit()
-            .query(|e| e.action == trustdb::audit::AuditAction::AiDecision);
+            .query(|e| e.kind == trustdb::event::EventKind::AiDecision);
         assert_eq!(decisions.len(), 40);
     }
 

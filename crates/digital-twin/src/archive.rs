@@ -16,7 +16,8 @@ use crate::sensors::SensorNetwork;
 use crate::sync::{Direction, SyncLog};
 use archival_core::ingest::{AccessionReceipt, Repository};
 use archival_core::oais::{Sip, SubmissionItem};
-use archival_core::provenance::{EventType, ProvenanceChain};
+use archival_core::provenance::ProvenanceChain;
+use trustdb::event::EventKind;
 use archival_core::record::{Classification, DocumentaryForm, Medium, Record};
 use archival_core::Result;
 use serde::{Deserialize, Serialize};
@@ -258,7 +259,7 @@ pub fn archive_twin<B: Backend>(
         provenance.append(
             now_ms,
             "digital-twin-platform",
-            EventType::Creation,
+            EventKind::Creation,
             "success",
             format!("serialized live {component} state"),
         )?;

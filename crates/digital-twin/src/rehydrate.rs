@@ -186,7 +186,8 @@ mod tests {
         let repo = Repository::new(ObjectStore::new(MemoryBackend::new()));
         // Ingest an unrelated AIP.
         use archival_core::oais::{Sip, SubmissionItem};
-        use archival_core::provenance::{EventType, ProvenanceChain};
+        use archival_core::provenance::ProvenanceChain;
+use trustdb::event::EventKind;
         use archival_core::record::{Classification, DocumentaryForm, Record};
         let record = Record::over_content(
             "misc/r1",
@@ -199,7 +200,7 @@ mod tests {
             b"x",
         );
         let mut provenance = ProvenanceChain::new("misc/r1");
-        provenance.append(1, "c", EventType::Creation, "success", "").unwrap();
+        provenance.append(1, "c", EventKind::Creation, "success", "").unwrap();
         let receipt = repo
             .ingest(
                 Sip::new("P", 1).with_item(SubmissionItem {

@@ -1,0 +1,326 @@
+//! Signed checkpoints, witness certificates, and custody proofs.
+//!
+//! A checkpoint freezes a prefix of the ledger: "after `upto` events the
+//! merkle root was R and the chain head was H", hash-chained to the
+//! previous checkpoint and signed by the ledger custodian. Witness
+//! replicas countersign the checkpoint hash (after re-verifying the
+//! custodian's signature), yielding [`WitnessCertificate`]s; a checkpoint
+//! plus its certificates is a [`SealedCheckpoint`]. A [`CustodyProof`]
+//! bundles one event, its O(log n) inclusion path, and the sealed
+//! checkpoint whose root the path closes over — everything a verifier
+//! needs, offline, to confirm the event was in the ledger when the
+//! checkpoint was endorsed.
+
+use serde::{Deserialize, Serialize};
+use trustdb::event::LedgerEvent;
+use trustdb::hash::{Digest, Sha256};
+use trustdb::merkle::InclusionProof;
+use trustdb::{Error, Result};
+
+use crate::sign::{Keyring, Signature};
+
+/// Domain string for custodian checkpoint signatures.
+pub const CHECKPOINT_DOMAIN: &str = "itrust-ledger/checkpoint/v1";
+/// Domain string for witness countersignatures.
+pub const WITNESS_DOMAIN: &str = "itrust-ledger/witness/v1";
+
+fn put_str(h: &mut Sha256, s: &str) {
+    h.update(&(s.len() as u32).to_le_bytes());
+    h.update(s.as_bytes());
+}
+
+/// A signed commitment to the first `upto` events of a named ledger.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Position in the checkpoint chain (0-based, dense).
+    pub index: u64,
+    /// Number of events this checkpoint covers: the ledger prefix
+    /// `events[0..upto]`.
+    pub upto: u64,
+    /// Injected-clock time at which the checkpoint was cut.
+    pub timestamp_ms: u64,
+    /// Merkle root over the covered prefix's event hashes.
+    pub events_root: Digest,
+    /// Hash of the last covered event (the chain head at `upto`).
+    pub head: Digest,
+    /// Hash of the previous checkpoint ([`Digest::zero`] for the first).
+    pub prev: Digest,
+    /// Identity that cut and signed this checkpoint.
+    pub signer: String,
+    /// Hash over all fields above plus the ledger name.
+    pub hash: Digest,
+    /// Custodian's tag over `hash` under [`CHECKPOINT_DOMAIN`].
+    pub signature: Signature,
+}
+
+impl Checkpoint {
+    /// Canonical digest of a checkpoint's content. Binding the ledger
+    /// `name` in means a checkpoint (and every witness certificate over
+    /// it) can never be replayed against a different ledger.
+    #[allow(clippy::too_many_arguments)] // every field is hashed; a params struct would just rename them
+    pub fn compute_hash(
+        name: &str,
+        index: u64,
+        upto: u64,
+        timestamp_ms: u64,
+        events_root: &Digest,
+        head: &Digest,
+        prev: &Digest,
+        signer: &str,
+    ) -> Digest {
+        let mut h = Sha256::new();
+        put_str(&mut h, "itrust-ledger/checkpoint-hash/v1");
+        put_str(&mut h, name);
+        h.update(&index.to_le_bytes());
+        h.update(&upto.to_le_bytes());
+        h.update(&timestamp_ms.to_le_bytes());
+        h.update(&events_root.0);
+        h.update(&head.0);
+        h.update(&prev.0);
+        put_str(&mut h, signer);
+        h.finalize()
+    }
+
+    /// Verify internal consistency and the custodian signature for the
+    /// ledger called `name`. All failures are [`Error::ProofInvalid`].
+    pub fn verify(&self, name: &str, keyring: &Keyring) -> Result<()> {
+        let expect = Checkpoint::compute_hash(
+            name,
+            self.index,
+            self.upto,
+            self.timestamp_ms,
+            &self.events_root,
+            &self.head,
+            &self.prev,
+            &self.signer,
+        );
+        if expect != self.hash {
+            return Err(Error::ProofInvalid(format!(
+                "checkpoint {} hash mismatch for ledger {name}",
+                self.index
+            )));
+        }
+        keyring.verify(&self.signer, CHECKPOINT_DOMAIN, &self.hash.0, &self.signature)
+    }
+}
+
+/// One witness replica's countersignature over a checkpoint hash.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WitnessCertificate {
+    /// Hash of the endorsed checkpoint.
+    pub checkpoint: Digest,
+    /// Witness identity.
+    pub witness: String,
+    /// Witness tag over the checkpoint hash under [`WITNESS_DOMAIN`].
+    pub signature: Signature,
+}
+
+impl WitnessCertificate {
+    /// Issue a certificate as `witness` for a checkpoint hash.
+    pub fn issue(keyring: &Keyring, witness: &str, checkpoint: &Digest) -> Result<Self> {
+        let signature = keyring.sign(witness, WITNESS_DOMAIN, &checkpoint.0)?;
+        Ok(WitnessCertificate { checkpoint: *checkpoint, witness: witness.to_string(), signature })
+    }
+
+    /// Verify the certificate endorses `checkpoint`.
+    pub fn verify(&self, checkpoint: &Digest, keyring: &Keyring) -> Result<()> {
+        if self.checkpoint != *checkpoint {
+            return Err(Error::ProofInvalid(format!(
+                "witness certificate by {} names a different checkpoint",
+                self.witness
+            )));
+        }
+        keyring.verify(&self.witness, WITNESS_DOMAIN, &self.checkpoint.0, &self.signature)
+    }
+}
+
+/// A checkpoint together with the witness certificates collected for it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SealedCheckpoint {
+    /// The custodian-signed checkpoint.
+    pub checkpoint: Checkpoint,
+    /// Countersignatures gathered so far (ordered by witness id).
+    pub witnesses: Vec<WitnessCertificate>,
+}
+
+impl SealedCheckpoint {
+    /// Verify the checkpoint and every attached certificate, and that at
+    /// least `min_witnesses` distinct witnesses endorsed it.
+    pub fn verify(&self, name: &str, keyring: &Keyring, min_witnesses: usize) -> Result<()> {
+        self.checkpoint.verify(name, keyring)?;
+        let mut distinct: Vec<&str> = Vec::with_capacity(self.witnesses.len());
+        for cert in &self.witnesses {
+            cert.verify(&self.checkpoint.hash, keyring)?;
+            if !distinct.contains(&cert.witness.as_str()) {
+                distinct.push(&cert.witness);
+            }
+        }
+        if distinct.len() < min_witnesses {
+            return Err(Error::ProofInvalid(format!(
+                "checkpoint {} has {} distinct witness endorsements, need {min_witnesses}",
+                self.checkpoint.index,
+                distinct.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Everything needed to verify, offline, that one event is part of the
+/// endorsed ledger history: the event itself, its merkle path, and the
+/// sealed checkpoint whose root the path reaches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CustodyProof {
+    /// The proven event.
+    pub event: LedgerEvent,
+    /// Merkle path from the event's leaf to the checkpoint's root.
+    pub inclusion: InclusionProof,
+    /// The checkpoint (plus witness certificates) the path closes over.
+    pub sealed: SealedCheckpoint,
+}
+
+impl CustodyProof {
+    /// Full offline verification: the event's own hash recomputes, the
+    /// inclusion path reaches the checkpoint's `events_root`, the
+    /// checkpoint and at least `min_witnesses` certificates verify.
+    /// Every failure is [`Error::ProofInvalid`].
+    pub fn verify(&self, name: &str, keyring: &Keyring, min_witnesses: usize) -> Result<()> {
+        if self.event.compute_hash() != self.event.hash {
+            return Err(Error::ProofInvalid(format!(
+                "event {} content does not match its hash",
+                self.event.seq
+            )));
+        }
+        if self.inclusion.leaf_index != self.event.seq as usize {
+            return Err(Error::ProofInvalid(format!(
+                "inclusion proof is for leaf {}, event has seq {}",
+                self.inclusion.leaf_index, self.event.seq
+            )));
+        }
+        if self.inclusion.leaf_count as u64 != self.sealed.checkpoint.upto {
+            return Err(Error::ProofInvalid(format!(
+                "inclusion proof covers {} leaves, checkpoint covers {}",
+                self.inclusion.leaf_count, self.sealed.checkpoint.upto
+            )));
+        }
+        // The ledger's merkle leaves are sha256_leaf(event.hash), so the
+        // path verifies directly against the (just recomputed) hash bytes.
+        self.inclusion.verify(&self.event.hash.0, &self.sealed.checkpoint.events_root)?;
+        self.sealed.verify(name, keyring, min_witnesses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sign::SecretKey;
+    use trustdb::hash::sha256;
+
+    fn ring() -> Keyring {
+        Keyring::new()
+            .with("custodian", SecretKey::derive("custodian"))
+            .with("w1", SecretKey::derive("w1"))
+            .with("w2", SecretKey::derive("w2"))
+    }
+
+    fn checkpoint(ring: &Keyring) -> Checkpoint {
+        let events_root = sha256(b"root");
+        let head = sha256(b"head");
+        let prev = Digest::zero();
+        let hash =
+            Checkpoint::compute_hash("ledger-a", 0, 3, 100, &events_root, &head, &prev, "custodian");
+        let signature = ring.sign("custodian", CHECKPOINT_DOMAIN, &hash.0).unwrap();
+        Checkpoint {
+            index: 0,
+            upto: 3,
+            timestamp_ms: 100,
+            events_root,
+            head,
+            prev,
+            signer: "custodian".into(),
+            hash,
+            signature,
+        }
+    }
+
+    #[test]
+    fn checkpoint_signs_and_verifies() {
+        let ring = ring();
+        let cp = checkpoint(&ring);
+        cp.verify("ledger-a", &ring).unwrap();
+        // Bound to the ledger name: the same checkpoint cannot be replayed
+        // against another ledger.
+        let err = cp.verify("ledger-b", &ring).unwrap_err();
+        assert!(matches!(err, Error::ProofInvalid(_)));
+    }
+
+    #[test]
+    fn tampered_checkpoint_fields_detected() {
+        let ring = ring();
+        let mut cp = checkpoint(&ring);
+        cp.upto = 4;
+        assert!(cp.verify("ledger-a", &ring).is_err());
+
+        let mut cp = checkpoint(&ring);
+        cp.events_root = sha256(b"other");
+        assert!(cp.verify("ledger-a", &ring).is_err());
+
+        // Re-hashing after tampering still fails: the signature no longer
+        // covers the new hash.
+        let mut cp = checkpoint(&ring);
+        cp.upto = 4;
+        cp.hash = Checkpoint::compute_hash(
+            "ledger-a",
+            cp.index,
+            cp.upto,
+            cp.timestamp_ms,
+            &cp.events_root,
+            &cp.head,
+            &cp.prev,
+            &cp.signer,
+        );
+        let err = cp.verify("ledger-a", &ring).unwrap_err();
+        assert!(matches!(err, Error::ProofInvalid(_)));
+    }
+
+    #[test]
+    fn witness_certificates_verify_and_bind() {
+        let ring = ring();
+        let cp = checkpoint(&ring);
+        let cert = WitnessCertificate::issue(&ring, "w1", &cp.hash).unwrap();
+        cert.verify(&cp.hash, &ring).unwrap();
+        // A certificate for some other checkpoint hash does not transfer.
+        let other = sha256(b"other checkpoint");
+        assert!(cert.verify(&other, &ring).is_err());
+    }
+
+    #[test]
+    fn sealed_checkpoint_counts_distinct_witnesses() {
+        let ring = ring();
+        let cp = checkpoint(&ring);
+        let c1 = WitnessCertificate::issue(&ring, "w1", &cp.hash).unwrap();
+        let sealed = SealedCheckpoint {
+            checkpoint: cp.clone(),
+            // Duplicated certificate: one distinct witness, not two.
+            witnesses: vec![c1.clone(), c1.clone()],
+        };
+        sealed.verify("ledger-a", &ring, 1).unwrap();
+        let err = sealed.verify("ledger-a", &ring, 2).unwrap_err();
+        assert!(matches!(err, Error::ProofInvalid(_)));
+
+        let c2 = WitnessCertificate::issue(&ring, "w2", &cp.hash).unwrap();
+        let sealed = SealedCheckpoint { checkpoint: cp, witnesses: vec![c1, c2] };
+        sealed.verify("ledger-a", &ring, 2).unwrap();
+    }
+
+    #[test]
+    fn forged_witness_signature_detected() {
+        let ring = ring();
+        let cp = checkpoint(&ring);
+        let mut cert = WitnessCertificate::issue(&ring, "w1", &cp.hash).unwrap();
+        cert.signature.0 .0[7] ^= 1;
+        let sealed = SealedCheckpoint { checkpoint: cp, witnesses: vec![cert] };
+        let err = sealed.verify("ledger-a", &ring, 0).unwrap_err();
+        assert!(matches!(err, Error::ProofInvalid(_)));
+    }
+}

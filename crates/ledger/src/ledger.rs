@@ -1,0 +1,508 @@
+//! The append-only provenance ledger.
+//!
+//! One [`Ledger`] per archive (or per tenant): every audit, provenance,
+//! repair, migration, redaction, and ingest event across the workspace is
+//! appended as a canonical [`LedgerEvent`], hash-chained and merkle-
+//! accumulated as it lands. Periodic [`Checkpoint`]s freeze prefixes of
+//! the history under a custodian signature; witness replicas countersign
+//! them (see [`crate::witness`]); and any past event can then be handed
+//! out as a self-contained [`CustodyProof`] whose verification costs
+//! O(log n) hash operations.
+//!
+//! Time is always injected: appends carry caller timestamps (from the
+//! workspace's [`trustdb::Clock`] implementations) and `checkpoint` takes
+//! the cut time explicitly, so ledger runs are deterministic under
+//! `ManualClock` virtual timelines.
+
+use std::collections::BTreeMap;
+
+use itrust_obs::{counter_inc, hist_record, span, ObsCtx};
+use parking_lot::RwLock;
+use trustdb::event::{verify_events, EventBuilder, LedgerEvent, Verifiable};
+use trustdb::hash::{sha256_leaf, Digest};
+use trustdb::{Error, Result};
+
+use crate::checkpoint::{
+    Checkpoint, CustodyProof, SealedCheckpoint, WitnessCertificate, CHECKPOINT_DOMAIN,
+};
+use crate::sign::Keyring;
+use crate::tree::IncrementalMerkle;
+
+struct Inner {
+    events: Vec<LedgerEvent>,
+    tree: IncrementalMerkle,
+    checkpoints: Vec<SealedCheckpoint>,
+    /// subject → seqs of events about it, for O(log n + k) history lookups.
+    subjects: BTreeMap<String, Vec<u64>>,
+}
+
+/// Append-only, checkpointed, witness-countersigned event ledger.
+pub struct Ledger {
+    name: String,
+    signer: String,
+    keyring: Keyring,
+    obs: ObsCtx,
+    inner: RwLock<Inner>,
+}
+
+impl Ledger {
+    /// New empty ledger. `name` scopes every checkpoint and proof (a
+    /// tenant id, typically); `signer` must have a key in `keyring`.
+    pub fn new(name: impl Into<String>, signer: impl Into<String>, keyring: Keyring) -> Self {
+        Ledger {
+            name: name.into(),
+            signer: signer.into(),
+            keyring,
+            obs: ObsCtx::null(),
+            inner: RwLock::new(Inner {
+                events: Vec::new(),
+                tree: IncrementalMerkle::new(),
+                checkpoints: Vec::new(),
+                subjects: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Attach an observability context.
+    pub fn with_obs(mut self, obs: ObsCtx) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The ledger's name (bound into every checkpoint hash).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The keyring used for signing and verification.
+    pub fn keyring(&self) -> &Keyring {
+        &self.keyring
+    }
+
+    /// Number of events appended.
+    pub fn len(&self) -> usize {
+        self.inner.read().events.len()
+    }
+
+    /// Whether the ledger holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().events.is_empty()
+    }
+
+    /// Seal and append one event. The ledger assigns `seq` and the chain
+    /// link; the builder supplies everything else. Timestamps must be
+    /// non-decreasing across appends.
+    pub fn append(&self, builder: EventBuilder) -> Result<LedgerEvent> {
+        let mut inner = self.inner.write();
+        let (seq, prev, floor) = match inner.events.last() {
+            Some(e) => (e.seq + 1, e.hash, e.timestamp_ms),
+            None => (0, Digest::zero(), 0),
+        };
+        let event = builder.seal(seq, prev, floor)?;
+        inner.tree.push(sha256_leaf(&event.hash.0));
+        inner.subjects.entry(event.subject.clone()).or_default().push(seq);
+        inner.events.push(event.clone());
+        counter_inc!(self.obs, "ledger.events");
+        Ok(event)
+    }
+
+    /// Append copies of already-sealed events from a legacy chain (audit
+    /// log, provenance chain, shard audit chain). Each event is re-sealed
+    /// under the ledger's own seq/prev chain with its original timestamp,
+    /// actor, kind, subject, outcome, and detail — so heterogeneous chains
+    /// merge into one history. Events must arrive in non-decreasing
+    /// timestamp order (sort a merged stream first). Returns the number
+    /// appended.
+    pub fn ingest<'a>(&self, events: impl IntoIterator<Item = &'a LedgerEvent>) -> Result<u64> {
+        let mut n = 0;
+        for e in events {
+            self.append(
+                LedgerEvent::builder(e.kind)
+                    .at(e.timestamp_ms)
+                    .actor(e.actor.clone())
+                    .subject(e.subject.clone())
+                    .outcome(e.outcome.clone())
+                    .detail(e.detail.clone()),
+            )?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// The event at `seq`, if appended.
+    pub fn event(&self, seq: u64) -> Option<LedgerEvent> {
+        self.inner.read().events.get(seq as usize).cloned()
+    }
+
+    /// All events about `subject`, in append order.
+    pub fn events_for_subject(&self, subject: &str) -> Vec<LedgerEvent> {
+        let inner = self.inner.read();
+        match inner.subjects.get(subject) {
+            Some(seqs) => {
+                seqs.iter().filter_map(|&s| inner.events.get(s as usize).cloned()).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Cut, sign, and record a checkpoint over every event appended so
+    /// far. Fails if the ledger is empty, if no events arrived since the
+    /// previous checkpoint, or if `timestamp_ms` runs backwards.
+    pub fn checkpoint(&self, timestamp_ms: u64) -> Result<Checkpoint> {
+        let _span = span!(self.obs, "ledger.checkpoint");
+        let mut inner = self.inner.write();
+        let upto = inner.events.len() as u64;
+        if upto == 0 {
+            return Err(Error::InvariantViolation("cannot checkpoint an empty ledger".into()));
+        }
+        let (index, prev, floor) = match inner.checkpoints.last() {
+            Some(s) => (s.checkpoint.index + 1, s.checkpoint.hash, s.checkpoint.timestamp_ms),
+            None => (0, Digest::zero(), 0),
+        };
+        if let Some(last) = inner.checkpoints.last() {
+            if last.checkpoint.upto == upto {
+                return Err(Error::InvariantViolation(format!(
+                    "checkpoint {index} would cover no new events (still {upto})"
+                )));
+            }
+        }
+        if timestamp_ms < floor {
+            return Err(Error::InvariantViolation(format!(
+                "checkpoint timestamp {timestamp_ms} precedes previous checkpoint at {floor}"
+            )));
+        }
+        let events_root = inner.tree.root_at(upto as usize)?;
+        let head = inner.events[upto as usize - 1].hash;
+        let hash = Checkpoint::compute_hash(
+            &self.name,
+            index,
+            upto,
+            timestamp_ms,
+            &events_root,
+            &head,
+            &prev,
+            &self.signer,
+        );
+        let signature = self.keyring.sign(&self.signer, CHECKPOINT_DOMAIN, &hash.0)?;
+        let cp = Checkpoint {
+            index,
+            upto,
+            timestamp_ms,
+            events_root,
+            head,
+            prev,
+            signer: self.signer.clone(),
+            hash,
+            signature,
+        };
+        inner.checkpoints.push(SealedCheckpoint { checkpoint: cp.clone(), witnesses: Vec::new() });
+        counter_inc!(self.obs, "ledger.checkpoints");
+        Ok(cp)
+    }
+
+    /// Attach a witness certificate to the checkpoint it endorses. The
+    /// certificate is verified first; duplicate endorsements by the same
+    /// witness are idempotent no-ops.
+    pub fn add_witness(&self, cert: WitnessCertificate) -> Result<()> {
+        let mut inner = self.inner.write();
+        let sealed = inner
+            .checkpoints
+            .iter_mut()
+            .find(|s| s.checkpoint.hash == cert.checkpoint)
+            .ok_or_else(|| {
+                Error::ProofInvalid("witness certificate names an unknown checkpoint".into())
+            })?;
+        cert.verify(&sealed.checkpoint.hash, &self.keyring)?;
+        if sealed.witnesses.iter().any(|c| c.witness == cert.witness) {
+            return Ok(());
+        }
+        sealed.witnesses.push(cert);
+        sealed.witnesses.sort_by(|a, b| a.witness.cmp(&b.witness));
+        counter_inc!(self.obs, "ledger.witness.certs");
+        Ok(())
+    }
+
+    /// Number of checkpoints cut.
+    pub fn checkpoint_count(&self) -> usize {
+        self.inner.read().checkpoints.len()
+    }
+
+    /// The most recent checkpoint with its certificates, if any.
+    pub fn latest_checkpoint(&self) -> Option<SealedCheckpoint> {
+        self.inner.read().checkpoints.last().cloned()
+    }
+
+    /// Hash of the last appended event ([`Digest::zero`] when empty).
+    pub fn head(&self) -> Digest {
+        self.inner.read().events.last().map(|e| e.hash).unwrap_or_else(Digest::zero)
+    }
+
+    /// Build a self-contained custody proof for event `seq` against the
+    /// most recent checkpoint covering it. O(log n). Fails with
+    /// [`Error::ProofInvalid`] if no checkpoint covers the event yet.
+    pub fn prove(&self, seq: u64) -> Result<CustodyProof> {
+        let _span = span!(self.obs, "ledger.prove");
+        let inner = self.inner.read();
+        let event = inner.events.get(seq as usize).cloned().ok_or_else(|| {
+            Error::ProofInvalid(format!("no event with seq {seq} (ledger holds {})",
+                inner.events.len()))
+        })?;
+        let sealed = inner
+            .checkpoints
+            .iter()
+            .rev()
+            .find(|s| s.checkpoint.upto > seq)
+            .cloned()
+            .ok_or_else(|| {
+                Error::ProofInvalid(format!("no checkpoint covers event {seq} yet"))
+            })?;
+        let inclusion = inner.tree.prove_at(seq as usize, sealed.checkpoint.upto as usize)?;
+        hist_record!(self.obs, "ledger.prove.path_len", inclusion.path.len() as u64);
+        Ok(CustodyProof { event, inclusion, sealed })
+    }
+
+    /// Full audit: every hash link, every event hash, every checkpoint
+    /// (chain, root, head, custodian signature, witness certificates)
+    /// recomputed from scratch against an independently rebuilt merkle
+    /// accumulator.
+    pub fn verify(&self) -> Result<()> {
+        let _span = span!(self.obs, "ledger.verify");
+        let inner = self.inner.read();
+        verify_events(&inner.events)?;
+        let mut rebuilt = IncrementalMerkle::new();
+        for e in &inner.events {
+            rebuilt.push(sha256_leaf(&e.hash.0));
+        }
+        let mut prev = Digest::zero();
+        let mut prev_upto = 0u64;
+        for (i, sealed) in inner.checkpoints.iter().enumerate() {
+            let cp = &sealed.checkpoint;
+            if cp.index != i as u64 {
+                return Err(Error::ProofInvalid(format!(
+                    "checkpoint chain gap: position {i} holds index {}",
+                    cp.index
+                )));
+            }
+            if cp.prev != prev {
+                return Err(Error::ProofInvalid(format!(
+                    "checkpoint {i} does not link to its predecessor"
+                )));
+            }
+            if cp.upto <= prev_upto && i > 0 {
+                return Err(Error::ProofInvalid(format!(
+                    "checkpoint {i} covers {} events, not more than predecessor's {prev_upto}",
+                    cp.upto
+                )));
+            }
+            if cp.upto as usize > inner.events.len() {
+                return Err(Error::ProofInvalid(format!(
+                    "checkpoint {i} covers {} events but ledger holds {}",
+                    cp.upto,
+                    inner.events.len()
+                )));
+            }
+            if rebuilt.root_at(cp.upto as usize)? != cp.events_root {
+                return Err(Error::ProofInvalid(format!(
+                    "checkpoint {i} root does not match the event history"
+                )));
+            }
+            if inner.events[cp.upto as usize - 1].hash != cp.head {
+                return Err(Error::ProofInvalid(format!(
+                    "checkpoint {i} head does not match event {}",
+                    cp.upto - 1
+                )));
+            }
+            sealed.verify(&self.name, &self.keyring, 0)?;
+            prev = cp.hash;
+            prev_upto = cp.upto;
+        }
+        Ok(())
+    }
+}
+
+impl Verifiable for Ledger {
+    fn verify(&self) -> Result<()> {
+        Ledger::verify(self)
+    }
+
+    fn head(&self) -> Digest {
+        Ledger::head(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sign::SecretKey;
+    use trustdb::event::EventKind;
+
+    fn ring() -> Keyring {
+        Keyring::new()
+            .with("custodian", SecretKey::derive("custodian"))
+            .with("w1", SecretKey::derive("w1"))
+            .with("w2", SecretKey::derive("w2"))
+            .with("w3", SecretKey::derive("w3"))
+    }
+
+    fn ledger() -> Ledger {
+        Ledger::new("tenant-a", "custodian", ring())
+    }
+
+    fn fill(l: &Ledger, n: u64, t0: u64) {
+        for i in 0..n {
+            l.append(
+                LedgerEvent::builder(EventKind::FixityCheck)
+                    .at(t0 + i)
+                    .actor("auditor")
+                    .subject(format!("rec-{}", i % 3))
+                    .outcome("success"),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn append_checkpoint_prove_verify_round_trip() {
+        let l = ledger();
+        fill(&l, 10, 100);
+        assert_eq!(l.len(), 10);
+        let cp = l.checkpoint(200).unwrap();
+        assert_eq!(cp.upto, 10);
+        for seq in 0..10 {
+            let proof = l.prove(seq).unwrap();
+            proof.verify("tenant-a", l.keyring(), 0).unwrap();
+            assert_eq!(proof.event.seq, seq);
+        }
+        l.verify().unwrap();
+    }
+
+    #[test]
+    fn proofs_pin_the_checkpoint_that_covered_the_event() {
+        let l = ledger();
+        fill(&l, 4, 100);
+        l.checkpoint(150).unwrap();
+        fill(&l, 4, 200);
+        let cp2 = l.checkpoint(250).unwrap();
+        // Latest covering checkpoint is used; early events prove under the
+        // bigger prefix.
+        let proof = l.prove(1).unwrap();
+        assert_eq!(proof.sealed.checkpoint.index, cp2.index);
+        assert_eq!(proof.inclusion.leaf_count, 8);
+        proof.verify("tenant-a", l.keyring(), 0).unwrap();
+    }
+
+    #[test]
+    fn unproven_until_checkpointed() {
+        let l = ledger();
+        fill(&l, 3, 100);
+        let err = l.prove(0).unwrap_err();
+        assert!(matches!(err, Error::ProofInvalid(_)));
+        l.checkpoint(150).unwrap();
+        l.prove(0).unwrap();
+        // New events past the checkpoint are still unproven.
+        fill(&l, 1, 200);
+        assert!(l.prove(3).is_err());
+    }
+
+    #[test]
+    fn empty_or_stale_checkpoints_rejected() {
+        let l = ledger();
+        assert!(l.checkpoint(10).is_err(), "empty ledger");
+        fill(&l, 2, 100);
+        l.checkpoint(150).unwrap();
+        let err = l.checkpoint(160).unwrap_err();
+        assert!(matches!(err, Error::InvariantViolation(_)), "no new events");
+        fill(&l, 1, 200);
+        assert!(l.checkpoint(100).is_err(), "clock ran backwards");
+        l.checkpoint(250).unwrap();
+    }
+
+    #[test]
+    fn witness_certificates_accumulate_idempotently() {
+        let l = ledger();
+        fill(&l, 5, 100);
+        let cp = l.checkpoint(150).unwrap();
+        let ring = ring();
+        for w in ["w1", "w2", "w1"] {
+            l.add_witness(WitnessCertificate::issue(&ring, w, &cp.hash).unwrap()).unwrap();
+        }
+        let sealed = l.latest_checkpoint().unwrap();
+        assert_eq!(sealed.witnesses.len(), 2, "duplicate w1 collapsed");
+        sealed.verify("tenant-a", &ring, 2).unwrap();
+        l.verify().unwrap();
+
+        // Proofs carry the certificates and enforce the quorum floor.
+        let proof = l.prove(2).unwrap();
+        proof.verify("tenant-a", &ring, 2).unwrap();
+        let err = proof.verify("tenant-a", &ring, 3).unwrap_err();
+        assert!(matches!(err, Error::ProofInvalid(_)));
+    }
+
+    #[test]
+    fn forged_certificate_rejected_at_ingest() {
+        let l = ledger();
+        fill(&l, 2, 100);
+        let cp = l.checkpoint(150).unwrap();
+        let ring = ring();
+        let mut cert = WitnessCertificate::issue(&ring, "w1", &cp.hash).unwrap();
+        cert.signature.0 .0[0] ^= 1;
+        assert!(l.add_witness(cert).is_err());
+        // An honest certificate for an unknown checkpoint is also refused.
+        let stray = WitnessCertificate::issue(&ring, "w1", &Digest::zero()).unwrap();
+        assert!(l.add_witness(stray).is_err());
+    }
+
+    #[test]
+    fn subject_index_returns_per_record_history() {
+        let l = ledger();
+        fill(&l, 9, 100);
+        let rec0 = l.events_for_subject("rec-0");
+        assert_eq!(rec0.len(), 3);
+        assert!(rec0.iter().all(|e| e.subject == "rec-0"));
+        assert!(l.events_for_subject("rec-9").is_empty());
+    }
+
+    #[test]
+    fn ingest_merges_foreign_chains() {
+        let l = ledger();
+        // A foreign chain with its own seq/prev numbering.
+        let audit = trustdb::audit::AuditLog::new();
+        audit.append(10, "op", EventKind::Ingest, "obj-1", "accessioned").unwrap();
+        audit.append(20, "op", EventKind::Repair, "obj-1", "healed").unwrap();
+        let n = l.ingest(audit.export().iter()).unwrap();
+        assert_eq!(n, 2);
+        // Re-sealed under the ledger's own chain, content preserved.
+        let e = l.event(1).unwrap();
+        assert_eq!(e.kind, EventKind::Repair);
+        assert_eq!(e.subject, "obj-1");
+        assert_eq!(e.timestamp_ms, 20);
+        l.checkpoint(30).unwrap();
+        l.prove(0).unwrap().verify("tenant-a", l.keyring(), 0).unwrap();
+        l.verify().unwrap();
+    }
+
+    #[test]
+    fn verify_detects_tampered_checkpoint_chain() {
+        let l = ledger();
+        fill(&l, 4, 100);
+        l.checkpoint(150).unwrap();
+        fill(&l, 2, 200);
+        l.checkpoint(250).unwrap();
+        l.verify().unwrap();
+        {
+            let mut inner = l.inner.write();
+            inner.checkpoints[1].checkpoint.prev = Digest::zero();
+        }
+        let err = l.verify().unwrap_err();
+        assert!(matches!(err, Error::ProofInvalid(_)));
+    }
+
+    #[test]
+    fn verifiable_impl_matches_inherent_api() {
+        let l = ledger();
+        fill(&l, 3, 100);
+        Verifiable::verify(&l).unwrap();
+        assert_eq!(Verifiable::head(&l), l.head());
+        assert_ne!(l.head(), Digest::zero());
+    }
+}

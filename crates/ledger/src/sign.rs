@@ -1,0 +1,240 @@
+//! Checkpoint and witness signatures.
+//!
+//! The container has no network and no vendored elliptic-curve crate, so
+//! signatures are HMAC-SHA256 over the workspace's own FIPS 180-4 SHA-256
+//! (`trustdb::hash`) under a **shared-secret keyring**: every party that
+//! signs or verifies holds the per-identity secret keys. This is the
+//! symmetric analogue of the witness-certificate design — it proves that a
+//! checkpoint was endorsed by a key holder and that nothing signed was
+//! altered afterwards, but unlike an asymmetric scheme it cannot prove
+//! *which* key holder to an outsider who holds no keys. Swapping in
+//! ed25519 later only changes this module: the domain-separated
+//! sign/verify surface stays the same.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use trustdb::hash::{Digest, Sha256};
+use trustdb::{Error, Result};
+
+/// A 256-bit shared secret identifying one signer (the ledger's custodian
+/// or one witness replica).
+#[derive(Clone)]
+pub struct SecretKey([u8; 32]);
+
+impl SecretKey {
+    /// Wrap raw key bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        SecretKey(bytes)
+    }
+
+    /// Derive a key deterministically from a label (test/bench harness
+    /// convenience; production custodians load real key material).
+    pub fn derive(label: &str) -> Self {
+        let mut h = Sha256::new();
+        h.update(b"itrust-ledger/keygen/v1");
+        h.update(&(label.len() as u32).to_le_bytes());
+        h.update(label.as_bytes());
+        SecretKey(h.finalize().0)
+    }
+}
+
+/// An HMAC-SHA256 tag over a domain-separated message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature(pub Digest);
+
+const BLOCK: usize = 64;
+
+/// FIPS 198-1 HMAC-SHA256 over `parts` in order (equivalent to HMAC over
+/// their concatenation, without materializing it). Validated against the
+/// RFC 4231 test vectors below.
+fn hmac_core(key: &SecretKey, parts: &[&[u8]]) -> Signature {
+    let mut k0 = [0u8; BLOCK];
+    k0[..32].copy_from_slice(&key.0);
+    let mut ipad = [0u8; BLOCK];
+    let mut opad = [0u8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] = k0[i] ^ 0x36;
+        opad[i] = k0[i] ^ 0x5c;
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    for part in parts {
+        inner.update(part);
+    }
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest.0);
+    Signature(outer.finalize())
+}
+
+/// HMAC-SHA256 with an additional length-prefixed domain string, so a
+/// signature over one protocol message can never be replayed as another
+/// message kind.
+pub fn hmac_sha256(key: &SecretKey, domain: &str, msg: &[u8]) -> Signature {
+    hmac_core(key, &[&(domain.len() as u32).to_le_bytes(), domain.as_bytes(), msg])
+}
+
+/// Constant-time digest comparison: a timing oracle on tag comparison is
+/// the classic HMAC verification mistake.
+fn ct_eq(a: &Digest, b: &Digest) -> bool {
+    let mut acc = 0u8;
+    for i in 0..32 {
+        acc |= a.0[i] ^ b.0[i];
+    }
+    acc == 0
+}
+
+/// The set of signer identities and their keys. Ordered so every iteration
+/// (and therefore every report and telemetry stream) is deterministic.
+#[derive(Clone, Default)]
+pub struct Keyring {
+    keys: BTreeMap<String, SecretKey>,
+}
+
+impl Keyring {
+    /// Empty keyring.
+    pub fn new() -> Self {
+        Keyring::default()
+    }
+
+    /// Add (or replace) the key for `id`.
+    pub fn insert(&mut self, id: impl Into<String>, key: SecretKey) {
+        self.keys.insert(id.into(), key);
+    }
+
+    /// Builder-style [`Keyring::insert`].
+    pub fn with(mut self, id: impl Into<String>, key: SecretKey) -> Self {
+        self.insert(id, key);
+        self
+    }
+
+    /// Whether `id` has a key.
+    pub fn contains(&self, id: &str) -> bool {
+        self.keys.contains_key(id)
+    }
+
+    /// Known signer ids, in order.
+    pub fn ids(&self) -> Vec<String> {
+        self.keys.keys().cloned().collect()
+    }
+
+    /// Sign `msg` under `domain` as `id`. Unknown ids cannot sign.
+    pub fn sign(&self, id: &str, domain: &str, msg: &[u8]) -> Result<Signature> {
+        let key = self.keys.get(id).ok_or_else(|| {
+            Error::InvariantViolation(format!("no signing key for identity {id}"))
+        })?;
+        Ok(hmac_sha256(key, domain, msg))
+    }
+
+    /// Verify that `sig` is `id`'s tag over `msg` under `domain`. Any
+    /// mismatch — including an unknown identity — is a proof failure
+    /// ([`Error::ProofInvalid`]): non-transient, an integrity incident.
+    pub fn verify(&self, id: &str, domain: &str, msg: &[u8], sig: &Signature) -> Result<()> {
+        let key = self
+            .keys
+            .get(id)
+            .ok_or_else(|| Error::ProofInvalid(format!("signature by unknown identity {id}")))?;
+        let expect = hmac_sha256(key, domain, msg);
+        if ct_eq(&expect.0, &sig.0) {
+            Ok(())
+        } else {
+            Err(Error::ProofInvalid(format!("signature by {id} does not verify under {domain}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hmac_core_matches_rfc4231_vectors() {
+        // RFC 4231 test case 1: key = 20 bytes of 0x0b (zero-padded to our
+        // fixed 32-byte key size changes nothing: HMAC pads to the block
+        // size with zeros anyway), data = "Hi There".
+        let mut k = [0u8; 32];
+        k[..20].fill(0x0b);
+        let tag = hmac_core(&SecretKey::from_bytes(k), &[b"Hi There"]);
+        assert_eq!(
+            tag.0.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        // RFC 4231 test case 2: key = "Jefe", data = "what do ya want for
+        // nothing?".
+        let mut k = [0u8; 32];
+        k[..4].copy_from_slice(b"Jefe");
+        let tag =
+            hmac_core(&SecretKey::from_bytes(k), &[b"what do ya want ", b"for nothing?"]);
+        assert_eq!(
+            tag.0.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn hmac_is_deterministic_and_domain_separated() {
+        let key = SecretKey::from_bytes({
+            let mut k = [0u8; 32];
+            k[..4].copy_from_slice(b"Jefe");
+            k
+        });
+        let a = hmac_sha256(&key, "d", b"what do ya want for nothing?");
+        let b = hmac_sha256(&key, "d", b"what do ya want for nothing?");
+        assert_eq!(a, b, "deterministic");
+        // Domain separation: same key and message, different domain, new tag.
+        let c = hmac_sha256(&key, "e", b"what do ya want for nothing?");
+        assert_ne!(a, c);
+        // Domain/message boundary cannot be spliced.
+        let d = hmac_sha256(&key, "dw", b"hat do ya want for nothing?");
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn keyring_signs_and_verifies() {
+        let ring = Keyring::new().with("custodian", SecretKey::derive("custodian"));
+        let sig = ring.sign("custodian", "test/v1", b"payload").unwrap();
+        ring.verify("custodian", "test/v1", b"payload", &sig).unwrap();
+    }
+
+    #[test]
+    fn verification_failures_are_proof_invalid() {
+        let ring = Keyring::new()
+            .with("a", SecretKey::derive("a"))
+            .with("b", SecretKey::derive("b"));
+        let sig = ring.sign("a", "test/v1", b"payload").unwrap();
+        // Wrong message.
+        let err = ring.verify("a", "test/v1", b"payloaX", &sig).unwrap_err();
+        assert!(matches!(err, Error::ProofInvalid(_)));
+        // Wrong signer.
+        assert!(ring.verify("b", "test/v1", b"payload", &sig).is_err());
+        // Wrong domain.
+        assert!(ring.verify("a", "test/v2", b"payload", &sig).is_err());
+        // Unknown identity.
+        let err = ring.verify("nobody", "test/v1", b"payload", &sig).unwrap_err();
+        assert!(matches!(err, Error::ProofInvalid(_)));
+        // Unknown identities cannot sign either.
+        assert!(ring.sign("nobody", "test/v1", b"payload").is_err());
+    }
+
+    #[test]
+    fn flipped_tag_bit_rejected() {
+        let ring = Keyring::new().with("a", SecretKey::derive("a"));
+        let sig = ring.sign("a", "test/v1", b"payload").unwrap();
+        for byte in [0usize, 15, 31] {
+            let mut forged = sig;
+            forged.0 .0[byte] ^= 1;
+            assert!(ring.verify("a", "test/v1", b"payload", &forged).is_err());
+        }
+    }
+
+    #[test]
+    fn derive_is_stable_and_label_sensitive() {
+        let a = SecretKey::derive("witness-1");
+        let b = SecretKey::derive("witness-1");
+        let c = SecretKey::derive("witness-2");
+        assert_eq!(hmac_sha256(&a, "d", b"m"), hmac_sha256(&b, "d", b"m"));
+        assert_ne!(hmac_sha256(&a, "d", b"m"), hmac_sha256(&c, "d", b"m"));
+    }
+}

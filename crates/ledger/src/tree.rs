@@ -1,0 +1,303 @@
+//! Append-only merkle accumulator with historical prefix roots.
+//!
+//! [`trustdb::merkle::MerkleTree`] is batch-built: adding a leaf means
+//! rebuilding every level, O(n) per append. A ledger appends forever and
+//! checkpoints periodically, so it needs (a) O(log n) amortized appends
+//! and (b) proofs *against past checkpoint roots* — "prove event 17 under
+//! the root sealed when the ledger had 1 000 events", long after it grew
+//! to a million.
+//!
+//! [`IncrementalMerkle`] stores, per level, exactly the *complete-pair*
+//! nodes: node `(level, i)` is materialized iff its subtree of `2^level`
+//! leaves is full. Those nodes are **prefix-stable** — appending leaves
+//! never changes them — which is what makes historical roots cheap. The
+//! only nodes that differ between "the tree at n leaves" and "the tree
+//! now" lie on the right spine of the n-prefix (at most one per level,
+//! where the odd node is *promoted*, exactly matching `MerkleTree`'s
+//! promotion rule), and [`PrefixView`] recomputes that spine in O(log n).
+//!
+//! Roots and inclusion proofs are bit-identical to
+//! `MerkleTree::from_leaf_digests` over the same prefix (pinned by tests),
+//! so the existing [`InclusionProof`] verifier — and its ≤ `log2(n)`
+//! hash-ops bound — is reused unchanged.
+
+use trustdb::hash::{sha256_pair, Digest};
+use trustdb::merkle::{InclusionProof, ProofStep, Side};
+use trustdb::{Error, Result};
+
+/// Append-only merkle tree over (already domain-separated) leaf digests.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalMerkle {
+    /// `levels[l][i]` = digest of the complete subtree covering leaves
+    /// `[i·2^l, (i+1)·2^l)`; present iff that range is fully populated.
+    levels: Vec<Vec<Digest>>,
+}
+
+impl IncrementalMerkle {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        IncrementalMerkle { levels: vec![Vec::new()] }
+    }
+
+    /// Number of leaves appended so far.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Whether no leaves have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.levels[0].is_empty()
+    }
+
+    /// Append one leaf digest (domain-separated by the caller, e.g.
+    /// `sha256_leaf`). O(log n) worst case, O(1) amortized: a push only
+    /// cascades while it completes a pair at each level.
+    pub fn push(&mut self, leaf: Digest) {
+        self.levels[0].push(leaf);
+        let mut level = 0;
+        loop {
+            let len = self.levels[level].len();
+            if len < 2 || !len.is_multiple_of(2) {
+                break;
+            }
+            let parent = sha256_pair(&self.levels[level][len - 2], &self.levels[level][len - 1]);
+            if self.levels.len() == level + 1 {
+                self.levels.push(Vec::new());
+            }
+            self.levels[level + 1].push(parent);
+            level += 1;
+        }
+    }
+
+    /// Root over all appended leaves. `None` when empty.
+    pub fn root(&self) -> Option<Digest> {
+        self.root_at(self.len()).ok()
+    }
+
+    /// Root the tree had when it held exactly its first `n` leaves —
+    /// bit-identical to `MerkleTree::from_leaf_digests(leaves[..n])`.
+    /// O(log n).
+    pub fn root_at(&self, n: usize) -> Result<Digest> {
+        let view = PrefixView::new(self, n)?;
+        Ok(view.root())
+    }
+
+    /// Inclusion proof for leaf `index` against the `n`-leaf prefix root —
+    /// bit-identical to `MerkleTree::prove` over that prefix. O(log n).
+    pub fn prove_at(&self, index: usize, n: usize) -> Result<InclusionProof> {
+        let view = PrefixView::new(self, n)?;
+        if index >= n {
+            return Err(Error::ProofInvalid(format!(
+                "leaf index {index} out of range (prefix length {n})"
+            )));
+        }
+        let mut path = Vec::with_capacity(view.counts.len());
+        let mut idx = index;
+        for level in 0..view.counts.len() - 1 {
+            let sibling_idx = idx ^ 1;
+            if sibling_idx < view.counts[level] {
+                let side = if sibling_idx < idx { Side::Left } else { Side::Right };
+                path.push(ProofStep { sibling: view.node(level, sibling_idx), side });
+            }
+            // With promotion, an odd node keeps its hash and moves up at
+            // the position of its pair slot.
+            idx /= 2;
+        }
+        Ok(InclusionProof { leaf_index: index, leaf_count: n, path })
+    }
+}
+
+/// The n-leaf prefix of an [`IncrementalMerkle`]: per-level node counts
+/// plus the recomputed right-spine values. Built in O(log n); after that
+/// every node of the prefix tree is readable in O(1).
+struct PrefixView<'a> {
+    tree: &'a IncrementalMerkle,
+    /// `counts[l]` = number of nodes at level `l` of the prefix tree
+    /// (promoted odd nodes included). `counts.last() == 1`.
+    counts: Vec<usize>,
+    /// `spine[l]` = digest of the last node at level `l` — the only node
+    /// per level that can differ from the stored full-tree value.
+    spine: Vec<Digest>,
+}
+
+impl<'a> PrefixView<'a> {
+    fn new(tree: &'a IncrementalMerkle, n: usize) -> Result<Self> {
+        if n == 0 || n > tree.len() {
+            return Err(Error::InvariantViolation(format!(
+                "prefix length {n} out of range (tree holds {} leaves)",
+                tree.len()
+            )));
+        }
+        let mut counts = vec![n];
+        let mut top = n;
+        while top > 1 {
+            top = top.div_ceil(2);
+            counts.push(top);
+        }
+        let mut spine = Vec::with_capacity(counts.len());
+        spine.push(tree.levels[0][n - 1]);
+        for level in 1..counts.len() {
+            let last = counts[level] - 1;
+            let value = if Self::is_complete(last, level, n) {
+                tree.levels[level][last]
+            } else {
+                let below = counts[level - 1];
+                let left_idx = 2 * last;
+                let left = if left_idx == below - 1 {
+                    spine[level - 1]
+                } else {
+                    // A non-last node is always complete, hence stored.
+                    tree.levels[level - 1][left_idx]
+                };
+                if left_idx + 1 < below {
+                    // The right child of the last node is the last node of
+                    // the level below.
+                    sha256_pair(&left, &spine[level - 1])
+                } else {
+                    left // odd node: promoted unchanged
+                }
+            };
+            spine.push(value);
+        }
+        Ok(PrefixView { tree, counts, spine })
+    }
+
+    /// Does node `(level, idx)`'s subtree lie entirely inside the prefix?
+    fn is_complete(idx: usize, level: usize, n: usize) -> bool {
+        // (idx + 1) * 2^level <= n, without overflow for huge levels.
+        (idx + 1).checked_shl(level as u32).is_some_and(|end| end <= n)
+    }
+
+    /// Digest of prefix-tree node `(level, idx)`.
+    fn node(&self, level: usize, idx: usize) -> Digest {
+        if idx == self.counts[level] - 1 {
+            self.spine[level]
+        } else {
+            self.tree.levels[level][idx]
+        }
+    }
+
+    fn root(&self) -> Digest {
+        // One spine entry per level; the top level has a single node.
+        self.spine[self.spine.len() - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustdb::hash::sha256_leaf;
+    use trustdb::merkle::MerkleTree;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| sha256_leaf(format!("event-{i}").as_bytes())).collect()
+    }
+
+    #[test]
+    fn empty_tree_has_no_root() {
+        let t = IncrementalMerkle::new();
+        assert!(t.is_empty());
+        assert!(t.root().is_none());
+        assert!(t.root_at(0).is_err());
+    }
+
+    #[test]
+    fn roots_match_batch_tree_at_every_size() {
+        let all = leaves(130);
+        let mut inc = IncrementalMerkle::new();
+        for (i, leaf) in all.iter().enumerate() {
+            inc.push(*leaf);
+            let batch = MerkleTree::from_leaf_digests(all[..=i].to_vec()).expect("non-empty");
+            assert_eq!(inc.root().expect("non-empty"), batch.root(), "n={}", i + 1);
+        }
+    }
+
+    #[test]
+    fn historical_roots_match_batch_tree_prefixes() {
+        let all = leaves(100);
+        let mut inc = IncrementalMerkle::new();
+        for leaf in &all {
+            inc.push(*leaf);
+        }
+        for n in 1..=all.len() {
+            let batch = MerkleTree::from_leaf_digests(all[..n].to_vec()).expect("non-empty");
+            assert_eq!(inc.root_at(n).unwrap(), batch.root(), "prefix n={n}");
+        }
+    }
+
+    #[test]
+    fn proofs_match_batch_tree_and_verify() {
+        let all = leaves(37);
+        let mut inc = IncrementalMerkle::new();
+        for leaf in &all {
+            inc.push(*leaf);
+        }
+        for n in 1..=all.len() {
+            let batch = MerkleTree::from_leaf_digests(all[..n].to_vec()).expect("non-empty");
+            let root = batch.root();
+            for i in 0..n {
+                let p = inc.prove_at(i, n).unwrap();
+                assert_eq!(p, batch.prove(i).unwrap(), "n={n} i={i}");
+                p.verify(format!("event-{i}").as_bytes(), &root).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut t = IncrementalMerkle::new();
+        for leaf in leaves(5) {
+            t.push(leaf);
+        }
+        assert!(t.root_at(6).is_err());
+        assert!(t.prove_at(3, 3).is_err(), "index must be < prefix length");
+        assert!(t.prove_at(0, 0).is_err());
+    }
+
+    #[test]
+    fn million_leaf_proofs_stay_logarithmic() {
+        // The acceptance bound for the ledger: a 1M-event tree must prove
+        // membership with at most 20 sibling hashes (2^20 ≥ 1e6), i.e.
+        // O(log n) hash ops at verification.
+        let n = 1_000_000usize;
+        let mut t = IncrementalMerkle::new();
+        let mut leaf = sha256_leaf(b"seed");
+        for _ in 0..n {
+            t.push(leaf);
+            // Cheap distinct leaves: chain the digest instead of hashing
+            // fresh payloads.
+            leaf = sha256_pair(&leaf, &leaf);
+        }
+        let root = t.root().expect("non-empty");
+        for idx in [0usize, 1, 499_999, 999_998, 999_999] {
+            let p = t.prove_at(idx, n).unwrap();
+            assert!(
+                p.path.len() <= 20,
+                "proof for leaf {idx} took {} hash ops, want ≤ 20",
+                p.path.len()
+            );
+            // Verify against the raw leaf digest chain is not possible here
+            // (leaves are digests, not payloads), so check the path by
+            // recomputation.
+            let mut running = t.levels[0][idx];
+            for step in &p.path {
+                running = match step.side {
+                    Side::Left => sha256_pair(&step.sibling, &running),
+                    Side::Right => sha256_pair(&running, &step.sibling),
+                };
+            }
+            assert_eq!(running, root);
+        }
+    }
+
+    #[test]
+    fn push_work_is_amortized_constant() {
+        // Total stored nodes after N pushes is < 2N: the level sizes halve.
+        let mut t = IncrementalMerkle::new();
+        for leaf in leaves(1024) {
+            t.push(leaf);
+        }
+        let stored: usize = t.levels.iter().map(Vec::len).sum();
+        assert!(stored < 2 * 1024, "stored {stored} nodes for 1024 leaves");
+    }
+}

@@ -1,0 +1,323 @@
+//! Cross-replica witness countersignature collection.
+//!
+//! Witnesses are replicas that hold their own signing keys and countersign
+//! ledger checkpoints after independently re-verifying the custodian's
+//! signature. Collection rides on the anti-entropy layer's
+//! [`PartitionedBackend::exchange`] primitive, so witness round-trips see
+//! exactly the same partition schedule as the data plane: a severed
+//! replica cannot countersign, and the quorum arithmetic reflects that.
+//! Certificates that do land are anchored back into the replicated object
+//! store as content-addressed objects, giving every replica a durable,
+//! fixity-checkable copy of the endorsement.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use itrust_obs::{counter_inc, span, ObsCtx};
+use trustdb::antientropy::PartitionedBackend;
+use trustdb::hash::{sha256, Digest};
+use trustdb::store::Backend;
+use trustdb::{Error, Result};
+
+use crate::checkpoint::{Checkpoint, SealedCheckpoint, WitnessCertificate};
+use crate::ledger::Ledger;
+use crate::sign::Keyring;
+
+/// One witness replica: an identity plus the keys it trusts. A witness
+/// only needs the custodian's verification key and its own signing key.
+#[derive(Clone)]
+pub struct Witness {
+    id: String,
+    keyring: Keyring,
+}
+
+impl Witness {
+    /// A witness named `id`; `keyring` must contain `id`'s signing key and
+    /// the ledger custodian's key.
+    pub fn new(id: impl Into<String>, keyring: Keyring) -> Self {
+        Witness { id: id.into(), keyring }
+    }
+
+    /// The witness identity.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Re-verify a checkpoint for the ledger called `name` and, if it
+    /// holds, countersign it. A witness never endorses what it cannot
+    /// verify.
+    pub fn countersign(&self, name: &str, checkpoint: &Checkpoint) -> Result<WitnessCertificate> {
+        checkpoint.verify(name, &self.keyring)?;
+        WitnessCertificate::issue(&self.keyring, &self.id, &checkpoint.hash)
+    }
+}
+
+/// Outcome of one collection round for one checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnchorReport {
+    /// Index of the checkpoint the round ran for.
+    pub checkpoint_index: u64,
+    /// Certificates collected and attached this round.
+    pub collected: usize,
+    /// Witnesses skipped because their link was severed.
+    pub unreachable: usize,
+    /// Witnesses that refused to countersign (verification failed).
+    pub refused: usize,
+    /// Distinct endorsements now attached to the checkpoint.
+    pub endorsements: usize,
+    /// Whether endorsements reach a strict majority of the witness set.
+    pub quorum: bool,
+}
+
+/// Collects witness countersignatures for a ledger's checkpoints over
+/// partition-aware replica links.
+pub struct WitnessExchange<B: Backend> {
+    witnesses: Vec<(Witness, Arc<PartitionedBackend<B>>)>,
+    obs: ObsCtx,
+}
+
+impl<B: Backend> WitnessExchange<B> {
+    /// An exchange with no witnesses yet.
+    pub fn new() -> Self {
+        WitnessExchange { witnesses: Vec::new(), obs: ObsCtx::null() }
+    }
+
+    /// Attach an observability context.
+    pub fn with_obs(mut self, obs: ObsCtx) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Register a witness reachable over `link`.
+    pub fn register(&mut self, witness: Witness, link: Arc<PartitionedBackend<B>>) {
+        self.witnesses.push((witness, link));
+    }
+
+    /// Number of registered witnesses.
+    pub fn witness_count(&self) -> usize {
+        self.witnesses.len()
+    }
+
+    /// Strict majority of the registered witness set.
+    pub fn quorum_size(&self) -> usize {
+        self.witnesses.len() / 2 + 1
+    }
+
+    /// Run one collection round for the ledger's latest checkpoint: each
+    /// reachable witness re-verifies and countersigns it, and every
+    /// certificate that lands is attached to the ledger and anchored into
+    /// that witness's object store. Severed links are skipped, not errors
+    /// — rerun after partitions heal to pick up the stragglers.
+    pub fn collect(&self, ledger: &Ledger) -> Result<AnchorReport> {
+        let _span = span!(self.obs, "ledger.witness.collect");
+        let sealed = ledger.latest_checkpoint().ok_or_else(|| {
+            Error::InvariantViolation("no checkpoint to collect witness signatures for".into())
+        })?;
+        let cp = &sealed.checkpoint;
+        let mut collected = 0;
+        let mut unreachable = 0;
+        let mut refused = 0;
+        for (witness, link) in &self.witnesses {
+            if sealed.witnesses.iter().any(|c| c.witness == *witness.id()) {
+                continue;
+            }
+            match link.exchange(|| witness.countersign(ledger.name(), cp)) {
+                Err(_) => {
+                    // Severed link: the witness never saw the checkpoint.
+                    counter_inc!(self.obs, "ledger.witness.unreachable");
+                    unreachable += 1;
+                }
+                Ok(Err(_)) => {
+                    // The witness saw it and would not endorse it.
+                    counter_inc!(self.obs, "ledger.witness.refused");
+                    refused += 1;
+                }
+                Ok(Ok(cert)) => {
+                    ledger.add_witness(cert)?;
+                    anchor(link.local(), &ledger.latest_checkpoint().unwrap_or(sealed.clone()))?;
+                    counter_inc!(self.obs, "ledger.witness.anchored");
+                    collected += 1;
+                }
+            }
+        }
+        let endorsements =
+            ledger.latest_checkpoint().map(|s| s.witnesses.len()).unwrap_or_default();
+        Ok(AnchorReport {
+            checkpoint_index: cp.index,
+            collected,
+            unreachable,
+            refused,
+            endorsements,
+            quorum: endorsements >= self.quorum_size(),
+        })
+    }
+}
+
+impl<B: Backend> Default for WitnessExchange<B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Anchor a sealed checkpoint into an object store as a content-addressed
+/// JSON object. Returns the anchor digest (the object's address).
+pub fn anchor(backend: &dyn Backend, sealed: &SealedCheckpoint) -> Result<Digest> {
+    let bytes = serde_json::to_vec(sealed)
+        .map_err(|e| Error::InvariantViolation(format!("checkpoint serialization: {e}")))?;
+    let digest = sha256(&bytes);
+    backend.put_raw(&digest, Bytes::from(bytes))?;
+    Ok(digest)
+}
+
+/// Load and fully verify an anchored checkpoint back out of an object
+/// store. Any mismatch — missing object, bytes that do not hash to
+/// `digest`, a certificate that fails — is [`Error::ProofInvalid`].
+pub fn load_anchor(
+    backend: &dyn Backend,
+    digest: &Digest,
+    name: &str,
+    keyring: &Keyring,
+    min_witnesses: usize,
+) -> Result<SealedCheckpoint> {
+    let bytes = backend.get_raw(digest)?;
+    if sha256(&bytes) != *digest {
+        return Err(Error::ProofInvalid(format!(
+            "anchored checkpoint bytes do not hash to {digest}"
+        )));
+    }
+    let sealed: SealedCheckpoint = serde_json::from_slice(&bytes)
+        .map_err(|e| Error::ProofInvalid(format!("anchored checkpoint undecodable: {e}")))?;
+    sealed.verify(name, keyring, min_witnesses)?;
+    Ok(sealed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sign::SecretKey;
+    use std::sync::Arc;
+    use trustdb::event::{EventKind, LedgerEvent};
+    use trustdb::store::MemoryBackend;
+    use trustdb::ManualClock;
+
+    fn ring() -> Keyring {
+        Keyring::new()
+            .with("custodian", SecretKey::derive("custodian"))
+            .with("w1", SecretKey::derive("w1"))
+            .with("w2", SecretKey::derive("w2"))
+            .with("w3", SecretKey::derive("w3"))
+    }
+
+    fn ledger_with_checkpoint() -> Ledger {
+        let l = Ledger::new("tenant-a", "custodian", ring());
+        for i in 0..6u64 {
+            l.append(
+                LedgerEvent::builder(EventKind::FixityCheck)
+                    .at(100 + i)
+                    .actor("auditor")
+                    .subject("rec-1")
+                    .outcome("success"),
+            )
+            .unwrap();
+        }
+        l.checkpoint(200).unwrap();
+        l
+    }
+
+    fn exchange(n: usize) -> (WitnessExchange<MemoryBackend>, Vec<Arc<PartitionedBackend<MemoryBackend>>>) {
+        let clock = Arc::new(ManualClock::new());
+        let mut ex = WitnessExchange::new();
+        let mut links = Vec::new();
+        for i in 0..n {
+            let link = Arc::new(PartitionedBackend::new(
+                MemoryBackend::new(),
+                i,
+                clock.clone() as Arc<dyn trustdb::Clock>,
+            ));
+            ex.register(Witness::new(format!("w{}", i + 1), ring()), link.clone());
+            links.push(link);
+        }
+        (ex, links)
+    }
+
+    #[test]
+    fn healthy_round_reaches_quorum_and_anchors() {
+        let l = ledger_with_checkpoint();
+        let (ex, links) = exchange(3);
+        let report = ex.collect(&l).unwrap();
+        assert_eq!(report.collected, 3);
+        assert_eq!(report.unreachable, 0);
+        assert!(report.quorum);
+        l.verify().unwrap();
+        // Each witness's store holds an anchored copy of the endorsement.
+        for link in &links {
+            assert_eq!(link.local().object_count(), 1);
+        }
+        // The final anchor (written by the last witness) contains all three
+        // certificates and round-trips with full verification.
+        let sealed = l.latest_checkpoint().unwrap();
+        let digest = anchor(links[2].local(), &sealed).unwrap();
+        let back = load_anchor(links[2].local(), &digest, "tenant-a", l.keyring(), 3).unwrap();
+        assert_eq!(back, sealed);
+    }
+
+    #[test]
+    fn severed_witnesses_are_skipped_then_caught_up() {
+        let l = ledger_with_checkpoint();
+        let (ex, links) = exchange(3);
+        links[1].sever();
+        let report = ex.collect(&l).unwrap();
+        assert_eq!(report.collected, 2);
+        assert_eq!(report.unreachable, 1);
+        assert!(report.quorum, "2 of 3 is a strict majority");
+
+        // Partition heals; a second round picks up only the straggler.
+        links[1].rejoin();
+        let report = ex.collect(&l).unwrap();
+        assert_eq!(report.collected, 1);
+        assert_eq!(report.endorsements, 3);
+    }
+
+    #[test]
+    fn no_quorum_under_majority_partition() {
+        let l = ledger_with_checkpoint();
+        let (ex, links) = exchange(3);
+        links[0].sever();
+        links[1].sever();
+        let report = ex.collect(&l).unwrap();
+        assert_eq!(report.collected, 1);
+        assert!(!report.quorum);
+    }
+
+    #[test]
+    fn witness_refuses_checkpoint_it_cannot_verify() {
+        // A witness whose keyring does not know the custodian must refuse.
+        let l = ledger_with_checkpoint();
+        let clock = Arc::new(ManualClock::new());
+        let mut ex = WitnessExchange::new();
+        let stranger_ring = Keyring::new().with("w9", SecretKey::derive("w9"));
+        ex.register(
+            Witness::new("w9", stranger_ring),
+            Arc::new(PartitionedBackend::new(
+                MemoryBackend::new(),
+                0,
+                clock as Arc<dyn trustdb::Clock>,
+            )),
+        );
+        let report = ex.collect(&l).unwrap();
+        assert_eq!(report.collected, 0);
+        assert_eq!(report.refused, 1);
+        assert!(l.latest_checkpoint().unwrap().witnesses.is_empty());
+    }
+
+    #[test]
+    fn tampered_anchor_detected_on_load() {
+        let l = ledger_with_checkpoint();
+        let backend = MemoryBackend::new();
+        let sealed = l.latest_checkpoint().unwrap();
+        let digest = anchor(&backend, &sealed).unwrap();
+        assert!(backend.tamper(&digest, |b| b[10] ^= 1));
+        let err = load_anchor(&backend, &digest, "tenant-a", l.keyring(), 0).unwrap_err();
+        assert!(matches!(err, Error::ProofInvalid(_)));
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the provenance ledger.
+//!
+//! Two properties the design stands on:
+//! 1. *Liveness*: any interleaving of appends, checkpoints, and witness
+//!    countersignatures leaves the ledger fully verifiable, and every
+//!    event covered by a checkpoint yields a custody proof that verifies.
+//! 2. *Tamper-evidence*: flipping a single bit anywhere in a custody
+//!    proof — event content, event hash, merkle path, checkpoint fields,
+//!    custodian signature, witness signature — makes verification fail.
+
+use itrust_ledger::{
+    CustodyProof, EventKind, Keyring, Ledger, LedgerEvent, SecretKey, WitnessCertificate,
+};
+use proptest::prelude::*;
+use trustdb::Error;
+
+const WITNESSES: [&str; 3] = ["w1", "w2", "w3"];
+
+fn ring() -> Keyring {
+    let mut ring = Keyring::new().with("custodian", SecretKey::derive("custodian"));
+    for w in WITNESSES {
+        ring.insert(w, SecretKey::derive(w));
+    }
+    ring
+}
+
+const KINDS: [EventKind; 5] = [
+    EventKind::Ingest,
+    EventKind::FixityCheck,
+    EventKind::Repair,
+    EventKind::Migration,
+    EventKind::AiDecision,
+];
+
+/// Drive a ledger through an op sequence: op 0..=5 appends an event (the
+/// value picks the kind and subject), 6..=7 cuts a checkpoint, 8..=9 has
+/// one witness countersign the latest checkpoint. Returns the ledger.
+fn run_ops(ops: &[u8]) -> Ledger {
+    let ledger = Ledger::new("prop-ledger", "custodian", ring());
+    let ring = ring();
+    let mut now = 1_000u64;
+    for &op in ops {
+        now += 7;
+        match op {
+            0..=5 => {
+                ledger
+                    .append(
+                        LedgerEvent::builder(KINDS[op as usize % KINDS.len()])
+                            .at(now)
+                            .actor("prop-agent")
+                            .subject(format!("rec-{}", op % 3))
+                            .outcome("success")
+                            .detail("property run"),
+                    )
+                    .expect("append with monotone timestamps");
+            }
+            6..=7 => {
+                // Empty/stale checkpoints are rejected by design; that
+                // rejection must not poison the ledger.
+                let _ = ledger.checkpoint(now);
+            }
+            _ => {
+                if let Some(sealed) = ledger.latest_checkpoint() {
+                    let w = WITNESSES[op as usize % WITNESSES.len()];
+                    let cert =
+                        WitnessCertificate::issue(&ring, w, &sealed.checkpoint.hash).unwrap();
+                    ledger.add_witness(cert).expect("honest certificate accepted");
+                }
+            }
+        }
+    }
+    ledger
+}
+
+/// A ledger with ≥ 4 events, 2 checkpoints, and every witness endorsing
+/// the latest one — the richest proof to mutate.
+fn proof_fixture() -> (Ledger, CustodyProof) {
+    let ledger = run_ops(&[0, 1, 2, 6, 3, 4, 6, 8, 9, 5, 0, 6, 8, 9, 8]);
+    let proof = ledger.prove(1).expect("checkpoint covers event 1");
+    (ledger, proof)
+}
+
+proptest! {
+    /// Property 1: appends, checkpoints, and witness signatures in any
+    /// order leave a verifiable ledger with provable covered events.
+    #[test]
+    fn interleavings_always_yield_valid_proofs(
+        ops in proptest::collection::vec(0u8..10, 1..50),
+    ) {
+        let ledger = run_ops(&ops);
+        ledger.verify().expect("ledger verifies after any interleaving");
+        if let Some(sealed) = ledger.latest_checkpoint() {
+            let quorum = sealed.witnesses.len();
+            for seq in 0..sealed.checkpoint.upto {
+                let proof = ledger.prove(seq).expect("covered event is provable");
+                proof
+                    .verify("prop-ledger", ledger.keyring(), quorum)
+                    .expect("custody proof verifies at its own quorum");
+                prop_assert!(
+                    proof.inclusion.path.len() <= 6,
+                    "≤ 50 events must prove in ≤ ⌈log2 50⌉ = 6 hash ops, took {}",
+                    proof.inclusion.path.len()
+                );
+            }
+        }
+    }
+
+    /// Property 2a: flipping one bit of any digest or signature in the
+    /// proof is detected as ProofInvalid.
+    #[test]
+    fn flipped_digest_bit_detected(
+        site in 0usize..7,
+        byte in 0usize..32,
+        bit in 0u8..8,
+    ) {
+        let (ledger, proof) = proof_fixture();
+        let mut forged = proof.clone();
+        let target: &mut [u8; 32] = match site {
+            0 => &mut forged.event.hash.0,
+            1 => &mut forged.event.prev.0,
+            2 => &mut forged.inclusion.path[byte % proof.inclusion.path.len()].sibling.0,
+            3 => &mut forged.sealed.checkpoint.events_root.0,
+            4 => &mut forged.sealed.checkpoint.hash.0,
+            5 => &mut forged.sealed.checkpoint.signature.0 .0,
+            _ => &mut forged.sealed.witnesses[byte % proof.sealed.witnesses.len()].signature.0 .0,
+        };
+        target[byte] ^= 1 << bit;
+        let quorum = proof.sealed.witnesses.len();
+        let err = forged.verify("prop-ledger", ledger.keyring(), quorum).unwrap_err();
+        prop_assert!(matches!(err, Error::ProofInvalid(_)), "got {err:?}");
+    }
+
+    /// Property 2b: altering any scalar or string field of the event or
+    /// checkpoint is detected too.
+    #[test]
+    fn flipped_field_detected(site in 0usize..8, delta in 1u64..1_000_000) {
+        let (ledger, proof) = proof_fixture();
+        let mut forged = proof.clone();
+        match site {
+            0 => forged.event.seq = forged.event.seq.wrapping_add(delta),
+            1 => forged.event.timestamp_ms = forged.event.timestamp_ms.wrapping_add(delta),
+            2 => forged.event.detail = format!("rewritten {delta}"),
+            3 => forged.event.kind = EventKind::Admin,
+            4 => forged.event.actor.push('x'),
+            5 => forged.sealed.checkpoint.upto = forged.sealed.checkpoint.upto.wrapping_add(delta),
+            6 => forged.sealed.checkpoint.signer = "impostor".into(),
+            _ => forged.sealed.checkpoint.timestamp_ms =
+                forged.sealed.checkpoint.timestamp_ms.wrapping_add(delta),
+        }
+        let quorum = proof.sealed.witnesses.len();
+        let err = forged.verify("prop-ledger", ledger.keyring(), quorum).unwrap_err();
+        prop_assert!(matches!(err, Error::ProofInvalid(_)), "site {site}: got {err:?}");
+    }
+
+    /// Ingesting the same events through the unified API is deterministic:
+    /// two ledgers fed identical streams have identical heads and roots.
+    #[test]
+    fn identical_streams_identical_heads(
+        ops in proptest::collection::vec(0u8..6, 1..30),
+    ) {
+        let a = run_ops(&ops);
+        let b = Ledger::new("prop-ledger", "custodian", ring());
+        let events: Vec<LedgerEvent> = (0..a.len() as u64)
+            .map(|s| a.event(s).unwrap())
+            .collect();
+        b.ingest(events.iter()).unwrap();
+        prop_assert_eq!(a.head(), b.head());
+        let ca = a.checkpoint(1_000_000).unwrap();
+        let cb = b.checkpoint(1_000_000).unwrap();
+        prop_assert_eq!(ca.events_root, cb.events_root);
+        prop_assert_eq!(ca.head, cb.head);
+        prop_assert_eq!(ca.hash, cb.hash);
+    }
+}

@@ -192,6 +192,27 @@ pub fn results_dir() -> String {
 }
 "#,
     },
+    Fixture {
+        rule: "legacy-event-type",
+        positive: r#"
+pub fn history(log: &AuditLog) -> Vec<AuditEntry> {
+    log.export()
+}
+"#,
+        negative: r#"
+pub fn history(log: &AuditLog) -> Vec<LedgerEvent> {
+    // comments may mention AuditEntry and ProvenanceEvent freely
+    log.export()
+}
+"#,
+        suppressed: r#"
+pub fn history(log: &AuditLog) -> Vec<LedgerEvent> {
+    // itrust-lint: allow(legacy-event-type) — compat shim kept for one downstream release
+    let legacy: Vec<AuditEntry> = log.export();
+    legacy
+}
+"#,
+    },
 ];
 
 /// Crate-scope probes: a source snippet linted under a real workspace
@@ -273,6 +294,37 @@ pub const SCOPE_PROBES: &[(&str, &str, &str)] = &[
         "crates/service/src/shard.rs",
         "use std::collections::HashMap;\npub fn keys(c: &HashMap<String, u64>) -> Vec<String> { c.keys().cloned().collect() }\n",
         "unordered-iter",
+    ),
+    // The provenance ledger is core library code: checkpoints must be cut
+    // at injected timestamps (never ambient wall clock), its telemetry is
+    // handle-based, and — being the crate the one-event-type migration
+    // exists for — it must never reintroduce the legacy chain vocabularies.
+    (
+        "crates/ledger/src/ledger.rs",
+        "pub fn cut_now() -> std::time::Instant { std::time::Instant::now() }\n",
+        "wallclock-in-core",
+    ),
+    (
+        "crates/ledger/src/ledger.rs",
+        "pub fn s() { let _g = itrust_obs::span!(\"ledger.checkpoint\"); }\n",
+        "ctx-first-macro",
+    ),
+    (
+        "crates/ledger/src/ledger.rs",
+        "pub fn legacy_seq(e: &AuditEntry) -> u64 { e.seq }\n",
+        "legacy-event-type",
+    ),
+    // …while the two alias-definition files remain the sanctioned home of
+    // the legacy names (their pinning tests must stay lintable).
+    (
+        "crates/trustdb/src/audit.rs",
+        "pub type CompatEntry = AuditEntry;\n",
+        "",
+    ),
+    (
+        "crates/archival-core/src/provenance.rs",
+        "pub type CompatEvent = ProvenanceEvent;\n",
+        "",
     ),
 ];
 

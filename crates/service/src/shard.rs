@@ -24,7 +24,8 @@ use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
-use trustdb::audit::{AuditAction, AuditLog};
+use trustdb::audit::AuditLog;
+use trustdb::event::EventKind;
 use trustdb::errors::{Error, Result};
 use trustdb::fixity::{FixityAuditor, FixityReport};
 use trustdb::hash::{sha256, Digest};
@@ -215,7 +216,7 @@ impl Shard {
         self.audit.append(
             now_ms,
             format!("tenant:{tenant}"),
-            AuditAction::Ingest,
+            EventKind::Ingest,
             format!("{tenant}/{key}"),
             digest.to_hex(),
         )?;
@@ -442,6 +443,39 @@ impl ShardedStore {
     pub fn payload_bytes(&self) -> u64 {
         self.shards.iter().map(|s| s.payload_bytes()).sum()
     }
+
+    /// Export the per-shard audit chains into a provenance ledger as one
+    /// merged history. Entries are ordered by `(timestamp_ms, shard,
+    /// seq)` — a deterministic total order that respects each chain's
+    /// internal order — so the merged stream satisfies the ledger's
+    /// monotone-timestamp invariant regardless of shard count or thread
+    /// schedule. Pass a tenant name to export only that tenant's events
+    /// (scoped-subject prefix match); `None` exports everything,
+    /// including shard-level fixity sweeps. Returns the number of events
+    /// appended.
+    pub fn export_to_ledger(
+        &self,
+        ledger: &itrust_ledger::Ledger,
+        tenant: Option<&str>,
+    ) -> Result<u64> {
+        let _span = itrust_obs::span!(self.obs, "service.store.export_to_ledger");
+        let prefix = tenant.map(|t| format!("{t}/"));
+        let mut merged: Vec<(u64, usize, u64, trustdb::event::LedgerEvent)> = Vec::new();
+        for shard in &self.shards {
+            for e in shard.audit().export() {
+                if let Some(p) = &prefix {
+                    if !e.subject.starts_with(p.as_str()) {
+                        continue;
+                    }
+                }
+                merged.push((e.timestamp_ms, shard.index(), e.seq, e));
+            }
+        }
+        merged.sort_by_key(|a| (a.0, a.1, a.2));
+        let n = ledger.ingest(merged.iter().map(|(_, _, _, e)| e))?;
+        itrust_obs::counter_add!(self.obs, "service.store.ledger_exports", n);
+        Ok(n)
+    }
 }
 
 #[cfg(test)]
@@ -457,7 +491,7 @@ mod tests {
 
     #[test]
     fn routing_is_deterministic_and_spreads() {
-        let mut hit = vec![0usize; 8];
+        let mut hit = [0usize; 8];
         for i in 0..800 {
             let s = shard_of(8, "tenant", &format!("key-{i}"));
             assert_eq!(s, shard_of(8, "tenant", &format!("key-{i}")));
@@ -607,5 +641,43 @@ mod tests {
             ShardedStore::open(&ShardedConfig::in_memory(0), ObsCtx::null()),
             Err(Error::InvariantViolation(_))
         ));
+    }
+
+    #[test]
+    fn export_to_ledger_merges_shards_deterministically() {
+        use itrust_ledger::{Keyring, Ledger, SecretKey};
+
+        let ring = Keyring::new().with("svc", SecretKey::derive("svc"));
+        let store = store_with_tenants(4);
+        for i in 0..12u64 {
+            let tenant = if i % 2 == 0 { "alpha" } else { "beta" };
+            store
+                .put(tenant, &format!("doc-{i}"), Bytes::from(format!("payload {i}")), 10 + i)
+                .unwrap();
+        }
+        store.verify_all(100).unwrap();
+
+        // Tenant-scoped export: only alpha's ingests, in timestamp order.
+        let alpha = Ledger::new("alpha", "svc", ring.clone());
+        let n = store.export_to_ledger(&alpha, Some("alpha")).unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(alpha.len(), 6);
+        let events: Vec<_> = (0..6).map(|s| alpha.event(s).unwrap()).collect();
+        assert!(events.iter().all(|e| e.subject.starts_with("alpha/")));
+        assert!(events.windows(2).all(|w| w[0].timestamp_ms <= w[1].timestamp_ms));
+        alpha.verify().unwrap();
+
+        // Full export also carries the per-shard fixity sweeps and is
+        // identical across runs (same merge order).
+        let all_a = Ledger::new("svc", "svc", ring.clone());
+        let all_b = Ledger::new("svc", "svc", ring);
+        assert_eq!(
+            store.export_to_ledger(&all_a, None).unwrap(),
+            store.export_to_ledger(&all_b, None).unwrap()
+        );
+        assert_eq!(all_a.head(), all_b.head());
+        assert_eq!(all_a.len(), 12 + 4, "12 ingests + one sweep per shard");
+        all_a.checkpoint(200).unwrap();
+        all_a.prove(0).unwrap().verify("svc", all_a.keyring(), 0).unwrap();
     }
 }

@@ -51,7 +51,7 @@ type Model = BTreeMap<(usize, usize), Vec<u8>>;
 
 /// Mirror of the reservation arithmetic in `Tenant::reserve`.
 fn model_would_fit(usage: (u64, u64), quota: Quota, bytes: u64) -> bool {
-    usage.0 + 1 <= quota.max_objects && usage.1.saturating_add(bytes) <= quota.max_bytes
+    usage.0 < quota.max_objects && usage.1.saturating_add(bytes) <= quota.max_bytes
 }
 
 proptest! {

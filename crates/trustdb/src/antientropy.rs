@@ -13,7 +13,7 @@
 //!   subtrees, so two mostly-converged replicas locate their divergent
 //!   buckets in O(d · log n) node comparisons instead of a full scan. Every
 //!   transferred copy is recorded through the audit chain as an
-//!   [`AuditAction::Repair`] entry, keeping custody tamper-evident.
+//!   [`EventKind::Repair`] entry, keeping custody tamper-evident.
 //! * **Delay-tolerant ingest** ([`DelayTolerantIngest`]): a
 //!   [`PartitionedBackend`] wrapper severs a replica's link on a schedule
 //!   driven by [`FaultPlan::net_events`] and the injected [`Clock`]. Writes
@@ -30,7 +30,8 @@
 //! unreachable is resurrected by the next sweep, so disposition must be
 //! retried until fully clean.
 
-use crate::audit::{AuditAction, AuditLog};
+use crate::audit::AuditLog;
+use crate::event::EventKind;
 use crate::errors::{Error, Result};
 use crate::fault::{FaultPlan, NetEvent};
 use crate::hash::{sha256, Digest, Sha256};
@@ -172,6 +173,18 @@ impl<B: Backend> PartitionedBackend<B> {
                 }
             }
         }
+    }
+
+    /// Run a request/response exchange with the replica over its link:
+    /// fails with [`Error::Partitioned`] while the link is severed (or a
+    /// flap is pending), otherwise runs `op` against the replica. This is
+    /// the primitive non-storage protocols ride on — the provenance
+    /// ledger's witness countersignature collection uses it so checkpoint
+    /// anchoring sees exactly the same partition schedule as the data
+    /// plane.
+    pub fn exchange<T>(&self, op: impl FnOnce() -> T) -> Result<T> {
+        self.gate()?;
+        Ok(op())
     }
 
     /// Fail the op if the link is severed or a flap is pending.
@@ -494,7 +507,7 @@ impl<'a, B: Backend> DelayTolerantIngest<'a, B> {
     }
 
     /// Replay every pending intent into the quorum store in deterministic
-    /// global order, recording one [`AuditAction::Ingest`] entry per applied
+    /// global order, recording one [`EventKind::Ingest`] entry per applied
     /// intent. Logs are cleared only when every intent either applied, was a
     /// duplicate, or was corrupt — a failed quorum write keeps all logs
     /// intact so the next pass retries (replays are idempotent: writes are
@@ -544,7 +557,7 @@ impl<'a, B: Backend> DelayTolerantIngest<'a, B> {
                     audit.append(
                         timestamp_ms,
                         actor,
-                        AuditAction::Ingest,
+                        EventKind::Ingest,
                         record.digest.to_hex(),
                         format!(
                             "deferred intent reconciled from replica {replica} (epoch {})",
@@ -687,7 +700,7 @@ pub struct GossipReport {
 /// [`SetSummary`] trees, walks only the divergent buckets, and copies the
 /// missing objects in both directions, reading through verified sources
 /// ([`SelfHealing::fetch_verified`] as fallback). Every transferred copy is
-/// logged as an [`AuditAction::Repair`] entry, and each run closes with a
+/// logged as an [`EventKind::Repair`] entry, and each run closes with a
 /// `FixityCheck` summary entry — so convergence itself is part of the
 /// tamper-evident history.
 pub struct AntiEntropy<'a> {
@@ -802,7 +815,7 @@ impl<'a> AntiEntropy<'a> {
                 self.audit.append(
                     timestamp_ms,
                     self.actor.clone(),
-                    AuditAction::Repair,
+                    EventKind::Repair,
                     digest.to_hex(),
                     format!("anti-entropy: copied to replica {to} from replica {from}"),
                 )?;
@@ -863,7 +876,7 @@ impl<'a> AntiEntropy<'a> {
         self.audit.append(
             timestamp_ms,
             self.actor.clone(),
-            AuditAction::FixityCheck,
+            EventKind::FixityCheck,
             "object-store",
             format!(
                 "anti-entropy: {} rounds, converged={}, {} transferred, {} comparisons, {} failed, {} unrecoverable",
@@ -1080,7 +1093,7 @@ mod tests {
             assert_eq!(dti.pending_total(), 0, "logs cleared after a full reconcile");
             assert!(store.backend().contains(&digest));
             audit.verify_chain().unwrap();
-            let ingests = audit.query(|e| e.action == AuditAction::Ingest);
+            let ingests = audit.query(|e| e.kind == EventKind::Ingest);
             assert_eq!(ingests.len(), 1);
             assert_eq!(ingests[0].subject, digest.to_hex());
         }
@@ -1193,7 +1206,7 @@ mod tests {
                 assert!(links[0].local().contains(id));
                 assert!(links[1].local().contains(id));
             }
-            let repairs = audit.query(|e| e.action == AuditAction::Repair);
+            let repairs = audit.query(|e| e.kind == EventKind::Repair);
             assert_eq!(repairs.len(), 3);
             audit.verify_chain().unwrap();
         }
@@ -1220,7 +1233,7 @@ mod tests {
             }
             audit.verify_chain().unwrap();
             // One Repair entry per transferred copy plus the closing summary.
-            let repairs = audit.query(|e| e.action == AuditAction::Repair);
+            let repairs = audit.query(|e| e.kind == EventKind::Repair);
             assert_eq!(repairs.len(), report.transferred);
             assert_eq!(audit.len(), report.transferred + 1);
         }

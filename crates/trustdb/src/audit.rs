@@ -9,117 +9,29 @@
 //! The chain digest of the latest entry (the *chain head*) can be published
 //! or countersigned externally; that single value then commits to the entire
 //! history.
+//!
+//! Entries are canonical [`LedgerEvent`]s (see [`crate::event`]); the old
+//! `AuditAction` / `AuditEntry` names survive as deprecated aliases so
+//! existing call sites compile, but new code should use
+//! [`EventKind`] / [`LedgerEvent`] directly (enforced by `itrust-lint`'s
+//! `legacy-event-type` rule).
 
-use crate::errors::{Error, Result};
-use crate::hash::{sha256, Digest};
+use crate::errors::Result;
+use crate::event::{verify_events, EventKind, LedgerEvent, Verifiable};
+use crate::hash::Digest;
 use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
 
-/// Category of audited action. The taxonomy mirrors PREMIS event types used
-/// in digital preservation metadata.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum AuditAction {
-    /// Object or package ingested into the repository.
-    Ingest,
-    /// Fixity of an object was verified.
-    FixityCheck,
-    /// Object was read / disseminated.
-    Access,
-    /// Object migrated to a new format or storage location.
-    Migration,
-    /// Sanctioned destruction under a disposition authority.
-    Disposition,
-    /// Redaction applied for access purposes.
-    Redaction,
-    /// A decision produced by an AI model (always logged with paradata).
-    AiDecision,
-    /// Human review/override of an AI decision.
-    HumanReview,
-    /// Administrative/configuration change.
-    Admin,
-    /// A corrupt or unreadable replica copy was rewritten from a healthy
-    /// one (self-healing fixity, see `fixity::FixityAuditor::sweep_and_repair`).
-    Repair,
-}
+/// Deprecated alias for [`EventKind`], kept so pre-ledger call sites
+/// compile. Do not use in new code.
+pub type AuditAction = EventKind;
 
-/// One immutable entry in the audit chain.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct AuditEntry {
-    /// Position in the chain, starting at 0.
-    pub seq: u64,
-    /// Caller-supplied timestamp in milliseconds. Must be non-decreasing;
-    /// the log enforces monotonicity so the chain order and time order agree.
-    pub timestamp_ms: u64,
-    /// Who performed the action (person, system component, or model id).
-    pub actor: String,
-    /// What kind of action.
-    pub action: AuditAction,
-    /// The object/package/record the action concerned.
-    pub subject: String,
-    /// Free-form, human-auditable detail.
-    pub detail: String,
-    /// Chain digest of the previous entry ([`Digest::zero`] for the first).
-    pub prev: Digest,
-    /// Digest over this entry's canonical encoding including `prev`.
-    pub hash: Digest,
-}
-
-impl AuditEntry {
-    /// Canonical byte encoding that the entry hash commits to. Field order
-    /// and separators are fixed; changing any field changes the hash.
-    fn canonical_bytes(
-        seq: u64,
-        timestamp_ms: u64,
-        actor: &str,
-        action: AuditAction,
-        subject: &str,
-        detail: &str,
-        prev: &Digest,
-    ) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(64 + actor.len() + subject.len() + detail.len());
-        buf.extend_from_slice(&seq.to_le_bytes());
-        buf.extend_from_slice(&timestamp_ms.to_le_bytes());
-        // Length-prefix strings so field boundaries cannot be confused.
-        for s in [actor, subject, detail] {
-            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
-            buf.extend_from_slice(s.as_bytes());
-        }
-        buf.push(action_tag(action));
-        buf.extend_from_slice(&prev.0);
-        buf
-    }
-
-    fn compute_hash(&self) -> Digest {
-        sha256(&Self::canonical_bytes(
-            self.seq,
-            self.timestamp_ms,
-            &self.actor,
-            self.action,
-            &self.subject,
-            &self.detail,
-            &self.prev,
-        ))
-    }
-}
-
-fn action_tag(a: AuditAction) -> u8 {
-    match a {
-        AuditAction::Ingest => 0,
-        AuditAction::FixityCheck => 1,
-        AuditAction::Access => 2,
-        AuditAction::Migration => 3,
-        AuditAction::Disposition => 4,
-        AuditAction::Redaction => 5,
-        AuditAction::AiDecision => 6,
-        AuditAction::HumanReview => 7,
-        AuditAction::Admin => 8,
-        AuditAction::Repair => 9,
-    }
-}
+/// Deprecated alias for [`LedgerEvent`], kept so pre-ledger call sites
+/// compile. Do not use in new code.
+pub type AuditEntry = LedgerEvent;
 
 /// An append-only audit log whose entries form a hash chain.
 pub struct AuditLog {
-    entries: RwLock<Vec<AuditEntry>>,
+    entries: RwLock<Vec<LedgerEvent>>,
 }
 
 impl Default for AuditLog {
@@ -135,8 +47,8 @@ impl AuditLog {
     }
 
     /// Rebuild a log from previously-exported entries, verifying the chain
-    /// as it loads. Rejects any tampering with [`Error::ChainBroken`].
-    pub fn from_entries(entries: Vec<AuditEntry>) -> Result<Self> {
+    /// as it loads. Rejects any tampering with [`crate::Error::ChainBroken`].
+    pub fn from_entries(entries: Vec<LedgerEvent>) -> Result<Self> {
         let log = AuditLog { entries: RwLock::new(entries) };
         log.verify_chain()?;
         Ok(log)
@@ -147,7 +59,7 @@ impl AuditLog {
         &self,
         timestamp_ms: u64,
         actor: impl Into<String>,
-        action: AuditAction,
+        action: EventKind,
         subject: impl Into<String>,
         detail: impl Into<String>,
     ) -> Result<Digest> {
@@ -156,22 +68,12 @@ impl AuditLog {
             Some(last) => (last.seq + 1, last.hash, last.timestamp_ms),
             None => (0, Digest::zero(), 0),
         };
-        if timestamp_ms < floor {
-            return Err(Error::InvariantViolation(format!(
-                "audit timestamps must be monotonic: {timestamp_ms} < {floor}"
-            )));
-        }
-        let mut entry = AuditEntry {
-            seq,
-            timestamp_ms,
-            actor: actor.into(),
-            action,
-            subject: subject.into(),
-            detail: detail.into(),
-            prev,
-            hash: Digest::zero(),
-        };
-        entry.hash = entry.compute_hash();
+        let entry = LedgerEvent::builder(action)
+            .at(timestamp_ms)
+            .actor(actor)
+            .subject(subject)
+            .detail(detail)
+            .seal(seq, prev, floor)?;
         let head = entry.hash;
         entries.push(entry);
         Ok(head)
@@ -193,63 +95,43 @@ impl AuditLog {
         self.entries.read().last().map(|e| e.hash)
     }
 
-    /// Clone out all entries (e.g. for export into an AIP).
-    pub fn export(&self) -> Vec<AuditEntry> {
+    /// Clone out all entries (e.g. for export into an AIP or the ledger).
+    pub fn export(&self) -> Vec<LedgerEvent> {
         self.entries.read().clone()
     }
 
     /// Entries matching a predicate, in order.
-    pub fn query(&self, mut pred: impl FnMut(&AuditEntry) -> bool) -> Vec<AuditEntry> {
+    pub fn query(&self, mut pred: impl FnMut(&LedgerEvent) -> bool) -> Vec<LedgerEvent> {
         self.entries.read().iter().filter(|e| pred(e)).cloned().collect()
     }
 
     /// Verify every link of the chain. O(n) re-hash.
     pub fn verify_chain(&self) -> Result<()> {
         let entries = self.entries.read();
-        Self::verify_entries(&entries)
+        verify_events(&entries)
     }
 
     /// Verify an exported entry slice (e.g. after round-tripping through an
-    /// archival package).
-    pub fn verify_entries(entries: &[AuditEntry]) -> Result<()> {
-        let mut prev = Digest::zero();
-        let mut last_ts = 0u64;
-        for (i, e) in entries.iter().enumerate() {
-            if e.seq != i as u64 {
-                return Err(Error::ChainBroken {
-                    index: i as u64,
-                    detail: format!("sequence gap: expected {i}, found {}", e.seq),
-                });
-            }
-            if e.prev != prev {
-                return Err(Error::ChainBroken {
-                    index: i as u64,
-                    detail: "prev link does not match predecessor hash".into(),
-                });
-            }
-            if e.timestamp_ms < last_ts {
-                return Err(Error::ChainBroken {
-                    index: i as u64,
-                    detail: "timestamp regression".into(),
-                });
-            }
-            let recomputed = e.compute_hash();
-            if recomputed != e.hash {
-                return Err(Error::ChainBroken {
-                    index: i as u64,
-                    detail: "entry hash does not match contents".into(),
-                });
-            }
-            prev = e.hash;
-            last_ts = e.timestamp_ms;
-        }
-        Ok(())
+    /// archival package). Alias of [`crate::event::verify_events`].
+    pub fn verify_entries(entries: &[LedgerEvent]) -> Result<()> {
+        verify_events(entries)
+    }
+}
+
+impl Verifiable for AuditLog {
+    fn verify(&self) -> Result<()> {
+        self.verify_chain()
+    }
+
+    fn head(&self) -> Digest {
+        AuditLog::head(self).unwrap_or_else(Digest::zero)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::errors::Error;
 
     fn sample_log(n: u64) -> AuditLog {
         let log = AuditLog::new();
@@ -257,7 +139,7 @@ mod tests {
             log.append(
                 i * 1000,
                 "archivist-a",
-                AuditAction::Ingest,
+                EventKind::Ingest,
                 format!("record-{i}"),
                 "accession 2022-07",
             )
@@ -287,7 +169,7 @@ mod tests {
         let a = sample_log(10);
         let b = sample_log(10);
         assert_eq!(a.head(), b.head(), "identical histories → identical heads");
-        b.append(10_000, "x", AuditAction::Access, "record-0", "read").unwrap();
+        b.append(10_000, "x", EventKind::Access, "record-0", "read").unwrap();
         assert_ne!(a.head(), b.head());
     }
 
@@ -320,7 +202,8 @@ mod tests {
     fn truncating_tail_still_verifies_but_changes_head() {
         // Hash chains cannot detect pure tail truncation without an external
         // head attestation — that is exactly why `head()` exists and is
-        // exported into accession receipts.
+        // exported into accession receipts (and why the ledger adds signed
+        // checkpoints on top).
         let log = sample_log(10);
         let full_head = log.head().unwrap();
         let mut entries = log.export();
@@ -344,10 +227,10 @@ mod tests {
     #[test]
     fn timestamp_monotonicity_enforced() {
         let log = AuditLog::new();
-        log.append(1000, "a", AuditAction::Ingest, "s", "d").unwrap();
-        assert!(log.append(999, "a", AuditAction::Ingest, "s", "d").is_err());
+        log.append(1000, "a", EventKind::Ingest, "s", "d").unwrap();
+        assert!(log.append(999, "a", EventKind::Ingest, "s", "d").is_err());
         // Equal timestamps are allowed (same-millisecond actions).
-        log.append(1000, "a", AuditAction::Ingest, "s2", "d").unwrap();
+        log.append(1000, "a", EventKind::Ingest, "s2", "d").unwrap();
     }
 
     #[test]
@@ -359,22 +242,30 @@ mod tests {
     }
 
     #[test]
-    fn query_filters_by_action() {
+    fn query_filters_by_kind() {
         let log = sample_log(3);
-        log.append(99_000, "m", AuditAction::FixityCheck, "record-1", "sweep").unwrap();
-        let checks = log.query(|e| e.action == AuditAction::FixityCheck);
+        log.append(99_000, "m", EventKind::FixityCheck, "record-1", "sweep").unwrap();
+        let checks = log.query(|e| e.kind == EventKind::FixityCheck);
         assert_eq!(checks.len(), 1);
         assert_eq!(checks[0].subject, "record-1");
     }
 
     #[test]
-    fn length_prefixing_prevents_field_splice() {
-        // "ab" + "c" must hash differently from "a" + "bc" even though the
-        // concatenated bytes agree.
-        let log1 = AuditLog::new();
-        log1.append(0, "ab", AuditAction::Admin, "c", "").unwrap();
-        let log2 = AuditLog::new();
-        log2.append(0, "a", AuditAction::Admin, "bc", "").unwrap();
-        assert_ne!(log1.head(), log2.head());
+    fn verifiable_impl_matches_inherent_api() {
+        let log = sample_log(4);
+        Verifiable::verify(&log).unwrap();
+        assert_eq!(Verifiable::head(&log), log.head().unwrap());
+        let empty = AuditLog::new();
+        assert_eq!(Verifiable::head(&empty), Digest::zero());
+    }
+
+    #[test]
+    fn legacy_aliases_still_name_the_unified_types() {
+        // The deprecated names must stay usable (thin aliases) so pre-ledger
+        // call sites compile unchanged.
+        let log = AuditLog::new();
+        log.append(0, "a", AuditAction::Ingest, "s", "d").unwrap();
+        let exported: Vec<AuditEntry> = log.export();
+        assert_eq!(exported[0].kind, EventKind::Ingest);
     }
 }

@@ -206,6 +206,19 @@ mod tests {
     }
 
     #[test]
+    fn proof_invalid_is_a_nontransient_integrity_incident() {
+        // The provenance ledger maps every verification failure — bad
+        // merkle path, bad checkpoint hash, bad custodian or witness
+        // signature — to ProofInvalid. That classification must stay
+        // pinned: an invalid proof is an integrity incident to report,
+        // and retrying verification can never make a forged proof pass.
+        let e = Error::ProofInvalid("sibling hash mismatch at depth 3".into());
+        assert!(e.is_integrity_incident());
+        assert!(!e.is_transient());
+        assert!(e.to_string().contains("proof invalid"));
+    }
+
+    #[test]
     fn partitioned_is_neither_transient_nor_integrity() {
         // A partition is not momentary at the operation timescale (retrying
         // within the same virtual instant cannot heal the network), and it

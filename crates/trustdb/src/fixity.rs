@@ -9,10 +9,11 @@
 //! Over a replicated backend (`replica::ReplicatedBackend`), the auditor
 //! also *heals*: [`FixityAuditor::sweep_and_repair`] rewrites corrupt or
 //! missing replica copies from a verified one and logs an
-//! `AuditAction::Repair` per restored object, turning detection into
+//! `EventKind::Repair` per restored object, turning detection into
 //! recovery.
 
-use crate::audit::{AuditAction, AuditLog};
+use crate::audit::AuditLog;
+use crate::event::EventKind;
 use crate::errors::Result;
 use crate::hash::Digest;
 use crate::replica::SelfHealing;
@@ -122,7 +123,7 @@ impl<'a, B: Backend> FixityAuditor<'a, B> {
         self.audit.append(
             timestamp_ms,
             self.actor.clone(),
-            AuditAction::FixityCheck,
+            EventKind::FixityCheck,
             "object-store",
             detail,
         )?;
@@ -169,7 +170,7 @@ impl RepairReport {
 impl<'a, B: SelfHealing> FixityAuditor<'a, B> {
     /// Self-healing sweep: for every object, locate a replica copy that
     /// re-hashes to its digest and rewrite every copy that doesn't. Each
-    /// restored object gets an [`AuditAction::Repair`] entry; the sweep
+    /// restored object gets an [`EventKind::Repair`] entry; the sweep
     /// itself is closed with a `FixityCheck` summary entry, so the repair
     /// history is part of the tamper-evident chain.
     pub fn sweep_and_repair(&self, timestamp_ms: u64) -> Result<RepairReport> {
@@ -196,7 +197,7 @@ impl<'a, B: SelfHealing> FixityAuditor<'a, B> {
                         self.audit.append(
                             timestamp_ms,
                             self.actor.clone(),
-                            AuditAction::Repair,
+                            EventKind::Repair,
                             d.to_hex(),
                             format!(
                                 "rewrote {} replica copies from a verified copy",
@@ -220,7 +221,7 @@ impl<'a, B: SelfHealing> FixityAuditor<'a, B> {
         self.audit.append(
             timestamp_ms,
             self.actor.clone(),
-            AuditAction::FixityCheck,
+            EventKind::FixityCheck,
             "object-store",
             format!(
                 "repair sweep: {} checked, {} repaired, {} degraded, {} unrecoverable",
@@ -397,7 +398,7 @@ mod tests {
                 }
                 // The repair history is chained and queryable.
                 audit.verify_chain().unwrap();
-                let repairs = audit.query(|e| e.action == AuditAction::Repair);
+                let repairs = audit.query(|e| e.kind == EventKind::Repair);
                 assert_eq!(repairs.len(), victims.len());
                 (victims, audit.head())
             };
@@ -459,7 +460,7 @@ mod tests {
                 assert!(replicas[0].inner().contains(id));
             }
             audit.verify_chain().unwrap();
-            assert_eq!(audit.query(|e| e.action == AuditAction::Repair).len(), 2);
+            assert_eq!(audit.query(|e| e.kind == EventKind::Repair).len(), 2);
         }
 
         #[test]

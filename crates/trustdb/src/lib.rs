@@ -47,6 +47,7 @@ pub mod antientropy;
 pub mod audit;
 pub mod catalog;
 pub mod errors;
+pub mod event;
 pub mod fault;
 pub mod fixity;
 pub mod hash;
@@ -60,6 +61,7 @@ pub use antientropy::{
     PairOutcome, PartitionedBackend, ReconcileReport, SetSummary,
 };
 pub use errors::{Error, Result};
+pub use event::{verify_events, EventBuilder, EventKind, LedgerEvent, Verifiable};
 pub use fault::{FaultPlan, FaultyBackend, NetEvent};
 pub use hash::{crc32c, sha256, Digest};
 pub use replica::{

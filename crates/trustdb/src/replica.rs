@@ -20,7 +20,7 @@
 //! Repair lives one level up: [`SelfHealing`] exposes per-replica healing
 //! primitives which `fixity::FixityAuditor::sweep_and_repair` drives,
 //! rewriting corrupt or missing copies from a healthy one and logging an
-//! `AuditAction::Repair` per restored object.
+//! `EventKind::Repair` per restored object.
 //!
 //! Telemetry lands under `trustdb.replica.*` (quorum writes, fallback
 //! reads, retries, breaker transitions, heals).

@@ -3,7 +3,8 @@
 
 use std::sync::Arc;
 use trustdb::antientropy::PartitionedBackend;
-use trustdb::audit::{AuditAction, AuditLog};
+use trustdb::audit::AuditLog;
+use trustdb::event::EventKind;
 use trustdb::fault::{FaultPlan, FaultyBackend};
 use trustdb::fixity::FixityAuditor;
 use trustdb::hash::Digest;
@@ -192,8 +193,8 @@ fn storm_then_repair_then_clean_storm_report() {
     assert_eq!(report2.intact, 50);
     assert!(report2.repaired.is_empty());
 
-    let repairs = audit.query(|e| e.action == AuditAction::Repair);
-    let checks = audit.query(|e| e.action == AuditAction::FixityCheck);
+    let repairs = audit.query(|e| e.kind == EventKind::Repair);
+    let checks = audit.query(|e| e.kind == EventKind::FixityCheck);
     assert_eq!(repairs.len(), 10);
     assert_eq!(checks.len(), 2);
     audit.verify_chain().unwrap();

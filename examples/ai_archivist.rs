@@ -11,7 +11,8 @@ use archival_core::bagit::{validate_bag, write_bag};
 use archival_core::ingest::Repository;
 use archival_core::migration::{MigrationEngine, Utf8Normalizer};
 use archival_core::oais::{Sip, SubmissionItem};
-use archival_core::provenance::{EventType, ProvenanceChain};
+use archival_core::provenance::ProvenanceChain;
+use trustdb::event::EventKind;
 use archival_core::record::{Classification, DocumentaryForm, Record, RecordId};
 use itrust_core::describe::describe;
 use itrust_core::distant::{default_cues, fit_distant};
@@ -54,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &body,
     );
     let mut provenance = ProvenanceChain::new("a5g/rep-1");
-    provenance.append(50, "Ministry", EventType::Creation, "success", "")?;
+    provenance.append(50, "Ministry", EventKind::Creation, "success", "")?;
     let receipt = repo.ingest(
         Sip::new("Ministry", 200).with_item(SubmissionItem {
             record: record.clone(),

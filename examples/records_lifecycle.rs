@@ -13,7 +13,8 @@ use archival_core::access::{AccessController, Principal, Role};
 use archival_core::description::{DescriptionUnit, FindingAid, Level};
 use archival_core::ingest::Repository;
 use archival_core::oais::{Sip, SubmissionItem};
-use archival_core::provenance::{EventType, ProvenanceChain};
+use archival_core::provenance::ProvenanceChain;
+use trustdb::event::EventKind;
 use archival_core::record::{Classification, DocumentaryForm, Record, RecordId};
 use archival_core::redaction::Redactor;
 use archival_core::retention::{
@@ -35,7 +36,7 @@ fn item(id: &str, title: &str, class: Classification, activity: &str, body: &str
     );
     let mut provenance = ProvenanceChain::new(id);
     provenance
-        .append(50, "Ministry of War", EventType::Creation, "success", "registry copy")
+        .append(50, "Ministry of War", EventKind::Creation, "success", "registry copy")
         .unwrap();
     SubmissionItem { record, content: body.as_bytes().to_vec(), provenance }
 }

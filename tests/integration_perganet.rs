@@ -2,11 +2,12 @@
 //! pipeline decision is vetted by the trust guard and lands in provenance
 //! with paradata.
 
-use archival_core::provenance::{EventType, ProvenanceChain};
+use archival_core::provenance::ProvenanceChain;
+use trustdb::event::EventKind;
 use itrust_core::ai_task::{GuardedDecision, Routing, TrustGuard, Verdict};
 use perganet::corpus::{generate, CorpusConfig};
 use perganet::pipeline::{PergaNet, TrainConfig};
-use trustdb::audit::{AuditAction, AuditLog};
+use trustdb::audit::AuditLog;
 
 #[test]
 fn pipeline_decisions_flow_through_the_guard_into_provenance() {
@@ -29,7 +30,7 @@ fn pipeline_decisions_flow_through_the_guard_into_provenance() {
         let record_id = format!("parchment-{i:03}");
         let mut chain = ProvenanceChain::new(record_id.clone());
         chain
-            .append(100, "scanner", EventType::Creation, "success", "digitised master")
+            .append(100, "scanner", EventKind::Creation, "success", "digitised master")
             .unwrap();
         // The classification decision is the one that gates downstream
         // arrangement (recto/verso ordering), so it is the one vetted.
@@ -56,11 +57,11 @@ fn pipeline_decisions_flow_through_the_guard_into_provenance() {
         assert!(chain
             .events()
             .iter()
-            .any(|e| e.event_type == EventType::AiProcessing));
+            .any(|e| e.kind == EventKind::AiDecision));
         chain.verify().unwrap();
     }
     // Every decision audited; queue + auto = batch size.
-    assert_eq!(audit.query(|e| e.action == AuditAction::AiDecision).len(), 12);
+    assert_eq!(audit.query(|e| e.kind == EventKind::AiDecision).len(), 12);
     assert_eq!(auto + guard.pending_count(), 12);
     audit.verify_chain().unwrap();
 }
@@ -100,9 +101,9 @@ fn human_review_resolves_low_confidence_classifications() {
     let verifications = chain
         .events()
         .iter()
-        .filter(|e| e.event_type == EventType::HumanVerification)
+        .filter(|e| e.kind == EventKind::HumanReview)
         .count();
     assert_eq!(verifications, 5);
-    assert_eq!(audit.query(|e| e.action == AuditAction::HumanReview).len(), 5);
+    assert_eq!(audit.query(|e| e.kind == EventKind::HumanReview).len(), 5);
     chain.verify().unwrap();
 }

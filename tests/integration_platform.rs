@@ -7,7 +7,7 @@ use itrust_core::ai_task::{Routing, Verdict};
 use itrust_core::platform::ITrustPlatform;
 use itrust_core::sensitivity::{generate_corpus, FitMode, SensitivityModel, SENSITIVE};
 use itrust_core::tar::{linear_review, tar_review, TarConfig};
-use trustdb::audit::AuditAction;
+use trustdb::event::EventKind;
 
 fn corpus_docs(n: usize, seed: u64) -> (Vec<(String, String, String)>, Vec<usize>) {
     let corpus = generate_corpus(n, 0.25, 0.1, seed);
@@ -63,7 +63,7 @@ fn guarded_review_catches_most_sensitive_documents() {
     assert_eq!(guard.pending_count(), 0);
     let audit = platform.repo().audit();
     audit.verify_chain().unwrap();
-    assert_eq!(audit.query(|e| e.action == AuditAction::AiDecision).len(), 80);
+    assert_eq!(audit.query(|e| e.kind == EventKind::AiDecision).len(), 80);
 }
 
 #[test]

@@ -3,7 +3,8 @@
 
 use archival_core::ingest::Repository;
 use archival_core::oais::{Sip, SubmissionItem};
-use archival_core::provenance::{EventType, ProvenanceChain};
+use archival_core::provenance::ProvenanceChain;
+use trustdb::event::EventKind;
 use archival_core::record::{Classification, DocumentaryForm, Record, RecordId};
 use archival_core::redaction::Redactor;
 use archival_core::trust::{TrustAssessor, TrustGrade};
@@ -21,7 +22,7 @@ fn item(id: &str, class: Classification, body: &[u8]) -> SubmissionItem {
         body,
     );
     let mut provenance = ProvenanceChain::new(id);
-    provenance.append(50, "Producer", EventType::Creation, "success", "").unwrap();
+    provenance.append(50, "Producer", EventKind::Creation, "success", "").unwrap();
     SubmissionItem { record, content: body.to_vec(), provenance }
 }
 
@@ -179,8 +180,8 @@ fn migration_then_dissemination_then_bagit_export() {
 
     // The whole episode is one coherent audit history.
     repo.audit().verify_chain().unwrap();
-    let kinds: Vec<_> = repo.audit().export().iter().map(|e| e.action).collect();
-    assert!(kinds.contains(&trustdb::audit::AuditAction::Ingest));
-    assert!(kinds.contains(&trustdb::audit::AuditAction::Migration));
-    assert!(kinds.contains(&trustdb::audit::AuditAction::Access));
+    let kinds: Vec<_> = repo.audit().export().iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&trustdb::event::EventKind::Ingest));
+    assert!(kinds.contains(&trustdb::event::EventKind::Migration));
+    assert!(kinds.contains(&trustdb::event::EventKind::Access));
 }
