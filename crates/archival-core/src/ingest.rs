@@ -223,6 +223,7 @@ impl<B: Backend> Repository<B> {
             let pos = manifest
                 .position_of(id)
                 .ok_or_else(|| ArchivalError::NotFound(format!("record {id} in {aip_id}")))?;
+            // itrust-lint: allow(panic-reachable) — header fields sit at fixed offsets within the length-checked record
             let entry = &manifest.records[pos];
             match entry.record.classification {
                 Classification::Confidential => {

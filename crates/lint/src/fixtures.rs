@@ -65,9 +65,12 @@ impl Default for SystemClock {
 "#,
     },
     Fixture {
-        rule: "panic-in-lib",
+        rule: "panic-reachable",
         positive: r#"
 pub fn head(v: &[u8]) -> u8 {
+    first_or_die(v)
+}
+fn first_or_die(v: &[u8]) -> u8 {
     v.first().copied().unwrap()
 }
 "#,
@@ -76,18 +79,23 @@ pub fn head(v: &[u8]) -> Option<u8> {
     // a comment may say .unwrap() or panic!() freely
     v.first().copied()
 }
+fn dead_helper(v: &[u8]) -> u8 {
+    // no public API reaches this helper, so its unwrap is unreachable
+    v.first().copied().unwrap()
+}
 pub const DOC: &str = r#"strings may say .unwrap() and panic!() too"#;
 #[cfg(test)]
 mod tests {
     #[test]
     fn tests_may_panic() {
         super::head(&[1]).unwrap();
+        super::dead_helper(&[1]);
     }
 }
 "##,
         suppressed: r#"
 pub fn head(v: &[u8]) -> u8 {
-    // itrust-lint: allow(panic-in-lib) — caller verified v is non-empty
+    // itrust-lint: allow(panic-reachable) — caller verified v is non-empty
     v.first().copied().unwrap()
 }
 "#,
@@ -213,6 +221,161 @@ pub fn history(log: &AuditLog) -> Vec<LedgerEvent> {
 }
 "#,
     },
+    Fixture {
+        rule: "lock-order",
+        // The seeded ABBA deadlock: `ab` holds A then takes B, `ba` holds B
+        // then takes A — a cycle in the lock-order graph.
+        positive: r#"
+pub struct S { a: Mutex<u8>, b: Mutex<u8> }
+impl S {
+    pub fn ab(&self) -> u8 { let ga = self.a.lock(); let gb = self.b.lock(); *ga + *gb }
+    pub fn ba(&self) -> u8 { let gb = self.b.lock(); let ga = self.a.lock(); *ga + *gb }
+}
+"#,
+        negative: r#"
+pub struct S { a: Mutex<u8>, b: Mutex<u8> }
+impl S {
+    pub fn ab(&self) -> u8 { let ga = self.a.lock(); let gb = self.b.lock(); *ga + *gb }
+    pub fn also_ab(&self) -> u8 { let ga = self.a.lock(); let gb = self.b.lock(); *ga + *gb }
+}
+"#,
+        suppressed: r#"
+pub struct S { a: Mutex<u8>, b: Mutex<u8> }
+impl S {
+    // itrust-lint: allow(lock-order) — ba() is only callable while holding the commit token, so the orders never race
+    pub fn ab(&self) -> u8 { let ga = self.a.lock(); let gb = self.b.lock(); *ga + *gb }
+    pub fn ba(&self) -> u8 { let gb = self.b.lock(); let ga = self.a.lock(); *ga + *gb }
+}
+"#,
+    },
+    Fixture {
+        rule: "error-discipline",
+        // A transient error constructed where no retry/backoff-aware caller
+        // can reach it: the transient classification is dead weight.
+        positive: r#"
+pub fn shed() -> Result<(), Error> {
+    Err(Error::Overloaded { detail: String::from("queue full") })
+}
+"#,
+        negative: r#"
+pub fn shed() -> Result<(), Error> {
+    Err(Error::Overloaded { detail: String::from("queue full") })
+}
+pub fn drive() -> u64 {
+    let mut backoff_ms = 1;
+    while shed().is_err() { backoff_ms *= 2; }
+    backoff_ms
+}
+pub fn classify(e: &Error) -> bool {
+    matches!(e, Error::Overloaded { .. })
+}
+"#,
+        suppressed: r#"
+pub fn shed() -> Result<(), Error> {
+    // itrust-lint: allow(error-discipline) — the retrying caller lives in a downstream crate outside this workspace
+    Err(Error::Overloaded { detail: String::from("queue full") })
+}
+"#,
+    },
+];
+
+/// A multi-file fixture for the interprocedural passes, linted through
+/// `lint_files` so cross-crate resolution is exercised end to end.
+pub struct GraphFixture {
+    pub name: &'static str,
+    /// Rule expected to fire (`expect_finding`) or stay silent.
+    pub rule: &'static str,
+    pub files: &'static [(&'static str, &'static str)],
+    pub expect_finding: bool,
+}
+
+/// Cross-file fixtures: the seeded cross-crate ABBA deadlock (plus its
+/// suppressed twin), a public-API-reachable `unwrap` two crates deep, and
+/// a transient-error constructor whose retrier lives in another crate.
+pub const GRAPH_FIXTURES: &[GraphFixture] = &[
+    GraphFixture {
+        name: "abba-deadlock-cross-crate",
+        rule: "lock-order",
+        files: &[
+            (
+                "crates/service/src/executor.rs",
+                r#"
+pub struct Exec { queue: Mutex<u8> }
+impl Exec {
+    pub fn tick(&self, r: &Replica) -> u8 { let g = self.queue.lock(); r.apply(); *g }
+}
+"#,
+            ),
+            (
+                "crates/trustdb/src/replica.rs",
+                r#"
+pub struct Replica { inner: Mutex<u8> }
+impl Replica {
+    pub fn apply(&self) -> u8 { let g = self.inner.lock(); *g }
+    pub fn drain(&self, e: &Exec) -> u8 { let g = self.inner.lock(); e.tick(self); *g }
+}
+"#,
+            ),
+        ],
+        expect_finding: true,
+    },
+    GraphFixture {
+        name: "abba-deadlock-cross-crate-suppressed",
+        rule: "lock-order",
+        files: &[
+            (
+                "crates/service/src/executor.rs",
+                r#"
+pub struct Exec { queue: Mutex<u8> }
+impl Exec {
+    // itrust-lint: allow(lock-order) — drain() only runs during single-threaded recovery, never under ticks
+    pub fn tick(&self, r: &Replica) -> u8 { let g = self.queue.lock(); r.apply(); *g }
+}
+"#,
+            ),
+            (
+                "crates/trustdb/src/replica.rs",
+                r#"
+pub struct Replica { inner: Mutex<u8> }
+impl Replica {
+    pub fn apply(&self) -> u8 { let g = self.inner.lock(); *g }
+    pub fn drain(&self, e: &Exec) -> u8 { let g = self.inner.lock(); e.tick(self); *g }
+}
+"#,
+            ),
+        ],
+        expect_finding: false,
+    },
+    GraphFixture {
+        name: "public-api-reachable-unwrap-cross-crate",
+        rule: "panic-reachable",
+        files: &[
+            (
+                "crates/service/src/lib.rs",
+                "pub fn api(v: &[u8]) -> u8 { trustdb::wal::head(v) }\n",
+            ),
+            (
+                "crates/trustdb/src/wal.rs",
+                "pub(crate) fn head(v: &[u8]) -> u8 { v.first().copied().unwrap() }\n",
+            ),
+        ],
+        expect_finding: true,
+    },
+    GraphFixture {
+        name: "transient-error-retrier-in-other-crate",
+        rule: "error-discipline",
+        files: &[
+            (
+                "crates/service/src/lib.rs",
+                "pub fn shed() -> Result<(), Error> { Err(Error::Overloaded { detail: String::from(\"full\") }) }\n",
+            ),
+            (
+                "crates/trustdb/src/lib.rs",
+                "pub fn drive() -> u64 { let mut backoff_ms = 1; while itrust_service::shed().is_err() { backoff_ms *= 2; } backoff_ms }\n",
+            ),
+        ],
+        expect_finding: false,
+    },
 ];
 
 /// Crate-scope probes: a source snippet linted under a real workspace
@@ -235,7 +398,7 @@ pub const SCOPE_PROBES: &[(&str, &str, &str)] = &[
     (
         "crates/obs-analyze/src/lib.rs",
         "pub fn p(v: &[u8]) -> u8 { v.first().copied().unwrap() }\n",
-        "panic-in-lib",
+        "panic-reachable",
     ),
     (
         "crates/obs-analyze/src/lib.rs",
@@ -267,7 +430,7 @@ pub const SCOPE_PROBES: &[(&str, &str, &str)] = &[
     (
         "crates/trustdb/src/antientropy.rs",
         "pub fn first_intent(v: &[u8]) -> u8 { v.first().copied().unwrap() }\n",
-        "panic-in-lib",
+        "panic-reachable",
     ),
     (
         "crates/trustdb/src/antientropy.rs",
@@ -288,7 +451,7 @@ pub const SCOPE_PROBES: &[(&str, &str, &str)] = &[
     (
         "crates/service/src/executor.rs",
         "pub fn head_seq(q: &[u64]) -> u64 { q.first().copied().unwrap() }\n",
-        "panic-in-lib",
+        "panic-reachable",
     ),
     (
         "crates/service/src/shard.rs",
@@ -363,6 +526,27 @@ pub fn self_check() -> Vec<String> {
                 "rule `{}`: suppressed fixture not clean: {:?}",
                 f.rule,
                 sup.iter().map(|d| d.render_human()).collect::<Vec<_>>()
+            ));
+        }
+    }
+    for g in GRAPH_FIXTURES {
+        let sources: Vec<(String, String)> =
+            g.files.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect();
+        let outcome = crate::lint_files(&sources);
+        if g.expect_finding {
+            if !outcome.diagnostics.iter().any(|d| d.rule == g.rule) {
+                failures.push(format!(
+                    "graph fixture `{}`: expected a `{}` finding, got {:?}",
+                    g.name,
+                    g.rule,
+                    outcome.diagnostics.iter().map(|d| d.render_human()).collect::<Vec<_>>()
+                ));
+            }
+        } else if !outcome.diagnostics.is_empty() {
+            failures.push(format!(
+                "graph fixture `{}`: expected silence, got {:?}",
+                g.name,
+                outcome.diagnostics.iter().map(|d| d.render_human()).collect::<Vec<_>>()
             ));
         }
     }

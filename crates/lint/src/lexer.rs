@@ -346,6 +346,7 @@ pub fn test_regions(toks: &[Tok]) -> Vec<bool> {
     let mut flags = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
+        // itrust-lint: allow(panic-reachable) — byte indices come from char_indices and stay within the scanned line
         if !(toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('['))) {
             i += 1;
             continue;

@@ -4,10 +4,12 @@
 //! itrust-lint [--deny-all] [--json] <paths…>   lint .rs files under paths
 //! itrust-lint --explain <rule>                 print a rule's rationale
 //! itrust-lint --self-check                     run the built-in fixtures
+//! itrust-lint --validate-json <file>           check a --json document
 //! ```
 //!
 //! Exit codes: `0` clean (or advisory findings without `--deny-all`),
-//! `1` denied findings (or self-check failure), `2` usage/IO error.
+//! `1` denied findings (or self-check/validation failure), `2` usage/IO
+//! error.
 
 use itrust_lint::{diag, fixtures, is_denied, lint_paths, rules};
 
@@ -16,11 +18,12 @@ struct Options {
     json: bool,
     explain: Option<String>,
     self_check: bool,
+    validate_json: Option<String>,
     paths: Vec<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: itrust-lint [--deny-all] [--json] <paths…>\n       itrust-lint --explain <rule>\n       itrust-lint --self-check\n\nexit codes: 0 clean, 1 denied findings, 2 usage/IO error"
+    "usage: itrust-lint [--deny-all] [--json] <paths…>\n       itrust-lint --explain <rule>\n       itrust-lint --self-check\n       itrust-lint --validate-json <file>\n\nexit codes: 0 clean, 1 denied findings, 2 usage/IO error"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -29,6 +32,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json: false,
         explain: None,
         self_check: false,
+        validate_json: None,
         paths: Vec::new(),
     };
     let mut i = 0;
@@ -42,6 +46,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 match args.get(i) {
                     Some(rule) => opts.explain = Some(rule.clone()),
                     None => return Err("--explain requires a rule name".to_string()),
+                }
+            }
+            "--validate-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(file) => opts.validate_json = Some(file.clone()),
+                    None => return Err("--validate-json requires a file path".to_string()),
                 }
             }
             "--help" | "-h" => return Err(String::new()),
@@ -100,13 +111,37 @@ fn run() -> i32 {
     if opts.self_check {
         let failures = fixtures::self_check();
         if failures.is_empty() {
-            println!("itrust-lint self-check ok: {} rules × (positive, negative, suppressed)", fixtures::FIXTURES.len());
+            println!(
+                "itrust-lint self-check ok: {} rules × (positive, negative, suppressed), {} graph fixtures (seeded ABBA deadlock detected)",
+                fixtures::FIXTURES.len(),
+                fixtures::GRAPH_FIXTURES.len()
+            );
             return 0;
         }
         for f in &failures {
             eprintln!("itrust-lint self-check FAILED: {f}");
         }
         return 1;
+    }
+
+    if let Some(file) = &opts.validate_json {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("itrust-lint: failed to read {file}: {e}");
+                return 2;
+            }
+        };
+        return match diag::validate_json(&text) {
+            Ok(()) => {
+                println!("itrust-lint: {file} is valid lint JSON");
+                0
+            }
+            Err(msg) => {
+                eprintln!("itrust-lint: {file} is not valid lint JSON: {msg}");
+                1
+            }
+        };
     }
 
     if opts.paths.is_empty() {
@@ -124,7 +159,14 @@ fn run() -> i32 {
 
     let denied = outcome.diagnostics.iter().filter(|d| is_denied(d.rule, opts.deny_all)).count();
     if opts.json {
-        print!("{}", diag::render_json(&outcome.diagnostics, outcome.files_scanned));
+        print!(
+            "{}",
+            diag::render_json(
+                &outcome.diagnostics,
+                outcome.files_scanned,
+                &outcome.stale_suppressions
+            )
+        );
     } else {
         for d in &outcome.diagnostics {
             println!("{}", d.render_human());

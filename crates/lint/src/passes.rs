@@ -1,0 +1,573 @@
+//! The interprocedural passes: lock-order, panic-reachable,
+//! error-discipline. Each consumes the [`graph::Workspace`] model and
+//! emits ordinary diagnostics anchored at concrete source sites, so the
+//! existing suppression machinery applies unchanged.
+
+use crate::diag::Diagnostic;
+use crate::graph::{
+    chain_to, is_lib_item, is_public_root, reach_from, LockSite, PanicKind, Workspace,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Run all three graph passes over the workspace.
+pub fn run_passes(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    lock_order(ws, &mut out);
+    panic_reachable(ws, &mut out);
+    error_discipline(ws, &mut out);
+    out
+}
+
+fn site_diag(ws: &Workspace, idx: usize, line: u32, col: u32, rule: &'static str, message: String) -> Diagnostic {
+    // itrust-lint: allow(panic-reachable) — node indices are positions into vectors sized to the item count at entry
+    Diagnostic { file: ws.files[ws.item_file[idx]].path.clone(), line, col, rule, message }
+}
+
+/// How one lock-order edge was witnessed.
+struct EdgeWitness {
+    /// Holder function item and its acquisition site of the `from` lock.
+    holder: usize,
+    first_line: u32,
+    first_col: u32,
+    /// Where the second acquisition happens.
+    second: SecondAcq,
+}
+
+enum SecondAcq {
+    /// Same function acquires the second lock directly at (line, col).
+    Direct { line: u32 },
+    /// A call while holding the first lock transitively reaches the second
+    /// acquisition: callee item index at the call site.
+    Call { callee: usize, line: u32 },
+}
+
+/// Pass 1: lock-order. Builds a lock-order graph (edge `A → B` = some
+/// function acquires `B` — directly or via calls — while holding `A`) and
+/// reports every cycle as a potential deadlock, plus direct double
+/// acquisitions of the same non-reentrant lock.
+fn lock_order(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let n = ws.items.len();
+
+    // Fixed point: locks each function may acquire, transitively.
+    let mut acq: Vec<BTreeSet<&str>> = (0..n)
+        // itrust-lint: allow(panic-reachable) — node indices are positions into vectors sized to the item count at entry
+        .map(|i| ws.facts[i].locks.iter().map(|l| l.lock.as_str()).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            for &callee in &ws.edges[i] {
+                if callee == i {
+                    continue;
+                }
+                let extra: Vec<&str> =
+                    acq[callee].iter().filter(|l| !acq[i].contains(*l)).copied().collect();
+                if !extra.is_empty() {
+                    acq[i].extend(extra);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Lock-order edges, keeping one deterministic (minimal-anchor) witness
+    // per edge. Also report direct double acquisition of one lock.
+    let mut edges: BTreeMap<(String, String), EdgeWitness> = BTreeMap::new();
+    let add_edge = |edges: &mut BTreeMap<(String, String), EdgeWitness>,
+                        from: &LockSite,
+                        to: String,
+                        holder: usize,
+                        second: SecondAcq| {
+        let key = (from.lock.clone(), to);
+        let file = &ws.files[ws.item_file[holder]].path;
+        let better = match edges.get(&key) {
+            None => true,
+            Some(w) => {
+                let wfile = &ws.files[ws.item_file[w.holder]].path;
+                (file.as_str(), from.line, from.col) < (wfile.as_str(), w.first_line, w.first_col)
+            }
+        };
+        if better {
+            edges.insert(
+                key,
+                EdgeWitness { holder, first_line: from.line, first_col: from.col, second },
+            );
+        }
+    };
+
+    for i in 0..n {
+        let facts = &ws.facts[i];
+        for (si, l1) in facts.locks.iter().enumerate() {
+            // Later direct acquisitions inside the hold range.
+            for l2 in facts.locks.iter().skip(si + 1) {
+                if l2.tok <= l1.tok || l2.tok > l1.hold_end {
+                    continue;
+                }
+                if l2.lock == l1.lock {
+                    if l2.chain == l1.chain {
+                        out.push(site_diag(
+                            ws,
+                            i,
+                            l1.line,
+                            l1.col,
+                            "lock-order",
+                            format!(
+                                "`{}` acquires `{}` here and again at line {} while the first guard is live; \
+                                 a non-reentrant lock self-deadlocks",
+                                ws.items[i].name, l1.chain, l2.line
+                            ),
+                        ));
+                    }
+                    continue;
+                }
+                add_edge(
+                    &mut edges,
+                    l1,
+                    l2.lock.clone(),
+                    i,
+                    SecondAcq::Direct { line: l2.line },
+                );
+            }
+            // Calls inside the hold range: everything the callee may acquire.
+            for call in &facts.calls {
+                if call.tok <= l1.tok || call.tok > l1.hold_end {
+                    continue;
+                }
+                for &t in &call.targets {
+                    if t == i {
+                        continue;
+                    }
+                    for lk in &acq[t] {
+                        if *lk == l1.lock {
+                            continue;
+                        }
+                        add_edge(
+                            &mut edges,
+                            l1,
+                            (*lk).to_string(),
+                            i,
+                            SecondAcq::Call { callee: t, line: call.line },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the lock graph (nodes = lock ids, sorted).
+    let mut nodes: Vec<&str> = Vec::new();
+    for (a, b) in edges.keys() {
+        nodes.push(a);
+        nodes.push(b);
+    }
+    nodes.sort_unstable();
+    nodes.dedup();
+    let index: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (a, b) in edges.keys() {
+        adj[index[a.as_str()]].push(index[b.as_str()]);
+    }
+    for row in adj.iter_mut() {
+        row.sort_unstable();
+        row.dedup();
+    }
+
+    for scc in sccs(&adj) {
+        if scc.len() < 2 {
+            continue; // self-edges are filtered at construction
+        }
+        let in_scc: BTreeSet<usize> = scc.iter().copied().collect();
+        // Collect the cycle's edges in sorted order and describe each.
+        let mut descs: Vec<String> = Vec::new();
+        let mut anchor: Option<(&str, u32, u32)> = None;
+        for ((a, b), w) in &edges {
+            let (ai, bi) = (index[a.as_str()], index[b.as_str()]);
+            if !in_scc.contains(&ai) || !in_scc.contains(&bi) {
+                continue;
+            }
+            let file = ws.files[ws.item_file[w.holder]].path.as_str();
+            let cand = (file, w.first_line, w.first_col);
+            if anchor.is_none_or(|a| cand < a) {
+                anchor = Some(cand);
+            }
+            descs.push(describe_edge(ws, a, b, w));
+        }
+        let Some((file, line, col)) = anchor else { continue };
+        let cycle: Vec<&str> = scc.iter().map(|&i| nodes[i]).collect();
+        out.push(Diagnostic {
+            file: file.to_string(),
+            line,
+            col,
+            rule: "lock-order",
+            message: format!(
+                "potential deadlock: lock-order cycle between {{{}}} — {}",
+                cycle.join(", "),
+                descs.join("; ")
+            ),
+        });
+    }
+}
+
+fn describe_edge(ws: &Workspace, a: &str, b: &str, w: &EdgeWitness) -> String {
+    // itrust-lint: allow(panic-reachable) — node indices are positions into vectors sized to the item count at entry
+    let holder = &ws.items[w.holder];
+    let file = &ws.files[ws.item_file[w.holder]].path;
+    match &w.second {
+        SecondAcq::Direct { line, .. } => format!(
+            "`{}` ({file}:{}) acquires `{a}` then `{b}` (line {line})",
+            holder.name, w.first_line
+        ),
+        SecondAcq::Call { callee, line } => format!(
+            "`{}` ({file}:{}) acquires `{a}` then calls `{}` (line {line}) which may acquire `{b}`",
+            holder.name, w.first_line, ws.items[*callee].name
+        ),
+    }
+}
+
+/// Strongly connected components (iterative Tarjan), returned with each
+/// component's node list sorted and components ordered by smallest node —
+/// fully deterministic given sorted adjacency.
+fn sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+
+    for start in 0..n {
+        // itrust-lint: allow(panic-reachable) — node indices are positions into vectors sized to the item count at entry
+        if index[start] != usize::MAX {
+            continue;
+        }
+        // Explicit DFS stack: (node, next-child position).
+        let mut work: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&(v, ci)) = work.last() {
+            if index[v] == usize::MAX {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if ci < adj[v].len() {
+                if let Some(top) = work.last_mut() {
+                    top.1 += 1;
+                }
+                let w = adj[v][ci];
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().unwrap_or(v);
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    comps.push(comp);
+                }
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    comps.sort_by_key(|c| c[0]);
+    comps
+}
+
+/// Pass 2: panic-reachable. Flags every panic site (`unwrap`/`expect`/
+/// `panic!`/`todo!`/`unimplemented!`/index) in library code that is
+/// transitively reachable from a public non-test library function.
+fn panic_reachable(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let n = ws.items.len();
+    let roots: Vec<usize> = (0..n).filter(|&i| is_public_root(ws, i)).collect();
+    let state = reach_from(&roots, &ws.edges, n);
+    for i in 0..n {
+        // itrust-lint: allow(panic-reachable) — node indices are positions into vectors sized to the item count at entry
+        let Some((_, root)) = state[i] else { continue };
+        if !is_lib_item(ws, i) {
+            continue;
+        }
+        let via = if root == i {
+            format!("public `{}` itself", ws.items[i].display_path())
+        } else {
+            format!(
+                "public `{}` via {}",
+                ws.items[root].display_path(),
+                chain_to(&state, &ws.items, i, 16)
+            )
+        };
+        // Index sites are reported once per function, anchored at the
+        // first site: they cluster densely in numeric kernels, and bounds
+        // discipline is a per-function property — one finding per function
+        // keeps the report reviewable and lets a single reasoned allow
+        // cover the function.
+        let index_sites =
+            ws.facts[i].panics.iter().filter(|s| s.kind == PanicKind::Index).count();
+        let mut index_reported = false;
+        for site in &ws.facts[i].panics {
+            if site.kind == PanicKind::Index {
+                if index_reported {
+                    continue;
+                }
+                index_reported = true;
+                let extent = if index_sites > 1 {
+                    format!(" ({index_sites} index sites in this function)")
+                } else {
+                    String::new()
+                };
+                out.push(site_diag(
+                    ws,
+                    i,
+                    site.line,
+                    site.col,
+                    "panic-reachable",
+                    format!(
+                        "{} can panic and is reachable from {via}{extent}; propagate a Result or justify with an allow",
+                        site.kind.describe()
+                    ),
+                ));
+                continue;
+            }
+            out.push(site_diag(
+                ws,
+                i,
+                site.line,
+                site.col,
+                "panic-reachable",
+                format!(
+                    "{} can panic and is reachable from {via}; propagate a Result or justify with an allow",
+                    site.kind.describe()
+                ),
+            ));
+        }
+    }
+}
+
+/// Pass 3: error-discipline. Transient error constructions must have some
+/// retry/backoff-aware caller upstream (otherwise the transient
+/// classification is dead weight and the failure degrades to a hard
+/// error); non-transient constructions must not sit inside a retry loop.
+fn error_discipline(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let n = ws.items.len();
+    // A constructor has a retrying caller upstream exactly when it is
+    // reachable (forward, over call edges) from some retry-aware function.
+    // itrust-lint: allow(panic-reachable) — node indices are positions into vectors sized to the item count at entry
+    let retry_roots: Vec<usize> = (0..n).filter(|&i| ws.facts[i].retry_aware).collect();
+    let rstate = reach_from(&retry_roots, &ws.edges, n);
+
+    for (i, reach) in rstate.iter().enumerate() {
+        if !is_lib_item(ws, i) {
+            continue;
+        }
+        for site in &ws.facts[i].errs {
+            if site.transient && reach.is_none() {
+                out.push(site_diag(
+                    ws,
+                    i,
+                    site.line,
+                    site.col,
+                    "error-discipline",
+                    format!(
+                        "transient error `{}` constructed in `{}` but no retry/backoff-aware caller \
+                         reaches it; without a retrier the transient classification degrades to a hard failure",
+                        site.variant, ws.items[i].name
+                    ),
+                ));
+            }
+            if !site.transient && site.in_loop && ws.facts[i].retry_aware {
+                out.push(site_diag(
+                    ws,
+                    i,
+                    site.line,
+                    site.col,
+                    "error-discipline",
+                    format!(
+                        "non-transient error `{}` constructed inside a retry loop in `{}`; \
+                         non-transient failures must fail fast, never be retried",
+                        site.variant, ws.items[i].name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{build_workspace, file_unit};
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ws = build_workspace(files.iter().map(|(p, s)| file_unit(p, s)).collect());
+        run_passes(&ws)
+    }
+
+    #[test]
+    fn abba_deadlock_detected_same_file() {
+        let src = r#"
+pub struct S { a: Mutex<u8>, b: Mutex<u8> }
+impl S {
+    pub fn ab(&self) { let _ga = self.a.lock(); let _gb = self.b.lock(); }
+    pub fn ba(&self) { let _gb = self.b.lock(); let _ga = self.a.lock(); }
+}
+"#;
+        let diags = run(&[("crates/demo/src/lib.rs", src)]);
+        let locks: Vec<_> = diags.iter().filter(|d| d.rule == "lock-order").collect();
+        assert_eq!(locks.len(), 1, "one cycle report: {diags:?}");
+        assert!(locks[0].message.contains("lock-order cycle"));
+        assert!(locks[0].message.contains("demo:a") && locks[0].message.contains("demo:b"));
+    }
+
+    #[test]
+    fn abba_deadlock_detected_across_crates() {
+        let a = r#"
+pub struct Exec { queue: Mutex<u8> }
+impl Exec {
+    pub fn tick(&self, r: &Replica) { let _g = self.queue.lock(); r.apply(); }
+}
+"#;
+        let b = r#"
+pub struct Replica { inner: Mutex<u8> }
+impl Replica {
+    pub fn apply(&self) { let _g = self.inner.lock(); }
+    pub fn drain(&self, e: &Exec) { let _g = self.inner.lock(); e.tick(self); }
+}
+"#;
+        let diags = run(&[("crates/service/src/executor.rs", a), ("crates/trustdb/src/replica.rs", b)]);
+        let locks: Vec<_> = diags.iter().filter(|d| d.rule == "lock-order").collect();
+        assert_eq!(locks.len(), 1, "cross-crate cycle: {diags:?}");
+        assert!(locks[0].message.contains("service:queue"));
+        assert!(locks[0].message.contains("trustdb:inner"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = r#"
+pub struct S { a: Mutex<u8>, b: Mutex<u8> }
+impl S {
+    pub fn ab(&self) { let _ga = self.a.lock(); let _gb = self.b.lock(); }
+    pub fn also_ab(&self) { let _ga = self.a.lock(); let _gb = self.b.lock(); }
+}
+"#;
+        let diags = run(&[("crates/demo/src/lib.rs", src)]);
+        assert!(diags.iter().all(|d| d.rule != "lock-order"), "{diags:?}");
+    }
+
+    #[test]
+    fn temporary_guard_does_not_extend_hold() {
+        // The first guard is a temporary dropped at its statement's `;`,
+        // so the second acquisition does not overlap it.
+        let src = r#"
+pub struct S { a: Mutex<Vec<u8>>, b: Mutex<Vec<u8>> }
+impl S {
+    pub fn ab(&self) { self.a.lock().clear(); self.b.lock().clear(); }
+    pub fn ba(&self) { self.b.lock().clear(); self.a.lock().clear(); }
+}
+"#;
+        let diags = run(&[("crates/demo/src/lib.rs", src)]);
+        assert!(diags.iter().all(|d| d.rule != "lock-order"), "{diags:?}");
+    }
+
+    #[test]
+    fn direct_double_lock_detected() {
+        let src = r#"
+pub struct S { a: Mutex<u8> }
+impl S {
+    pub fn twice(&self) { let _g1 = self.a.lock(); let _g2 = self.a.lock(); }
+}
+"#;
+        let diags = run(&[("crates/demo/src/lib.rs", src)]);
+        assert!(
+            diags.iter().any(|d| d.rule == "lock-order" && d.message.contains("self-deadlocks")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn panic_reachable_through_private_helper() {
+        let src = r#"
+pub fn api(v: &[u8]) -> u8 { helper(v) }
+fn helper(v: &[u8]) -> u8 { v.first().copied().unwrap() }
+"#;
+        let diags = run(&[("crates/demo/src/lib.rs", src)]);
+        let hits: Vec<_> = diags.iter().filter(|d| d.rule == "panic-reachable").collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert!(hits[0].message.contains("api"), "chain names the public root: {}", hits[0].message);
+        assert!(hits[0].message.contains("helper"));
+    }
+
+    #[test]
+    fn unreachable_private_panic_is_silent() {
+        let src = r#"
+pub fn api(v: &[u8]) -> Option<u8> { v.first().copied() }
+fn dead_helper(v: &[u8]) -> u8 { v.first().copied().unwrap() }
+"#;
+        let diags = run(&[("crates/demo/src/lib.rs", src)]);
+        assert!(diags.iter().all(|d| d.rule != "panic-reachable"), "{diags:?}");
+    }
+
+    #[test]
+    fn transient_error_without_retrier_flagged_and_with_retrier_clean() {
+        let flagged = r#"
+pub fn shed() -> Result<(), Error> { Err(Error::Overloaded { detail: "q".into() }) }
+"#;
+        let diags = run(&[("crates/demo/src/lib.rs", flagged)]);
+        assert!(
+            diags.iter().any(|d| d.rule == "error-discipline" && d.message.contains("Overloaded")),
+            "{diags:?}"
+        );
+
+        let clean = r#"
+pub fn shed() -> Result<(), Error> { Err(Error::Overloaded { detail: "q".into() }) }
+pub fn driver() { let mut backoff = 1; while shed().is_err() { backoff *= 2; } }
+"#;
+        let diags = run(&[("crates/demo/src/lib.rs", clean)]);
+        assert!(diags.iter().all(|d| d.rule != "error-discipline"), "{diags:?}");
+    }
+
+    #[test]
+    fn nontransient_in_retry_loop_flagged() {
+        let src = r#"
+pub fn submit(&self) -> Result<(), Error> {
+    let mut backoff = 1;
+    loop {
+        if self.over_quota() { return Err(Error::QuotaExceeded { tenant: "t".into() }); }
+        backoff += 1;
+    }
+}
+"#;
+        let diags = run(&[("crates/demo/src/lib.rs", src)]);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "error-discipline" && d.message.contains("QuotaExceeded")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn bench_and_bin_sites_exempt() {
+        let src = r#"
+pub fn api(v: &[u8]) -> u8 { v.first().copied().unwrap() }
+"#;
+        for path in ["crates/bench/src/lib.rs", "crates/demo/src/bin/tool.rs", "crates/demo/tests/t.rs"] {
+            let diags = run(&[(path, src)]);
+            assert!(diags.iter().all(|d| d.rule != "panic-reachable"), "{path}: {diags:?}");
+        }
+    }
+}

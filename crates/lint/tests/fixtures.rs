@@ -96,7 +96,7 @@ pub fn f(v: &[u8]) -> u8 {
 "####;
     let diags = lint_source(FIXTURE_PATH, src);
     assert_eq!(diags.len(), 1);
-    assert_eq!(diags[0].rule, "panic-in-lib");
+    assert_eq!(diags[0].rule, "panic-reachable");
 }
 
 #[test]
@@ -138,7 +138,7 @@ pub fn after(v: &[u8]) -> u8 {
 ";
     let diags = lint_source(FIXTURE_PATH, src);
     assert_eq!(diags.len(), 1, "{diags:?}");
-    assert_eq!(diags[0].rule, "panic-in-lib");
+    assert_eq!(diags[0].rule, "panic-reachable");
     assert_eq!(diags[0].line, 11);
 }
 
@@ -146,14 +146,14 @@ pub fn after(v: &[u8]) -> u8 {
 fn suppression_without_reason_errors_and_does_not_suppress() {
     let src = "
 pub fn f(v: &[u8]) -> u8 {
-    // itrust-lint: allow(panic-in-lib)
+    // itrust-lint: allow(panic-reachable)
     v.first().copied().unwrap()
 }
 ";
     let diags = lint_source(FIXTURE_PATH, src);
     let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
     assert!(rules.contains(&"malformed-suppression"), "{diags:?}");
-    assert!(rules.contains(&"panic-in-lib"), "{diags:?}");
+    assert!(rules.contains(&"panic-reachable"), "{diags:?}");
 }
 
 #[test]
@@ -165,7 +165,7 @@ pub fn f(v: &[u8]) -> u8 { v.first().copied().unwrap() }
 ";
     let diags = lint_source(FIXTURE_PATH, src);
     assert_eq!(diags.len(), 1);
-    assert_eq!(diags[0].rule, "panic-in-lib");
+    assert_eq!(diags[0].rule, "panic-reachable");
 }
 
 #[test]
@@ -188,8 +188,8 @@ fn json_output_is_deterministic() {
     let src = "
 pub fn b(v: &[u8]) -> u8 { v.first().copied().unwrap() }
 ";
-    let a = itrust_lint::diag::render_json(&lint_source(FIXTURE_PATH, src), 1);
-    let b = itrust_lint::diag::render_json(&lint_source(FIXTURE_PATH, src), 1);
+    let a = itrust_lint::diag::render_json(&lint_source(FIXTURE_PATH, src), 1, &[]);
+    let b = itrust_lint::diag::render_json(&lint_source(FIXTURE_PATH, src), 1, &[]);
     assert_eq!(a, b);
-    assert!(a.contains("\"rule\": \"panic-in-lib\""));
+    assert!(a.contains("\"rule\": \"panic-reachable\""));
 }

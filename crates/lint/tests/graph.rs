@@ -1,0 +1,223 @@
+//! Integration tests for the interprocedural layer: call-graph resolution
+//! (trait fan-out, closures, shadowed names, std-method carve-outs) and
+//! the three graph passes driven through the public `lint_files` API.
+
+use itrust_lint::graph::{build_workspace, file_unit, Workspace};
+use itrust_lint::lint_files;
+
+fn ws(files: &[(&str, &str)]) -> Workspace {
+    build_workspace(files.iter().map(|(p, s)| file_unit(p, s)).collect())
+}
+
+fn item(w: &Workspace, name: &str) -> usize {
+    let hits: Vec<usize> =
+        (0..w.items.len()).filter(|&i| w.items[i].name == name).collect();
+    assert_eq!(hits.len(), 1, "exactly one item named `{name}`: {hits:?}");
+    hits[0]
+}
+
+fn lint(files: &[(&str, &str)]) -> Vec<itrust_lint::diag::Diagnostic> {
+    let owned: Vec<(String, String)> =
+        files.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect();
+    lint_files(&owned).diagnostics
+}
+
+#[test]
+fn trait_method_call_fans_out_to_every_impl() {
+    let w = ws(&[
+        (
+            "crates/a/src/lib.rs",
+            "pub trait Backend { fn persist(&self); }\n\
+             pub struct Disk; impl Backend for Disk { fn persist(&self) {} }\n",
+        ),
+        (
+            "crates/b/src/lib.rs",
+            "pub struct Mem; impl Backend for Mem { fn persist(&self) {} }\n",
+        ),
+        ("crates/c/src/lib.rs", "pub fn save(b: &dyn Backend) { b.persist(); }\n"),
+    ]);
+    let save = item(&w, "save");
+    // Without types, `b.persist()` must reach both impls. The bodyless
+    // trait declaration is also a (factless, harmless) target.
+    assert_eq!(w.edges[save].len(), 3, "{:?}", w.edges[save]);
+    for &t in &w.edges[save] {
+        assert_eq!(w.items[t].name, "persist");
+    }
+    assert!(
+        w.edges[save].iter().filter(|&&t| w.items[t].body.is_some()).count() == 2,
+        "both impl bodies are reachable"
+    );
+}
+
+#[test]
+fn closure_bodies_attribute_to_the_enclosing_function() {
+    let w = ws(&[(
+        "crates/a/src/lib.rs",
+        "pub fn target() {}\n\
+         pub fn driver(v: &[u8]) { v.iter().for_each(|_| { target(); }); }\n",
+    )]);
+    let driver = item(&w, "driver");
+    let target = item(&w, "target");
+    assert_eq!(w.edges[driver], vec![target], "call inside closure belongs to driver");
+}
+
+#[test]
+fn shadowed_names_resolve_by_qualified_suffix() {
+    let w = ws(&[
+        ("crates/a/src/io.rs", "pub fn open() {}\n"),
+        ("crates/b/src/net.rs", "pub fn open() {}\n"),
+        ("crates/c/src/lib.rs", "pub fn go() { net::open(); }\n"),
+    ]);
+    let go = item(&w, "go");
+    assert_eq!(w.edges[go].len(), 1, "{:?}", w.edges[go]);
+    assert_eq!(w.items[w.edges[go][0]].qualified.join("::"), "b::net::open");
+}
+
+#[test]
+fn bare_shadowed_name_prefers_the_same_file() {
+    let w = ws(&[
+        ("crates/a/src/lib.rs", "fn open() {}\npub fn go() { open(); }\n"),
+        ("crates/b/src/net.rs", "pub fn open() {}\n"),
+    ]);
+    let go = item(&w, "go");
+    assert_eq!(w.edges[go].len(), 1);
+    assert_eq!(w.items[w.edges[go][0]].qualified.join("::"), "a::open");
+}
+
+#[test]
+fn crate_alias_path_reaches_across_crates() {
+    let w = ws(&[
+        ("crates/service/src/lib.rs", "pub fn shed() {}\n"),
+        ("crates/trustdb/src/lib.rs", "pub fn drive() { itrust_service::shed(); }\n"),
+    ]);
+    let drive = item(&w, "drive");
+    let shed = item(&w, "shed");
+    assert_eq!(w.edges[drive], vec![shed]);
+}
+
+#[test]
+fn std_container_method_names_never_link_to_workspace_items() {
+    let w = ws(&[
+        (
+            "crates/a/src/lib.rs",
+            "pub struct Log; impl Log { pub fn len(&self) -> usize { 0 } }\n",
+        ),
+        ("crates/b/src/lib.rs", "pub fn count(v: &[u8]) -> usize { v.len() }\n"),
+    ]);
+    let count = item(&w, "count");
+    assert!(w.edges[count].is_empty(), "v.len() is std, not Log::len: {:?}", w.edges[count]);
+}
+
+#[test]
+fn methods_on_lock_guards_never_link_to_workspace_items() {
+    let files = [
+        (
+            "crates/a/src/lib.rs",
+            "pub struct Q; impl Q { pub fn enqueue(&self) {} }\n",
+        ),
+        (
+            "crates/b/src/lib.rs",
+            "pub fn guarded(&self) { let g = self.q.lock(); g.enqueue(0); }\n\
+             pub fn plain(q: &Q) { q.enqueue(); }\n",
+        ),
+    ];
+    let w = ws(&files);
+    let guarded = item(&w, "guarded");
+    let plain = item(&w, "plain");
+    let enqueue = item(&w, "enqueue");
+    assert!(
+        w.edges[guarded].is_empty(),
+        "guard-bound receiver is the protected container: {:?}",
+        w.edges[guarded]
+    );
+    assert_eq!(w.edges[plain], vec![enqueue], "plain receiver still fans out");
+}
+
+#[test]
+fn receiver_that_is_a_call_result_never_links() {
+    let w = ws(&[
+        (
+            "crates/a/src/lib.rs",
+            "pub struct S; impl S { pub fn commit(&self) {} }\n",
+        ),
+        (
+            "crates/b/src/lib.rs",
+            "pub fn go(&self) { self.cell.borrow().commit(); }\n",
+        ),
+    ]);
+    let go = item(&w, "go");
+    assert!(w.edges[go].is_empty(), "temporary receiver resolves to std: {:?}", w.edges[go]);
+}
+
+#[test]
+fn cross_crate_abba_deadlock_is_reported_with_a_witness_chain() {
+    let exec = "pub struct Exec;\n\
+        impl Exec {\n\
+            pub fn tick(&self, r: &Replica) { let g = self.queue.lock(); r.apply(1); }\n\
+        }\n";
+    let replica = "pub struct Replica;\n\
+        impl Replica {\n\
+            pub fn apply(&self, n: u64) { let g = self.inner.lock(); }\n\
+            pub fn drain(&self, e: &Exec) { let g = self.inner.lock(); e.tick(self); }\n\
+        }\n";
+    let diags = lint(&[
+        ("crates/service/src/executor.rs", exec),
+        ("crates/trustdb/src/replica.rs", replica),
+    ]);
+    let hits: Vec<_> = diags.iter().filter(|d| d.rule == "lock-order").collect();
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    let msg = &hits[0].message;
+    assert!(msg.contains("service:queue") && msg.contains("trustdb:inner"), "{msg}");
+    assert!(msg.contains("tick") && msg.contains("apply"), "witness names the chain: {msg}");
+}
+
+#[test]
+fn consistent_lock_order_across_crates_is_clean() {
+    let exec = "pub struct Exec;\n\
+        impl Exec {\n\
+            pub fn tick(&self, r: &Replica) { let g = self.queue.lock(); r.apply(1); }\n\
+        }\n";
+    let replica = "pub struct Replica;\n\
+        impl Replica {\n\
+            pub fn apply(&self, n: u64) { let g = self.inner.lock(); }\n\
+        }\n";
+    let diags = lint(&[
+        ("crates/service/src/executor.rs", exec),
+        ("crates/trustdb/src/replica.rs", replica),
+    ]);
+    assert!(diags.iter().all(|d| d.rule != "lock-order"), "{diags:?}");
+}
+
+#[test]
+fn panic_reachability_crosses_crate_boundaries() {
+    let diags = lint(&[
+        ("crates/api/src/lib.rs", "pub fn fetch(s: &Store) -> u64 { wal::head(s) }\n"),
+        (
+            "crates/store/src/wal.rs",
+            "pub fn head(s: &Store) -> u64 { s.frames.last().copied().unwrap() }\n",
+        ),
+    ]);
+    let hits: Vec<_> = diags.iter().filter(|d| d.rule == "panic-reachable").collect();
+    assert!(
+        hits.iter().any(|d| d.file.contains("wal.rs") && d.message.contains("unwrap")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn suppression_with_reason_silences_a_graph_finding_without_going_stale() {
+    let outcome = lint_files(&[
+        (
+            "crates/api/src/lib.rs".to_string(),
+            "pub fn fetch(v: &[u8]) -> u8 { pick(v) }\n".to_string(),
+        ),
+        (
+            "crates/api/src/util.rs".to_string(),
+            "// itrust-lint: allow(panic-reachable) — callers pre-check emptiness\n\
+             pub fn pick(v: &[u8]) -> u8 { v.first().copied().unwrap() }\n"
+                .to_string(),
+        ),
+    ]);
+    assert!(outcome.diagnostics.is_empty(), "{:?}", outcome.diagnostics);
+    assert!(outcome.stale_suppressions.is_empty(), "{:?}", outcome.stale_suppressions);
+}

@@ -1,0 +1,153 @@
+//! Property tests for the item parser underneath the call graph.
+//!
+//! The interprocedural passes trust two structural invariants:
+//! 1. Every parsed item body is a well-formed brace span, and any two
+//!    bodies are either disjoint or strictly nested — sibling functions
+//!    never overlap, so a token has a unique innermost owner.
+//! 2. `token_owners` realizes exactly that innermost-owner relation:
+//!    a token maps to the smallest body containing it, or to no owner.
+//!
+//! Sources are generated from a small grammar of modules, impls, and
+//! functions whose statements include brace-bearing strings, comments,
+//! nested blocks, and match arms — the shapes that break naive brace
+//! counting.
+
+use itrust_lint::lexer::{lex, test_regions};
+use itrust_lint::parse::{parse_items, token_owners, Item};
+use proptest::prelude::*;
+
+/// Statement templates: anything here may appear inside a function body.
+/// Several contain `{`/`}` in strings or comments to stress the lexer.
+const STMTS: [&str; 10] = [
+    "let a = 1;",
+    "helper();",
+    "self.queue.lock();",
+    "let s = \"brace { inside } string\";",
+    "// comment with { unbalanced brace",
+    "if a { b(); } else { c(); }",
+    "match x { 0 => {} _ => { d(); } }",
+    "{ let inner = 2; }",
+    "let c = '{';",
+    "for i in 0..n { acc += v[i]; }",
+];
+
+/// One generated item: `(tag, stmt picks)`. The tag (mod 4) selects the
+/// item shape; statement indices fill the function bodies.
+type Op = (u8, Vec<u8>);
+
+fn body(stmts: &[u8], out: &mut String) {
+    for &s in stmts {
+        out.push_str(STMTS[s as usize % STMTS.len()]);
+        out.push('\n');
+    }
+}
+
+fn render(ops: &[Op]) -> String {
+    let mut out = String::new();
+    for (i, (tag, stmts)) in ops.iter().enumerate() {
+        match tag % 4 {
+            0 => {
+                out.push_str(&format!("pub fn f{i}() {{\n"));
+                body(stmts, &mut out);
+                out.push_str("}\n");
+            }
+            1 => {
+                out.push_str(&format!("impl T{i} {{\npub fn meth_a{i}(&self) {{\n"));
+                body(stmts, &mut out);
+                out.push_str(&format!("}}\nfn meth_b{i}(&mut self) {{\n"));
+                body(stmts, &mut out);
+                out.push_str("}\n}\n");
+            }
+            2 => {
+                out.push_str(&format!("mod m{i} {{\npub fn inner{i}() {{\n"));
+                body(stmts, &mut out);
+                out.push_str("}\n}\n");
+            }
+            _ => {
+                out.push_str(&format!(
+                    "mod outer{i} {{\nmod deep{i} {{\nfn leaf{i}() {{\n"
+                ));
+                body(stmts, &mut out);
+                out.push_str(&format!("}}\n}}\npub fn sibling{i}() {{ leaf(); }}\n}}\n"));
+            }
+        }
+    }
+    out
+}
+
+fn parsed(src: &str) -> (Vec<itrust_lint::lexer::Tok>, Vec<Item>) {
+    let lexed = lex(src);
+    let in_test = test_regions(&lexed.toks);
+    let items = parse_items(&lexed.toks, &in_test, &["propcrate".to_string()]);
+    (lexed.toks, items)
+}
+
+fn spans(items: &[Item]) -> Vec<(usize, usize)> {
+    items.iter().filter_map(|i| i.body).collect()
+}
+
+proptest! {
+    /// Invariant 1: bodies are well-formed and pairwise disjoint-or-nested.
+    #[test]
+    fn item_spans_partition_the_token_stream(
+        ops in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..6)),
+            1..8,
+        ),
+    ) {
+        let src = render(&ops);
+        let (toks, items) = parsed(&src);
+        prop_assert!(!items.is_empty(), "every op renders at least one fn:\n{src}");
+        let spans = spans(&items);
+        for &(open, close) in &spans {
+            prop_assert!(open < close && close < toks.len());
+            prop_assert!(toks[open].is_punct('{'), "body opens on a brace");
+            prop_assert!(toks[close].is_punct('}'), "body closes on a brace");
+        }
+        for (i, &(ao, ac)) in spans.iter().enumerate() {
+            for &(bo, bc) in spans.iter().skip(i + 1) {
+                let disjoint = ac < bo || bc < ao;
+                let a_in_b = bo < ao && ac < bc;
+                let b_in_a = ao < bo && bc < ac;
+                prop_assert!(
+                    disjoint || a_in_b || b_in_a,
+                    "spans ({ao},{ac}) and ({bo},{bc}) overlap without nesting in:\n{src}"
+                );
+            }
+        }
+    }
+
+    /// Invariant 2: `token_owners` maps every token to the innermost body
+    /// containing it — and to no owner when no body contains it.
+    #[test]
+    fn token_owners_is_the_innermost_containing_item(
+        ops in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..6)),
+            1..8,
+        ),
+    ) {
+        let src = render(&ops);
+        let (toks, items) = parsed(&src);
+        let owners = token_owners(&items, toks.len());
+        prop_assert_eq!(owners.len(), toks.len());
+        for (t, &owner) in owners.iter().enumerate() {
+            // All item bodies containing token t, narrowest first.
+            let mut containing: Vec<(usize, usize)> = items
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, it)| match it.body {
+                    Some((o, c)) if o <= t && t <= c => Some((c - o, idx)),
+                    _ => None,
+                })
+                .collect();
+            containing.sort_unstable();
+            match containing.first() {
+                None => prop_assert_eq!(owner, usize::MAX, "token {} owned by nobody", t),
+                Some(&(_, innermost)) => prop_assert_eq!(
+                    owner, innermost,
+                    "token {} must belong to the innermost item", t
+                ),
+            }
+        }
+    }
+}

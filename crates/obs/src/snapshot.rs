@@ -50,13 +50,13 @@ pub struct Snapshot {
 impl Snapshot {
     /// Compact deterministic JSON.
     pub fn to_json(&self) -> String {
-        // itrust-lint: allow(panic-in-lib) — BTreeMaps of numeric snapshots serialize infallibly
+        // itrust-lint: allow(panic-reachable) — BTreeMaps of numeric snapshots serialize infallibly
         serde_json::to_string(self).expect("snapshot serialization cannot fail")
     }
 
     /// Pretty-printed deterministic JSON.
     pub fn to_json_pretty(&self) -> String {
-        // itrust-lint: allow(panic-in-lib) — BTreeMaps of numeric snapshots serialize infallibly
+        // itrust-lint: allow(panic-reachable) — BTreeMaps of numeric snapshots serialize infallibly
         serde_json::to_string_pretty(self).expect("snapshot serialization cannot fail")
     }
 

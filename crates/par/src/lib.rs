@@ -95,13 +95,14 @@ pub fn par_map_chunks<T: Sync, U: Send>(
                 }
                 let start = i * chunk_size;
                 let end = (start + chunk_size).min(items.len());
+                // itrust-lint: allow(panic-reachable) — chunk bounds are derived from the slice length being split
                 let out = f(start, &items[start..end]);
-                // itrust-lint: allow(panic-in-lib) — a poisoned results mutex means a worker already panicked; re-panicking just propagates it
+                // itrust-lint: allow(panic-reachable) — a poisoned results mutex means a worker already panicked; re-panicking just propagates it
                 results.lock().unwrap().push((i, out));
             });
         }
     });
-    // itrust-lint: allow(panic-in-lib) — a poisoned results mutex means a worker already panicked; re-panicking just propagates it
+    // itrust-lint: allow(panic-reachable) — a poisoned results mutex means a worker already panicked; re-panicking just propagates it
     let mut collected = results.into_inner().unwrap();
     collected.sort_unstable_by_key(|&(i, _)| i);
     let mut out = Vec::with_capacity(collected.iter().map(|(_, v)| v.len()).sum());

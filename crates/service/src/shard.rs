@@ -120,6 +120,7 @@ fn decode_frame(frame: &[u8]) -> Result<(String, String, Digest, Vec<u8>)> {
             return Err(corrupt("truncated length"));
         }
         let mut len = [0u8; 4];
+        // itrust-lint: allow(panic-reachable) — shard slots are selected modulo the shard count
         len.copy_from_slice(&buf[at..at + 4]);
         let len = u32::from_le_bytes(len) as usize;
         if buf.len() < at + 4 + len {
@@ -389,6 +390,7 @@ impl ShardedStore {
         now_ms: u64,
     ) -> Result<PutOutcome> {
         let bytes = payload.len() as u64;
+        // itrust-lint: allow(panic-reachable) — shard slots are selected modulo the shard count
         let shard = &self.shards[self.route(tenant.name(), key)];
         match shard.put(tenant.name(), key, payload, now_ms) {
             Ok(outcome) => {
@@ -413,6 +415,7 @@ impl ShardedStore {
     /// Fetch `tenant`'s object at `key`.
     pub fn get(&self, tenant: &str, key: &str) -> Result<Bytes> {
         let t = self.tenant(tenant)?;
+        // itrust-lint: allow(panic-reachable) — shard slots are selected modulo the shard count
         let shard = &self.shards[self.route(tenant, key)];
         let bytes = shard.get(tenant, key)?;
         itrust_obs::counter_inc!(self.obs, "service.store.gets");

@@ -225,6 +225,7 @@ impl<B: Backend> FaultyBackend<B> {
         }
         let mut corrupted = Vec::with_capacity(victims.min(all.len()));
         for &idx in order.iter().take(victims) {
+            // itrust-lint: allow(panic-reachable) — corruption offsets are drawn modulo the buffer length
             if self.corrupt_object(&all[idx]) {
                 corrupted.push(all[idx]);
             }
@@ -249,6 +250,7 @@ impl<B: Backend> FaultyBackend<B> {
             } else {
                 let pos = rng.gen_range(0..v.len());
                 let bit = rng.gen_range(0..8u8);
+                // itrust-lint: allow(panic-reachable) — corruption offsets are drawn modulo the buffer length
                 v[pos] ^= 1 << bit;
             }
         }
@@ -293,6 +295,7 @@ impl<B: Backend> FaultyBackend<B> {
         }
         let pos = rng.gen_range(0..v.len());
         let bit = rng.gen_range(0..8u8);
+        // itrust-lint: allow(panic-reachable) — corruption offsets are drawn modulo the buffer length
         v[pos] ^= 1 << bit;
     }
 }

@@ -273,9 +273,9 @@ impl Wal {
             if buf.len() - off < 8 {
                 break Some(off as u64); // torn header
             }
-            // itrust-lint: allow(panic-in-lib) — 4-byte slices of a bounds-checked 8-byte header always convert
+            // itrust-lint: allow(panic-reachable) — 4-byte slices of a bounds-checked 8-byte header always convert
             let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
-            // itrust-lint: allow(panic-in-lib) — 4-byte slices of a bounds-checked 8-byte header always convert
+            // itrust-lint: allow(panic-reachable) — 4-byte slices of a bounds-checked 8-byte header always convert
             let crc = u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap());
             if len > MAX_FRAME_LEN {
                 break Some(off as u64); // implausible length ⇒ corrupt

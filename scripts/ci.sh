@@ -6,8 +6,11 @@ cd "$(dirname "$0")/.."
 cargo build --release
 
 # Lint self-check first: if the analyzer's own fixtures fail, every later
-# lint verdict is meaningless, so fail fast before the long gates.
-cargo run --release -q -p itrust-lint -- --self-check
+# lint verdict is meaningless, so fail fast before the long gates. The
+# success line must attest that the seeded cross-crate ABBA deadlock
+# fixture was caught — that is the canary for the whole call-graph layer.
+cargo run --release -q -p itrust-lint -- --self-check \
+    | grep -q "seeded ABBA deadlock detected"
 
 # Serial-equivalence gate, part 1: the full test suite must pass both
 # single-threaded and multi-threaded. The suites contain byte-identity
@@ -31,19 +34,22 @@ ITRUST_THREADS=4 ITRUST_RESULTS_DIR="$SCRATCH/t4" \
     cargo run --release -q -p itrust-bench --bin detcheck
 diff -u "$SCRATCH/t1/detcheck.json" "$SCRATCH/t4/detcheck.json"
 
-# Invariant gate: itrust-lint enforces the workspace rules token-wise
-# (handle-based telemetry, injected clocks, no panics in library paths,
-# ordered iteration, ctx-first macros, pooled threads, config-only env
-# reads). Replaces the old grep-based telemetry gate; --deny-all also
-# rejects stale suppression comments.
+# Invariant gate: itrust-lint enforces the workspace rules (handle-based
+# telemetry, injected clocks, ordered iteration, ctx-first macros, pooled
+# threads, config-only env reads) plus the three interprocedural passes —
+# lock-order deadlock cycles, panic-reachability from public API, and
+# transient/non-transient error discipline. --deny-all also rejects stale
+# suppression comments, so every allow in the tree is still load-bearing.
 cargo run --release -q -p itrust-lint -- --deny-all crates
 
-# Lint determinism smoke: --json must parse and be byte-identical across
-# runs (findings are sorted and carry no timestamps).
+# Lint determinism smoke: --json must validate and be byte-identical
+# across runs — the call graph, SCC cycles and BFS witness chains are all
+# computed over sorted structures, so two runs may not differ by a byte.
+# Validation uses the linter's own --validate-json (no python needed).
 cargo run --release -q -p itrust-lint -- --json crates > "$SCRATCH/lint1.json"
 cargo run --release -q -p itrust-lint -- --json crates > "$SCRATCH/lint2.json"
 diff "$SCRATCH/lint1.json" "$SCRATCH/lint2.json"
-python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$SCRATCH/lint1.json"
+cargo run --release -q -p itrust-lint -- --validate-json "$SCRATCH/lint1.json" >/dev/null
 
 # D9 partition smoke: a tiny deterministic partition storm must run clean
 # end to end at both thread counts, and the reports must be byte-identical —
